@@ -1,0 +1,131 @@
+// Command litmus runs litmus tests under the paper's models.
+//
+// Usage:
+//
+//	litmus -list
+//	litmus -run MP [-model op|ax|x86|arm-bal|arm-fbs|arm-sra|arm-naive]
+//	litmus -file test.litmus [-model ...]
+//
+// With -run/-file, the program's outcome set under the selected model is
+// printed; for catalogued tests, each check's verdict is evaluated. The
+// text format accepted by -file is documented in the README.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"localdrf"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list catalogued litmus tests")
+	run := flag.String("run", "", "run a catalogued test by name (or 'all')")
+	file := flag.String("file", "", "run a litmus file")
+	model := flag.String("model", "op", "model: op, ax, x86, x86-movstore, arm-bal, arm-fbs, arm-sra, arm-naive, arm-naive-atomics")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, t := range localdrf.LitmusSuite() {
+			fmt.Printf("%-24s %s\n", t.Name, t.Description)
+		}
+	case *run == "all":
+		for _, t := range localdrf.LitmusSuite() {
+			if err := runTest(t, *model); err != nil {
+				fail(err)
+			}
+		}
+	case *run != "":
+		t, ok := localdrf.LitmusTestByName(*run)
+		if !ok {
+			fail(fmt.Errorf("unknown test %q (try -list)", *run))
+		}
+		if err := runTest(t, *model); err != nil {
+			fail(err)
+		}
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		p, err := localdrf.ParseProgram(string(src))
+		if err != nil {
+			fail(err)
+		}
+		set, err := outcomes(p, *model)
+		if err != nil {
+			fail(err)
+		}
+		printOutcomes(p.Name, set)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func outcomes(p *localdrf.Program, model string) (*localdrf.OutcomeSet, error) {
+	switch model {
+	case "op":
+		return localdrf.Outcomes(p)
+	case "sc":
+		return localdrf.OutcomesSC(p)
+	case "ax":
+		return localdrf.OutcomesAxiomatic(p)
+	}
+	scheme, ok := map[string]localdrf.Scheme{
+		"x86":               localdrf.SchemeX86,
+		"x86-movstore":      localdrf.SchemeX86PlainAtomicStore,
+		"arm-bal":           localdrf.SchemeARMBal,
+		"arm-fbs":           localdrf.SchemeARMFbs,
+		"arm-sra":           localdrf.SchemeARMSra,
+		"arm-naive":         localdrf.SchemeARMNaive,
+		"arm-naive-atomics": localdrf.SchemeARMNaiveAtomics,
+	}[model]
+	if !ok {
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+	hp, err := localdrf.Compile(p, scheme)
+	if err != nil {
+		return nil, err
+	}
+	return localdrf.HardwareOutcomes(hp, localdrf.HardwareModel(scheme))
+}
+
+func runTest(t localdrf.LitmusTest, model string) error {
+	set, err := outcomes(t.Prog, model)
+	if err != nil {
+		return fmt.Errorf("%s: %w", t.Name, err)
+	}
+	fmt.Printf("%s (%s) under %s:\n", t.Name, t.Description, model)
+	for _, c := range t.Checks {
+		verdict := "forbidden"
+		if set.Exists(c.Pred) {
+			verdict = "allowed"
+		}
+		marker := " "
+		if model == "op" || model == "ax" {
+			if (verdict == "allowed") != (c.Want == localdrf.LitmusAllowed) {
+				marker = "✗"
+			} else {
+				marker = "✓"
+			}
+		}
+		fmt.Printf("  %s %-28s %s (model verdict: %v)\n", marker, c.Name, verdict, c.Want)
+	}
+	fmt.Printf("  %d distinct outcomes\n", set.Len())
+	return nil
+}
+
+func printOutcomes(name string, set *localdrf.OutcomeSet) {
+	fmt.Printf("%s: %d outcomes\n", name, set.Len())
+	for _, k := range set.Keys() {
+		fmt.Printf("  %s\n", k)
+	}
+}

@@ -1,0 +1,42 @@
+// Package localdrf is a Go reproduction of "Bounding Data Races in Space
+// and Time" (Dolan, Sivaramakrishnan, Madhavapeddy; PLDI 2018) — the
+// memory model that became the OCaml 5 memory model.
+//
+// The package is organised around the paper's artefacts:
+//
+//   - Programs: a small multi-threaded register language with atomic and
+//     nonatomic locations (Builder, ParseProgram), standing in for the
+//     paper's abstract expressions e, e′.
+//
+//   - The operational model (§3): stores map nonatomic locations to
+//     timestamped histories and atomic locations to (frontier, value)
+//     pairs; every thread carries a frontier. Outcomes and OutcomesSC
+//     enumerate behaviours exhaustively; NewMachine exposes the raw
+//     machine for step-level work.
+//
+//   - Local DRF (§4): FindRaces, IsSCRaceFree, LStable,
+//     CheckLocalDRFFrom, CheckGlobalDRF are executable counterparts of
+//     defs. 6–12 and thms. 13/14.
+//
+//   - The axiomatic model (§6): OutcomesAxiomatic enumerates consistent
+//     executions; it agrees with the operational enumeration (thms.
+//     15/16, validated empirically in the test suite).
+//
+//   - Compilation (§7): Compile lowers programs to x86-TSO or ARMv8 per
+//     the paper's tables (plus deliberately broken ablations), and
+//     CheckCompilation verifies soundness by outcome-set inclusion
+//     against the hardware models of figs. 3 and 4.
+//
+//   - Optimisations (§7.1): CanReorder, the RL/SF/DS peepholes, and
+//     derived CSE/DSE/constant-propagation passes; invalid
+//     transformations (redundant store elimination) fail to derive.
+//
+//   - The performance evaluation (§8): a pipeline-simulator substitute
+//     regenerates the shape of figs. 5a–5c over the paper's 29-benchmark
+//     suite (see DESIGN.md for the substitution rationale).
+//
+// The command-line tools (cmd/litmus, cmd/drfcheck, cmd/memsim,
+// cmd/experiments) and the examples directory exercise all of the above;
+// EXPERIMENTS.md records paper-versus-measured results for every table
+// and figure.
+package localdrf

@@ -1,0 +1,90 @@
+// Messagepassing: the local DRF workflow of §4–§5 on a realistic
+// publish/subscribe fragment.
+//
+// A producer initialises a record (two nonatomic fields) and publishes
+// it through an atomic pointer-like flag. A consumer checks the flag and
+// reads the fields. Meanwhile an unrelated thread races on a scratch
+// location. Global DRF says nothing (the program has a race); local DRF
+// proves the record fields still behave sequentially.
+//
+//	go run ./examples/messagepassing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"localdrf"
+)
+
+func main() {
+	p := localdrf.NewProgram("publish").
+		Vars("field1", "field2", "scratch").
+		Atomics("PUB").
+		// Producer: initialise, then publish.
+		Thread("producer").
+		StoreI("field1", 10).
+		StoreI("field2", 20).
+		StoreI("PUB", 1).
+		StoreI("scratch", 1). // racy side traffic
+		Done().
+		// Consumer: check the flag, then read both fields twice (an
+		// invariant check a defensive programmer might write).
+		Thread("consumer").
+		Load("seen", "PUB").
+		JmpZ("seen", "done").
+		Load("a1", "field1").
+		Load("a2", "field1").
+		Load("b", "field2").
+		Label("done").
+		StoreI("scratch", 2). // races with the producer's scratch write
+		Done().
+		MustBuild()
+
+	// 1. The program races — but only on scratch.
+	races, err := localdrf.FindRaces(p, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("races:")
+	for _, r := range races {
+		fmt.Println("  ", r)
+	}
+
+	// 2. Global DRF does not apply.
+	free, err := localdrf.IsSCRaceFree(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSC-race-free (global DRF applicable)? %v\n", free)
+
+	// 3. Local DRF: choose L = the fragment's locations (§5's rule of
+	// thumb), check the initial state is L-stable, and conclude the
+	// fragment behaves sequentially despite the scratch race.
+	L := localdrf.NewLocSet("field1", "field2", "PUB")
+	m := localdrf.NewMachine(p)
+	stable, err := localdrf.LStable(p, m, L)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial state L-stable for L={field1, field2, PUB}? %v\n", stable)
+	if err := localdrf.CheckLocalDRFFrom(m, L); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("local DRF theorem verified from the initial state (thm 13)")
+
+	// 4. The semantic payoff, checked exhaustively: whenever the flag is
+	// seen, both reads of field1 agree and field2 is fully initialised.
+	set, err := localdrf.Outcomes(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok := set.Forall(func(o localdrf.Outcome) bool {
+		if o.Reg(1, "seen") != 1 {
+			return true
+		}
+		return o.Reg(1, "a1") == 10 && o.Reg(1, "a2") == 10 && o.Reg(1, "b") == 20
+	})
+	fmt.Printf("\nflag seen ⇒ record fully visible and stable, in all executions: %v\n", ok)
+	fmt.Println("(the race on scratch is bounded in space: it cannot leak into the record)")
+}

@@ -1,0 +1,68 @@
+package localdrf
+
+import (
+	"localdrf/internal/compile"
+	"localdrf/internal/hw"
+	"localdrf/internal/hw/arm"
+	"localdrf/internal/hw/x86"
+)
+
+// ---- Compilation to hardware (§7.2–7.3) ----
+
+// Scheme selects a compilation strategy. The sound schemes are
+// SchemeX86 (table 1), SchemeARMBal (table 2a), SchemeARMFbs (table 2b)
+// and SchemeARMSra; the remaining ones are deliberately broken ablations
+// demonstrating that each ingredient of the sound schemes is necessary.
+type Scheme = compile.Scheme
+
+// Compilation schemes.
+const (
+	SchemeX86                 = compile.X86
+	SchemeARMBal              = compile.ARMBal
+	SchemeARMFbs              = compile.ARMFbs
+	SchemeARMSra              = compile.ARMSra
+	SchemeARMNaive            = compile.ARMNaive
+	SchemeARMNaiveAtomics     = compile.ARMNaiveAtomics
+	SchemeX86PlainAtomicStore = compile.X86PlainAtomicStore
+)
+
+// HardwareProgram is a compiled program over the hardware instruction
+// set (plain/acquire/release loads and stores, dmb fences, dependency
+// branches, rmw pairs).
+type HardwareProgram = hw.Program
+
+// HardwareExecution is a hardware candidate execution, checked against
+// the x86-TSO (fig. 3) or ARMv8 (fig. 4) axioms.
+type HardwareExecution = hw.Execution
+
+// Compile lowers a program under the given scheme.
+func Compile(p *Program, s Scheme) (*HardwareProgram, error) {
+	return compile.Lower(p, s)
+}
+
+// HardwareModel returns the architecture consistency predicate matching
+// a scheme: the abridged ARMv8 model for ARM schemes, x86-TSO otherwise.
+func HardwareModel(s Scheme) func(*HardwareExecution) bool {
+	if s.IsARM() {
+		return arm.Consistent
+	}
+	return x86.Consistent
+}
+
+// HardwareOutcomes enumerates the outcomes the architecture model admits
+// for a compiled program, projected onto the source observables.
+func HardwareOutcomes(hp *HardwareProgram, consistent func(*HardwareExecution) bool) (*OutcomeSet, error) {
+	return compile.Outcomes(hp, consistent)
+}
+
+// CheckCompilation verifies compilation soundness (thms. 19/20) for one
+// program and scheme: hardware outcomes ⊆ software outcomes. For the
+// ablation schemes this returns a *CompilationError listing the leaked
+// behaviours.
+func CheckCompilation(p *Program, s Scheme) error {
+	return compile.CheckSoundness(p, s, HardwareModel(s))
+}
+
+// CompilationError reports a soundness violation with the leaked
+// outcomes.
+type CompilationError = compile.SoundnessError

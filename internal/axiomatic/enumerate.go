@@ -1,0 +1,356 @@
+package axiomatic
+
+import (
+	"fmt"
+
+	"localdrf/internal/explore"
+	"localdrf/internal/prog"
+	"localdrf/internal/rel"
+)
+
+// localEvent is an event of a single thread's local execution, before
+// global numbering.
+type localEvent struct {
+	loc     prog.Loc
+	isWrite bool
+	val     prog.Val
+}
+
+// localExec is one possible execution of a single thread: its events in
+// program order and the resulting register file. Read values are guessed
+// from the value domain; rf enumeration later validates the guesses.
+type localExec struct {
+	events []localEvent
+	regs   map[prog.Reg]prog.Val
+}
+
+// maxEventsPerThread bounds local executions; the generation rules of
+// fig. 2 would happily enumerate unbounded event sequences for looping
+// threads, which the consistency check could never catch.
+const maxEventsPerThread = 64
+
+// Domain maps each location to the values a read of it may return.
+type Domain map[prog.Loc]map[prog.Val]bool
+
+func (d Domain) vals(l prog.Loc) []prog.Val { return sortedVals(d[l]) }
+
+// valueDomain computes, per location, a finite over-approximation of the
+// values a read may return: the initial value plus every value a store to
+// that location can produce given reads drawn from the domain, iterated
+// to a fixpoint. Keeping the domain per-location is essential: a global
+// domain fails to converge on chains like y = x+1 (each round would grow
+// the read values of x with values only ever written to y).
+func valueDomain(p *prog.Program) (Domain, error) {
+	dom := Domain{}
+	for l := range p.Locs {
+		dom[l] = map[prog.Val]bool{prog.V0: true}
+	}
+	for round := 0; round < 16; round++ {
+		grew := false
+		execs, err := allLocalExecs(p, dom)
+		if err != nil {
+			return nil, err
+		}
+		for _, perThread := range execs {
+			for _, le := range perThread {
+				for _, ev := range le.events {
+					if ev.isWrite && !dom[ev.loc][ev.val] {
+						dom[ev.loc][ev.val] = true
+						grew = true
+					}
+				}
+			}
+		}
+		if !grew {
+			return dom, nil
+		}
+	}
+	return nil, fmt.Errorf("axiomatic: value domain did not converge (unbounded value feedback loop?)")
+}
+
+// allLocalExecs enumerates the local executions of every thread given a
+// read-value domain.
+func allLocalExecs(p *prog.Program, dom Domain) ([][]localExec, error) {
+	out := make([][]localExec, len(p.Threads))
+	for i, t := range p.Threads {
+		execs, err := threadExecs(t.Code, dom)
+		if err != nil {
+			return nil, fmt.Errorf("thread %s: %w", t.Name, err)
+		}
+		out[i] = execs
+	}
+	return out, nil
+}
+
+func threadExecs(code []prog.Instr, dom Domain) ([]localExec, error) {
+	var out []localExec
+	var walk func(st prog.ThreadState, events []localEvent) error
+	walk = func(st prog.ThreadState, events []localEvent) error {
+		if len(events) > maxEventsPerThread {
+			return fmt.Errorf("axiomatic: more than %d events in one thread", maxEventsPerThread)
+		}
+		st2, pend, err := prog.StepSilent(code, st, prog.MaxSilentStepsHint)
+		if err != nil {
+			return err
+		}
+		switch pend.Kind {
+		case prog.OpHalted:
+			cp := make([]localEvent, len(events))
+			copy(cp, events)
+			out = append(out, localExec{events: cp, regs: st2.Regs})
+			return nil
+		case prog.OpWrite:
+			ev := localEvent{loc: pend.Loc, isWrite: true, val: pend.Val}
+			return walk(prog.ApplyWrite(st2), append(events, ev))
+		case prog.OpRead:
+			for _, v := range dom.vals(pend.Loc) {
+				ev := localEvent{loc: pend.Loc, isWrite: false, val: v}
+				if err := walk(prog.ApplyRead(st2, pend, v), append(events, ev)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return fmt.Errorf("axiomatic: unknown pending op")
+	}
+	if err := walk(prog.NewThreadState(), nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Enumerate yields every *consistent* execution of p, invoking visit for
+// each. Candidate executions failing the axioms are filtered out. The
+// visit callback may return false to stop early.
+func Enumerate(p *prog.Program, visit func(*Execution) bool) error {
+	return enumerate(p, false, visit)
+}
+
+// EnumerateCandidates yields every candidate execution (consistent or
+// not) whose rf is value-coherent; used to validate thms. 17/18, which
+// quantify over candidate executions.
+func EnumerateCandidates(p *prog.Program, visit func(*Execution) bool) error {
+	return enumerate(p, true, visit)
+}
+
+func enumerate(p *prog.Program, includeInconsistent bool, visit func(*Execution) bool) error {
+	dom, err := valueDomain(p)
+	if err != nil {
+		return err
+	}
+	perThread, err := allLocalExecs(p, dom)
+	if err != nil {
+		return err
+	}
+	// Iterate over the product of thread-local executions.
+	choice := make([]int, len(perThread))
+	for {
+		stop, err := enumerateGraphs(p, perThread, choice, includeInconsistent, visit)
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+		// Advance the product counter.
+		i := 0
+		for ; i < len(choice); i++ {
+			choice[i]++
+			if choice[i] < len(perThread[i]) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(choice) {
+			return nil
+		}
+	}
+}
+
+// enumerateGraphs builds the event graph for one combination of local
+// executions and enumerates rf and co assignments. Returns stop=true when
+// the visitor aborts.
+func enumerateGraphs(p *prog.Program, perThread [][]localExec, choice []int,
+	includeInconsistent bool, visit func(*Execution) bool) (bool, error) {
+
+	// Assemble events: initial writes first, then per-thread in order.
+	var events []Event
+	for _, l := range p.SortedLocs() {
+		events = append(events, Event{
+			Thread: -1, Loc: l, IsWrite: true, Val: prog.V0,
+			Atomic: p.IsAtomic(l), RA: p.IsRA(l),
+		})
+	}
+	var regs []map[prog.Reg]prog.Val
+	for t := range perThread {
+		le := perThread[t][choice[t]]
+		for n, ev := range le.events {
+			events = append(events, Event{
+				Thread: t, Seq: n, Loc: ev.loc, IsWrite: ev.isWrite,
+				Val: ev.val, Atomic: p.IsAtomic(ev.loc), RA: p.IsRA(ev.loc),
+			})
+		}
+		regs = append(regs, le.regs)
+	}
+	n := len(events)
+	po := rel.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if events[i].Thread >= 0 && events[i].Thread == events[j].Thread && events[i].Seq < events[j].Seq {
+				po.Set(i, j)
+			}
+		}
+	}
+
+	// rf candidates per read: writes to the same location with the same
+	// value (initial writes included).
+	var reads []int
+	rfCands := map[int][]int{}
+	for i, e := range events {
+		if e.IsWrite {
+			continue
+		}
+		reads = append(reads, i)
+		for j, w := range events {
+			if w.IsWrite && w.Loc == e.Loc && w.Val == e.Val {
+				rfCands[i] = append(rfCands[i], j)
+			}
+		}
+		if len(rfCands[i]) == 0 {
+			return false, nil // read value unjustifiable; prune this graph
+		}
+	}
+
+	// co: per location, the initial write first, then a permutation of
+	// the location's writes.
+	writesByLoc := map[prog.Loc][]int{}
+	initByLoc := map[prog.Loc]int{}
+	for i, e := range events {
+		if !e.IsWrite {
+			continue
+		}
+		if e.IsInit() {
+			initByLoc[e.Loc] = i
+		} else {
+			writesByLoc[e.Loc] = append(writesByLoc[e.Loc], i)
+		}
+	}
+	locs := p.SortedLocs()
+
+	// Enumerate rf assignments.
+	rfChoice := make([]int, len(reads))
+	for {
+		rf := rel.New(n)
+		for k, r := range reads {
+			rf.Set(rfCands[r][rfChoice[k]], r)
+		}
+		// Enumerate co as a product of per-location permutations.
+		stop, err := enumerateCO(p, events, locs, writesByLoc, initByLoc, po, rf, regs, includeInconsistent, visit)
+		if err != nil || stop {
+			return stop, err
+		}
+		// Advance rf counter.
+		i := 0
+		for ; i < len(rfChoice); i++ {
+			rfChoice[i]++
+			if rfChoice[i] < len(rfCands[reads[i]]) {
+				break
+			}
+			rfChoice[i] = 0
+		}
+		if i == len(rfChoice) {
+			return false, nil
+		}
+	}
+}
+
+func enumerateCO(p *prog.Program, events []Event, locs []prog.Loc,
+	writesByLoc map[prog.Loc][]int, initByLoc map[prog.Loc]int,
+	po, rf rel.Rel, regs []map[prog.Reg]prog.Val,
+	includeInconsistent bool, visit func(*Execution) bool) (bool, error) {
+
+	n := len(events)
+	perLocOrders := make([][][]int, 0, len(locs))
+	for _, l := range locs {
+		perLocOrders = append(perLocOrders, permutations(writesByLoc[l]))
+	}
+	choice := make([]int, len(locs))
+	for {
+		co := rel.New(n)
+		for li, l := range locs {
+			order := perLocOrders[li][choice[li]]
+			chain := append([]int{initByLoc[l]}, order...)
+			for a := 0; a < len(chain); a++ {
+				for b := a + 1; b < len(chain); b++ {
+					co.Set(chain[a], chain[b])
+				}
+			}
+		}
+		x := &Execution{Prog: p, Events: events, PO: po, RF: rf, CO: co, Regs: regs}
+		if includeInconsistent || x.Consistent() {
+			if !visit(x) {
+				return true, nil
+			}
+		}
+		i := 0
+		for ; i < len(choice); i++ {
+			choice[i]++
+			if choice[i] < len(perLocOrders[i]) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(choice) {
+			return false, nil
+		}
+	}
+}
+
+// permutations returns all orderings of xs (including the empty one for
+// empty input).
+func permutations(xs []int) [][]int {
+	if len(xs) == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	var recur func(cur []int, rest []int)
+	recur = func(cur, rest []int) {
+		if len(rest) == 0 {
+			cp := make([]int, len(cur))
+			copy(cp, cur)
+			out = append(out, cp)
+			return
+		}
+		for i := range rest {
+			next := make([]int, 0, len(rest)-1)
+			next = append(next, rest[:i]...)
+			next = append(next, rest[i+1:]...)
+			recur(append(cur, rest[i]), next)
+		}
+	}
+	recur(nil, xs)
+	return out
+}
+
+// Outcomes computes the outcome set of all consistent executions, in the
+// same format as package explore, enabling the empirical equivalence
+// check of thms. 15/16.
+func Outcomes(p *prog.Program) (*explore.Set, error) {
+	set := explore.NewSet()
+	err := Enumerate(p, func(x *Execution) bool {
+		o := explore.Outcome{Mem: x.FinalMem()}
+		for _, regs := range x.Regs {
+			m := map[prog.Reg]prog.Val{}
+			for k, v := range regs {
+				m[k] = v
+			}
+			o.Regs = append(o.Regs, m)
+		}
+		set.Add(o)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return set, nil
+}

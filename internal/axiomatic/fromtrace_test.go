@@ -1,0 +1,142 @@
+package axiomatic
+
+import (
+	"testing"
+
+	"localdrf/internal/explore"
+	"localdrf/internal/prog"
+	"localdrf/internal/progsynth"
+)
+
+// Thm. 15 at trace granularity: |Σ| is consistent for every trace of the
+// core litmus shapes.
+func TestTheorem15OnLitmusShapes(t *testing.T) {
+	progs := []*prog.Program{
+		prog.NewProgram("SB").
+			Vars("x", "y").
+			Thread("P0").StoreI("x", 1).Load("r0", "y").Done().
+			Thread("P1").StoreI("y", 1).Load("r1", "x").Done().
+			MustBuild(),
+		prog.NewProgram("MP").
+			Vars("x").
+			Atomics("F").
+			Thread("P0").StoreI("x", 1).StoreI("F", 1).Done().
+			Thread("P1").Load("r0", "F").Load("r1", "x").Done().
+			MustBuild(),
+		prog.NewProgram("CoRR").
+			Vars("x").
+			Thread("P0").StoreI("x", 1).StoreI("x", 2).Done().
+			Thread("P1").Load("r0", "x").Load("r1", "x").Done().
+			MustBuild(),
+		prog.NewProgram("MP+ra").
+			Vars("x").
+			RAs("F").
+			Thread("P0").StoreI("x", 1).StoreI("F", 1).Done().
+			Thread("P1").Load("r0", "F").Load("r1", "x").Done().
+			MustBuild(),
+	}
+	for _, p := range progs {
+		if err := CheckTheorem15(p, 0); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+// Thm. 15 on random programs (including branches, register stores and
+// mixed atomicity).
+func TestTheorem15OnRandomPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace sweep skipped in -short mode")
+	}
+	for seed := int64(100); seed < 170; seed++ {
+		p := progsynth.Random(seed, progsynth.Config{})
+		if err := CheckTheorem15(p, 50_000); err != nil {
+			t.Fatalf("seed %d: %v\nprogram:\n%s", seed, err, p)
+		}
+	}
+}
+
+// The construction details of §6.1: coΣ on nonatomic locations follows
+// timestamps even when that disagrees with trace order.
+func TestFromTraceCoFollowsTimestamps(t *testing.T) {
+	p := prog.NewProgram("co-ts").
+		Vars("x").
+		Thread("P0").StoreI("x", 1).Done().
+		Thread("P1").StoreI("x", 2).Done().
+		MustBuild()
+	sawInverted := false
+	err := explore.Traces(p, explore.Options{}, 0, func(tr explore.Trace) bool {
+		x, err := FromTrace(p, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Identify the two non-initial writes in trace order.
+		var first, second = -1, -1
+		for i, e := range x.Events {
+			if e.IsInit() || !e.IsWrite {
+				continue
+			}
+			if first == -1 {
+				first = i
+			} else {
+				second = i
+			}
+		}
+		// Trace index order of events equals event index order here; if
+		// the second write (in trace order) took the earlier timestamp,
+		// co must invert.
+		if tr[0].Time.Cmp(tr[1].Time) > 0 {
+			sawInverted = true
+			// Event order: first event corresponds to tr[0].
+			if !x.CO.Has(second, first) {
+				t.Fatal("co does not follow timestamps")
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawInverted {
+		t.Fatal("exploration never produced a timestamp-inverted write pair")
+	}
+}
+
+// rfΣ for atomic locations is "most recent write in trace order".
+func TestFromTraceAtomicRF(t *testing.T) {
+	p := prog.NewProgram("at-rf").
+		Atomics("A").
+		Thread("P0").StoreI("A", 1).Done().
+		Thread("P1").Load("r0", "A").Done().
+		MustBuild()
+	err := explore.Traces(p, explore.Options{}, 0, func(tr explore.Trace) bool {
+		x, err := FromTrace(p, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rd, wr, iw = -1, -1, -1
+		for i, e := range x.Events {
+			switch {
+			case e.IsInit():
+				iw = i
+			case e.IsWrite:
+				wr = i
+			default:
+				rd = i
+			}
+		}
+		wantSrc := iw
+		// If the write came first in the trace and the read returned 1,
+		// the write is the source.
+		if tr[len(tr)-1].Thread == 1 && tr[len(tr)-1].Val == 1 {
+			wantSrc = wr
+		}
+		if !x.RF.Has(wantSrc, rd) {
+			t.Fatalf("rf wrong: want %d→%d in %v", wantSrc, rd, x.RF)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

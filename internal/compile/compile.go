@@ -1,0 +1,312 @@
+// Package compile implements the paper's compilation schemes (§7.2–7.3)
+// from the software memory model to the x86-TSO and ARMv8 hardware
+// models, plus deliberately broken ablation schemes used to demonstrate
+// that each ingredient of the sound schemes is necessary.
+//
+//	Table 1 (x86):      nonatomic read/write and atomic read are plain movs;
+//	                    atomic write is a (locked) xchg — an rmw pair.
+//	Table 2a (ARM BAL): nonatomic read is ldr followed by a dependent
+//	                    branch (cbz); nonatomic write is str; atomic read
+//	                    is dmb ld; ldar; atomic write is an exclusive
+//	                    ldaxr/stlxr pair followed by dmb st.
+//	Table 2b (ARM FBS): nonatomic read is a bare ldr; nonatomic write is
+//	                    dmb ld; str; atomics as in 2a.
+//	SRA (§8.2):         nonatomic read is ldar, nonatomic write is stlr —
+//	                    strictly stronger, used as a performance baseline.
+//
+// Soundness (thms. 19/20) is checked empirically: every outcome the
+// hardware model allows of the compiled program must be an outcome the
+// software model allows of the source.
+package compile
+
+import (
+	"fmt"
+
+	"localdrf/internal/explore"
+	"localdrf/internal/hw"
+	"localdrf/internal/prog"
+)
+
+// Scheme selects a compilation strategy.
+type Scheme int
+
+const (
+	// X86 is the table-1 scheme.
+	X86 Scheme = iota
+	// ARMBal is table 2a: branch after (nonatomic) load.
+	ARMBal
+	// ARMFbs is table 2b: dmb ld fence before (nonatomic) store.
+	ARMFbs
+	// ARMSra compiles nonatomic accesses as ldar/stlr (strong
+	// release/acquire, §8.2) — sound and strictly stronger.
+	ARMSra
+	// ARMNaive drops the BAL branch / FBS fence from nonatomic accesses
+	// (atomics keep the table-2 sequences). Unsound: admits load
+	// buffering (§9.1); exists to show the protection is necessary.
+	ARMNaive
+	// ARMNaiveAtomics additionally compiles atomics as plain ldr/str.
+	// Unsound even for message passing.
+	ARMNaiveAtomics
+	// X86PlainAtomicStore compiles atomic stores as plain movs instead of
+	// xchg. Unsound: TSO store buffering leaks into the atomics.
+	X86PlainAtomicStore
+)
+
+// String names the scheme as in the paper.
+func (s Scheme) String() string {
+	switch s {
+	case X86:
+		return "x86 (table 1)"
+	case ARMBal:
+		return "ARM BAL (table 2a)"
+	case ARMFbs:
+		return "ARM FBS (table 2b)"
+	case ARMSra:
+		return "ARM SRA"
+	case ARMNaive:
+		return "ARM naive (no BAL/FBS, ablation)"
+	case ARMNaiveAtomics:
+		return "ARM fully naive (ablation)"
+	case X86PlainAtomicStore:
+		return "x86 plain atomic store (ablation)"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// IsARM reports whether the scheme targets the ARMv8 model.
+func (s Scheme) IsARM() bool {
+	switch s {
+	case ARMBal, ARMFbs, ARMSra, ARMNaive, ARMNaiveAtomics:
+		return true
+	}
+	return false
+}
+
+// Lower compiles a software program under the given scheme.
+func Lower(p *prog.Program, s Scheme) (*hw.Program, error) {
+	out := &hw.Program{
+		Name: fmt.Sprintf("%s/%s", p.Name, s),
+		Locs: map[prog.Loc]prog.LocKind{},
+	}
+	for l, k := range p.Locs {
+		out.Locs[l] = k
+	}
+	for ti, t := range p.Threads {
+		code, obs, err := lowerThread(p, t, s, ti)
+		if err != nil {
+			return nil, fmt.Errorf("compile: thread %s: %w", t.Name, err)
+		}
+		out.Threads = append(out.Threads, hw.Thread{Name: t.Name, Code: code})
+		out.ObsRegs = append(out.ObsRegs, obs)
+	}
+	return out, nil
+}
+
+func lowerThread(p *prog.Program, t prog.Thread, s Scheme, ti int) ([]hw.Instr, map[prog.Reg]bool, error) {
+	obs := map[prog.Reg]bool{}
+	// First pass: lower each source instruction, remembering where each
+	// source pc begins in the hardware code so jump targets can be
+	// remapped. jumpFixups maps hardware pc -> source target.
+	var code []hw.Instr
+	start := make([]int, len(t.Code)+1)
+	jumpFixups := map[int]int{}
+	for pc, in := range t.Code {
+		start[pc] = len(code)
+		seq, err := lowerInstr(p, in, s, ti, pc, obs, jumpFixups, len(code))
+		if err != nil {
+			return nil, nil, err
+		}
+		code = append(code, seq...)
+	}
+	start[len(t.Code)] = len(code)
+	for hwPC, srcTarget := range jumpFixups {
+		code[hwPC].Target = start[srcTarget]
+	}
+	return code, obs, nil
+}
+
+func lowerInstr(p *prog.Program, in prog.Instr, s Scheme, ti, pc int,
+	obs map[prog.Reg]bool, jumpFixups map[int]int, at int) ([]hw.Instr, error) {
+
+	scratch := prog.Reg(fmt.Sprintf("xzr%d_%d", ti, pc))
+	switch i := in.(type) {
+	case prog.Load:
+		obs[i.Dst] = true
+		if p.IsRA(i.Src) {
+			// Release-acquire loads (§10 extension): ldar on ARM (no
+			// leading dmb — RA needs less than the paper's SC atomics),
+			// plain mov on x86 (TSO loads are acquire already).
+			switch {
+			case !s.IsARM() || s == ARMNaiveAtomics:
+				return []hw.Instr{{Op: hw.OpLd, Ord: hw.Plain, Loc: i.Src, Dst: i.Dst}}, nil
+			default:
+				return []hw.Instr{{Op: hw.OpLd, Ord: hw.Acquire, Loc: i.Src, Dst: i.Dst}}, nil
+			}
+		}
+		if p.IsAtomic(i.Src) {
+			switch {
+			case !s.IsARM():
+				// Table 1: plain mov.
+				return []hw.Instr{{Op: hw.OpLd, Ord: hw.Plain, Loc: i.Src, Dst: i.Dst}}, nil
+			case s == ARMNaiveAtomics:
+				return []hw.Instr{{Op: hw.OpLd, Ord: hw.Plain, Loc: i.Src, Dst: i.Dst}}, nil
+			default:
+				// Table 2: dmb ld; ldar.
+				return []hw.Instr{
+					{Op: hw.OpFence, Fence: hw.DmbLd},
+					{Op: hw.OpLd, Ord: hw.Acquire, Loc: i.Src, Dst: i.Dst},
+				}, nil
+			}
+		}
+		switch s {
+		case ARMBal:
+			return []hw.Instr{
+				{Op: hw.OpLd, Ord: hw.Plain, Loc: i.Src, Dst: i.Dst},
+				{Op: hw.OpBranchDep, Cond: i.Dst},
+			}, nil
+		case ARMSra:
+			return []hw.Instr{{Op: hw.OpLd, Ord: hw.Acquire, Loc: i.Src, Dst: i.Dst}}, nil
+		default: // X86, X86PlainAtomicStore, ARMFbs, ARMNaive*
+			return []hw.Instr{{Op: hw.OpLd, Ord: hw.Plain, Loc: i.Src, Dst: i.Dst}}, nil
+		}
+	case prog.Store:
+		if p.IsRA(i.Dst) {
+			// Release-acquire stores: stlr on ARM, plain mov on x86
+			// (TSO stores are release already).
+			switch {
+			case !s.IsARM() || s == ARMNaiveAtomics:
+				return []hw.Instr{{Op: hw.OpSt, Ord: hw.Plain, Loc: i.Dst, A: i.Src}}, nil
+			default:
+				return []hw.Instr{{Op: hw.OpSt, Ord: hw.Release, Loc: i.Dst, A: i.Src}}, nil
+			}
+		}
+		if p.IsAtomic(i.Dst) {
+			switch s {
+			case X86:
+				// Table 1: (lock) xchg = read/write rmw pair.
+				return []hw.Instr{
+					{Op: hw.OpLd, Ord: hw.Plain, Loc: i.Dst, Dst: scratch},
+					{Op: hw.OpSt, Ord: hw.Plain, Loc: i.Dst, A: i.Src, RMWPair: true},
+				}, nil
+			case X86PlainAtomicStore, ARMNaiveAtomics:
+				return []hw.Instr{{Op: hw.OpSt, Ord: hw.Plain, Loc: i.Dst, A: i.Src}}, nil
+			default:
+				// Table 2: L: ldaxr; stlxr; cbnz L; dmb st — the retry
+				// loop is modelled as an always-succeeding exclusive
+				// pair; the rmw axiom supplies its atomicity.
+				return []hw.Instr{
+					{Op: hw.OpLd, Ord: hw.AcquireX, Loc: i.Dst, Dst: scratch},
+					{Op: hw.OpSt, Ord: hw.ReleaseX, Loc: i.Dst, A: i.Src, RMWPair: true},
+					{Op: hw.OpFence, Fence: hw.DmbSt},
+				}, nil
+			}
+		}
+		switch s {
+		case ARMFbs:
+			return []hw.Instr{
+				{Op: hw.OpFence, Fence: hw.DmbLd},
+				{Op: hw.OpSt, Ord: hw.Plain, Loc: i.Dst, A: i.Src},
+			}, nil
+		case ARMSra:
+			return []hw.Instr{{Op: hw.OpSt, Ord: hw.Release, Loc: i.Dst, A: i.Src}}, nil
+		default:
+			return []hw.Instr{{Op: hw.OpSt, Ord: hw.Plain, Loc: i.Dst, A: i.Src}}, nil
+		}
+	case prog.Mov:
+		obs[i.Dst] = true
+		return []hw.Instr{{Op: hw.OpMov, Dst: i.Dst, A: i.Src}}, nil
+	case prog.Add:
+		obs[i.Dst] = true
+		return []hw.Instr{{Op: hw.OpAdd, Dst: i.Dst, A: i.A, B: i.B}}, nil
+	case prog.Mul:
+		obs[i.Dst] = true
+		return []hw.Instr{{Op: hw.OpMul, Dst: i.Dst, A: i.A, B: i.B}}, nil
+	case prog.CmpEq:
+		obs[i.Dst] = true
+		return []hw.Instr{{Op: hw.OpCmpEq, Dst: i.Dst, A: i.A, B: i.B}}, nil
+	case prog.Jmp:
+		jumpFixups[at] = i.Target
+		return []hw.Instr{{Op: hw.OpJmp}}, nil
+	case prog.JmpZ:
+		jumpFixups[at] = i.Target
+		return []hw.Instr{{Op: hw.OpJmpZ, Cond: i.Cond}}, nil
+	case prog.JmpNZ:
+		jumpFixups[at] = i.Target
+		return []hw.Instr{{Op: hw.OpJmpNZ, Cond: i.Cond}}, nil
+	case prog.Nop:
+		return []hw.Instr{{Op: hw.OpNop}}, nil
+	default:
+		return nil, fmt.Errorf("compile: unknown instruction %T", in)
+	}
+}
+
+// Outcomes enumerates the outcomes the architecture model admits for a
+// compiled program, projected onto the source program's observables
+// (source registers and final memory).
+func Outcomes(hp *hw.Program, consistent func(*hw.Execution) bool) (*explore.Set, error) {
+	set := explore.NewSet()
+	err := hw.Enumerate(hp, consistent, func(x *hw.Execution) bool {
+		o := explore.Outcome{Mem: x.FinalMem()}
+		for ti, regs := range x.Regs {
+			m := map[prog.Reg]prog.Val{}
+			for r, v := range regs {
+				if hp.ObsRegs[ti][r] {
+					m[r] = v
+				}
+			}
+			o.Regs = append(o.Regs, m)
+		}
+		set.Add(o)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// SoundnessError reports a compilation-soundness violation: outcomes the
+// hardware admits that the software model forbids.
+type SoundnessError struct {
+	Scheme Scheme
+	Prog   string
+	Extra  []explore.Outcome
+}
+
+func (e *SoundnessError) Error() string {
+	return fmt.Sprintf("compile: %s unsound for %s: hardware admits %d outcome(s) the software model forbids, e.g. %s",
+		e.Scheme, e.Prog, len(e.Extra), e.Extra[0].Key())
+}
+
+// CheckSoundness verifies thm. 19/20 empirically on one program: the
+// hardware-model outcomes of the compiled program are included in the
+// software-model outcomes of the source. It also sanity-checks the
+// reverse inclusion for the SC outcomes (hardware can always execute the
+// program as an interleaving).
+func CheckSoundness(p *prog.Program, s Scheme, consistent func(*hw.Execution) bool) error {
+	hp, err := Lower(p, s)
+	if err != nil {
+		return err
+	}
+	hwSet, err := Outcomes(hp, consistent)
+	if err != nil {
+		return err
+	}
+	swSet, err := explore.Outcomes(p, explore.Options{})
+	if err != nil {
+		return err
+	}
+	if !hwSet.SubsetOf(swSet) {
+		return &SoundnessError{Scheme: s, Prog: p.Name, Extra: hwSet.Minus(swSet)}
+	}
+	scSet, err := explore.Outcomes(p, explore.Options{SCOnly: true})
+	if err != nil {
+		return err
+	}
+	if !scSet.SubsetOf(hwSet) {
+		return fmt.Errorf("compile: %s for %s lost SC outcomes %v (compiled program cannot produce them)",
+			s, p.Name, scSet.Minus(hwSet))
+	}
+	return nil
+}

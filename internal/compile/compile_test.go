@@ -1,0 +1,347 @@
+package compile
+
+import (
+	"errors"
+	"testing"
+
+	"localdrf/internal/explore"
+	"localdrf/internal/hw"
+	"localdrf/internal/hw/arm"
+	"localdrf/internal/hw/x86"
+	"localdrf/internal/prog"
+	"localdrf/internal/progsynth"
+)
+
+func consistentFor(s Scheme) func(*hw.Execution) bool {
+	if s.IsARM() {
+		return arm.Consistent
+	}
+	return x86.Consistent
+}
+
+// The core litmus programs used throughout the compilation tests.
+func sbNA() *prog.Program {
+	return prog.NewProgram("SB-na").
+		Vars("x", "y").
+		Thread("P0").StoreI("x", 1).Load("r0", "y").Done().
+		Thread("P1").StoreI("y", 1).Load("r1", "x").Done().
+		MustBuild()
+}
+
+func sbAT() *prog.Program {
+	return prog.NewProgram("SB-at").
+		Atomics("X", "Y").
+		Thread("P0").StoreI("X", 1).Load("r0", "Y").Done().
+		Thread("P1").StoreI("Y", 1).Load("r1", "X").Done().
+		MustBuild()
+}
+
+func mp() *prog.Program {
+	return prog.NewProgram("MP").
+		Vars("x").
+		Atomics("F").
+		Thread("P0").StoreI("x", 1).StoreI("F", 1).Done().
+		Thread("P1").Load("r0", "F").Load("r1", "x").Done().
+		MustBuild()
+}
+
+func lb() *prog.Program {
+	return prog.NewProgram("LB").
+		Vars("x", "y").
+		Thread("P0").Load("r0", "x").StoreI("y", 1).Done().
+		Thread("P1").Load("r1", "y").StoreI("x", 1).Done().
+		MustBuild()
+}
+
+func lbCtrl() *prog.Program {
+	return prog.NewProgram("LB+ctrl").
+		Vars("x", "y").
+		Thread("P0").Load("r0", "x").StoreI("y", 1).Done().
+		Thread("P1").
+		Load("r1", "y").
+		JmpZ("r1", "skip").
+		StoreI("x", 1).
+		Label("skip").
+		Done().
+		MustBuild()
+}
+
+func corr() *prog.Program {
+	return prog.NewProgram("CoRR").
+		Vars("x").
+		Thread("P0").StoreI("x", 1).StoreI("x", 2).Done().
+		Thread("P1").Load("r0", "x").Load("r1", "x").Done().
+		MustBuild()
+}
+
+func suite() []*prog.Program {
+	return []*prog.Program{sbNA(), sbAT(), mp(), lb(), lbCtrl(), corr()}
+}
+
+// Thm. 19: the table-1 scheme is sound on the litmus suite.
+func TestX86Soundness(t *testing.T) {
+	for _, p := range suite() {
+		if err := CheckSoundness(p, X86, x86.Consistent); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+// Thm. 20: both table-2 schemes (and the stronger SRA) are sound.
+func TestARMSoundness(t *testing.T) {
+	for _, s := range []Scheme{ARMBal, ARMFbs, ARMSra} {
+		for _, p := range suite() {
+			if err := CheckSoundness(p, s, arm.Consistent); err != nil {
+				t.Errorf("%s under %s: %v", p.Name, s, err)
+			}
+		}
+	}
+}
+
+// Ablation: dropping the BAL branch / FBS fence admits load buffering,
+// which the software model forbids (§9.1). This shows the protection
+// against poRW reordering is necessary, not decorative.
+func TestARMNaiveUnsoundOnLB(t *testing.T) {
+	err := CheckSoundness(lb(), ARMNaive, arm.Consistent)
+	var se *SoundnessError
+	if !errors.As(err, &se) {
+		t.Fatalf("naive ARM scheme should be unsound on LB, got %v", err)
+	}
+	// The leaked outcome is exactly the load-buffering result.
+	found := false
+	for _, o := range se.Extra {
+		if o.Reg(0, "r0") == 1 && o.Reg(1, "r1") == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected r0=r1=1 among leaked outcomes, got %v", se.Extra)
+	}
+}
+
+// With a control dependency guarding the store, even the naive scheme
+// cannot produce the cycle (dob = ctrl ∩ (M×W) orders the read before the
+// dependent store) — the paper's out-of-thin-air discussion in §9.1.
+func TestARMNaiveSoundOnLBCtrlBothSides(t *testing.T) {
+	p := prog.NewProgram("LB+2ctrl").
+		Vars("x", "y").
+		Thread("P0").
+		Load("r0", "x").
+		JmpZ("r0", "s0").
+		StoreI("y", 1).
+		Label("s0").
+		Done().
+		Thread("P1").
+		Load("r1", "y").
+		JmpZ("r1", "s1").
+		StoreI("x", 1).
+		Label("s1").
+		Done().
+		MustBuild()
+	if err := CheckSoundness(p, ARMNaive, arm.Consistent); err != nil {
+		t.Errorf("control-dependent LB should be sound even naively: %v", err)
+	}
+}
+
+// Ablation: compiling atomics as plain ldr/str breaks message passing on
+// ARM.
+func TestARMNaiveAtomicsUnsoundOnMP(t *testing.T) {
+	err := CheckSoundness(mp(), ARMNaiveAtomics, arm.Consistent)
+	var se *SoundnessError
+	if !errors.As(err, &se) {
+		t.Fatalf("fully naive ARM scheme should be unsound on MP, got %v", err)
+	}
+}
+
+// Ablation: compiling atomic stores as plain movs breaks SB on x86 — this
+// is why table 1 uses xchg.
+func TestX86PlainAtomicStoreUnsound(t *testing.T) {
+	err := CheckSoundness(sbAT(), X86PlainAtomicStore, x86.Consistent)
+	var se *SoundnessError
+	if !errors.As(err, &se) {
+		t.Fatalf("plain atomic stores should be unsound on x86 SB, got %v", err)
+	}
+	found := false
+	for _, o := range se.Extra {
+		if o.Reg(0, "r0") == 0 && o.Reg(1, "r1") == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected r0=r1=0 among leaked outcomes, got %v", se.Extra)
+	}
+}
+
+// Nonatomics really are free on x86: the TSO relaxation (SB on
+// nonatomics) is already allowed by the software model.
+func TestX86NonatomicRelaxationVisible(t *testing.T) {
+	hp, err := Lower(sbNA(), X86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := Outcomes(hp, x86.Consistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Exists(func(o explore.Outcome) bool { return o.Reg(0, "r0") == 0 && o.Reg(1, "r1") == 0 }) {
+		t.Error("x86 should exhibit SB relaxation on nonatomics")
+	}
+}
+
+// The naive ARM scheme admits plain LB at the hardware level (sanity
+// check that the abridged ARM model really is weak enough to show it).
+func TestARMModelExhibitsLB(t *testing.T) {
+	hp, err := Lower(lb(), ARMNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := Outcomes(hp, arm.Consistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Exists(func(o explore.Outcome) bool { return o.Reg(0, "r0") == 1 && o.Reg(1, "r1") == 1 }) {
+		t.Error("abridged ARM model should allow load buffering without dependencies")
+	}
+}
+
+// The BAL branch kills it.
+func TestARMBALForbidsLB(t *testing.T) {
+	hp, err := Lower(lb(), ARMBal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := Outcomes(hp, arm.Consistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Exists(func(o explore.Outcome) bool { return o.Reg(0, "r0") == 1 && o.Reg(1, "r1") == 1 }) {
+		t.Error("BAL must forbid load buffering")
+	}
+}
+
+// Lowering shape tests: the emitted sequences match the paper's tables.
+func TestLoweringShapes(t *testing.T) {
+	p := prog.NewProgram("shapes").
+		Vars("x").
+		Atomics("A").
+		Thread("P0").Load("r0", "x").StoreI("x", 1).Load("r1", "A").StoreI("A", 1).Done().
+		MustBuild()
+
+	type shape []hw.Op
+	cases := []struct {
+		scheme Scheme
+		want   shape
+	}{
+		{X86, shape{
+			hw.OpLd, hw.OpSt, hw.OpLd, // plain na read/write, plain atomic read
+			hw.OpLd, hw.OpSt, // xchg pair
+		}},
+		{ARMBal, shape{
+			hw.OpLd, hw.OpBranchDep, // ldr; cbz
+			hw.OpSt,             // str
+			hw.OpFence, hw.OpLd, // dmb ld; ldar
+			hw.OpLd, hw.OpSt, hw.OpFence, // ldaxr; stlxr; dmb st
+		}},
+		{ARMFbs, shape{
+			hw.OpLd,             // ldr
+			hw.OpFence, hw.OpSt, // dmb ld; str
+			hw.OpFence, hw.OpLd, // dmb ld; ldar
+			hw.OpLd, hw.OpSt, hw.OpFence,
+		}},
+		{ARMSra, shape{
+			hw.OpLd,             // ldar
+			hw.OpSt,             // stlr
+			hw.OpFence, hw.OpLd, // dmb ld; ldar
+			hw.OpLd, hw.OpSt, hw.OpFence,
+		}},
+	}
+	for _, c := range cases {
+		hp, err := Lower(p, c.scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := hp.Threads[0].Code
+		if len(code) != len(c.want) {
+			t.Errorf("%s: %d instrs, want %d: %v", c.scheme, len(code), len(c.want), code)
+			continue
+		}
+		for i, op := range c.want {
+			if code[i].Op != op {
+				t.Errorf("%s: instr %d = %v, want op %v", c.scheme, i, code[i], op)
+			}
+		}
+	}
+	// Spot-check the orderings.
+	hp, _ := Lower(p, ARMSra)
+	if hp.Threads[0].Code[0].Ord != hw.Acquire {
+		t.Error("SRA nonatomic load should be ldar")
+	}
+	if hp.Threads[0].Code[1].Ord != hw.Release {
+		t.Error("SRA nonatomic store should be stlr")
+	}
+	hp, _ = Lower(p, ARMBal)
+	if !hp.Threads[0].Code[6].RMWPair {
+		t.Error("atomic store stlxr should be rmw-paired")
+	}
+}
+
+// Jump targets survive lowering (instruction counts change).
+func TestJumpRemapping(t *testing.T) {
+	p := prog.NewProgram("jumps").
+		Vars("x", "f").
+		Thread("P0").
+		Load("r0", "f").
+		JmpZ("r0", "skip").
+		StoreI("x", 7).
+		Label("skip").
+		Load("r1", "x").
+		Done().
+		MustBuild()
+	hp, err := Lower(p, ARMBal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the JmpZ and verify its target points at the lowering of the
+	// labelled load, not into the middle of the store sequence.
+	code := hp.Threads[0].Code
+	var jz *hw.Instr
+	for i := range code {
+		if code[i].Op == hw.OpJmpZ {
+			jz = &code[i]
+		}
+	}
+	if jz == nil {
+		t.Fatal("no JmpZ in lowered code")
+	}
+	if code[jz.Target].Op != hw.OpLd || code[jz.Target].Loc != "x" {
+		t.Errorf("jump target %d lands on %v, want the load of x", jz.Target, code[jz.Target])
+	}
+	// And behaviourally: soundness holds.
+	if err := CheckSoundness(p, ARMBal, arm.Consistent); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property test: schemes are sound on random small programs.
+func TestRandomSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive soundness sweep skipped in -short mode")
+	}
+	cfg := progsynth.Config{
+		MaxThreads:     2,
+		MaxOps:         2,
+		AtomicLocs:     []prog.Loc{"A"},
+		NonAtomicLocs:  []prog.Loc{"x", "y"},
+		MaxConst:       2,
+		AllowBranches:  true,
+		AllowRegStores: true,
+	}
+	for seed := int64(1000); seed < 1070; seed++ {
+		p := progsynth.Random(seed, cfg)
+		for _, s := range []Scheme{X86, ARMBal, ARMFbs, ARMSra} {
+			if err := CheckSoundness(p, s, consistentFor(s)); err != nil {
+				t.Fatalf("seed %d under %s: %v\nprogram:\n%s", seed, s, err, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package compile
+
+// Compilation of the §10 release-acquire extension: ldar/stlr on ARM,
+// plain movs on x86 (TSO loads are acquires and stores are releases
+// already), checked sound by outcome inclusion like everything else.
+
+import (
+	"errors"
+	"testing"
+
+	"localdrf/internal/explore"
+	"localdrf/internal/hw"
+	"localdrf/internal/hw/arm"
+	"localdrf/internal/hw/x86"
+	"localdrf/internal/prog"
+	"localdrf/internal/progsynth"
+)
+
+func mpRA() *prog.Program {
+	return prog.NewProgram("MP+ra").
+		Vars("x").
+		RAs("F").
+		Thread("P0").StoreI("x", 1).StoreI("F", 1).Done().
+		Thread("P1").Load("r0", "F").Load("r1", "x").Done().
+		MustBuild()
+}
+
+func sbRA() *prog.Program {
+	return prog.NewProgram("SB+ra").
+		RAs("X", "Y").
+		Thread("P0").StoreI("X", 1).Load("r0", "Y").Done().
+		Thread("P1").StoreI("Y", 1).Load("r1", "X").Done().
+		MustBuild()
+}
+
+func TestRASoundnessAllSchemes(t *testing.T) {
+	progs := []*prog.Program{mpRA(), sbRA()}
+	for _, p := range progs {
+		for _, s := range []Scheme{X86, ARMBal, ARMFbs, ARMSra} {
+			if err := CheckSoundness(p, s, consistentFor(s)); err != nil {
+				t.Errorf("%s under %s: %v", p.Name, s, err)
+			}
+		}
+	}
+}
+
+func TestRALoweringShapes(t *testing.T) {
+	p := mpRA()
+	hp, err := Lower(p, ARMBal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P0's RA store lowers to a single stlr (no exclusive pair, no dmb).
+	code := hp.Threads[0].Code
+	last := code[len(code)-1]
+	if last.Op != hw.OpSt || last.Ord != hw.Release {
+		t.Errorf("RA store lowered to %v, want stlr", last)
+	}
+	// P1's RA load lowers to a single ldar (no leading dmb ld).
+	first := hp.Threads[1].Code[0]
+	if first.Op != hw.OpLd || first.Ord != hw.Acquire {
+		t.Errorf("RA load lowered to %v, want ldar", first)
+	}
+	// x86: both plain.
+	hp, err = Lower(p, X86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.Threads[0].Code[1].Ord != hw.Plain || hp.Threads[1].Code[0].Ord != hw.Plain {
+		t.Error("x86 RA accesses should be plain movs")
+	}
+}
+
+// Plain loads/stores for RA locations on ARM leak the MP violation.
+func TestRAPlainLoweringUnsound(t *testing.T) {
+	err := CheckSoundness(mpRA(), ARMNaiveAtomics, arm.Consistent)
+	var se *SoundnessError
+	if !errors.As(err, &se) {
+		t.Fatalf("plain lowering of RA should be unsound on MP+ra, got %v", err)
+	}
+}
+
+// The ARM lowering is *stronger* than RA (ldar/stlr are the C++ SC
+// instructions): SB+ra's relaxed outcome is forbidden on hardware even
+// though the software model allows it. Soundness only requires hw ⊆ sw,
+// and this is the expected direction of slack.
+func TestRAHardwareStrongerThanModel(t *testing.T) {
+	p := sbRA()
+	sw, err := explore.Outcomes(p, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed := func(o explore.Outcome) bool {
+		return o.Reg(0, "r0") == 0 && o.Reg(1, "r1") == 0
+	}
+	if !sw.Exists(relaxed) {
+		t.Fatal("software model should allow SB+ra relaxation")
+	}
+	hp, err := Lower(p, ARMBal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwSet, err := Outcomes(hp, arm.Consistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hwSet.Exists(relaxed) {
+		t.Error("ldar/stlr order Rel×Acq pairs; the relaxation should vanish on hardware")
+	}
+	// On x86 the plain-mov lowering keeps it (TSO allows store
+	// buffering), showing why x86 is the cheap target for RA.
+	hp, err = Lower(p, X86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwSet, err = Outcomes(hp, x86.Consistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hwSet.Exists(relaxed) {
+		t.Error("x86 TSO should exhibit the SB+ra relaxation with plain movs")
+	}
+}
+
+// Random programs mixing nonatomic and RA locations stay sound under
+// every production scheme.
+func TestRandomRASoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive soundness sweep skipped in -short mode")
+	}
+	cfg := progsynth.Config{
+		MaxThreads:     2,
+		MaxOps:         2,
+		AtomicLocs:     []prog.Loc{"R"},
+		NonAtomicLocs:  []prog.Loc{"x"},
+		MaxConst:       2,
+		AllowBranches:  true,
+		AllowRegStores: true,
+	}
+	for seed := int64(2000); seed < 2050; seed++ {
+		p := progsynth.Random(seed, cfg)
+		p.Locs["R"] = prog.ReleaseAcquire
+		for _, s := range []Scheme{X86, ARMBal, ARMFbs, ARMSra} {
+			if err := CheckSoundness(p, s, consistentFor(s)); err != nil {
+				t.Fatalf("seed %d under %s: %v\nprogram:\n%s", seed, s, err, p)
+			}
+		}
+	}
+}

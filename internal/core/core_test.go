@@ -1,0 +1,395 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"localdrf/internal/prog"
+	"localdrf/internal/ts"
+)
+
+func mp() *prog.Program {
+	return prog.NewProgram("MP").
+		Vars("x").
+		Atomics("F").
+		Thread("P0").StoreI("x", 1).StoreI("F", 1).Done().
+		Thread("P1").Load("r0", "F").Load("r1", "x").Done().
+		MustBuild()
+}
+
+func TestInitialMachine(t *testing.T) {
+	m := NewMachine(mp())
+	h := m.NA["x"]
+	if h.Len() != 1 {
+		t.Fatalf("initial history length = %d, want 1", h.Len())
+	}
+	if e := h.At(0); !e.Time.Equal(ts.Zero) || e.Val != prog.V0 {
+		t.Fatalf("initial entry = %+v, want (0, v0)", e)
+	}
+	cell := m.AT["F"]
+	if cell.V != prog.V0 {
+		t.Fatalf("initial atomic value = %d, want v0", cell.V)
+	}
+	if halted, _ := m.Halted(); halted {
+		t.Fatal("fresh machine reported halted")
+	}
+}
+
+func TestHistoryInsertSorted(t *testing.T) {
+	h := NewHistory()
+	h = h.Insert(ts.FromInt(2), 20)
+	h = h.Insert(ts.FromInt(1), 10)
+	h = h.Insert(ts.New(3, 2), 15)
+	want := []prog.Val{0, 10, 15, 20}
+	if h.Len() != len(want) {
+		t.Fatalf("len = %d", h.Len())
+	}
+	for i, v := range want {
+		if h.At(i).Val != v {
+			t.Fatalf("entry %d = %d, want %d", i, h.At(i).Val, v)
+		}
+	}
+}
+
+func TestHistoryInsertDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate timestamp insert did not panic")
+		}
+	}()
+	NewHistory().Insert(ts.Zero, 1)
+}
+
+func TestReadableFrom(t *testing.T) {
+	h := NewHistory().Insert(ts.FromInt(1), 10).Insert(ts.FromInt(2), 20)
+	if got := h.ReadableFrom(ts.Zero); len(got) != 3 {
+		t.Fatalf("ReadableFrom(0) = %d entries, want 3", len(got))
+	}
+	if got := h.ReadableFrom(ts.FromInt(1)); len(got) != 2 {
+		t.Fatalf("ReadableFrom(1) = %d entries, want 2", len(got))
+	}
+	if got := h.ReadableFrom(ts.FromInt(2)); len(got) != 1 || got[0].Val != 20 {
+		t.Fatalf("ReadableFrom(2) = %v", got)
+	}
+}
+
+func TestGaps(t *testing.T) {
+	h := NewHistory().Insert(ts.FromInt(2), 20).Insert(ts.FromInt(4), 40)
+	// Frontier 0: gaps are (0,2), (2,4), (4,∞) → 3 candidates.
+	gaps := h.Gaps(ts.Zero)
+	if len(gaps) != 3 {
+		t.Fatalf("gaps = %v, want 3 candidates", gaps)
+	}
+	if !ts.Zero.Less(gaps[0]) || !gaps[0].Less(ts.FromInt(2)) {
+		t.Errorf("gap 0 = %v, want in (0,2)", gaps[0])
+	}
+	if !ts.FromInt(2).Less(gaps[1]) || !gaps[1].Less(ts.FromInt(4)) {
+		t.Errorf("gap 1 = %v, want in (2,4)", gaps[1])
+	}
+	if !ts.FromInt(4).Less(gaps[2]) {
+		t.Errorf("gap 2 = %v, want > 4", gaps[2])
+	}
+	// Frontier 4: only the beyond-last gap remains.
+	if gaps := h.Gaps(ts.FromInt(4)); len(gaps) != 1 {
+		t.Fatalf("gaps above frontier 4 = %v, want 1", gaps)
+	}
+	// Frontier strictly between entries: gap below next entry plus beyond.
+	if gaps := h.Gaps(ts.FromInt(3)); len(gaps) != 2 {
+		t.Fatalf("gaps above frontier 3 = %v, want 2", gaps)
+	}
+}
+
+func TestReadNAChoicesAndWeakness(t *testing.T) {
+	p := prog.NewProgram("r").
+		Vars("x").
+		Thread("W").StoreI("x", 1).Done().
+		Thread("R").Load("r0", "x").Done().
+		MustBuild()
+	m := NewMachine(p)
+	// Let W write first.
+	steps, err := m.StepsOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 {
+		t.Fatalf("writer steps = %d, want 1 (single gap above initial)", len(steps))
+	}
+	m = steps[0].After
+	// Reader may now read initial 0 (weak) or the new 1 (strong).
+	reads, err := m.StepsOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 2 {
+		t.Fatalf("reader steps = %d, want 2", len(reads))
+	}
+	byVal := map[prog.Val]Transition{}
+	for _, r := range reads {
+		byVal[r.Val] = r
+	}
+	if tr, ok := byVal[0]; !ok || !tr.Weak {
+		t.Errorf("read of stale 0 should exist and be weak: %+v", byVal)
+	}
+	if tr, ok := byVal[1]; !ok || tr.Weak {
+		t.Errorf("read of latest 1 should exist and be strong: %+v", byVal)
+	}
+}
+
+func TestWriteNAWeakness(t *testing.T) {
+	p := prog.NewProgram("ww").
+		Vars("x").
+		Thread("A").StoreI("x", 1).Done().
+		Thread("B").StoreI("x", 2).Done().
+		MustBuild()
+	m := NewMachine(p)
+	steps, err := m.StepsOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = steps[0].After
+	// B's frontier is still 0, so it may write before A's entry (weak) or
+	// after it (strong).
+	writes, err := m.StepsOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(writes) != 2 {
+		t.Fatalf("writer B steps = %d, want 2", len(writes))
+	}
+	weak, strong := 0, 0
+	for _, w := range writes {
+		if w.Weak {
+			weak++
+		} else {
+			strong++
+		}
+	}
+	if weak != 1 || strong != 1 {
+		t.Fatalf("weak=%d strong=%d, want 1/1", weak, strong)
+	}
+}
+
+func TestWriteNAAdvancesFrontierOnly(t *testing.T) {
+	p := prog.NewProgram("w").
+		Vars("x", "y").
+		Thread("A").StoreI("x", 1).Done().
+		MustBuild()
+	m := NewMachine(p)
+	steps, _ := m.StepsOf(0)
+	tr := steps[0]
+	if tr.FrontierAfter.Get("x").LessEq(ts.Zero) {
+		t.Error("write did not advance frontier for x")
+	}
+	if !tr.FrontierAfter.Get("y").Equal(ts.Zero) {
+		t.Error("write moved frontier of unrelated location y")
+	}
+}
+
+// Message passing through an atomic location: after reading F=1, the
+// reader's frontier includes the writer's x entry, so the stale read of x
+// is no longer permitted. This is the Read-AT/Write-AT frontier merge in
+// action, and is the semantic content of example MP.
+func TestAtomicFrontierTransfer(t *testing.T) {
+	m := NewMachine(mp())
+	// P0: x=1 (strong gap), F=1.
+	s, _ := m.StepsOf(0)
+	m = s[0].After
+	s, _ = m.StepsOf(0)
+	m = s[0].After
+	// P1: read F → must see 1 and inherit frontier.
+	s, _ = m.StepsOf(1)
+	if len(s) != 1 || s[0].Val != 1 || !s[0].Atomic {
+		t.Fatalf("atomic read = %+v", s)
+	}
+	m = s[0].After
+	// P1: read x → only the value 1 is visible now.
+	s, _ = m.StepsOf(1)
+	if len(s) != 1 {
+		t.Fatalf("reads of x after sync = %d, want 1", len(s))
+	}
+	if s[0].Val != 1 {
+		t.Fatalf("read x = %d, want 1", s[0].Val)
+	}
+}
+
+// Without the atomic read, the stale read remains possible.
+func TestNoSyncAllowsStaleRead(t *testing.T) {
+	p := prog.NewProgram("stale").
+		Vars("x").
+		Thread("W").StoreI("x", 1).Done().
+		Thread("R").Load("r1", "x").Done().
+		MustBuild()
+	m := NewMachine(p)
+	s, _ := m.StepsOf(0)
+	m = s[0].After
+	s, _ = m.StepsOf(1)
+	vals := map[prog.Val]bool{}
+	for _, tr := range s {
+		vals[tr.Val] = true
+	}
+	if !vals[0] || !vals[1] {
+		t.Fatalf("visible values = %v, want both 0 and 1", vals)
+	}
+}
+
+func TestAtomicWriteMergesIntoCell(t *testing.T) {
+	m := NewMachine(mp())
+	s, _ := m.StepsOf(0) // x=1
+	m = s[0].After
+	xTime := m.Threads[0].Frontier.Get("x")
+	s, _ = m.StepsOf(0) // F=1
+	m = s[0].After
+	cell := m.AT["F"]
+	if cell.V != 1 {
+		t.Fatalf("cell value = %d", cell.V)
+	}
+	if !cell.F.Get("x").Equal(xTime) {
+		t.Fatalf("cell frontier x = %v, want %v", cell.F.Get("x"), xTime)
+	}
+}
+
+// Lemma 21: frontiers grow monotonically along any transition.
+func TestFrontierMonotone(t *testing.T) {
+	m := NewMachine(mp())
+	var walk func(m *Machine, depth int)
+	walk = func(m *Machine, depth int) {
+		if depth > 6 {
+			return
+		}
+		steps, err := m.Steps()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range steps {
+			if !tr.FrontierAfter.AtLeast(tr.FrontierBefore) {
+				t.Fatalf("frontier shrank on %v", tr)
+			}
+			walk(tr.After, depth+1)
+		}
+	}
+	walk(m, 0)
+}
+
+func TestStrongStepsNeverEmpty(t *testing.T) {
+	// Lemma 24: whenever any step exists, a non-weak one does too.
+	m := NewMachine(mp())
+	var walk func(m *Machine, depth int)
+	walk = func(m *Machine, depth int) {
+		if depth > 6 {
+			return
+		}
+		for i := range m.Threads {
+			all, err := m.StepsOf(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			strong, err := m.StrongStepsOf(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(all) > 0 && len(strong) == 0 {
+				t.Fatalf("thread %d has steps but no strong steps", i)
+			}
+			for _, tr := range all {
+				walk(tr.After, depth+1)
+			}
+		}
+	}
+	walk(m, 0)
+}
+
+func TestKeyCanonicalisesTimestamps(t *testing.T) {
+	p := prog.NewProgram("canon").Vars("x").
+		Thread("A").StoreI("x", 1).Done().
+		MustBuild()
+	m1 := NewMachine(p)
+	m2 := NewMachine(p)
+	// Manually insert the same value at different rationals, same order.
+	h1 := m1.NA["x"].Insert(ts.New(1, 2), 1)
+	h2 := m2.NA["x"].Insert(ts.FromInt(7), 1)
+	m1.NA["x"] = h1
+	m2.NA["x"] = h2
+	m1.Threads[0].Frontier["x"] = ts.New(1, 2)
+	m2.Threads[0].Frontier["x"] = ts.FromInt(7)
+	m1.Threads[0].State.PC = 1
+	m2.Threads[0].State.PC = 1
+	if m1.Key() != m2.Key() {
+		t.Fatalf("keys differ for order-isomorphic states:\n%s\n%s", m1.Key(), m2.Key())
+	}
+}
+
+func TestKeyDistinguishesOrder(t *testing.T) {
+	p := prog.NewProgram("canon2").Vars("x").
+		Thread("A").Nop().Done().
+		MustBuild()
+	m1 := NewMachine(p)
+	m2 := NewMachine(p)
+	m1.NA["x"] = m1.NA["x"].Insert(ts.FromInt(1), 5).Insert(ts.FromInt(2), 6)
+	m2.NA["x"] = m2.NA["x"].Insert(ts.FromInt(1), 6).Insert(ts.FromInt(2), 5)
+	if m1.Key() == m2.Key() {
+		t.Fatal("keys collide for differently-ordered histories")
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	w := Transition{Loc: "x", IsWrite: true}
+	r := Transition{Loc: "x", IsWrite: false}
+	r2 := Transition{Loc: "y", IsWrite: false}
+	at := Transition{Loc: "x", IsWrite: true, Atomic: true}
+	if !w.Conflicts(r) || !r.Conflicts(w) {
+		t.Error("write/read same loc should conflict")
+	}
+	if r.Conflicts(r) {
+		t.Error("read/read should not conflict")
+	}
+	if w.Conflicts(r2) {
+		t.Error("different locations should not conflict")
+	}
+	if at.Conflicts(r) {
+		t.Error("atomic accesses never race")
+	}
+}
+
+func TestFrontierJoinProperties(t *testing.T) {
+	mk := func(a, b int64) Frontier {
+		return Frontier{"x": ts.FromInt(a), "y": ts.FromInt(b)}
+	}
+	f := func(a1, b1, a2, b2 int8) bool {
+		f1, f2 := mk(int64(a1), int64(b1)), mk(int64(a2), int64(b2))
+		j := f1.Join(f2)
+		// Join is an upper bound, commutative and idempotent.
+		if !j.AtLeast(f1) || !j.AtLeast(f2) {
+			return false
+		}
+		j2 := f2.Join(f1)
+		return j.Get("x").Equal(j2.Get("x")) && j.Get("y").Equal(j2.Get("y")) &&
+			f1.Join(f1).Get("x").Equal(f1.Get("x"))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewMachine(mp())
+	c := m.Clone()
+	c.Threads[0].Frontier["x"] = ts.FromInt(9)
+	c.AT["F"] = AtomicCell{F: Frontier{"x": ts.FromInt(3)}, V: 5}
+	if !m.Threads[0].Frontier.Get("x").Equal(ts.Zero) {
+		t.Fatal("clone shares thread frontier")
+	}
+	if m.AT["F"].V != 0 {
+		t.Fatal("clone shares atomic cells")
+	}
+}
+
+func TestFinalValue(t *testing.T) {
+	m := NewMachine(mp())
+	m.NA["x"] = m.NA["x"].Insert(ts.FromInt(2), 7).Insert(ts.FromInt(1), 3)
+	if got := m.FinalValue("x"); got != 7 {
+		t.Fatalf("FinalValue(x) = %d, want 7 (largest timestamp)", got)
+	}
+	if got := m.FinalValue("F"); got != 0 {
+		t.Fatalf("FinalValue(F) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,374 @@
+// Package core implements the operational memory model of Dolan,
+// Sivaramakrishnan and Madhavapeddy, "Bounding Data Races in Space and
+// Time" (PLDI 2018), fig. 1.
+//
+// A store S maps each nonatomic location a to a history H (a finite map
+// from rational timestamps to values) and each atomic location A to a pair
+// (F, x) of a frontier and a single value. Every thread carries a frontier
+// F mapping nonatomic locations to timestamps — the latest write to each
+// location that the thread is guaranteed to see. The four memory operation
+// rules are:
+//
+//	Read-NA:  H; F --a: read H(t)-->  H; F            if F(a) ≤ t, t ∈ dom(H)
+//	Write-NA: H; F --a: write x -->  H[t ↦ x]; F[a↦t] if F(a) < t, t ∉ dom(H)
+//	Read-AT:  (FA,x); F --A: read x--> (FA,x); FA ⊔ F
+//	Write-AT: (FA,y); F --A: write x--> (FA ⊔ F, x); FA ⊔ F
+//
+// Note the asymmetry that gives the model its character: nonatomic reads
+// do not move the reading thread's frontier (so reads are not
+// side-effecting, enabling CSE — §9.2), while nonatomic writes advance it,
+// and atomic operations merge frontiers (which is how message passing
+// publishes nonatomic writes).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"localdrf/internal/prog"
+	"localdrf/internal/ts"
+)
+
+// HEntry is one entry of a history: a write of Val at Time.
+type HEntry struct {
+	Time ts.Time
+	Val  prog.Val
+}
+
+// History is the per-nonatomic-location write history H, kept sorted by
+// ascending timestamp. Timestamps are unique within a history (Write-NA
+// requires t ∉ dom(H)).
+type History struct {
+	entries []HEntry
+}
+
+// NewHistory returns the initial history {0 ↦ v0} (§3.1).
+func NewHistory() History {
+	return History{entries: []HEntry{{Time: ts.Zero, Val: prog.V0}}}
+}
+
+// Len returns the number of writes in the history.
+func (h History) Len() int { return len(h.entries) }
+
+// At returns the i-th entry in timestamp order.
+func (h History) At(i int) HEntry { return h.entries[i] }
+
+// Last returns the entry with the largest timestamp.
+func (h History) Last() HEntry { return h.entries[len(h.entries)-1] }
+
+// Lookup returns the value at timestamp t.
+func (h History) Lookup(t ts.Time) (prog.Val, bool) {
+	for _, e := range h.entries {
+		if e.Time.Equal(t) {
+			return e.Val, true
+		}
+	}
+	return 0, false
+}
+
+// Insert returns a copy of the history with a new entry. It panics if the
+// timestamp is already present, which would violate Write-NA's side
+// condition; callers pick fresh timestamps via gap enumeration.
+func (h History) Insert(t ts.Time, v prog.Val) History {
+	out := make([]HEntry, 0, len(h.entries)+1)
+	placed := false
+	for _, e := range h.entries {
+		if !placed && t.Less(e.Time) {
+			out = append(out, HEntry{Time: t, Val: v})
+			placed = true
+		}
+		if e.Time.Equal(t) {
+			panic(fmt.Sprintf("core: duplicate timestamp %v in history", t))
+		}
+		out = append(out, e)
+	}
+	if !placed {
+		out = append(out, HEntry{Time: t, Val: v})
+	}
+	return History{entries: out}
+}
+
+// ReadableFrom returns the entries visible to a thread whose frontier for
+// this location is f: all entries with timestamp ≥ f (Read-NA).
+func (h History) ReadableFrom(f ts.Time) []HEntry {
+	var out []HEntry
+	for _, e := range h.entries {
+		if f.LessEq(e.Time) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Gaps enumerates candidate timestamps for a new write by a thread whose
+// frontier for this location is f: one timestamp strictly inside every gap
+// between consecutive existing entries above f, plus one beyond the last
+// entry. This is a finite, faithful enumeration of Write-NA's choices — Q
+// is dense, so only the *position* of the new timestamp relative to
+// existing entries matters.
+func (h History) Gaps(f ts.Time) []ts.Time {
+	// Collect existing timestamps strictly greater than f.
+	var above []ts.Time
+	for _, e := range h.entries {
+		if f.Less(e.Time) {
+			above = append(above, e.Time)
+		}
+	}
+	var out []ts.Time
+	lo := f
+	for _, hi := range above {
+		out = append(out, ts.Between(lo, hi))
+		lo = hi
+	}
+	out = append(out, ts.After(lo))
+	return out
+}
+
+// Frontier maps nonatomic locations to timestamps. The zero timestamp is
+// the default (all frontiers start at the initial writes, §3.1), so absent
+// keys read as ts.Zero.
+type Frontier map[prog.Loc]ts.Time
+
+// Get returns the frontier timestamp for a location.
+func (f Frontier) Get(l prog.Loc) ts.Time {
+	if t, ok := f[l]; ok {
+		return t
+	}
+	return ts.Zero
+}
+
+// Clone returns an independent copy.
+func (f Frontier) Clone() Frontier {
+	out := make(Frontier, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// Join returns F1 ⊔ F2, the pointwise-later frontier (fig. 1).
+func (f Frontier) Join(g Frontier) Frontier {
+	out := f.Clone()
+	for k, v := range g {
+		out[k] = out.Get(k).Max(v)
+	}
+	return out
+}
+
+// AtLeast reports whether f(l) ≥ g(l) for every location (pointwise ≥ on
+// the locations present in either). Used by tests of lemmas 21/22.
+func (f Frontier) AtLeast(g Frontier) bool {
+	for k, v := range g {
+		if f.Get(k).Less(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// AtomicCell is the store contents of an atomic location: (FA, x).
+type AtomicCell struct {
+	F Frontier
+	V prog.Val
+}
+
+// Clone returns an independent copy.
+func (c AtomicCell) Clone() AtomicCell {
+	return AtomicCell{F: c.F.Clone(), V: c.V}
+}
+
+// ThreadCtx pairs a thread's frontier with its expression state (fig. 1a's
+// P ::= i ↦ (F, e)).
+type ThreadCtx struct {
+	Frontier Frontier
+	State    prog.ThreadState
+}
+
+// Clone returns an independent copy.
+func (t ThreadCtx) Clone() ThreadCtx {
+	return ThreadCtx{Frontier: t.Frontier.Clone(), State: t.State.Clone()}
+}
+
+// Machine is a machine configuration M = ⟨S, P⟩. The RA component is the
+// §10 release-acquire extension (see ra.go).
+type Machine struct {
+	Prog    *prog.Program
+	NA      map[prog.Loc]History
+	AT      map[prog.Loc]AtomicCell
+	RA      map[prog.Loc]RAHistory
+	Threads []ThreadCtx
+}
+
+// NewMachine returns the initial machine state M0 for a program: every
+// nonatomic location has the single initial write at timestamp 0, every
+// atomic location holds (F0, v0), and every thread starts with the zero
+// frontier (§3.1).
+func NewMachine(p *prog.Program) *Machine {
+	m := &Machine{
+		Prog: p,
+		NA:   map[prog.Loc]History{},
+		AT:   map[prog.Loc]AtomicCell{},
+		RA:   map[prog.Loc]RAHistory{},
+	}
+	for l, k := range p.Locs {
+		switch k {
+		case prog.Atomic:
+			m.AT[l] = AtomicCell{F: Frontier{}, V: prog.V0}
+		case prog.ReleaseAcquire:
+			m.RA[l] = NewRAHistory()
+		default:
+			m.NA[l] = NewHistory()
+		}
+	}
+	for range p.Threads {
+		m.Threads = append(m.Threads, ThreadCtx{Frontier: Frontier{}, State: prog.NewThreadState()})
+	}
+	return m
+}
+
+// Clone returns a deep copy of the machine. Histories are immutable
+// (Insert copies), so the entry slices may be shared.
+func (m *Machine) Clone() *Machine {
+	out := &Machine{
+		Prog: m.Prog,
+		NA:   make(map[prog.Loc]History, len(m.NA)),
+		AT:   make(map[prog.Loc]AtomicCell, len(m.AT)),
+		RA:   make(map[prog.Loc]RAHistory, len(m.RA)),
+	}
+	for k, v := range m.NA {
+		out.NA[k] = v
+	}
+	for k, v := range m.AT {
+		out.AT[k] = v.Clone()
+	}
+	for k, v := range m.RA {
+		out.RA[k] = v
+	}
+	out.Threads = make([]ThreadCtx, len(m.Threads))
+	for i, t := range m.Threads {
+		out.Threads[i] = t.Clone()
+	}
+	return out
+}
+
+// Halted reports whether every thread has run to completion.
+func (m *Machine) Halted() (bool, error) {
+	for i := range m.Threads {
+		_, pend, err := prog.StepSilent(m.Prog.Threads[i].Code, m.Threads[i].State, MaxSilentSteps)
+		if err != nil {
+			return false, err
+		}
+		if pend.Kind != prog.OpHalted {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// MaxSilentSteps bounds silent stepping per transition; litmus programs
+// are tiny, so hitting this means a divergent silent loop.
+const MaxSilentSteps = 10_000
+
+// Key returns a canonical string for the machine state. Timestamps are
+// ordinal-renamed per location (timestamps of distinct locations never
+// interact in the semantics), which lets exploration treat states that
+// differ only in the concrete rationals as identical. Timestamped
+// locations are the nonatomic and release-acquire ones; their
+// timestamps appear in histories, thread frontiers, atomic-cell
+// frontiers, and RA messages' published frontiers.
+func (m *Machine) Key() string {
+	timestamped := append(m.Prog.NonAtomicLocs(), m.Prog.RALocs()...)
+	rename := map[prog.Loc]map[string]int{}
+	for _, l := range timestamped {
+		var all []ts.Time
+		if h, ok := m.NA[l]; ok {
+			for i := 0; i < h.Len(); i++ {
+				all = append(all, h.At(i).Time)
+			}
+		}
+		if h, ok := m.RA[l]; ok {
+			for i := 0; i < h.Len(); i++ {
+				all = append(all, h.At(i).Time)
+			}
+		}
+		for _, t := range m.Threads {
+			all = append(all, t.Frontier.Get(l))
+		}
+		for _, c := range m.AT {
+			all = append(all, c.F.Get(l))
+		}
+		for _, h := range m.RA {
+			for i := 0; i < h.Len(); i++ {
+				all = append(all, h.At(i).F.Get(l))
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
+		idx := map[string]int{}
+		n := 0
+		for _, t := range all {
+			s := t.String()
+			if _, ok := idx[s]; !ok {
+				idx[s] = n
+				n++
+			}
+		}
+		rename[l] = idx
+	}
+	ord := func(l prog.Loc, t ts.Time) int { return rename[l][t.String()] }
+	frontierKey := func(b *strings.Builder, f Frontier) {
+		for _, fl := range timestamped {
+			fmt.Fprintf(b, "%d,", ord(fl, f.Get(fl)))
+		}
+	}
+
+	var b strings.Builder
+	for _, l := range m.Prog.NonAtomicLocs() {
+		h := m.NA[l]
+		fmt.Fprintf(&b, "%s:[", l)
+		for i := 0; i < h.Len(); i++ {
+			e := h.At(i)
+			fmt.Fprintf(&b, "%d=%d,", ord(l, e.Time), e.Val)
+		}
+		b.WriteString("];")
+	}
+	for _, l := range m.Prog.RALocs() {
+		h := m.RA[l]
+		fmt.Fprintf(&b, "%s:ra[", l)
+		for i := 0; i < h.Len(); i++ {
+			e := h.At(i)
+			fmt.Fprintf(&b, "%d=%d<", ord(l, e.Time), e.Val)
+			frontierKey(&b, e.F)
+			b.WriteString(">,")
+		}
+		b.WriteString("];")
+	}
+	for _, l := range m.Prog.AtomicLocs() {
+		c := m.AT[l]
+		fmt.Fprintf(&b, "%s:(%d|", l, c.V)
+		frontierKey(&b, c.F)
+		b.WriteString(");")
+	}
+	for i, t := range m.Threads {
+		fmt.Fprintf(&b, "T%d:%s<", i, t.State.Key())
+		frontierKey(&b, t.Frontier)
+		b.WriteString(">;")
+	}
+	return b.String()
+}
+
+// FinalValue returns the "latest" value of a location: the entry with the
+// largest timestamp for nonatomic and release-acquire locations, the cell
+// value for atomic ones. This is the observable final memory used in
+// outcomes, and it agrees with the axiomatic model's co-maximal write
+// (coΣ orders timestamped writes by timestamp, §6.1).
+func (m *Machine) FinalValue(l prog.Loc) prog.Val {
+	switch {
+	case m.Prog.IsAtomic(l):
+		return m.AT[l].V
+	case m.Prog.IsRA(l):
+		return m.RA[l].Last().Val
+	default:
+		return m.NA[l].Last().Val
+	}
+}

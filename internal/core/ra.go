@@ -1,0 +1,183 @@
+package core
+
+// Release-acquire atomics — the extension §10 of the paper proposes
+// ("release-acquire atomics would be a useful extension: they are strong
+// enough to describe many parallel programming idioms, yet weak enough to
+// be relatively cheaply implementable. Two routes … by extending our
+// operational model with release-acquire primitives in the style of Kang
+// et al."). This file takes the first route.
+//
+// A release-acquire location holds a history of *messages*: timestamped
+// values, each carrying the frontier its writer published. The rules:
+//
+//	Read-RA:  a thread may read any message with timestamp ≥ its
+//	          frontier for the location; its frontier is joined with the
+//	          message's published frontier (acquire).
+//	Write-RA: the new message's timestamp must exceed the thread's
+//	          frontier for the location (fresh, as in Write-NA); the
+//	          message carries the writer's updated frontier (release).
+//
+// Unlike the paper's SC atomics (which funnel every thread through one
+// cell-wide frontier, yielding a total order), RA messages only
+// synchronise writer→reader along reads-from edges. Consequently store
+// buffering and IRIW relaxations are visible on RA locations while
+// message passing still works — the expected release/acquire semantics.
+//
+// Race bookkeeping: RA accesses are synchronisation operations, so they
+// never participate in data races (def. 9 concerns nonatomic locations),
+// but a non-latest RA access is still recorded as weak in the def. 6
+// sense so that the SC restriction (def. 7) keeps meaning "interleaving
+// semantics". The DRF theorems are consequently *not* expected to extend
+// verbatim to programs whose synchronisation is RA-only — see the tests
+// for the precise boundary (race-free SB-over-RA exhibits non-SC
+// behaviour; this is the same trade C++ makes for non-SC atomics).
+
+import (
+	"fmt"
+
+	"localdrf/internal/prog"
+	"localdrf/internal/ts"
+)
+
+// RAEntry is one message of a release-acquire location's history.
+type RAEntry struct {
+	Time ts.Time
+	Val  prog.Val
+	// F is the frontier published by the writing thread (including the
+	// message's own timestamp for its location).
+	F Frontier
+}
+
+// RAHistory is the message history of a release-acquire location, sorted
+// by ascending timestamp.
+type RAHistory struct {
+	entries []RAEntry
+}
+
+// NewRAHistory returns the initial history: the initial write of v0 at
+// timestamp 0 publishing the empty frontier (§3.1 adapted).
+func NewRAHistory() RAHistory {
+	return RAHistory{entries: []RAEntry{{Time: ts.Zero, Val: prog.V0, F: Frontier{}}}}
+}
+
+// Len returns the number of messages.
+func (h RAHistory) Len() int { return len(h.entries) }
+
+// At returns the i-th message in timestamp order.
+func (h RAHistory) At(i int) RAEntry { return h.entries[i] }
+
+// Last returns the message with the largest timestamp.
+func (h RAHistory) Last() RAEntry { return h.entries[len(h.entries)-1] }
+
+// Insert returns a copy with a new message, panicking on duplicate
+// timestamps (Write-RA side condition).
+func (h RAHistory) Insert(e RAEntry) RAHistory {
+	out := make([]RAEntry, 0, len(h.entries)+1)
+	placed := false
+	for _, x := range h.entries {
+		if !placed && e.Time.Less(x.Time) {
+			out = append(out, e)
+			placed = true
+		}
+		if x.Time.Equal(e.Time) {
+			panic(fmt.Sprintf("core: duplicate RA timestamp %v", e.Time))
+		}
+		out = append(out, x)
+	}
+	if !placed {
+		out = append(out, e)
+	}
+	return RAHistory{entries: out}
+}
+
+// ReadableFrom returns the messages visible to a thread whose frontier
+// for this location is f.
+func (h RAHistory) ReadableFrom(f ts.Time) []RAEntry {
+	var out []RAEntry
+	for _, e := range h.entries {
+		if f.LessEq(e.Time) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Gaps enumerates candidate timestamps for a new message, exactly as for
+// nonatomic histories.
+func (h RAHistory) Gaps(f ts.Time) []ts.Time {
+	var above []ts.Time
+	for _, e := range h.entries {
+		if f.Less(e.Time) {
+			above = append(above, e.Time)
+		}
+	}
+	var out []ts.Time
+	lo := f
+	for _, hi := range above {
+		out = append(out, ts.Between(lo, hi))
+		lo = hi
+	}
+	out = append(out, ts.After(lo))
+	return out
+}
+
+// readRA implements Read-RA. One transition per visible message.
+func (m *Machine) readRA(i int, st prog.ThreadState, pend prog.Pending) []Transition {
+	h := m.RA[pend.Loc]
+	f := m.Threads[i].Frontier
+	last := h.Last().Time
+	var out []Transition
+	for _, e := range h.ReadableFrom(f.Get(pend.Loc)) {
+		nf := f.Join(e.F)
+		// The message's own timestamp joins too (its writer's frontier
+		// already contains it, except for the initial message).
+		nf[pend.Loc] = nf.Get(pend.Loc).Max(e.Time)
+		next := m.Clone()
+		next.Threads[i].Frontier = nf
+		next.Threads[i].State = prog.ApplyRead(st, pend, e.Val)
+		out = append(out, Transition{
+			Thread:         i,
+			IsWrite:        false,
+			Loc:            pend.Loc,
+			Val:            e.Val,
+			Atomic:         true,
+			RA:             true,
+			Time:           e.Time,
+			Weak:           !e.Time.Equal(last),
+			FrontierBefore: f.Clone(),
+			FrontierAfter:  nf.Clone(),
+			After:          next,
+		})
+	}
+	return out
+}
+
+// writeRA implements Write-RA. One transition per gap.
+func (m *Machine) writeRA(i int, st prog.ThreadState, pend prog.Pending) []Transition {
+	h := m.RA[pend.Loc]
+	f := m.Threads[i].Frontier
+	last := h.Last().Time
+	var out []Transition
+	for _, t := range h.Gaps(f.Get(pend.Loc)) {
+		nf := f.Clone()
+		nf[pend.Loc] = t
+		next := m.Clone()
+		next.RA[pend.Loc] = h.Insert(RAEntry{Time: t, Val: pend.Val, F: nf.Clone()})
+		next.Threads[i].Frontier = nf
+		next.Threads[i].State = prog.ApplyWrite(st)
+		out = append(out, Transition{
+			Thread:         i,
+			IsWrite:        true,
+			Loc:            pend.Loc,
+			Val:            pend.Val,
+			Atomic:         true,
+			RA:             true,
+			Time:           t,
+			Weak:           !last.Less(t),
+			FrontierBefore: f.Clone(),
+			FrontierAfter:  nf.Clone(),
+			After:          next,
+		})
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+
+	"localdrf/internal/prog"
+	"localdrf/internal/ts"
+)
+
+// Transition is one Memory machine step (fig. 1b) together with the
+// metadata the local-DRF machinery needs: which thread moved, what action
+// it performed, the timestamp involved (nonatomic operations only) and
+// whether the transition was weak (def. 6).
+type Transition struct {
+	Thread  int
+	IsWrite bool
+	Loc     prog.Loc
+	Val     prog.Val
+	Atomic  bool
+	// RA marks release-acquire operations (§10 extension); these also
+	// set Atomic (they are synchronisation accesses and never race).
+	RA bool
+	// Time is the history timestamp read from / written to (nonatomic
+	// and release-acquire operations).
+	Time ts.Time
+	// Weak marks weak transitions per def. 6: a nonatomic read that does
+	// not witness the latest write, or a nonatomic write that is not the
+	// latest write.
+	Weak bool
+	// FrontierBefore and FrontierAfter snapshot the acting thread's
+	// frontier around the step (F(T) and F′(T) in the appendix proofs).
+	FrontierBefore Frontier
+	FrontierAfter  Frontier
+	// After is the machine state the transition leads to.
+	After *Machine
+}
+
+func (t Transition) String() string {
+	op := "read"
+	if t.IsWrite {
+		op = "write"
+	}
+	kind := "na"
+	if t.Atomic {
+		kind = "at"
+	}
+	if t.RA {
+		kind = "ra"
+	}
+	w := ""
+	if t.Weak {
+		w = " (weak)"
+	}
+	return fmt.Sprintf("T%d %s[%s] %s=%d @%v%s", t.Thread, op, kind, t.Loc, t.Val, t.Time, w)
+}
+
+// Conflicts reports whether two transitions conflict (def. 9): same
+// nonatomic location and at least one is a write.
+func (t Transition) Conflicts(u Transition) bool {
+	return !t.Atomic && !u.Atomic && t.Loc == u.Loc && (t.IsWrite || u.IsWrite)
+}
+
+// Steps enumerates every Memory transition available from m: for each
+// non-halted thread, the silent prefix is applied (Silent steps commute
+// with everything and touch no memory), and then each choice the relevant
+// memory-operation rule offers becomes one Transition.
+func (m *Machine) Steps() ([]Transition, error) {
+	var out []Transition
+	for i := range m.Threads {
+		ts, err := m.StepsOf(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}
+
+// StepsOf enumerates the Memory transitions available to thread i.
+func (m *Machine) StepsOf(i int) ([]Transition, error) {
+	code := m.Prog.Threads[i].Code
+	tc := m.Threads[i]
+	st, pend, err := prog.StepSilent(code, tc.State, MaxSilentSteps)
+	if err != nil {
+		return nil, err
+	}
+	switch pend.Kind {
+	case prog.OpHalted:
+		return nil, nil
+	case prog.OpRead:
+		switch {
+		case m.Prog.IsAtomic(pend.Loc):
+			return []Transition{m.readAT(i, st, pend)}, nil
+		case m.Prog.IsRA(pend.Loc):
+			return m.readRA(i, st, pend), nil
+		default:
+			return m.readNA(i, st, pend), nil
+		}
+	case prog.OpWrite:
+		switch {
+		case m.Prog.IsAtomic(pend.Loc):
+			return []Transition{m.writeAT(i, st, pend)}, nil
+		case m.Prog.IsRA(pend.Loc):
+			return m.writeRA(i, st, pend), nil
+		default:
+			return m.writeNA(i, st, pend), nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown pending kind %v", pend.Kind)
+}
+
+// readNA implements Read-NA: the thread may read any history entry not
+// older than its frontier. One Transition per eligible entry.
+func (m *Machine) readNA(i int, st prog.ThreadState, pend prog.Pending) []Transition {
+	h := m.NA[pend.Loc]
+	f := m.Threads[i].Frontier
+	last := h.Last().Time
+	var out []Transition
+	for _, e := range h.ReadableFrom(f.Get(pend.Loc)) {
+		next := m.Clone()
+		next.Threads[i].State = prog.ApplyRead(st, pend, e.Val)
+		// Frontier unchanged: Read-NA is H;F → H;F.
+		out = append(out, Transition{
+			Thread:         i,
+			IsWrite:        false,
+			Loc:            pend.Loc,
+			Val:            e.Val,
+			Time:           e.Time,
+			Weak:           !e.Time.Equal(last),
+			FrontierBefore: f.Clone(),
+			FrontierAfter:  f.Clone(),
+			After:          next,
+		})
+	}
+	return out
+}
+
+// writeNA implements Write-NA: the new timestamp must be fresh and
+// strictly later than the thread's frontier — but not necessarily later
+// than everything in the history. One Transition per gap.
+func (m *Machine) writeNA(i int, st prog.ThreadState, pend prog.Pending) []Transition {
+	h := m.NA[pend.Loc]
+	f := m.Threads[i].Frontier
+	last := h.Last().Time
+	var out []Transition
+	for _, t := range h.Gaps(f.Get(pend.Loc)) {
+		next := m.Clone()
+		next.NA[pend.Loc] = h.Insert(t, pend.Val)
+		nf := f.Clone()
+		nf[pend.Loc] = t
+		next.Threads[i].Frontier = nf
+		next.Threads[i].State = prog.ApplyWrite(st)
+		out = append(out, Transition{
+			Thread:         i,
+			IsWrite:        true,
+			Loc:            pend.Loc,
+			Val:            pend.Val,
+			Time:           t,
+			Weak:           !last.Less(t),
+			FrontierBefore: f.Clone(),
+			FrontierAfter:  nf.Clone(),
+			After:          next,
+		})
+	}
+	return out
+}
+
+// readAT implements Read-AT: deterministic; the location's frontier is
+// merged into the thread's.
+func (m *Machine) readAT(i int, st prog.ThreadState, pend prog.Pending) Transition {
+	cell := m.AT[pend.Loc]
+	f := m.Threads[i].Frontier
+	nf := f.Join(cell.F)
+	next := m.Clone()
+	next.Threads[i].Frontier = nf
+	next.Threads[i].State = prog.ApplyRead(st, pend, cell.V)
+	return Transition{
+		Thread:         i,
+		IsWrite:        false,
+		Loc:            pend.Loc,
+		Val:            cell.V,
+		Atomic:         true,
+		FrontierBefore: f.Clone(),
+		FrontierAfter:  nf.Clone(),
+		After:          next,
+	}
+}
+
+// writeAT implements Write-AT: deterministic; frontiers of thread and
+// location are merged and both updated.
+func (m *Machine) writeAT(i int, st prog.ThreadState, pend prog.Pending) Transition {
+	cell := m.AT[pend.Loc]
+	f := m.Threads[i].Frontier
+	nf := f.Join(cell.F)
+	next := m.Clone()
+	next.AT[pend.Loc] = AtomicCell{F: nf.Clone(), V: pend.Val}
+	next.Threads[i].Frontier = nf
+	next.Threads[i].State = prog.ApplyWrite(st)
+	return Transition{
+		Thread:         i,
+		IsWrite:        true,
+		Loc:            pend.Loc,
+		Val:            pend.Val,
+		Atomic:         true,
+		FrontierBefore: f.Clone(),
+		FrontierAfter:  nf.Clone(),
+		After:          next,
+	}
+}
+
+// StrongStepsOf enumerates only the non-weak transitions of thread i;
+// lemma 24 guarantees this is nonempty whenever StepsOf is.
+func (m *Machine) StrongStepsOf(i int) ([]Transition, error) {
+	all, err := m.StepsOf(i)
+	if err != nil {
+		return nil, err
+	}
+	var out []Transition
+	for _, t := range all {
+		if !t.Weak {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,309 @@
+// Package explore exhaustively enumerates behaviours of programs under
+// the operational model.
+//
+// Two views are provided: outcome sets (the observable results of all
+// complete executions, computed with memoisation over canonical machine
+// states) and full traces (every sequence of transitions, used by the
+// race/local-DRF machinery where the identity of intermediate transitions
+// matters). The definition of sequential consistency follows def. 7: a
+// trace is sequentially consistent iff it contains no weak transitions, so
+// restricting the search to non-weak transitions yields exactly the
+// SC semantics.
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"localdrf/internal/core"
+	"localdrf/internal/prog"
+)
+
+// Outcome is the observable result of a complete execution: the final
+// registers of every thread and the final (latest) value of every
+// location.
+type Outcome struct {
+	Regs []map[prog.Reg]prog.Val
+	Mem  map[prog.Loc]prog.Val
+}
+
+// Key renders the outcome canonically. Registers holding zero are elided
+// (registers default to zero, so "never written" and "written zero" are
+// observationally identical).
+func (o Outcome) Key() string {
+	var b strings.Builder
+	for i, regs := range o.Regs {
+		names := make([]string, 0, len(regs))
+		for r, v := range regs {
+			if v != 0 {
+				names = append(names, fmt.Sprintf("%s=%d", r, v))
+			}
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "%d:{%s} ", i, strings.Join(names, ","))
+	}
+	locs := make([]string, 0, len(o.Mem))
+	for l, v := range o.Mem {
+		if v != 0 {
+			locs = append(locs, fmt.Sprintf("%s=%d", l, v))
+		}
+	}
+	sort.Strings(locs)
+	fmt.Fprintf(&b, "[%s]", strings.Join(locs, ","))
+	return b.String()
+}
+
+// Reg returns thread t's register r in this outcome.
+func (o Outcome) Reg(t int, r prog.Reg) prog.Val { return o.Regs[t][r] }
+
+// Set is a set of outcomes keyed canonically.
+type Set struct {
+	m map[string]Outcome
+}
+
+// NewSet returns an empty outcome set.
+func NewSet() *Set { return &Set{m: map[string]Outcome{}} }
+
+// Add inserts an outcome.
+func (s *Set) Add(o Outcome) { s.m[o.Key()] = o }
+
+// Len returns the number of distinct outcomes.
+func (s *Set) Len() int { return len(s.m) }
+
+// Contains reports whether the set holds an outcome with the given key.
+func (s *Set) Contains(key string) bool {
+	_, ok := s.m[key]
+	return ok
+}
+
+// Union merges another set into this one.
+func (s *Set) Union(t *Set) {
+	for k, v := range t.m {
+		s.m[k] = v
+	}
+}
+
+// SubsetOf reports whether every outcome of s appears in t.
+func (s *Set) SubsetOf(t *Set) bool {
+	for k := range s.m {
+		if _, ok := t.m[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether both sets hold exactly the same outcomes.
+func (s *Set) Equal(t *Set) bool { return s.SubsetOf(t) && t.SubsetOf(s) }
+
+// Minus returns the outcomes of s not present in t.
+func (s *Set) Minus(t *Set) []Outcome {
+	var out []Outcome
+	for k, v := range s.m {
+		if _, ok := t.m[k]; !ok {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Exists reports whether some outcome satisfies the predicate.
+func (s *Set) Exists(pred func(Outcome) bool) bool {
+	for _, o := range s.m {
+		if pred(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// Forall reports whether every outcome satisfies the predicate.
+func (s *Set) Forall(pred func(Outcome) bool) bool {
+	for _, o := range s.m {
+		if !pred(o) {
+			return false
+		}
+	}
+	return true
+}
+
+// Keys returns the sorted outcome keys.
+func (s *Set) Keys() []string {
+	out := make([]string, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Outcomes returns the outcomes sorted by key.
+func (s *Set) Outcomes() []Outcome {
+	var out []Outcome
+	for _, k := range s.Keys() {
+		out = append(out, s.m[k])
+	}
+	return out
+}
+
+// Options configures exploration.
+type Options struct {
+	// SCOnly restricts the search to non-weak transitions, yielding the
+	// sequentially consistent semantics (def. 7).
+	SCOnly bool
+	// MaxStates bounds the number of distinct canonical states visited
+	// (0 means the default).
+	MaxStates int
+}
+
+// DefaultMaxStates bounds exploration; litmus-scale programs stay far
+// below it.
+const DefaultMaxStates = 2_000_000
+
+// ErrStateBudget is returned when exploration exceeds its state budget.
+var ErrStateBudget = errors.New("explore: state budget exceeded")
+
+// ErrCyclicStateSpace is returned when the (memoised) outcome search
+// re-enters a state currently being expanded. The outcome semantics of
+// cyclic programs would require SCC analysis; litmus programs are
+// loop-free, so this indicates a mis-written test rather than a supported
+// case.
+var ErrCyclicStateSpace = errors.New("explore: cyclic state space")
+
+type outcomeSearch struct {
+	opt     Options
+	cache   map[string]*Set
+	onPath  map[string]bool
+	visited int
+}
+
+// Outcomes returns the set of observable results of all complete
+// executions of p (all traces if opt.SCOnly is false; only sequentially
+// consistent traces otherwise).
+func Outcomes(p *prog.Program, opt Options) (*Set, error) {
+	if opt.MaxStates == 0 {
+		opt.MaxStates = DefaultMaxStates
+	}
+	s := &outcomeSearch{opt: opt, cache: map[string]*Set{}, onPath: map[string]bool{}}
+	return s.run(core.NewMachine(p))
+}
+
+// OutcomesFrom is Outcomes starting from an arbitrary machine state, used
+// by the local-DRF machinery which reasons about non-initial states.
+func OutcomesFrom(m *core.Machine, opt Options) (*Set, error) {
+	if opt.MaxStates == 0 {
+		opt.MaxStates = DefaultMaxStates
+	}
+	s := &outcomeSearch{opt: opt, cache: map[string]*Set{}, onPath: map[string]bool{}}
+	return s.run(m)
+}
+
+func (s *outcomeSearch) run(m *core.Machine) (*Set, error) {
+	key := m.Key()
+	if cached, ok := s.cache[key]; ok {
+		return cached, nil
+	}
+	if s.onPath[key] {
+		return nil, ErrCyclicStateSpace
+	}
+	s.visited++
+	if s.visited > s.opt.MaxStates {
+		return nil, ErrStateBudget
+	}
+	halted, err := m.Halted()
+	if err != nil {
+		return nil, err
+	}
+	out := NewSet()
+	if halted {
+		out.Add(outcomeOf(m))
+		s.cache[key] = out
+		return out, nil
+	}
+	s.onPath[key] = true
+	defer delete(s.onPath, key)
+	steps, err := m.Steps()
+	if err != nil {
+		return nil, err
+	}
+	for _, tr := range steps {
+		if s.opt.SCOnly && tr.Weak {
+			continue
+		}
+		sub, err := s.run(tr.After)
+		if err != nil {
+			return nil, err
+		}
+		out.Union(sub)
+	}
+	s.cache[key] = out
+	return out, nil
+}
+
+func outcomeOf(m *core.Machine) Outcome {
+	o := Outcome{Mem: map[prog.Loc]prog.Val{}}
+	for _, t := range m.Threads {
+		regs := map[prog.Reg]prog.Val{}
+		for r, v := range t.State.Regs {
+			regs[r] = v
+		}
+		o.Regs = append(o.Regs, regs)
+	}
+	for _, l := range m.Prog.SortedLocs() {
+		o.Mem[l] = m.FinalValue(l)
+	}
+	return o
+}
+
+// Trace is a finite sequence of transitions from the initial state
+// (def. 5). Element i is the transition T_{i+1}.
+type Trace []core.Transition
+
+// Traces enumerates every complete trace (ending in a halted machine) of
+// p and feeds each to visit; exploration stops early if visit returns
+// false. maxTraces bounds the enumeration (0 means no bound). Unlike
+// Outcomes, this walk cannot be memoised — race analysis needs the
+// identity of every transition along the way.
+func Traces(p *prog.Program, opt Options, maxTraces int, visit func(Trace) bool) error {
+	return TracesFrom(core.NewMachine(p), opt, maxTraces, visit)
+}
+
+// TracesFrom is Traces starting from an arbitrary machine state.
+func TracesFrom(m *core.Machine, opt Options, maxTraces int, visit func(Trace) bool) error {
+	count := 0
+	var walk func(m *core.Machine, acc Trace) (bool, error)
+	walk = func(m *core.Machine, acc Trace) (bool, error) {
+		halted, err := m.Halted()
+		if err != nil {
+			return false, err
+		}
+		if halted {
+			count++
+			if maxTraces > 0 && count > maxTraces {
+				return false, fmt.Errorf("explore: trace budget (%d) exceeded", maxTraces)
+			}
+			cp := make(Trace, len(acc))
+			copy(cp, acc)
+			return visit(cp), nil
+		}
+		steps, err := m.Steps()
+		if err != nil {
+			return false, err
+		}
+		for _, tr := range steps {
+			if opt.SCOnly && tr.Weak {
+				continue
+			}
+			cont, err := walk(tr.After, append(acc, tr))
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	_, err := walk(m, nil)
+	return err
+}

@@ -1,0 +1,345 @@
+package explore
+
+import (
+	"testing"
+
+	"localdrf/internal/core"
+	"localdrf/internal/prog"
+)
+
+func outcomes(t *testing.T, p *prog.Program, sc bool) *Set {
+	t.Helper()
+	s, err := Outcomes(p, Options{SCOnly: sc})
+	if err != nil {
+		t.Fatalf("Outcomes(%s): %v", p.Name, err)
+	}
+	return s
+}
+
+// Store buffering with nonatomic locations: the relaxed outcome
+// r0 = r1 = 0 is allowed (stale reads), unlike under SC.
+func TestSBNonatomic(t *testing.T) {
+	p := prog.NewProgram("SB-na").
+		Vars("x", "y").
+		Thread("P0").StoreI("x", 1).Load("r0", "y").Done().
+		Thread("P1").StoreI("y", 1).Load("r1", "x").Done().
+		MustBuild()
+	full := outcomes(t, p, false)
+	both0 := func(o Outcome) bool { return o.Reg(0, "r0") == 0 && o.Reg(1, "r1") == 0 }
+	if !full.Exists(both0) {
+		t.Error("relaxed SB outcome r0=r1=0 should be allowed (weak reads)")
+	}
+	sc := outcomes(t, p, true)
+	if sc.Exists(both0) {
+		t.Error("SC forbids r0=r1=0 in SB")
+	}
+	if !sc.SubsetOf(full) {
+		t.Error("SC outcomes must be a subset of all outcomes")
+	}
+}
+
+// Store buffering with atomic locations: atomics are sequentially
+// consistent in this model, so r0 = r1 = 0 is forbidden even in the full
+// semantics.
+func TestSBAtomic(t *testing.T) {
+	p := prog.NewProgram("SB-at").
+		Atomics("X", "Y").
+		Thread("P0").StoreI("X", 1).Load("r0", "Y").Done().
+		Thread("P1").StoreI("Y", 1).Load("r1", "X").Done().
+		MustBuild()
+	full := outcomes(t, p, false)
+	if full.Exists(func(o Outcome) bool { return o.Reg(0, "r0") == 0 && o.Reg(1, "r1") == 0 }) {
+		t.Error("atomic SB relaxation should be forbidden")
+	}
+}
+
+// Message passing with an atomic flag: seeing the flag implies seeing the
+// data (frontier transfer).
+func TestMPAtomicFlag(t *testing.T) {
+	p := prog.NewProgram("MP").
+		Vars("x").
+		Atomics("F").
+		Thread("P0").StoreI("x", 1).StoreI("F", 1).Done().
+		Thread("P1").Load("r0", "F").Load("r1", "x").Done().
+		MustBuild()
+	full := outcomes(t, p, false)
+	if full.Exists(func(o Outcome) bool { return o.Reg(1, "r0") == 1 && o.Reg(1, "r1") == 0 }) {
+		t.Error("MP violation r0=1, r1=0 must be forbidden")
+	}
+	// The stale-data outcome without the flag is allowed.
+	if !full.Exists(func(o Outcome) bool { return o.Reg(1, "r0") == 0 && o.Reg(1, "r1") == 0 }) {
+		t.Error("r0=0, r1=0 should be allowed")
+	}
+}
+
+// Message passing with a nonatomic flag is racy: the violation is
+// observable.
+func TestMPNonatomicFlagRacy(t *testing.T) {
+	p := prog.NewProgram("MP-na").
+		Vars("x", "f").
+		Thread("P0").StoreI("x", 1).StoreI("f", 1).Done().
+		Thread("P1").Load("r0", "f").Load("r1", "x").Done().
+		MustBuild()
+	full := outcomes(t, p, false)
+	if !full.Exists(func(o Outcome) bool { return o.Reg(1, "r0") == 1 && o.Reg(1, "r1") == 0 }) {
+		t.Error("nonatomic MP should admit the violation (no synchronisation)")
+	}
+}
+
+// Load buffering: reads never see writes that have not happened yet, so
+// r0 = r1 = 1 is impossible (§9.1) — this is exactly what distinguishes
+// the model from ARM/Java.
+func TestLBForbidden(t *testing.T) {
+	p := prog.NewProgram("LB").
+		Vars("x", "y").
+		Thread("P0").Load("r0", "x").StoreI("y", 1).Done().
+		Thread("P1").Load("r1", "y").StoreI("x", 1).Done().
+		MustBuild()
+	full := outcomes(t, p, false)
+	if full.Exists(func(o Outcome) bool { return o.Reg(0, "r0") == 1 && o.Reg(1, "r1") == 1 }) {
+		t.Error("load buffering outcome must be forbidden")
+	}
+}
+
+// Coherence is deliberately weak for nonatomics: two reads with no
+// intervening sync may see writes "out of order" when racing (the paper's
+// §9.2 CSE discussion); this is what example 2 turns off via the flag.
+func TestWeakCoherenceCoRR(t *testing.T) {
+	p := prog.NewProgram("CoRR").
+		Vars("x").
+		Thread("P0").StoreI("x", 1).StoreI("x", 2).Done().
+		Thread("P1").Load("r0", "x").Load("r1", "x").Done().
+		MustBuild()
+	full := outcomes(t, p, false)
+	// Reading 2 then 1 is allowed: reads don't advance the frontier.
+	if !full.Exists(func(o Outcome) bool { return o.Reg(1, "r0") == 2 && o.Reg(1, "r1") == 1 }) {
+		t.Error("weak coherence: r0=2, r1=1 should be allowed under racing reads")
+	}
+	sc := outcomes(t, p, true)
+	if sc.Exists(func(o Outcome) bool { return o.Reg(1, "r0") == 2 && o.Reg(1, "r1") == 1 }) {
+		t.Error("SC forbids inverted reads")
+	}
+}
+
+// Same-thread reads after the thread's own write see only that write
+// (frontier advanced by the write).
+func TestReadOwnWrite(t *testing.T) {
+	p := prog.NewProgram("own").
+		Vars("x").
+		Thread("P0").StoreI("x", 5).Load("r0", "x").Done().
+		MustBuild()
+	full := outcomes(t, p, false)
+	if !full.Forall(func(o Outcome) bool { return o.Reg(0, "r0") == 5 }) {
+		t.Error("a thread must see its own latest write")
+	}
+}
+
+// IRIW with atomics: both readers must agree on the order of the two
+// writes (atomics are SC).
+func TestIRIWAtomic(t *testing.T) {
+	p := prog.NewProgram("IRIW").
+		Atomics("X", "Y").
+		Thread("P0").StoreI("X", 1).Done().
+		Thread("P1").StoreI("Y", 1).Done().
+		Thread("P2").Load("r0", "X").Load("r1", "Y").Done().
+		Thread("P3").Load("r2", "Y").Load("r3", "X").Done().
+		MustBuild()
+	full := outcomes(t, p, false)
+	bad := func(o Outcome) bool {
+		return o.Reg(2, "r0") == 1 && o.Reg(2, "r1") == 0 &&
+			o.Reg(3, "r2") == 1 && o.Reg(3, "r3") == 0
+	}
+	if full.Exists(bad) {
+		t.Error("IRIW disagreement must be forbidden for atomics")
+	}
+}
+
+func TestFinalMemoryOutcome(t *testing.T) {
+	p := prog.NewProgram("mem").
+		Vars("x").
+		Thread("P0").StoreI("x", 1).Done().
+		Thread("P1").StoreI("x", 2).Done().
+		MustBuild()
+	full := outcomes(t, p, false)
+	// Final value is whichever write has the later timestamp: both orders
+	// possible.
+	if !full.Exists(func(o Outcome) bool { return o.Mem["x"] == 1 }) ||
+		!full.Exists(func(o Outcome) bool { return o.Mem["x"] == 2 }) {
+		t.Errorf("both final values should be possible, got %v", full.Keys())
+	}
+}
+
+func TestBranchingControlFlow(t *testing.T) {
+	// Reader branches on the flag; only the branch consistent with the
+	// read value executes.
+	p := prog.NewProgram("branch").
+		Vars("x", "f").
+		Thread("P0").StoreI("f", 1).Done().
+		Thread("P1").
+		Load("r0", "f").
+		JmpZ("r0", "skip").
+		StoreI("x", 7).
+		Label("skip").
+		Done().
+		MustBuild()
+	full := outcomes(t, p, false)
+	if !full.Exists(func(o Outcome) bool { return o.Mem["x"] == 7 }) {
+		t.Error("taken branch outcome missing")
+	}
+	if !full.Exists(func(o Outcome) bool { return o.Mem["x"] == 0 }) {
+		t.Error("not-taken branch outcome missing")
+	}
+	// x=7 implies r0=1 was read.
+	if !full.Forall(func(o Outcome) bool { return o.Mem["x"] != 7 || o.Reg(1, "r0") == 1 }) {
+		t.Error("store executed without the flag being read")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a, b := NewSet(), NewSet()
+	o1 := Outcome{Regs: []map[prog.Reg]prog.Val{{"r0": 1}}, Mem: map[prog.Loc]prog.Val{}}
+	o2 := Outcome{Regs: []map[prog.Reg]prog.Val{{"r0": 2}}, Mem: map[prog.Loc]prog.Val{}}
+	a.Add(o1)
+	b.Add(o1)
+	b.Add(o2)
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Error("subset logic wrong")
+	}
+	if a.Equal(b) {
+		t.Error("unequal sets reported equal")
+	}
+	if d := b.Minus(a); len(d) != 1 || d[0].Reg(0, "r0") != 2 {
+		t.Errorf("Minus = %v", d)
+	}
+	a.Union(b)
+	if !a.Equal(b) {
+		t.Error("union failed")
+	}
+}
+
+func TestOutcomeKeyElidesZeros(t *testing.T) {
+	o1 := Outcome{Regs: []map[prog.Reg]prog.Val{{"r0": 0}}, Mem: map[prog.Loc]prog.Val{"x": 0}}
+	o2 := Outcome{Regs: []map[prog.Reg]prog.Val{{}}, Mem: map[prog.Loc]prog.Val{}}
+	if o1.Key() != o2.Key() {
+		t.Errorf("keys differ: %q vs %q", o1.Key(), o2.Key())
+	}
+}
+
+func TestTracesEnumeratesCompleteExecutions(t *testing.T) {
+	p := prog.NewProgram("two").
+		Vars("x").
+		Thread("P0").StoreI("x", 1).Done().
+		Thread("P1").StoreI("x", 2).Done().
+		MustBuild()
+	n := 0
+	err := Traces(p, Options{}, 0, func(tr Trace) bool {
+		if len(tr) != 2 {
+			t.Fatalf("trace length = %d, want 2", len(tr))
+		}
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two interleavings; the second writer has 2 gap choices (before or
+	// after the first write); first writer always has 1 gap.
+	if n != 4 {
+		t.Fatalf("trace count = %d, want 4", n)
+	}
+}
+
+func TestTracesSCOnly(t *testing.T) {
+	p := prog.NewProgram("two").
+		Vars("x").
+		Thread("P0").StoreI("x", 1).Done().
+		Thread("P1").StoreI("x", 2).Done().
+		MustBuild()
+	n := 0
+	err := Traces(p, Options{SCOnly: true}, 0, func(tr Trace) bool {
+		for _, step := range tr {
+			if step.Weak {
+				t.Fatal("weak transition in SC-only trace")
+			}
+		}
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("SC trace count = %d, want 2 (one per interleaving)", n)
+	}
+}
+
+func TestTraceBudget(t *testing.T) {
+	p := prog.NewProgram("two").
+		Vars("x").
+		Thread("P0").StoreI("x", 1).Done().
+		Thread("P1").StoreI("x", 2).Done().
+		MustBuild()
+	err := Traces(p, Options{}, 2, func(Trace) bool { return true })
+	if err == nil {
+		t.Fatal("trace budget not enforced")
+	}
+}
+
+func TestOutcomesFromInitialMatchesOutcomes(t *testing.T) {
+	p := prog.NewProgram("from").
+		Vars("x").
+		Atomics("F").
+		Thread("P0").StoreI("x", 1).StoreI("F", 1).Done().
+		Thread("P1").Load("r0", "F").Load("r1", "x").Done().
+		MustBuild()
+	whole := outcomes(t, p, false)
+	from, err := OutcomesFrom(core.NewMachine(p), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !whole.Equal(from) {
+		t.Error("OutcomesFrom(M0) disagrees with Outcomes")
+	}
+}
+
+func TestOutcomesFromMidState(t *testing.T) {
+	// Advancing the writer once and exploring from there yields exactly
+	// the outcomes of the traces through that state: here the write of x
+	// has committed, so the final memory always holds x=1.
+	p := prog.NewProgram("mid").
+		Vars("x").
+		Thread("P0").StoreI("x", 1).Done().
+		Thread("P1").Load("r0", "x").Done().
+		MustBuild()
+	m := core.NewMachine(p)
+	steps, err := m.StepsOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, err := OutcomesFrom(steps[0].After, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !from.Forall(func(o Outcome) bool { return o.Mem["x"] == 1 }) {
+		t.Error("mid-state exploration lost the committed write")
+	}
+	// Both read values remain reachable from the mid-state.
+	for _, v := range []prog.Val{0, 1} {
+		v := v
+		if !from.Exists(func(o Outcome) bool { return o.Reg(1, "r0") == v }) {
+			t.Errorf("read value %d unreachable from mid-state", v)
+		}
+	}
+}
+
+func TestStateBudget(t *testing.T) {
+	p := prog.NewProgram("big").
+		Vars("x").
+		Thread("P0").StoreI("x", 1).StoreI("x", 2).Done().
+		Thread("P1").StoreI("x", 3).StoreI("x", 4).Done().
+		MustBuild()
+	_, err := Outcomes(p, Options{MaxStates: 3})
+	if err != ErrStateBudget {
+		t.Fatalf("err = %v, want ErrStateBudget", err)
+	}
+}

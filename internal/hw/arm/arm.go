@@ -1,0 +1,55 @@
+// Package arm implements the abridged axiomatic ARMv8 (AArch64) model of
+// fig. 4 of the paper (after Pulte et al.'s multicopy-atomic model), used
+// to validate the table-2 compilation schemes (thm. 20).
+//
+//	obs = rfe ∪ fre ∪ coe
+//	dob = addr ∪ (ctrl ∩ (M × W))
+//	aob = rmw
+//	bob = (po ∩ (Acq × M)) ∪ (po ∩ (M × Rel)) ∪ (dmbld ∩ (R × M))
+//	    ∪ (dmbst ∩ (W × W)) ∪ (po ∩ (Rel × Acq))
+//	ob  = obs ∪ dob ∪ aob ∪ bob
+//
+// Conditions: acyclic(poloc ∪ rf ∪ fr ∪ co), acyclic(ob),
+// rmw ∩ (fre; coe) = ∅.
+//
+// The [...] elisions of fig. 4 (data dependencies, pick dependencies,
+// further aob/bob cases) are *omitted orderings*: the model here is
+// weaker than real ARMv8, which is the safe direction for validating
+// compilation — any scheme sound against this model is sound against the
+// stronger hardware. It is also exactly what makes the "naive" scheme's
+// load-buffering counterexamples visible (§9.1): with no dependency or
+// barrier between a load and a later store, nothing orders them.
+package arm
+
+import (
+	"localdrf/internal/hw"
+	"localdrf/internal/rel"
+)
+
+// OB computes the ordered-before relation of fig. 4. addr is empty in our
+// programs (no computed addresses), so dob reduces to the ctrl component.
+func OB(x *hw.Execution) rel.Rel {
+	obs := x.External(x.RF).Union(x.External(x.FR()), x.External(x.CO))
+	dob := x.Ctrl().Restrict(x.Any, x.IsWriteEv)
+	aob := x.RMW
+	bob := x.PO.Restrict(x.IsAcqEv, x.Any).
+		Union(
+			x.PO.Restrict(x.Any, x.IsRelEv),
+			x.DmbLdRel().Restrict(x.IsReadEv, x.Any),
+			x.DmbStRel().Restrict(x.IsWriteEv, x.IsWriteEv),
+			x.PO.Restrict(x.IsRelEv, x.IsAcqEv),
+		)
+	return obs.Union(dob, aob, bob)
+}
+
+// Consistent reports whether the execution satisfies the abridged ARMv8
+// axioms.
+func Consistent(x *hw.Execution) bool {
+	if !x.SCPerLocation() {
+		return false
+	}
+	if !OB(x).Acyclic() {
+		return false
+	}
+	return x.RMWAtomic()
+}

@@ -1,0 +1,248 @@
+package arm
+
+import (
+	"testing"
+
+	"localdrf/internal/hw"
+	"localdrf/internal/prog"
+)
+
+// lb builds load buffering with optional protections on each thread:
+// "none", "branch" (BAL's cbz) or "fence" (FBS's dmb ld before the store).
+func lb(protect0, protect1 string) *hw.Program {
+	mk := func(from, to prog.Loc, reg prog.Reg, protect string) []hw.Instr {
+		code := []hw.Instr{{Op: hw.OpLd, Ord: hw.Plain, Loc: from, Dst: reg}}
+		switch protect {
+		case "branch":
+			code = append(code, hw.Instr{Op: hw.OpBranchDep, Cond: reg})
+		case "fence":
+			code = append(code, hw.Instr{Op: hw.OpFence, Fence: hw.DmbLd})
+		}
+		code = append(code, hw.Instr{Op: hw.OpSt, Ord: hw.Plain, Loc: to, A: prog.I(1)})
+		return code
+	}
+	return &hw.Program{
+		Name: "LB",
+		Locs: map[prog.Loc]prog.LocKind{"x": prog.NonAtomic, "y": prog.NonAtomic},
+		Threads: []hw.Thread{
+			{Name: "P0", Code: mk("x", "y", "r0", protect0)},
+			{Name: "P1", Code: mk("y", "x", "r1", protect1)},
+		},
+		ObsRegs: []map[prog.Reg]bool{{"r0": true}, {"r1": true}},
+	}
+}
+
+func lbAllowed(t *testing.T, p *hw.Program) bool {
+	t.Helper()
+	allowed := false
+	err := hw.Enumerate(p, Consistent, func(x *hw.Execution) bool {
+		if x.Regs[0]["r0"] == 1 && x.Regs[1]["r1"] == 1 {
+			allowed = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return allowed
+}
+
+// The classic §7.3 example: bare ARMv8 allows both processors to read
+// each other's (program-order-later) writes.
+func TestBareARMAllowsLoadBuffering(t *testing.T) {
+	if !lbAllowed(t, lb("none", "none")) {
+		t.Error("abridged ARMv8 should allow bare load buffering")
+	}
+}
+
+// Protecting only one thread is NOT enough: the unprotected side may
+// still hoist its store above its load and feed the protected side.
+// (Real ARMv8 behaves the same way — both legs of the cycle must be
+// ordered — which is why the compilation schemes decorate *every*
+// nonatomic access.)
+func TestSingleProtectionInsufficient(t *testing.T) {
+	for _, protect := range []string{"branch", "fence"} {
+		if !lbAllowed(t, lb(protect, "none")) {
+			t.Errorf("protection %q on one thread only should still allow LB", protect)
+		}
+	}
+}
+
+// Table 2a vs 2b: both protections forbid the outcome.
+func TestBothProtectionsForbidLB(t *testing.T) {
+	if lbAllowed(t, lb("branch", "branch")) {
+		t.Error("BAL must forbid LB")
+	}
+	if lbAllowed(t, lb("fence", "fence")) {
+		t.Error("FBS must forbid LB")
+	}
+}
+
+// bob: acquire loads order everything after them; release stores order
+// everything before them. Check MP built from ldar/stlr.
+func TestAcquireReleaseMP(t *testing.T) {
+	p := &hw.Program{
+		Name: "MP-acqrel",
+		Locs: map[prog.Loc]prog.LocKind{"x": prog.NonAtomic, "f": prog.NonAtomic},
+		Threads: []hw.Thread{
+			{Name: "P0", Code: []hw.Instr{
+				{Op: hw.OpSt, Ord: hw.Plain, Loc: "x", A: prog.I(1)},
+				{Op: hw.OpSt, Ord: hw.Release, Loc: "f", A: prog.I(1)},
+			}},
+			{Name: "P1", Code: []hw.Instr{
+				{Op: hw.OpLd, Ord: hw.Acquire, Loc: "f", Dst: "r0"},
+				{Op: hw.OpLd, Ord: hw.Plain, Loc: "x", Dst: "r1"},
+			}},
+		},
+		ObsRegs: []map[prog.Reg]bool{{}, {"r0": true, "r1": true}},
+	}
+	err := hw.Enumerate(p, Consistent, func(x *hw.Execution) bool {
+		if x.Regs[1]["r0"] == 1 && x.Regs[1]["r1"] == 0 {
+			t.Error("acquire/release MP violated")
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Without the release annotation the data store may pass the flag store.
+func TestPlainStoresLeakMP(t *testing.T) {
+	p := &hw.Program{
+		Name: "MP-plain",
+		Locs: map[prog.Loc]prog.LocKind{"x": prog.NonAtomic, "f": prog.NonAtomic},
+		Threads: []hw.Thread{
+			{Name: "P0", Code: []hw.Instr{
+				{Op: hw.OpSt, Ord: hw.Plain, Loc: "x", A: prog.I(1)},
+				{Op: hw.OpSt, Ord: hw.Plain, Loc: "f", A: prog.I(1)},
+			}},
+			{Name: "P1", Code: []hw.Instr{
+				{Op: hw.OpLd, Ord: hw.Plain, Loc: "f", Dst: "r0"},
+				{Op: hw.OpLd, Ord: hw.Plain, Loc: "x", Dst: "r1"},
+			}},
+		},
+		ObsRegs: []map[prog.Reg]bool{{}, {"r0": true, "r1": true}},
+	}
+	leaked := false
+	err := hw.Enumerate(p, Consistent, func(x *hw.Execution) bool {
+		if x.Regs[1]["r0"] == 1 && x.Regs[1]["r1"] == 0 {
+			leaked = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !leaked {
+		t.Error("bare ARM should exhibit the MP violation (no ordering at all)")
+	}
+}
+
+// dmb st orders writes with writes (W×W only): it fixes MP's writer but
+// a reader without ordering can still see stale data via read
+// reordering... which the abridged model permits via unordered reads.
+func TestDmbStOrdersWriterOnly(t *testing.T) {
+	p := &hw.Program{
+		Name: "MP-dmbst",
+		Locs: map[prog.Loc]prog.LocKind{"x": prog.NonAtomic, "f": prog.NonAtomic},
+		Threads: []hw.Thread{
+			{Name: "P0", Code: []hw.Instr{
+				{Op: hw.OpSt, Ord: hw.Plain, Loc: "x", A: prog.I(1)},
+				{Op: hw.OpFence, Fence: hw.DmbSt},
+				{Op: hw.OpSt, Ord: hw.Plain, Loc: "f", A: prog.I(1)},
+			}},
+			{Name: "P1", Code: []hw.Instr{
+				{Op: hw.OpLd, Ord: hw.Plain, Loc: "f", Dst: "r0"},
+				{Op: hw.OpLd, Ord: hw.Plain, Loc: "x", Dst: "r1"},
+			}},
+		},
+		ObsRegs: []map[prog.Reg]bool{{}, {"r0": true, "r1": true}},
+	}
+	leaked := false
+	err := hw.Enumerate(p, Consistent, func(x *hw.Execution) bool {
+		if x.Regs[1]["r0"] == 1 && x.Regs[1]["r1"] == 0 {
+			leaked = true
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !leaked {
+		t.Error("dmb st alone cannot repair MP: the reader's loads are still unordered")
+	}
+}
+
+// The exclusive pair's atomicity: two competing RMW writers to one cell
+// never interleave between each other's read and write.
+func TestExclusivePairAtomicity(t *testing.T) {
+	p := &hw.Program{
+		Name: "2rmw",
+		Locs: map[prog.Loc]prog.LocKind{"a": prog.Atomic},
+		Threads: []hw.Thread{
+			{Name: "P0", Code: []hw.Instr{
+				{Op: hw.OpLd, Ord: hw.AcquireX, Loc: "a", Dst: "s0"},
+				{Op: hw.OpSt, Ord: hw.ReleaseX, Loc: "a", A: prog.I(1), RMWPair: true},
+			}},
+			{Name: "P1", Code: []hw.Instr{
+				{Op: hw.OpLd, Ord: hw.AcquireX, Loc: "a", Dst: "s1"},
+				{Op: hw.OpSt, Ord: hw.ReleaseX, Loc: "a", A: prog.I(2), RMWPair: true},
+			}},
+		},
+		ObsRegs: []map[prog.Reg]bool{{"s0": true}, {"s1": true}},
+	}
+	err := hw.Enumerate(p, Consistent, func(x *hw.Execution) bool {
+		// If both pairs read 0, both were "first": impossible for a
+		// consistent execution (one write must co-precede the other,
+		// making the later pair's read see it or violate atomicity).
+		if x.Regs[0]["s0"] == 0 && x.Regs[1]["s1"] == 0 {
+			t.Errorf("both exclusive pairs read the initial value:\n%s", x.Describe())
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// OB is built from the documented components; spot-check that a ctrl
+// edge to a read does NOT order (dob is ctrl ∩ (M×W)).
+func TestCtrlToReadNotOrdering(t *testing.T) {
+	p := &hw.Program{
+		Name: "ctrl-read",
+		Locs: map[prog.Loc]prog.LocKind{"x": prog.NonAtomic, "y": prog.NonAtomic},
+		Threads: []hw.Thread{
+			{Name: "P0", Code: []hw.Instr{
+				{Op: hw.OpLd, Ord: hw.Plain, Loc: "x", Dst: "r"},
+				{Op: hw.OpBranchDep, Cond: "r"},
+				{Op: hw.OpLd, Ord: hw.Plain, Loc: "y", Dst: "r2"},
+			}},
+		},
+		ObsRegs: []map[prog.Reg]bool{{"r": true, "r2": true}},
+	}
+	err := hw.Enumerate(p, func(*hw.Execution) bool { return true }, func(x *hw.Execution) bool {
+		ob := OB(x)
+		var rd1, rd2 = -1, -1
+		for i, e := range x.Events {
+			if e.Thread != 0 {
+				continue
+			}
+			if e.Loc == "x" {
+				rd1 = i
+			}
+			if e.Loc == "y" {
+				rd2 = i
+			}
+		}
+		if ob.Has(rd1, rd2) {
+			t.Error("ctrl to a read must not be in ob (ctrl ∩ (M×W) only)")
+		}
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

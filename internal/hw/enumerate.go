@@ -1,0 +1,445 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+
+	"localdrf/internal/prog"
+	"localdrf/internal/rel"
+)
+
+// levent is a thread-local event before global numbering.
+type levent struct {
+	loc         prog.Loc
+	isWrite     bool
+	val         prog.Val
+	acq, rel    bool
+	ldF, stF    int
+	ctrl        map[int]bool
+	rmwWithPrev bool
+}
+
+// localExec is one execution of a hardware thread.
+type localExec struct {
+	events []levent
+	regs   map[prog.Reg]prog.Val
+}
+
+const maxEventsPerThread = 96
+
+// maxLocalSteps bounds a single local execution; hardware code is
+// loop-free apart from (modelled-away) exclusive retries.
+const maxLocalSteps = 4096
+
+type domain map[prog.Loc]map[prog.Val]bool
+
+func (d domain) vals(l prog.Loc) []prog.Val {
+	out := make([]prog.Val, 0, len(d[l]))
+	for v := range d[l] {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// threadExecs enumerates the local executions of one hardware thread,
+// tracking register taint (which read events a register's value depends
+// on), control dependencies and fence counts.
+func threadExecs(code []Instr, dom domain) ([]localExec, error) {
+	var out []localExec
+	type state struct {
+		pc       int
+		regs     map[prog.Reg]prog.Val
+		taint    map[prog.Reg]map[int]bool
+		ctrl     map[int]bool
+		ldF, stF int
+		reads    int // read events so far (their local sequence numbers)
+		lastLd   int // event index of most recent load, for RMW pairing
+		steps    int
+	}
+	cloneSet := func(s map[int]bool) map[int]bool {
+		c := make(map[int]bool, len(s))
+		for k := range s {
+			c[k] = true
+		}
+		return c
+	}
+	var walk func(st state, events []levent) error
+	eval := func(st state, o prog.Operand) prog.Val {
+		if o.IsReg {
+			return st.regs[o.Reg]
+		}
+		return o.Imm
+	}
+	taintOf := func(st state, o prog.Operand) map[int]bool {
+		if o.IsReg {
+			return st.taint[o.Reg]
+		}
+		return nil
+	}
+	walk = func(st state, events []levent) error {
+		st.steps++
+		if st.steps > maxLocalSteps || len(events) > maxEventsPerThread {
+			return fmt.Errorf("hw: local execution too long (divergent loop?)")
+		}
+		if st.pc < 0 || st.pc >= len(code) {
+			cp := make([]levent, len(events))
+			copy(cp, events)
+			out = append(out, localExec{events: cp, regs: st.regs})
+			return nil
+		}
+		in := code[st.pc]
+		next := st
+		next.pc++
+		switch in.Op {
+		case OpLd:
+			seq := len(events)
+			for _, v := range dom.vals(in.Loc) {
+				ns := next
+				ns.regs = cloneMap(st.regs)
+				ns.taint = cloneTaint(st.taint)
+				ns.regs[in.Dst] = v
+				ns.taint[in.Dst] = map[int]bool{seq: true}
+				ns.reads = st.reads + 1
+				ns.lastLd = seq
+				ev := levent{
+					loc: in.Loc, isWrite: false, val: v,
+					acq: in.Ord == Acquire || in.Ord == AcquireX,
+					ldF: st.ldF, stF: st.stF, ctrl: cloneSet(st.ctrl),
+				}
+				if err := walk(ns, append(events, ev)); err != nil {
+					return err
+				}
+			}
+			return nil
+		case OpSt:
+			ev := levent{
+				loc: in.Loc, isWrite: true, val: eval(st, in.A),
+				rel: in.Ord == Release || in.Ord == ReleaseX,
+				ldF: st.ldF, stF: st.stF, ctrl: cloneSet(st.ctrl),
+				rmwWithPrev: in.RMWPair,
+			}
+			return walk(next, append(events, ev))
+		case OpFence:
+			switch in.Fence {
+			case DmbLd:
+				next.ldF++
+			case DmbSt:
+				next.stF++
+			case DmbFull:
+				next.ldF++
+				next.stF++
+			}
+			return walk(next, events)
+		case OpBranchDep:
+			next.ctrl = cloneSet(st.ctrl)
+			for k := range st.taint[in.Cond] {
+				next.ctrl[k] = true
+			}
+			return walk(next, events)
+		case OpMov:
+			next.regs = cloneMap(st.regs)
+			next.taint = cloneTaint(st.taint)
+			next.regs[in.Dst] = eval(st, in.A)
+			next.taint[in.Dst] = cloneSet(taintOf(st, in.A))
+			return walk(next, events)
+		case OpAdd, OpMul, OpCmpEq:
+			next.regs = cloneMap(st.regs)
+			next.taint = cloneTaint(st.taint)
+			a, bv := eval(st, in.A), eval(st, in.B)
+			var v prog.Val
+			switch in.Op {
+			case OpAdd:
+				v = a + bv
+			case OpMul:
+				v = a * bv
+			default:
+				if a == bv {
+					v = 1
+				}
+			}
+			next.regs[in.Dst] = v
+			t := cloneSet(taintOf(st, in.A))
+			for k := range taintOf(st, in.B) {
+				t[k] = true
+			}
+			next.taint[in.Dst] = t
+			return walk(next, events)
+		case OpJmp:
+			next.pc = in.Target
+			return walk(next, events)
+		case OpJmpZ, OpJmpNZ:
+			// A real conditional branch: control flow follows the
+			// register value, and everything after the branch becomes
+			// control-dependent on the reads feeding the condition.
+			next.ctrl = cloneSet(st.ctrl)
+			for k := range st.taint[in.Cond] {
+				next.ctrl[k] = true
+			}
+			taken := st.regs[in.Cond] == 0
+			if in.Op == OpJmpNZ {
+				taken = !taken
+			}
+			if taken {
+				next.pc = in.Target
+			}
+			return walk(next, events)
+		case OpNop:
+			return walk(next, events)
+		}
+		return fmt.Errorf("hw: unknown op %v", in.Op)
+	}
+	init := state{
+		regs:   map[prog.Reg]prog.Val{},
+		taint:  map[prog.Reg]map[int]bool{},
+		ctrl:   map[int]bool{},
+		lastLd: -1,
+	}
+	if err := walk(init, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func cloneMap(m map[prog.Reg]prog.Val) map[prog.Reg]prog.Val {
+	c := make(map[prog.Reg]prog.Val, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func cloneTaint(m map[prog.Reg]map[int]bool) map[prog.Reg]map[int]bool {
+	c := make(map[prog.Reg]map[int]bool, len(m))
+	for k, v := range m {
+		s := make(map[int]bool, len(v))
+		for i := range v {
+			s[i] = true
+		}
+		c[k] = s
+	}
+	return c
+}
+
+// valueDomain is the per-location read-value fixpoint, as in package
+// axiomatic.
+func valueDomain(p *Program) (domain, error) {
+	dom := domain{}
+	for l := range p.Locs {
+		dom[l] = map[prog.Val]bool{prog.V0: true}
+	}
+	for round := 0; round < 16; round++ {
+		grew := false
+		for _, t := range p.Threads {
+			execs, err := threadExecs(t.Code, dom)
+			if err != nil {
+				return nil, err
+			}
+			for _, le := range execs {
+				for _, ev := range le.events {
+					if ev.isWrite && !dom[ev.loc][ev.val] {
+						dom[ev.loc][ev.val] = true
+						grew = true
+					}
+				}
+			}
+		}
+		if !grew {
+			return dom, nil
+		}
+	}
+	return nil, fmt.Errorf("hw: value domain did not converge")
+}
+
+// Enumerate yields every candidate execution of the hardware program that
+// the architecture model (consistent) accepts.
+func Enumerate(p *Program, consistent func(*Execution) bool, visit func(*Execution) bool) error {
+	dom, err := valueDomain(p)
+	if err != nil {
+		return err
+	}
+	perThread := make([][]localExec, len(p.Threads))
+	for i, t := range p.Threads {
+		execs, err := threadExecs(t.Code, dom)
+		if err != nil {
+			return fmt.Errorf("hw: thread %s: %w", t.Name, err)
+		}
+		perThread[i] = execs
+	}
+	choice := make([]int, len(perThread))
+	for {
+		stop, err := enumerateGraphs(p, perThread, choice, consistent, visit)
+		if err != nil || stop {
+			return err
+		}
+		i := 0
+		for ; i < len(choice); i++ {
+			choice[i]++
+			if choice[i] < len(perThread[i]) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(choice) {
+			return nil
+		}
+	}
+}
+
+func enumerateGraphs(p *Program, perThread [][]localExec, choice []int,
+	consistent func(*Execution) bool, visit func(*Execution) bool) (bool, error) {
+
+	var events []Event
+	var locs []prog.Loc
+	for l := range p.Locs {
+		locs = append(locs, l)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	for _, l := range locs {
+		events = append(events, Event{Thread: -1, Loc: l, IsWrite: true, Val: prog.V0})
+	}
+	var regs []map[prog.Reg]prog.Val
+	for t := range perThread {
+		le := perThread[t][choice[t]]
+		for n, ev := range le.events {
+			events = append(events, Event{
+				Thread: t, Seq: n, Loc: ev.loc, IsWrite: ev.isWrite, Val: ev.val,
+				Acq: ev.acq, Rel: ev.rel,
+				ldFences: ev.ldF, stFences: ev.stF,
+				ctrl: ev.ctrl, rmwWithPrev: ev.rmwWithPrev,
+			})
+		}
+		regs = append(regs, le.regs)
+	}
+	n := len(events)
+	po := rel.New(n)
+	rmw := rel.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if events[i].Thread >= 0 && events[i].Thread == events[j].Thread && events[i].Seq < events[j].Seq {
+				po.Set(i, j)
+				if events[j].rmwWithPrev && events[j].Seq == events[i].Seq+1 {
+					rmw.Set(i, j)
+				}
+			}
+		}
+	}
+
+	var reads []int
+	rfCands := map[int][]int{}
+	for i, e := range events {
+		if e.IsWrite {
+			continue
+		}
+		reads = append(reads, i)
+		for j, w := range events {
+			if w.IsWrite && w.Loc == e.Loc && w.Val == e.Val {
+				rfCands[i] = append(rfCands[i], j)
+			}
+		}
+		if len(rfCands[i]) == 0 {
+			return false, nil
+		}
+	}
+	writesByLoc := map[prog.Loc][]int{}
+	initByLoc := map[prog.Loc]int{}
+	for i, e := range events {
+		if !e.IsWrite {
+			continue
+		}
+		if e.IsInit() {
+			initByLoc[e.Loc] = i
+		} else {
+			writesByLoc[e.Loc] = append(writesByLoc[e.Loc], i)
+		}
+	}
+
+	rfChoice := make([]int, len(reads))
+	for {
+		rf := rel.New(n)
+		for k, r := range reads {
+			rf.Set(rfCands[r][rfChoice[k]], r)
+		}
+		stop, err := enumerateCO(p, events, locs, writesByLoc, initByLoc, po, rf, rmw, regs, consistent, visit)
+		if err != nil || stop {
+			return stop, err
+		}
+		i := 0
+		for ; i < len(rfChoice); i++ {
+			rfChoice[i]++
+			if rfChoice[i] < len(rfCands[reads[i]]) {
+				break
+			}
+			rfChoice[i] = 0
+		}
+		if i == len(rfChoice) {
+			return false, nil
+		}
+	}
+}
+
+func enumerateCO(p *Program, events []Event, locs []prog.Loc,
+	writesByLoc map[prog.Loc][]int, initByLoc map[prog.Loc]int,
+	po, rf, rmw rel.Rel, regs []map[prog.Reg]prog.Val,
+	consistent func(*Execution) bool, visit func(*Execution) bool) (bool, error) {
+
+	n := len(events)
+	perLocOrders := make([][][]int, 0, len(locs))
+	for _, l := range locs {
+		perLocOrders = append(perLocOrders, permutations(writesByLoc[l]))
+	}
+	choice := make([]int, len(locs))
+	for {
+		co := rel.New(n)
+		for li, l := range locs {
+			order := perLocOrders[li][choice[li]]
+			chain := append([]int{initByLoc[l]}, order...)
+			for a := 0; a < len(chain); a++ {
+				for b := a + 1; b < len(chain); b++ {
+					co.Set(chain[a], chain[b])
+				}
+			}
+		}
+		x := &Execution{Prog: p, Events: events, PO: po, RF: rf, CO: co, RMW: rmw, Regs: regs}
+		if consistent(x) {
+			if !visit(x) {
+				return true, nil
+			}
+		}
+		i := 0
+		for ; i < len(choice); i++ {
+			choice[i]++
+			if choice[i] < len(perLocOrders[i]) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(choice) {
+			return false, nil
+		}
+	}
+}
+
+func permutations(xs []int) [][]int {
+	if len(xs) == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	var recur func(cur []int, rest []int)
+	recur = func(cur, rest []int) {
+		if len(rest) == 0 {
+			cp := make([]int, len(cur))
+			copy(cp, cur)
+			out = append(out, cp)
+			return
+		}
+		for i := range rest {
+			next := make([]int, 0, len(rest)-1)
+			next = append(next, rest[:i]...)
+			next = append(next, rest[i+1:]...)
+			recur(append(cur, rest[i]), next)
+		}
+	}
+	recur(nil, xs)
+	return out
+}

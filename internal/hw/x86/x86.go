@@ -1,0 +1,43 @@
+// Package x86 implements the axiomatic x86-TSO model of fig. 3 of the
+// paper (after Alglave et al.), used to validate the table-1 compilation
+// scheme (thm. 19).
+//
+//	poloc   = po ∩ same-location
+//	poghb   = po ∩ ((W × W) ∪ (R × M))
+//	implied = po ∩ ((W × WA) ∪ (WA × R))   where WA = writes with an rmw-predecessor
+//	ghb     = implied ∪ poghb ∪ rfe ∪ fr ∪ co
+//
+// Conditions: acyclic(poloc ∪ rf ∪ fr ∪ co), acyclic(ghb),
+// rmw ∩ (fre; coe) = ∅.
+//
+// The model captures exactly TSO's one relaxation: a write followed by a
+// program-order-later read (of a different location) is not globally
+// ordered — the read may complete while the write sits in the store
+// buffer — except around the read/write halves of a locked instruction.
+package x86
+
+import (
+	"localdrf/internal/hw"
+	"localdrf/internal/rel"
+)
+
+// GHB computes the global-happens-before relation of fig. 3.
+func GHB(x *hw.Execution) rel.Rel {
+	isWA := func(i int) bool { return x.IsWA(i) }
+	poghb := x.PO.Restrict(x.IsWriteEv, x.IsWriteEv).
+		Union(x.PO.Restrict(x.IsReadEv, x.Any))
+	implied := x.PO.Restrict(x.IsWriteEv, isWA).
+		Union(x.PO.Restrict(isWA, x.IsReadEv))
+	return implied.Union(poghb, x.External(x.RF), x.FR(), x.CO)
+}
+
+// Consistent reports whether the execution satisfies the x86-TSO axioms.
+func Consistent(x *hw.Execution) bool {
+	if !x.SCPerLocation() {
+		return false
+	}
+	if !GHB(x).Acyclic() {
+		return false
+	}
+	return x.RMWAtomic()
+}

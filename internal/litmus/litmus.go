@@ -1,0 +1,496 @@
+// Package litmus catalogues the paper's example programs and the classic
+// litmus shapes, each with named outcome predicates and the verdict the
+// paper's memory model assigns them. The suite drives cmd/litmus,
+// cmd/experiments and the regression tests; the §2 examples additionally
+// carry "miscompiled" variants that reproduce the C++/Java behaviours
+// mechanically (via transformations that package opt rejects).
+package litmus
+
+import (
+	"fmt"
+
+	"localdrf/internal/explore"
+	"localdrf/internal/prog"
+)
+
+// Verdict is the model's answer for one outcome predicate.
+type Verdict int
+
+const (
+	// Forbidden: no execution may satisfy the predicate.
+	Forbidden Verdict = iota
+	// Allowed: some execution satisfies the predicate.
+	Allowed
+)
+
+func (v Verdict) String() string {
+	if v == Allowed {
+		return "allowed"
+	}
+	return "forbidden"
+}
+
+// Check pairs an outcome predicate with the verdict under the paper's
+// model (evaluated on the operational semantics).
+type Check struct {
+	Name string
+	Pred func(explore.Outcome) bool
+	Want Verdict
+	// Note records which other models behave differently (informational).
+	Note string
+}
+
+// Test is one litmus test.
+type Test struct {
+	Name        string
+	Description string
+	Prog        *prog.Program
+	Checks      []Check
+}
+
+// Verify evaluates every check of a test against the operational model.
+func Verify(t Test) error {
+	set, err := explore.Outcomes(t.Prog, explore.Options{})
+	if err != nil {
+		return fmt.Errorf("litmus %s: %w", t.Name, err)
+	}
+	for _, c := range t.Checks {
+		got := Forbidden
+		if set.Exists(c.Pred) {
+			got = Allowed
+		}
+		if got != c.Want {
+			return fmt.Errorf("litmus %s: %s is %v, want %v (outcomes: %v)",
+				t.Name, c.Name, got, c.Want, set.Keys())
+		}
+	}
+	return nil
+}
+
+// Get returns a test by name.
+func Get(name string) (Test, bool) {
+	for _, t := range Suite() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Test{}, false
+}
+
+// Suite returns the full catalogue, including the §10 release-acquire
+// extension tests.
+func Suite() []Test {
+	base := []Test{
+		storeBuffering(),
+		storeBufferingAtomic(),
+		messagePassing(),
+		messagePassingRacy(),
+		loadBuffering(),
+		loadBufferingCtrl(),
+		coherenceRacy(),
+		iriw(),
+		twoPlusTwoW(),
+		example1(),
+		example1Miscompiled(),
+		example2(),
+		example2Miscompiled(),
+		example3(),
+		section92(),
+		wrc(),
+		sShape(),
+	}
+	return append(base, raSuite()...)
+}
+
+// wrc is write-to-read causality with a nonatomic first leg. A subtle
+// consequence of Read-NA leaving the frontier unchanged (fig. 1c): a
+// thread that merely *read* x does not publish x through a subsequent
+// atomic write, so the chain T0 -x→ T1 -F→ T2 does not transfer
+// visibility of x. Both semantics agree (the nonatomic rf edge is not in
+// hb), and the racy read is exactly what local DRF flags.
+func wrc() Test {
+	return Test{
+		Name:        "WRC",
+		Description: "write-to-read causality with a racy first leg: reads do not publish",
+		Prog: prog.NewProgram("WRC").
+			Vars("x").
+			Atomics("F").
+			Thread("P0").StoreI("x", 1).Done().
+			Thread("P1").
+			Load("r1", "x").
+			JmpZ("r1", "skip1").
+			StoreI("F", 1).
+			Label("skip1").
+			Done().
+			Thread("P2").
+			Load("r2", "F").
+			JmpZ("r2", "skip2").
+			Load("r3", "x").
+			Label("skip2").
+			Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "r2=1 ∧ r3=0", Pred: and(reg(2, "r2", 1), reg(2, "r3", 0)), Want: Allowed,
+				Note: "Read-NA does not advance the frontier, so P1's read of x is not released through F"},
+		},
+	}
+}
+
+// sShape is the classic S: after synchronising, a write to the raced
+// location must take a later timestamp than the write it saw, so the
+// final value is fixed.
+func sShape() Test {
+	return Test{
+		Name:        "S",
+		Description: "post-synchronisation write ordering: the consumer's write lands after the producer's",
+		Prog: prog.NewProgram("S").
+			Vars("x").
+			Atomics("F").
+			Thread("P0").StoreI("x", 2).StoreI("F", 1).Done().
+			Thread("P1").
+			Load("rF", "F").
+			JmpZ("rF", "skip").
+			StoreI("x", 1).
+			Label("skip").
+			Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "rF=1 ∧ x=2 finally", Pred: func(o explore.Outcome) bool {
+				return o.Reg(1, "rF") == 1 && o.Mem["x"] == 2
+			}, Want: Forbidden,
+				Note: "Write-NA: the synchronised writer's timestamp must exceed its frontier"},
+			{Name: "rF=0 ∧ x=1 finally", Pred: func(o explore.Outcome) bool {
+				return o.Reg(1, "rF") == 0 && o.Mem["x"] == 1
+			}, Want: Forbidden,
+				Note: "the guarded write only executes after the flag was seen"},
+		},
+	}
+}
+
+func reg(t int, r prog.Reg, v prog.Val) func(explore.Outcome) bool {
+	return func(o explore.Outcome) bool { return o.Reg(t, r) == v }
+}
+
+func and(ps ...func(explore.Outcome) bool) func(explore.Outcome) bool {
+	return func(o explore.Outcome) bool {
+		for _, p := range ps {
+			if !p(o) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func storeBuffering() Test {
+	return Test{
+		Name:        "SB",
+		Description: "store buffering on nonatomics: the TSO relaxation is allowed (nonatomics are free on x86)",
+		Prog: prog.NewProgram("SB").
+			Vars("x", "y").
+			Thread("P0").StoreI("x", 1).Load("r0", "y").Done().
+			Thread("P1").StoreI("y", 1).Load("r1", "x").Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "r0=0 ∧ r1=0", Pred: and(reg(0, "r0", 0), reg(1, "r1", 0)), Want: Allowed,
+				Note: "the racy reads may both be stale"},
+		},
+	}
+}
+
+func storeBufferingAtomic() Test {
+	return Test{
+		Name:        "SB+at",
+		Description: "store buffering on atomics: forbidden (atomics are sequentially consistent)",
+		Prog: prog.NewProgram("SB+at").
+			Atomics("X", "Y").
+			Thread("P0").StoreI("X", 1).Load("r0", "Y").Done().
+			Thread("P1").StoreI("Y", 1).Load("r1", "X").Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "r0=0 ∧ r1=0", Pred: and(reg(0, "r0", 0), reg(1, "r1", 0)), Want: Forbidden,
+				Note: "this is why table 1 compiles atomic writes as xchg"},
+		},
+	}
+}
+
+func messagePassing() Test {
+	return Test{
+		Name:        "MP",
+		Description: "message passing through an atomic flag: seeing the flag implies seeing the data",
+		Prog: prog.NewProgram("MP").
+			Vars("x").
+			Atomics("F").
+			Thread("P0").StoreI("x", 1).StoreI("F", 1).Done().
+			Thread("P1").Load("r0", "F").Load("r1", "x").Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "r0=1 ∧ r1=0", Pred: and(reg(1, "r0", 1), reg(1, "r1", 0)), Want: Forbidden,
+				Note: "frontier transfer through Write-AT/Read-AT"},
+			{Name: "r0=0 ∧ r1=1", Pred: and(reg(1, "r0", 0), reg(1, "r1", 1)), Want: Allowed},
+		},
+	}
+}
+
+func messagePassingRacy() Test {
+	return Test{
+		Name:        "MP+na",
+		Description: "message passing through a nonatomic flag: racy, the violation is observable",
+		Prog: prog.NewProgram("MP+na").
+			Vars("x", "f").
+			Thread("P0").StoreI("x", 1).StoreI("f", 1).Done().
+			Thread("P1").Load("r0", "f").Load("r1", "x").Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "r0=1 ∧ r1=0", Pred: and(reg(1, "r0", 1), reg(1, "r1", 0)), Want: Allowed,
+				Note: "no synchronisation, the data race is unbounded"},
+		},
+	}
+}
+
+func loadBuffering() Test {
+	return Test{
+		Name:        "LB",
+		Description: "load buffering (§9.1): forbidden — reads never see future writes",
+		Prog: prog.NewProgram("LB").
+			Vars("x", "y").
+			Thread("P0").Load("r0", "x").StoreI("y", 1).Done().
+			Thread("P1").Load("r1", "y").StoreI("x", 1).Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "r0=1 ∧ r1=1", Pred: and(reg(0, "r0", 1), reg(1, "r1", 1)), Want: Forbidden,
+				Note: "allowed by ARMv8 hardware without BAL/FBS; banning it is the price of local DRF"},
+		},
+	}
+}
+
+func loadBufferingCtrl() Test {
+	return Test{
+		Name:        "LB+ctrl",
+		Description: "load buffering with a control dependency: the out-of-thin-air shape (§9.1)",
+		Prog: prog.NewProgram("LB+ctrl").
+			Vars("x", "y").
+			Thread("P0").
+			Load("r0", "x").
+			JmpZ("r0", "s0").
+			StoreI("y", 1).
+			Label("s0").
+			Done().
+			Thread("P1").
+			Load("r1", "y").
+			JmpZ("r1", "s1").
+			StoreI("x", 1).
+			Label("s1").
+			Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "r0=1 ∧ r1=1", Pred: and(reg(0, "r0", 1), reg(1, "r1", 1)), Want: Forbidden,
+				Note: "out-of-thin-air; forbidden even by hardware"},
+		},
+	}
+}
+
+func coherenceRacy() Test {
+	return Test{
+		Name:        "CoRR",
+		Description: "weak coherence: racing reads may observe writes in different orders (§9.2)",
+		Prog: prog.NewProgram("CoRR").
+			Vars("x").
+			Thread("P0").StoreI("x", 1).StoreI("x", 2).Done().
+			Thread("P1").Load("r0", "x").Load("r1", "x").Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "r0=2 ∧ r1=1", Pred: and(reg(1, "r0", 2), reg(1, "r1", 1)), Want: Allowed,
+				Note: "C++ relaxed atomics forbid this; allowing it is what keeps CSE valid"},
+		},
+	}
+}
+
+func iriw() Test {
+	return Test{
+		Name:        "IRIW+at",
+		Description: "independent reads of independent writes on atomics: readers agree on the order",
+		Prog: prog.NewProgram("IRIW+at").
+			Atomics("X", "Y").
+			Thread("P0").StoreI("X", 1).Done().
+			Thread("P1").StoreI("Y", 1).Done().
+			Thread("P2").Load("r0", "X").Load("r1", "Y").Done().
+			Thread("P3").Load("r2", "Y").Load("r3", "X").Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "r0=1 ∧ r1=0 ∧ r2=1 ∧ r3=0",
+				Pred: and(reg(2, "r0", 1), reg(2, "r1", 0), reg(3, "r2", 1), reg(3, "r3", 0)),
+				Want: Forbidden},
+		},
+	}
+}
+
+func twoPlusTwoW() Test {
+	return Test{
+		Name:        "2+2W",
+		Description: "two threads writing both locations in opposite orders",
+		Prog: prog.NewProgram("2+2W").
+			Vars("x", "y").
+			Thread("P0").StoreI("x", 1).StoreI("y", 2).Done().
+			Thread("P1").StoreI("y", 1).StoreI("x", 2).Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "x=1 ∧ y=1", Pred: func(o explore.Outcome) bool { return o.Mem["x"] == 1 && o.Mem["y"] == 1 },
+				Want: Allowed, Note: "each thread's second write may take an earlier timestamp"},
+		},
+	}
+}
+
+// example1 is §2.1: b = a + 10 with a data race on the unrelated c.
+// Bounding races in space: the race on c cannot corrupt b.
+func example1() Test {
+	return Test{
+		Name:        "Example1",
+		Description: "§2.1 bounding races in space: b = a+10 is immune to the race on c",
+		Prog: prog.NewProgram("Example1").
+			Vars("a", "b", "c").
+			Thread("P0").
+			Load("ra", "a").
+			Add("t", prog.R("ra"), prog.I(10)).
+			StoreR("c", "t").
+			Load("ra2", "a").
+			Add("t2", prog.R("ra2"), prog.I(10)).
+			StoreR("b", "t2").
+			Done().
+			Thread("P1").StoreI("c", 1).Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "b ≠ a+10 (b≠10)", Pred: func(o explore.Outcome) bool { return o.Mem["b"] != 10 },
+				Want: Forbidden, Note: "possible in C++ via rematerialisation from c"},
+		},
+	}
+}
+
+// example1Miscompiled applies the C++ rematerialisation by hand: the
+// second read of a is replaced by a read of c (the compiler "knows" c
+// holds a+10). The transformation is invalid in this model — and here is
+// the outcome that proves it.
+func example1Miscompiled() Test {
+	return Test{
+		Name:        "Example1+miscompiled",
+		Description: "§2.1 the C++ rematerialisation: b reloaded from c, exposing the race",
+		Prog: prog.NewProgram("Example1+miscompiled").
+			Vars("a", "b", "c").
+			Thread("P0").
+			Load("ra", "a").
+			Add("t", prog.R("ra"), prog.I(10)).
+			StoreR("c", "t").
+			Load("tc", "c"). // rematerialised: t reloaded from c
+			StoreR("b", "tc").
+			Done().
+			Thread("P1").StoreI("c", 1).Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "b ≠ a+10 (b≠10)", Pred: func(o explore.Outcome) bool { return o.Mem["b"] != 10 },
+				Want: Allowed, Note: "the race on c now corrupts b: races unbounded in space"},
+		},
+	}
+}
+
+// example2 is §2.2: two reads of a after synchronising on a flag, with a
+// racy write of a in the past. Bounding races in time (past).
+func example2() Test {
+	return Test{
+		Name:        "Example2",
+		Description: "§2.2 bounding races in time: after the flag, both reads of a agree",
+		Prog: prog.NewProgram("Example2").
+			Vars("a").
+			Atomics("FLAG").
+			Thread("P0").StoreI("a", 1).StoreI("FLAG", 1).Done().
+			Thread("P1").
+			StoreI("a", 2).
+			Load("f", "FLAG").
+			Load("rb", "a").
+			Load("rc", "a").
+			Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "f=1 ∧ rb≠rc", Pred: func(o explore.Outcome) bool {
+				return o.Reg(1, "f") == 1 && o.Reg(1, "rb") != o.Reg(1, "rc")
+			}, Want: Forbidden, Note: "Java allows rb=1, rc=2 here (appendix D)"},
+			{Name: "f=0 ∧ rb≠rc", Pred: func(o explore.Outcome) bool {
+				return o.Reg(1, "f") == 0 && o.Reg(1, "rb") != o.Reg(1, "rc")
+			}, Want: Allowed, Note: "without the synchronisation the race is still in progress"},
+		},
+	}
+}
+
+// example2Miscompiled forwards a=2 into the first read — the HotSpot
+// optimisation that breaks Java. Moving the read of a above the atomic
+// read of FLAG relaxes poat−, so package opt rejects the derivation; this
+// variant shows what the outcome would be.
+func example2Miscompiled() Test {
+	return Test{
+		Name:        "Example2+miscompiled",
+		Description: "§2.2 the Java constant-forwarding: rb fixed to 2, races now unbounded in time",
+		Prog: prog.NewProgram("Example2+miscompiled").
+			Vars("a").
+			Atomics("FLAG").
+			Thread("P0").StoreI("a", 1).StoreI("FLAG", 1).Done().
+			Thread("P1").
+			StoreI("a", 2).
+			Load("f", "FLAG").
+			Mov("rb", prog.I(2)). // forwarded from a = 2 across the flag
+			Load("rc", "a").
+			Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "f=1 ∧ rb≠rc", Pred: func(o explore.Outcome) bool {
+				return o.Reg(1, "f") == 1 && o.Reg(1, "rb") != o.Reg(1, "rc")
+			}, Want: Allowed, Note: "the reads disagree although the race is in the past"},
+		},
+	}
+}
+
+// example3 is §2.3: a freshly initialised location read back before
+// publication, with a racing write in the future. Bounding races in time
+// (future): banning load buffering is exactly what protects it.
+func example3() Test {
+	return Test{
+		Name:        "Example3",
+		Description: "§2.2 bounding future races: r = cx reads 42 despite the later race",
+		Prog: prog.NewProgram("Example3").
+			Vars("cx", "g").
+			Thread("P0").
+			StoreI("cx", 42).
+			Load("r", "cx").
+			StoreI("g", 1). // publish after the read
+			Done().
+			Thread("P1").
+			Load("rg", "g").
+			JmpZ("rg", "skip").
+			StoreI("cx", 7).
+			Label("skip").
+			Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "r ≠ 42", Pred: func(o explore.Outcome) bool { return o.Reg(0, "r") != 42 },
+				Want: Forbidden, Note: "Java/ARM allow r=7 by reordering the read after the publish"},
+		},
+	}
+}
+
+// section92 is the §9.2 comparison with C++ SC atomics: if A ends at 2,
+// the read of b happened before b = 1.
+func section92() Test {
+	return Test{
+		Name:        "S9.2",
+		Description: "§9.2 atomics stronger than C++ SC: A=2 afterwards implies x=0",
+		Prog: prog.NewProgram("S9.2").
+			Vars("b").
+			Atomics("A").
+			Thread("P0").Load("x", "b").StoreI("A", 1).Done().
+			Thread("P1").StoreI("A", 2).StoreI("b", 1).Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "A=2 ∧ x=1", Pred: func(o explore.Outcome) bool {
+				return o.Mem["A"] == 2 && o.Reg(0, "x") == 1
+			}, Want: Forbidden, Note: "C++ permits this; it has no operational explanation"},
+		},
+	}
+}

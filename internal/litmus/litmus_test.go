@@ -1,0 +1,157 @@
+package litmus
+
+import (
+	"testing"
+
+	"localdrf/internal/axiomatic"
+	"localdrf/internal/compile"
+	"localdrf/internal/core"
+	"localdrf/internal/explore"
+	"localdrf/internal/hw/arm"
+	"localdrf/internal/hw/x86"
+	"localdrf/internal/race"
+)
+
+// Every catalogued verdict holds under the operational model.
+func TestSuiteVerdicts(t *testing.T) {
+	for _, tc := range Suite() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			if err := Verify(tc); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// The axiomatic model agrees with every verdict too (thms. 15/16 at the
+// suite level).
+func TestSuiteVerdictsAxiomatic(t *testing.T) {
+	for _, tc := range Suite() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			set, err := axiomatic.Outcomes(tc.Prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range tc.Checks {
+				got := Forbidden
+				if set.Exists(c.Pred) {
+					got = Allowed
+				}
+				if got != c.Want {
+					t.Errorf("%s: axiomatically %v, want %v", c.Name, got, c.Want)
+				}
+			}
+		})
+	}
+}
+
+// The sound compilation schemes preserve every Forbidden verdict on
+// hardware (the Allowed ones need no preservation: soundness is about not
+// adding behaviours).
+func TestSuiteVerdictsOnHardware(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hardware enumeration sweep skipped in -short mode")
+	}
+	for _, tc := range Suite() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			for _, s := range []compile.Scheme{compile.X86, compile.ARMBal, compile.ARMFbs} {
+				consistent := arm.Consistent
+				if !s.IsARM() {
+					consistent = x86.Consistent
+				}
+				hp, err := compile.Lower(tc.Prog, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				set, err := compile.Outcomes(hp, consistent)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, c := range tc.Checks {
+					if c.Want != Forbidden {
+						continue
+					}
+					if set.Exists(c.Pred) {
+						t.Errorf("%s: %s admits forbidden outcome %s", s, tc.Name, c.Name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The named examples carry the race structure the paper describes.
+func TestExampleRaceStructure(t *testing.T) {
+	ex1, _ := Get("Example1")
+	reports, err := race.FindRaces(ex1.Prog, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.Loc != "c" {
+			t.Errorf("Example1 races on %s, want only c", r.Loc)
+		}
+	}
+	if len(reports) == 0 {
+		t.Error("Example1 should race on c")
+	}
+
+	ex2, _ := Get("Example2")
+	reports, err = race.FindRaces(ex2.Prog, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.Loc != "a" {
+			t.Errorf("Example2 races on %s, want only a", r.Loc)
+		}
+	}
+}
+
+// §5's local-DRF reasoning, executed: for each example, the initial state
+// is L-stable for the fragment's locations and the local DRF theorem
+// holds from it.
+func TestExamplesLocalDRF(t *testing.T) {
+	cases := []struct {
+		test string
+		L    race.LocSet
+	}{
+		{"Example1", race.NewLocSet("a", "b")},
+		{"Example2", race.NewLocSet("a")}, // a joins L once the flag is read
+		{"Example3", race.NewLocSet("cx", "g")},
+	}
+	for _, c := range cases {
+		tc, ok := Get(c.test)
+		if !ok {
+			t.Fatalf("missing test %s", c.test)
+		}
+		m := core.NewMachine(tc.Prog)
+		if err := race.CheckLocalDRFFrom(m, c.L, 6_000_000); err != nil {
+			t.Errorf("%s: %v", c.test, err)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	if _, ok := Get("MP"); !ok {
+		t.Error("Get(MP) failed")
+	}
+	if _, ok := Get("nonexistent"); ok {
+		t.Error("Get(nonexistent) succeeded")
+	}
+}
+
+func TestSuiteOutcomesNonEmpty(t *testing.T) {
+	for _, tc := range Suite() {
+		set, err := explore.Outcomes(tc.Prog, explore.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		if set.Len() == 0 {
+			t.Errorf("%s: empty outcome set", tc.Name)
+		}
+	}
+}

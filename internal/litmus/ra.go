@@ -1,0 +1,94 @@
+package litmus
+
+// Release-acquire litmus tests for the §10 extension. The verdicts
+// encode what distinguishes RA from the paper's SC atomics: message
+// passing still works (release/acquire synchronisation), but store
+// buffering and IRIW relaxations become visible, and Dekker-style mutual
+// exclusion is lost — exactly the C++ memory_order_acq_rel/-acquire/
+// -release behaviour the paper cites as "strong enough to describe many
+// parallel programming idioms, yet weak enough to be relatively cheaply
+// implementable".
+
+import (
+	"localdrf/internal/prog"
+)
+
+// raSuite returns the release-acquire extension tests.
+func raSuite() []Test {
+	return []Test{
+		mpRA(),
+		sbRA(),
+		iriwRA(),
+		corrRA(),
+	}
+}
+
+func mpRA() Test {
+	return Test{
+		Name:        "MP+ra",
+		Description: "§10 extension: message passing through a release-acquire flag still works",
+		Prog: prog.NewProgram("MP+ra").
+			Vars("x").
+			RAs("F").
+			Thread("P0").StoreI("x", 1).StoreI("F", 1).Done().
+			Thread("P1").Load("r0", "F").Load("r1", "x").Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "r0=1 ∧ r1=0", Pred: and(reg(1, "r0", 1), reg(1, "r1", 0)), Want: Forbidden,
+				Note: "the acquire read joins the release write's frontier"},
+			{Name: "r0=0 ∧ r1=0", Pred: and(reg(1, "r0", 0), reg(1, "r1", 0)), Want: Allowed},
+		},
+	}
+}
+
+func sbRA() Test {
+	return Test{
+		Name:        "SB+ra",
+		Description: "§10 extension: store buffering is visible on RA locations (unlike SC atomics)",
+		Prog: prog.NewProgram("SB+ra").
+			RAs("X", "Y").
+			Thread("P0").StoreI("X", 1).Load("r0", "Y").Done().
+			Thread("P1").StoreI("Y", 1).Load("r1", "X").Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "r0=0 ∧ r1=0", Pred: and(reg(0, "r0", 0), reg(1, "r1", 0)), Want: Allowed,
+				Note: "RA gives up Dekker-style exclusion; SB+at forbids this"},
+		},
+	}
+}
+
+func iriwRA() Test {
+	return Test{
+		Name:        "IRIW+ra",
+		Description: "§10 extension: RA readers may disagree on the order of independent writes",
+		Prog: prog.NewProgram("IRIW+ra").
+			RAs("X", "Y").
+			Thread("P0").StoreI("X", 1).Done().
+			Thread("P1").StoreI("Y", 1).Done().
+			Thread("P2").Load("r0", "X").Load("r1", "Y").Done().
+			Thread("P3").Load("r2", "Y").Load("r3", "X").Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "r0=1 ∧ r1=0 ∧ r2=1 ∧ r3=0",
+				Pred: and(reg(2, "r0", 1), reg(2, "r1", 0), reg(3, "r2", 1), reg(3, "r3", 0)),
+				Want: Allowed, Note: "RA is not multi-copy atomic; IRIW+at forbids this"},
+		},
+	}
+}
+
+func corrRA() Test {
+	return Test{
+		Name:        "CoRR+ra",
+		Description: "§10 extension: per-location coherence holds for RA (same-thread writes)",
+		Prog: prog.NewProgram("CoRR+ra").
+			RAs("X").
+			Thread("P0").StoreI("X", 1).StoreI("X", 2).Done().
+			Thread("P1").Load("r0", "X").Load("r1", "X").Done().
+			MustBuild(),
+		Checks: []Check{
+			{Name: "r0=2 ∧ r1=1", Pred: and(reg(1, "r0", 2), reg(1, "r1", 1)), Want: Forbidden,
+				Note: "unlike racy nonatomics (CoRR), RA reads advance the reader's frontier"},
+			{Name: "r0=1 ∧ r1=2", Pred: and(reg(1, "r0", 1), reg(1, "r1", 2)), Want: Allowed},
+		},
+	}
+}

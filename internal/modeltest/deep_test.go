@@ -1,0 +1,95 @@
+package modeltest
+
+// Deeper differential sweeps: larger random programs (3 threads, up to 4
+// memory operations each, mixed atomic/RA/nonatomic locations) push the
+// exhaustive engines much harder than the litmus shapes — state spaces
+// here run to tens of thousands of canonical machine states.
+
+import (
+	"testing"
+
+	"localdrf/internal/axiomatic"
+	"localdrf/internal/explore"
+	"localdrf/internal/prog"
+	"localdrf/internal/progsynth"
+	"localdrf/internal/race"
+)
+
+func deepConfig() progsynth.Config {
+	return progsynth.Config{
+		MaxThreads:     3,
+		MaxOps:         4,
+		AtomicLocs:     []prog.Loc{"A"},
+		NonAtomicLocs:  []prog.Loc{"x", "y", "z"},
+		MaxConst:       2,
+		AllowBranches:  true,
+		AllowRegStores: true,
+	}
+}
+
+func TestDeepOpAxEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep sweep skipped in -short mode")
+	}
+	cfg := deepConfig()
+	for seed := int64(9000); seed < 9040; seed++ {
+		p := progsynth.Random(seed, cfg)
+		op, err := explore.Outcomes(p, explore.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: operational: %v", seed, err)
+		}
+		ax, err := axiomatic.Outcomes(p)
+		if err != nil {
+			t.Fatalf("seed %d: axiomatic: %v", seed, err)
+		}
+		if !op.Equal(ax) {
+			t.Fatalf("seed %d: outcome sets differ\nprogram:\n%s\nop-only: %v\nax-only: %v",
+				seed, p, op.Minus(ax), ax.Minus(op))
+		}
+	}
+}
+
+func TestDeepSCSubsetAndRaceConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep sweep skipped in -short mode")
+	}
+	cfg := deepConfig()
+	for seed := int64(9100); seed < 9130; seed++ {
+		p := progsynth.Random(seed, cfg)
+		full, err := explore.Outcomes(p, explore.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sc, err := explore.Outcomes(p, explore.Options{SCOnly: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !sc.SubsetOf(full) || sc.Len() == 0 {
+			t.Fatalf("seed %d: SC outcome anomaly", seed)
+		}
+		// Race reports must agree between SC-only and full searches on
+		// which locations race under SC (full search may find more).
+		scRaces, err := race.FindRaces(p, true, 600_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		allRaces, err := race.FindRaces(p, false, 600_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		seen := map[race.Report]bool{}
+		for _, r := range allRaces {
+			seen[r] = true
+		}
+		for _, r := range scRaces {
+			if !seen[r] {
+				t.Fatalf("seed %d: race %v found under SC but not in the full search", seed, r)
+			}
+		}
+		// And a race-free verdict under SC implies full ≡ SC outcomes
+		// (thm. 14 at scale).
+		if len(scRaces) == 0 && !full.Equal(sc) {
+			t.Fatalf("seed %d: SC-race-free yet non-SC behaviours exist\n%s", seed, p)
+		}
+	}
+}

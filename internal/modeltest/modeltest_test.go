@@ -1,0 +1,113 @@
+// Package modeltest cross-validates the semantic engines on randomly
+// generated programs: the empirical content of thms. 14, 15/16 at
+// property-test scale.
+package modeltest
+
+import (
+	"testing"
+
+	"localdrf/internal/axiomatic"
+	"localdrf/internal/core"
+	"localdrf/internal/explore"
+	"localdrf/internal/prog"
+	"localdrf/internal/progsynth"
+	"localdrf/internal/race"
+)
+
+const equivalenceSeeds = 250
+
+// Thms. 15/16, empirically: for random programs, the operational and
+// axiomatic models produce identical outcome sets.
+func TestRandomOpAxEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive cross-validation skipped in -short mode")
+	}
+	for seed := int64(0); seed < equivalenceSeeds; seed++ {
+		p := progsynth.Random(seed, progsynth.Config{})
+		op, err := explore.Outcomes(p, explore.Options{})
+		if err != nil {
+			t.Fatalf("seed %d (%s): operational: %v", seed, p.Name, err)
+		}
+		ax, err := axiomatic.Outcomes(p)
+		if err != nil {
+			t.Fatalf("seed %d (%s): axiomatic: %v", seed, p.Name, err)
+		}
+		if !op.Equal(ax) {
+			t.Fatalf("seed %d: outcome sets differ\nprogram:\n%s\nop-only: %v\nax-only: %v",
+				seed, p, op.Minus(ax), ax.Minus(op))
+		}
+	}
+}
+
+// Thm. 14, empirically: random programs that are race-free in all SC
+// traces exhibit only SC behaviour.
+func TestRandomGlobalDRF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive cross-validation skipped in -short mode")
+	}
+	checked := 0
+	for seed := int64(0); seed < 200 && checked < 25; seed++ {
+		p := progsynth.Random(seed, progsynth.Config{})
+		free, err := race.IsSCRaceFree(p, 400_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !free {
+			continue
+		}
+		checked++
+		if err := race.CheckGlobalDRF(p, 400_000); err != nil {
+			t.Fatalf("seed %d: %v\nprogram:\n%s", seed, err, p)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("generator produced no race-free programs; tune it")
+	}
+}
+
+// Thm. 13, empirically: the local DRF conclusion holds from the initial
+// state (always L-stable) of random programs, for both a singleton L and
+// the full location set.
+func TestRandomLocalDRFFromInitial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive cross-validation skipped in -short mode")
+	}
+	cfg := progsynth.Config{
+		MaxThreads:    2,
+		MaxOps:        2,
+		AtomicLocs:    []prog.Loc{"A"},
+		NonAtomicLocs: []prog.Loc{"x", "y"},
+		MaxConst:      2,
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		p := progsynth.Random(seed, cfg)
+		for _, L := range []race.LocSet{race.NewLocSet("x"), race.AllLocs(p)} {
+			m := core.NewMachine(p)
+			if err := race.CheckLocalDRFFrom(m, L, 2_000_000); err != nil {
+				t.Fatalf("seed %d, L=%v: %v\nprogram:\n%s", seed, L, err, p)
+			}
+		}
+	}
+}
+
+// Weak-transition bookkeeping sanity on random programs: SC outcome sets
+// are always included in the full sets.
+func TestRandomSCSubset(t *testing.T) {
+	for seed := int64(300); seed < 340; seed++ {
+		p := progsynth.Random(seed, progsynth.Config{})
+		full, err := explore.Outcomes(p, explore.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sc, err := explore.Outcomes(p, explore.Options{SCOnly: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !sc.SubsetOf(full) {
+			t.Fatalf("seed %d: SC outcomes not included in full outcomes\n%s", seed, p)
+		}
+		if sc.Len() == 0 {
+			t.Fatalf("seed %d: no SC outcomes at all", seed)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+// Package opt implements the compiler-optimisation story of §7.1 of the
+// paper: which instruction reorderings the memory model permits, the
+// peephole transformations on adjacent same-location operations
+// (redundant load, store forwarding, dead store), sequentialisation, and
+// composite optimisations (CSE, LICM, DSE, constant propagation) derived
+// from those primitives. A semantic validity checker (outcome-set
+// inclusion under package explore) provides the ground truth the
+// syntactic rules are tested against.
+//
+// The §7.1 constraints: an optimisation may not shrink
+//
+//	poat−  — nothing moves before a prior atomic operation,
+//	po−at  — nothing moves after a subsequent atomic write,
+//	poRW   — a read never moves after a subsequent write,
+//	pocon  — conflicting (same-location, one-write) operations keep order,
+//
+// and, being a compiler, it must also respect ordinary register dataflow.
+package opt
+
+import (
+	"fmt"
+
+	"localdrf/internal/explore"
+	"localdrf/internal/prog"
+)
+
+// Fragment is a straight-line instruction sequence of a single thread.
+// (Control flow is deliberately excluded: the paper's §7.1 reasoning is
+// about straight-line reordering; LICM is treated on unrolled loops.)
+type Fragment []prog.Instr
+
+// Clone copies the fragment.
+func (f Fragment) Clone() Fragment {
+	out := make(Fragment, len(f))
+	copy(out, f)
+	return out
+}
+
+func (f Fragment) String() string {
+	s := ""
+	for i, in := range f {
+		if i > 0 {
+			s += "; "
+		}
+		s += in.String()
+	}
+	return s
+}
+
+// access describes the memory behaviour of an instruction.
+type access struct {
+	isMem   bool
+	isWrite bool
+	loc     prog.Loc
+}
+
+func accessOf(in prog.Instr) access {
+	switch i := in.(type) {
+	case prog.Load:
+		return access{isMem: true, isWrite: false, loc: i.Src}
+	case prog.Store:
+		return access{isMem: true, isWrite: true, loc: i.Dst}
+	default:
+		return access{}
+	}
+}
+
+// regsRead returns the registers an instruction reads.
+func regsRead(in prog.Instr) []prog.Reg {
+	var out []prog.Reg
+	add := func(o prog.Operand) {
+		if o.IsReg {
+			out = append(out, o.Reg)
+		}
+	}
+	switch i := in.(type) {
+	case prog.Store:
+		add(i.Src)
+	case prog.Mov:
+		add(i.Src)
+	case prog.Add:
+		add(i.A)
+		add(i.B)
+	case prog.Mul:
+		add(i.A)
+		add(i.B)
+	case prog.CmpEq:
+		add(i.A)
+		add(i.B)
+	}
+	return out
+}
+
+// regWritten returns the register an instruction defines, if any.
+func regWritten(in prog.Instr) (prog.Reg, bool) {
+	switch i := in.(type) {
+	case prog.Load:
+		return i.Dst, true
+	case prog.Mov:
+		return i.Dst, true
+	case prog.Add:
+		return i.Dst, true
+	case prog.Mul:
+		return i.Dst, true
+	case prog.CmpEq:
+		return i.Dst, true
+	}
+	return "", false
+}
+
+// CanSwap reports whether adjacent instructions a; b may be reordered to
+// b; a under the memory model (§7.1) and ordinary dataflow. The returned
+// reason names the violated constraint when the swap is forbidden.
+func CanSwap(a, b prog.Instr, isAtomic func(prog.Loc) bool) (bool, string) {
+	// Register dataflow.
+	if wa, ok := regWritten(a); ok {
+		for _, r := range regsRead(b) {
+			if r == wa {
+				return false, "dataflow: b reads a's result"
+			}
+		}
+		if wb, ok := regWritten(b); ok && wa == wb {
+			return false, "dataflow: both define the same register"
+		}
+	}
+	if wb, ok := regWritten(b); ok {
+		for _, r := range regsRead(a) {
+			if r == wb {
+				return false, "dataflow: a reads the register b defines"
+			}
+		}
+	}
+	aa, ab := accessOf(a), accessOf(b)
+	if !aa.isMem || !ab.isMem {
+		// Pure register computation reorders freely (subject to dataflow,
+		// checked above).
+		return true, ""
+	}
+	// poat−: operations must not be moved before prior atomic operations.
+	if isAtomic(aa.loc) {
+		return false, "poat−: a is an atomic operation"
+	}
+	// po−at: operations must not be moved after subsequent atomic writes.
+	if isAtomic(ab.loc) && ab.isWrite {
+		return false, "po−at: b is an atomic write"
+	}
+	// poRW: prior reads must not be moved after subsequent writes.
+	if !aa.isWrite && ab.isWrite {
+		return false, "poRW: read before write"
+	}
+	// pocon: conflicting operations must not be reordered.
+	if aa.loc == ab.loc && (aa.isWrite || ab.isWrite) {
+		return false, "pocon: conflicting operations"
+	}
+	return true, ""
+}
+
+// Peephole identifies one of the §7.1 same-location transformations.
+type Peephole int
+
+const (
+	// RedundantLoad: [r1 = a; r2 = a] ⇒ [r1 = a; r2 := r1].
+	RedundantLoad Peephole = iota
+	// StoreForwarding: [a = x; r1 = a] ⇒ [a = x; r1 := x].
+	StoreForwarding
+	// DeadStore: [a = x; a = y] ⇒ [a = y].
+	DeadStore
+)
+
+func (p Peephole) String() string {
+	switch p {
+	case RedundantLoad:
+		return "RL"
+	case StoreForwarding:
+		return "SF"
+	case DeadStore:
+		return "DS"
+	default:
+		return fmt.Sprintf("Peephole(%d)", int(p))
+	}
+}
+
+// ApplyPeephole applies the peephole at position i (covering instructions
+// i and i+1). The transformations are justified operationally in §7.1;
+// they are valid for nonatomic locations only (atomic operations carry
+// frontier side-effects that RL/SF/DS would lose).
+func ApplyPeephole(f Fragment, p Peephole, i int, isAtomic func(prog.Loc) bool) (Fragment, error) {
+	if i < 0 || i+1 >= len(f) {
+		return nil, fmt.Errorf("opt: peephole index %d out of range", i)
+	}
+	switch p {
+	case RedundantLoad:
+		l1, ok1 := f[i].(prog.Load)
+		l2, ok2 := f[i+1].(prog.Load)
+		if !ok1 || !ok2 || l1.Src != l2.Src {
+			return nil, fmt.Errorf("opt: RL needs two loads of one location at %d", i)
+		}
+		if isAtomic(l1.Src) {
+			return nil, fmt.Errorf("opt: RL is not valid for atomic locations")
+		}
+		out := f.Clone()
+		out[i+1] = prog.Mov{Dst: l2.Dst, Src: prog.R(l1.Dst)}
+		return out, nil
+	case StoreForwarding:
+		st, ok1 := f[i].(prog.Store)
+		ld, ok2 := f[i+1].(prog.Load)
+		if !ok1 || !ok2 || st.Dst != ld.Src {
+			return nil, fmt.Errorf("opt: SF needs a store then load of one location at %d", i)
+		}
+		if isAtomic(st.Dst) {
+			return nil, fmt.Errorf("opt: SF is not valid for atomic locations")
+		}
+		out := f.Clone()
+		out[i+1] = prog.Mov{Dst: ld.Dst, Src: st.Src}
+		return out, nil
+	case DeadStore:
+		s1, ok1 := f[i].(prog.Store)
+		s2, ok2 := f[i+1].(prog.Store)
+		if !ok1 || !ok2 || s1.Dst != s2.Dst {
+			return nil, fmt.Errorf("opt: DS needs two stores to one location at %d", i)
+		}
+		if isAtomic(s1.Dst) {
+			return nil, fmt.Errorf("opt: DS is not valid for atomic locations")
+		}
+		out := make(Fragment, 0, len(f)-1)
+		out = append(out, f[:i]...)
+		out = append(out, f[i+1:]...)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("opt: unknown peephole %v", p)
+	}
+}
+
+// Step is one primitive transformation in a derivation.
+type Step struct {
+	// Swap exchanges instructions I and I+1 when Kind is "swap";
+	// otherwise the peephole P is applied at I.
+	Kind string // "swap" or "peephole"
+	I    int
+	P    Peephole
+}
+
+// SwapStep and PeepholeStep build steps.
+func SwapStep(i int) Step                 { return Step{Kind: "swap", I: i} }
+func PeepholeStep(p Peephole, i int) Step { return Step{Kind: "peephole", I: i, P: p} }
+
+// Derive applies a sequence of steps, validating each against the §7.1
+// rules, and returns the transformed fragment. The first invalid step
+// aborts the derivation with a descriptive error — this is how the
+// paper's invalid redundant-store-elimination example is rejected.
+func Derive(f Fragment, steps []Step, isAtomic func(prog.Loc) bool) (Fragment, error) {
+	cur := f.Clone()
+	for n, s := range steps {
+		switch s.Kind {
+		case "swap":
+			if s.I < 0 || s.I+1 >= len(cur) {
+				return nil, fmt.Errorf("opt: step %d: swap index %d out of range", n, s.I)
+			}
+			ok, reason := CanSwap(cur[s.I], cur[s.I+1], isAtomic)
+			if !ok {
+				return nil, fmt.Errorf("opt: step %d: cannot swap [%s] and [%s]: %s",
+					n, cur[s.I], cur[s.I+1], reason)
+			}
+			cur[s.I], cur[s.I+1] = cur[s.I+1], cur[s.I]
+		case "peephole":
+			next, err := ApplyPeephole(cur, s.P, s.I, isAtomic)
+			if err != nil {
+				return nil, fmt.Errorf("opt: step %d: %w", n, err)
+			}
+			cur = next
+		default:
+			return nil, fmt.Errorf("opt: step %d: unknown kind %q", n, s.Kind)
+		}
+	}
+	return cur, nil
+}
+
+// Sequentialise replaces two parallel threads with their sequential
+// composition [P ∥ Q] ⇒ [P; Q]. Valid in this model (it only adds po
+// edges; §7.1) though invalid in C++ and Java.
+func Sequentialise(p *prog.Program, first, second int) (*prog.Program, error) {
+	if first == second || first < 0 || second < 0 ||
+		first >= len(p.Threads) || second >= len(p.Threads) {
+		return nil, fmt.Errorf("opt: bad thread indices %d, %d", first, second)
+	}
+	// Control-flow targets are thread-relative; concatenation would skew
+	// the second thread's targets, so restrict to straight-line threads.
+	for _, ti := range []int{first, second} {
+		for _, in := range p.Threads[ti].Code {
+			switch in.(type) {
+			case prog.Jmp, prog.JmpZ, prog.JmpNZ:
+				return nil, fmt.Errorf("opt: sequentialisation requires straight-line threads")
+			}
+		}
+	}
+	out := &prog.Program{
+		Name: p.Name + "+seq",
+		Locs: map[prog.Loc]prog.LocKind{},
+	}
+	for l, k := range p.Locs {
+		out.Locs[l] = k
+	}
+	merged := prog.Thread{
+		Name: p.Threads[first].Name + ";" + p.Threads[second].Name,
+		Code: append(append([]prog.Instr{}, p.Threads[first].Code...), p.Threads[second].Code...),
+	}
+	out.Threads = append(out.Threads, merged)
+	for i, t := range p.Threads {
+		if i != first && i != second {
+			out.Threads = append(out.Threads, t)
+		}
+	}
+	return out, nil
+}
+
+// ReplaceThread returns a copy of p with thread ti's code replaced — the
+// way a per-thread fragment transformation is lifted to a whole program.
+func ReplaceThread(p *prog.Program, ti int, code Fragment) *prog.Program {
+	out := &prog.Program{Name: p.Name + "'", Locs: map[prog.Loc]prog.LocKind{}}
+	for l, k := range p.Locs {
+		out.Locs[l] = k
+	}
+	out.Threads = append(out.Threads, p.Threads...)
+	out.Threads[ti] = prog.Thread{Name: p.Threads[ti].Name, Code: code}
+	return out
+}
+
+// SemanticallyValid reports whether transformed introduces no behaviour
+// the original forbids: outcomes(transformed) ⊆ outcomes(original) under
+// the operational model. This is the ground truth that the syntactic
+// rules above are validated against in tests. Register observability: the
+// transformed program may use the original's registers differently (e.g.
+// DS removes none, RL renames none), so callers compare on programs whose
+// observable registers coincide.
+func SemanticallyValid(original, transformed *prog.Program) (bool, []explore.Outcome, error) {
+	before, err := explore.Outcomes(original, explore.Options{})
+	if err != nil {
+		return false, nil, err
+	}
+	after, err := explore.Outcomes(transformed, explore.Options{})
+	if err != nil {
+		return false, nil, err
+	}
+	if after.SubsetOf(before) {
+		return true, nil, nil
+	}
+	return false, after.Minus(before), nil
+}

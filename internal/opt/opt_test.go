@@ -1,0 +1,458 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"localdrf/internal/explore"
+	"localdrf/internal/prog"
+)
+
+func naOnly(prog.Loc) bool { return false }
+
+func atomicSet(locs ...prog.Loc) func(prog.Loc) bool {
+	s := map[prog.Loc]bool{}
+	for _, l := range locs {
+		s[l] = true
+	}
+	return func(l prog.Loc) bool { return s[l] }
+}
+
+func TestCanSwapMemoryModelRules(t *testing.T) {
+	isAtomic := atomicSet("A")
+	cases := []struct {
+		name string
+		a, b prog.Instr
+		ok   bool
+		why  string
+	}{
+		{"RR different locs", prog.Load{Dst: "r1", Src: "x"}, prog.Load{Dst: "r2", Src: "y"}, true, ""},
+		{"RR same loc", prog.Load{Dst: "r1", Src: "x"}, prog.Load{Dst: "r2", Src: "x"}, true, ""},
+		{"WW different locs", prog.Store{Dst: "x", Src: prog.I(1)}, prog.Store{Dst: "y", Src: prog.I(1)}, true, ""},
+		{"WR different locs", prog.Store{Dst: "x", Src: prog.I(1)}, prog.Load{Dst: "r1", Src: "y"}, true, ""},
+		{"RW forbidden (poRW)", prog.Load{Dst: "r1", Src: "x"}, prog.Store{Dst: "y", Src: prog.I(1)}, false, "poRW"},
+		{"WW same loc (pocon)", prog.Store{Dst: "x", Src: prog.I(1)}, prog.Store{Dst: "x", Src: prog.I(2)}, false, "pocon"},
+		{"WR same loc (pocon)", prog.Store{Dst: "x", Src: prog.I(1)}, prog.Load{Dst: "r1", Src: "x"}, false, "pocon"},
+		{"after atomic (poat−)", prog.Load{Dst: "r1", Src: "A"}, prog.Load{Dst: "r2", Src: "y"}, false, "poat−"},
+		{"before atomic write (po−at)", prog.Store{Dst: "x", Src: prog.I(1)}, prog.Store{Dst: "A", Src: prog.I(1)}, false, "po−at"},
+		{"dataflow w→r", prog.Load{Dst: "r1", Src: "x"}, prog.Store{Dst: "y", Src: prog.R("r1")}, false, "dataflow"},
+		{"ALU free", prog.Mov{Dst: "r1", Src: prog.I(1)}, prog.Mov{Dst: "r2", Src: prog.I(2)}, true, ""},
+		{"ALU same dst", prog.Mov{Dst: "r1", Src: prog.I(1)}, prog.Mov{Dst: "r1", Src: prog.I(2)}, false, "dataflow"},
+	}
+	for _, c := range cases {
+		ok, why := CanSwap(c.a, c.b, isAtomic)
+		if ok != c.ok {
+			t.Errorf("%s: CanSwap = %v (%s), want %v", c.name, ok, why, c.ok)
+			continue
+		}
+		if !ok && !strings.Contains(why, c.why) {
+			t.Errorf("%s: reason %q, want mention of %q", c.name, why, c.why)
+		}
+	}
+}
+
+// Note: a WR pair on distinct locations may swap (making a read earlier is
+// fine); it is the RW direction that poRW forbids. An atomic *read* as the
+// second element is also movable-before, unlike an atomic write.
+func TestCanSwapAtomicReadSecond(t *testing.T) {
+	isAtomic := atomicSet("A")
+	ok, _ := CanSwap(prog.Store{Dst: "x", Src: prog.I(1)}, prog.Load{Dst: "r1", Src: "A"}, isAtomic)
+	if !ok {
+		t.Error("write;atomic-read should be swappable (po−at restricts atomic writes only)")
+	}
+}
+
+func TestPeepholeRL(t *testing.T) {
+	f := Fragment{
+		prog.Load{Dst: "r1", Src: "a"},
+		prog.Load{Dst: "r2", Src: "a"},
+	}
+	out, err := ApplyPeephole(f, RedundantLoad, 0, naOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, ok := out[1].(prog.Mov)
+	if !ok || mv.Dst != "r2" || !mv.Src.IsReg || mv.Src.Reg != "r1" {
+		t.Fatalf("RL result = %v", out)
+	}
+}
+
+func TestPeepholeSF(t *testing.T) {
+	f := Fragment{
+		prog.Store{Dst: "a", Src: prog.I(7)},
+		prog.Load{Dst: "r1", Src: "a"},
+	}
+	out, err := ApplyPeephole(f, StoreForwarding, 0, naOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, ok := out[1].(prog.Mov)
+	if !ok || mv.Dst != "r1" || mv.Src.IsReg || mv.Src.Imm != 7 {
+		t.Fatalf("SF result = %v", out)
+	}
+}
+
+func TestPeepholeDS(t *testing.T) {
+	f := Fragment{
+		prog.Store{Dst: "a", Src: prog.I(1)},
+		prog.Store{Dst: "a", Src: prog.I(2)},
+	}
+	out, err := ApplyPeephole(f, DeadStore, 0, naOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("DS result = %v", out)
+	}
+	st := out[0].(prog.Store)
+	if st.Src.Imm != 2 {
+		t.Fatalf("DS kept the wrong store: %v", out)
+	}
+}
+
+func TestPeepholesRejectAtomics(t *testing.T) {
+	isAtomic := atomicSet("A")
+	if _, err := ApplyPeephole(Fragment{
+		prog.Load{Dst: "r1", Src: "A"},
+		prog.Load{Dst: "r2", Src: "A"},
+	}, RedundantLoad, 0, isAtomic); err == nil {
+		t.Error("RL must reject atomic locations (reads merge frontiers)")
+	}
+	if _, err := ApplyPeephole(Fragment{
+		prog.Store{Dst: "A", Src: prog.I(1)},
+		prog.Store{Dst: "A", Src: prog.I(2)},
+	}, DeadStore, 0, isAtomic); err == nil {
+		t.Error("DS must reject atomic locations")
+	}
+}
+
+// Peephole soundness is justified operationally in §7.1; check it
+// semantically: applying RL/SF/DS in a racy parallel context introduces
+// no new outcomes.
+func TestPeepholesSemanticallySound(t *testing.T) {
+	base := func() *prog.Program {
+		return prog.NewProgram("ctx").
+			Vars("a", "b").
+			Thread("P0").
+			Load("r1", "a").
+			Load("r2", "a").
+			StoreI("b", 1).
+			StoreI("b", 2).
+			Done().
+			Thread("P1").StoreI("a", 5).Load("r3", "b").Done().
+			MustBuild()
+	}
+	p := base()
+	frag := Fragment(p.Threads[0].Code)
+
+	rl, err := ApplyPeephole(frag, RedundantLoad, 0, naOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ApplyPeephole(frag, DeadStore, 2, naOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tf := range map[string]Fragment{"RL": rl, "DS": ds} {
+		ok, extra, err := SemanticallyValid(base(), ReplaceThread(base(), 0, tf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("%s introduced outcomes %v", name, extra)
+		}
+	}
+}
+
+// The paper's CSE derivation: [r1 = a; r2 = b; r3 = a] reorders the two
+// a-loads together (poRR relaxation, permitted) and applies RL.
+func TestDeriveCSE(t *testing.T) {
+	f := Fragment{
+		prog.Load{Dst: "r1", Src: "a"},
+		prog.Load{Dst: "r2", Src: "b"},
+		prog.Load{Dst: "r3", Src: "a"},
+	}
+	out, steps, err := DeriveCSE(f, naOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 2 {
+		t.Fatalf("steps = %v, want swap+RL", steps)
+	}
+	if _, ok := out[1].(prog.Mov); !ok {
+		t.Fatalf("CSE result = %v", out)
+	}
+	// Replaying the derivation through Derive gives the same fragment.
+	replayed, err := Derive(f, steps, naOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.String() != out.String() {
+		t.Fatalf("replay mismatch: %v vs %v", replayed, out)
+	}
+}
+
+// CSE across an atomic read must fail: the load cannot move above the
+// atomic operation (poat−).
+func TestCSEBlockedByAtomic(t *testing.T) {
+	isAtomic := atomicSet("A")
+	f := Fragment{
+		prog.Load{Dst: "r1", Src: "a"},
+		prog.Load{Dst: "r2", Src: "A"},
+		prog.Load{Dst: "r3", Src: "a"},
+	}
+	if _, _, err := DeriveCSE(f, isAtomic); err == nil {
+		t.Error("CSE across an atomic read should not derive")
+	}
+}
+
+// The paper's DSE derivation: [a = 1; b = c; a = 2] ⇒ [b = c; a = 2].
+func TestDeriveDSE(t *testing.T) {
+	f := Fragment{
+		prog.Store{Dst: "a", Src: prog.I(1)},
+		prog.Load{Dst: "rc", Src: "c"},
+		prog.Store{Dst: "b", Src: prog.R("rc")},
+		prog.Store{Dst: "a", Src: prog.I(2)},
+	}
+	out, _, err := DeriveDSE(f, naOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("DSE result = %v", out)
+	}
+	// Semantic check in a racy context.
+	mk := func(frag Fragment) *prog.Program {
+		b := prog.NewProgram("dse-ctx").Vars("a", "b", "c")
+		tb := b.Thread("P0")
+		for _, in := range frag {
+			switch i := in.(type) {
+			case prog.Store:
+				tb.Store(i.Dst, i.Src)
+			case prog.Load:
+				tb.Load(i.Dst, i.Src)
+			}
+		}
+		tb.Done()
+		b.Thread("P1").Load("r1", "a").StoreI("c", 1).Done()
+		return b.MustBuild()
+	}
+	ok, extra, err := SemanticallyValid(mk(f), mk(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("DSE introduced outcomes %v", extra)
+	}
+}
+
+// The paper's constant-propagation derivation:
+// [a = 1; b = c; r = a] ⇒ [b = c; a = 1; r = 1].
+func TestDeriveConstProp(t *testing.T) {
+	f := Fragment{
+		prog.Store{Dst: "a", Src: prog.I(1)},
+		prog.Load{Dst: "rc", Src: "c"},
+		prog.Store{Dst: "b", Src: prog.R("rc")},
+		prog.Load{Dst: "r", Src: "a"},
+	}
+	out, _, err := DeriveConstProp(f, naOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := out[len(out)-1]
+	mv, ok := last.(prog.Mov)
+	if !ok || mv.Src.IsReg || mv.Src.Imm != 1 {
+		t.Fatalf("const-prop result = %v", out)
+	}
+}
+
+// LICM on a two-iteration unrolled loop: the invariant load of c moves up
+// (poRR/poWR relaxations, permitted) and merges via RL.
+func TestLICMOnUnrolledLoop(t *testing.T) {
+	f := Fragment{
+		prog.Load{Dst: "tb1", Src: "b"},
+		prog.Store{Dst: "a", Src: prog.R("tb1")},
+		prog.Load{Dst: "tc1", Src: "c"},
+		prog.Mul{Dst: "r1", A: prog.R("tc1"), B: prog.R("tc1")},
+		prog.Load{Dst: "tb2", Src: "b"},
+		prog.Store{Dst: "a", Src: prog.R("tb2")},
+		prog.Load{Dst: "tc2", Src: "c"},
+		prog.Mul{Dst: "r2", A: prog.R("tc2"), B: prog.R("tc2")},
+	}
+	out, steps, err := DeriveCSEAll(f, naOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("expected a nontrivial derivation")
+	}
+	// Both invariant loads (b and c) are merged; copies replace them.
+	for _, loc := range []prog.Loc{"b", "c"} {
+		loads := 0
+		for _, in := range out {
+			if l, ok := in.(prog.Load); ok && l.Src == loc {
+				loads++
+			}
+		}
+		if loads != 1 {
+			t.Errorf("after LICM %d loads of %s remain, want 1: %v", loads, loc, out)
+		}
+	}
+}
+
+// Redundant store elimination is rejected: moving the store-back over the
+// intervening read relaxes poRW.
+func TestRSERejected(t *testing.T) {
+	f := Fragment{
+		prog.Load{Dst: "r1", Src: "a"},
+		prog.Load{Dst: "rc", Src: "c"},
+		prog.Store{Dst: "b", Src: prog.R("rc")},
+		prog.Store{Dst: "a", Src: prog.R("r1")},
+	}
+	_, _, err := DeriveRSE(f, naOnly)
+	if err == nil || !strings.Contains(err.Error(), "poRW") {
+		t.Fatalf("RSE should be rejected with a poRW violation, got %v", err)
+	}
+}
+
+// Why poRW matters semantically: swapping a read before a later write
+// introduces genuinely new outcomes in an LB-with-control context.
+func TestPoRWRelaxationIntroducesOutcomes(t *testing.T) {
+	mk := func(code Fragment) *prog.Program {
+		b := prog.NewProgram("porw-ctx").Vars("x", "y")
+		tb := b.Thread("P0")
+		for _, in := range code {
+			switch i := in.(type) {
+			case prog.Store:
+				tb.Store(i.Dst, i.Src)
+			case prog.Load:
+				tb.Load(i.Dst, i.Src)
+			}
+		}
+		tb.Done()
+		b.Thread("P1").
+			Load("ry", "y").
+			JmpZ("ry", "skip").
+			StoreI("x", 1).
+			Label("skip").
+			Done()
+		return b.MustBuild()
+	}
+	original := Fragment{
+		prog.Load{Dst: "r", Src: "x"},
+		prog.Store{Dst: "y", Src: prog.I(1)},
+	}
+	swapped := Fragment{original[1], original[0]}
+	ok, reason := CanSwap(original[0], original[1], naOnly)
+	if ok {
+		t.Fatalf("poRW swap should be syntactically forbidden (%s)", reason)
+	}
+	valid, extra, err := SemanticallyValid(mk(original), mk(swapped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid {
+		t.Fatal("poRW relaxation should introduce new outcomes in the LB+ctrl context")
+	}
+	found := false
+	for _, o := range extra {
+		if o.Reg(0, "r") == 1 && o.Reg(1, "ry") == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected r=1, ry=1 among new outcomes, got %v", extra)
+	}
+}
+
+// Valid reorderings are semantically sound in racy contexts: a WR swap on
+// distinct locations introduces nothing.
+func TestValidSwapSemanticallySound(t *testing.T) {
+	mk := func(code Fragment) *prog.Program {
+		b := prog.NewProgram("wr-ctx").Vars("x", "y")
+		tb := b.Thread("P0")
+		for _, in := range code {
+			switch i := in.(type) {
+			case prog.Store:
+				tb.Store(i.Dst, i.Src)
+			case prog.Load:
+				tb.Load(i.Dst, i.Src)
+			}
+		}
+		tb.Done()
+		b.Thread("P1").StoreI("y", 2).Load("rx", "x").Done()
+		return b.MustBuild()
+	}
+	original := Fragment{
+		prog.Store{Dst: "x", Src: prog.I(1)},
+		prog.Load{Dst: "r", Src: "y"},
+	}
+	swapped := Fragment{original[1], original[0]}
+	if ok, _ := CanSwap(original[0], original[1], naOnly); !ok {
+		t.Fatal("WR swap on distinct locations should be allowed")
+	}
+	valid, extra, err := SemanticallyValid(mk(original), mk(swapped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !valid {
+		t.Errorf("valid WR swap introduced outcomes %v", extra)
+	}
+}
+
+// Sequentialisation [P ∥ Q] ⇒ [P; Q] is valid in this model (§7.1).
+func TestSequentialisation(t *testing.T) {
+	p := prog.NewProgram("par").
+		Vars("x", "y").
+		Thread("P0").StoreI("x", 1).Load("r0", "y").Done().
+		Thread("P1").StoreI("y", 1).Load("r1", "x").Done().
+		MustBuild()
+	seq, err := Sequentialise(p, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Threads) != 1 {
+		t.Fatalf("threads = %d, want 1", len(seq.Threads))
+	}
+	// The sequentialised program's outcomes, re-expressed over the
+	// two-thread register layout, are a subset of the original's.
+	seqOut, err := explore.Outcomes(seq, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origOut, err := explore.Outcomes(p, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := seqOut.Forall(func(o explore.Outcome) bool {
+		return origOut.Exists(func(q explore.Outcome) bool {
+			return o.Reg(0, "r0") == q.Reg(0, "r0") && o.Reg(0, "r1") == q.Reg(1, "r1") &&
+				o.Mem["x"] == q.Mem["x"] && o.Mem["y"] == q.Mem["y"]
+		})
+	})
+	if !ok {
+		t.Error("sequentialisation introduced outcomes")
+	}
+}
+
+func TestSequentialiseRejectsBranches(t *testing.T) {
+	p := prog.NewProgram("br").
+		Vars("x").
+		Thread("P0").Load("r0", "x").JmpZ("r0", "e").StoreI("x", 1).Label("e").Done().
+		Thread("P1").StoreI("x", 2).Done().
+		MustBuild()
+	if _, err := Sequentialise(p, 0, 1); err == nil {
+		t.Error("sequentialisation of branching threads should be rejected")
+	}
+}
+
+func TestDeriveReportsInvalidStep(t *testing.T) {
+	f := Fragment{
+		prog.Load{Dst: "r1", Src: "x"},
+		prog.Store{Dst: "y", Src: prog.I(1)},
+	}
+	_, err := Derive(f, []Step{SwapStep(0)}, naOnly)
+	if err == nil || !strings.Contains(err.Error(), "poRW") {
+		t.Fatalf("Derive should reject the poRW swap, got %v", err)
+	}
+}

@@ -1,0 +1,191 @@
+package opt
+
+import (
+	"fmt"
+
+	"localdrf/internal/prog"
+)
+
+// This file derives the paper's composite optimisations (§7.1) — common
+// subexpression elimination, dead-store elimination, constant propagation
+// — automatically from the reordering and peephole primitives, validating
+// every intermediate step. A derivation that would need a forbidden
+// reordering (like redundant store elimination's poRW relaxation) simply
+// fails to build.
+
+// moveUp produces validated swap steps that move the instruction at index
+// j upward until it sits at index target (target ≤ j), returning the
+// steps and the resulting fragment.
+func moveUp(f Fragment, j, target int, isAtomic func(prog.Loc) bool) ([]Step, Fragment, error) {
+	cur := f.Clone()
+	var steps []Step
+	for pos := j; pos > target; pos-- {
+		ok, reason := CanSwap(cur[pos-1], cur[pos], isAtomic)
+		if !ok {
+			return nil, nil, fmt.Errorf("opt: cannot move [%s] above [%s]: %s", cur[pos], cur[pos-1], reason)
+		}
+		steps = append(steps, SwapStep(pos-1))
+		cur[pos-1], cur[pos] = cur[pos], cur[pos-1]
+	}
+	return steps, cur, nil
+}
+
+// moveDown produces validated swap steps that move the instruction at
+// index i downward until it sits at index target (i ≤ target).
+func moveDown(f Fragment, i, target int, isAtomic func(prog.Loc) bool) ([]Step, Fragment, error) {
+	cur := f.Clone()
+	var steps []Step
+	for pos := i; pos < target; pos++ {
+		ok, reason := CanSwap(cur[pos], cur[pos+1], isAtomic)
+		if !ok {
+			return nil, nil, fmt.Errorf("opt: cannot move [%s] below [%s]: %s", cur[pos], cur[pos+1], reason)
+		}
+		steps = append(steps, SwapStep(pos))
+		cur[pos], cur[pos+1] = cur[pos+1], cur[pos]
+	}
+	return steps, cur, nil
+}
+
+// DeriveCSE eliminates the first redundant load it can justify: a later
+// load of the same nonatomic location is moved up adjacent to an earlier
+// one (relaxing poRR, which the model permits) and replaced by a register
+// copy (peephole RL). Returns the transformed fragment and the derivation.
+func DeriveCSE(f Fragment, isAtomic func(prog.Loc) bool) (Fragment, []Step, error) {
+	for i := 0; i < len(f); i++ {
+		li, ok := f[i].(prog.Load)
+		if !ok || isAtomic(li.Src) {
+			continue
+		}
+		for j := i + 1; j < len(f); j++ {
+			lj, ok := f[j].(prog.Load)
+			if !ok || lj.Src != li.Src {
+				continue
+			}
+			steps, cur, err := moveUp(f, j, i+1, isAtomic)
+			if err != nil {
+				continue // some intervening instruction pins the load
+			}
+			rl := PeepholeStep(RedundantLoad, i)
+			final, err := ApplyPeephole(cur, RedundantLoad, i, isAtomic)
+			if err != nil {
+				continue
+			}
+			return final, append(steps, rl), nil
+		}
+	}
+	return nil, nil, fmt.Errorf("opt: no CSE opportunity")
+}
+
+// DeriveCSEAll applies DeriveCSE to a fixpoint, returning the fully
+// load-merged fragment and the concatenated derivation.
+func DeriveCSEAll(f Fragment, isAtomic func(prog.Loc) bool) (Fragment, []Step, error) {
+	cur := f.Clone()
+	var all []Step
+	for {
+		next, steps, err := DeriveCSE(cur, isAtomic)
+		if err != nil {
+			if len(all) == 0 {
+				return nil, nil, err
+			}
+			return cur, all, nil
+		}
+		cur = next
+		all = append(all, steps...)
+	}
+}
+
+// DeriveDSE eliminates the first dead store it can justify: an earlier
+// store to the same nonatomic location is moved down adjacent to a later
+// one (relaxing poWW/poWR, permitted) and removed (peephole DS).
+func DeriveDSE(f Fragment, isAtomic func(prog.Loc) bool) (Fragment, []Step, error) {
+	for i := 0; i < len(f); i++ {
+		si, ok := f[i].(prog.Store)
+		if !ok || isAtomic(si.Dst) {
+			continue
+		}
+		for j := i + 1; j < len(f); j++ {
+			sj, ok := f[j].(prog.Store)
+			if !ok || sj.Dst != si.Dst {
+				continue
+			}
+			steps, cur, err := moveDown(f, i, j-1, isAtomic)
+			if err != nil {
+				break // something pins this store; try the next i
+			}
+			ds := PeepholeStep(DeadStore, j-1)
+			final, err := ApplyPeephole(cur, DeadStore, j-1, isAtomic)
+			if err != nil {
+				break
+			}
+			return final, append(steps, ds), nil
+		}
+	}
+	return nil, nil, fmt.Errorf("opt: no DSE opportunity")
+}
+
+// DeriveConstProp forwards the first constant store into a later load of
+// the same nonatomic location: the store is moved down adjacent to the
+// load (relaxing poWW/poWR, permitted) and the load becomes a constant
+// move (peephole SF).
+func DeriveConstProp(f Fragment, isAtomic func(prog.Loc) bool) (Fragment, []Step, error) {
+	for i := 0; i < len(f); i++ {
+		si, ok := f[i].(prog.Store)
+		if !ok || si.Src.IsReg || isAtomic(si.Dst) {
+			continue
+		}
+		for j := i + 1; j < len(f); j++ {
+			lj, ok := f[j].(prog.Load)
+			if !ok || lj.Src != si.Dst {
+				continue
+			}
+			steps, cur, err := moveDown(f, i, j-1, isAtomic)
+			if err != nil {
+				break
+			}
+			sf := PeepholeStep(StoreForwarding, j-1)
+			final, err := ApplyPeephole(cur, StoreForwarding, j-1, isAtomic)
+			if err != nil {
+				break
+			}
+			return final, append(steps, sf), nil
+		}
+	}
+	return nil, nil, fmt.Errorf("opt: no constant-propagation opportunity")
+}
+
+// DeriveRSE attempts the paper's *invalid* redundant-store-elimination:
+// [r1 = a; b = c; a = r1] ⇒ [r1 = a; a = r1; b = c] ⇒ [r1 = a; b = c].
+// Building the derivation requires moving the store of a above the read
+// of c, which relaxes poRW; Derive therefore always fails, and the error
+// names the violated constraint. Exposed so tests and the experiments
+// binary can demonstrate the rejection.
+func DeriveRSE(f Fragment, isAtomic func(prog.Loc) bool) (Fragment, []Step, error) {
+	for i := 0; i < len(f); i++ {
+		ld, ok := f[i].(prog.Load)
+		if !ok {
+			continue
+		}
+		for j := i + 1; j < len(f); j++ {
+			st, ok := f[j].(prog.Store)
+			if !ok || st.Dst != ld.Src || !st.Src.IsReg || st.Src.Reg != ld.Dst {
+				continue
+			}
+			// Move the store-back up adjacent to the load, then the pair
+			// [r1 = a; a = r1] would be eliminated. The move must cross
+			// every intervening instruction; any intervening read makes
+			// the swap a poRW relaxation.
+			_, _, err := moveUp(f, j, i+1, isAtomic)
+			if err != nil {
+				return nil, nil, fmt.Errorf("opt: redundant store elimination rejected: %w", err)
+			}
+			// (If nothing intervenes the store really is redundant:
+			// store forwarding guarantees the value, and DS-style
+			// removal is fine. That case is not the paper's example.)
+			out := make(Fragment, 0, len(f)-1)
+			out = append(out, f[:j]...)
+			out = append(out, f[j+1:]...)
+			return out, nil, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("opt: no RSE opportunity")
+}

@@ -1,0 +1,182 @@
+package prog
+
+import "fmt"
+
+// Builder assembles programs with named labels, so litmus tests read
+// naturally in Go code. Errors are collected and reported by Build.
+type Builder struct {
+	p   Program
+	err error
+}
+
+// NewProgram starts a program builder.
+func NewProgram(name string) *Builder {
+	return &Builder{p: Program{Name: name, Locs: map[Loc]LocKind{}}}
+}
+
+// Declare registers locations with the given kind.
+func (b *Builder) Declare(kind LocKind, locs ...Loc) *Builder {
+	for _, l := range locs {
+		if k, ok := b.p.Locs[l]; ok && k != kind {
+			b.fail("location %q declared both atomic and nonatomic", l)
+		}
+		b.p.Locs[l] = kind
+	}
+	return b
+}
+
+// Vars declares nonatomic locations.
+func (b *Builder) Vars(locs ...Loc) *Builder { return b.Declare(NonAtomic, locs...) }
+
+// Atomics declares atomic locations.
+func (b *Builder) Atomics(locs ...Loc) *Builder { return b.Declare(Atomic, locs...) }
+
+// RAs declares release-acquire locations (§10 extension).
+func (b *Builder) RAs(locs ...Loc) *Builder { return b.Declare(ReleaseAcquire, locs...) }
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("prog: "+format, args...)
+	}
+}
+
+// ThreadBuilder assembles one thread's code.
+type ThreadBuilder struct {
+	b      *Builder
+	name   string
+	code   []Instr
+	labels map[string]int
+	// fixups maps code indices of jumps to the label they reference.
+	fixups map[int]string
+}
+
+// Thread starts a new thread. Instructions are appended via the returned
+// builder; the thread is added to the program when Done (or the parent's
+// Build) is called.
+func (b *Builder) Thread(name string) *ThreadBuilder {
+	return &ThreadBuilder{b: b, name: name, labels: map[string]int{}, fixups: map[int]string{}}
+}
+
+// Load appends dst = src.
+func (t *ThreadBuilder) Load(dst Reg, src Loc) *ThreadBuilder {
+	t.code = append(t.code, Load{Dst: dst, Src: src})
+	return t
+}
+
+// Store appends dst = src.
+func (t *ThreadBuilder) Store(dst Loc, src Operand) *ThreadBuilder {
+	t.code = append(t.code, Store{Dst: dst, Src: src})
+	return t
+}
+
+// StoreI appends dst = imm.
+func (t *ThreadBuilder) StoreI(dst Loc, v Val) *ThreadBuilder { return t.Store(dst, I(v)) }
+
+// StoreR appends dst = reg.
+func (t *ThreadBuilder) StoreR(dst Loc, r Reg) *ThreadBuilder { return t.Store(dst, R(r)) }
+
+// Mov appends dst := src.
+func (t *ThreadBuilder) Mov(dst Reg, src Operand) *ThreadBuilder {
+	t.code = append(t.code, Mov{Dst: dst, Src: src})
+	return t
+}
+
+// Add appends dst := a + b.
+func (t *ThreadBuilder) Add(dst Reg, a, b Operand) *ThreadBuilder {
+	t.code = append(t.code, Add{Dst: dst, A: a, B: b})
+	return t
+}
+
+// Mul appends dst := a * b.
+func (t *ThreadBuilder) Mul(dst Reg, a, b Operand) *ThreadBuilder {
+	t.code = append(t.code, Mul{Dst: dst, A: a, B: b})
+	return t
+}
+
+// CmpEq appends dst := (a == b).
+func (t *ThreadBuilder) CmpEq(dst Reg, a, b Operand) *ThreadBuilder {
+	t.code = append(t.code, CmpEq{Dst: dst, A: a, B: b})
+	return t
+}
+
+// Nop appends a nop.
+func (t *ThreadBuilder) Nop() *ThreadBuilder {
+	t.code = append(t.code, Nop{})
+	return t
+}
+
+// Label binds a name to the next instruction's index.
+func (t *ThreadBuilder) Label(name string) *ThreadBuilder {
+	if _, dup := t.labels[name]; dup {
+		t.b.fail("thread %s: duplicate label %q", t.name, name)
+	}
+	t.labels[name] = len(t.code)
+	return t
+}
+
+// Jmp appends an unconditional jump to a label.
+func (t *ThreadBuilder) Jmp(label string) *ThreadBuilder {
+	t.fixups[len(t.code)] = label
+	t.code = append(t.code, Jmp{})
+	return t
+}
+
+// JmpNZ appends a jump-if-nonzero to a label.
+func (t *ThreadBuilder) JmpNZ(cond Reg, label string) *ThreadBuilder {
+	t.fixups[len(t.code)] = label
+	t.code = append(t.code, JmpNZ{Cond: cond})
+	return t
+}
+
+// JmpZ appends a jump-if-zero to a label.
+func (t *ThreadBuilder) JmpZ(cond Reg, label string) *ThreadBuilder {
+	t.fixups[len(t.code)] = label
+	t.code = append(t.code, JmpZ{Cond: cond})
+	return t
+}
+
+// Done resolves labels and appends the thread to the program.
+func (t *ThreadBuilder) Done() *Builder {
+	for pc, label := range t.fixups {
+		target, ok := t.labels[label]
+		if !ok {
+			t.b.fail("thread %s: undefined label %q", t.name, label)
+			continue
+		}
+		switch in := t.code[pc].(type) {
+		case Jmp:
+			in.Target = target
+			t.code[pc] = in
+		case JmpNZ:
+			in.Target = target
+			t.code[pc] = in
+		case JmpZ:
+			in.Target = target
+			t.code[pc] = in
+		}
+	}
+	t.b.p.Threads = append(t.b.p.Threads, Thread{Name: t.name, Code: t.code})
+	return t.b
+}
+
+// Build validates and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := b.p
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// MustBuild is Build for tests and fixed litmus definitions; it panics on
+// error, which for statically-known programs indicates a typo.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

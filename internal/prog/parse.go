@@ -1,0 +1,179 @@
+package prog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a program from the litmus text format:
+//
+//	// comment
+//	name MP
+//	var x y          // nonatomic locations
+//	atomic F         // atomic locations
+//	thread P0
+//	  x = 1          // store (LHS is a declared location)
+//	  F = 1
+//	end
+//	thread P1
+//	  r0 = F         // load  (RHS is a declared location)
+//	  r1 = x
+//	  r2 := r0 + 1   // register ops use :=
+//	  r3 := r0 * 2
+//	  r4 := r0 == r1
+//	  if r4 goto L
+//	  goto E
+//	L:
+//	  nop
+//	E:
+//	end
+//
+// Lines are trimmed; `//` starts a comment. Identifiers are alphanumeric
+// with underscores and dots.
+func Parse(src string) (*Program, error) {
+	b := NewProgram("")
+	var tb *ThreadBuilder
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := raw
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Inside a thread block every line except "end" is an
+		// instruction; the declaration keywords (var/atomic/ra/name) are
+		// only recognised at the top level, so they remain usable as
+		// register names.
+		switch {
+		case tb != nil && fields[0] == "thread":
+			return nil, parseErr(lineNo, "nested thread (missing end?)")
+		case tb != nil && fields[0] == "end":
+			tb.Done()
+			tb = nil
+		case tb != nil:
+			if err := parseInstr(b, tb, line); err != nil {
+				return nil, parseErr(lineNo, "%v", err)
+			}
+		case fields[0] == "name":
+			if len(fields) < 2 {
+				return nil, parseErr(lineNo, "name requires an argument")
+			}
+			b.p.Name = strings.Join(fields[1:], " ")
+		case fields[0] == "var":
+			for _, f := range fields[1:] {
+				b.Vars(Loc(f))
+			}
+		case fields[0] == "atomic":
+			for _, f := range fields[1:] {
+				b.Atomics(Loc(f))
+			}
+		case fields[0] == "ra":
+			for _, f := range fields[1:] {
+				b.RAs(Loc(f))
+			}
+		case fields[0] == "thread":
+			if len(fields) != 2 {
+				return nil, parseErr(lineNo, "thread requires a name")
+			}
+			tb = b.Thread(fields[1])
+		case fields[0] == "end":
+			return nil, parseErr(lineNo, "end outside thread")
+		default:
+			return nil, parseErr(lineNo, "instruction outside thread: %q", line)
+		}
+	}
+	if tb != nil {
+		return nil, fmt.Errorf("prog: unterminated thread at end of input")
+	}
+	return b.Build()
+}
+
+func parseErr(line int, format string, args ...any) error {
+	return fmt.Errorf("prog: line %d: "+format, append([]any{line}, args...)...)
+}
+
+func parseInstr(b *Builder, tb *ThreadBuilder, line string) error {
+	fields := strings.Fields(line)
+	// Label: "NAME:"
+	if len(fields) == 1 && strings.HasSuffix(fields[0], ":") {
+		tb.Label(strings.TrimSuffix(fields[0], ":"))
+		return nil
+	}
+	switch fields[0] {
+	case "nop":
+		tb.Nop()
+		return nil
+	case "goto":
+		if len(fields) != 2 {
+			return fmt.Errorf("goto requires a label")
+		}
+		tb.Jmp(fields[1])
+		return nil
+	case "if", "ifz":
+		if len(fields) != 4 || fields[2] != "goto" {
+			return fmt.Errorf("expected %q COND goto LABEL", fields[0])
+		}
+		if fields[0] == "if" {
+			tb.JmpNZ(Reg(fields[1]), fields[3])
+		} else {
+			tb.JmpZ(Reg(fields[1]), fields[3])
+		}
+		return nil
+	}
+	// Register ops: "dst := ..."
+	if len(fields) >= 3 && fields[1] == ":=" {
+		dst := Reg(fields[0])
+		rhs := fields[2:]
+		switch len(rhs) {
+		case 1:
+			tb.Mov(dst, parseOperand(rhs[0]))
+			return nil
+		case 3:
+			a, op, c := parseOperand(rhs[0]), rhs[1], parseOperand(rhs[2])
+			switch op {
+			case "+":
+				tb.Add(dst, a, c)
+			case "*":
+				tb.Mul(dst, a, c)
+			case "==":
+				tb.CmpEq(dst, a, c)
+			default:
+				return fmt.Errorf("unknown operator %q", op)
+			}
+			return nil
+		default:
+			return fmt.Errorf("malformed register operation %q", line)
+		}
+	}
+	// Memory ops: "lhs = rhs". A load if rhs is a declared location,
+	// otherwise a store (lhs must then be a declared location).
+	if len(fields) == 3 && fields[1] == "=" {
+		lhs, rhs := fields[0], fields[2]
+		if _, isLoc := b.p.Locs[Loc(rhs)]; isLoc {
+			if _, lhsIsLoc := b.p.Locs[Loc(lhs)]; lhsIsLoc {
+				return fmt.Errorf("location-to-location move %q: load into a register first", line)
+			}
+			tb.Load(Reg(lhs), Loc(rhs))
+			return nil
+		}
+		if _, isLoc := b.p.Locs[Loc(lhs)]; !isLoc {
+			return fmt.Errorf("%q: neither side is a declared location", line)
+		}
+		tb.Store(Loc(lhs), parseOperand(rhs))
+		return nil
+	}
+	return fmt.Errorf("cannot parse %q", line)
+}
+
+func parseOperand(s string) Operand {
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return I(Val(v))
+	}
+	return R(Reg(s))
+}

@@ -1,0 +1,352 @@
+// Package prog defines the program language over which the memory model is
+// interpreted.
+//
+// The paper (§3) is agnostic about expressions e, e′: it only requires a
+// small-step relation that either performs a silent transition or a memory
+// action ℓ:ϕ, and that reads are "not picky" about the value read
+// (proposition 4). This package provides a concrete such language — a
+// small register machine with loads, stores, ALU operations and
+// conditional branches — that is convenient for writing litmus tests and
+// for exhaustive exploration. Locations are declared atomic or nonatomic
+// up front, matching the paper's partition of L.
+package prog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Val is the value domain V. The paper assumes an arbitrary value set with
+// an initial value v0; we use small integers with v0 = 0.
+type Val int64
+
+// V0 is the initial value of every location (§3.1).
+const V0 Val = 0
+
+// Loc names a memory location ℓ ∈ L.
+type Loc string
+
+// Reg names a thread-local register. Registers are not memory: they exist
+// only so threads can compute with values they have read.
+type Reg string
+
+// LocKind says whether a location is atomic, release-acquire or
+// nonatomic; the partition is fixed for the whole program, as in the
+// paper. ReleaseAcquire is the extension the paper's §10 proposes
+// ("release-acquire atomics would be a useful extension … by extending
+// our operational model with release-acquire primitives in the style of
+// Kang et al."), implemented here as timestamped messages that carry the
+// writer's frontier.
+type LocKind int
+
+const (
+	// NonAtomic locations hold histories in the operational model.
+	NonAtomic LocKind = iota
+	// Atomic locations hold a (frontier, value) pair and behave
+	// sequentially consistently.
+	Atomic
+	// ReleaseAcquire locations hold histories of messages, each carrying
+	// the frontier its writer published (§10 extension).
+	ReleaseAcquire
+)
+
+func (k LocKind) String() string {
+	switch k {
+	case Atomic:
+		return "atomic"
+	case ReleaseAcquire:
+		return "ra"
+	default:
+		return "nonatomic"
+	}
+}
+
+// Operand is a register or an immediate value.
+type Operand struct {
+	IsReg bool
+	Reg   Reg
+	Imm   Val
+}
+
+// R makes a register operand.
+func R(r Reg) Operand { return Operand{IsReg: true, Reg: r} }
+
+// I makes an immediate operand.
+func I(v Val) Operand { return Operand{Imm: v} }
+
+func (o Operand) String() string {
+	if o.IsReg {
+		return string(o.Reg)
+	}
+	return fmt.Sprintf("%d", o.Imm)
+}
+
+// Instr is one instruction of the flat per-thread code. Control flow uses
+// absolute targets into the thread's code slice; the Builder resolves
+// labels to targets.
+type Instr interface {
+	isInstr()
+	String() string
+}
+
+// Load reads location Src into register Dst. Whether the access is atomic
+// is a property of the location, not the instruction.
+type Load struct {
+	Dst Reg
+	Src Loc
+}
+
+// Store writes the value of Src to location Dst.
+type Store struct {
+	Dst Loc
+	Src Operand
+}
+
+// Mov copies an operand into a register (silent).
+type Mov struct {
+	Dst Reg
+	Src Operand
+}
+
+// Add computes Dst = A + B (silent).
+type Add struct {
+	Dst  Reg
+	A, B Operand
+}
+
+// Mul computes Dst = A * B (silent). Included so the paper's CSE example
+// (r = a*2) can be written directly.
+type Mul struct {
+	Dst  Reg
+	A, B Operand
+}
+
+// CmpEq sets Dst to 1 if A == B and 0 otherwise (silent).
+type CmpEq struct {
+	Dst  Reg
+	A, B Operand
+}
+
+// Jmp jumps unconditionally to Target (silent).
+type Jmp struct {
+	Target int
+}
+
+// JmpNZ jumps to Target when Cond is nonzero (silent).
+type JmpNZ struct {
+	Cond   Reg
+	Target int
+}
+
+// JmpZ jumps to Target when Cond is zero (silent).
+type JmpZ struct {
+	Cond   Reg
+	Target int
+}
+
+// Nop does nothing (silent).
+type Nop struct{}
+
+func (Load) isInstr()  {}
+func (Store) isInstr() {}
+func (Mov) isInstr()   {}
+func (Add) isInstr()   {}
+func (Mul) isInstr()   {}
+func (CmpEq) isInstr() {}
+func (Jmp) isInstr()   {}
+func (JmpNZ) isInstr() {}
+func (JmpZ) isInstr()  {}
+func (Nop) isInstr()   {}
+
+func (i Load) String() string  { return fmt.Sprintf("%s = %s", i.Dst, i.Src) }
+func (i Store) String() string { return fmt.Sprintf("%s = %s", i.Dst, i.Src) }
+func (i Mov) String() string   { return fmt.Sprintf("%s := %s", i.Dst, i.Src) }
+func (i Add) String() string   { return fmt.Sprintf("%s := %s + %s", i.Dst, i.A, i.B) }
+func (i Mul) String() string   { return fmt.Sprintf("%s := %s * %s", i.Dst, i.A, i.B) }
+func (i CmpEq) String() string { return fmt.Sprintf("%s := %s == %s", i.Dst, i.A, i.B) }
+func (i Jmp) String() string   { return fmt.Sprintf("goto %d", i.Target) }
+func (i JmpNZ) String() string { return fmt.Sprintf("if %s goto %d", i.Cond, i.Target) }
+func (i JmpZ) String() string  { return fmt.Sprintf("ifz %s goto %d", i.Cond, i.Target) }
+func (Nop) String() string     { return "nop" }
+
+// Thread is one thread's code.
+type Thread struct {
+	Name string
+	Code []Instr
+}
+
+// Program is a complete multi-threaded program together with the
+// atomicity declaration of every location it touches. All locations start
+// holding V0 (§3.1).
+type Program struct {
+	Name    string
+	Locs    map[Loc]LocKind
+	Threads []Thread
+}
+
+// Kind returns the declared kind of a location; undeclared locations are
+// nonatomic.
+func (p *Program) Kind(l Loc) LocKind { return p.Locs[l] }
+
+// IsAtomic reports whether l is a (sequentially consistent) atomic
+// location.
+func (p *Program) IsAtomic(l Loc) bool { return p.Locs[l] == Atomic }
+
+// IsRA reports whether l is a release-acquire location (§10 extension).
+func (p *Program) IsRA(l Loc) bool { return p.Locs[l] == ReleaseAcquire }
+
+// IsSync reports whether accesses to l synchronise (atomic or RA) —
+// i.e. they are never involved in data races (def. 9 concerns nonatomic
+// locations only).
+func (p *Program) IsSync(l Loc) bool { return p.Locs[l] != NonAtomic }
+
+// SortedLocs returns the program's locations in a deterministic order.
+func (p *Program) SortedLocs() []Loc {
+	out := make([]Loc, 0, len(p.Locs))
+	for l := range p.Locs {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NonAtomicLocs returns the nonatomic locations in deterministic order.
+func (p *Program) NonAtomicLocs() []Loc {
+	var out []Loc
+	for _, l := range p.SortedLocs() {
+		if !p.IsAtomic(l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// AtomicLocs returns the atomic locations in deterministic order.
+func (p *Program) AtomicLocs() []Loc {
+	var out []Loc
+	for _, l := range p.SortedLocs() {
+		if p.IsAtomic(l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// RALocs returns the release-acquire locations in deterministic order.
+func (p *Program) RALocs() []Loc {
+	var out []Loc
+	for _, l := range p.SortedLocs() {
+		if p.IsRA(l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Constants returns every immediate value appearing in the program plus
+// V0. This seeds the value domain used by axiomatic enumeration.
+func (p *Program) Constants() []Val {
+	seen := map[Val]bool{V0: true}
+	add := func(o Operand) {
+		if !o.IsReg {
+			seen[o.Imm] = true
+		}
+	}
+	for _, t := range p.Threads {
+		for _, in := range t.Code {
+			switch i := in.(type) {
+			case Store:
+				add(i.Src)
+			case Mov:
+				add(i.Src)
+			case Add:
+				add(i.A)
+				add(i.B)
+			case Mul:
+				add(i.A)
+				add(i.B)
+			case CmpEq:
+				add(i.A)
+				add(i.B)
+			}
+		}
+	}
+	out := make([]Val, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks structural well-formedness: jump targets in range
+// (len(code) is allowed and means halt), all touched locations declared.
+func (p *Program) Validate() error {
+	if len(p.Threads) == 0 {
+		return fmt.Errorf("prog: program %q has no threads", p.Name)
+	}
+	for ti, t := range p.Threads {
+		for pc, in := range t.Code {
+			switch i := in.(type) {
+			case Jmp:
+				if i.Target < 0 || i.Target > len(t.Code) {
+					return fmt.Errorf("prog: thread %d pc %d: jump target %d out of range", ti, pc, i.Target)
+				}
+			case JmpNZ:
+				if i.Target < 0 || i.Target > len(t.Code) {
+					return fmt.Errorf("prog: thread %d pc %d: jump target %d out of range", ti, pc, i.Target)
+				}
+			case JmpZ:
+				if i.Target < 0 || i.Target > len(t.Code) {
+					return fmt.Errorf("prog: thread %d pc %d: jump target %d out of range", ti, pc, i.Target)
+				}
+			case Load:
+				if _, ok := p.Locs[i.Src]; !ok {
+					return fmt.Errorf("prog: thread %d pc %d: undeclared location %q", ti, pc, i.Src)
+				}
+			case Store:
+				if _, ok := p.Locs[i.Dst]; !ok {
+					return fmt.Errorf("prog: thread %d pc %d: undeclared location %q", ti, pc, i.Dst)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the program in (roughly) the litmus source format.
+func (p *Program) String() string {
+	var b strings.Builder
+	if p.Name != "" {
+		fmt.Fprintf(&b, "// %s\n", p.Name)
+	}
+	var na, at, ra []string
+	for _, l := range p.SortedLocs() {
+		switch p.Locs[l] {
+		case Atomic:
+			at = append(at, string(l))
+		case ReleaseAcquire:
+			ra = append(ra, string(l))
+		default:
+			na = append(na, string(l))
+		}
+	}
+	if len(na) > 0 {
+		fmt.Fprintf(&b, "var %s\n", strings.Join(na, " "))
+	}
+	if len(at) > 0 {
+		fmt.Fprintf(&b, "atomic %s\n", strings.Join(at, " "))
+	}
+	if len(ra) > 0 {
+		fmt.Fprintf(&b, "ra %s\n", strings.Join(ra, " "))
+	}
+	for _, t := range p.Threads {
+		fmt.Fprintf(&b, "thread %s\n", t.Name)
+		for pc, in := range t.Code {
+			fmt.Fprintf(&b, "  %2d: %s\n", pc, in)
+		}
+		b.WriteString("end\n")
+	}
+	return b.String()
+}

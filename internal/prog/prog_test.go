@@ -1,0 +1,353 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderMP(t *testing.T) {
+	p := NewProgram("MP").
+		Vars("x").
+		Atomics("F").
+		Thread("P0").StoreI("x", 1).StoreI("F", 1).Done().
+		Thread("P1").Load("r0", "F").Load("r1", "x").Done().
+		MustBuild()
+	if len(p.Threads) != 2 {
+		t.Fatalf("threads = %d, want 2", len(p.Threads))
+	}
+	if !p.IsAtomic("F") || p.IsAtomic("x") {
+		t.Fatal("atomicity declarations wrong")
+	}
+	if got := len(p.Threads[0].Code); got != 2 {
+		t.Fatalf("P0 code length = %d, want 2", got)
+	}
+}
+
+func TestBuilderLabels(t *testing.T) {
+	p := NewProgram("branch").
+		Vars("x").
+		Thread("P0").
+		Load("r0", "x").
+		JmpNZ("r0", "skip").
+		StoreI("x", 1).
+		Label("skip").
+		Nop().
+		Done().
+		MustBuild()
+	j, ok := p.Threads[0].Code[1].(JmpNZ)
+	if !ok {
+		t.Fatalf("instr 1 = %T, want JmpNZ", p.Threads[0].Code[1])
+	}
+	if j.Target != 3 {
+		t.Fatalf("jump target = %d, want 3", j.Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	_, err := NewProgram("bad").
+		Vars("x").
+		Thread("P0").Jmp("nowhere").Done().
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Fatalf("err = %v, want undefined label", err)
+	}
+}
+
+func TestBuilderConflictingKind(t *testing.T) {
+	_, err := NewProgram("bad").
+		Vars("x").
+		Atomics("x").
+		Thread("P0").Nop().Done().
+		Build()
+	if err == nil {
+		t.Fatal("conflicting declaration accepted")
+	}
+}
+
+func TestValidateUndeclaredLocation(t *testing.T) {
+	p := Program{
+		Name:    "bad",
+		Locs:    map[Loc]LocKind{},
+		Threads: []Thread{{Name: "P0", Code: []Instr{Load{Dst: "r0", Src: "x"}}}},
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("undeclared location accepted")
+	}
+}
+
+func TestStepSilentThroughALU(t *testing.T) {
+	p := NewProgram("alu").
+		Vars("x").
+		Thread("P0").
+		Mov("r0", I(5)).
+		Add("r1", R("r0"), I(2)).
+		Mul("r2", R("r1"), I(3)).
+		CmpEq("r3", R("r2"), I(21)).
+		StoreR("x", "r2").
+		Done().
+		MustBuild()
+	st, pend, err := StepSilent(p.Threads[0].Code, NewThreadState(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pend.Kind != OpWrite || pend.Loc != "x" || pend.Val != 21 {
+		t.Fatalf("pending = %+v, want write x 21", pend)
+	}
+	if st.Reg("r3") != 1 {
+		t.Fatalf("r3 = %d, want 1", st.Reg("r3"))
+	}
+}
+
+func TestStepSilentBranchTaken(t *testing.T) {
+	p := NewProgram("br").
+		Vars("x").
+		Thread("P0").
+		Mov("r0", I(1)).
+		JmpNZ("r0", "store2").
+		StoreI("x", 1).
+		Jmp("done").
+		Label("store2").
+		StoreI("x", 2).
+		Label("done").
+		Done().
+		MustBuild()
+	_, pend, err := StepSilent(p.Threads[0].Code, NewThreadState(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pend.Kind != OpWrite || pend.Val != 2 {
+		t.Fatalf("pending = %+v, want write 2 (branch taken)", pend)
+	}
+}
+
+func TestStepSilentHalts(t *testing.T) {
+	p := NewProgram("empty").Vars("x").Thread("P0").Nop().Done().MustBuild()
+	_, pend, err := StepSilent(p.Threads[0].Code, NewThreadState(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pend.Kind != OpHalted {
+		t.Fatalf("pending = %+v, want halted", pend)
+	}
+}
+
+func TestStepSilentDivergenceGuard(t *testing.T) {
+	p := NewProgram("loop").
+		Vars("x").
+		Thread("P0").Label("L").Jmp("L").Done().
+		MustBuild()
+	_, _, err := StepSilent(p.Threads[0].Code, NewThreadState(), 50)
+	if err == nil {
+		t.Fatal("divergent loop not detected")
+	}
+}
+
+func TestApplyReadWrite(t *testing.T) {
+	p := NewProgram("rw").
+		Vars("x", "y").
+		Thread("P0").Load("r0", "x").StoreR("y", "r0").Done().
+		MustBuild()
+	st, pend, err := StepSilent(p.Threads[0].Code, NewThreadState(), 100)
+	if err != nil || pend.Kind != OpRead {
+		t.Fatalf("pend=%+v err=%v", pend, err)
+	}
+	st = ApplyRead(st, pend, 7)
+	st2, pend2, err := StepSilent(p.Threads[0].Code, st, 100)
+	if err != nil || pend2.Kind != OpWrite || pend2.Val != 7 {
+		t.Fatalf("pend2=%+v err=%v", pend2, err)
+	}
+	st3 := ApplyWrite(st2)
+	if !st3.Halted(p.Threads[0].Code) {
+		t.Fatal("thread not halted after final write")
+	}
+}
+
+// Proposition 4: if a read can step with one value, it can step with any.
+func TestProposition4(t *testing.T) {
+	p := NewProgram("prop4").
+		Vars("x").
+		Thread("P0").Load("r0", "x").Done().
+		MustBuild()
+	st, pend, err := StepSilent(p.Threads[0].Code, NewThreadState(), 100)
+	if err != nil || pend.Kind != OpRead {
+		t.Fatal("expected read")
+	}
+	for _, v := range []Val{0, 1, -3, 42} {
+		got := ApplyRead(st, pend, v)
+		if got.Reg("r0") != v {
+			t.Fatalf("ApplyRead(%d): r0 = %d", v, got.Reg("r0"))
+		}
+	}
+}
+
+func TestConstants(t *testing.T) {
+	p := NewProgram("c").
+		Vars("x").
+		Thread("P0").StoreI("x", 3).Mov("r0", I(5)).Add("r1", R("r0"), I(7)).Done().
+		MustBuild()
+	got := p.Constants()
+	want := []Val{0, 3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("constants = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("constants = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `
+name MP-na
+var x y
+thread P0
+  x = 1
+  y = 1
+end
+thread P1
+  r0 = y
+  r1 = x
+end
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "MP-na" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if len(p.Threads) != 2 {
+		t.Fatalf("threads = %d", len(p.Threads))
+	}
+	if _, ok := p.Threads[1].Code[0].(Load); !ok {
+		t.Fatalf("P1[0] = %T, want Load", p.Threads[1].Code[0])
+	}
+	if _, ok := p.Threads[0].Code[0].(Store); !ok {
+		t.Fatalf("P0[0] = %T, want Store", p.Threads[0].Code[0])
+	}
+}
+
+func TestParseBranchesAndALU(t *testing.T) {
+	src := `
+name branchy
+var x
+atomic F
+thread P0
+  r0 = F
+  r1 := r0 == 1
+  if r1 goto W
+  goto E
+W:
+  x = 2
+E:
+  nop
+end
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsAtomic("F") {
+		t.Error("F should be atomic")
+	}
+	code := p.Threads[0].Code
+	if _, ok := code[2].(JmpNZ); !ok {
+		t.Fatalf("code[2] = %T, want JmpNZ", code[2])
+	}
+}
+
+func TestParseReleaseAcquire(t *testing.T) {
+	src := `
+name ra-prog
+var x
+ra G
+thread P0
+  x = 1
+  G = 1
+end
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsRA("G") || p.IsAtomic("G") || p.IsRA("x") {
+		t.Errorf("kinds wrong: G=%v x=%v", p.Locs["G"], p.Locs["x"])
+	}
+	if !p.IsSync("G") || p.IsSync("x") {
+		t.Error("IsSync classification wrong")
+	}
+	if got := p.RALocs(); len(got) != 1 || got[0] != "G" {
+		t.Errorf("RALocs = %v", got)
+	}
+}
+
+func TestBuilderRAs(t *testing.T) {
+	p := NewProgram("ra").
+		RAs("G").
+		Thread("P0").StoreI("G", 1).Done().
+		MustBuild()
+	if p.Kind("G") != ReleaseAcquire {
+		t.Errorf("kind = %v", p.Kind("G"))
+	}
+	if want := "ra G"; !containsLine(p.String(), want) {
+		t.Errorf("String() missing %q:\n%s", want, p.String())
+	}
+}
+
+func containsLine(s, want string) bool {
+	return strings.Contains(s, want)
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"thread P0\nthread P1\nend\nend",   // nested thread
+		"x = 1",                            // instruction outside thread
+		"var x\nthread P0\n???\nend",       // unparseable
+		"var x\nthread P0\n  y = 1\nend",   // undeclared store loc
+		"thread P0",                        // unterminated
+		"var x y\nthread P0\n  x = y\nend", // loc-to-loc move
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := NewProgram("show").
+		Vars("x").Atomics("F").
+		Thread("P0").StoreI("x", 1).Done().
+		MustBuild()
+	s := p.String()
+	for _, want := range []string{"var x", "atomic F", "thread P0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestThreadStateKeyDeterministic(t *testing.T) {
+	s := NewThreadState()
+	s.Regs["b"] = 2
+	s.Regs["a"] = 1
+	s.Regs["z"] = 0 // zero registers don't affect the key
+	k1 := s.Key()
+	s2 := NewThreadState()
+	s2.Regs["a"] = 1
+	s2.Regs["b"] = 2
+	if k1 != s2.Key() {
+		t.Errorf("keys differ: %q vs %q", k1, s2.Key())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewThreadState()
+	s.Regs["r"] = 1
+	c := s.Clone()
+	c.Regs["r"] = 2
+	if s.Regs["r"] != 1 {
+		t.Fatal("Clone shares register map")
+	}
+}

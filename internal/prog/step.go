@@ -1,0 +1,160 @@
+package prog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ThreadState is the expression part of a thread's configuration: a
+// program counter into the thread's code and the register file. The
+// frontier lives with the machine, not here (fig. 1a keeps them paired but
+// the memory model packages own the frontier representation).
+type ThreadState struct {
+	PC   int
+	Regs map[Reg]Val
+}
+
+// NewThreadState returns the initial state (pc 0, all registers 0).
+func NewThreadState() ThreadState {
+	return ThreadState{Regs: map[Reg]Val{}}
+}
+
+// Clone returns an independent copy.
+func (s ThreadState) Clone() ThreadState {
+	regs := make(map[Reg]Val, len(s.Regs))
+	for k, v := range s.Regs {
+		regs[k] = v
+	}
+	return ThreadState{PC: s.PC, Regs: regs}
+}
+
+// Reg returns the value of a register; unwritten registers read as 0.
+func (s ThreadState) Reg(r Reg) Val { return s.Regs[r] }
+
+// Eval evaluates an operand in this state.
+func (s ThreadState) Eval(o Operand) Val {
+	if o.IsReg {
+		return s.Regs[o.Reg]
+	}
+	return o.Imm
+}
+
+// Halted reports whether the thread has run off the end of its code.
+func (s ThreadState) Halted(code []Instr) bool {
+	return s.PC < 0 || s.PC >= len(code)
+}
+
+// Key renders the state deterministically for hashing.
+func (s ThreadState) Key() string {
+	regs := make([]string, 0, len(s.Regs))
+	for r, v := range s.Regs {
+		if v != 0 {
+			regs = append(regs, fmt.Sprintf("%s=%d", r, v))
+		}
+	}
+	sort.Strings(regs)
+	return fmt.Sprintf("pc%d[%s]", s.PC, strings.Join(regs, ","))
+}
+
+// OpKind classifies the pending operation of a thread.
+type OpKind int
+
+const (
+	// OpHalted: the thread has no more instructions.
+	OpHalted OpKind = iota
+	// OpRead: the next instruction is a load (an ℓ:read x action; the
+	// value is chosen by the memory, per proposition 4).
+	OpRead
+	// OpWrite: the next instruction is a store (an ℓ:write x action).
+	OpWrite
+)
+
+// Pending describes the next memory action of a thread whose silent steps
+// have been exhausted.
+type Pending struct {
+	Kind OpKind
+	Loc  Loc
+	// Val is the value to be written (writes only).
+	Val Val
+	// Dst is the register a read will populate (reads only).
+	Dst Reg
+}
+
+// MaxSilentStepsHint is a generous default budget for StepSilent; litmus
+// programs finish their silent runs in a handful of steps, so exceeding it
+// indicates a divergent silent loop.
+const MaxSilentStepsHint = 10_000
+
+// StepSilent advances the thread through consecutive silent transitions
+// (e —ϵ→ e′) until it reaches a load, a store, or halts, returning the
+// resulting state and the pending action. maxSteps guards against
+// divergent silent loops (e.g. `L: goto L`); exceeding it returns an
+// error rather than spinning.
+func StepSilent(code []Instr, st ThreadState, maxSteps int) (ThreadState, Pending, error) {
+	s := st.Clone()
+	for steps := 0; ; steps++ {
+		if steps > maxSteps {
+			return s, Pending{}, fmt.Errorf("prog: silent step budget exceeded (divergent loop?)")
+		}
+		if s.Halted(code) {
+			return s, Pending{Kind: OpHalted}, nil
+		}
+		switch in := code[s.PC].(type) {
+		case Load:
+			return s, Pending{Kind: OpRead, Loc: in.Src, Dst: in.Dst}, nil
+		case Store:
+			return s, Pending{Kind: OpWrite, Loc: in.Dst, Val: s.Eval(in.Src)}, nil
+		case Mov:
+			s.Regs[in.Dst] = s.Eval(in.Src)
+			s.PC++
+		case Add:
+			s.Regs[in.Dst] = s.Eval(in.A) + s.Eval(in.B)
+			s.PC++
+		case Mul:
+			s.Regs[in.Dst] = s.Eval(in.A) * s.Eval(in.B)
+			s.PC++
+		case CmpEq:
+			if s.Eval(in.A) == s.Eval(in.B) {
+				s.Regs[in.Dst] = 1
+			} else {
+				s.Regs[in.Dst] = 0
+			}
+			s.PC++
+		case Jmp:
+			s.PC = in.Target
+		case JmpNZ:
+			if s.Regs[in.Cond] != 0 {
+				s.PC = in.Target
+			} else {
+				s.PC++
+			}
+		case JmpZ:
+			if s.Regs[in.Cond] == 0 {
+				s.PC = in.Target
+			} else {
+				s.PC++
+			}
+		case Nop:
+			s.PC++
+		default:
+			return s, Pending{}, fmt.Errorf("prog: unknown instruction %T", in)
+		}
+	}
+}
+
+// ApplyRead completes a pending read with the value supplied by memory.
+// This is where proposition 4 holds: any value is accepted.
+func ApplyRead(st ThreadState, p Pending, v Val) ThreadState {
+	s := st.Clone()
+	s.Regs[p.Dst] = v
+	s.PC++
+	return s
+}
+
+// ApplyWrite completes a pending write (the memory consumed the value).
+func ApplyWrite(st ThreadState) ThreadState {
+	s := st.Clone()
+	s.PC++
+	return s
+}

@@ -1,0 +1,105 @@
+package progsynth
+
+import (
+	"testing"
+
+	"localdrf/internal/prog"
+)
+
+func TestDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := Random(seed, Config{})
+		b := Random(seed, Config{})
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: generation not deterministic", seed)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	distinct := map[string]bool{}
+	for seed := int64(0); seed < 30; seed++ {
+		distinct[Random(seed, Config{}).String()] = true
+	}
+	if len(distinct) < 20 {
+		t.Errorf("only %d distinct programs from 30 seeds", len(distinct))
+	}
+}
+
+func TestValidPrograms(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		p := Random(seed, Config{})
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(p.Threads) < 2 {
+			t.Fatalf("seed %d: %d threads", seed, len(p.Threads))
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	// Across a few hundred seeds the generator must produce loads,
+	// stores, register stores, branches, and both atomicity kinds.
+	var loads, stores, regStores, branches, atomicOps int
+	for seed := int64(0); seed < 300; seed++ {
+		p := Random(seed, Config{})
+		for _, th := range p.Threads {
+			for _, in := range th.Code {
+				switch i := in.(type) {
+				case prog.Load:
+					loads++
+					if p.IsAtomic(i.Src) {
+						atomicOps++
+					}
+				case prog.Store:
+					stores++
+					if i.Src.IsReg {
+						regStores++
+					}
+					if p.IsAtomic(i.Dst) {
+						atomicOps++
+					}
+				case prog.JmpZ:
+					branches++
+				}
+			}
+		}
+	}
+	for name, n := range map[string]int{
+		"loads": loads, "stores": stores, "register stores": regStores,
+		"branches": branches, "atomic accesses": atomicOps,
+	} {
+		if n == 0 {
+			t.Errorf("generator never produced %s", name)
+		}
+	}
+}
+
+func TestConfigRespected(t *testing.T) {
+	cfg := Config{
+		MaxThreads:    2,
+		MaxOps:        2,
+		AtomicLocs:    []prog.Loc{"A"},
+		NonAtomicLocs: []prog.Loc{"x"},
+		MaxConst:      1,
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		p := Random(seed, cfg)
+		if len(p.Threads) > 2 {
+			t.Fatalf("seed %d: %d threads > max 2", seed, len(p.Threads))
+		}
+		for _, th := range p.Threads {
+			mem := 0
+			for _, in := range th.Code {
+				switch in.(type) {
+				case prog.Load, prog.Store:
+					mem++
+				}
+			}
+			if mem > 3 { // a branch-guarded store adds at most one extra
+				t.Fatalf("seed %d: %d memory ops", seed, mem)
+			}
+		}
+	}
+}

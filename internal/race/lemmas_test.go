@@ -1,0 +1,191 @@
+package race
+
+// Executable forms of the appendix-A lemmas the local DRF proof rests
+// on, checked over every trace of small programs (litmus-shaped and
+// random). These are the load-bearing invariants of the operational
+// model; if one broke, thm. 13 would silently rot.
+
+import (
+	"testing"
+
+	"localdrf/internal/explore"
+	"localdrf/internal/prog"
+	"localdrf/internal/progsynth"
+	"localdrf/internal/ts"
+)
+
+func sweepTraces(t *testing.T, progs []*prog.Program, visit func(*prog.Program, explore.Trace)) {
+	t.Helper()
+	for _, p := range progs {
+		err := explore.Traces(p, explore.Options{}, 100_000, func(tr explore.Trace) bool {
+			visit(p, tr)
+			return true
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func lemmaPrograms() []*prog.Program {
+	progs := []*prog.Program{
+		prog.NewProgram("MP").
+			Vars("x").
+			Atomics("F").
+			Thread("P0").StoreI("x", 1).StoreI("F", 1).Done().
+			Thread("P1").Load("r0", "F").Load("r1", "x").Done().
+			MustBuild(),
+		prog.NewProgram("WW+RA").
+			Vars("x").
+			RAs("G").
+			Thread("P0").StoreI("x", 1).StoreI("G", 1).Done().
+			Thread("P1").Load("r0", "G").StoreI("x", 2).Done().
+			MustBuild(),
+	}
+	for seed := int64(40); seed < 52; seed++ {
+		progs = append(progs, progsynth.Random(seed, progsynth.Config{
+			MaxThreads:    2,
+			MaxOps:        2,
+			AtomicLocs:    []prog.Loc{"A"},
+			NonAtomicLocs: []prog.Loc{"x", "y"},
+			MaxConst:      2,
+		}))
+	}
+	return progs
+}
+
+// Lemma 21: F(T) ≤ F′(T) for every transition.
+func TestLemma21FrontiersGrow(t *testing.T) {
+	sweepTraces(t, lemmaPrograms(), func(p *prog.Program, tr explore.Trace) {
+		for _, step := range tr {
+			if !step.FrontierAfter.AtLeast(step.FrontierBefore) {
+				t.Fatalf("%s: frontier shrank on %v", p.Name, step)
+			}
+		}
+	})
+}
+
+// Lemma 22: Ti happens-before Tj implies F′(Ti) ≤ F′(Tj).
+func TestLemma22HBOrdersFrontiers(t *testing.T) {
+	sweepTraces(t, lemmaPrograms(), func(p *prog.Program, tr explore.Trace) {
+		hb := HappensBefore(tr)
+		for i := range tr {
+			for j := range tr {
+				if !hb.Has(i, j) {
+					continue
+				}
+				if !tr[j].FrontierAfter.AtLeast(tr[i].FrontierAfter) {
+					t.Fatalf("%s: %v hb %v but frontiers disagree", p.Name, tr[i], tr[j])
+				}
+			}
+		}
+	})
+}
+
+// Lemma 23 (contrapositive form): if a thread's frontier knows timestamp
+// t > 0 for nonatomic location a, some earlier write to a at t
+// happens-before that transition.
+func TestLemma23FrontierEntriesAreInherited(t *testing.T) {
+	sweepTraces(t, lemmaPrograms(), func(p *prog.Program, tr explore.Trace) {
+		hb := HappensBefore(tr)
+		for j, step := range tr {
+			for loc, tstamp := range step.FrontierAfter {
+				if p.IsAtomic(loc) || tstamp.Equal(ts.Zero) {
+					continue
+				}
+				// The writer of (loc, tstamp) must exist at or before j
+				// and happen-before (or be) Tj.
+				found := false
+				for i := 0; i <= j; i++ {
+					if tr[i].IsWrite && tr[i].Loc == loc && tr[i].Time.Equal(tstamp) {
+						if i == j || hb.Has(i, j) {
+							found = true
+						}
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("%s: T%d knows %s@%v without an hb-prior write\ntrace: %v",
+						p.Name, step.Thread, loc, tstamp, tr)
+				}
+			}
+		}
+	})
+}
+
+// Release-acquire hb edges: a racy write published through an RA flag is
+// hb-ordered with the guarded access; without reading the flag there is
+// no edge.
+func TestHappensBeforeRAEdges(t *testing.T) {
+	p := prog.NewProgram("ra-hb").
+		Vars("x").
+		RAs("G").
+		Thread("P0").StoreI("x", 1).StoreI("G", 1).Done().
+		Thread("P1").Load("r0", "G").Load("r1", "x").Done().
+		MustBuild()
+	err := explore.Traces(p, explore.Options{}, 0, func(tr explore.Trace) bool {
+		hb := HappensBefore(tr)
+		var wg, rg = -1, -1
+		for i, s := range tr {
+			if s.Loc == "G" && s.IsWrite {
+				wg = i
+			}
+			if s.Loc == "G" && !s.IsWrite {
+				rg = i
+			}
+		}
+		if wg < 0 || rg < 0 || wg > rg {
+			return true
+		}
+		readFrom := tr[rg].Time.Equal(tr[wg].Time)
+		if readFrom && !hb.Has(wg, rg) {
+			t.Errorf("RA reads-from edge missing in %v", tr)
+		}
+		if !readFrom && hb.Has(wg, rg) {
+			t.Errorf("spurious RA hb edge (read did not read from the write) in %v", tr)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// RA accesses never race (def. 9 concerns nonatomic locations).
+func TestRADoesNotRace(t *testing.T) {
+	p := prog.NewProgram("ra-norace").
+		RAs("G").
+		Thread("P0").StoreI("G", 1).Done().
+		Thread("P1").StoreI("G", 2).Load("r0", "G").Done().
+		MustBuild()
+	reports, err := FindRaces(p, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("RA accesses reported racing: %v", reports)
+	}
+}
+
+// And the guarded-by-RA data write is ordered: a reader that saw the
+// flag does not race with the writer.
+func TestRASynchronisationPreventsDataRace(t *testing.T) {
+	p := prog.NewProgram("ra-guard").
+		Vars("x").
+		RAs("G").
+		Thread("P0").StoreI("x", 1).StoreI("G", 1).Done().
+		Thread("P1").
+		Load("r0", "G").
+		JmpZ("r0", "skip").
+		Load("r1", "x").
+		Label("skip").
+		Done().
+		MustBuild()
+	free, err := IsSCRaceFree(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !free {
+		t.Error("RA-guarded message passing should be race-free")
+	}
+}

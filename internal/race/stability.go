@@ -1,0 +1,244 @@
+package race
+
+import (
+	"fmt"
+
+	"localdrf/internal/core"
+	"localdrf/internal/explore"
+	"localdrf/internal/prog"
+)
+
+// LStable decides def. 12 for a machine state M of program p: M is
+// L-stable if for every trace of the program that passes through M and
+// whose suffix after M consists of L-sequential transitions, no race *on a
+// location in L* relates a prefix transition to a suffix transition.
+//
+// Note on fidelity: def. 12 as printed says "no data race between Ti and
+// T'j" without restricting the location. Read literally, that would make
+// the §5 example-1 reasoning unsound (an in-progress race on c ∉ L would
+// destroy {a,b}-stability, yet the paper concludes the fragment is
+// covered), and the appendix proof of thm. 13 only ever invokes stability
+// for a race on the location a ∈ L of the offending weak transition. We
+// therefore implement the L-restricted reading, which is the weakest
+// hypothesis the proof needs and the one §5's applications require.
+//
+// The decision procedure is exhaustive: it enumerates every path from the
+// initial state, and at each point where the canonical state equals M's,
+// explores every L-sequential continuation, checking races across the
+// split. Intended for litmus-scale programs (the state spaces involved
+// are tiny); maxSteps bounds the total number of transitions explored.
+func LStable(p *prog.Program, m *core.Machine, L LocSet, maxSteps int) (bool, error) {
+	target := m.Key()
+	budget := maxSteps
+	var firstViolation error
+
+	// checkSuffix explores L-sequential continuations from state cur,
+	// where full = prefix ++ suffix (suffix has suffixLen transitions).
+	// It reports a cross-split race via firstViolation.
+	var checkSuffix func(cur *core.Machine, full explore.Trace, prefixLen int) (bool, error)
+	checkSuffix = func(cur *core.Machine, full explore.Trace, prefixLen int) (bool, error) {
+		if budget <= 0 {
+			return false, fmt.Errorf("race: LStable step budget exceeded")
+		}
+		budget--
+		steps, err := cur.Steps()
+		if err != nil {
+			return false, err
+		}
+		for _, tr := range steps {
+			if !LSequential(tr, L) {
+				continue
+			}
+			ext := append(full, tr)
+			j := len(ext) - 1
+			hb := HappensBefore(ext)
+			for i := 0; i < prefixLen; i++ {
+				// Conflicting transitions share a location, so testing
+				// membership of the suffix transition's location suffices.
+				if !L[ext[j].Loc] {
+					break
+				}
+				if ext[i].Conflicts(ext[j]) && !hb.Has(i, j) {
+					firstViolation = fmt.Errorf(
+						"race between prefix %v and L-sequential suffix %v", ext[i], ext[j])
+					return false, nil
+				}
+			}
+			ok, err := checkSuffix(tr.After, ext, prefixLen)
+			if err != nil || !ok {
+				return ok, err
+			}
+		}
+		return true, nil
+	}
+
+	// walk explores all paths from the initial state, triggering suffix
+	// checks whenever the canonical state matches M.
+	var walk func(cur *core.Machine, acc explore.Trace) (bool, error)
+	walk = func(cur *core.Machine, acc explore.Trace) (bool, error) {
+		if budget <= 0 {
+			return false, fmt.Errorf("race: LStable step budget exceeded")
+		}
+		budget--
+		if cur.Key() == target {
+			ok, err := checkSuffix(cur, acc, len(acc))
+			if err != nil || !ok {
+				return ok, err
+			}
+		}
+		steps, err := cur.Steps()
+		if err != nil {
+			return false, err
+		}
+		for _, tr := range steps {
+			ok, err := walk(tr.After, append(acc, tr))
+			if err != nil || !ok {
+				return ok, err
+			}
+		}
+		return true, nil
+	}
+
+	ok, err := walk(core.NewMachine(p), nil)
+	if err != nil {
+		return false, err
+	}
+	if !ok && firstViolation != nil {
+		return false, nil
+	}
+	return ok, nil
+}
+
+// LocalDRFViolation describes a counterexample to thm. 13 (which, the
+// theorem being a theorem, indicates a bug in the implementation if ever
+// produced).
+type LocalDRFViolation struct {
+	// Suffix is the L-sequential sequence from the stable state.
+	Suffix explore.Trace
+	// NonSeq is the non-L-sequential transition available at the end.
+	NonSeq core.Transition
+}
+
+func (v *LocalDRFViolation) Error() string {
+	return fmt.Sprintf("race: local DRF violated: after L-sequential %v, non-L-sequential %v with no racing witness",
+		v.Suffix, v.NonSeq)
+}
+
+// CheckLocalDRFFrom verifies the conclusion of thm. 13 from the machine
+// state m (which the caller asserts, or has checked, to be L-stable): for
+// every sequence of L-sequential transitions from m, either every next
+// transition is L-sequential, or some non-weak transition accessing a
+// location in L races with a transition of the sequence. Returns nil when
+// the theorem holds on this state space, a *LocalDRFViolation otherwise.
+func CheckLocalDRFFrom(m *core.Machine, L LocSet, maxSteps int) error {
+	budget := maxSteps
+	var walk func(cur *core.Machine, suffix explore.Trace) error
+	walk = func(cur *core.Machine, suffix explore.Trace) error {
+		if budget <= 0 {
+			return fmt.Errorf("race: CheckLocalDRFFrom step budget exceeded")
+		}
+		budget--
+		steps, err := cur.Steps()
+		if err != nil {
+			return err
+		}
+		// Partition the available transitions.
+		var nonSeq []core.Transition
+		for _, tr := range steps {
+			if !LSequential(tr, L) {
+				nonSeq = append(nonSeq, tr)
+			}
+		}
+		// If some transition is not L-sequential, the theorem demands a
+		// non-weak racing witness on L.
+		if len(nonSeq) > 0 {
+			if !hasRacingWitness(steps, suffix, L) {
+				return &LocalDRFViolation{Suffix: suffix, NonSeq: nonSeq[0]}
+			}
+		}
+		// Continue along L-sequential transitions only (the theorem
+		// quantifies over L-sequential sequences).
+		for _, tr := range steps {
+			if !LSequential(tr, L) {
+				continue
+			}
+			if err := walk(tr.After, append(suffix, tr)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(m, nil)
+}
+
+// hasRacingWitness checks the second disjunct of thm. 13: among the
+// available transitions, a non-weak one accessing a location in L that
+// races with some element of the suffix. Happens-before is computed over
+// suffix ++ [candidate]; hb paths between suffix elements and the
+// candidate can only pass through later suffix elements, so the suffix is
+// self-contained for this purpose.
+func hasRacingWitness(steps []core.Transition, suffix explore.Trace, L LocSet) bool {
+	for _, cand := range steps {
+		if cand.Weak || !L[cand.Loc] {
+			continue
+		}
+		ext := append(append(explore.Trace{}, suffix...), cand)
+		hb := HappensBefore(ext)
+		j := len(ext) - 1
+		for i := 0; i < j; i++ {
+			if ext[i].Conflicts(ext[j]) && !hb.Has(i, j) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CheckLocalDRF verifies thm. 13 across an entire program: every reachable
+// L-stable state satisfies the local DRF conclusion. This is the
+// executable form of the theorem used in property tests; it is exhaustive
+// and therefore only suitable for small programs.
+func CheckLocalDRF(p *prog.Program, L LocSet, maxSteps int) error {
+	seen := map[string]bool{}
+	var states []*core.Machine
+	var collect func(cur *core.Machine) error
+	budget := maxSteps
+	collect = func(cur *core.Machine) error {
+		if budget <= 0 {
+			return fmt.Errorf("race: CheckLocalDRF step budget exceeded")
+		}
+		budget--
+		k := cur.Key()
+		if seen[k] {
+			return nil
+		}
+		seen[k] = true
+		states = append(states, cur)
+		steps, err := cur.Steps()
+		if err != nil {
+			return err
+		}
+		for _, tr := range steps {
+			if err := collect(tr.After); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := collect(core.NewMachine(p)); err != nil {
+		return err
+	}
+	for _, m := range states {
+		stable, err := LStable(p, m, L, maxSteps)
+		if err != nil {
+			return err
+		}
+		if !stable {
+			continue
+		}
+		if err := CheckLocalDRFFrom(m, L, maxSteps); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,306 @@
+// Package rel implements finite binary relations over event indices.
+//
+// The axiomatic semantics (§6–7 of the paper) is phrased entirely in terms
+// of binary relations on events — po, rf, co, fr, hb and the hardware
+// relations ghb and ob — combined with union, composition, transitive
+// closure and acyclicity checks. Executions are small (litmus-test sized),
+// so a dense boolean-matrix representation is simplest and fast enough.
+package rel
+
+import "strings"
+
+// Rel is a binary relation over {0, …, n-1}.
+type Rel struct {
+	n int
+	m []bool // m[i*n+j] == true iff i R j
+}
+
+// New returns the empty relation over n elements.
+func New(n int) Rel {
+	return Rel{n: n, m: make([]bool, n*n)}
+}
+
+// Identity returns the identity relation over n elements.
+func Identity(n int) Rel {
+	r := New(n)
+	for i := 0; i < n; i++ {
+		r.Set(i, i)
+	}
+	return r
+}
+
+// Size returns the number of elements the relation is defined over.
+func (r Rel) Size() int { return r.n }
+
+// Set adds the pair (i, j).
+func (r Rel) Set(i, j int) { r.m[i*r.n+j] = true }
+
+// Unset removes the pair (i, j).
+func (r Rel) Unset(i, j int) { r.m[i*r.n+j] = false }
+
+// Has reports whether i R j.
+func (r Rel) Has(i, j int) bool { return r.m[i*r.n+j] }
+
+// Clone returns an independent copy of r.
+func (r Rel) Clone() Rel {
+	c := New(r.n)
+	copy(c.m, r.m)
+	return c
+}
+
+// Union returns r ∪ s. Both must be over the same element count.
+func (r Rel) Union(ss ...Rel) Rel {
+	out := r.Clone()
+	for _, s := range ss {
+		if s.n != r.n {
+			panic("rel: size mismatch in Union")
+		}
+		for k, v := range s.m {
+			if v {
+				out.m[k] = true
+			}
+		}
+	}
+	return out
+}
+
+// Intersect returns r ∩ s.
+func (r Rel) Intersect(s Rel) Rel {
+	if s.n != r.n {
+		panic("rel: size mismatch in Intersect")
+	}
+	out := New(r.n)
+	for k := range r.m {
+		out.m[k] = r.m[k] && s.m[k]
+	}
+	return out
+}
+
+// Minus returns r \ s.
+func (r Rel) Minus(s Rel) Rel {
+	if s.n != r.n {
+		panic("rel: size mismatch in Minus")
+	}
+	out := New(r.n)
+	for k := range r.m {
+		out.m[k] = r.m[k] && !s.m[k]
+	}
+	return out
+}
+
+// Compose returns the relational composition r ; s
+// (i (r;s) j iff ∃k. i r k ∧ k s j), the paper's R1;R2 notation.
+func (r Rel) Compose(s Rel) Rel {
+	if s.n != r.n {
+		panic("rel: size mismatch in Compose")
+	}
+	out := New(r.n)
+	for i := 0; i < r.n; i++ {
+		for k := 0; k < r.n; k++ {
+			if !r.Has(i, k) {
+				continue
+			}
+			for j := 0; j < r.n; j++ {
+				if s.Has(k, j) {
+					out.Set(i, j)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Inverse returns R⁻¹, the transpose.
+func (r Rel) Inverse() Rel {
+	out := New(r.n)
+	for i := 0; i < r.n; i++ {
+		for j := 0; j < r.n; j++ {
+			if r.Has(i, j) {
+				out.Set(j, i)
+			}
+		}
+	}
+	return out
+}
+
+// TransitiveClosure returns R⁺ via Floyd–Warshall.
+func (r Rel) TransitiveClosure() Rel {
+	out := r.Clone()
+	for k := 0; k < r.n; k++ {
+		for i := 0; i < r.n; i++ {
+			if !out.Has(i, k) {
+				continue
+			}
+			for j := 0; j < r.n; j++ {
+				if out.Has(k, j) {
+					out.Set(i, j)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ReflexiveClosure returns R? = R ∪ 1.
+func (r Rel) ReflexiveClosure() Rel {
+	return r.Union(Identity(r.n))
+}
+
+// Irreflexive reports whether no element relates to itself.
+func (r Rel) Irreflexive() bool {
+	for i := 0; i < r.n; i++ {
+		if r.Has(i, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Acyclic reports whether the relation, viewed as a directed graph, has no
+// cycles (equivalently, its transitive closure is irreflexive).
+func (r Rel) Acyclic() bool {
+	return r.TransitiveClosure().Irreflexive()
+}
+
+// Empty reports whether the relation has no pairs.
+func (r Rel) Empty() bool {
+	for _, v := range r.m {
+		if v {
+			return false
+		}
+	}
+	return true
+}
+
+// Restrict keeps only pairs (i, j) with from(i) and to(j). It implements
+// the paper's set-product intersections such as po ∩ (W × WA).
+func (r Rel) Restrict(from, to func(int) bool) Rel {
+	out := New(r.n)
+	for i := 0; i < r.n; i++ {
+		if !from(i) {
+			continue
+		}
+		for j := 0; j < r.n; j++ {
+			if r.Has(i, j) && to(j) {
+				out.Set(i, j)
+			}
+		}
+	}
+	return out
+}
+
+// Filter keeps only pairs satisfying keep.
+func (r Rel) Filter(keep func(i, j int) bool) Rel {
+	out := New(r.n)
+	for i := 0; i < r.n; i++ {
+		for j := 0; j < r.n; j++ {
+			if r.Has(i, j) && keep(i, j) {
+				out.Set(i, j)
+			}
+		}
+	}
+	return out
+}
+
+// Pairs returns all pairs in the relation in row-major order.
+func (r Rel) Pairs() [][2]int {
+	var out [][2]int
+	for i := 0; i < r.n; i++ {
+		for j := 0; j < r.n; j++ {
+			if r.Has(i, j) {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// Equal reports whether two relations contain exactly the same pairs.
+func (r Rel) Equal(s Rel) bool {
+	if r.n != s.n {
+		return false
+	}
+	for k := range r.m {
+		if r.m[k] != s.m[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every pair of r is in s.
+func (r Rel) SubsetOf(s Rel) bool {
+	if r.n != s.n {
+		return false
+	}
+	for k := range r.m {
+		if r.m[k] && !s.m[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalOn reports whether r is a strict total order on the elements
+// selected by in: irreflexive, and any two distinct selected elements are
+// related one way or the other. Used for the co axiom on writes per
+// location.
+func (r Rel) TotalOn(in func(int) bool) bool {
+	for i := 0; i < r.n; i++ {
+		if !in(i) {
+			continue
+		}
+		if r.Has(i, i) {
+			return false
+		}
+		for j := 0; j < r.n; j++ {
+			if i == j || !in(j) {
+				continue
+			}
+			if !r.Has(i, j) && !r.Has(j, i) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the pairs, for test failure messages.
+func (r Rel) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, p := range r.Pairs() {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(itoa(p[0]))
+		b.WriteString("→")
+		b.WriteString(itoa(p[1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

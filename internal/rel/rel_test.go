@@ -1,0 +1,231 @@
+package rel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func fromPairs(n int, pairs ...[2]int) Rel {
+	r := New(n)
+	for _, p := range pairs {
+		r.Set(p[0], p[1])
+	}
+	return r
+}
+
+func TestSetHasUnset(t *testing.T) {
+	r := New(3)
+	if r.Has(0, 1) {
+		t.Fatal("empty relation has pair")
+	}
+	r.Set(0, 1)
+	if !r.Has(0, 1) {
+		t.Fatal("Set did not add pair")
+	}
+	r.Unset(0, 1)
+	if r.Has(0, 1) {
+		t.Fatal("Unset did not remove pair")
+	}
+}
+
+func TestUnionIntersectMinus(t *testing.T) {
+	a := fromPairs(3, [2]int{0, 1}, [2]int{1, 2})
+	b := fromPairs(3, [2]int{1, 2}, [2]int{2, 0})
+	u := a.Union(b)
+	for _, p := range [][2]int{{0, 1}, {1, 2}, {2, 0}} {
+		if !u.Has(p[0], p[1]) {
+			t.Errorf("union missing %v", p)
+		}
+	}
+	i := a.Intersect(b)
+	if !i.Equal(fromPairs(3, [2]int{1, 2})) {
+		t.Errorf("intersect = %v", i)
+	}
+	m := a.Minus(b)
+	if !m.Equal(fromPairs(3, [2]int{0, 1})) {
+		t.Errorf("minus = %v", m)
+	}
+}
+
+func TestCompose(t *testing.T) {
+	a := fromPairs(4, [2]int{0, 1}, [2]int{2, 3})
+	b := fromPairs(4, [2]int{1, 2})
+	c := a.Compose(b)
+	if !c.Equal(fromPairs(4, [2]int{0, 2})) {
+		t.Errorf("compose = %v, want {0→2}", c)
+	}
+}
+
+func TestComposeWithIdentity(t *testing.T) {
+	a := fromPairs(3, [2]int{0, 2}, [2]int{1, 0})
+	id := Identity(3)
+	if !a.Compose(id).Equal(a) || !id.Compose(a).Equal(a) {
+		t.Error("identity is not neutral for composition")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := fromPairs(3, [2]int{0, 1}, [2]int{1, 2})
+	inv := a.Inverse()
+	if !inv.Equal(fromPairs(3, [2]int{1, 0}, [2]int{2, 1})) {
+		t.Errorf("inverse = %v", inv)
+	}
+	if !inv.Inverse().Equal(a) {
+		t.Error("double inverse is not identity")
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	a := fromPairs(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3})
+	c := a.TransitiveClosure()
+	want := fromPairs(4,
+		[2]int{0, 1}, [2]int{0, 2}, [2]int{0, 3},
+		[2]int{1, 2}, [2]int{1, 3}, [2]int{2, 3})
+	if !c.Equal(want) {
+		t.Errorf("closure = %v, want %v", c, want)
+	}
+}
+
+func TestAcyclic(t *testing.T) {
+	chain := fromPairs(3, [2]int{0, 1}, [2]int{1, 2})
+	if !chain.Acyclic() {
+		t.Error("chain reported cyclic")
+	}
+	loop := fromPairs(3, [2]int{0, 1}, [2]int{1, 0})
+	if loop.Acyclic() {
+		t.Error("2-cycle reported acyclic")
+	}
+	self := fromPairs(3, [2]int{2, 2})
+	if self.Acyclic() {
+		t.Error("self-loop reported acyclic")
+	}
+}
+
+func TestIrreflexive(t *testing.T) {
+	if !New(3).Irreflexive() {
+		t.Error("empty relation not irreflexive")
+	}
+	if Identity(3).Irreflexive() {
+		t.Error("identity reported irreflexive")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	a := fromPairs(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3})
+	even := func(i int) bool { return i%2 == 0 }
+	odd := func(i int) bool { return i%2 == 1 }
+	r := a.Restrict(even, odd)
+	if !r.Equal(fromPairs(4, [2]int{0, 1}, [2]int{2, 3})) {
+		t.Errorf("restrict = %v", r)
+	}
+}
+
+func TestTotalOn(t *testing.T) {
+	writes := func(i int) bool { return i < 3 }
+	total := fromPairs(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{0, 2})
+	if !total.TotalOn(writes) {
+		t.Error("strict total order rejected")
+	}
+	partial := fromPairs(4, [2]int{0, 1})
+	if partial.TotalOn(writes) {
+		t.Error("partial order accepted as total")
+	}
+	refl := total.Clone()
+	refl.Set(1, 1)
+	if refl.TotalOn(writes) {
+		t.Error("reflexive order accepted as strict")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	a := fromPairs(3, [2]int{0, 1})
+	b := fromPairs(3, [2]int{0, 1}, [2]int{1, 2})
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Error("SubsetOf wrong")
+	}
+}
+
+func randRel(r *rand.Rand, n int, density float64) Rel {
+	out := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Float64() < density {
+				out.Set(i, j)
+			}
+		}
+	}
+	return out
+}
+
+// Property: transitive closure is idempotent and contains the original.
+func TestClosureProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a := randRel(r, 6, 0.2)
+		c := a.TransitiveClosure()
+		if !a.SubsetOf(c) {
+			t.Fatal("closure does not contain original")
+		}
+		if !c.TransitiveClosure().Equal(c) {
+			t.Fatal("closure not idempotent")
+		}
+		// Closure is transitive: c;c ⊆ c.
+		if !c.Compose(c).SubsetOf(c) {
+			t.Fatal("closure not transitive")
+		}
+	}
+}
+
+// Property: R1?;R2 = (R1;R2) ∪ R2, the identity stated in §7 of the paper.
+func TestPaperIdentityReflexiveCompose(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		r1 := randRel(r, 5, 0.25)
+		r2 := randRel(r, 5, 0.25)
+		left := r1.ReflexiveClosure().Compose(r2)
+		right := r1.Compose(r2).Union(r2)
+		if !left.Equal(right) {
+			t.Fatalf("R1?;R2 != (R1;R2) ∪ R2 for R1=%v R2=%v", r1, r2)
+		}
+	}
+}
+
+// Property: acyclicity is equivalent to existence of a topological order.
+func TestAcyclicMatchesTopoSort(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		a := randRel(r, 6, 0.15)
+		want := topoSortable(a)
+		if got := a.Acyclic(); got != want {
+			t.Fatalf("Acyclic = %v, topo-sortable = %v for %v", got, want, a)
+		}
+	}
+}
+
+func topoSortable(a Rel) bool {
+	n := a.Size()
+	indeg := make([]int, n)
+	for _, p := range a.Pairs() {
+		indeg[p[1]]++
+	}
+	removed := make([]bool, n)
+	for count := 0; count < n; count++ {
+		found := -1
+		for i := 0; i < n; i++ {
+			if !removed[i] && indeg[i] == 0 {
+				found = i
+				break
+			}
+		}
+		if found == -1 {
+			return false
+		}
+		removed[found] = true
+		for j := 0; j < n; j++ {
+			if a.Has(found, j) {
+				indeg[j]--
+			}
+		}
+	}
+	return true
+}

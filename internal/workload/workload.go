@@ -1,0 +1,202 @@
+// Package workload defines the benchmark suite of §8 / fig. 5a.
+//
+// The paper evaluates 29 OCaml programs whose memory accesses fall into
+// four classes — loads of immutable fields, initialising stores, loads of
+// mutable fields, and assignments — because the compilation schemes
+// decorate only the last two (§8.1: initialising stores and immutable
+// loads compile to plain accesses). The benchmark *names and access
+// rates* (millions of accesses per second, in parentheses in fig. 5a) are
+// taken from the paper. The per-benchmark class mix and floating-point
+// share are synthesised: fig. 5a is a bar chart without a data table, so
+// we reconstruct the distribution along the paper's stated gradient (the
+// benchmarks are ordered by "increasing functionalness" — later
+// benchmarks perform fewer mutable loads and assignments) and give the
+// numerical benchmarks a high FP share, which §8.3 identifies as the
+// cause of SRA's collapse on AArch64. This preserves what the experiment
+// measures: overhead as a function of the decorated-access mix and rate.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Class is a memory-access class of fig. 5a.
+type Class int
+
+const (
+	// ImmLoad is a load of an immutable field (plain in every scheme).
+	ImmLoad Class = iota
+	// InitStore is an initialising store (plain in every scheme; §8.1).
+	InitStore
+	// MutLoad is a load of a mutable field (decorated by BAL/SRA).
+	MutLoad
+	// Assign is a store to a mutable field (decorated by FBS/SRA).
+	Assign
+)
+
+func (c Class) String() string {
+	switch c {
+	case ImmLoad:
+		return "load immutable"
+	case InitStore:
+		return "initialising store"
+	case MutLoad:
+		return "load mutable"
+	default:
+		return "assignment"
+	}
+}
+
+// Access is one memory access of a benchmark's working loop.
+type Access struct {
+	Class Class
+	// FP marks floating-point accesses, which SRA compiles differently
+	// on AArch64 (no FP ldar/stlr; dmb-pairs instead, §8.3).
+	FP bool
+}
+
+// Benchmark describes one fig. 5a workload.
+type Benchmark struct {
+	Name string
+	// RateM is the paper's access rate in millions per second.
+	RateM float64
+	// Mix fractions over memory accesses; they sum to 1.
+	ImmLoad, InitStore, MutLoad, Assign float64
+	// FPShare is the fraction of accesses that are floating-point.
+	FPShare float64
+	// HotLoopPad biases the hot loop's instruction count, exercising the
+	// §8.3 fetch-alignment effect (some baselines are unluckily aligned
+	// and *speed up* when BAL/FBS/nop padding grows the loop).
+	HotLoopPad int
+}
+
+// Suite returns the 29 benchmarks of fig. 5a in the paper's order
+// (increasing functionalness). Rates are the figure's; mixes follow the
+// gradient with hand-tuned exceptions: rnd_access/simple_access are
+// synthetic mutable-access loops, cpdf/menhir/frama-c are pointer-chasing
+// symbolic code, and the numerical kernels carry the FP share.
+func Suite() []Benchmark {
+	type row struct {
+		name    string
+		rate    float64
+		mut     float64 // mutable-load fraction
+		asn     float64 // assignment fraction
+		init    float64 // initialising-store fraction
+		fp      float64
+		loopPad int
+	}
+	rows := []row{
+		{"almabench", 29.4, 0.34, 0.18, 0.10, 0.85, 0},
+		{"rnd_access", 106.2, 0.55, 0.25, 0.05, 0.00, 0},
+		{"setrip", 119.63, 0.40, 0.22, 0.08, 0.00, 0},
+		{"setrip-smallbuf", 119.36, 0.40, 0.22, 0.08, 0.00, 0},
+		{"levinson-durbin", 154.8, 0.36, 0.18, 0.09, 0.80, 0},
+		{"cpdf-transform", 37.46, 0.33, 0.16, 0.12, 0.10, 0},
+		{"jsontrip-sample", 145.49, 0.30, 0.15, 0.14, 0.05, 0},
+		{"minilight", 156.1, 0.32, 0.16, 0.12, 0.90, 0},
+		{"cpdf-squeeze", 59.38, 0.28, 0.14, 0.14, 0.10, 0},
+		{"cpdf-reformat", 77.58, 0.27, 0.13, 0.15, 0.10, 0},
+		{"cpdf-merge", 62.16, 0.26, 0.12, 0.15, 0.10, 0},
+		{"simple_access", 39.38, 0.45, 0.20, 0.08, 0.00, 0},
+		{"lu-decomposition", 144.24, 0.28, 0.12, 0.12, 0.85, 0},
+		{"frama-c-idct", 57.67, 0.24, 0.11, 0.16, 0.60, 0},
+		{"naive-multilayer", 146.33, 0.24, 0.10, 0.14, 0.75, 0},
+		{"lexifi-g2pp", 65.67, 0.22, 0.10, 0.15, 0.85, 0},
+		{"qr-decomposition", 146.62, 0.22, 0.09, 0.14, 0.85, 0},
+		{"bdd", 126.03, 0.18, 0.08, 0.18, 0.00, 0},
+		{"fft", 73.25, 0.18, 0.08, 0.16, 0.90, 0},
+		{"menhir-standard", 70.6, 0.16, 0.07, 0.20, 0.00, 1},
+		{"frama-c-deflate", 51.14, 0.15, 0.07, 0.20, 0.05, 0},
+		{"menhir-fancy", 77.16, 0.14, 0.06, 0.21, 0.00, 0},
+		{"menhir-sql", 122.68, 0.13, 0.06, 0.22, 0.00, 0},
+		{"kb", 118.91, 0.11, 0.05, 0.24, 0.00, 0},
+		{"kb-no-exc", 119.83, 0.11, 0.05, 0.24, 0.00, 0},
+		{"k-means", 145.41, 0.12, 0.05, 0.20, 0.70, 0},
+		{"durand-kerner-aberth", 138.78, 0.10, 0.04, 0.22, 0.80, 0},
+		{"sequence", 163.09, 0.06, 0.03, 0.30, 0.00, 1},
+		{"sequence-cps", 144.82, 0.05, 0.02, 0.32, 0.00, 0},
+	}
+	out := make([]Benchmark, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, Benchmark{
+			Name:       r.name,
+			RateM:      r.rate,
+			MutLoad:    r.mut,
+			Assign:     r.asn,
+			InitStore:  r.init,
+			ImmLoad:    1 - r.mut - r.asn - r.init,
+			FPShare:    r.fp,
+			HotLoopPad: r.loopPad,
+		})
+	}
+	return out
+}
+
+// Get returns a benchmark by name.
+func Get(name string) (Benchmark, bool) {
+	for _, b := range Suite() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// AccessesPerIteration is the number of memory accesses in one iteration
+// of the synthetic hot loop.
+const AccessesPerIteration = 32
+
+// Body generates the benchmark's hot-loop access sequence, deterministic
+// in the benchmark name. The sequence realises the class mix and FP
+// share of the benchmark.
+func (b Benchmark) Body() []Access {
+	r := rand.New(rand.NewSource(seedOf(b.Name)))
+	body := make([]Access, 0, AccessesPerIteration)
+	for i := 0; i < AccessesPerIteration; i++ {
+		u := r.Float64()
+		var c Class
+		switch {
+		case u < b.MutLoad:
+			c = MutLoad
+		case u < b.MutLoad+b.Assign:
+			c = Assign
+		case u < b.MutLoad+b.Assign+b.InitStore:
+			c = InitStore
+		default:
+			c = ImmLoad
+		}
+		body = append(body, Access{Class: c, FP: r.Float64() < b.FPShare})
+	}
+	return body
+}
+
+// AluGap is the number of plain (non-memory) instructions between
+// consecutive memory accesses, derived from the benchmark's measured
+// access rate assuming the clock of the machine being modelled: a
+// benchmark doing RateM million accesses per second on a freqGHz machine
+// has freqGHz*1000/RateM cycles per access to spend.
+func (b Benchmark) AluGap(freqGHz float64) int {
+	cyclesPerAccess := freqGHz * 1000 / b.RateM
+	gap := int(cyclesPerAccess) - 2 // the access itself costs ~2 cycles
+	if gap < 1 {
+		gap = 1
+	}
+	return gap
+}
+
+func seedOf(name string) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range name {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// MixString renders the access distribution as percentages (the fig. 5a
+// bar for this benchmark).
+func (b Benchmark) MixString() string {
+	return fmt.Sprintf("imm %4.1f%% | init %4.1f%% | mut %4.1f%% | assign %4.1f%%",
+		100*b.ImmLoad, 100*b.InitStore, 100*b.MutLoad, 100*b.Assign)
+}

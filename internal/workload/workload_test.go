@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSuiteHas29Benchmarks(t *testing.T) {
+	// Fig. 5a lists 29 programs.
+	if got := len(Suite()); got != 29 {
+		t.Fatalf("suite size = %d, want 29", got)
+	}
+}
+
+func TestSuitePaperRates(t *testing.T) {
+	// Spot-check access rates against the figure's parenthesised values.
+	want := map[string]float64{
+		"almabench":   29.4,
+		"rnd_access":  106.2,
+		"minilight":   156.1,
+		"sequence":    163.09,
+		"menhir-sql":  122.68,
+		"lexifi-g2pp": 65.67,
+	}
+	for name, rate := range want {
+		b, ok := Get(name)
+		if !ok {
+			t.Fatalf("missing benchmark %s", name)
+		}
+		if b.RateM != rate {
+			t.Errorf("%s rate = %v, want %v", name, b.RateM, rate)
+		}
+	}
+}
+
+func TestMixesSumToOne(t *testing.T) {
+	for _, b := range Suite() {
+		sum := b.ImmLoad + b.InitStore + b.MutLoad + b.Assign
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: mix sums to %v", b.Name, sum)
+		}
+		for _, f := range []float64{b.ImmLoad, b.InitStore, b.MutLoad, b.Assign, b.FPShare} {
+			if f < 0 || f > 1 {
+				t.Errorf("%s: fraction %v out of range", b.Name, f)
+			}
+		}
+	}
+}
+
+// The paper orders fig. 5a by increasing functionalness: the imperative
+// share (mutable loads + assignments) must be non-increasing overall.
+// Allow small local wiggle (the figure itself is not perfectly monotone)
+// but require the endpoints to differ markedly.
+func TestFunctionalnessGradient(t *testing.T) {
+	s := Suite()
+	first := s[0].MutLoad + s[0].Assign
+	last := s[len(s)-1].MutLoad + s[len(s)-1].Assign
+	if first <= last {
+		t.Errorf("imperative share should fall across the suite: first=%v last=%v", first, last)
+	}
+	if first < 0.4 || last > 0.15 {
+		t.Errorf("gradient endpoints implausible: first=%v last=%v", first, last)
+	}
+}
+
+func TestNumericBenchmarksCarryFP(t *testing.T) {
+	for _, name := range []string{"almabench", "minilight", "fft", "qr-decomposition", "lexifi-g2pp"} {
+		b, ok := Get(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if b.FPShare < 0.5 {
+			t.Errorf("%s: FP share %v, expected numeric benchmark to be FP-heavy", name, b.FPShare)
+		}
+	}
+	for _, name := range []string{"menhir-standard", "bdd", "kb"} {
+		b, _ := Get(name)
+		if b.FPShare > 0.1 {
+			t.Errorf("%s: FP share %v, expected symbolic benchmark to be integer-heavy", name, b.FPShare)
+		}
+	}
+}
+
+func TestBodyDeterministic(t *testing.T) {
+	b, _ := Get("minilight")
+	b1, b2 := b.Body(), b.Body()
+	if len(b1) != AccessesPerIteration || len(b2) != AccessesPerIteration {
+		t.Fatalf("body length = %d/%d", len(b1), len(b2))
+	}
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatal("body generation not deterministic")
+		}
+	}
+}
+
+func TestBodyRealisesMix(t *testing.T) {
+	// Across the whole suite the generated class frequencies should track
+	// the declared mixes within sampling error of 32-access bodies.
+	for _, b := range Suite() {
+		counts := map[Class]int{}
+		for _, a := range b.Body() {
+			counts[a.Class]++
+		}
+		got := float64(counts[MutLoad]) / AccessesPerIteration
+		if math.Abs(got-b.MutLoad) > 0.25 {
+			t.Errorf("%s: generated mutable-load share %v too far from %v", b.Name, got, b.MutLoad)
+		}
+	}
+}
+
+func TestAluGapScalesWithRate(t *testing.T) {
+	slow, _ := Get("almabench") // 29.4 M/s
+	fast, _ := Get("sequence")  // 163 M/s
+	if slow.AluGap(2.5) <= fast.AluGap(2.5) {
+		t.Errorf("slower access rate should give larger gap: %d vs %d",
+			slow.AluGap(2.5), fast.AluGap(2.5))
+	}
+	if fast.AluGap(2.5) < 1 {
+		t.Error("gap must be at least 1")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := Get("no-such-benchmark"); ok {
+		t.Error("Get on unknown name succeeded")
+	}
+}
+
+func TestMixString(t *testing.T) {
+	b, _ := Get("almabench")
+	s := b.MixString()
+	if s == "" {
+		t.Error("empty mix string")
+	}
+}

@@ -1,0 +1,194 @@
+package localdrf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mpProgram() *Program {
+	return NewProgram("MP").
+		Vars("x").
+		Atomics("F").
+		Thread("P0").StoreI("x", 1).StoreI("F", 1).Done().
+		Thread("P1").Load("r0", "F").Load("r1", "x").Done().
+		MustBuild()
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	p := mpProgram()
+
+	// Operational and axiomatic enumeration agree.
+	op, err := Outcomes(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, err := OutcomesAxiomatic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !op.Equal(ax) {
+		t.Fatal("public API: operational and axiomatic outcomes differ")
+	}
+
+	// The MP violation is forbidden.
+	if op.Exists(func(o Outcome) bool { return o.Reg(1, "r0") == 1 && o.Reg(1, "r1") == 0 }) {
+		t.Fatal("MP violation allowed through public API")
+	}
+
+	// SC outcomes are included in the full set.
+	sc, err := OutcomesSC(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.SubsetOf(op) {
+		t.Fatal("SC outcomes not included")
+	}
+}
+
+func TestPublicAPIParse(t *testing.T) {
+	p, err := ParseProgram(`
+name SB
+var x y
+thread P0
+  x = 1
+  r0 = y
+end
+thread P1
+  y = 1
+  r1 = x
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := Outcomes(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Exists(func(o Outcome) bool { return o.Reg(0, "r0") == 0 && o.Reg(1, "r1") == 0 }) {
+		t.Error("SB relaxation missing via parsed program")
+	}
+}
+
+func TestPublicAPIRaces(t *testing.T) {
+	p := mpProgram()
+	reports, err := FindRaces(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("unguarded MP read should race")
+	}
+	free, err := IsSCRaceFree(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free {
+		t.Fatal("racy program reported race-free")
+	}
+	// Local DRF from the initial state holds for any L.
+	if err := CheckLocalDRFFrom(NewMachine(p), NewLocSet("x")); err != nil {
+		t.Fatal(err)
+	}
+	stable, err := LStable(p, NewMachine(p), AllLocs(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Fatal("initial state must be stable")
+	}
+}
+
+func TestPublicAPIGlobalDRF(t *testing.T) {
+	p := NewProgram("seq").
+		Vars("x").
+		Thread("P0").StoreI("x", 1).Load("r0", "x").Done().
+		MustBuild()
+	if err := CheckGlobalDRF(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPICompilation(t *testing.T) {
+	p := mpProgram()
+	for _, s := range []Scheme{SchemeX86, SchemeARMBal, SchemeARMFbs} {
+		if err := CheckCompilation(p, s); err != nil {
+			t.Errorf("%v: %v", s, err)
+		}
+	}
+	err := CheckCompilation(p, SchemeARMNaiveAtomics)
+	var ce *CompilationError
+	if !errors.As(err, &ce) {
+		t.Errorf("fully naive scheme should fail compilation check, got %v", err)
+	}
+}
+
+func TestPublicAPIHardwareOutcomes(t *testing.T) {
+	p := mpProgram()
+	hp, err := Compile(p, SchemeARMBal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := HardwareOutcomes(hp, HardwareModel(SchemeARMBal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Exists(func(o Outcome) bool { return o.Reg(1, "r0") == 1 && o.Reg(1, "r1") == 0 }) {
+		t.Error("ARM BAL admits the MP violation")
+	}
+}
+
+func TestPublicAPIOptimiser(t *testing.T) {
+	p := NewProgram("cse").
+		Vars("a", "b").
+		Thread("P0").Load("r1", "a").Load("r2", "b").Load("r3", "a").Done().
+		MustBuild()
+	f := ThreadFragment(p, 0)
+	out, steps, err := CSE(f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 || len(out) != 3 {
+		t.Fatalf("CSE produced %v via %v", out, steps)
+	}
+	ok, extra, err := TransformationSound(p, ReplaceThread(p, 0, out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("CSE unsound: %v", extra)
+	}
+	// Reordering a read past a write is refused.
+	if ok, reason := CanReorder(f[0], StoreInstr("b", I(1)), p); ok || !strings.Contains(reason, "poRW") {
+		t.Errorf("poRW reorder allowed (%v, %q)", ok, reason)
+	}
+}
+
+func TestPublicAPILitmus(t *testing.T) {
+	suite := LitmusSuite()
+	if len(suite) < 12 {
+		t.Fatalf("litmus suite has %d entries", len(suite))
+	}
+	ex, ok := LitmusTestByName("Example3")
+	if !ok {
+		t.Fatal("Example3 missing")
+	}
+	if err := VerifyLitmus(ex); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIPerf(t *testing.T) {
+	if len(Benchmarks()) != 29 {
+		t.Fatalf("benchmark suite size %d", len(Benchmarks()))
+	}
+	b, ok := BenchmarkByName("kb")
+	if !ok {
+		t.Fatal("kb missing")
+	}
+	n := SimNormalized(b, ArchThunderX(), PerfBAL)
+	if n < 0.9 || n > 1.3 {
+		t.Errorf("kb BAL normalised %v implausible", n)
+	}
+}

@@ -1,0 +1,99 @@
+package localdrf
+
+import (
+	"localdrf/internal/opt"
+	"localdrf/internal/prog"
+)
+
+// ---- Compiler optimisations (§7.1) ----
+
+// Instr is one program instruction; construct with LoadInstr, StoreInstr
+// or via the Builder.
+type Instr = prog.Instr
+
+// LoadInstr builds the instruction dst = src (a memory read).
+func LoadInstr(dst Reg, src Loc) Instr { return prog.Load{Dst: dst, Src: src} }
+
+// StoreInstr builds the instruction dst = src (a memory write).
+func StoreInstr(dst Loc, src Operand) Instr { return prog.Store{Dst: dst, Src: src} }
+
+// Fragment is a straight-line instruction sequence of one thread, the
+// unit over which optimisations are derived.
+type Fragment = opt.Fragment
+
+// OptStep is one primitive transformation (an adjacent swap or a
+// peephole) in a derivation.
+type OptStep = opt.Step
+
+// Peephole identifies the §7.1 same-location transformations: redundant
+// load, store forwarding, dead store.
+type Peephole = opt.Peephole
+
+// Peepholes.
+const (
+	PeepholeRedundantLoad   = opt.RedundantLoad
+	PeepholeStoreForwarding = opt.StoreForwarding
+	PeepholeDeadStore       = opt.DeadStore
+)
+
+// ThreadFragment extracts thread ti's code as a fragment.
+func ThreadFragment(p *Program, ti int) Fragment {
+	return opt.Fragment(p.Threads[ti].Code)
+}
+
+// CanReorder reports whether two adjacent instructions may swap under the
+// memory model's §7.1 constraints (poat−, po−at, poRW, pocon) and
+// ordinary dataflow; when forbidden, the reason names the constraint.
+func CanReorder(a, b prog.Instr, p *Program) (ok bool, reason string) {
+	return opt.CanSwap(a, b, p.IsAtomic)
+}
+
+// DeriveOptimisation replays a sequence of primitive steps, validating
+// each; the paper's invalid transformations fail here with the violated
+// constraint in the error.
+func DeriveOptimisation(f Fragment, steps []OptStep, p *Program) (Fragment, error) {
+	return opt.Derive(f, steps, p.IsAtomic)
+}
+
+// CSE derives common-subexpression elimination (merging redundant loads)
+// from swaps plus the RL peephole, applied to a fixpoint.
+func CSE(f Fragment, p *Program) (Fragment, []OptStep, error) {
+	return opt.DeriveCSEAll(f, p.IsAtomic)
+}
+
+// DSE derives dead-store elimination.
+func DSE(f Fragment, p *Program) (Fragment, []OptStep, error) {
+	return opt.DeriveDSE(f, p.IsAtomic)
+}
+
+// ConstProp derives constant propagation (store forwarding of an
+// immediate into a later load).
+func ConstProp(f Fragment, p *Program) (Fragment, []OptStep, error) {
+	return opt.DeriveConstProp(f, p.IsAtomic)
+}
+
+// RedundantStoreElimination attempts the paper's invalid transformation;
+// it fails whenever the motion would relax poRW, which is every case the
+// paper discusses.
+func RedundantStoreElimination(f Fragment, p *Program) (Fragment, []OptStep, error) {
+	return opt.DeriveRSE(f, p.IsAtomic)
+}
+
+// Sequentialise replaces two parallel threads by their sequential
+// composition — valid in this model, famously invalid in C++/Java.
+func Sequentialise(p *Program, first, second int) (*Program, error) {
+	return opt.Sequentialise(p, first, second)
+}
+
+// ReplaceThread lifts a transformed fragment back into a program.
+func ReplaceThread(p *Program, ti int, f Fragment) *Program {
+	return opt.ReplaceThread(p, ti, f)
+}
+
+// TransformationSound reports whether transformed introduces no
+// behaviours original forbids (outcome-set inclusion), returning the
+// offending outcomes otherwise. This is the semantic ground truth behind
+// the syntactic rules.
+func TransformationSound(original, transformed *Program) (bool, []Outcome, error) {
+	return opt.SemanticallyValid(original, transformed)
+}

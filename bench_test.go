@@ -13,15 +13,61 @@ package localdrf
 
 import (
 	"testing"
+
+	"localdrf/internal/engine"
 )
 
 // BenchmarkFig1Operational exercises the operational semantics of fig. 1
-// by exhaustively enumerating the behaviours of message passing.
+// by exhaustively enumerating the behaviours of message passing on the
+// parallel exploration engine (compact binary state interning).
 func BenchmarkFig1Operational(b *testing.B) {
 	p := mpProgram()
 	for i := 0; i < b.N; i++ {
 		if _, err := Outcomes(p); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1OperationalSequential is the same enumeration on the
+// single-threaded memoised reference path (the seed implementation),
+// kept as the baseline the engine is measured against.
+func BenchmarkFig1OperationalSequential(b *testing.B) {
+	p := mpProgram()
+	for i := 0; i < b.N; i++ {
+		if _, err := OutcomesSequential(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLitmusSweep enumerates the outcome sets of the entire litmus
+// catalogue on the exploration engine, fanning the corpus across the
+// engine's task runner — the many-scenario workload cmd/litmus -run all
+// and cmd/experiments exercise.
+func BenchmarkLitmusSweep(b *testing.B) {
+	suite := LitmusSuite()
+	for i := 0; i < b.N; i++ {
+		err := engine.ForEach(0, len(suite), func(_, j int) error {
+			// Single-threaded per test: the corpus fan-out owns the cores.
+			_, err := OutcomesOpt(suite[j].Prog, ExploreOptions{Parallelism: 1})
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLitmusSweepSequential is the corpus sweep on the sequential
+// reference path, one test at a time.
+func BenchmarkLitmusSweepSequential(b *testing.B) {
+	suite := LitmusSuite()
+	for i := 0; i < b.N; i++ {
+		for _, tc := range suite {
+			if _, err := OutcomesSequential(tc.Prog); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -4,22 +4,34 @@
 // Usage:
 //
 //	experiments [-run all|examples|equivalence|drf|opt|x86|arm|fig5a|fig5b|fig5c|padding]
+//	experiments -run bench [-bench-json BENCH_engine.json]
 //
 // The semantic experiments (examples, equivalence, x86, arm, opt, drf)
 // are exact model-checking results and must reproduce the paper's
 // verdicts verbatim. The fig5* experiments run the pipeline-simulator
 // substitute for the paper's hardware measurements (see DESIGN.md);
 // their numbers are expected to match in shape, not in absolute value.
+//
+// The bench experiment times the exploration engine against the
+// sequential reference path (single tests and the full litmus-corpus
+// sweep) and, with -bench-json, writes the measurements as JSON so the
+// performance trajectory can be tracked across PRs (BENCH_*.json files).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"time"
 
 	"localdrf"
+	"localdrf/internal/engine"
 )
+
+var benchJSON = flag.String("bench-json", "", "write bench results as JSON to this file")
 
 func main() {
 	run := flag.String("run", "all", "which experiment to regenerate")
@@ -39,6 +51,13 @@ func main() {
 		{"fig5b", fig5b},
 		{"fig5c", fig5c},
 		{"padding", padding},
+	}
+	if *run == "bench" {
+		if err := bench(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment bench failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	any := false
 	for _, e := range experiments {
@@ -97,10 +116,17 @@ func examples() error {
 }
 
 // equivalence regenerates the thm. 15/16 check on the whole litmus
-// suite: operational and axiomatic outcome sets coincide.
+// suite: operational and axiomatic outcome sets coincide. The suite is
+// swept concurrently on the engine's task runner; the report is printed
+// in catalogue order.
 func equivalence() error {
-	for _, tc := range localdrf.LitmusSuite() {
-		op, err := localdrf.Outcomes(tc.Prog)
+	suite := localdrf.LitmusSuite()
+	lines := make([]string, len(suite))
+	err := engine.ForEach(0, len(suite), func(_, i int) error {
+		tc := suite[i]
+		// Inner exploration stays single-threaded: the corpus fan-out
+		// already saturates the cores.
+		op, err := localdrf.OutcomesOpt(tc.Prog, localdrf.ExploreOptions{Parallelism: 1})
 		if err != nil {
 			return err
 		}
@@ -112,11 +138,20 @@ func equivalence() error {
 		if !op.Equal(ax) {
 			status = "DIFFER"
 		}
-		fmt.Printf("%-22s operational=%2d axiomatic=%2d  %s\n",
+		lines[i] = fmt.Sprintf("%-22s operational=%2d axiomatic=%2d  %s",
 			tc.Name, op.Len(), ax.Len(), status)
 		if status == "DIFFER" {
 			return fmt.Errorf("%s: models disagree", tc.Name)
 		}
+		return nil
+	})
+	for _, l := range lines {
+		if l != "" {
+			fmt.Println(l)
+		}
+	}
+	if err != nil {
+		return err
 	}
 	fmt.Println("thm 15/16: operational ≡ axiomatic on the full suite")
 	return nil
@@ -336,6 +371,103 @@ func fig5series(arch localdrf.Arch, paperAvg map[localdrf.PerfScheme]string) err
 		fmt.Printf(" %8s", paperAvg[s])
 	}
 	fmt.Println()
+	return nil
+}
+
+// benchResult is one timed measurement, serialised to the -bench-json
+// file so future PRs can track the performance trajectory.
+type benchResult struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	TotalNs    int64   `json:"total_ns"`
+}
+
+// timeIt runs fn repeatedly for at least ~200ms (and at least 3 times)
+// and records the mean time per run.
+func timeIt(name string, results *[]benchResult, fn func() error) error {
+	const minDuration = 200 * time.Millisecond
+	var total time.Duration
+	iters := 0
+	for total < minDuration || iters < 3 {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		total += time.Since(start)
+		iters++
+	}
+	r := benchResult{
+		Name:       name,
+		Iterations: iters,
+		NsPerOp:    float64(total.Nanoseconds()) / float64(iters),
+		TotalNs:    total.Nanoseconds(),
+	}
+	*results = append(*results, r)
+	fmt.Printf("%-36s %8d iters   %12.0f ns/op\n", r.Name, r.Iterations, r.NsPerOp)
+	return nil
+}
+
+// bench times the exploration engine against the sequential reference
+// path: the fig. 1 message-passing enumeration and the full litmus-corpus
+// sweep. With -bench-json the measurements are written as JSON.
+func bench() error {
+	mp, ok := localdrf.LitmusTestByName("MP")
+	if !ok {
+		return fmt.Errorf("MP missing from the catalogue")
+	}
+	suite := localdrf.LitmusSuite()
+	var results []benchResult
+	checkErr := func(_ *localdrf.OutcomeSet, err error) error { return err }
+
+	if err := timeIt("fig1-mp/sequential", &results, func() error {
+		return checkErr(localdrf.OutcomesSequential(mp.Prog))
+	}); err != nil {
+		return err
+	}
+	if err := timeIt("fig1-mp/engine", &results, func() error {
+		return checkErr(localdrf.Outcomes(mp.Prog))
+	}); err != nil {
+		return err
+	}
+	if err := timeIt("litmus-sweep/sequential", &results, func() error {
+		for _, tc := range suite {
+			if err := checkErr(localdrf.OutcomesSequential(tc.Prog)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := timeIt("litmus-sweep/engine-concurrent", &results, func() error {
+		return engine.ForEach(0, len(suite), func(_, i int) error {
+			return checkErr(localdrf.OutcomesOpt(suite[i].Prog,
+				localdrf.ExploreOptions{Parallelism: 1}))
+		})
+	}); err != nil {
+		return err
+	}
+
+	if *benchJSON != "" {
+		doc := struct {
+			Generated  string        `json:"generated"`
+			GoMaxProcs int           `json:"gomaxprocs"`
+			Results    []benchResult `json:"results"`
+		}{
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Results:    results,
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+	}
 	return nil
 }
 

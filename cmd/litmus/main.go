@@ -15,8 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"localdrf"
+	"localdrf/internal/engine"
 )
 
 func main() {
@@ -24,6 +26,7 @@ func main() {
 	run := flag.String("run", "", "run a catalogued test by name (or 'all')")
 	file := flag.String("file", "", "run a litmus file")
 	model := flag.String("model", "op", "model: op, ax, x86, x86-movstore, arm-bal, arm-fbs, arm-sra, arm-naive, arm-naive-atomics")
+	par := flag.Int("par", 0, "worker parallelism for -run all (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	switch {
@@ -32,10 +35,24 @@ func main() {
 			fmt.Printf("%-24s %s\n", t.Name, t.Description)
 		}
 	case *run == "all":
-		for _, t := range localdrf.LitmusSuite() {
-			if err := runTest(t, *model); err != nil {
-				fail(err)
+		// The whole corpus runs concurrently on the engine's task runner
+		// (each test's own exploration stays single-threaded so workers
+		// aren't oversubscribed); rendered reports are buffered and
+		// printed in catalogue order.
+		suite := localdrf.LitmusSuite()
+		reports := make([]string, len(suite))
+		err := engine.ForEach(*par, len(suite), func(_, i int) error {
+			var err error
+			reports[i], err = renderTest(suite[i], *model, 1)
+			return err
+		})
+		for _, r := range reports {
+			if r != "" {
+				fmt.Print(r)
 			}
+		}
+		if err != nil {
+			fail(err)
 		}
 	case *run != "":
 		t, ok := localdrf.LitmusTestByName(*run)
@@ -54,7 +71,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		set, err := outcomes(p, *model)
+		set, err := outcomes(p, *model, 0)
 		if err != nil {
 			fail(err)
 		}
@@ -70,12 +87,16 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func outcomes(p *localdrf.Program, model string) (*localdrf.OutcomeSet, error) {
+// outcomes enumerates p under the selected model. innerPar is the
+// engine parallelism for the operational and hardware models (0 means
+// GOMAXPROCS; batch runs pass 1 because the corpus fan-out owns the
+// cores).
+func outcomes(p *localdrf.Program, model string, innerPar int) (*localdrf.OutcomeSet, error) {
 	switch model {
 	case "op":
-		return localdrf.Outcomes(p)
+		return localdrf.OutcomesOpt(p, localdrf.ExploreOptions{Parallelism: innerPar})
 	case "sc":
-		return localdrf.OutcomesSC(p)
+		return localdrf.OutcomesOpt(p, localdrf.ExploreOptions{SCOnly: true, Parallelism: innerPar})
 	case "ax":
 		return localdrf.OutcomesAxiomatic(p)
 	}
@@ -95,15 +116,25 @@ func outcomes(p *localdrf.Program, model string) (*localdrf.OutcomeSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	return localdrf.HardwareOutcomes(hp, localdrf.HardwareModel(scheme))
+	return localdrf.HardwareOutcomesParallel(hp, localdrf.HardwareModel(scheme), innerPar)
 }
 
 func runTest(t localdrf.LitmusTest, model string) error {
-	set, err := outcomes(t.Prog, model)
+	report, err := renderTest(t, model, 0)
 	if err != nil {
-		return fmt.Errorf("%s: %w", t.Name, err)
+		return err
 	}
-	fmt.Printf("%s (%s) under %s:\n", t.Name, t.Description, model)
+	fmt.Print(report)
+	return nil
+}
+
+func renderTest(t localdrf.LitmusTest, model string, innerPar int) (string, error) {
+	set, err := outcomes(t.Prog, model, innerPar)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", t.Name, err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s) under %s:\n", t.Name, t.Description, model)
 	for _, c := range t.Checks {
 		verdict := "forbidden"
 		if set.Exists(c.Pred) {
@@ -117,10 +148,10 @@ func runTest(t localdrf.LitmusTest, model string) error {
 				marker = "✓"
 			}
 		}
-		fmt.Printf("  %s %-28s %s (model verdict: %v)\n", marker, c.Name, verdict, c.Want)
+		fmt.Fprintf(&b, "  %s %-28s %s (model verdict: %v)\n", marker, c.Name, verdict, c.Want)
 	}
-	fmt.Printf("  %d distinct outcomes\n", set.Len())
-	return nil
+	fmt.Fprintf(&b, "  %d distinct outcomes\n", set.Len())
+	return b.String(), nil
 }
 
 func printOutcomes(name string, set *localdrf.OutcomeSet) {

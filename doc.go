@@ -35,8 +35,24 @@
 //     regenerates the shape of figs. 5a–5c over the paper's 29-benchmark
 //     suite (see DESIGN.md for the substitution rationale).
 //
+// All exhaustive searches — operational outcome enumeration, the trace
+// scans of the race machinery, the hardware candidate-execution
+// enumeration, and the litmus corpus runner — run on a single shared
+// exploration engine (internal/engine). The engine owns canonical-state
+// identity (a compact binary encoding of machine states, ordinal-renamed
+// timestamps, interned by 128-bit hash), memoisation and state budgets,
+// and scheduling (a work-stealing parallel frontier search plus a task
+// runner for corpus sweeps). Results are accumulated in per-worker sinks
+// and merged as sets, so every enumeration is deterministic at any
+// parallelism; OutcomesSequential retains the single-threaded memoised
+// reference path for differential testing. A new semantics plugs into the
+// engine by providing a canonical state encoding and a successor
+// function — see internal/engine's package comment.
+//
 // The command-line tools (cmd/litmus, cmd/drfcheck, cmd/memsim,
 // cmd/experiments) and the examples directory exercise all of the above;
 // EXPERIMENTS.md records paper-versus-measured results for every table
-// and figure.
+// and figure. cmd/experiments -run bench emits engine-versus-baseline
+// timings as JSON (BENCH_*.json) so the performance trajectory is
+// tracked across PRs.
 package localdrf

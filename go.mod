@@ -1,0 +1,3 @@
+module localdrf
+
+go 1.24

@@ -55,6 +55,13 @@ func HardwareOutcomes(hp *HardwareProgram, consistent func(*HardwareExecution) b
 	return compile.Outcomes(hp, consistent)
 }
 
+// HardwareOutcomesParallel is HardwareOutcomes with explicit worker
+// parallelism (0 means GOMAXPROCS; 1 is the sequential path, used by
+// batch runs whose corpus fan-out already owns the cores).
+func HardwareOutcomesParallel(hp *HardwareProgram, consistent func(*HardwareExecution) bool, parallelism int) (*OutcomeSet, error) {
+	return compile.OutcomesParallel(hp, consistent, parallelism)
+}
+
 // CheckCompilation verifies compilation soundness (thms. 19/20) for one
 // program and scheme: hardware outcomes ⊆ software outcomes. For the
 // ablation schemes this returns a *CompilationError listing the leaked

@@ -21,6 +21,7 @@ package compile
 
 import (
 	"fmt"
+	"runtime"
 
 	"localdrf/internal/explore"
 	"localdrf/internal/hw"
@@ -243,10 +244,24 @@ func lowerInstr(p *prog.Program, in prog.Instr, s Scheme, ti, pc int,
 
 // Outcomes enumerates the outcomes the architecture model admits for a
 // compiled program, projected onto the source program's observables
-// (source registers and final memory).
+// (source registers and final memory). The candidate space is explored in
+// parallel on the engine's task runner; the merged outcome set is
+// deterministic.
 func Outcomes(hp *hw.Program, consistent func(*hw.Execution) bool) (*explore.Set, error) {
-	set := explore.NewSet()
-	err := hw.Enumerate(hp, consistent, func(x *hw.Execution) bool {
+	return OutcomesParallel(hp, consistent, 0)
+}
+
+// OutcomesParallel is Outcomes with explicit worker parallelism (0 means
+// GOMAXPROCS; 1 is the sequential reference path).
+func OutcomesParallel(hp *hw.Program, consistent func(*hw.Execution) bool, parallelism int) (*explore.Set, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	sinks := make([]*explore.Set, parallelism)
+	for i := range sinks {
+		sinks[i] = explore.NewSet()
+	}
+	err := hw.EnumerateParallel(hp, consistent, parallelism, func(worker int, x *hw.Execution) bool {
 		o := explore.Outcome{Mem: x.FinalMem()}
 		for ti, regs := range x.Regs {
 			m := map[prog.Reg]prog.Val{}
@@ -257,11 +272,15 @@ func Outcomes(hp *hw.Program, consistent func(*hw.Execution) bool) (*explore.Set
 			}
 			o.Regs = append(o.Regs, m)
 		}
-		set.Add(o)
+		sinks[worker].Add(o)
 		return true
 	})
 	if err != nil {
 		return nil, err
+	}
+	set := sinks[0]
+	for _, s := range sinks[1:] {
+		set.Union(s)
 	}
 	return set, nil
 }

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sort"
+
+	"encoding/binary"
+
+	"localdrf/internal/prog"
+	"localdrf/internal/ts"
+)
+
+// This file is the binary counterpart of Machine.Key: a compact canonical
+// encoding of a machine state for hash interning by the exploration
+// engine. Two states of the same program encode equal iff they are
+// identical up to per-location renaming of the concrete rational
+// timestamps — the same equivalence Key computes, at a fraction of the
+// cost (no fmt, no per-timestamp string allocation).
+//
+// Layout (all integers varint/uvarint; field counts are fixed by the
+// program, so the encoding is self-delimiting):
+//
+//	for each nonatomic location (sorted):      len, then (time-ordinal, value) per entry
+//	for each release-acquire location (sorted): len, then (time-ordinal, value, frontier) per entry
+//	for each atomic location (sorted):          value, frontier
+//	for each thread:                            thread state (pc, nonzero regs), frontier
+//
+// where a frontier is one time-ordinal per timestamped location, and a
+// time-ordinal is the rank of the timestamp among all timestamps of that
+// location occurring anywhere in the state (histories, thread frontiers,
+// atomic-cell frontiers, RA published frontiers).
+
+// timeTable is one location's ordinal renaming: the sorted, deduplicated
+// timestamps occurring for that location.
+type timeTable struct {
+	times []ts.Time
+}
+
+func (tt *timeTable) add(t ts.Time) { tt.times = append(tt.times, t) }
+
+func (tt *timeTable) seal() {
+	sort.Slice(tt.times, func(i, j int) bool { return tt.times[i].Less(tt.times[j]) })
+	out := tt.times[:0]
+	for i, t := range tt.times {
+		if i == 0 || !out[len(out)-1].Equal(t) {
+			out = append(out, t)
+		}
+	}
+	tt.times = out
+}
+
+func (tt *timeTable) ord(t ts.Time) uint64 {
+	return uint64(sort.Search(len(tt.times), func(i int) bool { return !tt.times[i].Less(t) }))
+}
+
+// AppendCanonical appends the canonical binary encoding of the machine
+// state to dst and returns the extended slice. dst may be a reused
+// buffer; pass nil to allocate.
+func (m *Machine) AppendCanonical(dst []byte) []byte {
+	// NonAtomicLocs returns every non-SC-atomic location, including the
+	// release-acquire ones; filter to the truly nonatomic locations so
+	// each RA location gets exactly one ordinal table and one frontier
+	// slot (this is the per-state hot path).
+	raLocs := m.Prog.RALocs()
+	atLocs := m.Prog.AtomicLocs()
+	naLocs := make([]prog.Loc, 0, len(m.Prog.Locs))
+	for _, l := range m.Prog.NonAtomicLocs() {
+		if !m.Prog.IsRA(l) {
+			naLocs = append(naLocs, l)
+		}
+	}
+	timestamped := make([]prog.Loc, 0, len(naLocs)+len(raLocs))
+	timestamped = append(append(timestamped, naLocs...), raLocs...)
+
+	tables := make([]timeTable, len(timestamped))
+	for i, l := range timestamped {
+		tt := &tables[i]
+		if h, ok := m.NA[l]; ok {
+			for k := 0; k < h.Len(); k++ {
+				tt.add(h.At(k).Time)
+			}
+		}
+		if h, ok := m.RA[l]; ok {
+			for k := 0; k < h.Len(); k++ {
+				tt.add(h.At(k).Time)
+			}
+		}
+		for _, t := range m.Threads {
+			tt.add(t.Frontier.Get(l))
+		}
+		for _, c := range m.AT {
+			tt.add(c.F.Get(l))
+		}
+		for _, h := range m.RA {
+			for k := 0; k < h.Len(); k++ {
+				tt.add(h.At(k).F.Get(l))
+			}
+		}
+		tt.seal()
+	}
+	appendFrontier := func(dst []byte, f Frontier) []byte {
+		for i, l := range timestamped {
+			dst = binary.AppendUvarint(dst, tables[i].ord(f.Get(l)))
+		}
+		return dst
+	}
+
+	for i, l := range naLocs {
+		h := m.NA[l]
+		dst = binary.AppendUvarint(dst, uint64(h.Len()))
+		for k := 0; k < h.Len(); k++ {
+			e := h.At(k)
+			dst = binary.AppendUvarint(dst, tables[i].ord(e.Time))
+			dst = binary.AppendVarint(dst, int64(e.Val))
+		}
+	}
+	for i, l := range raLocs {
+		h := m.RA[l]
+		tt := &tables[len(naLocs)+i]
+		dst = binary.AppendUvarint(dst, uint64(h.Len()))
+		for k := 0; k < h.Len(); k++ {
+			e := h.At(k)
+			dst = binary.AppendUvarint(dst, tt.ord(e.Time))
+			dst = binary.AppendVarint(dst, int64(e.Val))
+			dst = appendFrontier(dst, e.F)
+		}
+	}
+	for _, l := range atLocs {
+		c := m.AT[l]
+		dst = binary.AppendVarint(dst, int64(c.V))
+		dst = appendFrontier(dst, c.F)
+	}
+	for _, t := range m.Threads {
+		dst = t.State.AppendCanonical(dst)
+		dst = appendFrontier(dst, t.Frontier)
+	}
+	return dst
+}

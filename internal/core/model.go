@@ -57,12 +57,18 @@ func (h History) At(i int) HEntry { return h.entries[i] }
 // Last returns the entry with the largest timestamp.
 func (h History) Last() HEntry { return h.entries[len(h.entries)-1] }
 
+// search returns the index of the first entry with timestamp ≥ t.
+// Entries are sorted by ascending timestamp, so this is a binary search —
+// histories sit on the hot path of every enumeration step.
+func (h History) search(t ts.Time) int {
+	return sort.Search(len(h.entries), func(i int) bool { return !h.entries[i].Time.Less(t) })
+}
+
 // Lookup returns the value at timestamp t.
 func (h History) Lookup(t ts.Time) (prog.Val, bool) {
-	for _, e := range h.entries {
-		if e.Time.Equal(t) {
-			return e.Val, true
-		}
+	i := h.search(t)
+	if i < len(h.entries) && h.entries[i].Time.Equal(t) {
+		return h.entries[i].Val, true
 	}
 	return 0, false
 }
@@ -71,34 +77,23 @@ func (h History) Lookup(t ts.Time) (prog.Val, bool) {
 // timestamp is already present, which would violate Write-NA's side
 // condition; callers pick fresh timestamps via gap enumeration.
 func (h History) Insert(t ts.Time, v prog.Val) History {
-	out := make([]HEntry, 0, len(h.entries)+1)
-	placed := false
-	for _, e := range h.entries {
-		if !placed && t.Less(e.Time) {
-			out = append(out, HEntry{Time: t, Val: v})
-			placed = true
-		}
-		if e.Time.Equal(t) {
-			panic(fmt.Sprintf("core: duplicate timestamp %v in history", t))
-		}
-		out = append(out, e)
+	i := h.search(t)
+	if i < len(h.entries) && h.entries[i].Time.Equal(t) {
+		panic(fmt.Sprintf("core: duplicate timestamp %v in history", t))
 	}
-	if !placed {
-		out = append(out, HEntry{Time: t, Val: v})
-	}
+	out := make([]HEntry, len(h.entries)+1)
+	copy(out, h.entries[:i])
+	out[i] = HEntry{Time: t, Val: v}
+	copy(out[i+1:], h.entries[i:])
 	return History{entries: out}
 }
 
 // ReadableFrom returns the entries visible to a thread whose frontier for
-// this location is f: all entries with timestamp ≥ f (Read-NA).
+// this location is f: all entries with timestamp ≥ f (Read-NA). The
+// returned slice aliases the history's internal storage, which is shared
+// across cloned machines — callers must treat it as read-only.
 func (h History) ReadableFrom(f ts.Time) []HEntry {
-	var out []HEntry
-	for _, e := range h.entries {
-		if f.LessEq(e.Time) {
-			out = append(out, e)
-		}
-	}
-	return out
+	return h.entries[h.search(f):]
 }
 
 // Gaps enumerates candidate timestamps for a new write by a thread whose
@@ -108,18 +103,18 @@ func (h History) ReadableFrom(f ts.Time) []HEntry {
 // is dense, so only the *position* of the new timestamp relative to
 // existing entries matters.
 func (h History) Gaps(f ts.Time) []ts.Time {
-	// Collect existing timestamps strictly greater than f.
-	var above []ts.Time
-	for _, e := range h.entries {
-		if f.Less(e.Time) {
-			above = append(above, e.Time)
-		}
+	// Entries strictly greater than f start at the search index (plus one
+	// if the entry there is exactly f).
+	i := h.search(f)
+	if i < len(h.entries) && h.entries[i].Time.Equal(f) {
+		i++
 	}
-	var out []ts.Time
+	above := h.entries[i:]
+	out := make([]ts.Time, 0, len(above)+1)
 	lo := f
-	for _, hi := range above {
-		out = append(out, ts.Between(lo, hi))
-		lo = hi
+	for _, e := range above {
+		out = append(out, ts.Between(lo, e.Time))
+		lo = e.Time
 	}
 	out = append(out, ts.After(lo))
 	return out

@@ -34,6 +34,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"localdrf/internal/prog"
 	"localdrf/internal/ts"
@@ -69,53 +70,47 @@ func (h RAHistory) At(i int) RAEntry { return h.entries[i] }
 // Last returns the message with the largest timestamp.
 func (h RAHistory) Last() RAEntry { return h.entries[len(h.entries)-1] }
 
+// search returns the index of the first message with timestamp ≥ t
+// (binary search; messages are sorted by ascending timestamp).
+func (h RAHistory) search(t ts.Time) int {
+	return sort.Search(len(h.entries), func(i int) bool { return !h.entries[i].Time.Less(t) })
+}
+
 // Insert returns a copy with a new message, panicking on duplicate
 // timestamps (Write-RA side condition).
 func (h RAHistory) Insert(e RAEntry) RAHistory {
-	out := make([]RAEntry, 0, len(h.entries)+1)
-	placed := false
-	for _, x := range h.entries {
-		if !placed && e.Time.Less(x.Time) {
-			out = append(out, e)
-			placed = true
-		}
-		if x.Time.Equal(e.Time) {
-			panic(fmt.Sprintf("core: duplicate RA timestamp %v", e.Time))
-		}
-		out = append(out, x)
+	i := h.search(e.Time)
+	if i < len(h.entries) && h.entries[i].Time.Equal(e.Time) {
+		panic(fmt.Sprintf("core: duplicate RA timestamp %v", e.Time))
 	}
-	if !placed {
-		out = append(out, e)
-	}
+	out := make([]RAEntry, len(h.entries)+1)
+	copy(out, h.entries[:i])
+	out[i] = e
+	copy(out[i+1:], h.entries[i:])
 	return RAHistory{entries: out}
 }
 
 // ReadableFrom returns the messages visible to a thread whose frontier
-// for this location is f.
+// for this location is f. The returned slice aliases the history's
+// internal storage, which is shared across cloned machines — callers
+// must treat it as read-only.
 func (h RAHistory) ReadableFrom(f ts.Time) []RAEntry {
-	var out []RAEntry
-	for _, e := range h.entries {
-		if f.LessEq(e.Time) {
-			out = append(out, e)
-		}
-	}
-	return out
+	return h.entries[h.search(f):]
 }
 
 // Gaps enumerates candidate timestamps for a new message, exactly as for
 // nonatomic histories.
 func (h RAHistory) Gaps(f ts.Time) []ts.Time {
-	var above []ts.Time
-	for _, e := range h.entries {
-		if f.Less(e.Time) {
-			above = append(above, e.Time)
-		}
+	i := h.search(f)
+	if i < len(h.entries) && h.entries[i].Time.Equal(f) {
+		i++
 	}
-	var out []ts.Time
+	above := h.entries[i:]
+	out := make([]ts.Time, 0, len(above)+1)
 	lo := f
-	for _, hi := range above {
-		out = append(out, ts.Between(lo, hi))
-		lo = hi
+	for _, e := range above {
+		out = append(out, ts.Between(lo, e.Time))
+		lo = e.Time
 	}
 	out = append(out, ts.After(lo))
 	return out

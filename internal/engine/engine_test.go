@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// binTree is a synthetic state space: node i has children 2i+1 and 2i+2
+// below n; nodes are also reachable along redundant edges (i → i+1) to
+// exercise deduplication.
+func binTreeConfig(n int, par int, visited *atomic.Int64) Config[int] {
+	return Config[int]{
+		Options: Options{Parallelism: par},
+		Encode: func(s int, buf []byte) []byte {
+			return binary.AppendUvarint(buf, uint64(s))
+		},
+		Expand: func(_ int, s int, emit func(int)) error {
+			visited.Add(1)
+			for _, c := range []int{2*s + 1, 2*s + 2, s + 1} {
+				if c < n {
+					emit(c)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func TestRunVisitsEachStateExactlyOnce(t *testing.T) {
+	const n = 1000
+	for _, par := range []int{1, 2, 8} {
+		var visited atomic.Int64
+		size, err := Run(binTreeConfig(n, par, &visited), 0)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if size != n || visited.Load() != n {
+			t.Errorf("par=%d: size=%d visited=%d, want %d", par, size, visited.Load(), n)
+		}
+	}
+}
+
+func TestRunDeduplicatesRoots(t *testing.T) {
+	var visited atomic.Int64
+	size, err := Run(binTreeConfig(50, 4, &visited), 0, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 50 || visited.Load() != 50 {
+		t.Errorf("size=%d visited=%d, want 50", size, visited.Load())
+	}
+}
+
+func TestRunStateBudget(t *testing.T) {
+	var visited atomic.Int64
+	cfg := binTreeConfig(100_000, 4, &visited)
+	cfg.MaxStates = 10
+	_, err := Run(cfg, 0)
+	if !errors.Is(err, ErrStateBudget) {
+		t.Fatalf("err = %v, want ErrStateBudget", err)
+	}
+}
+
+func TestRunPropagatesExpandError(t *testing.T) {
+	boom := errors.New("boom")
+	cfg := Config[int]{
+		Options: Options{Parallelism: 4},
+		Encode: func(s int, buf []byte) []byte {
+			return binary.AppendUvarint(buf, uint64(s))
+		},
+		Expand: func(_ int, s int, emit func(int)) error {
+			if s == 7 {
+				return boom
+			}
+			if s+1 < 100 {
+				emit(s + 1)
+			}
+			return nil
+		},
+	}
+	if _, err := Run(cfg, 0); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// The per-worker sink pattern must produce the same merged result at any
+// parallelism; here the "result" is the set of terminal states.
+func TestRunSinkMergeDeterministic(t *testing.T) {
+	const n = 513
+	collect := func(par int) map[int]bool {
+		sinks := make([]map[int]bool, par)
+		for i := range sinks {
+			sinks[i] = map[int]bool{}
+		}
+		cfg := Config[int]{
+			Options: Options{Parallelism: par},
+			Encode: func(s int, buf []byte) []byte {
+				return binary.AppendUvarint(buf, uint64(s))
+			},
+			Expand: func(w int, s int, emit func(int)) error {
+				if 2*s+1 >= n {
+					sinks[w][s] = true // leaf
+					return nil
+				}
+				emit(2*s + 1)
+				emit(2*s + 2)
+				return nil
+			},
+		}
+		if _, err := Run(cfg, 0); err != nil {
+			t.Fatal(err)
+		}
+		out := map[int]bool{}
+		for _, s := range sinks {
+			for k := range s {
+				out[k] = true
+			}
+		}
+		return out
+	}
+	seq := collect(1)
+	for _, par := range []int{2, 8} {
+		got := collect(par)
+		if len(got) != len(seq) {
+			t.Fatalf("par=%d: %d leaves, want %d", par, len(got), len(seq))
+		}
+		for k := range seq {
+			if !got[k] {
+				t.Fatalf("par=%d: leaf %d missing", par, k)
+			}
+		}
+	}
+}
+
+func TestInternerDedupAndSize(t *testing.T) {
+	in := NewInterner(100)
+	fp := Hash([]byte("hello"))
+	fresh, err := in.Intern(fp)
+	if err != nil || !fresh {
+		t.Fatalf("first intern: fresh=%v err=%v", fresh, err)
+	}
+	fresh, err = in.Intern(fp)
+	if err != nil || fresh {
+		t.Fatalf("second intern: fresh=%v err=%v", fresh, err)
+	}
+	if in.Size() != 1 {
+		t.Fatalf("size = %d, want 1", in.Size())
+	}
+	if Hash([]byte("hello")) != fp {
+		t.Error("hash not stable within process")
+	}
+	if Hash([]byte("hellp")) == fp {
+		t.Error("distinct inputs should not collide")
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	const n = 100
+	var mu sync.Mutex
+	seen := map[int]int{}
+	err := ForEach(8, n, func(_, i int) error {
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("covered %d indices, want %d", len(seen), n)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(4, 100, func(_, i int) error {
+		if i == 42 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+

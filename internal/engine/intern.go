@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// Fingerprint is the 128-bit identity of a canonical state encoding.
+// States are deduplicated by fingerprint alone (hash-compact interning, in
+// the tradition of explicit-state model checkers): at the state-space
+// sizes this engine bounds (DefaultMaxStates), the collision probability
+// of a 128-bit hash is far below any practical concern, and not keeping
+// the encodings themselves is what makes the visited set compact.
+type Fingerprint struct {
+	Hi, Lo uint64
+}
+
+// The two seeds give two independent 64-bit hashes of the encoding, fixed
+// for the lifetime of the process. Fingerprints are never persisted or
+// compared across processes, so per-process seeding is sound (and defends
+// against accidental dependence on concrete hash values).
+var (
+	seedHi = maphash.MakeSeed()
+	seedLo = maphash.MakeSeed()
+)
+
+// Hash fingerprints a canonical encoding.
+func Hash(b []byte) Fingerprint {
+	return Fingerprint{Hi: maphash.Bytes(seedHi, b), Lo: maphash.Bytes(seedLo, b)}
+}
+
+const internShards = 64
+
+// Interner is a concurrency-safe visited set over state fingerprints with
+// a hard budget on distinct states. It is sharded so that parallel search
+// workers do not serialise on a single lock.
+type Interner struct {
+	limit  int64
+	count  atomic.Int64
+	shards [internShards]internShard
+}
+
+type internShard struct {
+	mu sync.Mutex
+	m  map[Fingerprint]struct{}
+}
+
+// NewInterner returns an empty interner that admits at most limit
+// distinct fingerprints.
+func NewInterner(limit int) *Interner {
+	it := &Interner{limit: int64(limit)}
+	for i := range it.shards {
+		it.shards[i].m = make(map[Fingerprint]struct{})
+	}
+	return it
+}
+
+// Intern records a fingerprint, reporting whether it was new. The first
+// insertion past the budget returns ErrStateBudget (the fingerprint is
+// still recorded, so the error is returned exactly once per overflowing
+// state).
+func (it *Interner) Intern(fp Fingerprint) (bool, error) {
+	s := &it.shards[fp.Lo%internShards]
+	s.mu.Lock()
+	_, seen := s.m[fp]
+	if !seen {
+		s.m[fp] = struct{}{}
+	}
+	s.mu.Unlock()
+	if seen {
+		return false, nil
+	}
+	if it.count.Add(1) > it.limit {
+		return true, ErrStateBudget
+	}
+	return true, nil
+}
+
+// Size returns the number of distinct fingerprints interned.
+func (it *Interner) Size() int { return int(it.count.Load()) }

@@ -2,22 +2,33 @@
 // the operational model.
 //
 // Two views are provided: outcome sets (the observable results of all
-// complete executions, computed with memoisation over canonical machine
-// states) and full traces (every sequence of transitions, used by the
-// race/local-DRF machinery where the identity of intermediate transitions
-// matters). The definition of sequential consistency follows def. 7: a
-// trace is sequentially consistent iff it contains no weak transitions, so
+// complete executions, computed as a deduplicated frontier search over
+// canonical machine states on the shared exploration engine) and full
+// traces (every sequence of transitions, used by the race/local-DRF
+// machinery where the identity of intermediate transitions matters). The
+// definition of sequential consistency follows def. 7: a trace is
+// sequentially consistent iff it contains no weak transitions, so
 // restricting the search to non-weak transitions yields exactly the
 // SC semantics.
+//
+// Outcome enumeration runs on internal/engine: states are identified by a
+// 128-bit hash of the compact binary encoding (core.Machine.AppendCanonical)
+// and expanded once each by work-stealing parallel workers; halted states
+// contribute their outcome to a per-worker sink and the sinks are merged
+// into one canonical set, so the result is identical at any parallelism.
+// OutcomesSequential retains the seed's memoised recursive search as the
+// single-threaded reference implementation for differential testing.
 package explore
 
 import (
-	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"localdrf/internal/core"
+	"localdrf/internal/engine"
 	"localdrf/internal/prog"
 )
 
@@ -157,21 +168,81 @@ type Options struct {
 	// MaxStates bounds the number of distinct canonical states visited
 	// (0 means the default).
 	MaxStates int
+	// Parallelism is the number of engine workers for the outcome search
+	// (0 means GOMAXPROCS). The outcome set does not depend on it.
+	Parallelism int
 }
 
 // DefaultMaxStates bounds exploration; litmus-scale programs stay far
 // below it.
-const DefaultMaxStates = 2_000_000
+const DefaultMaxStates = engine.DefaultMaxStates
 
 // ErrStateBudget is returned when exploration exceeds its state budget.
-var ErrStateBudget = errors.New("explore: state budget exceeded")
+var ErrStateBudget = engine.ErrStateBudget
 
-// ErrCyclicStateSpace is returned when the (memoised) outcome search
-// re-enters a state currently being expanded. The outcome semantics of
-// cyclic programs would require SCC analysis; litmus programs are
-// loop-free, so this indicates a mis-written test rather than a supported
-// case.
-var ErrCyclicStateSpace = errors.New("explore: cyclic state space")
+// ErrCyclicStateSpace is returned by OutcomesSequential when the memoised
+// outcome search re-enters a state currently being expanded. The outcome
+// semantics of cyclic programs would require SCC analysis; litmus programs
+// are loop-free, so this indicates a mis-written test rather than a
+// supported case. (The engine-based Outcomes deduplicates revisited
+// states instead, so it terminates on cyclic state spaces and returns the
+// outcomes of the reachable halted states.)
+var ErrCyclicStateSpace = fmt.Errorf("explore: cyclic state space")
+
+// Outcomes returns the set of observable results of all complete
+// executions of p (all traces if opt.SCOnly is false; only sequentially
+// consistent traces otherwise), enumerated on the parallel engine.
+func Outcomes(p *prog.Program, opt Options) (*Set, error) {
+	return OutcomesFrom(core.NewMachine(p), opt)
+}
+
+// OutcomesFrom is Outcomes starting from an arbitrary machine state, used
+// by the local-DRF machinery which reasons about non-initial states.
+func OutcomesFrom(m *core.Machine, opt Options) (*Set, error) {
+	par := opt.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sinks := make([]*Set, par)
+	for i := range sinks {
+		sinks[i] = NewSet()
+	}
+	cfg := engine.Config[*core.Machine]{
+		Options: engine.Options{Parallelism: par, MaxStates: opt.MaxStates},
+		Encode: func(m *core.Machine, buf []byte) []byte {
+			return m.AppendCanonical(buf)
+		},
+		Expand: func(worker int, m *core.Machine, emit func(*core.Machine)) error {
+			halted, err := m.Halted()
+			if err != nil {
+				return err
+			}
+			if halted {
+				sinks[worker].Add(outcomeOf(m))
+				return nil
+			}
+			steps, err := m.Steps()
+			if err != nil {
+				return err
+			}
+			for _, tr := range steps {
+				if opt.SCOnly && tr.Weak {
+					continue
+				}
+				emit(tr.After)
+			}
+			return nil
+		},
+	}
+	if _, err := engine.Run(cfg, m); err != nil {
+		return nil, err
+	}
+	out := sinks[0]
+	for _, s := range sinks[1:] {
+		out.Union(s)
+	}
+	return out, nil
+}
 
 type outcomeSearch struct {
 	opt     Options
@@ -180,25 +251,19 @@ type outcomeSearch struct {
 	visited int
 }
 
-// Outcomes returns the set of observable results of all complete
-// executions of p (all traces if opt.SCOnly is false; only sequentially
-// consistent traces otherwise).
-func Outcomes(p *prog.Program, opt Options) (*Set, error) {
+// OutcomesSequential is the single-threaded memoised reference search —
+// the seed implementation, still keyed by the string canonicalisation
+// Machine.Key. It is retained for differential testing of the
+// engine-based Outcomes: the two must produce byte-identical outcome
+// sets on every program, and because this path does not share the binary
+// encoding the engine dedups on, it is an independent oracle for
+// encoding bugs, not just scheduling bugs.
+func OutcomesSequential(p *prog.Program, opt Options) (*Set, error) {
 	if opt.MaxStates == 0 {
 		opt.MaxStates = DefaultMaxStates
 	}
 	s := &outcomeSearch{opt: opt, cache: map[string]*Set{}, onPath: map[string]bool{}}
 	return s.run(core.NewMachine(p))
-}
-
-// OutcomesFrom is Outcomes starting from an arbitrary machine state, used
-// by the local-DRF machinery which reasons about non-initial states.
-func OutcomesFrom(m *core.Machine, opt Options) (*Set, error) {
-	if opt.MaxStates == 0 {
-		opt.MaxStates = DefaultMaxStates
-	}
-	s := &outcomeSearch{opt: opt, cache: map[string]*Set{}, onPath: map[string]bool{}}
-	return s.run(m)
 }
 
 func (s *outcomeSearch) run(m *core.Machine) (*Set, error) {
@@ -269,6 +334,85 @@ type Trace []core.Transition
 // identity of every transition along the way.
 func Traces(p *prog.Program, opt Options, maxTraces int, visit func(Trace) bool) error {
 	return TracesFrom(core.NewMachine(p), opt, maxTraces, visit)
+}
+
+// ScanTraces enumerates every complete trace of p, like Traces, but
+// partitions the search by the first transition and explores the
+// partitions on parallel workers (parallelism 0 means GOMAXPROCS). visit
+// receives the worker index (0 ≤ worker < parallelism) so callers can
+// keep lock-free per-worker accumulators; traces arrive in an unspecified
+// order and visits on different workers may be concurrent. Returning
+// false from any visit cancels the scan. Intended for analyses where only
+// the *set* of traces matters (race detection); use Traces when the
+// deterministic enumeration order does.
+func ScanTraces(p *prog.Program, opt Options, maxTraces, parallelism int, visit func(worker int, tr Trace) bool) error {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	m := core.NewMachine(p)
+	first, err := m.Steps()
+	if err != nil {
+		return err
+	}
+	var roots []core.Transition
+	for _, tr := range first {
+		if opt.SCOnly && tr.Weak {
+			continue
+		}
+		roots = append(roots, tr)
+	}
+	if len(roots) == 0 {
+		halted, err := m.Halted()
+		if err != nil {
+			return err
+		}
+		if halted {
+			visit(0, Trace{})
+		}
+		return nil
+	}
+	var count atomic.Int64
+	var stopped atomic.Bool
+	return engine.ForEach(parallelism, len(roots), func(worker, i int) error {
+		var walk func(m *core.Machine, acc Trace) (bool, error)
+		walk = func(m *core.Machine, acc Trace) (bool, error) {
+			if stopped.Load() {
+				return false, nil
+			}
+			halted, err := m.Halted()
+			if err != nil {
+				return false, err
+			}
+			if halted {
+				if maxTraces > 0 && count.Add(1) > int64(maxTraces) {
+					return false, fmt.Errorf("explore: trace budget (%d) exceeded", maxTraces)
+				}
+				cp := make(Trace, len(acc))
+				copy(cp, acc)
+				if !visit(worker, cp) {
+					stopped.Store(true)
+					return false, nil
+				}
+				return true, nil
+			}
+			steps, err := m.Steps()
+			if err != nil {
+				return false, err
+			}
+			for _, tr := range steps {
+				if opt.SCOnly && tr.Weak {
+					continue
+				}
+				cont, err := walk(tr.After, append(acc, tr))
+				if err != nil || !cont {
+					return cont, err
+				}
+			}
+			return true, nil
+		}
+		_, err := walk(roots[i].After, Trace{roots[i]})
+		return err
+	})
 }
 
 // TracesFrom is Traces starting from an arbitrary machine state.

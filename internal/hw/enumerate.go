@@ -2,8 +2,11 @@ package hw
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync/atomic"
 
+	"localdrf/internal/engine"
 	"localdrf/internal/prog"
 	"localdrf/internal/rel"
 )
@@ -252,38 +255,64 @@ func valueDomain(p *Program) (domain, error) {
 }
 
 // Enumerate yields every candidate execution of the hardware program that
-// the architecture model (consistent) accepts.
+// the architecture model (consistent) accepts, in a deterministic order
+// on the calling goroutine.
 func Enumerate(p *Program, consistent func(*Execution) bool, visit func(*Execution) bool) error {
+	return EnumerateParallel(p, consistent, 1, func(_ int, x *Execution) bool { return visit(x) })
+}
+
+// EnumerateParallel is Enumerate with the candidate space partitioned by
+// the per-thread local-execution choice (the outer axis of the
+// enumeration) and the partitions explored by parallel workers on the
+// engine's task runner (parallelism 0 means GOMAXPROCS). visit may be
+// called concurrently from different workers; the worker index lets
+// callers keep lock-free per-worker accumulators. Returning false from
+// any visit cancels the whole enumeration.
+func EnumerateParallel(p *Program, consistent func(*Execution) bool, parallelism int, visit func(worker int, x *Execution) bool) error {
 	dom, err := valueDomain(p)
 	if err != nil {
 		return err
 	}
 	perThread := make([][]localExec, len(p.Threads))
+	combos := 1
 	for i, t := range p.Threads {
 		execs, err := threadExecs(t.Code, dom)
 		if err != nil {
 			return fmt.Errorf("hw: thread %s: %w", t.Name, err)
 		}
-		perThread[i] = execs
-	}
-	choice := make([]int, len(perThread))
-	for {
-		stop, err := enumerateGraphs(p, perThread, choice, consistent, visit)
-		if err != nil || stop {
-			return err
-		}
-		i := 0
-		for ; i < len(choice); i++ {
-			choice[i]++
-			if choice[i] < len(perThread[i]) {
-				break
-			}
-			choice[i] = 0
-		}
-		if i == len(choice) {
+		if len(execs) == 0 {
 			return nil
 		}
+		perThread[i] = execs
+		if combos > math.MaxInt/len(execs) {
+			return fmt.Errorf("hw: candidate space overflows the partition index (local-execution combinations exceed the int range)")
+		}
+		combos *= len(execs)
 	}
+	var stopped atomic.Bool
+	return engine.ForEach(parallelism, combos, func(worker, idx int) error {
+		if stopped.Load() {
+			return nil
+		}
+		choice := make([]int, len(perThread))
+		for t := range perThread {
+			choice[t] = idx % len(perThread[t])
+			idx /= len(perThread[t])
+		}
+		_, err := enumerateGraphs(p, perThread, choice, consistent, func(x *Execution) bool {
+			// Re-check the cancellation flag per execution so partitions
+			// already in flight on other workers stop visiting too.
+			if stopped.Load() {
+				return false
+			}
+			if !visit(worker, x) {
+				stopped.Store(true)
+				return false
+			}
+			return true
+		})
+		return err
+	})
 }
 
 func enumerateGraphs(p *Program, perThread [][]localExec, choice []int,

@@ -9,6 +9,7 @@ package litmus
 import (
 	"fmt"
 
+	"localdrf/internal/engine"
 	"localdrf/internal/explore"
 	"localdrf/internal/prog"
 )
@@ -50,7 +51,11 @@ type Test struct {
 
 // Verify evaluates every check of a test against the operational model.
 func Verify(t Test) error {
-	set, err := explore.Outcomes(t.Prog, explore.Options{})
+	return verify(t, explore.Options{})
+}
+
+func verify(t Test, opt explore.Options) error {
+	set, err := explore.Outcomes(t.Prog, opt)
 	if err != nil {
 		return fmt.Errorf("litmus %s: %w", t.Name, err)
 	}
@@ -65,6 +70,19 @@ func Verify(t Test) error {
 		}
 	}
 	return nil
+}
+
+// VerifyAll verifies every catalogued test, fanning the corpus out across
+// parallel workers on the engine's task runner (parallelism 0 means
+// GOMAXPROCS). The first failure in suite order is returned. Each test's
+// own exploration runs single-threaded — the corpus fan-out already
+// saturates the cores, and nesting engine workers per test would
+// oversubscribe them.
+func VerifyAll(parallelism int) error {
+	suite := Suite()
+	return engine.ForEach(parallelism, len(suite), func(_, i int) error {
+		return verify(suite[i], explore.Options{Parallelism: 1})
+	})
 }
 
 // Get returns a test by name.

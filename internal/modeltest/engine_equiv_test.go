@@ -1,0 +1,190 @@
+package modeltest
+
+// Corpus-wide differential tests of the parallel exploration engine: on
+// every litmus test of the catalogue, the engine-based parallel searches
+// must produce byte-identical outcome sets to the single-threaded
+// reference paths, in every mode (operational, SC-only, axiomatic and
+// hardware). Run with -race to also certify the engine's internal
+// synchronisation.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"localdrf/internal/axiomatic"
+	"localdrf/internal/compile"
+	"localdrf/internal/explore"
+	"localdrf/internal/hw"
+	"localdrf/internal/hw/arm"
+	"localdrf/internal/hw/x86"
+	"localdrf/internal/litmus"
+	"localdrf/internal/progsynth"
+	"localdrf/internal/race"
+)
+
+// keysEqual reports whether two outcome sets render to byte-identical
+// canonical key sequences.
+func keysEqual(a, b *explore.Set) bool {
+	ka, kb := a.Keys(), b.Keys()
+	if len(ka) != len(kb) {
+		return false
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCorpusParallelMatchesSequentialOperational(t *testing.T) {
+	for _, tc := range litmus.Suite() {
+		for _, sc := range []bool{false, true} {
+			seq, err := explore.OutcomesSequential(tc.Prog, explore.Options{SCOnly: sc})
+			if err != nil {
+				t.Fatalf("%s (sc=%v): sequential: %v", tc.Name, sc, err)
+			}
+			par, err := explore.Outcomes(tc.Prog, explore.Options{SCOnly: sc, Parallelism: 8})
+			if err != nil {
+				t.Fatalf("%s (sc=%v): parallel: %v", tc.Name, sc, err)
+			}
+			if !keysEqual(seq, par) {
+				t.Errorf("%s (sc=%v): outcome sets differ\nseq: %v\npar: %v",
+					tc.Name, sc, seq.Keys(), par.Keys())
+			}
+		}
+	}
+}
+
+func TestCorpusParallelMatchesAxiomatic(t *testing.T) {
+	for _, tc := range litmus.Suite() {
+		op, err := explore.Outcomes(tc.Prog, explore.Options{Parallelism: 8})
+		if err != nil {
+			t.Fatalf("%s: operational: %v", tc.Name, err)
+		}
+		ax, err := axiomatic.Outcomes(tc.Prog)
+		if err != nil {
+			t.Fatalf("%s: axiomatic: %v", tc.Name, err)
+		}
+		if !keysEqual(op, ax) {
+			t.Errorf("%s: parallel operational disagrees with axiomatic\nop: %v\nax: %v",
+				tc.Name, op.Keys(), ax.Keys())
+		}
+	}
+}
+
+func TestCorpusParallelMatchesSequentialHardware(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hardware enumeration sweep skipped in -short mode")
+	}
+	schemes := []struct {
+		s          compile.Scheme
+		consistent func(*hw.Execution) bool
+	}{
+		{compile.X86, x86.Consistent},
+		{compile.ARMFbs, arm.Consistent},
+	}
+	for _, sch := range schemes {
+		for _, tc := range litmus.Suite() {
+			hp, err := compile.Lower(tc.Prog, sch.s)
+			if err != nil {
+				t.Fatalf("%s/%v: lower: %v", tc.Name, sch.s, err)
+			}
+			seq, err := compile.OutcomesParallel(hp, sch.consistent, 1)
+			if err != nil {
+				t.Fatalf("%s/%v: sequential: %v", tc.Name, sch.s, err)
+			}
+			par, err := compile.OutcomesParallel(hp, sch.consistent, 8)
+			if err != nil {
+				t.Fatalf("%s/%v: parallel: %v", tc.Name, sch.s, err)
+			}
+			if !keysEqual(seq, par) {
+				t.Errorf("%s/%v: hardware outcome sets differ\nseq: %v\npar: %v",
+					tc.Name, sch.s, seq.Keys(), par.Keys())
+			}
+		}
+	}
+}
+
+func TestRandomProgramsParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("random differential sweep skipped in -short mode")
+	}
+	for seed := int64(0); seed < 60; seed++ {
+		p := progsynth.Random(seed, progsynth.Config{})
+		seq, err := explore.OutcomesSequential(p, explore.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: sequential: %v", seed, err)
+		}
+		par, err := explore.Outcomes(p, explore.Options{Parallelism: 8})
+		if err != nil {
+			t.Fatalf("seed %d: parallel: %v", seed, err)
+		}
+		if !keysEqual(seq, par) {
+			t.Errorf("seed %d: outcome sets differ\nprogram:\n%s\nseq: %v\npar: %v",
+				seed, p, seq.Keys(), par.Keys())
+		}
+	}
+}
+
+func TestParallelStateBudgetExhaustion(t *testing.T) {
+	tc, ok := litmus.Get("SB")
+	if !ok {
+		t.Fatal("SB missing from the catalogue")
+	}
+	for _, par := range []int{1, 8} {
+		_, err := explore.Outcomes(tc.Prog, explore.Options{MaxStates: 3, Parallelism: par})
+		if !errors.Is(err, explore.ErrStateBudget) {
+			t.Errorf("par=%d: err = %v, want ErrStateBudget", par, err)
+		}
+	}
+}
+
+func TestCorpusVerifyAllParallel(t *testing.T) {
+	if err := litmus.VerifyAll(8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func findRaceStrings(tc litmus.Test) ([]string, error) {
+	reports, err := race.FindRaces(tc.Prog, false, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(reports))
+	for i, r := range reports {
+		out[i] = fmt.Sprint(r)
+	}
+	return out, nil
+}
+
+func TestFindRacesDeterministicUnderParallelism(t *testing.T) {
+	for _, name := range []string{"MP+na", "Example1", "CoRR"} {
+		tc, ok := litmus.Get(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		var prev []string
+		for run := 0; run < 3; run++ {
+			reports, err := findRaceStrings(tc)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if run > 0 {
+				if len(reports) != len(prev) {
+					t.Fatalf("%s: run %d returned %d reports, previous %d", name, run, len(reports), len(prev))
+				}
+				for i := range reports {
+					if reports[i] != prev[i] {
+						t.Fatalf("%s: nondeterministic report order: %v vs %v", name, reports, prev)
+					}
+				}
+			}
+			prev = reports
+		}
+		if len(prev) == 0 {
+			t.Errorf("%s: expected races", name)
+		}
+	}
+}

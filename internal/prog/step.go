@@ -1,6 +1,7 @@
 package prog
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -55,6 +56,36 @@ func (s ThreadState) Key() string {
 	}
 	sort.Strings(regs)
 	return fmt.Sprintf("pc%d[%s]", s.PC, strings.Join(regs, ","))
+}
+
+// AppendCanonical appends a compact binary encoding of the state (pc,
+// then the nonzero registers in name order) to dst. Zero registers are
+// elided, as in Key: "never written" and "written zero" are
+// observationally identical. Equal encodings iff equal states. This is
+// the engine's per-state hot path, so the register names are gathered
+// into a stack buffer and insertion-sorted (register files are tiny)
+// rather than allocated and sort.Strings'd.
+func (s ThreadState) AppendCanonical(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(s.PC))
+	var stack [8]Reg
+	names := stack[:0]
+	for r, v := range s.Regs {
+		if v != 0 {
+			names = append(names, r)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(names)))
+	for _, r := range names {
+		dst = binary.AppendUvarint(dst, uint64(len(r)))
+		dst = append(dst, r...)
+		dst = binary.AppendVarint(dst, int64(s.Regs[r]))
+	}
+	return dst
 }
 
 // OpKind classifies the pending operation of a thread.

@@ -7,6 +7,8 @@ package race
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 
 	"localdrf/internal/core"
 	"localdrf/internal/explore"
@@ -131,27 +133,57 @@ func (r Report) String() string {
 // FindRaces explores traces of p and returns the distinct races found
 // (deduplicated by location, threads and access kinds). scOnly restricts
 // the search to SC traces — the premise of the global DRF theorem talks
-// about races in sequentially consistent traces.
+// about races in sequentially consistent traces. The trace scan is
+// partitioned across parallel workers; reports are merged and returned in
+// a deterministic order.
 func FindRaces(p *prog.Program, scOnly bool, maxTraces int) ([]Report, error) {
-	seen := map[Report]bool{}
-	var out []Report
-	err := explore.Traces(p, explore.Options{SCOnly: scOnly}, maxTraces, func(tr explore.Trace) bool {
-		for _, rc := range RacingPairs(tr) {
-			rep := Report{
-				Loc:     tr[rc.I].Loc,
-				ThreadI: tr[rc.I].Thread,
-				ThreadJ: tr[rc.J].Thread,
-				WriteI:  tr[rc.I].IsWrite,
-				WriteJ:  tr[rc.J].IsWrite,
+	par := runtime.GOMAXPROCS(0)
+	sinks := make([]map[Report]bool, par)
+	for i := range sinks {
+		sinks[i] = map[Report]bool{}
+	}
+	err := explore.ScanTraces(p, explore.Options{SCOnly: scOnly}, maxTraces, par,
+		func(worker int, tr explore.Trace) bool {
+			for _, rc := range RacingPairs(tr) {
+				sinks[worker][Report{
+					Loc:     tr[rc.I].Loc,
+					ThreadI: tr[rc.I].Thread,
+					ThreadJ: tr[rc.J].Thread,
+					WriteI:  tr[rc.I].IsWrite,
+					WriteJ:  tr[rc.J].IsWrite,
+				}] = true
 			}
-			if !seen[rep] {
-				seen[rep] = true
-				out = append(out, rep)
-			}
+			return true
+		})
+	if err != nil {
+		return nil, err
+	}
+	merged := map[Report]bool{}
+	for _, s := range sinks {
+		for rep := range s {
+			merged[rep] = true
 		}
-		return true
+	}
+	out := make([]Report, 0, len(merged))
+	for rep := range merged {
+		out = append(out, rep)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch {
+		case a.Loc != b.Loc:
+			return a.Loc < b.Loc
+		case a.ThreadI != b.ThreadI:
+			return a.ThreadI < b.ThreadI
+		case a.ThreadJ != b.ThreadJ:
+			return a.ThreadJ < b.ThreadJ
+		case a.WriteI != b.WriteI:
+			return !a.WriteI
+		default:
+			return !a.WriteJ && b.WriteJ
+		}
 	})
-	return out, err
+	return out, nil
 }
 
 // IsSCRaceFree reports whether every sequentially consistent trace of p is

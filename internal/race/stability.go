@@ -4,9 +4,17 @@ import (
 	"fmt"
 
 	"localdrf/internal/core"
+	"localdrf/internal/engine"
 	"localdrf/internal/explore"
 	"localdrf/internal/prog"
 )
+
+// fingerprint is the canonical identity of a machine state, shared with
+// the exploration engine (128-bit hash of the binary encoding).
+func fingerprint(m *core.Machine, buf []byte) (engine.Fingerprint, []byte) {
+	buf = m.AppendCanonical(buf[:0])
+	return engine.Hash(buf), buf
+}
 
 // LStable decides def. 12 for a machine state M of program p: M is
 // L-stable if for every trace of the program that passes through M and
@@ -28,7 +36,7 @@ import (
 // split. Intended for litmus-scale programs (the state spaces involved
 // are tiny); maxSteps bounds the total number of transitions explored.
 func LStable(p *prog.Program, m *core.Machine, L LocSet, maxSteps int) (bool, error) {
-	target := m.Key()
+	target, buf := fingerprint(m, nil)
 	budget := maxSteps
 	var firstViolation error
 
@@ -80,7 +88,9 @@ func LStable(p *prog.Program, m *core.Machine, L LocSet, maxSteps int) (bool, er
 			return false, fmt.Errorf("race: LStable step budget exceeded")
 		}
 		budget--
-		if cur.Key() == target {
+		var fp engine.Fingerprint
+		fp, buf = fingerprint(cur, buf)
+		if fp == target {
 			ok, err := checkSuffix(cur, acc, len(acc))
 			if err != nil || !ok {
 				return ok, err
@@ -199,16 +209,18 @@ func hasRacingWitness(steps []core.Transition, suffix explore.Trace, L LocSet) b
 // executable form of the theorem used in property tests; it is exhaustive
 // and therefore only suitable for small programs.
 func CheckLocalDRF(p *prog.Program, L LocSet, maxSteps int) error {
-	seen := map[string]bool{}
+	seen := map[engine.Fingerprint]bool{}
 	var states []*core.Machine
 	var collect func(cur *core.Machine) error
 	budget := maxSteps
+	var buf []byte
 	collect = func(cur *core.Machine) error {
 		if budget <= 0 {
 			return fmt.Errorf("race: CheckLocalDRF step budget exceeded")
 		}
 		budget--
-		k := cur.Key()
+		var k engine.Fingerprint
+		k, buf = fingerprint(cur, buf)
 		if seen[k] {
 			return nil
 		}

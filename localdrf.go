@@ -75,9 +75,30 @@ type Outcome = explore.Outcome
 // OutcomeSet is a set of outcomes with subset/equality queries.
 type OutcomeSet = explore.Set
 
-// Outcomes enumerates every behaviour of p under the full memory model.
+// ExploreOptions configures exhaustive exploration: the SC restriction,
+// the distinct-state budget, and the engine parallelism.
+type ExploreOptions = explore.Options
+
+// Outcomes enumerates every behaviour of p under the full memory model,
+// on the parallel exploration engine. The result is deterministic.
 func Outcomes(p *Program) (*OutcomeSet, error) {
 	return explore.Outcomes(p, explore.Options{})
+}
+
+// OutcomesOpt is Outcomes with explicit exploration options.
+func OutcomesOpt(p *Program, opt ExploreOptions) (*OutcomeSet, error) {
+	return explore.Outcomes(p, opt)
+}
+
+// OutcomesSequential is the single-threaded memoised reference
+// enumeration (the seed implementation), retained for differential
+// testing and benchmarking of the parallel engine. On every terminating
+// acyclic state space it produces the same outcome set as Outcomes; on a
+// cyclic one it reports explore.ErrCyclicStateSpace, where the
+// engine-based Outcomes instead terminates by deduplication and returns
+// the outcomes of the reachable halted states.
+func OutcomesSequential(p *Program) (*OutcomeSet, error) {
+	return explore.OutcomesSequential(p, explore.Options{})
 }
 
 // OutcomesSC enumerates the sequentially consistent behaviours only
@@ -154,6 +175,10 @@ const (
 
 // LitmusSuite returns the full catalogue.
 func LitmusSuite() []LitmusTest { return litmus.Suite() }
+
+// VerifyLitmusSuite checks every catalogued verdict of every test,
+// running the corpus concurrently (parallelism 0 means GOMAXPROCS).
+func VerifyLitmusSuite(parallelism int) error { return litmus.VerifyAll(parallelism) }
 
 // LitmusTestByName looks a test up by name (e.g. "MP", "Example2").
 func LitmusTestByName(name string) (LitmusTest, bool) { return litmus.Get(name) }

@@ -15,6 +15,9 @@ import (
 	"testing"
 
 	"localdrf/internal/engine"
+	"localdrf/internal/monitor"
+	"localdrf/internal/progsynth"
+	"localdrf/internal/schedgen"
 )
 
 // BenchmarkFig1Operational exercises the operational semantics of fig. 1
@@ -68,6 +71,35 @@ func BenchmarkLitmusSweepSequential(b *testing.B) {
 			if _, err := OutcomesSequential(tc.Prog); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// BenchmarkStreamingMonitor measures the full racemon pipeline at the
+// million-event scale: generate a bursty schedule of a scaled random
+// program, then monitor it online — the workload the exhaustive
+// checkers cannot reach (BENCH_monitor.json tracks the monitoring half
+// alone; this benchmark covers generation + monitoring end to end).
+func BenchmarkStreamingMonitor(b *testing.B) {
+	const nevents = 1_000_000
+	cfg := progsynth.ScaledDefaults()
+	cfg.Iters = cfg.IterationsFor(nevents)
+	p := progsynth.Scaled(1, cfg)
+	tb := monitor.NewTable(p)
+	mon := tb.NewMonitor()
+	var stream []monitor.Event
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		stream, _, err = schedgen.Generate(p, tb, schedgen.Options{
+			Policy: schedgen.Bursty, Seed: 1, MaxEvents: nevents, StaleReadPct: 10,
+		}, stream[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		mon.Reset()
+		for _, e := range stream {
+			mon.Step(e)
 		}
 	}
 }

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	experiments [-run all|examples|equivalence|drf|opt|x86|arm|fig5a|fig5b|fig5c|padding]
-//	experiments -run bench [-bench-json BENCH_engine.json]
+//	experiments -run bench [-bench-json BENCH_engine.json] [-monitor-json BENCH_monitor.json]
+//	experiments -run bench-monitor [-monitor-json BENCH_monitor.json]
 //
 // The semantic experiments (examples, equivalence, x86, arm, opt, drf)
 // are exact model-checking results and must reproduce the paper's
@@ -16,6 +17,11 @@
 // sequential reference path (single tests and the full litmus-corpus
 // sweep) and, with -bench-json, writes the measurements as JSON so the
 // performance trajectory can be tracked across PRs (BENCH_*.json files).
+// It also runs the streaming-monitor benches and writes them to the
+// -monitor-json file (BENCH_monitor.json by default): schedule generation
+// and single-core monitoring throughput (events/sec) over a 10⁶-event
+// bursty schedule — the headline number of the online race monitor.
+// bench-monitor runs only the monitor benches.
 package main
 
 import (
@@ -29,9 +35,15 @@ import (
 
 	"localdrf"
 	"localdrf/internal/engine"
+	"localdrf/internal/monitor"
+	"localdrf/internal/progsynth"
+	"localdrf/internal/schedgen"
 )
 
-var benchJSON = flag.String("bench-json", "", "write bench results as JSON to this file")
+var (
+	benchJSON   = flag.String("bench-json", "", "write bench results as JSON to this file")
+	monitorJSON = flag.String("monitor-json", "BENCH_monitor.json", "write monitor bench results as JSON to this file (empty disables)")
+)
 
 func main() {
 	run := flag.String("run", "all", "which experiment to regenerate")
@@ -55,6 +67,17 @@ func main() {
 	if *run == "bench" {
 		if err := bench(); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment bench failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := benchMonitor(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment bench-monitor failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *run == "bench-monitor" {
+		if err := benchMonitor(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment bench-monitor failed: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -381,6 +404,9 @@ type benchResult struct {
 	Iterations int     `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
 	TotalNs    int64   `json:"total_ns"`
+	// EventsPerSec is the streaming-throughput form of the measurement,
+	// reported by the monitor benches (events processed per second).
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
 // timeIt runs fn repeatedly for at least ~200ms (and at least 3 times)
@@ -449,26 +475,78 @@ func bench() error {
 		return err
 	}
 
-	if *benchJSON != "" {
-		doc := struct {
-			Generated  string        `json:"generated"`
-			GoMaxProcs int           `json:"gomaxprocs"`
-			Results    []benchResult `json:"results"`
-		}{
-			Generated:  time.Now().UTC().Format(time.RFC3339),
-			GoMaxProcs: runtime.GOMAXPROCS(0),
-			Results:    results,
-		}
-		data, err := json.MarshalIndent(doc, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", *benchJSON)
+	return writeBenchJSON(*benchJSON, results)
+}
+
+// writeBenchJSON serialises bench measurements (no-op when path is "").
+func writeBenchJSON(path string, results []benchResult) error {
+	if path == "" {
+		return nil
 	}
+	doc := struct {
+		Generated  string        `json:"generated"`
+		GoMaxProcs int           `json:"gomaxprocs"`
+		Results    []benchResult `json:"results"`
+	}{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Results:    results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// benchMonitor times the streaming race monitor on the workload the
+// acceptance bar names: a 10⁶-event bursty schedule of a scaled random
+// program, monitored single-core in one pass. It also records schedule
+// generation and (on multi-core hosts) the sharded-by-location mode, and
+// writes the measurements to -monitor-json.
+func benchMonitor() error {
+	const nevents = 1_000_000
+	cfg := progsynth.ScaledDefaults()
+	cfg.Iters = cfg.IterationsFor(nevents)
+	p := progsynth.Scaled(1, cfg)
+	tb := monitor.NewTable(p)
+	opt := schedgen.Options{Policy: schedgen.Bursty, Seed: 1, MaxEvents: nevents, StaleReadPct: 10}
+
+	var results []benchResult
+	var stream []monitor.Event
+	if err := timeIt("monitor/schedgen-bursty-1M", &results, func() error {
+		var err error
+		stream, _, err = schedgen.Generate(p, tb, opt, stream[:0])
+		return err
+	}); err != nil {
+		return err
+	}
+	mon := tb.NewMonitor()
+	if err := timeIt("monitor/online-bursty-1M", &results, func() error {
+		mon.Reset()
+		for _, e := range stream {
+			mon.Step(e)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := timeIt("monitor/sharded4-bursty-1M", &results, func() error {
+		_, err := monitor.ShardedRaces(tb.Threads(), tb.Decls(), stream, 4, 0)
+		return err
+	}); err != nil {
+		return err
+	}
+	for i := range results {
+		results[i].EventsPerSec = float64(nevents) / (results[i].NsPerOp / 1e9)
+	}
+	fmt.Printf("monitor throughput: %.1fM events/sec single-core (%d distinct races on the schedule)\n",
+		results[1].EventsPerSec/1e6, mon.RaceCount())
+	return writeBenchJSON(*monitorJSON, results)
 }
 
 // padding regenerates the §8.3 control experiment: nop padding alone

@@ -47,12 +47,36 @@
 // parallelism; OutcomesSequential retains the single-threaded memoised
 // reference path for differential testing. A new semantics plugs into the
 // engine by providing a canonical state encoding and a successor
-// function — see internal/engine's package comment.
+// function — see internal/engine's package comment. The trace-level
+// analyses LStable and CheckLocalDRFFrom run on the same engine with
+// path-carrying states (a state is a machine plus the trace that reached
+// it, identified by its DFS child-index path), with sequential reference
+// implementations retained and differentially tested.
+//
+// Beyond the exhaustive checkers, internal/monitor is a streaming
+// subsystem that makes def. 8 happens-before and def. 9/10 races
+// executable at scale: an online, single-pass race monitor over one
+// observed trace, using per-thread vector clocks with per-location
+// last-access frontiers (FastTrack-style same-thread fast path), in
+// O(events × threads) time worst case and O(locations × threads²)
+// space — tens of millions of events per second on a single
+// core. It is fed by internal/schedgen, which executes scaled-up random
+// programs (progsynth.Scaled: many threads looping over many locations)
+// under fair, unfair or bursty scheduling policies to produce schedules
+// of 10⁶+ events — workloads the exhaustive engines can never reach. The
+// monitor's verdicts are differentially tested against the exhaustive
+// oracle race.Races on every corpus program, on hundreds of random
+// programs, and on generated schedules; a sharded-by-location mode
+// partitions monitoring across engine workers with identical reports at
+// any shard count.
 //
 // The command-line tools (cmd/litmus, cmd/drfcheck, cmd/memsim,
-// cmd/experiments) and the examples directory exercise all of the above;
-// EXPERIMENTS.md records paper-versus-measured results for every table
-// and figure. cmd/experiments -run bench emits engine-versus-baseline
-// timings as JSON (BENCH_*.json) so the performance trajectory is
-// tracked across PRs.
+// cmd/racemon, cmd/experiments) and the examples directory exercise all
+// of the above; EXPERIMENTS.md records paper-versus-measured results for
+// every table and figure. cmd/racemon generates a million-event schedule
+// and monitors it in one pass (-events, -threads, -policy
+// fair|unfair|bursty, -shards, -json). cmd/experiments -run bench emits
+// engine-versus-baseline timings as JSON (BENCH_engine.json) and
+// streaming-monitor throughput (BENCH_monitor.json, events/sec) so the
+// performance trajectory is tracked across PRs.
 package localdrf

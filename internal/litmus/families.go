@@ -1,0 +1,120 @@
+package litmus
+
+// Parameterised litmus families: N-thread generalisations of IRIW and
+// WRC. The classic shapes fix the thread count; these generators scale it,
+// so corpus sweeps exercise programs wider than any hand-written test —
+// the workloads the parallel exploration engine exists for (wider
+// programs have factorially more interleavings) and extra coverage for
+// the streaming monitor's differential tests.
+
+import (
+	"fmt"
+
+	"localdrf/internal/prog"
+)
+
+// IRIWFamily is independent-reads-of-independent-writes with n reader
+// threads (n ≥ 2): two writers store to atomic X and Y; even readers load
+// X then Y, odd readers load Y then X. Under SC atomics all readers must
+// agree on the write order, so the first even and first odd reader can
+// never observe the two writes in opposite orders. n = 2 is the classic
+// 4-thread IRIW.
+func IRIWFamily(n int) Test {
+	if n < 2 {
+		panic(fmt.Sprintf("litmus: IRIWFamily needs ≥ 2 readers, got %d", n))
+	}
+	b := prog.NewProgram(fmt.Sprintf("IRIW+at+N%d", n)).
+		Atomics("X", "Y").
+		Thread("W0").StoreI("X", 1).Done().
+		Thread("W1").StoreI("Y", 1).Done()
+	for i := 0; i < n; i++ {
+		first, second := prog.Loc("X"), prog.Loc("Y")
+		if i%2 == 1 {
+			first, second = second, first
+		}
+		b = b.Thread(fmt.Sprintf("R%d", i)).
+			Load(prog.Reg(fmt.Sprintf("r%da", i)), first).
+			Load(prog.Reg(fmt.Sprintf("r%db", i)), second).
+			Done()
+	}
+	// Readers 0 (X then Y) and 1 (Y then X) disagreeing on the order:
+	// reader 0 saw X=1, Y=0 while reader 1 saw Y=1, X=0.
+	disagree := and(
+		reg(2, "r0a", 1), reg(2, "r0b", 0),
+		reg(3, "r1a", 1), reg(3, "r1b", 0),
+	)
+	return Test{
+		Name: fmt.Sprintf("IRIW+at+N%d", n),
+		Description: fmt.Sprintf(
+			"independent reads of independent writes, %d readers: all readers agree on the order", n),
+		Prog: b.MustBuild(),
+		Checks: []Check{
+			{Name: "readers 0/1 disagree", Pred: disagree, Want: Forbidden,
+				Note: "SC atomics are multi-copy atomic however many readers watch"},
+		},
+	}
+}
+
+// WRCFamily is write-to-read causality with a relay chain of n hops
+// (n ≥ 2): T0 stores nonatomic x; relay T1 reads x and, if it saw the
+// write, raises atomic F1; relay Ti (2 ≤ i < n) forwards F(i-1) to Fi;
+// the final thread reads F(n-1) and then x. As in the classic 3-thread
+// WRC (n = 2), Read-NA does not advance the reader's frontier, so the
+// chain never publishes x no matter how many synchronising hops it has —
+// the final racy read may still be stale.
+func WRCFamily(n int) Test {
+	if n < 2 {
+		panic(fmt.Sprintf("litmus: WRCFamily needs ≥ 2 hops, got %d", n))
+	}
+	b := prog.NewProgram(fmt.Sprintf("WRC+N%d", n)).Vars("x")
+	var flags []prog.Loc
+	for i := 1; i < n; i++ {
+		flags = append(flags, prog.Loc(fmt.Sprintf("F%d", i)))
+	}
+	b = b.Atomics(flags...)
+	b = b.Thread("P0").StoreI("x", 1).Done()
+	// First relay: observes the nonatomic write, raises F1.
+	b = b.Thread("P1").
+		Load("r1", "x").
+		JmpZ("r1", "skip1").
+		StoreI(flags[0], 1).
+		Label("skip1").
+		Done()
+	// Middle relays: forward F(i-1) to Fi.
+	for i := 2; i < n; i++ {
+		b = b.Thread(fmt.Sprintf("P%d", i)).
+			Load(prog.Reg(fmt.Sprintf("r%d", i)), flags[i-2]).
+			JmpZ(prog.Reg(fmt.Sprintf("r%d", i)), fmt.Sprintf("skip%d", i)).
+			StoreI(flags[i-1], 1).
+			Label(fmt.Sprintf("skip%d", i)).
+			Done()
+	}
+	// Final reader: sees the last flag, then reads x.
+	last := n
+	b = b.Thread(fmt.Sprintf("P%d", last)).
+		Load("rf", flags[len(flags)-1]).
+		JmpZ("rf", "skipL").
+		Load("rx", "x").
+		Label("skipL").
+		Done()
+	return Test{
+		Name: fmt.Sprintf("WRC+N%d", n),
+		Description: fmt.Sprintf(
+			"write-to-read causality through %d hops with a racy first leg: reads do not publish", n),
+		Prog: b.MustBuild(),
+		Checks: []Check{
+			{Name: "rf=1 ∧ rx=0", Pred: and(reg(last, "rf", 1), reg(last, "rx", 0)), Want: Allowed,
+				Note: "Read-NA leaves the frontier unchanged, so no chain length publishes x"},
+			{Name: "rf=1 ∧ rx=1", Pred: and(reg(last, "rf", 1), reg(last, "rx", 1)), Want: Allowed},
+		},
+	}
+}
+
+// familySuite returns the registered family instances (N ∈ {2, 3, 4}).
+func familySuite() []Test {
+	var out []Test
+	for _, n := range []int{2, 3, 4} {
+		out = append(out, IRIWFamily(n), WRCFamily(n))
+	}
+	return out
+}

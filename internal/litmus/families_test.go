@@ -1,0 +1,48 @@
+package litmus
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFamilyShapes: the generators scale the thread count as documented
+// (IRIW: 2 writers + n readers; WRC: writer + (n-1) relays + reader).
+func TestFamilyShapes(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		if got := len(IRIWFamily(n).Prog.Threads); got != n+2 {
+			t.Errorf("IRIWFamily(%d): %d threads, want %d", n, got, n+2)
+		}
+		if got := len(WRCFamily(n).Prog.Threads); got != n+1 {
+			t.Errorf("WRCFamily(%d): %d threads, want %d", n, got, n+1)
+		}
+	}
+}
+
+// TestFamiliesRegistered: the N ∈ {2,3,4} instances are in the corpus, so
+// every suite sweep (engine equivalence, compilation soundness, monitor
+// differential) exercises them.
+func TestFamiliesRegistered(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		for _, name := range []string{
+			fmt.Sprintf("IRIW+at+N%d", n),
+			fmt.Sprintf("WRC+N%d", n),
+		} {
+			if _, ok := Get(name); !ok {
+				t.Errorf("%s not registered in the corpus", name)
+			}
+		}
+	}
+}
+
+// TestFamilyVerdicts verifies every family check against the operational
+// model (also covered by the corpus-wide VerifyAll, but pinned here so a
+// generator regression is reported against the family directly).
+func TestFamilyVerdicts(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		for _, tc := range []Test{IRIWFamily(n), WRCFamily(n)} {
+			if err := Verify(tc); err != nil {
+				t.Errorf("N=%d: %v", n, err)
+			}
+		}
+	}
+}

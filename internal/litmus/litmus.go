@@ -96,7 +96,8 @@ func Get(name string) (Test, bool) {
 }
 
 // Suite returns the full catalogue, including the §10 release-acquire
-// extension tests.
+// extension tests and the N-thread IRIW/WRC family instances
+// (N ∈ {2, 3, 4}; see families.go).
 func Suite() []Test {
 	base := []Test{
 		storeBuffering(),
@@ -117,6 +118,7 @@ func Suite() []Test {
 		wrc(),
 		sShape(),
 	}
+	base = append(base, familySuite()...)
 	return append(base, raSuite()...)
 }
 

@@ -1,0 +1,146 @@
+package modeltest
+
+// Differential validation of the streaming race monitor: on any trace,
+// the online vector-clock pass (internal/monitor) must report exactly
+// the race set the exhaustive happens-before oracle (race.Races) reports.
+// Three sweeps: every catalogued litmus program (including the N-thread
+// IRIW/WRC family instances), ≥200 random progsynth programs, and
+// schedgen-generated schedules of scaled programs — the streams the
+// monitor exists for, which never pass through the explorer at all.
+
+import (
+	"testing"
+
+	"localdrf/internal/explore"
+	"localdrf/internal/litmus"
+	"localdrf/internal/monitor"
+	"localdrf/internal/prog"
+	"localdrf/internal/progsynth"
+	"localdrf/internal/race"
+	"localdrf/internal/schedgen"
+)
+
+// tracesPerProgram caps how many traces are compared per program; wide
+// programs (IRIW+at+N4) have hundreds of thousands of traces and the
+// prefix is ample coverage.
+const tracesPerProgram = 4_000
+
+// reportsEqual compares two canonical report slices.
+func reportsEqual(a, b []race.Report) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffProgram runs monitor-vs-oracle on up to cap traces of p, returning
+// the traces compared.
+func diffProgram(t *testing.T, p *prog.Program, cap int) int {
+	t.Helper()
+	tb := monitor.NewTable(p)
+	m := tb.NewMonitor()
+	var buf []monitor.Event
+	count := 0
+	err := explore.Traces(p, explore.Options{}, 0, func(tr explore.Trace) bool {
+		count++
+		want := race.Races(tr)
+		m.Reset()
+		var err error
+		buf, err = tb.Events(tr, buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range buf {
+			m.Step(e)
+		}
+		got := m.Reports()
+		if !reportsEqual(got, want) {
+			t.Fatalf("%s: monitor diverged from race.Races on trace %v\nmonitor %v\noracle  %v",
+				p.Name, tr, got, want)
+		}
+		return count < cap
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	return count
+}
+
+// TestMonitorMatchesRacesOnCorpus sweeps every catalogued litmus program.
+func TestMonitorMatchesRacesOnCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive cross-validation skipped in -short mode")
+	}
+	total := 0
+	for _, tc := range litmus.Suite() {
+		total += diffProgram(t, tc.Prog, tracesPerProgram)
+	}
+	t.Logf("monitor == race.Races on %d corpus traces", total)
+}
+
+// TestMonitorMatchesRacesOnRandom sweeps ≥200 random programs (the same
+// generator envelope as the op/ax equivalence tests).
+func TestMonitorMatchesRacesOnRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive cross-validation skipped in -short mode")
+	}
+	const samples = 220
+	total := 0
+	for seed := int64(0); seed < samples; seed++ {
+		p := progsynth.Random(seed, progsynth.Config{})
+		total += diffProgram(t, p, 600)
+	}
+	t.Logf("monitor == race.Races on %d random-program traces", total)
+}
+
+// TestMonitorMatchesRacesOnSchedules closes the loop on generated
+// schedules: streams of scaled programs under every policy, with stale
+// reads, compared against the oracle on the synthesised transitions.
+// (Short streams: the oracle's transitive closure is cubic.)
+func TestMonitorMatchesRacesOnSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive cross-validation skipped in -short mode")
+	}
+	cfg := progsynth.ScaledConfig{
+		Threads: 6, Iters: 40, OpsPerIter: 5,
+		NonAtomic: 8, Atomics: 2, RAs: 2,
+		WritePct: 45, SyncPct: 30, MaxConst: 3,
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		p := progsynth.Scaled(seed, cfg)
+		tb := monitor.NewTable(p)
+		for _, pol := range []schedgen.Policy{schedgen.Fair, schedgen.Unfair, schedgen.Bursty} {
+			events, _, err := schedgen.Generate(p, tb, schedgen.Options{
+				Policy: pol, Seed: seed * 17, MaxEvents: 350, StaleReadPct: 30,
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := tb.NewMonitor()
+			for _, e := range events {
+				m.Step(e)
+			}
+			got := m.Reports()
+			want := race.Races(monitor.Transitions(events, tb.Decls()))
+			if !reportsEqual(got, want) {
+				t.Fatalf("seed %d %v: monitor diverged on schedgen stream\nmonitor %v\noracle  %v",
+					seed, pol, got, want)
+			}
+			// The sharded mode must agree too, at several shard counts.
+			for _, shards := range []int{2, 3} {
+				sharded, err := monitor.ShardedRaces(tb.Threads(), tb.Decls(), events, shards, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reportsEqual(sharded, want) {
+					t.Fatalf("seed %d %v shards=%d: sharded mode diverged", seed, pol, shards)
+				}
+			}
+		}
+	}
+}

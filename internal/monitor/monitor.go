@@ -1,0 +1,371 @@
+// Package monitor is an online, single-pass data-race monitor over a
+// *single observed trace* — the streaming counterpart of the exhaustive
+// trace enumeration in internal/race.
+//
+// The exhaustive checkers decide the paper's definitions by enumerating
+// every trace of a program, which caps them at litmus-sized inputs. This
+// package makes the same definitions executable at scale: given one trace
+// of machine transitions (millions of events, e.g. produced by
+// internal/schedgen), it computes the happens-before relation of def. 8
+// incrementally with vector clocks and reports every conflicting
+// unordered pair (defs. 9/10), deduplicated exactly as
+// race.Races/race.FindRaces deduplicate — by location, thread pair and
+// access kinds.
+//
+// # Algorithm
+//
+// Each thread t carries a vector clock C_t with C_t[u] = the largest
+// event index of thread u that happens-before t's next event. The three
+// synchronisation edge families of def. 8 become clock joins:
+//
+//   - program order: C_t[t] is incremented at every event of t;
+//   - SC atomics: each atomic location A carries the released clock L_A
+//     of its latest write (which transitively includes all earlier
+//     writes); an atomic write joins L_A into C_t and stores C_t back, an
+//     atomic read only joins (def. 8 orders atomic writes before later
+//     reads and writes, but reads before nothing);
+//   - release-acquire: each RA message (timestamp) carries the clock its
+//     writer published; an RA read joins the clock of exactly the message
+//     it reads from (same location, same timestamp — the §10 reads-from
+//     edge), and RA writes synchronise with nothing else.
+//
+// Nonatomic accesses induce no edges. For each nonatomic location the
+// monitor keeps the per-thread clocks of the last read and last write
+// (the FastTrack escalated representation): access j by thread t races
+// with some earlier access of thread u iff it races with u's *latest*
+// earlier access of that kind (program order makes earlier ones ordered
+// whenever the latest is), so per-thread last-access clocks identify the
+// full deduplicated report set, not merely race existence.
+//
+// Complexity: O(events × threads) time worst case and
+// O(locations × threads²) space (the per-location clock vectors are
+// O(threads); the race-dedup bitmasks are O(threads²) per nonatomic
+// location), plus O(messages) for live release-acquire messages. The common case is far better: a FastTrack-style same-thread
+// fast path skips the O(threads) scans entirely while a location is
+// accessed by a single thread with no unordered history — long bursts
+// (the bursty schedules of internal/schedgen) monitor in O(1) per event.
+package monitor
+
+import (
+	"localdrf/internal/prog"
+	"localdrf/internal/race"
+	"localdrf/internal/ts"
+)
+
+// Kind classifies an event: the cross product of read/write and the
+// location flavour (nonatomic, SC atomic, release-acquire).
+type Kind uint8
+
+const (
+	// ReadNA is a nonatomic read.
+	ReadNA Kind = iota
+	// WriteNA is a nonatomic write.
+	WriteNA
+	// ReadAT is an SC-atomic read.
+	ReadAT
+	// WriteAT is an SC-atomic write.
+	WriteAT
+	// ReadRA is a release-acquire read.
+	ReadRA
+	// WriteRA is a release-acquire write.
+	WriteRA
+)
+
+// IsWrite reports whether the kind is a write.
+func (k Kind) IsWrite() bool { return k == WriteNA || k == WriteAT || k == WriteRA }
+
+// Event is one trace transition in streaming form: thread and location as
+// dense indices (see Table for the mapping from programs), the access
+// kind, and — for release-acquire events only — the message timestamp
+// that identifies the reads-from edge.
+type Event struct {
+	Thread int32
+	Loc    int32
+	Kind   Kind
+	// Time is the RA message timestamp (Read-RA joins the clock of the
+	// write with the equal timestamp). Ignored for NA and AT events.
+	Time ts.Time
+}
+
+// LocDecl declares one location of the monitored program: its name (used
+// in reports) and kind. The slice index is the Event.Loc index.
+type LocDecl struct {
+	Name prog.Loc
+	Kind prog.LocKind
+}
+
+// tsKey is the canonical map key of an RA timestamp (normalised rational,
+// so equal timestamps collide regardless of representation).
+type tsKey struct{ num, den int64 }
+
+func timeKey(t ts.Time) tsKey { return tsKey{t.Num(), t.Den()} }
+
+// naState is the race-checking state of one nonatomic location.
+type naState struct {
+	// writes[u] / reads[u] hold the event index of thread u's last write /
+	// read of this location (0 = none). An access by t races with u's
+	// last access iff the stored index exceeds C_t[u].
+	writes []uint64
+	reads  []uint64
+	// reported[u*threads+t] is a 4-bit set of the access-kind pairs
+	// (earlier kind, later kind) already reported for the thread pair
+	// (u earlier, t later) on this location — the dedup set kept as flat
+	// bitmasks so the racy-location hot path never touches a hash map.
+	reported []uint8
+	// lastT is the thread of the last access (-1 initially); while the
+	// same thread keeps accessing the location, the scans below can be
+	// skipped once they have come up clean (the vectors cannot have
+	// changed and C_t only grows). wClean / rClean record that the last
+	// scan of the corresponding vector by lastT found no unordered entry.
+	lastT  int32
+	wClean bool
+	rClean bool
+}
+
+// reportBit is the in-mask index of an access-kind pair.
+func reportBit(wi, wj bool) uint8 {
+	b := uint8(0)
+	if wi {
+		b |= 2
+	}
+	if wj {
+		b |= 1
+	}
+	return 1 << b
+}
+
+// Monitor is the streaming race detector. Create one with New, feed it
+// events in trace order with Step, and collect the deduplicated reports
+// with Reports. A Monitor is not safe for concurrent use; the sharded
+// parallel mode (ShardedRaces) runs one Monitor per shard.
+type Monitor struct {
+	decls    []LocDecl
+	nthreads int
+	clocks   [][]uint64 // clocks[t][u]: thread t's vector clock
+	na       []naState  // indexed by location; zero-value for non-NA locations
+	at       [][]uint64 // released clock L_A per atomic location
+	ra       []map[tsKey][]uint64
+	// shard/shards restrict nonatomic race checking to locations with
+	// loc % shards == shard; synchronisation events are always processed
+	// (every shard needs the full clocks). 0/1 means "all locations".
+	shard, shards int32
+	races         int
+	events        uint64
+}
+
+// New returns a monitor for nthreads threads over the given locations.
+func New(nthreads int, decls []LocDecl) *Monitor {
+	m := &Monitor{
+		decls:    decls,
+		nthreads: nthreads,
+		clocks:   make([][]uint64, nthreads),
+		na:       make([]naState, len(decls)),
+		at:       make([][]uint64, len(decls)),
+		ra:       make([]map[tsKey][]uint64, len(decls)),
+		shards:   1,
+	}
+	for t := range m.clocks {
+		m.clocks[t] = make([]uint64, nthreads)
+	}
+	for l, d := range decls {
+		switch d.Kind {
+		case prog.Atomic:
+			m.at[l] = make([]uint64, nthreads)
+		case prog.ReleaseAcquire:
+			m.ra[l] = make(map[tsKey][]uint64)
+		default:
+			m.na[l] = naState{
+				writes:   make([]uint64, nthreads),
+				reads:    make([]uint64, nthreads),
+				reported: make([]uint8, nthreads*nthreads),
+				lastT:    -1,
+			}
+		}
+	}
+	return m
+}
+
+// Reset clears all monitoring state (clocks, per-location vectors,
+// reports) so the monitor can be reused for another trace of the same
+// program shape without reallocating.
+func (m *Monitor) Reset() {
+	for _, c := range m.clocks {
+		clear(c)
+	}
+	for l := range m.na {
+		ls := &m.na[l]
+		if ls.writes != nil {
+			clear(ls.writes)
+			clear(ls.reads)
+			clear(ls.reported)
+			ls.lastT = -1
+			ls.wClean = false
+			ls.rClean = false
+		}
+	}
+	for _, la := range m.at {
+		if la != nil {
+			clear(la)
+		}
+	}
+	for l, mm := range m.ra {
+		if mm != nil && len(mm) > 0 {
+			m.ra[l] = make(map[tsKey][]uint64)
+		}
+	}
+	m.races = 0
+	m.events = 0
+}
+
+// setShard restricts nonatomic race checking to locations l with
+// l % shards == shard (see ShardedRaces).
+func (m *Monitor) setShard(shard, shards int) {
+	m.shard, m.shards = int32(shard), int32(shards)
+}
+
+// Events returns the number of events consumed since the last Reset.
+func (m *Monitor) Events() uint64 { return m.events }
+
+// RaceCount returns the number of distinct races reported so far.
+func (m *Monitor) RaceCount() int { return m.races }
+
+// Step consumes the next event of the trace.
+func (m *Monitor) Step(e Event) {
+	m.events++
+	t := int(e.Thread)
+	c := m.clocks[t]
+	c[t]++
+	switch e.Kind {
+	case ReadNA:
+		if m.shards > 1 && e.Loc%m.shards != m.shard {
+			return
+		}
+		ls := &m.na[e.Loc]
+		if ls.lastT != e.Thread {
+			ls.lastT = e.Thread
+			ls.wClean = m.scanWrites(ls, e.Thread, c, false)
+			ls.rClean = false // unknown for this thread
+		} else if !ls.wClean {
+			ls.wClean = m.scanWrites(ls, e.Thread, c, false)
+		}
+		ls.reads[t] = c[t]
+	case WriteNA:
+		if m.shards > 1 && e.Loc%m.shards != m.shard {
+			return
+		}
+		ls := &m.na[e.Loc]
+		if ls.lastT != e.Thread {
+			ls.lastT = e.Thread
+			ls.wClean = m.scanWrites(ls, e.Thread, c, true)
+			ls.rClean = m.scanReads(ls, e.Thread, c)
+		} else {
+			if !ls.wClean {
+				ls.wClean = m.scanWrites(ls, e.Thread, c, true)
+			}
+			if !ls.rClean {
+				ls.rClean = m.scanReads(ls, e.Thread, c)
+			}
+		}
+		ls.writes[t] = c[t]
+	case ReadAT:
+		join(c, m.at[e.Loc])
+	case WriteAT:
+		la := m.at[e.Loc]
+		join(c, la)
+		copy(la, c)
+	case ReadRA:
+		if vc, ok := m.ra[e.Loc][timeKey(e.Time)]; ok {
+			join(c, vc)
+		}
+	case WriteRA:
+		vc := make([]uint64, len(c))
+		copy(vc, c)
+		m.ra[e.Loc][timeKey(e.Time)] = vc
+	}
+}
+
+// scanWrites checks the current access of thread t (a read, or a write
+// when isWrite) against the last write of every other thread, reporting
+// each unordered pair. It returns whether the vector was clean (no
+// unordered entry) — the condition under which the scan may be skipped
+// for subsequent same-thread accesses.
+func (m *Monitor) scanWrites(ls *naState, t int32, c []uint64, isWrite bool) bool {
+	clean := true
+	bit := reportBit(true, isWrite)
+	for u, w := range ls.writes {
+		// u == t cannot trigger: the thread's own entry is always below
+		// its (just incremented) clock component.
+		if w > c[u] {
+			clean = false
+			if p := &ls.reported[u*m.nthreads+int(t)]; *p&bit == 0 {
+				*p |= bit
+				m.races++
+			}
+		}
+	}
+	return clean
+}
+
+// scanReads checks a write by thread t against the last read of every
+// other thread (read/write races with the read first in the trace).
+func (m *Monitor) scanReads(ls *naState, t int32, c []uint64) bool {
+	clean := true
+	bit := reportBit(false, true)
+	for u, r := range ls.reads {
+		if r > c[u] {
+			clean = false
+			if p := &ls.reported[u*m.nthreads+int(t)]; *p&bit == 0 {
+				*p |= bit
+				m.races++
+			}
+		}
+	}
+	return clean
+}
+
+// join merges vc into c pointwise (c ⊔= vc).
+func join(c, vc []uint64) {
+	for u, v := range vc {
+		if v > c[u] {
+			c[u] = v
+		}
+	}
+}
+
+// Reports returns the distinct races observed, in the canonical order of
+// race.SortReports — directly comparable with race.Races on the same
+// trace.
+func (m *Monitor) Reports() []race.Report {
+	out := make([]race.Report, 0, m.races)
+	for l := range m.na {
+		out = m.appendReports(out, int32(l))
+	}
+	race.SortReports(out)
+	return out
+}
+
+// appendReports decodes the dedup bitmasks of one location into reports.
+func (m *Monitor) appendReports(out []race.Report, loc int32) []race.Report {
+	ls := &m.na[loc]
+	if ls.reported == nil {
+		return out
+	}
+	for i, mask := range ls.reported {
+		if mask == 0 {
+			continue
+		}
+		u, t := i/m.nthreads, i%m.nthreads
+		for b := uint8(0); b < 4; b++ {
+			if mask&(1<<b) != 0 {
+				out = append(out, race.Report{
+					Loc:     m.decls[loc].Name,
+					ThreadI: u,
+					ThreadJ: t,
+					WriteI:  b&2 != 0,
+					WriteJ:  b&1 != 0,
+				})
+			}
+		}
+	}
+	return out
+}

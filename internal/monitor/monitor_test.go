@@ -1,0 +1,347 @@
+package monitor
+
+import (
+	"fmt"
+	"testing"
+
+	"localdrf/internal/explore"
+	"localdrf/internal/litmus"
+	"localdrf/internal/prog"
+	"localdrf/internal/race"
+	"localdrf/internal/ts"
+)
+
+// eq compares two report slices (both in SortReports order).
+func eq(a, b []race.Report) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// run feeds events to a fresh monitor and returns its reports.
+func run(t *testing.T, nthreads int, decls []LocDecl, events []Event) []race.Report {
+	t.Helper()
+	m := New(nthreads, decls)
+	for _, e := range events {
+		m.Step(e)
+	}
+	return m.Reports()
+}
+
+// TestUnorderedConflict is the MP+na shape: write x, write f || read f,
+// read x with no synchronisation — every cross-thread pair races.
+func TestUnorderedConflict(t *testing.T) {
+	decls := []LocDecl{{Name: "x", Kind: prog.NonAtomic}, {Name: "f", Kind: prog.NonAtomic}}
+	events := []Event{
+		{Thread: 0, Loc: 0, Kind: WriteNA},
+		{Thread: 0, Loc: 1, Kind: WriteNA},
+		{Thread: 1, Loc: 1, Kind: ReadNA},
+		{Thread: 1, Loc: 0, Kind: ReadNA},
+	}
+	got := run(t, 2, decls, events)
+	want := []race.Report{
+		{Loc: "f", ThreadI: 0, ThreadJ: 1, WriteI: true, WriteJ: false},
+		{Loc: "x", ThreadI: 0, ThreadJ: 1, WriteI: true, WriteJ: false},
+	}
+	if !eq(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestAtomicOrdering is the MP shape on a particular trace: the atomic
+// flag write happens before the flag read, so the data accesses are
+// ordered and race-free.
+func TestAtomicOrdering(t *testing.T) {
+	decls := []LocDecl{{Name: "x", Kind: prog.NonAtomic}, {Name: "F", Kind: prog.Atomic}}
+	events := []Event{
+		{Thread: 0, Loc: 0, Kind: WriteNA},
+		{Thread: 0, Loc: 1, Kind: WriteAT},
+		{Thread: 1, Loc: 1, Kind: ReadAT},
+		{Thread: 1, Loc: 0, Kind: ReadNA},
+	}
+	if got := run(t, 2, decls, events); len(got) != 0 {
+		t.Fatalf("synchronised trace reported races: %v", got)
+	}
+	// The interleaving where the read of F precedes the write of F gets
+	// no edge (atomic reads synchronise with nothing afterwards), so the
+	// x accesses race.
+	racy := []Event{
+		{Thread: 1, Loc: 1, Kind: ReadAT},
+		{Thread: 0, Loc: 0, Kind: WriteNA},
+		{Thread: 0, Loc: 1, Kind: WriteAT},
+		{Thread: 1, Loc: 0, Kind: ReadNA},
+	}
+	got := run(t, 2, decls, racy)
+	want := []race.Report{{Loc: "x", ThreadI: 0, ThreadJ: 1, WriteI: true, WriteJ: false}}
+	if !eq(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestAtomicWriteWriteEdge: atomic writes order later atomic writes (and
+// transitively the data accesses around them), but atomic *reads* order
+// nothing.
+func TestAtomicWriteWriteEdge(t *testing.T) {
+	decls := []LocDecl{{Name: "x", Kind: prog.NonAtomic}, {Name: "A", Kind: prog.Atomic}}
+	events := []Event{
+		{Thread: 0, Loc: 0, Kind: WriteNA},
+		{Thread: 0, Loc: 1, Kind: WriteAT},
+		{Thread: 1, Loc: 1, Kind: WriteAT}, // W→W edge: T1 now sees T0's x write
+		{Thread: 1, Loc: 0, Kind: WriteNA},
+	}
+	if got := run(t, 2, decls, events); len(got) != 0 {
+		t.Fatalf("write-write atomic edge not honoured: %v", got)
+	}
+}
+
+// TestRAReadsFrom: an RA read synchronises with exactly the write it
+// reads from (same timestamp), not with other RA writes.
+func TestRAReadsFrom(t *testing.T) {
+	decls := []LocDecl{{Name: "x", Kind: prog.NonAtomic}, {Name: "R", Kind: prog.ReleaseAcquire}}
+	t1, t2 := ts.FromInt(1), ts.FromInt(2)
+	// T0: x=1; R=@1. T1: reads R@1 (acquires), reads x — ordered.
+	sync := []Event{
+		{Thread: 0, Loc: 0, Kind: WriteNA},
+		{Thread: 0, Loc: 1, Kind: WriteRA, Time: t1},
+		{Thread: 1, Loc: 1, Kind: ReadRA, Time: t1},
+		{Thread: 1, Loc: 0, Kind: ReadNA},
+	}
+	if got := run(t, 2, decls, sync); len(got) != 0 {
+		t.Fatalf("RA reads-from edge not honoured: %v", got)
+	}
+	// T1 reads a different message (@2 written by T2 before T0's write
+	// published anything): no edge from T0, so the x accesses race.
+	stale := []Event{
+		{Thread: 2, Loc: 1, Kind: WriteRA, Time: t2},
+		{Thread: 0, Loc: 0, Kind: WriteNA},
+		{Thread: 0, Loc: 1, Kind: WriteRA, Time: t1},
+		{Thread: 1, Loc: 1, Kind: ReadRA, Time: t2},
+		{Thread: 1, Loc: 0, Kind: ReadNA},
+	}
+	got := run(t, 3, decls, stale)
+	want := []race.Report{{Loc: "x", ThreadI: 0, ThreadJ: 1, WriteI: true, WriteJ: false}}
+	if !eq(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestSameThreadNeverRaces: a thread's own accesses are ordered by
+// program order, including across long same-thread bursts (the fast
+// path).
+func TestSameThreadNeverRaces(t *testing.T) {
+	decls := []LocDecl{{Name: "x", Kind: prog.NonAtomic}}
+	var events []Event
+	for i := 0; i < 1000; i++ {
+		k := ReadNA
+		if i%3 == 0 {
+			k = WriteNA
+		}
+		events = append(events, Event{Thread: 0, Loc: 0, Kind: k})
+	}
+	if got := run(t, 1, decls, events); len(got) != 0 {
+		t.Fatalf("same-thread accesses reported racing: %v", got)
+	}
+}
+
+// TestFastPathKindEscalation guards the subtle fast-path case: a read by
+// t that races with u must not let a subsequent *write* by t skip the
+// rescan — the write forms a differently-kinded report with the same u.
+func TestFastPathKindEscalation(t *testing.T) {
+	decls := []LocDecl{{Name: "x", Kind: prog.NonAtomic}}
+	events := []Event{
+		{Thread: 0, Loc: 0, Kind: WriteNA},
+		{Thread: 1, Loc: 0, Kind: ReadNA},  // races: (0 w, 1 r)
+		{Thread: 1, Loc: 0, Kind: WriteNA}, // races: (0 w, 1 w) — needs rescan
+	}
+	got := run(t, 2, decls, events)
+	want := []race.Report{
+		{Loc: "x", ThreadI: 0, ThreadJ: 1, WriteI: true, WriteJ: false},
+		{Loc: "x", ThreadI: 0, ThreadJ: 1, WriteI: true, WriteJ: true},
+	}
+	if !eq(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestDifferentialOnLitmusTraces cross-checks the monitor against the
+// exhaustive oracle on genuine machine traces of a few racy litmus
+// programs (the corpus-wide sweep lives in internal/modeltest).
+func TestDifferentialOnLitmusTraces(t *testing.T) {
+	for _, name := range []string{"MP+na", "CoRR", "Example1", "WRC", "2+2W"} {
+		tc, ok := litmus.Get(name)
+		if !ok {
+			t.Fatalf("missing litmus test %s", name)
+		}
+		tb := NewTable(tc.Prog)
+		m := tb.NewMonitor()
+		var buf []Event
+		traces := 0
+		err := explore.Traces(tc.Prog, explore.Options{}, 0, func(tr explore.Trace) bool {
+			traces++
+			want := race.Races(tr)
+			m.Reset()
+			var err error
+			buf, err = tb.Events(tr, buf[:0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range buf {
+				m.Step(e)
+			}
+			got := m.Reports()
+			if !eq(got, want) {
+				t.Fatalf("%s trace %v:\nmonitor %v\noracle  %v", name, tr, got, want)
+			}
+			return traces < 3000
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestShardedMatchesUnsharded: the sharded parallel mode returns exactly
+// the single-pass report set at any shard count.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	decls, events := syntheticWorkload(6, 24, 30_000, 31)
+	want, err := ShardedRaces(6, decls, events, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("synthetic workload produced no races; not a useful fixture")
+	}
+	for _, shards := range []int{2, 3, 4, 8} {
+		got, err := ShardedRaces(6, decls, events, shards, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq(got, want) {
+			t.Fatalf("shards=%d: got %d reports, want %d\ngot  %v\nwant %v",
+				shards, len(got), len(want), got, want)
+		}
+	}
+}
+
+// syntheticWorkload builds a mixed random event stream directly (no
+// interpreter): nthreads threads over nlocs locations, 3/4 nonatomic and
+// 1/4 atomic, with a deterministic xorshift driver.
+func syntheticWorkload(nthreads, nlocs, n int, seed uint64) ([]LocDecl, []Event) {
+	decls := make([]LocDecl, nlocs)
+	for i := range decls {
+		k := prog.NonAtomic
+		if i%4 == 3 {
+			k = prog.Atomic
+		}
+		decls[i] = LocDecl{Name: prog.Loc(fmt.Sprintf("l%d", i)), Kind: k}
+	}
+	x := seed
+	rnd := func(m int) int {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return int(x % uint64(m))
+	}
+	events := make([]Event, 0, n)
+	for len(events) < n {
+		t, l := rnd(nthreads), rnd(nlocs)
+		var k Kind
+		if decls[l].Kind == prog.Atomic {
+			k = ReadAT
+			if rnd(2) == 0 {
+				k = WriteAT
+			}
+		} else {
+			k = ReadNA
+			if rnd(3) == 0 {
+				k = WriteNA
+			}
+		}
+		events = append(events, Event{Thread: int32(t), Loc: int32(l), Kind: k})
+	}
+	return decls, events
+}
+
+// TestResetReuse: a Reset monitor behaves exactly like a fresh one.
+func TestResetReuse(t *testing.T) {
+	decls, events := syntheticWorkload(4, 12, 5_000, 7)
+	m := New(4, decls)
+	for _, e := range events {
+		m.Step(e)
+	}
+	first := m.Reports()
+	m.Reset()
+	if m.RaceCount() != 0 || m.Events() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	for _, e := range events {
+		m.Step(e)
+	}
+	if !eq(m.Reports(), first) {
+		t.Fatalf("reused monitor diverged: %v vs %v", m.Reports(), first)
+	}
+}
+
+// BenchmarkMonitorBursty measures single-core monitoring throughput on a
+// bursty synthetic stream — the headline events/sec figure
+// (cmd/experiments -run bench-monitor records it in BENCH_monitor.json).
+func BenchmarkMonitorBursty(b *testing.B) {
+	decls, events := burstyWorkload(8, 64, 1_000_000, 97)
+	m := New(8, decls)
+	b.SetBytes(1) // report events/sec as MB/s (1 "byte" = 1 event)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		for _, e := range events {
+			m.Step(e)
+		}
+	}
+}
+
+// burstyWorkload synthesises a stream with long same-thread bursts and a
+// sprinkle of atomic synchronisation — the monitor's target workload.
+func burstyWorkload(nthreads, nlocs, n int, seed uint64) ([]LocDecl, []Event) {
+	decls := make([]LocDecl, nlocs)
+	for i := range decls {
+		k := prog.NonAtomic
+		if i%8 == 7 {
+			k = prog.Atomic
+		}
+		decls[i] = LocDecl{Name: prog.Loc(fmt.Sprintf("l%d", i)), Kind: k}
+	}
+	x := seed
+	rnd := func(m int) int {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return int(x % uint64(m))
+	}
+	events := make([]Event, 0, n)
+	for len(events) < n {
+		t := rnd(nthreads)
+		span := 32 + rnd(64)
+		for s := 0; s < span && len(events) < n; s++ {
+			l := rnd(nlocs)
+			var k Kind
+			if decls[l].Kind == prog.Atomic {
+				k = ReadAT
+				if rnd(4) == 0 {
+					k = WriteAT
+				}
+			} else {
+				k = ReadNA
+				if rnd(3) == 0 {
+					k = WriteNA
+				}
+			}
+			events = append(events, Event{Thread: int32(t), Loc: int32(l), Kind: k})
+		}
+	}
+	return decls, events
+}

@@ -1,0 +1,54 @@
+package monitor
+
+// Sharded-by-location parallel monitoring, built on the exploration
+// engine's task runner. Race checking is independent per nonatomic
+// location, but the happens-before clocks depend on *all* synchronisation
+// events — so each shard runs a full monitor over the whole stream,
+// processing every atomic/RA event (cheap clock joins) while checking and
+// updating only the nonatomic locations of its own shard (the O(threads)
+// scans, which dominate). Reports are merged as a set and sorted, so the
+// result is identical to a single unsharded pass at any shard count and
+// parallelism.
+
+import (
+	"localdrf/internal/engine"
+	"localdrf/internal/race"
+)
+
+// ShardedRaces monitors one event stream with nonatomic locations
+// partitioned across shards workers (location l belongs to shard
+// l % shards). shards ≤ 1 degenerates to a single sequential pass;
+// parallelism 0 means one worker per shard.
+func ShardedRaces(nthreads int, decls []LocDecl, events []Event, shards, parallelism int) ([]race.Report, error) {
+	if shards <= 1 {
+		m := New(nthreads, decls)
+		for _, e := range events {
+			m.Step(e)
+		}
+		return m.Reports(), nil
+	}
+	if parallelism <= 0 || parallelism > shards {
+		parallelism = shards
+	}
+	monitors := make([]*Monitor, shards)
+	err := engine.ForEach(parallelism, shards, func(_, i int) error {
+		m := New(nthreads, decls)
+		m.setShard(i, shards)
+		for _, e := range events {
+			m.Step(e)
+		}
+		monitors[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Shards partition the nonatomic locations, so the per-shard report
+	// sets are disjoint and concatenation is the set union.
+	var out []race.Report
+	for _, m := range monitors {
+		out = append(out, m.Reports()...)
+	}
+	race.SortReports(out)
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package monitor
+
+// The bridge between the exhaustive world (explore.Trace, slices of full
+// machine transitions) and the streaming world (Event): a Table maps a
+// program's locations to dense indices once, and then converts traces to
+// event streams with no per-trace allocation beyond the destination
+// slice. This is what the differential tests use to run the monitor on
+// every enumerated trace of the litmus corpus and of random programs.
+
+import (
+	"fmt"
+
+	"localdrf/internal/core"
+	"localdrf/internal/explore"
+	"localdrf/internal/prog"
+	"localdrf/internal/race"
+)
+
+// Table is the dense location indexing of one program, shared by every
+// monitor run over that program's traces.
+type Table struct {
+	prog  *prog.Program
+	index map[prog.Loc]int32
+	decls []LocDecl
+}
+
+// NewTable builds the location table of p (locations in SortedLocs order,
+// so indices are deterministic).
+func NewTable(p *prog.Program) *Table {
+	tb := &Table{prog: p, index: map[prog.Loc]int32{}}
+	for _, l := range p.SortedLocs() {
+		tb.index[l] = int32(len(tb.decls))
+		tb.decls = append(tb.decls, LocDecl{Name: l, Kind: p.Kind(l)})
+	}
+	return tb
+}
+
+// Decls returns the location declarations (index order).
+func (tb *Table) Decls() []LocDecl { return tb.decls }
+
+// Threads returns the thread count of the table's program.
+func (tb *Table) Threads() int { return len(tb.prog.Threads) }
+
+// LocIndex returns the dense index of a location.
+func (tb *Table) LocIndex(l prog.Loc) (int32, bool) {
+	i, ok := tb.index[l]
+	return i, ok
+}
+
+// EventOf converts one machine transition to its streaming form.
+func (tb *Table) EventOf(t core.Transition) (Event, error) {
+	loc, ok := tb.index[t.Loc]
+	if !ok {
+		return Event{}, fmt.Errorf("monitor: transition on undeclared location %q", t.Loc)
+	}
+	var k Kind
+	switch {
+	case t.RA:
+		k = ReadRA
+		if t.IsWrite {
+			k = WriteRA
+		}
+	case t.Atomic:
+		k = ReadAT
+		if t.IsWrite {
+			k = WriteAT
+		}
+	default:
+		k = ReadNA
+		if t.IsWrite {
+			k = WriteNA
+		}
+	}
+	return Event{Thread: int32(t.Thread), Loc: loc, Kind: k, Time: t.Time}, nil
+}
+
+// Events appends the streaming form of tr to dst (pass dst[:0] to reuse a
+// buffer across traces).
+func (tb *Table) Events(tr explore.Trace, dst []Event) ([]Event, error) {
+	for _, t := range tr {
+		e, err := tb.EventOf(t)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, e)
+	}
+	return dst, nil
+}
+
+// Transitions converts an event stream to bare transitions (thread,
+// location, kinds, RA timestamp — no machine states). Happens-before and
+// races are pure functions of exactly these fields, so this lets the
+// exhaustive oracle race.Races be evaluated on streams that never came
+// from the explorer (schedgen schedules) — the other direction of the
+// differential tests.
+func Transitions(events []Event, decls []LocDecl) explore.Trace {
+	tr := make(explore.Trace, 0, len(events))
+	for _, e := range events {
+		t := core.Transition{Thread: int(e.Thread), Loc: decls[e.Loc].Name, Time: e.Time}
+		switch e.Kind {
+		case WriteNA:
+			t.IsWrite = true
+		case ReadAT:
+			t.Atomic = true
+		case WriteAT:
+			t.Atomic, t.IsWrite = true, true
+		case ReadRA:
+			t.RA, t.Atomic = true, true
+		case WriteRA:
+			t.RA, t.Atomic, t.IsWrite = true, true, true
+		}
+		tr = append(tr, t)
+	}
+	return tr
+}
+
+// NewMonitor returns a monitor sized for the table's program.
+func (tb *Table) NewMonitor() *Monitor { return New(tb.Threads(), tb.decls) }
+
+// Races runs a fresh monitor over one trace and returns the deduplicated
+// reports — the streaming counterpart of race.Races(tr), with which it
+// must agree exactly.
+func (tb *Table) Races(tr explore.Trace) ([]race.Report, error) {
+	m := tb.NewMonitor()
+	for _, t := range tr {
+		e, err := tb.EventOf(t)
+		if err != nil {
+			return nil, err
+		}
+		m.Step(e)
+	}
+	return m.Reports(), nil
+}

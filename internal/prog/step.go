@@ -121,21 +121,32 @@ const MaxSilentStepsHint = 10_000
 // (e —ϵ→ e′) until it reaches a load, a store, or halts, returning the
 // resulting state and the pending action. maxSteps guards against
 // divergent silent loops (e.g. `L: goto L`); exceeding it returns an
-// error rather than spinning.
+// error rather than spinning. The input state is not modified.
 func StepSilent(code []Instr, st ThreadState, maxSteps int) (ThreadState, Pending, error) {
 	s := st.Clone()
+	pend, err := StepSilentInPlace(code, &s, maxSteps)
+	return s, pend, err
+}
+
+// StepSilentInPlace is StepSilent without the defensive clone: it mutates
+// the caller's state directly. The exhaustive explorers always clone (a
+// machine state is expanded many ways), but the streaming schedule
+// generator (internal/schedgen) executes exactly one schedule over
+// millions of events, where a clone per transition would dominate the
+// run.
+func StepSilentInPlace(code []Instr, s *ThreadState, maxSteps int) (Pending, error) {
 	for steps := 0; ; steps++ {
 		if steps > maxSteps {
-			return s, Pending{}, fmt.Errorf("prog: silent step budget exceeded (divergent loop?)")
+			return Pending{}, fmt.Errorf("prog: silent step budget exceeded (divergent loop?)")
 		}
 		if s.Halted(code) {
-			return s, Pending{Kind: OpHalted}, nil
+			return Pending{Kind: OpHalted}, nil
 		}
 		switch in := code[s.PC].(type) {
 		case Load:
-			return s, Pending{Kind: OpRead, Loc: in.Src, Dst: in.Dst}, nil
+			return Pending{Kind: OpRead, Loc: in.Src, Dst: in.Dst}, nil
 		case Store:
-			return s, Pending{Kind: OpWrite, Loc: in.Dst, Val: s.Eval(in.Src)}, nil
+			return Pending{Kind: OpWrite, Loc: in.Dst, Val: s.Eval(in.Src)}, nil
 		case Mov:
 			s.Regs[in.Dst] = s.Eval(in.Src)
 			s.PC++
@@ -169,7 +180,7 @@ func StepSilent(code []Instr, st ThreadState, maxSteps int) (ThreadState, Pendin
 		case Nop:
 			s.PC++
 		default:
-			return s, Pending{}, fmt.Errorf("prog: unknown instruction %T", in)
+			return Pending{}, fmt.Errorf("prog: unknown instruction %T", in)
 		}
 	}
 }

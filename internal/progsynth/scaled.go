@@ -1,0 +1,135 @@
+package progsynth
+
+// Scaled program generation — the workload lever the streaming monitor
+// (internal/monitor) opens. Where Random stays litmus-sized so exhaustive
+// checkers terminate, Scaled generates programs with many threads looping
+// over many locations: a single schedule of such a program (produced by
+// internal/schedgen) reaches millions of events, far beyond what trace
+// enumeration can touch, while remaining a well-formed prog.Program that
+// every layer of the stack understands.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"localdrf/internal/prog"
+)
+
+// ScaledConfig tunes the scaled generator. The zero value is replaced by
+// ScaledDefaults.
+type ScaledConfig struct {
+	// Threads is the exact thread count.
+	Threads int
+	// Iters is the per-thread loop iteration count; total memory events
+	// are ≈ Threads × Iters × OpsPerIter when a schedule runs to
+	// completion.
+	Iters int
+	// OpsPerIter is the number of memory operations in each loop body.
+	OpsPerIter int
+	// NonAtomic, Atomics and RAs size the location pools (x0…, A0…, R0…).
+	NonAtomic int
+	Atomics   int
+	RAs       int
+	// WritePct is the percentage of operations that are stores.
+	WritePct int
+	// SyncPct is the percentage of operations aimed at synchronising
+	// locations (atomic or RA) rather than nonatomic ones.
+	SyncPct int
+	// MaxConst bounds stored immediates (1..MaxConst).
+	MaxConst int
+}
+
+// ScaledDefaults is a workload shape that produces dense mixed traffic:
+// mostly nonatomic accesses with enough synchronisation to build
+// nontrivial happens-before structure.
+func ScaledDefaults() ScaledConfig {
+	return ScaledConfig{
+		Threads:    8,
+		Iters:      2_000,
+		OpsPerIter: 8,
+		NonAtomic:  48,
+		Atomics:    8,
+		RAs:        8,
+		WritePct:   40,
+		SyncPct:    20,
+		MaxConst:   8,
+	}
+}
+
+// IterationsFor returns the Iters value that guarantees a schedule of at
+// least the given event count before any thread halts: each thread emits
+// Iters × OpsPerIter memory events, and the ×2 slack absorbs scheduling
+// skew (an unfair policy may drain one thread long before another).
+// Every consumer that sizes a program for a target stream length must go
+// through this, so the loop shape and the sizing can only change
+// together.
+func (c ScaledConfig) IterationsFor(events int) int {
+	perIter := c.Threads * c.OpsPerIter
+	if perIter <= 0 {
+		return 1
+	}
+	return (events/perIter + 1) * 2
+}
+
+// Scaled generates a large looping program from the given seed. Equal
+// seeds and configs yield equal programs. Each thread is
+//
+//	i := Iters
+//	loop: <OpsPerIter random loads/stores> ; i := i + (-1) ; if i goto loop
+//
+// with operations drawn over the shared location pools, so every pair of
+// threads contends on both data and synchronisation locations.
+func Scaled(seed int64, cfg ScaledConfig) *prog.Program {
+	if cfg.Threads == 0 {
+		cfg = ScaledDefaults()
+	}
+	r := rand.New(rand.NewSource(seed))
+	b := prog.NewProgram(fmt.Sprintf("scaled-%d", seed))
+	var na, at, ra []prog.Loc
+	for i := 0; i < cfg.NonAtomic; i++ {
+		na = append(na, prog.Loc(fmt.Sprintf("x%d", i)))
+	}
+	for i := 0; i < cfg.Atomics; i++ {
+		at = append(at, prog.Loc(fmt.Sprintf("A%d", i)))
+	}
+	for i := 0; i < cfg.RAs; i++ {
+		ra = append(ra, prog.Loc(fmt.Sprintf("R%d", i)))
+	}
+	b.Vars(na...)
+	b.Atomics(at...)
+	b.RAs(ra...)
+	sync := append(append([]prog.Loc{}, at...), ra...)
+
+	for ti := 0; ti < cfg.Threads; ti++ {
+		tb := b.Thread(fmt.Sprintf("P%d", ti))
+		ctr := prog.Reg(fmt.Sprintf("i%d", ti))
+		tb.Mov(ctr, prog.I(prog.Val(cfg.Iters)))
+		tb.Label("loop")
+		// A small register ring keeps the register file (and hence the
+		// interpreter's map traffic) bounded regardless of Iters.
+		regN := 0
+		reg := func() prog.Reg {
+			regN++
+			return prog.Reg(fmt.Sprintf("t%dr%d", ti, regN%4))
+		}
+		for op := 0; op < cfg.OpsPerIter; op++ {
+			pool := na
+			if len(sync) > 0 && r.Intn(100) < cfg.SyncPct {
+				pool = sync
+			}
+			if len(pool) == 0 {
+				pool = na
+			}
+			loc := pool[r.Intn(len(pool))]
+			if r.Intn(100) < cfg.WritePct {
+				tb.Store(loc, prog.I(prog.Val(1+r.Intn(cfg.MaxConst))))
+			} else {
+				tb.Load(reg(), loc)
+			}
+		}
+		tb.Add(ctr, prog.R(ctr), prog.I(-1))
+		tb.JmpNZ(ctr, "loop")
+		tb.Done()
+	}
+	return b.MustBuild()
+}

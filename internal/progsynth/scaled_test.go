@@ -1,0 +1,57 @@
+package progsynth
+
+import (
+	"testing"
+
+	"localdrf/internal/prog"
+)
+
+// TestScaledDeterministic: equal seeds and configs yield equal programs.
+func TestScaledDeterministic(t *testing.T) {
+	a := Scaled(5, ScaledConfig{})
+	b := Scaled(5, ScaledConfig{})
+	if a.String() != b.String() {
+		t.Fatal("Scaled is nondeterministic")
+	}
+	if Scaled(6, ScaledConfig{}).String() == a.String() {
+		t.Fatal("distinct seeds produced identical programs")
+	}
+}
+
+// TestScaledShape: the generated program matches the configured scale and
+// is structurally valid.
+func TestScaledShape(t *testing.T) {
+	cfg := ScaledConfig{
+		Threads: 5, Iters: 10, OpsPerIter: 6,
+		NonAtomic: 7, Atomics: 3, RAs: 2,
+		WritePct: 50, SyncPct: 30, MaxConst: 4,
+	}
+	p := Scaled(9, cfg)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Threads) != cfg.Threads {
+		t.Fatalf("got %d threads, want %d", len(p.Threads), cfg.Threads)
+	}
+	na, at, ra := 0, 0, 0
+	for _, k := range p.Locs {
+		switch k {
+		case prog.Atomic:
+			at++
+		case prog.ReleaseAcquire:
+			ra++
+		default:
+			na++
+		}
+	}
+	if na != cfg.NonAtomic || at != cfg.Atomics || ra != cfg.RAs {
+		t.Fatalf("location pools %d/%d/%d, want %d/%d/%d",
+			na, at, ra, cfg.NonAtomic, cfg.Atomics, cfg.RAs)
+	}
+	// Each thread: Mov + OpsPerIter memory ops + Add + JmpNZ.
+	for ti, th := range p.Threads {
+		if len(th.Code) != cfg.OpsPerIter+3 {
+			t.Fatalf("thread %d has %d instructions, want %d", ti, len(th.Code), cfg.OpsPerIter+3)
+		}
+	}
+}

@@ -93,6 +93,26 @@ func RacingPairs(tr explore.Trace) []Race {
 // HasRace reports whether the trace contains any data race.
 func HasRace(tr explore.Trace) bool { return len(RacingPairs(tr)) > 0 }
 
+// Races returns the distinct data races of a single trace, deduplicated
+// by location, thread pair and access kinds and sorted canonically — the
+// per-trace analogue of FindRaces' program-wide report set. It is the
+// exhaustive oracle the streaming monitor (internal/monitor) is
+// differentially tested against: on any trace, monitor.Reports must equal
+// Races exactly.
+func Races(tr explore.Trace) []Report {
+	set := map[Report]bool{}
+	for _, rc := range RacingPairs(tr) {
+		set[Report{
+			Loc:     tr[rc.I].Loc,
+			ThreadI: tr[rc.I].Thread,
+			ThreadJ: tr[rc.J].Thread,
+			WriteI:  tr[rc.I].IsWrite,
+			WriteJ:  tr[rc.J].IsWrite,
+		}] = true
+	}
+	return sortedReports(set)
+}
+
 // IsSC reports whether a trace is sequentially consistent (def. 7): it
 // contains no weak transitions.
 func IsSC(tr explore.Trace) bool {
@@ -164,10 +184,24 @@ func FindRaces(p *prog.Program, scOnly bool, maxTraces int) ([]Report, error) {
 			merged[rep] = true
 		}
 	}
-	out := make([]Report, 0, len(merged))
-	for rep := range merged {
+	return sortedReports(merged), nil
+}
+
+// sortedReports flattens a report set into the canonical order.
+func sortedReports(set map[Report]bool) []Report {
+	out := make([]Report, 0, len(set))
+	for rep := range set {
 		out = append(out, rep)
 	}
+	SortReports(out)
+	return out
+}
+
+// SortReports sorts reports into the canonical order (by location, thread
+// pair, then access kinds with reads first). Every producer of report
+// slices — FindRaces, Races, the streaming monitor — uses this order, so
+// slices are directly comparable.
+func SortReports(out []Report) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		switch {
@@ -183,7 +217,6 @@ func FindRaces(p *prog.Program, scOnly bool, maxTraces int) ([]Report, error) {
 			return !a.WriteJ && b.WriteJ
 		}
 	})
-	return out, nil
 }
 
 // IsSCRaceFree reports whether every sequentially consistent trace of p is

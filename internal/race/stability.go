@@ -1,7 +1,10 @@
 package race
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"localdrf/internal/core"
 	"localdrf/internal/engine"
@@ -14,6 +17,90 @@ import (
 func fingerprint(m *core.Machine, buf []byte) (engine.Fingerprint, []byte) {
 	buf = m.AppendCanonical(buf[:0])
 	return engine.Hash(buf), buf
+}
+
+// The trace walks of LStable and CheckLocalDRFFrom run on engine.Run with
+// *path-carrying* states: unlike the outcome searches, these analyses
+// need the identity of every transition along the way, so a state is a
+// (machine, trace-so-far) pair and its canonical encoding is the DFS
+// child-index path — unique per state, which makes the engine's interner
+// a pure frontier scheduler (no two states merge) and lets the walk fan
+// out across the work-stealing workers. Results stay byte-identical to
+// the sequential reference implementations (retained below as
+// LStableSequential / CheckLocalDRFFromSequential and cross-checked in
+// the tests): the decided booleans count no differently, and the
+// violation reported by CheckLocalDRFFrom is selected as the
+// lexicographically least child-index path — exactly the first violation
+// the sequential depth-first walk encounters. Budget exhaustion is the
+// one place parallel scheduling order could leak into the result (which
+// worker burns the shared budget first, and what was explored before it
+// did, are nondeterministic), so whenever the parallel walk runs out of
+// budget it discards its partial verdict and falls back to the
+// sequential reference, whose budget accounting is exact — the
+// observable outputs are byte-identical in every case.
+
+// pathState is one node of a path-carrying walk.
+type pathState struct {
+	m     *core.Machine
+	trace explore.Trace
+	// prefixLen is -1 while walking to occurrences of the target state
+	// (LStable's outer phase) and the prefix length once inside an
+	// L-sequential suffix.
+	prefixLen int
+	// path is the DFS child-index path from the root, the state identity.
+	path []int32
+}
+
+// encodePath is the engine Encode hook: states are identified by their
+// child-index path (unique per node of the walk tree).
+func encodePath(s *pathState, buf []byte) []byte {
+	buf = binary.AppendVarint(buf, int64(s.prefixLen))
+	for _, i := range s.path {
+		buf = binary.AppendVarint(buf, int64(i))
+	}
+	return buf
+}
+
+// child extends a state by one transition under child index i.
+func (s *pathState) child(tr core.Transition, i int32, prefixLen int) *pathState {
+	trace := make(explore.Trace, len(s.trace)+1)
+	copy(trace, s.trace)
+	trace[len(s.trace)] = tr
+	path := make([]int32, len(s.path)+1)
+	copy(path, s.path)
+	path[len(s.path)] = i
+	return &pathState{m: tr.After, trace: trace, prefixLen: prefixLen, path: path}
+}
+
+// lexLess orders child-index paths depth-first: a proper prefix precedes
+// its extensions, otherwise the first differing index decides.
+func lexLess(a, b []int32) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// suffixRace reports whether the last transition of ext (the newest
+// suffix transition, on a location in L) races with any of the first
+// prefixLen transitions — the cross-split race of def. 12.
+func suffixRace(ext explore.Trace, prefixLen int, L LocSet) bool {
+	j := len(ext) - 1
+	if prefixLen == 0 || !L[ext[j].Loc] {
+		return false
+	}
+	hb := HappensBefore(ext)
+	for i := 0; i < prefixLen; i++ {
+		if ext[i].Conflicts(ext[j]) && !hb.Has(i, j) {
+			return true
+		}
+	}
+	return false
 }
 
 // LStable decides def. 12 for a machine state M of program p: M is
@@ -31,11 +118,86 @@ func fingerprint(m *core.Machine, buf []byte) (engine.Fingerprint, []byte) {
 // hypothesis the proof needs and the one §5's applications require.
 //
 // The decision procedure is exhaustive: it enumerates every path from the
-// initial state, and at each point where the canonical state equals M's,
-// explores every L-sequential continuation, checking races across the
-// split. Intended for litmus-scale programs (the state spaces involved
-// are tiny); maxSteps bounds the total number of transitions explored.
+// initial state on the parallel engine, and at each node whose canonical
+// state equals M's, explores every L-sequential continuation, checking
+// races across the split. Intended for litmus-scale programs; maxSteps
+// bounds the total number of nodes explored.
 func LStable(p *prog.Program, m *core.Machine, L LocSet, maxSteps int) (bool, error) {
+	target, _ := fingerprint(m, nil)
+	var budget atomic.Int64
+	budget.Store(int64(maxSteps))
+	var violated atomic.Bool
+
+	cfg := engine.Config[*pathState]{
+		Options: engine.Options{MaxStates: 2*maxSteps + 16},
+		Encode:  encodePath,
+		// No early exit on violation: the walk always expands the full
+		// tree (or dies on budget), so its budget consumption is a fixed
+		// upper bound on the sequential walk's — whenever the sequential
+		// reference would exhaust its budget, this walk does too and the
+		// fallback below reproduces the sequential outcome exactly.
+		Expand: func(_ int, s *pathState, emit func(*pathState)) error {
+			if budget.Add(-1) < 0 {
+				return fmt.Errorf("race: LStable step budget exceeded")
+			}
+			steps, err := s.m.Steps()
+			if err != nil {
+				return err
+			}
+			if s.prefixLen >= 0 {
+				// Suffix phase: L-sequential continuations only, checking
+				// each new transition against the prefix before descending.
+				next := int32(0)
+				for _, tr := range steps {
+					if !LSequential(tr, L) {
+						continue
+					}
+					c := s.child(tr, next, s.prefixLen)
+					next++
+					if suffixRace(c.trace, s.prefixLen, L) {
+						violated.Store(true)
+						continue
+					}
+					emit(c)
+				}
+				return nil
+			}
+			// Outer phase: on a match, branch into the suffix walk (child
+			// index 0, before the outer children — the sequential DFS
+			// checks suffixes first), then continue the outer walk.
+			fp, _ := fingerprint(s.m, nil)
+			if fp == target {
+				root := &pathState{
+					m: s.m, trace: s.trace,
+					prefixLen: len(s.trace),
+					path:      append(append([]int32{}, s.path...), 0),
+				}
+				emit(root)
+			}
+			for i, tr := range steps {
+				emit(s.child(tr, int32(i+1), -1))
+			}
+			return nil
+		},
+	}
+	_, err := engine.Run(cfg, &pathState{m: core.NewMachine(p), prefixLen: -1})
+	if err != nil {
+		// Out of budget: which worker exhausted the shared budget (and
+		// what was explored before it did) is scheduling-dependent, while
+		// the sequential walk's accounting is exact — defer to it for a
+		// deterministic answer.
+		return LStableSequential(p, m, L, maxSteps)
+	}
+	if violated.Load() {
+		return false, nil
+	}
+	return true, nil
+}
+
+// LStableSequential is the seed's recursive single-threaded
+// implementation of LStable, retained as the reference the engine-based
+// walk is differentially tested against (outputs must be byte-identical).
+func LStableSequential(p *prog.Program, m *core.Machine, L LocSet, maxSteps int) (bool, error) {
 	target, buf := fingerprint(m, nil)
 	budget := maxSteps
 	var firstViolation error
@@ -139,8 +301,94 @@ func (v *LocalDRFViolation) Error() string {
 // every sequence of L-sequential transitions from m, either every next
 // transition is L-sequential, or some non-weak transition accessing a
 // location in L races with a transition of the sequence. Returns nil when
-// the theorem holds on this state space, a *LocalDRFViolation otherwise.
+// the theorem holds on this state space, a *LocalDRFViolation otherwise —
+// the violation the sequential depth-first walk would find first.
 func CheckLocalDRFFrom(m *core.Machine, L LocSet, maxSteps int) error {
+	var budget atomic.Int64
+	budget.Store(int64(maxSteps))
+	var mu sync.Mutex
+	var haveBest atomic.Bool // lock-free "any violation yet?" fast path
+	var bestPath []int32
+	var best *LocalDRFViolation
+
+	// pruned reports whether a state cannot improve on the best violation
+	// (its path is not lexicographically before the best's); once a
+	// violation is found, only earlier-in-DFS-order branches stay live.
+	// In the common case (the theorem holds, no violation ever recorded)
+	// this is a single relaxed atomic load, not a lock.
+	pruned := func(path []int32) bool {
+		if !haveBest.Load() {
+			return false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return best != nil && !lexLess(path, bestPath)
+	}
+
+	cfg := engine.Config[*pathState]{
+		Options: engine.Options{MaxStates: 2*maxSteps + 16},
+		Encode:  encodePath,
+		Expand: func(_ int, s *pathState, emit func(*pathState)) error {
+			if pruned(s.path) {
+				return nil
+			}
+			if budget.Add(-1) < 0 {
+				return fmt.Errorf("race: CheckLocalDRFFrom step budget exceeded")
+			}
+			steps, err := s.m.Steps()
+			if err != nil {
+				return err
+			}
+			var nonSeq []core.Transition
+			for _, tr := range steps {
+				if !LSequential(tr, L) {
+					nonSeq = append(nonSeq, tr)
+				}
+			}
+			// If some transition is not L-sequential, the theorem demands
+			// a non-weak racing witness on L.
+			if len(nonSeq) > 0 && !hasRacingWitness(steps, s.trace, L) {
+				mu.Lock()
+				if best == nil || lexLess(s.path, bestPath) {
+					best = &LocalDRFViolation{Suffix: s.trace, NonSeq: nonSeq[0]}
+					bestPath = s.path
+				}
+				mu.Unlock()
+				haveBest.Store(true)
+				return nil
+			}
+			// Continue along L-sequential transitions only (the theorem
+			// quantifies over L-sequential sequences).
+			next := int32(0)
+			for _, tr := range steps {
+				if !LSequential(tr, L) {
+					continue
+				}
+				emit(s.child(tr, next, 0))
+				next++
+			}
+			return nil
+		},
+	}
+	_, err := engine.Run(cfg, &pathState{m: m, prefixLen: 0})
+	if err != nil {
+		// Out of budget: the interrupted walk may hold no violation, or a
+		// violation that is not the DFS-first one — defer wholly to the
+		// exact sequential accounting (see the package comment above).
+		return CheckLocalDRFFromSequential(m, L, maxSteps)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if best != nil {
+		return best
+	}
+	return nil
+}
+
+// CheckLocalDRFFromSequential is the seed's recursive single-threaded
+// implementation of CheckLocalDRFFrom, retained as the differential
+// reference for the engine-based walk.
+func CheckLocalDRFFromSequential(m *core.Machine, L LocSet, maxSteps int) error {
 	budget := maxSteps
 	var walk func(cur *core.Machine, suffix explore.Trace) error
 	walk = func(cur *core.Machine, suffix explore.Trace) error {

@@ -1,0 +1,174 @@
+package race
+
+// Differential tests of the engine-ported trace walks: LStable and
+// CheckLocalDRFFrom (parallel, path-carrying states on engine.Run) must
+// produce byte-identical outputs to the retained sequential reference
+// implementations on every probed state, both on litmus programs and on
+// random ones — including non-initial (mid-race) states, where LStable
+// actually returns false.
+
+import (
+	"testing"
+
+	"localdrf/internal/core"
+	"localdrf/internal/litmus"
+	"localdrf/internal/prog"
+	"localdrf/internal/progsynth"
+)
+
+const stabBudget = 8_000_000
+
+// probeStates collects the initial state plus a sample of distinct
+// reachable states of p (breadth-first, capped).
+func probeStates(t *testing.T, p *prog.Program, cap int) []*core.Machine {
+	t.Helper()
+	var states []*core.Machine
+	seen := map[string]bool{}
+	frontier := []*core.Machine{core.NewMachine(p)}
+	for len(frontier) > 0 && len(states) < cap {
+		m := frontier[0]
+		frontier = frontier[1:]
+		k := m.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		states = append(states, m)
+		steps, err := m.Steps()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range steps {
+			frontier = append(frontier, tr.After)
+		}
+	}
+	return states
+}
+
+// errString renders an error for byte-identical comparison (nil ⇒ "").
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func diffOnProgram(t *testing.T, p *prog.Program, L LocSet, statesCap int) {
+	t.Helper()
+	for si, m := range probeStates(t, p, statesCap) {
+		gotStable, gotErr := LStable(p, m, L, stabBudget)
+		wantStable, wantErr := LStableSequential(p, m, L, stabBudget)
+		if gotStable != wantStable || errString(gotErr) != errString(wantErr) {
+			t.Fatalf("%s state %d: LStable engine=(%v,%v) sequential=(%v,%v)",
+				p.Name, si, gotStable, gotErr, wantStable, wantErr)
+		}
+		gotDRF := CheckLocalDRFFrom(m, L, stabBudget)
+		wantDRF := CheckLocalDRFFromSequential(m, L, stabBudget)
+		if errString(gotDRF) != errString(wantDRF) {
+			t.Fatalf("%s state %d: CheckLocalDRFFrom engine=%v sequential=%v",
+				p.Name, si, gotDRF, wantDRF)
+		}
+	}
+}
+
+// TestEngineWalksMatchSequentialOnLitmus sweeps representative litmus
+// programs (racy and race-free, with mid-execution states).
+func TestEngineWalksMatchSequentialOnLitmus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive differential skipped in -short mode")
+	}
+	cases := []struct {
+		name string
+		L    []prog.Loc
+		cap  int
+	}{
+		{"MP+na", []prog.Loc{"x", "f"}, 12},
+		{"MP", []prog.Loc{"x"}, 12},
+		{"Example1", []prog.Loc{"a", "b"}, 8},
+		{"Example3", []prog.Loc{"cx", "g"}, 8},
+		{"CoRR", []prog.Loc{"x"}, 12},
+	}
+	for _, c := range cases {
+		tc, ok := litmus.Get(c.name)
+		if !ok {
+			t.Fatalf("missing litmus test %s", c.name)
+		}
+		diffOnProgram(t, tc.Prog, NewLocSet(c.L...), c.cap)
+	}
+}
+
+// TestEngineWalksMatchSequentialOnRandom does the same on random
+// programs, with both singleton and full location sets.
+func TestEngineWalksMatchSequentialOnRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive differential skipped in -short mode")
+	}
+	cfg := progsynth.Config{
+		MaxThreads:    2,
+		MaxOps:        2,
+		AtomicLocs:    []prog.Loc{"A"},
+		NonAtomicLocs: []prog.Loc{"x", "y"},
+		MaxConst:      2,
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		p := progsynth.Random(seed, cfg)
+		diffOnProgram(t, p, NewLocSet("x"), 6)
+		diffOnProgram(t, p, AllLocs(p), 6)
+	}
+}
+
+// TestEngineWalksMatchSequentialUnderTightBudgets pins the budget
+// contract: even when the step budget is exhausted mid-walk (where
+// parallel scheduling order would otherwise leak into the result), the
+// engine-backed walks defer to the sequential accounting and stay
+// byte-identical — across budgets that land before, inside, and after
+// the walk.
+func TestEngineWalksMatchSequentialUnderTightBudgets(t *testing.T) {
+	tc, ok := litmus.Get("MP+na")
+	if !ok {
+		t.Fatal("missing MP+na")
+	}
+	p := tc.Prog
+	L := AllLocs(p)
+	m := core.NewMachine(p)
+	for _, budget := range []int{1, 3, 10, 50, 500, 50_000, stabBudget} {
+		gotStable, gotErr := LStable(p, m, L, budget)
+		wantStable, wantErr := LStableSequential(p, m, L, budget)
+		if gotStable != wantStable || errString(gotErr) != errString(wantErr) {
+			t.Fatalf("budget %d: LStable engine=(%v,%v) sequential=(%v,%v)",
+				budget, gotStable, gotErr, wantStable, wantErr)
+		}
+		gotDRF := CheckLocalDRFFrom(m, L, budget)
+		wantDRF := CheckLocalDRFFromSequential(m, L, budget)
+		if errString(gotDRF) != errString(wantDRF) {
+			t.Fatalf("budget %d: CheckLocalDRFFrom engine=%v sequential=%v",
+				budget, gotDRF, wantDRF)
+		}
+	}
+}
+
+// TestEngineWalkFindsInstability pins a state where stability genuinely
+// fails (a race in progress), so the differential above is known to cover
+// the violated branch.
+func TestEngineWalkFindsInstability(t *testing.T) {
+	tc, ok := litmus.Get("MP+na")
+	if !ok {
+		t.Fatal("missing MP+na")
+	}
+	p := tc.Prog
+	L := AllLocs(p)
+	found := false
+	for _, m := range probeStates(t, p, 20) {
+		stable, err := LStable(p, m, L, stabBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stable {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no unstable state found in MP+na; the violated path is untested")
+	}
+}

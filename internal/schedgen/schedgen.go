@@ -1,0 +1,274 @@
+// Package schedgen generates long concrete schedules — single
+// interleaved executions — of multi-threaded programs, as streams of
+// monitor events.
+//
+// The exhaustive explorers (internal/explore) enumerate *every* trace of
+// a program, which bounds them to litmus-sized inputs. This package takes
+// the opposite point in the design space: one schedule, chosen by a
+// scheduling policy, executed by a mutable single-pass interpreter with
+// no machine cloning — so schedules over scaled-up programs
+// (progsynth.Scaled) reach 10⁶+ events in well under a second, the
+// workload the streaming race monitor (internal/monitor) exists for.
+//
+// Fidelity note: the generator interprets programs with a plain store
+// (per-location write histories of bounded depth) and, optionally, stale
+// reads that return non-latest history entries. The streams are therefore
+// *plausible* schedules, not certified traces of the operational model —
+// the frontier side conditions of fig. 1 are not enforced. That is
+// deliberate and harmless for the monitor contract: happens-before
+// (def. 8) and data races (defs. 9/10) are pure functions of the event
+// stream (threads, locations, kinds, and RA reads-from timestamps), so
+// monitor-versus-race.Races agreement is meaningful on any stream; the
+// differential tests check it both on schedgen streams and on genuine
+// machine traces from the exhaustive explorer.
+package schedgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"localdrf/internal/monitor"
+	"localdrf/internal/prog"
+	"localdrf/internal/ts"
+)
+
+// Policy selects which runnable thread performs the next event.
+type Policy int
+
+const (
+	// Fair picks uniformly among runnable threads.
+	Fair Policy = iota
+	// Unfair weights low-indexed threads geometrically (thread 0 runs
+	// about twice as often as thread 1, and so on) — starvation-shaped
+	// schedules.
+	Unfair
+	// Bursty keeps scheduling the same thread for geometrically
+	// distributed burst lengths (mean ≈ 64 events) before switching —
+	// the cache-friendly shape real schedulers produce, and the one the
+	// monitor's same-thread fast path is built for.
+	Bursty
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Unfair:
+		return "unfair"
+	case Bursty:
+		return "bursty"
+	default:
+		return "fair"
+	}
+}
+
+// ParsePolicy parses "fair", "unfair" or "bursty".
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "fair":
+		return Fair, nil
+	case "unfair":
+		return Unfair, nil
+	case "bursty":
+		return Bursty, nil
+	}
+	return Fair, fmt.Errorf("schedgen: unknown policy %q (want fair|unfair|bursty)", s)
+}
+
+// Options configures schedule generation.
+type Options struct {
+	Policy Policy
+	// Seed makes schedules reproducible: equal (program, Options) yield
+	// equal streams.
+	Seed int64
+	// MaxEvents stops the schedule after this many events even if the
+	// program has not halted (0 means run to completion — only sensible
+	// for terminating programs).
+	MaxEvents int
+	// StaleReadPct is the percentage of nonatomic and release-acquire
+	// reads that return a random non-latest history entry (a weak read in
+	// the def. 6 sense) instead of the latest write. Stale RA reads
+	// exercise the monitor's per-message reads-from joins.
+	StaleReadPct int
+	// HistoryDepth bounds how many recent writes per location are kept
+	// for stale reads (0 means 4). Memory stays O(locations × depth)
+	// regardless of schedule length.
+	HistoryDepth int
+	// BurstMean is the mean burst length for the Bursty policy (0 means
+	// 64).
+	BurstMean int
+}
+
+// cell is the bounded write history of one location: a ring of the most
+// recent writes, each with a per-location integer timestamp. Index 0 of a
+// fresh cell is the initial write (value 0 at time 0, §3.1).
+type cell struct {
+	times [8]int64
+	vals  [8]prog.Val
+	n     int   // live entries (≤ depth)
+	head  int   // ring index of the latest write
+	next  int64 // timestamp for the next write
+	depth int
+}
+
+func newCell(depth int) cell {
+	c := cell{n: 1, next: 1, depth: depth}
+	return c // entry 0: time 0, value 0
+}
+
+func (c *cell) push(v prog.Val) int64 {
+	t := c.next
+	c.next++
+	c.head = (c.head + 1) % c.depth
+	c.times[c.head] = t
+	c.vals[c.head] = v
+	if c.n < c.depth {
+		c.n++
+	}
+	return t
+}
+
+// latest returns the newest entry.
+func (c *cell) latest() (int64, prog.Val) { return c.times[c.head], c.vals[c.head] }
+
+// at returns the entry i steps behind the newest (0 ≤ i < n).
+func (c *cell) at(i int) (int64, prog.Val) {
+	j := (c.head - i%c.n + c.depth) % c.depth
+	return c.times[j], c.vals[j]
+}
+
+// Generate executes p under the given options and appends the resulting
+// event stream to dst (pass nil to allocate). It returns the stream and
+// whether the program ran to completion before MaxEvents.
+func Generate(p *prog.Program, tb *monitor.Table, opt Options, dst []monitor.Event) ([]monitor.Event, bool, error) {
+	depth := opt.HistoryDepth
+	if depth <= 0 {
+		depth = 4
+	}
+	if depth > 8 {
+		depth = 8
+	}
+	burst := opt.BurstMean
+	if burst <= 0 {
+		burst = 64
+	}
+	r := rand.New(rand.NewSource(opt.Seed))
+
+	// Dense location state, indexed like the monitor's events.
+	decls := tb.Decls()
+	cells := make([]cell, len(decls)) // NA and RA histories
+	atVals := make([]prog.Val, len(decls))
+	for i := range cells {
+		cells[i] = newCell(depth)
+	}
+
+	// Mutable thread states.
+	states := make([]prog.ThreadState, len(p.Threads))
+	for i := range states {
+		states[i] = prog.NewThreadState()
+	}
+	runnable := make([]int, 0, len(p.Threads))
+	for i := range p.Threads {
+		runnable = append(runnable, i)
+	}
+
+	drop := func(t int) {
+		for i, u := range runnable {
+			if u == t {
+				runnable = append(runnable[:i], runnable[i+1:]...)
+				return
+			}
+		}
+	}
+
+	// pick chooses the next thread to run under the policy.
+	cur := -1 // current bursty thread
+	pick := func() int {
+		switch opt.Policy {
+		case Unfair:
+			// Geometric preference for low indices: walk the runnable
+			// list, taking each with probability 1/2.
+			for _, t := range runnable {
+				if r.Intn(2) == 0 {
+					return t
+				}
+			}
+			return runnable[len(runnable)-1]
+		case Bursty:
+			if cur >= 0 && r.Intn(burst) != 0 {
+				for _, t := range runnable {
+					if t == cur {
+						return t
+					}
+				}
+			}
+			cur = runnable[r.Intn(len(runnable))]
+			return cur
+		default:
+			return runnable[r.Intn(len(runnable))]
+		}
+	}
+
+	for len(runnable) > 0 {
+		if opt.MaxEvents > 0 && len(dst) >= opt.MaxEvents {
+			return dst, false, nil
+		}
+		t := pick()
+		st := &states[t]
+		code := p.Threads[t].Code
+		pend, err := prog.StepSilentInPlace(code, st, prog.MaxSilentStepsHint)
+		if err != nil {
+			return dst, false, fmt.Errorf("schedgen: thread %d: %w", t, err)
+		}
+		if pend.Kind == prog.OpHalted {
+			drop(t)
+			if cur == t {
+				cur = -1
+			}
+			continue
+		}
+		loc, ok := tb.LocIndex(pend.Loc)
+		if !ok {
+			return dst, false, fmt.Errorf("schedgen: undeclared location %q", pend.Loc)
+		}
+		ev := monitor.Event{Thread: int32(t), Loc: loc}
+		kind := decls[loc].Kind
+		if pend.Kind == prog.OpRead {
+			var v prog.Val
+			switch kind {
+			case prog.Atomic:
+				ev.Kind = monitor.ReadAT
+				v = atVals[loc]
+			case prog.ReleaseAcquire, prog.NonAtomic:
+				c := &cells[loc]
+				tm, val := c.latest()
+				if opt.StaleReadPct > 0 && c.n > 1 && r.Intn(100) < opt.StaleReadPct {
+					tm, val = c.at(1 + r.Intn(c.n-1))
+				}
+				v = val
+				if kind == prog.ReleaseAcquire {
+					ev.Kind = monitor.ReadRA
+					ev.Time = ts.FromInt(tm)
+				} else {
+					ev.Kind = monitor.ReadNA
+					ev.Time = ts.FromInt(tm)
+				}
+			}
+			st.Regs[pend.Dst] = v
+			st.PC++
+		} else {
+			switch kind {
+			case prog.Atomic:
+				ev.Kind = monitor.WriteAT
+				atVals[loc] = pend.Val
+			case prog.ReleaseAcquire:
+				ev.Kind = monitor.WriteRA
+				ev.Time = ts.FromInt(cells[loc].push(pend.Val))
+			default:
+				ev.Kind = monitor.WriteNA
+				ev.Time = ts.FromInt(cells[loc].push(pend.Val))
+			}
+			st.PC++
+		}
+		dst = append(dst, ev)
+	}
+	return dst, true, nil
+}

@@ -1,0 +1,187 @@
+package schedgen
+
+import (
+	"testing"
+
+	"localdrf/internal/monitor"
+	"localdrf/internal/progsynth"
+	"localdrf/internal/race"
+)
+
+func smallCfg() progsynth.ScaledConfig {
+	return progsynth.ScaledConfig{
+		Threads:    4,
+		Iters:      50,
+		OpsPerIter: 4,
+		NonAtomic:  6,
+		Atomics:    2,
+		RAs:        2,
+		WritePct:   40,
+		SyncPct:    25,
+		MaxConst:   4,
+	}
+}
+
+// TestDeterministic: equal (program, options) produce equal streams.
+func TestDeterministic(t *testing.T) {
+	p := progsynth.Scaled(1, smallCfg())
+	tb := monitor.NewTable(p)
+	for _, pol := range []Policy{Fair, Unfair, Bursty} {
+		opt := Options{Policy: pol, Seed: 42, StaleReadPct: 20}
+		a, doneA, err := Generate(p, tb, opt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, doneB, err := Generate(p, tb, opt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doneA != doneB || len(a) != len(b) {
+			t.Fatalf("%v: nondeterministic shape", pol)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: streams diverge at event %d: %v vs %v", pol, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestRunsToCompletion: a terminating program generates exactly
+// Threads × Iters × OpsPerIter events and reports completion.
+func TestRunsToCompletion(t *testing.T) {
+	cfg := smallCfg()
+	p := progsynth.Scaled(2, cfg)
+	tb := monitor.NewTable(p)
+	events, done, err := Generate(p, tb, Options{Policy: Fair, Seed: 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("terminating program did not complete")
+	}
+	want := cfg.Threads * cfg.Iters * cfg.OpsPerIter
+	if len(events) != want {
+		t.Fatalf("got %d events, want %d", len(events), want)
+	}
+}
+
+// TestMaxEventsStops: MaxEvents truncates the schedule.
+func TestMaxEventsStops(t *testing.T) {
+	p := progsynth.Scaled(3, smallCfg())
+	tb := monitor.NewTable(p)
+	events, done, err := Generate(p, tb, Options{Policy: Bursty, Seed: 9, MaxEvents: 123}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done || len(events) != 123 {
+		t.Fatalf("got %d events (done=%v), want 123 truncated", len(events), done)
+	}
+}
+
+// TestMonitorMatchesOracleOnStreams closes the loop on schedgen's own
+// output: for short streams under every policy, the streaming monitor and
+// the exhaustive race.Races oracle (run on the synthesised bare
+// transitions) must agree exactly. Longer streams are covered by the
+// monitor's internal consistency tests; the oracle is O(n³).
+func TestMonitorMatchesOracleOnStreams(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		p := progsynth.Scaled(seed, smallCfg())
+		tb := monitor.NewTable(p)
+		for _, pol := range []Policy{Fair, Unfair, Bursty} {
+			events, _, err := Generate(p, tb, Options{
+				Policy: pol, Seed: seed * 31, MaxEvents: 400, StaleReadPct: 25,
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := monitor.New(tb.Threads(), tb.Decls())
+			for _, e := range events {
+				m.Step(e)
+			}
+			got := m.Reports()
+			want := race.Races(monitor.Transitions(events, tb.Decls()))
+			if len(got) != len(want) {
+				t.Fatalf("seed %d %v: monitor %v, oracle %v", seed, pol, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d %v: monitor %v, oracle %v", seed, pol, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBurstiness sanity-checks that the bursty policy actually produces
+// long same-thread runs compared to fair scheduling.
+func TestBurstiness(t *testing.T) {
+	p := progsynth.Scaled(4, smallCfg())
+	tb := monitor.NewTable(p)
+	switches := func(events []monitor.Event) int {
+		n := 0
+		for i := 1; i < len(events); i++ {
+			if events[i].Thread != events[i-1].Thread {
+				n++
+			}
+		}
+		return n
+	}
+	fair, _, err := Generate(p, tb, Options{Policy: Fair, Seed: 5, MaxEvents: 3000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty, _, err := Generate(p, tb, Options{Policy: Bursty, Seed: 5, MaxEvents: 3000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if switches(bursty)*4 > switches(fair) {
+		t.Fatalf("bursty not bursty enough: %d switches vs fair %d", switches(bursty), switches(fair))
+	}
+}
+
+// TestStaleReadsAppear: with StaleReadPct set, some reads return
+// non-latest entries (observable as RA reads of non-latest timestamps).
+func TestStaleReadsAppear(t *testing.T) {
+	cfg := smallCfg()
+	cfg.SyncPct = 60 // plenty of RA traffic
+	p := progsynth.Scaled(6, cfg)
+	tb := monitor.NewTable(p)
+	events, _, err := Generate(p, tb, Options{Policy: Fair, Seed: 11, MaxEvents: 5000, StaleReadPct: 40}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastWrite := map[int32]monitor.Event{}
+	stale := 0
+	for _, e := range events {
+		switch e.Kind {
+		case monitor.WriteRA:
+			lastWrite[e.Loc] = e
+		case monitor.ReadRA:
+			if w, ok := lastWrite[e.Loc]; ok && !e.Time.Equal(w.Time) {
+				stale++
+			}
+		}
+	}
+	if stale == 0 {
+		t.Fatal("no stale RA reads observed")
+	}
+}
+
+// BenchmarkGenerateBursty measures schedule generation throughput (the
+// producer side of the racemon pipeline).
+func BenchmarkGenerateBursty(b *testing.B) {
+	cfg := progsynth.ScaledDefaults()
+	cfg.Iters = cfg.IterationsFor(1_000_000)
+	p := progsynth.Scaled(1, cfg)
+	tb := monitor.NewTable(p)
+	var buf []monitor.Event
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, _, err = Generate(p, tb, Options{Policy: Bursty, Seed: 3, MaxEvents: 1_000_000, StaleReadPct: 10}, buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"localdrf/internal/core"
 	"localdrf/internal/explore"
 	"localdrf/internal/litmus"
+	"localdrf/internal/monitor"
 	"localdrf/internal/prog"
 	"localdrf/internal/race"
 )
@@ -156,6 +157,34 @@ func LStable(p *Program, m *Machine, L LocSet) (bool, error) {
 // until a data race on L occurs.
 func CheckLocalDRFFrom(m *Machine, L LocSet) error {
 	return race.CheckLocalDRFFrom(m, L, 8_000_000)
+}
+
+// ---- Traces and streaming monitoring ----
+
+// Trace is a finite sequence of machine transitions from the initial
+// state (def. 5).
+type Trace = explore.Trace
+
+// Traces enumerates every complete trace of p (all traces, or only the
+// sequentially consistent ones with scOnly), feeding each to visit;
+// enumeration stops early when visit returns false. Exhaustive — litmus
+// scale only; for long single schedules use the streaming layer below.
+func Traces(p *Program, scOnly bool, visit func(Trace) bool) error {
+	return explore.Traces(p, explore.Options{SCOnly: scOnly}, 0, visit)
+}
+
+// TraceRaces returns the distinct data races of one trace (defs. 8–10),
+// deduplicated by location, thread pair and access kinds — the
+// exhaustive per-trace oracle.
+func TraceRaces(tr Trace) []RaceReport { return race.Races(tr) }
+
+// MonitorTrace runs the online happens-before race monitor
+// (internal/monitor: vector clocks, O(threads) per event worst case)
+// over one trace of p and returns the same report set as TraceRaces —
+// verified identical on every trace by the differential test suite, but
+// in a single streaming pass that scales to millions of events.
+func MonitorTrace(p *Program, tr Trace) ([]RaceReport, error) {
+	return monitor.NewTable(p).Races(tr)
 }
 
 // ---- Litmus catalogue ----

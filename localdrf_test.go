@@ -100,6 +100,36 @@ func TestPublicAPIRaces(t *testing.T) {
 	}
 }
 
+func TestPublicAPITraceMonitor(t *testing.T) {
+	p := mpProgram()
+	checked := 0
+	err := Traces(p, false, func(tr Trace) bool {
+		want := TraceRaces(tr)
+		got, err := MonitorTrace(p, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("monitor %v != oracle %v on trace %v", got, want, tr)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("monitor %v != oracle %v on trace %v", got, want, tr)
+			}
+		}
+		if len(want) > 0 {
+			checked++
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("unguarded MP never raced; facade test is vacuous")
+	}
+}
+
 func TestPublicAPIGlobalDRF(t *testing.T) {
 	p := NewProgram("seq").
 		Vars("x").

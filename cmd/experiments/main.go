@@ -407,6 +407,14 @@ type benchResult struct {
 	// EventsPerSec is the streaming-throughput form of the measurement,
 	// reported by the monitor benches (events processed per second).
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// RAPeakLive is the high-water mark of live RA messages during the
+	// run — the windowed GC's retention bound (monitor benches only).
+	RAPeakLive int `json:"ra_peak_live,omitempty"`
+	// RACollected is how many dead RA messages the windowed GC reclaimed.
+	RACollected uint64 `json:"ra_collected,omitempty"`
+	// AllocsPerEvent is the heap allocation rate of the monitoring pass
+	// (monitor benches only; epochs keep the common case at ≈0).
+	AllocsPerEvent float64 `json:"allocs_per_event,omitempty"`
 }
 
 // timeIt runs fn repeatedly for at least ~200ms (and at least 3 times)
@@ -506,8 +514,10 @@ func writeBenchJSON(path string, results []benchResult) error {
 // benchMonitor times the streaming race monitor on the workload the
 // acceptance bar names: a 10⁶-event bursty schedule of a scaled random
 // program, monitored single-core in one pass. It also records schedule
-// generation and (on multi-core hosts) the sharded-by-location mode, and
-// writes the measurements to -monitor-json.
+// generation, the fused generate-and-monitor stream mode, and the
+// sharded-by-location mode; the online pass additionally reports the
+// windowed GC's peak live RA-message count and the monitoring
+// allocations per event. Everything is written to -monitor-json.
 func benchMonitor() error {
 	const nevents = 1_000_000
 	cfg := progsynth.ScaledDefaults()
@@ -535,6 +545,30 @@ func benchMonitor() error {
 	}); err != nil {
 		return err
 	}
+	online := len(results) - 1
+	// One dedicated pass for the allocation rate (the timed loops above
+	// interleave with harness bookkeeping).
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	mon.Reset()
+	for _, e := range stream {
+		mon.Step(e)
+	}
+	runtime.ReadMemStats(&after)
+	st := mon.RAStats()
+	results[online].RAPeakLive = st.Peak
+	results[online].RACollected = st.Collected
+	results[online].AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(nevents)
+	if err := timeIt("monitor/stream-bursty-1M", &results, func() error {
+		m := tb.NewMonitor()
+		_, err := schedgen.Stream(p, tb, opt, func(e monitor.Event) error {
+			m.Step(e)
+			return nil
+		})
+		return err
+	}); err != nil {
+		return err
+	}
 	if err := timeIt("monitor/sharded4-bursty-1M", &results, func() error {
 		_, err := monitor.ShardedRaces(tb.Threads(), tb.Decls(), stream, 4, 0)
 		return err
@@ -544,8 +578,9 @@ func benchMonitor() error {
 	for i := range results {
 		results[i].EventsPerSec = float64(nevents) / (results[i].NsPerOp / 1e9)
 	}
-	fmt.Printf("monitor throughput: %.1fM events/sec single-core (%d distinct races on the schedule)\n",
-		results[1].EventsPerSec/1e6, mon.RaceCount())
+	fmt.Printf("monitor throughput: %.1fM events/sec single-core (%d distinct races; RA live peak %d, %d collected, %.3f allocs/event)\n",
+		results[online].EventsPerSec/1e6, mon.RaceCount(), st.Peak, st.Collected,
+		results[online].AllocsPerEvent)
 	return writeBenchJSON(*monitorJSON, results)
 }
 

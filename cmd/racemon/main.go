@@ -1,51 +1,87 @@
-// Command racemon generates a long concrete schedule of a scaled random
-// program and runs the online happens-before race monitor over it — the
-// million-event workload the exhaustive checkers cannot reach.
+// Command racemon runs the online happens-before race monitor over a
+// long concrete schedule — the million-event workload the exhaustive
+// checkers cannot reach. The schedule is either generated in-process
+// (from a scaled random program) or ingested from a raw trace in the
+// wire format of internal/monitor.
 //
 // Usage:
 //
 //	racemon [-events N] [-threads K] [-policy fair|unfair|bursty]
 //	        [-seed S] [-shards M] [-locs L] [-atomics A] [-ra R]
-//	        [-stale PCT] [-json]
+//	        [-stale PCT] [-json] [-stream] [-trace FILE|-] [-emit FILE]
+//	        [-format binary|text] [-golden FILE] [-update-golden]
 //
-// The program is progsynth.Scaled(seed) sized so the schedule reaches the
-// requested event count; the schedule is generated by internal/schedgen
-// under the chosen policy; the monitor (internal/monitor) consumes it in
-// one pass, O(threads) per event worst case, reporting every distinct
-// data race (def. 9/10 pairs, deduplicated by location, thread pair and
-// access kinds). With -shards > 1 the nonatomic locations are partitioned
-// across parallel monitor instances (identical reports at any shard
-// count). -json emits a machine-readable summary including monitoring
-// events/sec.
+// Modes:
+//
+//	(default)  generate the schedule into memory, then monitor it —
+//	           optionally sharded-by-location (-shards M) across
+//	           parallel monitor instances (identical reports at any
+//	           shard count).
+//	-stream    generate and monitor in one pass, never materialising
+//	           the event slice: memory stays O(locations + threads²)
+//	           plus the windowed live RA-message set, regardless of
+//	           -events. Requires -shards 1.
+//	-trace F   ingest a raw trace (binary or text wire format, sniffed
+//	           automatically) from file F, or from stdin with "-", and
+//	           monitor it in one bounded-memory pass. Generation flags
+//	           are ignored.
+//	-emit F    generate the schedule and write it to F in the wire
+//	           format (-format binary|text) without monitoring — the
+//	           producer side of -trace.
+//
+// Examples:
+//
+//	racemon -stream -events 5000000 -json
+//	racemon -emit trace.bin -events 100000 && racemon -trace trace.bin
+//	racemon -emit - -format text -events 50 -threads 2 | head
+//	racemon -trace - < trace.bin
+//
+// The monitor reports every distinct data race (def. 9/10 pairs,
+// deduplicated by location, thread pair and access kinds). -json emits a
+// machine-readable summary including monitoring events/sec and the RA
+// message retention stats (live, peak, collected) of the windowed GC.
+// -golden FILE compares the deterministic report set against a committed
+// golden JSON and exits nonzero on any difference (CI uses this);
+// -update-golden rewrites FILE instead.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"reflect"
 	"time"
 
 	"localdrf/internal/monitor"
+	"localdrf/internal/prog"
 	"localdrf/internal/progsynth"
 	"localdrf/internal/race"
 	"localdrf/internal/schedgen"
 )
 
 type result struct {
-	Program      string        `json:"program"`
-	Threads      int           `json:"threads"`
-	Policy       string        `json:"policy"`
-	Seed         int64         `json:"seed"`
-	Events       int           `json:"events"`
-	Completed    bool          `json:"completed"`
-	Shards       int           `json:"shards"`
-	GenNs        int64         `json:"gen_ns"`
-	MonitorNs    int64         `json:"monitor_ns"`
-	EventsPerSec float64       `json:"events_per_sec"`
-	RaceCount    int           `json:"race_count"`
-	Races        []raceJSON    `json:"races,omitempty"`
-	Locations    locationsJSON `json:"locations"`
+	Program      string  `json:"program"`
+	Mode         string  `json:"mode"`
+	Threads      int     `json:"threads"`
+	Policy       string  `json:"policy,omitempty"`
+	Seed         int64   `json:"seed"`
+	Events       int     `json:"events"`
+	Completed    bool    `json:"completed"`
+	Shards       int     `json:"shards"`
+	GenNs        int64   `json:"gen_ns"`
+	MonitorNs    int64   `json:"monitor_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	RaceCount    int     `json:"race_count"`
+	// The RA retention stats are omitted when no single monitor produced
+	// them (sharded runs keep their monitors internal) or when they are
+	// genuinely zero.
+	RALive      int           `json:"ra_live,omitempty"`
+	RALivePeak  int           `json:"ra_live_peak,omitempty"`
+	RACollected uint64        `json:"ra_collected,omitempty"`
+	Races       []raceJSON    `json:"races,omitempty"`
+	Locations   locationsJSON `json:"locations"`
 }
 
 type raceJSON struct {
@@ -62,6 +98,19 @@ type locationsJSON struct {
 	RA        int `json:"ra"`
 }
 
+// goldenDoc is the deterministic subset of the JSON summary that the
+// -golden flag compares (timings and throughput vary run to run; the
+// report set must not).
+type goldenDoc struct {
+	RaceCount int        `json:"race_count"`
+	Races     []raceJSON `json:"races"`
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "racemon: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
 	events := flag.Int("events", 1_000_000, "schedule length in events")
 	threads := flag.Int("threads", 8, "thread count of the generated program")
@@ -74,9 +123,20 @@ func main() {
 	stale := flag.Int("stale", 10, "percent of reads returning stale values")
 	asJSON := flag.Bool("json", false, "emit a JSON summary")
 	maxRaces := flag.Int("max-races", 20, "race reports listed in the output (0 = all)")
+	stream := flag.Bool("stream", false, "generate and monitor in one pass (no materialised schedule)")
+	traceFile := flag.String("trace", "", "monitor a wire-format trace from FILE ('-' = stdin) instead of generating")
+	emitFile := flag.String("emit", "", "generate and write the wire-format trace to FILE ('-' = stdout) instead of monitoring")
+	formatS := flag.String("format", "binary", "wire format for -emit: binary|text")
+	golden := flag.String("golden", "", "compare the deterministic report set against this golden JSON file")
+	updateGolden := flag.Bool("update-golden", false, "rewrite the -golden file instead of comparing")
 	flag.Parse()
 
 	pol, err := schedgen.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	format, err := monitor.ParseFormat(*formatS)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -85,88 +145,325 @@ func main() {
 		fmt.Fprintln(os.Stderr, "racemon: -events, -threads, -locs and -shards must be ≥ 1 (-atomics/-ra ≥ 0)")
 		os.Exit(2)
 	}
-
-	cfg := progsynth.ScaledDefaults()
-	cfg.Threads = *threads
-	cfg.NonAtomic = *locs
-	cfg.Atomics = *atomics
-	cfg.RAs = *ra
-	// Size the loop counts so the program cannot halt before the schedule
-	// reaches the requested length.
-	cfg.Iters = cfg.IterationsFor(*events)
-
-	p := progsynth.Scaled(*seed, cfg)
-	tb := monitor.NewTable(p)
-
-	genStart := time.Now()
-	stream, completed, err := schedgen.Generate(p, tb, schedgen.Options{
-		Policy:       pol,
-		Seed:         *seed,
-		MaxEvents:    *events,
-		StaleReadPct: *stale,
-	}, make([]monitor.Event, 0, *events))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "racemon: generate: %v\n", err)
-		os.Exit(1)
+	modeFlags := 0
+	for _, on := range []bool{*stream, *traceFile != "", *emitFile != ""} {
+		if on {
+			modeFlags++
+		}
 	}
-	genNs := time.Since(genStart).Nanoseconds()
-
-	monStart := time.Now()
-	reports, err := monitor.ShardedRaces(tb.Threads(), tb.Decls(), stream, *shards, 0)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "racemon: monitor: %v\n", err)
-		os.Exit(1)
+	if modeFlags > 1 {
+		fmt.Fprintln(os.Stderr, "racemon: -stream, -trace and -emit are mutually exclusive")
+		os.Exit(2)
 	}
-	monNs := time.Since(monStart).Nanoseconds()
-
-	res := result{
-		Program:      p.Name,
-		Threads:      tb.Threads(),
-		Policy:       pol.String(),
-		Seed:         *seed,
-		Events:       len(stream),
-		Completed:    completed,
-		Shards:       *shards,
-		GenNs:        genNs,
-		MonitorNs:    monNs,
-		EventsPerSec: float64(len(stream)) / (float64(monNs) / 1e9),
-		RaceCount:    len(reports),
-		Locations:    locationsJSON{NonAtomic: *locs, Atomic: *atomics, RA: *ra},
+	if (*stream || *traceFile != "") && *shards != 1 {
+		fmt.Fprintln(os.Stderr, "racemon: -stream/-trace monitor in a single pass; -shards must be 1")
+		os.Exit(2)
 	}
+	if *updateGolden && *golden == "" {
+		fmt.Fprintln(os.Stderr, "racemon: -update-golden needs -golden FILE")
+		os.Exit(2)
+	}
+	if *golden != "" && *emitFile != "" {
+		fmt.Fprintln(os.Stderr, "racemon: -emit does not monitor, so there is no report set for -golden")
+		os.Exit(2)
+	}
+
+	gp := genParams{
+		policy: pol, seed: *seed, events: *events, threads: *threads,
+		locs: *locs, atomics: *atomics, ra: *ra, stale: *stale,
+	}
+	var res result
+	var reports []race.Report
+	switch {
+	case *traceFile != "":
+		res, reports = runTrace(*traceFile)
+	case *emitFile != "":
+		res = runEmit(*emitFile, format, gp)
+	default:
+		res, reports = runGenerated(gp, *shards, *stream)
+	}
+
 	listed := reports
 	if *maxRaces > 0 && len(listed) > *maxRaces {
 		listed = listed[:*maxRaces]
 	}
 	for _, r := range listed {
-		res.Races = append(res.Races, raceJSON{
-			Loc: string(r.Loc), ThreadI: r.ThreadI, ThreadJ: r.ThreadJ,
-			OpI: op(r.WriteI), OpJ: op(r.WriteJ),
-		})
+		res.Races = append(res.Races, toJSON(r))
 	}
 
+	if *golden != "" {
+		if err := checkGolden(*golden, *updateGolden, reports); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	// When the trace itself goes to stdout (-emit -), the summary must
+	// not be interleaved with it.
+	out := os.Stdout
+	if *emitFile == "-" {
+		out = os.Stderr
+	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		return
 	}
 
-	fmt.Printf("program   %s  (%d threads; %d nonatomic / %d atomic / %d ra locations)\n",
-		res.Program, res.Threads, *locs, *atomics, *ra)
-	fmt.Printf("schedule  %d events, policy=%s, seed=%d, stale=%d%%\n",
-		res.Events, res.Policy, res.Seed, *stale)
-	fmt.Printf("generate  %8.1f ms\n", float64(genNs)/1e6)
-	fmt.Printf("monitor   %8.1f ms  (%.1fM events/sec, %d shard(s))\n",
-		float64(monNs)/1e6, res.EventsPerSec/1e6, *shards)
-	fmt.Printf("races     %d distinct\n", res.RaceCount)
+	fmt.Fprintf(out, "program   %s  (%d threads; %d nonatomic / %d atomic / %d ra locations)\n",
+		res.Program, res.Threads, res.Locations.NonAtomic, res.Locations.Atomic, res.Locations.RA)
+	if res.Mode == "emit" {
+		fmt.Fprintf(out, "emitted   %d events (%s wire format)\n", res.Events, format)
+		return
+	}
+	if res.Policy != "" {
+		fmt.Fprintf(out, "schedule  %d events, policy=%s, seed=%d, stale=%d%%\n",
+			res.Events, res.Policy, res.Seed, *stale)
+	} else {
+		fmt.Fprintf(out, "trace     %d events\n", res.Events)
+	}
+	if res.GenNs > 0 {
+		fmt.Fprintf(out, "generate  %8.1f ms\n", float64(res.GenNs)/1e6)
+	}
+	fmt.Fprintf(out, "monitor   %8.1f ms  (%.1fM events/sec, %d shard(s), mode=%s)\n",
+		float64(res.MonitorNs)/1e6, res.EventsPerSec/1e6, res.Shards, res.Mode)
+	if res.Shards == 1 {
+		// Sharded runs keep their monitors internal; no retention stats.
+		fmt.Fprintf(out, "ra msgs   live=%d peak=%d collected=%d (windowed GC)\n",
+			res.RALive, res.RALivePeak, res.RACollected)
+	}
+	fmt.Fprintf(out, "races     %d distinct\n", res.RaceCount)
 	for _, r := range listed {
-		fmt.Printf("    %s\n", raceString(r))
+		fmt.Fprintf(out, "    %s\n", r)
 	}
 	if len(listed) < len(reports) {
-		fmt.Printf("    … and %d more (raise -max-races to list)\n", len(reports)-len(listed))
+		fmt.Fprintf(out, "    … and %d more (raise -max-races to list)\n", len(reports)-len(listed))
+	}
+}
+
+// genParams bundles the generated-schedule knobs, so the mode runners
+// cannot silently transpose adjacent int arguments.
+type genParams struct {
+	policy  schedgen.Policy
+	seed    int64
+	events  int
+	threads int
+	locs    int
+	atomics int
+	ra      int
+	stale   int
+}
+
+// program builds the generator-side program and table shared by the
+// generated-schedule modes.
+func (gp genParams) program() (*monitor.Table, string) {
+	cfg := progsynth.ScaledDefaults()
+	cfg.Threads = gp.threads
+	cfg.NonAtomic = gp.locs
+	cfg.Atomics = gp.atomics
+	cfg.RAs = gp.ra
+	// Size the loop counts so the program cannot halt before the schedule
+	// reaches the requested length.
+	cfg.Iters = cfg.IterationsFor(gp.events)
+	p := progsynth.Scaled(gp.seed, cfg)
+	return monitor.NewTable(p), p.Name
+}
+
+// options is the schedgen configuration of the parameters.
+func (gp genParams) options() schedgen.Options {
+	return schedgen.Options{Policy: gp.policy, Seed: gp.seed, MaxEvents: gp.events, StaleReadPct: gp.stale}
+}
+
+// runGenerated is the in-process generation path: the batch (and
+// optionally sharded) mode, or -stream's single fused pass.
+func runGenerated(gp genParams, shards int, stream bool) (result, []race.Report) {
+	tb, name := gp.program()
+	opt := gp.options()
+	res := result{
+		Program: name, Threads: tb.Threads(), Policy: gp.policy.String(), Seed: gp.seed,
+		Shards: shards, Locations: locationsJSON{NonAtomic: gp.locs, Atomic: gp.atomics, RA: gp.ra},
+	}
+
+	if stream {
+		res.Mode = "stream"
+		m := monitor.New(tb.Threads(), tb.Decls())
+		start := time.Now()
+		completed, err := schedgen.Stream(tb.Program(), tb, opt, func(e monitor.Event) error {
+			m.Step(e)
+			return nil
+		})
+		if err != nil {
+			fatalf("stream: %v", err)
+		}
+		res.MonitorNs = time.Since(start).Nanoseconds()
+		res.Completed = completed
+		res.Events = int(m.Events())
+		fill(&res, m)
+		return res, m.Reports()
+	}
+
+	res.Mode = "batch"
+	genStart := time.Now()
+	streamEv, completed, err := schedgen.Generate(tb.Program(), tb, opt, make([]monitor.Event, 0, gp.events))
+	if err != nil {
+		fatalf("generate: %v", err)
+	}
+	res.GenNs = time.Since(genStart).Nanoseconds()
+	res.Completed = completed
+	res.Events = len(streamEv)
+
+	monStart := time.Now()
+	var reports []race.Report
+	if shards == 1 {
+		// Run the monitor directly so the RA retention stats are visible.
+		m := monitor.New(tb.Threads(), tb.Decls())
+		for _, e := range streamEv {
+			m.Step(e)
+		}
+		reports = m.Reports()
+		fill(&res, m)
+	} else {
+		reports, err = monitor.ShardedRaces(tb.Threads(), tb.Decls(), streamEv, shards, 0)
+		if err != nil {
+			fatalf("monitor: %v", err)
+		}
+	}
+	res.MonitorNs = time.Since(monStart).Nanoseconds()
+	res.EventsPerSec = float64(res.Events) / (float64(res.MonitorNs) / 1e9)
+	res.RaceCount = len(reports)
+	return res, reports
+}
+
+// runTrace ingests a wire-format trace from a file or stdin.
+func runTrace(path string) (result, []race.Report) {
+	var rd io.Reader = os.Stdin
+	name := "stdin"
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		rd, name = f, path
+	}
+	start := time.Now()
+	tr, err := monitor.NewTraceReader(rd)
+	if err != nil {
+		fatalf("trace: %v", err)
+	}
+	hdr := tr.Header()
+	m := tr.NewMonitor()
+	if err := m.Feed(tr); err != nil {
+		fatalf("trace: %v", err)
+	}
+	res := result{
+		Program: "trace:" + name, Mode: "trace", Threads: hdr.Threads,
+		Completed: true, Shards: 1,
+		MonitorNs: time.Since(start).Nanoseconds(),
+		Events:    int(m.Events()),
+	}
+	for _, d := range hdr.Decls {
+		switch d.Kind {
+		case prog.Atomic:
+			res.Locations.Atomic++
+		case prog.ReleaseAcquire:
+			res.Locations.RA++
+		default:
+			res.Locations.NonAtomic++
+		}
+	}
+	fill(&res, m)
+	return res, m.Reports()
+}
+
+// runEmit generates a schedule straight into the wire format.
+func runEmit(path string, format monitor.Format, gp genParams) result {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatalf("%v", err)
+			}
+		}()
+		w = f
+	}
+	tb, name := gp.program()
+	start := time.Now()
+	n, completed, err := schedgen.Encode(w, tb.Program(), tb, gp.options(), format)
+	if err != nil {
+		fatalf("emit: %v", err)
+	}
+	return result{
+		Program: name, Mode: "emit", Threads: tb.Threads(), Policy: gp.policy.String(),
+		Seed: gp.seed, Events: n, Completed: completed, Shards: 1,
+		GenNs:     time.Since(start).Nanoseconds(),
+		Locations: locationsJSON{NonAtomic: gp.locs, Atomic: gp.atomics, RA: gp.ra},
+	}
+}
+
+// fill copies per-monitor telemetry into the summary.
+func fill(res *result, m *monitor.Monitor) {
+	st := m.RAStats()
+	res.RALive, res.RALivePeak, res.RACollected = st.Live, st.Peak, st.Collected
+	if res.MonitorNs > 0 {
+		res.EventsPerSec = float64(res.Events) / (float64(res.MonitorNs) / 1e9)
+	}
+	res.RaceCount = m.RaceCount()
+}
+
+// checkGolden compares (or, with update, rewrites) the deterministic
+// report set against a committed golden file.
+func checkGolden(path string, update bool, reports []race.Report) error {
+	got := goldenDoc{RaceCount: len(reports), Races: []raceJSON{}}
+	for _, r := range reports {
+		got.Races = append(got.Races, toJSON(r))
+	}
+	if update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("golden: %w", err)
+	}
+	var want goldenDoc
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("golden %s: %w", path, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		diff := "sets differ"
+		for i := 0; i < len(got.Races) || i < len(want.Races); i++ {
+			switch {
+			case i >= len(got.Races):
+				diff = fmt.Sprintf("missing %+v", want.Races[i])
+			case i >= len(want.Races):
+				diff = fmt.Sprintf("unexpected %+v", got.Races[i])
+			case got.Races[i] != want.Races[i]:
+				diff = fmt.Sprintf("got %+v, want %+v", got.Races[i], want.Races[i])
+			default:
+				continue
+			}
+			break
+		}
+		return fmt.Errorf("report set differs from golden %s: got %d races, want %d; first difference: %s (regenerate with -update-golden if the change is intended)",
+			path, got.RaceCount, want.RaceCount, diff)
+	}
+	return nil
+}
+
+func toJSON(r race.Report) raceJSON {
+	return raceJSON{
+		Loc: string(r.Loc), ThreadI: r.ThreadI, ThreadJ: r.ThreadJ,
+		OpI: op(r.WriteI), OpJ: op(r.WriteJ),
 	}
 }
 
@@ -176,5 +473,3 @@ func op(w bool) string {
 	}
 	return "read"
 }
-
-func raceString(r race.Report) string { return r.String() }

@@ -57,26 +57,43 @@
 // subsystem that makes def. 8 happens-before and def. 9/10 races
 // executable at scale: an online, single-pass race monitor over one
 // observed trace, using per-thread vector clocks with per-location
-// last-access frontiers (FastTrack-style same-thread fast path), in
-// O(events × threads) time worst case and O(locations × threads²)
-// space — tens of millions of events per second on a single
-// core. It is fed by internal/schedgen, which executes scaled-up random
-// programs (progsynth.Scaled: many threads looping over many locations)
-// under fair, unfair or bursty scheduling policies to produce schedules
-// of 10⁶+ events — workloads the exhaustive engines can never reach. The
-// monitor's verdicts are differentially tested against the exhaustive
-// oracle race.Races on every corpus program, on hundreds of random
-// programs, and on generated schedules; a sharded-by-location mode
-// partitions monitoring across engine workers with identical reports at
-// any shard count.
+// last-access records — tens of millions of events per second on a
+// single core. Its live state is bounded: nonatomic locations are kept
+// as FastTrack-style epochs (a single thread@clock word) that escalate
+// to per-thread vectors only on genuinely concurrent history, and
+// release-acquire messages are garbage-collected as soon as the
+// pointwise-minimum thread frontier passes their writer event (the join
+// is then provably a no-op forever), so memory tracks the
+// synchronisation window rather than the trace length — O(events ×
+// threads) time worst case, O(locations + threads²) space until
+// histories actually race. Traces are ingested three ways: converted
+// machine traces (monitor.Table), a pull Source, or the versioned raw
+// wire format (binary and text) whose validating decoder monitors
+// executions recorded outside the process (MonitorTraceReader). The
+// monitor is fed by internal/schedgen, which executes scaled-up random
+// programs (progsynth.Scaled: many threads looping over many locations,
+// with a sync-heartbeat ring so frontiers keep advancing) under fair,
+// unfair or bursty scheduling policies — materialised (Generate),
+// pushed event-by-event (Stream), or encoded straight to the wire
+// format (Encode), reaching 10⁶+ events without ever buffering the
+// schedule. The monitor's verdicts are differentially tested against
+// the exhaustive oracle race.Races on every corpus program, on hundreds
+// of random programs, and on hundreds of generated schedules (at every
+// GC interval tested); a sharded-by-location mode partitions monitoring
+// across engine workers with identical reports at any shard count.
 //
 // The command-line tools (cmd/litmus, cmd/drfcheck, cmd/memsim,
 // cmd/racemon, cmd/experiments) and the examples directory exercise all
 // of the above; EXPERIMENTS.md records paper-versus-measured results for
 // every table and figure. cmd/racemon generates a million-event schedule
 // and monitors it in one pass (-events, -threads, -policy
-// fair|unfair|bursty, -shards, -json). cmd/experiments -run bench emits
-// engine-versus-baseline timings as JSON (BENCH_engine.json) and
-// streaming-monitor throughput (BENCH_monitor.json, events/sec) so the
-// performance trajectory is tracked across PRs.
+// fair|unfair|bursty, -shards, -json), monitors while generating with
+// no materialised schedule (-stream), and writes/ingests raw traces
+// (-emit FILE, -trace FILE|-); its JSON reports the windowed GC's live,
+// peak and collected RA-message counts. cmd/experiments -run bench
+// emits engine-versus-baseline timings as JSON (BENCH_engine.json) and
+// streaming-monitor throughput (BENCH_monitor.json, events/sec, plus
+// peak live RA messages and allocs/event) so the performance trajectory
+// is tracked across PRs; CI fails if the racemon smoke run's report set
+// drifts from the committed golden.
 package localdrf

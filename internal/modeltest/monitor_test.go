@@ -9,6 +9,7 @@ package modeltest
 // monitor exists for, which never pass through the explorer at all.
 
 import (
+	"bytes"
 	"testing"
 
 	"localdrf/internal/explore"
@@ -24,19 +25,6 @@ import (
 // programs (IRIW+at+N4) have hundreds of thousands of traces and the
 // prefix is ample coverage.
 const tracesPerProgram = 4_000
-
-// reportsEqual compares two canonical report slices.
-func reportsEqual(a, b []race.Report) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
 
 // diffProgram runs monitor-vs-oracle on up to cap traces of p, returning
 // the traces compared.
@@ -59,7 +47,7 @@ func diffProgram(t *testing.T, p *prog.Program, cap int) int {
 			m.Step(e)
 		}
 		got := m.Reports()
-		if !reportsEqual(got, want) {
+		if !race.ReportsEqual(got, want) {
 			t.Fatalf("%s: monitor diverged from race.Races on trace %v\nmonitor %v\noracle  %v",
 				p.Name, tr, got, want)
 		}
@@ -99,9 +87,13 @@ func TestMonitorMatchesRacesOnRandom(t *testing.T) {
 }
 
 // TestMonitorMatchesRacesOnSchedules closes the loop on generated
-// schedules: streams of scaled programs under every policy, with stale
-// reads, compared against the oracle on the synthesised transitions.
-// (Short streams: the oracle's transitive closure is cubic.)
+// schedules: 210 streams (70 seeds × 3 policies) of scaled programs,
+// with stale reads, compared against the oracle on the synthesised
+// transitions. Every stream is checked twice — once with the default
+// monitor and once with an aggressive GC interval, so the windowed RA
+// collection and epoch handoffs are exercised on every stream and proved
+// report-preserving. (Short streams: the oracle's transitive closure is
+// cubic.)
 func TestMonitorMatchesRacesOnSchedules(t *testing.T) {
 	if testing.Short() {
 		t.Skip("exhaustive cross-validation skipped in -short mode")
@@ -111,36 +103,65 @@ func TestMonitorMatchesRacesOnSchedules(t *testing.T) {
 		NonAtomic: 8, Atomics: 2, RAs: 2,
 		WritePct: 45, SyncPct: 30, MaxConst: 3,
 	}
-	for seed := int64(0); seed < 8; seed++ {
+	streams := 0
+	for seed := int64(0); seed < 70; seed++ {
 		p := progsynth.Scaled(seed, cfg)
 		tb := monitor.NewTable(p)
 		for _, pol := range []schedgen.Policy{schedgen.Fair, schedgen.Unfair, schedgen.Bursty} {
 			events, _, err := schedgen.Generate(p, tb, schedgen.Options{
-				Policy: pol, Seed: seed * 17, MaxEvents: 350, StaleReadPct: 30,
+				Policy: pol, Seed: seed * 17, MaxEvents: 260, StaleReadPct: 30,
 			}, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
+			streams++
 			m := tb.NewMonitor()
 			for _, e := range events {
 				m.Step(e)
 			}
 			got := m.Reports()
 			want := race.Races(monitor.Transitions(events, tb.Decls()))
-			if !reportsEqual(got, want) {
+			if !race.ReportsEqual(got, want) {
 				t.Fatalf("seed %d %v: monitor diverged on schedgen stream\nmonitor %v\noracle  %v",
 					seed, pol, got, want)
 			}
-			// The sharded mode must agree too, at several shard counts.
+			// Aggressive windowed GC must not change the report set.
+			mgc := tb.NewMonitor()
+			mgc.SetGCInterval(16)
+			for _, e := range events {
+				mgc.Step(e)
+			}
+			if !race.ReportsEqual(mgc.Reports(), want) {
+				t.Fatalf("seed %d %v: windowed monitor (GC interval 16) diverged", seed, pol)
+			}
+			if seed >= 8 {
+				continue
+			}
+			// For a subset: the sharded mode at several shard counts, and
+			// the wire-format round trip (encode, decode, monitor).
 			for _, shards := range []int{2, 3} {
 				sharded, err := monitor.ShardedRaces(tb.Threads(), tb.Decls(), events, shards, 0)
 				if err != nil {
 					t.Fatal(err)
 				}
-				if !reportsEqual(sharded, want) {
+				if !race.ReportsEqual(sharded, want) {
 					t.Fatalf("seed %d %v shards=%d: sharded mode diverged", seed, pol, shards)
 				}
 			}
+			var buf bytes.Buffer
+			if _, _, err := schedgen.Encode(&buf, p, tb, schedgen.Options{
+				Policy: pol, Seed: seed * 17, MaxEvents: 260, StaleReadPct: 30,
+			}, monitor.Binary); err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := monitor.ReadRaces(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !race.ReportsEqual(decoded, want) {
+				t.Fatalf("seed %d %v: wire round-trip diverged", seed, pol)
+			}
 		}
 	}
+	t.Logf("monitor == race.Races on %d schedgen streams (default + windowed GC)", streams)
 }

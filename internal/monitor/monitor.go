@@ -6,7 +6,8 @@
 // every trace of a program, which caps them at litmus-sized inputs. This
 // package makes the same definitions executable at scale: given one trace
 // of machine transitions (millions of events, e.g. produced by
-// internal/schedgen), it computes the happens-before relation of def. 8
+// internal/schedgen or ingested from the raw-trace wire format of
+// wire.go), it computes the happens-before relation of def. 8
 // incrementally with vector clocks and reports every conflicting
 // unordered pair (defs. 9/10), deduplicated exactly as
 // race.Races/race.FindRaces deduplicate — by location, thread pair and
@@ -30,20 +31,54 @@
 //     edge), and RA writes synchronise with nothing else.
 //
 // Nonatomic accesses induce no edges. For each nonatomic location the
-// monitor keeps the per-thread clocks of the last read and last write
-// (the FastTrack escalated representation): access j by thread t races
-// with some earlier access of thread u iff it races with u's *latest*
-// earlier access of that kind (program order makes earlier ones ordered
-// whenever the latest is), so per-thread last-access clocks identify the
-// full deduplicated report set, not merely race existence.
+// monitor keeps the last read and last write per thread: access j by
+// thread t races with some earlier access of thread u iff it races with
+// u's *latest* earlier access of that kind (program order makes earlier
+// ones ordered whenever the latest is), so per-thread last-access records
+// identify the full deduplicated report set, not merely race existence.
 //
-// Complexity: O(events × threads) time worst case and
-// O(locations × threads²) space (the per-location clock vectors are
-// O(threads); the race-dedup bitmasks are O(threads²) per nonatomic
-// location), plus O(messages) for live release-acquire messages. The common case is far better: a FastTrack-style same-thread
-// fast path skips the O(threads) scans entirely while a location is
-// accessed by a single thread with no unordered history — long bursts
-// (the bursty schedules of internal/schedgen) monitor in O(1) per event.
+// # Bounded memory: epochs and windowed RA GC
+//
+// Two representations keep the live state bounded on long streams.
+//
+// Epochs: a nonatomic location starts in the FastTrack-style epoch
+// representation — its last write (and last read) is a single
+// thread@clock word, allocation-free, covering the overwhelmingly common
+// case of a location accessed by one thread at a time. The epoch is
+// *escalated* to a full per-thread vector only when a second thread
+// accesses the location while the previous epoch is still racy-reachable
+// (some thread's frontier has not yet passed it). When the cached minimum
+// frontier proves the old epoch dead — every thread already
+// happens-after it, so it can never appear in another race — the epoch is
+// overwritten in place instead, and ordered cross-thread handoffs stay in
+// the compact form forever. Escalation preserves the live entries, so the
+// report set is bit-for-bit the one the full-vector monitor computes.
+//
+// Windowed RA GC: release-acquire messages are retained only while some
+// thread could still gain an edge from them. The monitor periodically
+// (every GC interval; see SetGCInterval) recomputes the pointwise minimum
+// of all thread clocks and deletes every message whose writer event index
+// lies below that frontier: by the vector-clock characterisation of
+// happens-before, once min_u C_u[w] ≥ k every current and future clock
+// already dominates the clock published by thread w's k-th event, so the
+// reads-from join is a no-op and dropping the message cannot change any
+// report. Retention statistics (live, peak, collected) are exposed via
+// RAStats. Under the program semantics' freshness constraint threads read
+// monotonically newer messages, so the live set tracks the spread between
+// the fastest and slowest thread — a window — rather than the trace
+// length. The criterion is exact, not heuristic, which has a flip side:
+// a declared thread that goes silent (never synchronising again) holds
+// the frontier down forever, because it could still legitimately read
+// any message it has not passed — retention is then semantically
+// required, and bounding it would need an explicit thread-retirement
+// signal in the event stream.
+//
+// Complexity: O(events × threads) time worst case, O(1) amortised per
+// event on single-thread and ordered-handoff locations. Space is
+// O(locations + threads²) until histories actually race or interleave:
+// per-location vectors (O(threads)) and report bitmasks (O(threads²))
+// are allocated lazily on first escalation / first race, and live RA
+// messages are windowed as above instead of accumulating O(messages).
 package monitor
 
 import (
@@ -83,7 +118,8 @@ type Event struct {
 	Loc    int32
 	Kind   Kind
 	// Time is the RA message timestamp (Read-RA joins the clock of the
-	// write with the equal timestamp). Ignored for NA and AT events.
+	// write with the equal timestamp). Ignored for NA and AT events, and
+	// not preserved for them by the wire format.
 	Time ts.Time
 }
 
@@ -98,23 +134,52 @@ type LocDecl struct {
 // so equal timestamps collide regardless of representation).
 type tsKey struct{ num, den int64 }
 
-func timeKey(t ts.Time) tsKey { return tsKey{t.Num(), t.Den()} }
+func timeKey(t ts.Time) tsKey {
+	num, den := t.Fraction() // one normalisation for both components
+	return tsKey{num, den}
+}
 
-// naState is the race-checking state of one nonatomic location.
+// raMsg is one retained release-acquire message: the clock its writer
+// published and the writer thread (whose entry vc[writer] is the write
+// event's own index — the GC criterion).
+type raMsg struct {
+	vc     []uint64
+	writer int32
+}
+
+// Sentinel values of naState.wT / naState.rT.
+const (
+	// noEpoch: no live access of that kind yet.
+	noEpoch int32 = -1
+	// escalated: the per-thread vector (writes/reads) is authoritative.
+	escalated int32 = -2
+)
+
+// naState is the race-checking state of one nonatomic location. It
+// starts in the compact epoch representation (wT/wC, rT/rC) and
+// escalates each side independently to a per-thread vector the first
+// time two threads' accesses of that kind are simultaneously live.
 type naState struct {
+	// wT/wC: the thread and clock of the last write while at most one
+	// write is live (the epoch). wT is noEpoch before the first write and
+	// escalated once writes has been materialised. rT/rC likewise for the
+	// last read.
+	wT, rT int32
+	wC, rC uint64
 	// writes[u] / reads[u] hold the event index of thread u's last write /
-	// read of this location (0 = none). An access by t races with u's
-	// last access iff the stored index exceeds C_t[u].
+	// read of this location (0 = none) once escalated. An access by t
+	// races with u's last access iff the stored index exceeds C_t[u].
 	writes []uint64
 	reads  []uint64
 	// reported[u*threads+t] is a 4-bit set of the access-kind pairs
 	// (earlier kind, later kind) already reported for the thread pair
 	// (u earlier, t later) on this location — the dedup set kept as flat
 	// bitmasks so the racy-location hot path never touches a hash map.
+	// Allocated on the first race at this location.
 	reported []uint8
 	// lastT is the thread of the last access (-1 initially); while the
-	// same thread keeps accessing the location, the scans below can be
-	// skipped once they have come up clean (the vectors cannot have
+	// same thread keeps accessing the location, the escalated scans can
+	// be skipped once they have come up clean (the vectors cannot have
 	// changed and C_t only grows). wClean / rClean record that the last
 	// scan of the corresponding vector by lastT found no unordered entry.
 	lastT  int32
@@ -134,17 +199,35 @@ func reportBit(wi, wj bool) uint8 {
 	return 1 << b
 }
 
+// defaultGCInterval is how often (in events) the minimum-clock frontier
+// is refreshed and dead RA messages are collected. Between refreshes the
+// live RA set can grow by at most the interval's worth of writes, so the
+// bound is a window, not the trace length; the refresh itself is
+// O(threads² + live messages), amortised to a fraction of an event.
+const defaultGCInterval = 4096
+
 // Monitor is the streaming race detector. Create one with New, feed it
-// events in trace order with Step, and collect the deduplicated reports
-// with Reports. A Monitor is not safe for concurrent use; the sharded
-// parallel mode (ShardedRaces) runs one Monitor per shard.
+// events in trace order with Step (or Feed, from a Source), and collect
+// the deduplicated reports with Reports. A Monitor is not safe for
+// concurrent use; the sharded parallel mode (ShardedRaces) runs one
+// Monitor per shard.
 type Monitor struct {
 	decls    []LocDecl
 	nthreads int
 	clocks   [][]uint64 // clocks[t][u]: thread t's vector clock
-	na       []naState  // indexed by location; zero-value for non-NA locations
+	na       []naState  // indexed by location; inert for non-NA locations
 	at       [][]uint64 // released clock L_A per atomic location
-	ra       []map[tsKey][]uint64
+	ra       []map[tsKey]raMsg
+	// minClock caches the pointwise minimum of all thread clocks as of
+	// the last GC sweep. Stale entries are only ever too small, so every
+	// use (RA GC, epoch overwrite) stays conservative and safe.
+	minClock []uint64
+	gcEvery  uint64
+	nextGC   uint64
+	// RA retention statistics.
+	raLive      int
+	raPeak      int
+	raCollected uint64
 	// shard/shards restrict nonatomic race checking to locations with
 	// loc % shards == shard; synchronisation events are always processed
 	// (every shard needs the full clocks). 0/1 means "all locations".
@@ -161,7 +244,10 @@ func New(nthreads int, decls []LocDecl) *Monitor {
 		clocks:   make([][]uint64, nthreads),
 		na:       make([]naState, len(decls)),
 		at:       make([][]uint64, len(decls)),
-		ra:       make([]map[tsKey][]uint64, len(decls)),
+		ra:       make([]map[tsKey]raMsg, len(decls)),
+		minClock: make([]uint64, nthreads),
+		gcEvery:  defaultGCInterval,
+		nextGC:   defaultGCInterval,
 		shards:   1,
 	}
 	for t := range m.clocks {
@@ -172,35 +258,39 @@ func New(nthreads int, decls []LocDecl) *Monitor {
 		case prog.Atomic:
 			m.at[l] = make([]uint64, nthreads)
 		case prog.ReleaseAcquire:
-			m.ra[l] = make(map[tsKey][]uint64)
-		default:
-			m.na[l] = naState{
-				writes:   make([]uint64, nthreads),
-				reads:    make([]uint64, nthreads),
-				reported: make([]uint8, nthreads*nthreads),
-				lastT:    -1,
-			}
+			m.ra[l] = make(map[tsKey]raMsg)
 		}
+		// Every location starts in the empty epoch state; the per-thread
+		// vectors and dedup bitmasks are allocated only if the location's
+		// history ever escalates / races.
+		m.na[l] = naState{wT: noEpoch, rT: noEpoch, lastT: -1}
 	}
 	return m
 }
 
-// Reset clears all monitoring state (clocks, per-location vectors,
-// reports) so the monitor can be reused for another trace of the same
-// program shape without reallocating.
+// Reset clears all monitoring state (clocks, per-location epochs and
+// vectors, RA messages and statistics, reports, and the shard filter) so
+// the monitor can be reused for another trace of the same program shape
+// without reallocating. A reused sharded monitor reverts to the
+// unsharded default.
 func (m *Monitor) Reset() {
 	for _, c := range m.clocks {
 		clear(c)
 	}
 	for l := range m.na {
 		ls := &m.na[l]
+		ls.wT, ls.rT = noEpoch, noEpoch
+		ls.wC, ls.rC = 0, 0
+		ls.lastT = -1
+		ls.wClean, ls.rClean = false, false
 		if ls.writes != nil {
 			clear(ls.writes)
+		}
+		if ls.reads != nil {
 			clear(ls.reads)
+		}
+		if ls.reported != nil {
 			clear(ls.reported)
-			ls.lastT = -1
-			ls.wClean = false
-			ls.rClean = false
 		}
 	}
 	for _, la := range m.at {
@@ -209,12 +299,43 @@ func (m *Monitor) Reset() {
 		}
 	}
 	for l, mm := range m.ra {
-		if mm != nil && len(mm) > 0 {
-			m.ra[l] = make(map[tsKey][]uint64)
+		if len(mm) > 0 {
+			m.ra[l] = make(map[tsKey]raMsg)
 		}
 	}
+	clear(m.minClock)
+	m.raLive, m.raPeak, m.raCollected = 0, 0, 0
+	m.nextGC = m.gcEvery
+	m.shard, m.shards = 0, 1
 	m.races = 0
 	m.events = 0
+}
+
+// SetGCInterval sets the frontier-refresh / RA-collection period in
+// events (0 restores the default). Smaller intervals bound the live RA
+// set more tightly at the cost of more frequent O(threads² + live)
+// sweeps; the report set is identical at any interval.
+func (m *Monitor) SetGCInterval(events uint64) {
+	if events == 0 {
+		events = defaultGCInterval
+	}
+	m.gcEvery = events
+	m.nextGC = m.events + events
+}
+
+// RAStats is the release-acquire retention telemetry of a monitor run.
+type RAStats struct {
+	// Live is the number of RA messages currently retained.
+	Live int
+	// Peak is the high-water mark of Live since the last Reset.
+	Peak int
+	// Collected is how many dead messages the windowed GC reclaimed.
+	Collected uint64
+}
+
+// RAStats returns the RA message retention statistics.
+func (m *Monitor) RAStats() RAStats {
+	return RAStats{Live: m.raLive, Peak: m.raPeak, Collected: m.raCollected}
 }
 
 // setShard restricts nonatomic race checking to locations l with
@@ -229,44 +350,29 @@ func (m *Monitor) Events() uint64 { return m.events }
 // RaceCount returns the number of distinct races reported so far.
 func (m *Monitor) RaceCount() int { return m.races }
 
-// Step consumes the next event of the trace.
+// Step consumes the next event of the trace. Events must be in bounds
+// (thread < nthreads, loc < len(decls), kind matching the declared
+// location kind); the wire-format decoder validates ingested traces, and
+// Table guarantees it for converted machine traces.
 func (m *Monitor) Step(e Event) {
 	m.events++
 	t := int(e.Thread)
 	c := m.clocks[t]
 	c[t]++
+	if m.events >= m.nextGC {
+		m.gc()
+	}
 	switch e.Kind {
 	case ReadNA:
 		if m.shards > 1 && e.Loc%m.shards != m.shard {
 			return
 		}
-		ls := &m.na[e.Loc]
-		if ls.lastT != e.Thread {
-			ls.lastT = e.Thread
-			ls.wClean = m.scanWrites(ls, e.Thread, c, false)
-			ls.rClean = false // unknown for this thread
-		} else if !ls.wClean {
-			ls.wClean = m.scanWrites(ls, e.Thread, c, false)
-		}
-		ls.reads[t] = c[t]
+		m.readNA(&m.na[e.Loc], e.Thread, c)
 	case WriteNA:
 		if m.shards > 1 && e.Loc%m.shards != m.shard {
 			return
 		}
-		ls := &m.na[e.Loc]
-		if ls.lastT != e.Thread {
-			ls.lastT = e.Thread
-			ls.wClean = m.scanWrites(ls, e.Thread, c, true)
-			ls.rClean = m.scanReads(ls, e.Thread, c)
-		} else {
-			if !ls.wClean {
-				ls.wClean = m.scanWrites(ls, e.Thread, c, true)
-			}
-			if !ls.rClean {
-				ls.rClean = m.scanReads(ls, e.Thread, c)
-			}
-		}
-		ls.writes[t] = c[t]
+		m.writeNA(&m.na[e.Loc], e.Thread, c)
 	case ReadAT:
 		join(c, m.at[e.Loc])
 	case WriteAT:
@@ -274,13 +380,167 @@ func (m *Monitor) Step(e Event) {
 		join(c, la)
 		copy(la, c)
 	case ReadRA:
-		if vc, ok := m.ra[e.Loc][timeKey(e.Time)]; ok {
-			join(c, vc)
+		if msg, ok := m.ra[e.Loc][timeKey(e.Time)]; ok {
+			join(c, msg.vc)
 		}
 	case WriteRA:
 		vc := make([]uint64, len(c))
 		copy(vc, c)
-		m.ra[e.Loc][timeKey(e.Time)] = vc
+		mm := m.ra[e.Loc]
+		k := timeKey(e.Time)
+		if _, dup := mm[k]; !dup {
+			m.raLive++
+			if m.raLive > m.raPeak {
+				m.raPeak = m.raLive
+			}
+		}
+		mm[k] = raMsg{vc: vc, writer: e.Thread}
+	}
+}
+
+// readNA checks a nonatomic read by thread t against the write history
+// and records it as the thread's last read.
+func (m *Monitor) readNA(ls *naState, t int32, c []uint64) {
+	if ls.lastT != t {
+		ls.lastT = t
+		ls.wClean, ls.rClean = false, false
+	}
+	switch ls.wT {
+	case noEpoch, t:
+		// No foreign write live: nothing to race with.
+	case escalated:
+		if !ls.wClean {
+			ls.wClean = m.scanWrites(ls, t, c, false)
+		}
+	default:
+		if ls.wC > c[ls.wT] {
+			m.report(ls, ls.wT, t, true, false)
+		}
+	}
+	switch ls.rT {
+	case noEpoch, t:
+		ls.rT, ls.rC = t, c[t]
+	case escalated:
+		ls.reads[t] = c[t]
+	default:
+		if m.minClock[ls.rT] >= ls.rC {
+			// Every thread's frontier has passed the old read epoch: it
+			// can never race again, so overwriting it loses no report.
+			ls.rT, ls.rC = t, c[t]
+		} else {
+			m.escalateReads(ls)
+			ls.reads[t] = c[t]
+		}
+	}
+}
+
+// writeNA checks a nonatomic write by thread t against both histories and
+// records it as the thread's last write.
+func (m *Monitor) writeNA(ls *naState, t int32, c []uint64) {
+	if ls.lastT != t {
+		ls.lastT = t
+		ls.wClean, ls.rClean = false, false
+	}
+	switch ls.wT {
+	case noEpoch, t:
+	case escalated:
+		if !ls.wClean {
+			ls.wClean = m.scanWrites(ls, t, c, true)
+		}
+	default:
+		if ls.wC > c[ls.wT] {
+			m.report(ls, ls.wT, t, true, true)
+		}
+	}
+	switch ls.rT {
+	case noEpoch, t:
+	case escalated:
+		if !ls.rClean {
+			ls.rClean = m.scanReads(ls, t, c)
+		}
+	default:
+		if ls.rC > c[ls.rT] {
+			m.report(ls, ls.rT, t, false, true)
+		}
+	}
+	switch ls.wT {
+	case noEpoch, t:
+		ls.wT, ls.wC = t, c[t]
+	case escalated:
+		ls.writes[t] = c[t]
+	default:
+		if m.minClock[ls.wT] >= ls.wC {
+			ls.wT, ls.wC = t, c[t]
+		} else {
+			m.escalateWrites(ls)
+			ls.writes[t] = c[t]
+		}
+	}
+}
+
+// escalateWrites materialises the per-thread write vector from the
+// current epoch. The slice is reused across Reset cycles.
+func (m *Monitor) escalateWrites(ls *naState) {
+	if ls.writes == nil {
+		ls.writes = make([]uint64, m.nthreads)
+	}
+	ls.writes[ls.wT] = ls.wC
+	ls.wT = escalated
+	ls.wClean = false
+}
+
+// escalateReads materialises the per-thread read vector from the current
+// epoch.
+func (m *Monitor) escalateReads(ls *naState) {
+	if ls.reads == nil {
+		ls.reads = make([]uint64, m.nthreads)
+	}
+	ls.reads[ls.rT] = ls.rC
+	ls.rT = escalated
+	ls.rClean = false
+}
+
+// report records one race (u's access earlier, t's later) in the
+// location's dedup bitmask, allocating the mask on first use.
+func (m *Monitor) report(ls *naState, u, t int32, wi, wj bool) {
+	if ls.reported == nil {
+		ls.reported = make([]uint8, m.nthreads*m.nthreads)
+	}
+	bit := reportBit(wi, wj)
+	if p := &ls.reported[int(u)*m.nthreads+int(t)]; *p&bit == 0 {
+		*p |= bit
+		m.races++
+	}
+}
+
+// gc refreshes the cached minimum-clock frontier and deletes every RA
+// message no thread can gain an edge from any more: once
+// min_u C_u[w] ≥ vc[w] for the message's writer w, every current and
+// future clock already dominates vc (vector clocks characterise
+// happens-before), so the reads-from join is a no-op forever and the
+// message is dead weight. It also schedules the next sweep.
+func (m *Monitor) gc() {
+	m.nextGC = m.events + m.gcEvery
+	if m.nthreads == 0 {
+		return
+	}
+	min := m.minClock
+	copy(min, m.clocks[0])
+	for _, c := range m.clocks[1:] {
+		for u, v := range c {
+			if v < min[u] {
+				min[u] = v
+			}
+		}
+	}
+	for _, mm := range m.ra {
+		for k, msg := range mm {
+			if msg.vc[msg.writer] <= min[msg.writer] {
+				delete(mm, k)
+				m.raLive--
+				m.raCollected++
+			}
+		}
 	}
 }
 
@@ -291,16 +551,12 @@ func (m *Monitor) Step(e Event) {
 // for subsequent same-thread accesses.
 func (m *Monitor) scanWrites(ls *naState, t int32, c []uint64, isWrite bool) bool {
 	clean := true
-	bit := reportBit(true, isWrite)
 	for u, w := range ls.writes {
 		// u == t cannot trigger: the thread's own entry is always below
 		// its (just incremented) clock component.
 		if w > c[u] {
 			clean = false
-			if p := &ls.reported[u*m.nthreads+int(t)]; *p&bit == 0 {
-				*p |= bit
-				m.races++
-			}
+			m.report(ls, int32(u), t, true, isWrite)
 		}
 	}
 	return clean
@@ -310,14 +566,10 @@ func (m *Monitor) scanWrites(ls *naState, t int32, c []uint64, isWrite bool) boo
 // other thread (read/write races with the read first in the trace).
 func (m *Monitor) scanReads(ls *naState, t int32, c []uint64) bool {
 	clean := true
-	bit := reportBit(false, true)
 	for u, r := range ls.reads {
 		if r > c[u] {
 			clean = false
-			if p := &ls.reported[u*m.nthreads+int(t)]; *p&bit == 0 {
-				*p |= bit
-				m.races++
-			}
+			m.report(ls, int32(u), t, false, true)
 		}
 	}
 	return clean

@@ -268,6 +268,244 @@ func syntheticWorkload(nthreads, nlocs, n int, seed uint64) ([]LocDecl, []Event)
 	return decls, events
 }
 
+// TestShardedClampAndSkip: shard counts larger than the nonatomic
+// location count are clamped, and shards owning no nonatomic location
+// are skipped — in both cases the report set is identical to the
+// unsharded pass.
+func TestShardedClampAndSkip(t *testing.T) {
+	// Only two NA locations, both ≡ 0 (mod 2): after clamping 8 → 2
+	// shards, shard 1 owns nothing and must be skipped, not replayed.
+	decls := []LocDecl{
+		{Name: "a", Kind: prog.NonAtomic},
+		{Name: "A", Kind: prog.Atomic},
+		{Name: "b", Kind: prog.NonAtomic},
+		{Name: "B", Kind: prog.Atomic},
+	}
+	var events []Event
+	x := uint64(11)
+	rnd := func(m int) int {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return int(x % uint64(m))
+	}
+	for i := 0; i < 10_000; i++ {
+		l := rnd(4)
+		var k Kind
+		if decls[l].Kind == prog.Atomic {
+			k = ReadAT
+			if rnd(2) == 0 {
+				k = WriteAT
+			}
+		} else {
+			k = ReadNA
+			if rnd(3) == 0 {
+				k = WriteNA
+			}
+		}
+		events = append(events, Event{Thread: int32(rnd(4)), Loc: int32(l), Kind: k})
+	}
+	want, err := ShardedRaces(4, decls, events, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("workload produced no races; not a useful fixture")
+	}
+	for _, shards := range []int{2, 3, 8, 64} {
+		got, err := ShardedRaces(4, decls, events, shards, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !race.ReportsEqual(got, want) {
+			t.Fatalf("shards=%d: got %v, want %v", shards, got, want)
+		}
+	}
+}
+
+// TestRAGCBoundsLive: on a long RA stream whose readers keep up with the
+// writer, the windowed GC keeps the live message set bounded by the GC
+// window, while a monitor that never sweeps retains every message — and
+// both report identically.
+func TestRAGCBoundsLive(t *testing.T) {
+	decls := []LocDecl{{Name: "R", Kind: prog.ReleaseAcquire}}
+	const threads, writes = 4, 5_000
+	windowed := New(threads, decls)
+	windowed.SetGCInterval(128)
+	unbounded := New(threads, decls)
+	unbounded.SetGCInterval(1 << 62) // never sweeps within the test
+	step := func(e Event) {
+		windowed.Step(e)
+		unbounded.Step(e)
+	}
+	for i := int64(1); i <= writes; i++ {
+		step(Event{Thread: 0, Loc: 0, Kind: WriteRA, Time: ts.FromInt(i)})
+		for u := int32(1); u < threads; u++ {
+			step(Event{Thread: u, Loc: 0, Kind: ReadRA, Time: ts.FromInt(i)})
+		}
+	}
+	w, u := windowed.RAStats(), unbounded.RAStats()
+	if u.Live != writes || u.Collected != 0 {
+		t.Fatalf("unbounded monitor: live=%d collected=%d, want %d/0", u.Live, u.Collected, writes)
+	}
+	if w.Collected == 0 {
+		t.Fatal("windowed monitor collected nothing")
+	}
+	if w.Peak > 256 {
+		t.Fatalf("windowed peak %d exceeds the GC window bound", w.Peak)
+	}
+	if w.Live+int(w.Collected) != writes {
+		t.Fatalf("live %d + collected %d ≠ %d writes", w.Live, w.Collected, writes)
+	}
+	if !race.ReportsEqual(windowed.Reports(), unbounded.Reports()) {
+		t.Fatal("windowed and unbounded monitors diverged")
+	}
+}
+
+// TestGCReportParity: on a racy mixed stream with stale RA reads (reads
+// of long-dead messages included), aggressive GC intervals change
+// nothing about the report set — dead messages' joins are no-ops.
+func TestGCReportParity(t *testing.T) {
+	decls, events := raWorkload(5, 12, 40_000, 17)
+	ref := New(5, decls)
+	ref.SetGCInterval(1 << 62)
+	for _, e := range events {
+		ref.Step(e)
+	}
+	want := ref.Reports()
+	if len(want) == 0 {
+		t.Fatal("workload produced no races; not a useful fixture")
+	}
+	for _, interval := range []uint64{1, 7, 64, 1024} {
+		m := New(5, decls)
+		m.SetGCInterval(interval)
+		for _, e := range events {
+			m.Step(e)
+		}
+		if !race.ReportsEqual(m.Reports(), want) {
+			t.Fatalf("gc interval %d diverged", interval)
+		}
+		if st := m.RAStats(); st.Collected == 0 {
+			t.Fatalf("gc interval %d collected nothing", interval)
+		}
+	}
+}
+
+// raWorkload synthesises a stream mixing NA, atomic and RA locations,
+// with RA reads picking random (often stale, possibly collected)
+// timestamps — the adversarial shape for the windowed GC.
+func raWorkload(nthreads, nlocs, n int, seed uint64) ([]LocDecl, []Event) {
+	decls := make([]LocDecl, nlocs)
+	for i := range decls {
+		k := prog.NonAtomic
+		switch i % 4 {
+		case 1:
+			k = prog.Atomic
+		case 3:
+			k = prog.ReleaseAcquire
+		}
+		decls[i] = LocDecl{Name: prog.Loc(fmt.Sprintf("l%d", i)), Kind: k}
+	}
+	x := seed
+	rnd := func(m int) int {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return int(x % uint64(m))
+	}
+	lastTime := make([]int64, nlocs)
+	events := make([]Event, 0, n)
+	for len(events) < n {
+		t, l := rnd(nthreads), rnd(nlocs)
+		e := Event{Thread: int32(t), Loc: int32(l)}
+		switch decls[l].Kind {
+		case prog.Atomic:
+			e.Kind = ReadAT
+			if rnd(2) == 0 {
+				e.Kind = WriteAT
+			}
+		case prog.ReleaseAcquire:
+			if rnd(2) == 0 && lastTime[l] > 0 {
+				e.Kind = ReadRA
+				// Read anywhere in history: latest, stale, maybe GC'd.
+				e.Time = ts.FromInt(1 + int64(rnd(int(lastTime[l]))))
+			} else {
+				lastTime[l]++
+				e.Kind = WriteRA
+				e.Time = ts.FromInt(lastTime[l])
+			}
+		default:
+			e.Kind = ReadNA
+			if rnd(3) == 0 {
+				e.Kind = WriteNA
+			}
+		}
+		events = append(events, e)
+	}
+	return decls, events
+}
+
+// TestResetClearsShard: Reset must drop a sharded monitor's location
+// filter — a reused shard-1 monitor that silently kept shard state would
+// miss races on every location outside its old shard.
+func TestResetClearsShard(t *testing.T) {
+	decls, events := syntheticWorkload(4, 12, 5_000, 7)
+	m := New(4, decls)
+	m.setShard(1, 3)
+	for _, e := range events {
+		m.Step(e)
+	}
+	m.Reset()
+	if m.shard != 0 || m.shards != 1 {
+		t.Fatalf("Reset kept shard filter %d/%d", m.shard, m.shards)
+	}
+	for _, e := range events {
+		m.Step(e)
+	}
+	want := run(t, 4, decls, events)
+	if !race.ReportsEqual(m.Reports(), want) {
+		t.Fatalf("reused sharded monitor still filtered: got %v, want %v", m.Reports(), want)
+	}
+}
+
+// TestEpochEscalation pins the representation transitions: single-thread
+// histories stay in the epoch form, a second concurrent accessor
+// escalates, and a frontier-passed handoff does not.
+func TestEpochEscalation(t *testing.T) {
+	decls := []LocDecl{{Name: "x", Kind: prog.NonAtomic}, {Name: "A", Kind: prog.Atomic}}
+	m := New(2, decls)
+	m.SetGCInterval(1) // refresh the frontier every event
+	// Same-thread burst: epoch, no vectors.
+	for i := 0; i < 100; i++ {
+		m.Step(Event{Thread: 0, Loc: 0, Kind: WriteNA})
+	}
+	if ls := &m.na[0]; ls.wT != 0 || ls.writes != nil {
+		t.Fatalf("single-thread history escalated: wT=%d", ls.wT)
+	}
+	// Ordered handoff via the atomic: frontier passes T0's epoch, so T1's
+	// write overwrites it in place.
+	m.Step(Event{Thread: 0, Loc: 1, Kind: WriteAT})
+	m.Step(Event{Thread: 1, Loc: 1, Kind: WriteAT}) // joins T0's clock
+	m.Step(Event{Thread: 1, Loc: 1, Kind: WriteAT}) // next event: GC refreshes frontier
+	m.Step(Event{Thread: 1, Loc: 0, Kind: WriteNA})
+	if ls := &m.na[0]; ls.wT != 1 || ls.writes != nil {
+		t.Fatalf("frontier-passed handoff escalated: wT=%d", ls.wT)
+	}
+	if m.RaceCount() != 0 {
+		t.Fatalf("ordered handoff reported races: %v", m.Reports())
+	}
+	// A genuinely concurrent write escalates and reports.
+	m2 := New(2, decls)
+	m2.Step(Event{Thread: 0, Loc: 0, Kind: WriteNA})
+	m2.Step(Event{Thread: 1, Loc: 0, Kind: WriteNA})
+	if ls := &m2.na[0]; ls.wT != escalated || ls.writes == nil {
+		t.Fatalf("concurrent write did not escalate: wT=%d", ls.wT)
+	}
+	if m2.RaceCount() != 1 {
+		t.Fatalf("concurrent writes: %d races, want 1", m2.RaceCount())
+	}
+}
+
 // TestResetReuse: a Reset monitor behaves exactly like a fresh one.
 func TestResetReuse(t *testing.T) {
 	decls, events := syntheticWorkload(4, 12, 5_000, 7)
@@ -293,6 +531,22 @@ func TestResetReuse(t *testing.T) {
 // (cmd/experiments -run bench-monitor records it in BENCH_monitor.json).
 func BenchmarkMonitorBursty(b *testing.B) {
 	decls, events := burstyWorkload(8, 64, 1_000_000, 97)
+	m := New(8, decls)
+	b.SetBytes(1) // report events/sec as MB/s (1 "byte" = 1 event)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		for _, e := range events {
+			m.Step(e)
+		}
+	}
+}
+
+// BenchmarkMonitorRAHeavy measures the release-acquire hot path: message
+// publication (clock snapshot + map insert via timeKey), reads-from
+// joins, and the windowed GC sweeps.
+func BenchmarkMonitorRAHeavy(b *testing.B) {
+	decls, events := raWorkload(8, 16, 1_000_000, 23)
 	m := New(8, decls)
 	b.SetBytes(1) // report events/sec as MB/s (1 "byte" = 1 event)
 	b.ResetTimer()

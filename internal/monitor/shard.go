@@ -5,21 +5,35 @@ package monitor
 // location, but the happens-before clocks depend on *all* synchronisation
 // events — so each shard runs a full monitor over the whole stream,
 // processing every atomic/RA event (cheap clock joins) while checking and
-// updating only the nonatomic locations of its own shard (the O(threads)
-// scans, which dominate). Reports are merged as a set and sorted, so the
-// result is identical to a single unsharded pass at any shard count and
-// parallelism.
+// updating only the nonatomic locations of its own shard (the per-access
+// history checks, which dominate). Reports are merged as a set and
+// sorted, so the result is identical to a single unsharded pass at any
+// shard count and parallelism.
 
 import (
 	"localdrf/internal/engine"
+	"localdrf/internal/prog"
 	"localdrf/internal/race"
 )
 
 // ShardedRaces monitors one event stream with nonatomic locations
 // partitioned across shards workers (location l belongs to shard
-// l % shards). shards ≤ 1 degenerates to a single sequential pass;
-// parallelism 0 means one worker per shard.
+// l % shards). The shard count is clamped to the number of nonatomic
+// locations, and shards that end up owning none (possible even after
+// clamping, since the partition is by location index modulo) are skipped
+// rather than spawning full-stream replay workers that could never
+// report anything. shards ≤ 1 (after clamping) degenerates to a single
+// sequential pass; parallelism 0 means one worker per live shard.
 func ShardedRaces(nthreads int, decls []LocDecl, events []Event, shards, parallelism int) ([]race.Report, error) {
+	naCount := 0
+	for _, d := range decls {
+		if d.Kind == prog.NonAtomic {
+			naCount++
+		}
+	}
+	if shards > naCount {
+		shards = naCount
+	}
 	if shards <= 1 {
 		m := New(nthreads, decls)
 		for _, e := range events {
@@ -27,13 +41,26 @@ func ShardedRaces(nthreads int, decls []LocDecl, events []Event, shards, paralle
 		}
 		return m.Reports(), nil
 	}
-	if parallelism <= 0 || parallelism > shards {
-		parallelism = shards
+	// Only shards that own at least one nonatomic location get a worker.
+	occupied := make([]bool, shards)
+	for l, d := range decls {
+		if d.Kind == prog.NonAtomic {
+			occupied[l%shards] = true
+		}
 	}
-	monitors := make([]*Monitor, shards)
-	err := engine.ForEach(parallelism, shards, func(_, i int) error {
+	live := make([]int, 0, shards)
+	for s, ok := range occupied {
+		if ok {
+			live = append(live, s)
+		}
+	}
+	if parallelism <= 0 || parallelism > len(live) {
+		parallelism = len(live)
+	}
+	monitors := make([]*Monitor, len(live))
+	err := engine.ForEach(parallelism, len(live), func(_, i int) error {
 		m := New(nthreads, decls)
-		m.setShard(i, shards)
+		m.setShard(live[i], shards)
 		for _, e := range events {
 			m.Step(e)
 		}

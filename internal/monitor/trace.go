@@ -38,6 +38,9 @@ func NewTable(p *prog.Program) *Table {
 // Decls returns the location declarations (index order).
 func (tb *Table) Decls() []LocDecl { return tb.decls }
 
+// Program returns the program the table was built from.
+func (tb *Table) Program() *prog.Program { return tb.prog }
+
 // Threads returns the thread count of the table's program.
 func (tb *Table) Threads() int { return len(tb.prog.Threads) }
 

@@ -1,0 +1,645 @@
+package monitor
+
+// The raw-trace wire format: a versioned, self-describing encoding of an
+// event stream, so executions that never ran inside this process (or
+// this binary) can be monitored. Two interchangeable encodings share one
+// logical format:
+//
+// Binary (magic "LDTR", then a version byte):
+//
+//	"LDTR" <version=1>
+//	uvarint threads
+//	uvarint nlocs
+//	nlocs × ( uvarint len, len name bytes, kind byte 0=na 1=at 2=ra )
+//	events until EOF:
+//	    kind byte (0..5, the Kind enumeration)
+//	    uvarint thread
+//	    uvarint loc
+//	    RA kinds only: varint num, uvarint den   (the message timestamp)
+//
+// Text (first line "ldtrace 1"; '#' starts a comment, blank lines are
+// skipped):
+//
+//	ldtrace 1
+//	threads 2
+//	loc x na
+//	loc R ra
+//	0 w x
+//	0 w R 1
+//	1 r R 1
+//	1 r x
+//
+// Event lines are "<thread> r|w <locname> [<time>]"; the location's
+// declared kind selects the event flavour, and the timestamp ("num" or
+// "num/den") is required exactly for release-acquire events.
+//
+// The decoder VALIDATES everything it hands to the monitor — thread and
+// location bounds, kind bytes, kind-versus-declaration consistency,
+// timestamp well-formedness — and returns errors for malformed input
+// instead of letting Monitor.Step index out of bounds. Timestamps of
+// non-RA events are not preserved (the monitor ignores them).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"localdrf/internal/prog"
+	"localdrf/internal/race"
+	"localdrf/internal/ts"
+)
+
+// Format selects a trace encoding.
+type Format int
+
+const (
+	// Binary is the compact varint encoding (magic "LDTR").
+	Binary Format = iota
+	// Text is the line-oriented human-readable encoding.
+	Text
+)
+
+// String names the format ("binary" or "text").
+func (f Format) String() string {
+	if f == Text {
+		return "text"
+	}
+	return "binary"
+}
+
+// ParseFormat parses "binary" or "text".
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "binary":
+		return Binary, nil
+	case "text":
+		return Text, nil
+	}
+	return Binary, fmt.Errorf("monitor: unknown trace format %q (want binary|text)", s)
+}
+
+const (
+	binaryMagic = "LDTR"
+	textMagic   = "ldtrace"
+	wireVersion = 1
+
+	// Format limits, enforced by both encoder and decoder. They exist so
+	// a malformed or hostile header cannot make the decoder (or the
+	// monitor allocated from it) balloon: the monitor's clock state is
+	// O(threads²) and its location state O(locations).
+	maxWireThreads = 1 << 10
+	maxWireLocs    = 1 << 16
+	maxWireName    = 1 << 12
+	// maxWireCells bounds threads × locations jointly: the monitor
+	// eagerly allocates an O(threads) clock vector per atomic location,
+	// so the per-dimension limits alone would let a tiny hostile header
+	// demand half a gigabyte before the first event is read.
+	maxWireCells = 1 << 22
+)
+
+// Header is the self-description of a wire-format trace: the thread
+// count and the dense location declarations the events index into.
+type Header struct {
+	Threads int
+	Decls   []LocDecl
+}
+
+// validateHeader checks the format limits and per-declaration sanity
+// shared by encoder and decoder.
+func validateHeader(hdr Header) error {
+	if hdr.Threads < 1 || hdr.Threads > maxWireThreads {
+		return fmt.Errorf("monitor: trace header: thread count %d out of range [1,%d]", hdr.Threads, maxWireThreads)
+	}
+	if len(hdr.Decls) > maxWireLocs {
+		return fmt.Errorf("monitor: trace header: %d locations exceeds the limit %d", len(hdr.Decls), maxWireLocs)
+	}
+	if hdr.Threads*len(hdr.Decls) > maxWireCells {
+		return fmt.Errorf("monitor: trace header: %d threads × %d locations exceeds the limit %d cells",
+			hdr.Threads, len(hdr.Decls), maxWireCells)
+	}
+	seen := make(map[prog.Loc]bool, len(hdr.Decls))
+	for i, d := range hdr.Decls {
+		if len(d.Name) == 0 || len(d.Name) > maxWireName {
+			return fmt.Errorf("monitor: trace header: location %d has invalid name length %d", i, len(d.Name))
+		}
+		// Reject anything the text decoder's tokenizer (strings.Fields,
+		// i.e. unicode.IsSpace) or comment stripping would mangle, so
+		// every accepted header round-trips in both formats.
+		if strings.IndexFunc(string(d.Name), func(r rune) bool {
+			return unicode.IsSpace(r) || unicode.IsControl(r) || r == '#'
+		}) >= 0 {
+			return fmt.Errorf("monitor: trace header: location name %q contains whitespace, control characters or '#'", d.Name)
+		}
+		if d.Kind != prog.NonAtomic && d.Kind != prog.Atomic && d.Kind != prog.ReleaseAcquire {
+			return fmt.Errorf("monitor: trace header: location %q has unknown kind %d", d.Name, d.Kind)
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("monitor: trace header: duplicate location name %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	return nil
+}
+
+// validateEvent checks an event against a header: bounds, kind validity,
+// and kind-versus-declaration consistency (an RA event on a nonatomic
+// location would corrupt the monitor's per-kind state).
+func validateEvent(hdr Header, e Event) error {
+	if e.Thread < 0 || int(e.Thread) >= hdr.Threads {
+		return fmt.Errorf("monitor: trace event: thread %d out of range [0,%d)", e.Thread, hdr.Threads)
+	}
+	if e.Loc < 0 || int(e.Loc) >= len(hdr.Decls) {
+		return fmt.Errorf("monitor: trace event: location index %d out of range [0,%d)", e.Loc, len(hdr.Decls))
+	}
+	if e.Kind > WriteRA {
+		return fmt.Errorf("monitor: trace event: unknown kind %d", e.Kind)
+	}
+	want := hdr.Decls[e.Loc].Kind
+	var got prog.LocKind
+	switch e.Kind {
+	case ReadNA, WriteNA:
+		got = prog.NonAtomic
+	case ReadAT, WriteAT:
+		got = prog.Atomic
+	default:
+		got = prog.ReleaseAcquire
+	}
+	if got != want {
+		return fmt.Errorf("monitor: trace event: %v access on location %q declared %v",
+			got, hdr.Decls[e.Loc].Name, want)
+	}
+	return nil
+}
+
+// kindTag is the text-format tag of a location kind.
+func kindTag(k prog.LocKind) string {
+	switch k {
+	case prog.Atomic:
+		return "at"
+	case prog.ReleaseAcquire:
+		return "ra"
+	default:
+		return "na"
+	}
+}
+
+// ---- Encoder ----
+
+// TraceWriter encodes an event stream in the wire format. Create one
+// with NewTraceWriter (which writes the header), call Write per event,
+// and Flush when done.
+type TraceWriter struct {
+	w      *bufio.Writer
+	hdr    Header
+	format Format
+	buf    [binary.MaxVarintLen64]byte
+}
+
+// NewTraceWriter validates the header, writes it to w in the chosen
+// format, and returns the event encoder.
+func NewTraceWriter(w io.Writer, hdr Header, format Format) (*TraceWriter, error) {
+	if err := validateHeader(hdr); err != nil {
+		return nil, err
+	}
+	tw := &TraceWriter{w: bufio.NewWriter(w), hdr: hdr, format: format}
+	switch format {
+	case Binary:
+		tw.w.WriteString(binaryMagic)
+		tw.w.WriteByte(wireVersion)
+		tw.putUvarint(uint64(hdr.Threads))
+		tw.putUvarint(uint64(len(hdr.Decls)))
+		for _, d := range hdr.Decls {
+			tw.putUvarint(uint64(len(d.Name)))
+			tw.w.WriteString(string(d.Name))
+			tw.w.WriteByte(byte(d.Kind))
+		}
+	case Text:
+		fmt.Fprintf(tw.w, "%s %d\n", textMagic, wireVersion)
+		fmt.Fprintf(tw.w, "threads %d\n", hdr.Threads)
+		for _, d := range hdr.Decls {
+			fmt.Fprintf(tw.w, "loc %s %s\n", d.Name, kindTag(d.Kind))
+		}
+	default:
+		return nil, fmt.Errorf("monitor: unknown trace format %d", format)
+	}
+	if err := tw.w.Flush(); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+func (tw *TraceWriter) putUvarint(v uint64) {
+	n := binary.PutUvarint(tw.buf[:], v)
+	tw.w.Write(tw.buf[:n])
+}
+
+func (tw *TraceWriter) putVarint(v int64) {
+	n := binary.PutVarint(tw.buf[:], v)
+	tw.w.Write(tw.buf[:n])
+}
+
+// Write encodes one event. Invalid events (out-of-range indices, kind
+// mismatching the declared location kind) are rejected.
+func (tw *TraceWriter) Write(e Event) error {
+	if err := validateEvent(tw.hdr, e); err != nil {
+		return err
+	}
+	switch tw.format {
+	case Binary:
+		tw.w.WriteByte(byte(e.Kind))
+		tw.putUvarint(uint64(e.Thread))
+		tw.putUvarint(uint64(e.Loc))
+		if e.Kind == ReadRA || e.Kind == WriteRA {
+			num, den := e.Time.Fraction()
+			tw.putVarint(num)
+			tw.putUvarint(uint64(den))
+		}
+	case Text:
+		op := "r"
+		if e.Kind.IsWrite() {
+			op = "w"
+		}
+		if e.Kind == ReadRA || e.Kind == WriteRA {
+			fmt.Fprintf(tw.w, "%d %s %s %s\n", e.Thread, op, tw.hdr.Decls[e.Loc].Name, e.Time)
+		} else {
+			fmt.Fprintf(tw.w, "%d %s %s\n", e.Thread, op, tw.hdr.Decls[e.Loc].Name)
+		}
+	}
+	// Buffered write errors surface on Flush (and on buffer drain).
+	return nil
+}
+
+// Flush drains the encoder's buffer to the underlying writer.
+func (tw *TraceWriter) Flush() error { return tw.w.Flush() }
+
+// ---- Decoder ----
+
+// TraceReader decodes a wire-format trace (either encoding, sniffed from
+// the first bytes) and yields validated events via Next — it implements
+// Source, so a reader can be fed straight into Monitor.Feed. Malformed
+// input produces an error, never a panic, and never an event the monitor
+// cannot safely consume.
+type TraceReader struct {
+	br   *bufio.Reader
+	hdr  Header
+	text bool
+	line int              // text mode: current line number, for errors
+	loc  map[string]int32 // text mode: name → dense index
+	// pending is the first event line, read ahead while scanning for the
+	// end of the text header's loc section.
+	pending    string
+	hasPending bool
+}
+
+// NewTraceReader sniffs the encoding of r, decodes and validates the
+// header, and returns a reader positioned at the first event.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	tr := &TraceReader{br: bufio.NewReader(r)}
+	magic, err := tr.br.Peek(len(binaryMagic))
+	if err == nil && string(magic) == binaryMagic {
+		if err := tr.readBinaryHeader(); err != nil {
+			return nil, err
+		}
+		return tr, nil
+	}
+	tr.text = true
+	if err := tr.readTextHeader(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Header returns the decoded trace header.
+func (tr *TraceReader) Header() Header { return tr.hdr }
+
+// NewMonitor returns a monitor sized for the trace's header.
+func (tr *TraceReader) NewMonitor() *Monitor { return New(tr.hdr.Threads, tr.hdr.Decls) }
+
+// Next decodes and validates the next event; ok=false at end of trace.
+func (tr *TraceReader) Next() (Event, bool, error) {
+	if tr.text {
+		return tr.nextText()
+	}
+	return tr.nextBinary()
+}
+
+// readUvarintField reads a bounded uvarint, mapping EOF inside the field
+// to ErrUnexpectedEOF.
+func (tr *TraceReader) readUvarintField(what string, max uint64) (uint64, error) {
+	v, err := binary.ReadUvarint(tr.br)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, fmt.Errorf("monitor: trace %s: %w", what, err)
+	}
+	if v > max {
+		return 0, fmt.Errorf("monitor: trace %s: value %d exceeds the limit %d", what, v, max)
+	}
+	return v, nil
+}
+
+func (tr *TraceReader) readBinaryHeader() error {
+	if _, err := tr.br.Discard(len(binaryMagic)); err != nil {
+		return err
+	}
+	ver, err := tr.br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("monitor: trace header: %w", io.ErrUnexpectedEOF)
+	}
+	if ver != wireVersion {
+		return fmt.Errorf("monitor: trace header: unsupported version %d (have %d)", ver, wireVersion)
+	}
+	threads, err := tr.readUvarintField("header thread count", maxWireThreads)
+	if err != nil {
+		return err
+	}
+	nlocs, err := tr.readUvarintField("header location count", maxWireLocs)
+	if err != nil {
+		return err
+	}
+	hdr := Header{Threads: int(threads)}
+	for i := uint64(0); i < nlocs; i++ {
+		nameLen, err := tr.readUvarintField("location name length", maxWireName)
+		if err != nil {
+			return err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(tr.br, name); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("monitor: trace header: location name: %w", err)
+		}
+		kind, err := tr.br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("monitor: trace header: location kind: %w", io.ErrUnexpectedEOF)
+		}
+		hdr.Decls = append(hdr.Decls, LocDecl{Name: prog.Loc(name), Kind: prog.LocKind(kind)})
+	}
+	if err := validateHeader(hdr); err != nil {
+		return err
+	}
+	tr.hdr = hdr
+	return nil
+}
+
+func (tr *TraceReader) nextBinary() (Event, bool, error) {
+	kb, err := tr.br.ReadByte()
+	if err == io.EOF {
+		return Event{}, false, nil // clean end of trace
+	}
+	if err != nil {
+		return Event{}, false, err
+	}
+	e := Event{Kind: Kind(kb)}
+	thread, err := tr.readUvarintField("event thread", uint64(math.MaxInt32))
+	if err != nil {
+		return Event{}, false, err
+	}
+	loc, err := tr.readUvarintField("event location", uint64(math.MaxInt32))
+	if err != nil {
+		return Event{}, false, err
+	}
+	e.Thread, e.Loc = int32(thread), int32(loc)
+	if e.Kind == ReadRA || e.Kind == WriteRA {
+		num, err := binary.ReadVarint(tr.br)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Event{}, false, fmt.Errorf("monitor: trace event timestamp: %w", err)
+		}
+		den, err := tr.readUvarintField("event timestamp denominator", uint64(math.MaxInt64))
+		if err != nil {
+			return Event{}, false, err
+		}
+		if den == 0 {
+			return Event{}, false, fmt.Errorf("monitor: trace event timestamp: zero denominator")
+		}
+		e.Time = ts.New(num, int64(den))
+	}
+	if err := validateEvent(tr.hdr, e); err != nil {
+		return Event{}, false, err
+	}
+	return e, true, nil
+}
+
+// readLine returns the next non-blank, non-comment text line, trimmed,
+// with ok=false at EOF.
+func (tr *TraceReader) readLine() (string, bool, error) {
+	for {
+		line, err := tr.br.ReadString('\n')
+		if line == "" && err != nil {
+			if err == io.EOF {
+				return "", false, nil
+			}
+			return "", false, err
+		}
+		tr.line++
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return line, true, nil
+		}
+		if err == io.EOF {
+			return "", false, nil
+		}
+	}
+}
+
+func (tr *TraceReader) textErr(format string, args ...any) error {
+	return fmt.Errorf("monitor: trace line %d: %s", tr.line, fmt.Sprintf(format, args...))
+}
+
+func (tr *TraceReader) readTextHeader() error {
+	line, ok, err := tr.readLine()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("monitor: empty trace (no %q line)", textMagic)
+	}
+	f := strings.Fields(line)
+	if len(f) != 2 || f[0] != textMagic {
+		return tr.textErr("not a trace: want %q, got %q", textMagic+" 1", line)
+	}
+	if f[1] != strconv.Itoa(wireVersion) {
+		return tr.textErr("unsupported version %s (have %d)", f[1], wireVersion)
+	}
+	line, ok, err = tr.readLine()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("monitor: trace header: missing threads line")
+	}
+	f = strings.Fields(line)
+	if len(f) != 2 || f[0] != "threads" {
+		return tr.textErr("want \"threads N\", got %q", line)
+	}
+	threads, err := strconv.Atoi(f[1])
+	if err != nil {
+		return tr.textErr("bad thread count %q", f[1])
+	}
+	hdr := Header{Threads: threads}
+	tr.loc = map[string]int32{}
+	for {
+		line, ok, err = tr.readLine()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if !strings.HasPrefix(line, "loc ") {
+			// First event line: hand it back to Next.
+			tr.pending, tr.hasPending = line, true
+			break
+		}
+		f = strings.Fields(line)
+		if len(f) != 3 {
+			return tr.textErr("want \"loc NAME na|at|ra\", got %q", line)
+		}
+		var kind prog.LocKind
+		switch f[2] {
+		case "na":
+			kind = prog.NonAtomic
+		case "at":
+			kind = prog.Atomic
+		case "ra":
+			kind = prog.ReleaseAcquire
+		default:
+			return tr.textErr("unknown location kind %q", f[2])
+		}
+		if len(hdr.Decls) >= maxWireLocs {
+			return tr.textErr("more than %d locations", maxWireLocs)
+		}
+		tr.loc[f[1]] = int32(len(hdr.Decls))
+		hdr.Decls = append(hdr.Decls, LocDecl{Name: prog.Loc(f[1]), Kind: kind})
+	}
+	if err := validateHeader(hdr); err != nil {
+		return err
+	}
+	tr.hdr = hdr
+	return nil
+}
+
+func (tr *TraceReader) nextText() (Event, bool, error) {
+	var line string
+	if tr.hasPending {
+		line, tr.hasPending = tr.pending, false
+	} else {
+		var ok bool
+		var err error
+		line, ok, err = tr.readLine()
+		if err != nil || !ok {
+			return Event{}, false, err
+		}
+	}
+	f := strings.Fields(line)
+	if len(f) != 3 && len(f) != 4 {
+		return Event{}, false, tr.textErr("want \"THREAD r|w LOC [TIME]\", got %q", line)
+	}
+	thread, err := strconv.Atoi(f[0])
+	if err != nil || thread < 0 || thread >= tr.hdr.Threads {
+		return Event{}, false, tr.textErr("thread %q out of range [0,%d)", f[0], tr.hdr.Threads)
+	}
+	var write bool
+	switch f[1] {
+	case "r":
+	case "w":
+		write = true
+	default:
+		return Event{}, false, tr.textErr("unknown op %q (want r|w)", f[1])
+	}
+	loc, ok := tr.loc[f[2]]
+	if !ok {
+		return Event{}, false, tr.textErr("undeclared location %q", f[2])
+	}
+	e := Event{Thread: int32(thread), Loc: loc}
+	isRA := tr.hdr.Decls[loc].Kind == prog.ReleaseAcquire
+	if isRA != (len(f) == 4) {
+		if isRA {
+			return Event{}, false, tr.textErr("release-acquire access to %q needs a timestamp", f[2])
+		}
+		return Event{}, false, tr.textErr("timestamp on non-release-acquire location %q", f[2])
+	}
+	if isRA {
+		e.Time, err = parseTime(f[3])
+		if err != nil {
+			return Event{}, false, tr.textErr("bad timestamp %q: %v", f[3], err)
+		}
+	}
+	switch tr.hdr.Decls[loc].Kind {
+	case prog.Atomic:
+		e.Kind = ReadAT
+		if write {
+			e.Kind = WriteAT
+		}
+	case prog.ReleaseAcquire:
+		e.Kind = ReadRA
+		if write {
+			e.Kind = WriteRA
+		}
+	default:
+		e.Kind = ReadNA
+		if write {
+			e.Kind = WriteNA
+		}
+	}
+	return e, true, nil
+}
+
+// parseTime parses "num" or "num/den" into a rational timestamp.
+func parseTime(s string) (ts.Time, error) {
+	numS, denS, frac := strings.Cut(s, "/")
+	num, err := strconv.ParseInt(numS, 10, 64)
+	if err != nil {
+		return ts.Time{}, fmt.Errorf("bad numerator: %v", err)
+	}
+	den := int64(1)
+	if frac {
+		den, err = strconv.ParseInt(denS, 10, 64)
+		if err != nil {
+			return ts.Time{}, fmt.Errorf("bad denominator: %v", err)
+		}
+		if den <= 0 {
+			return ts.Time{}, fmt.Errorf("denominator must be positive")
+		}
+	}
+	return ts.New(num, den), nil
+}
+
+// ---- Convenience entry points ----
+
+// MonitorReader runs a fresh monitor over a wire-format trace stream in
+// one bounded-memory pass and returns it (for Reports, RAStats, Events).
+func MonitorReader(r io.Reader) (*Monitor, error) {
+	tr, err := NewTraceReader(r)
+	if err != nil {
+		return nil, err
+	}
+	m := tr.NewMonitor()
+	if err := m.Feed(tr); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ReadRaces monitors a wire-format trace from r and returns the
+// deduplicated race reports.
+func ReadRaces(r io.Reader) ([]race.Report, error) {
+	m, err := MonitorReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return m.Reports(), nil
+}

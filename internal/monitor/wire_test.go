@@ -1,0 +1,298 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+
+	"localdrf/internal/prog"
+	"localdrf/internal/race"
+	"localdrf/internal/ts"
+)
+
+// wireWorkload is a small mixed stream over NA, atomic and RA locations,
+// racy enough that round-trip report comparison is meaningful.
+func wireWorkload() (Header, []Event) {
+	hdr := Header{
+		Threads: 3,
+		Decls: []LocDecl{
+			{Name: "x", Kind: prog.NonAtomic},
+			{Name: "F", Kind: prog.Atomic},
+			{Name: "R", Kind: prog.ReleaseAcquire},
+		},
+	}
+	events := []Event{
+		{Thread: 0, Loc: 0, Kind: WriteNA},
+		{Thread: 0, Loc: 2, Kind: WriteRA, Time: ts.New(1, 2)},
+		{Thread: 1, Loc: 2, Kind: ReadRA, Time: ts.New(1, 2)},
+		{Thread: 1, Loc: 0, Kind: ReadNA}, // ordered via the RA edge
+		{Thread: 2, Loc: 0, Kind: ReadNA}, // races with T0's write
+		{Thread: 2, Loc: 1, Kind: WriteAT},
+		{Thread: 0, Loc: 1, Kind: ReadAT},
+		{Thread: 2, Loc: 0, Kind: WriteNA},                    // races with T0's write
+		{Thread: 1, Loc: 2, Kind: ReadRA, Time: ts.New(7, 1)}, // dangling reads-from: no edge
+	}
+	return hdr, events
+}
+
+// encodeAll writes a header and events in the given format.
+func encodeAll(t *testing.T, hdr Header, events []Event, format Format) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, hdr, format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := tw.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestWireRoundTrip: encode → decode reproduces the header and events
+// exactly (modulo the timestamps of non-RA events, which the format does
+// not carry and the monitor ignores), in both formats.
+func TestWireRoundTrip(t *testing.T) {
+	hdr, events := wireWorkload()
+	for _, format := range []Format{Binary, Text} {
+		data := encodeAll(t, hdr, events, format)
+		tr, err := NewTraceReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%v: %v", format, err)
+		}
+		got := tr.Header()
+		if got.Threads != hdr.Threads || len(got.Decls) != len(hdr.Decls) {
+			t.Fatalf("%v: header mismatch: %+v vs %+v", format, got, hdr)
+		}
+		for i := range hdr.Decls {
+			if got.Decls[i] != hdr.Decls[i] {
+				t.Fatalf("%v: decl %d mismatch: %+v vs %+v", format, i, got.Decls[i], hdr.Decls[i])
+			}
+		}
+		for i, want := range events {
+			e, ok, err := tr.Next()
+			if err != nil || !ok {
+				t.Fatalf("%v: event %d: ok=%v err=%v", format, i, ok, err)
+			}
+			if e.Thread != want.Thread || e.Loc != want.Loc || e.Kind != want.Kind {
+				t.Fatalf("%v: event %d: got %+v, want %+v", format, i, e, want)
+			}
+			if (want.Kind == ReadRA || want.Kind == WriteRA) && !e.Time.Equal(want.Time) {
+				t.Fatalf("%v: event %d: timestamp %v, want %v", format, i, e.Time, want.Time)
+			}
+		}
+		if _, ok, err := tr.Next(); ok || err != nil {
+			t.Fatalf("%v: expected clean end of trace, got ok=%v err=%v", format, ok, err)
+		}
+	}
+}
+
+// TestWireMonitorParity: monitoring the decoded stream reports exactly
+// what monitoring the original slice reports.
+func TestWireMonitorParity(t *testing.T) {
+	hdr, events := wireWorkload()
+	direct := New(hdr.Threads, hdr.Decls)
+	for _, e := range events {
+		direct.Step(e)
+	}
+	want := direct.Reports()
+	if len(want) == 0 {
+		t.Fatal("workload produced no races; not a useful fixture")
+	}
+	for _, format := range []Format{Binary, Text} {
+		data := encodeAll(t, hdr, events, format)
+		got, err := ReadRaces(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%v: %v", format, err)
+		}
+		if !race.ReportsEqual(got, want) {
+			t.Fatalf("%v: decoded reports %v, want %v", format, got, want)
+		}
+	}
+}
+
+// TestWireTextComments: comments and blank lines are skipped.
+func TestWireTextComments(t *testing.T) {
+	src := `ldtrace 1
+# a comment
+threads 2
+
+loc x na
+0 w x   # trailing comment
+1 r x
+`
+	reports, err := ReadRaces(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("got %v, want one write/read race on x", reports)
+	}
+}
+
+// TestWireDecoderRejects: every malformed-input class errors instead of
+// panicking or silently yielding events the monitor would crash on.
+func TestWireDecoderRejects(t *testing.T) {
+	hdr, events := wireWorkload()
+	bin := encodeAll(t, hdr, events, Binary)
+	txt := encodeAll(t, hdr, events, Text)
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated binary magic", bin[:2]},
+		{"truncated binary header", bin[:6]},
+		{"truncated binary event", bin[:len(bin)-1]},
+		{"bad binary version", append([]byte("LDTR\x07"), bin[5:]...)},
+		{"binary junk after header", func() []byte {
+			h := encodeAll(t, hdr, nil, Binary)
+			return append(h, 0xEE, 0x01, 0x02)
+		}()},
+		{"text junk", []byte("not a trace\n")},
+		{"text bad version", []byte("ldtrace 9\nthreads 1\n")},
+		{"text missing threads", []byte("ldtrace 1\nloc x na\n")},
+		{"text zero threads", []byte("ldtrace 1\nthreads 0\n")},
+		{"text dup loc", []byte("ldtrace 1\nthreads 1\nloc x na\nloc x at\n")},
+		{"text unknown kind", []byte("ldtrace 1\nthreads 1\nloc x xx\n")},
+		{"text thread out of range", []byte("ldtrace 1\nthreads 2\nloc x na\n2 w x\n")},
+		{"text undeclared loc", []byte("ldtrace 1\nthreads 2\nloc x na\n0 w y\n")},
+		{"text bad op", []byte("ldtrace 1\nthreads 2\nloc x na\n0 q x\n")},
+		{"text missing RA time", []byte("ldtrace 1\nthreads 2\nloc R ra\n0 w R\n")},
+		{"text time on NA", []byte("ldtrace 1\nthreads 2\nloc x na\n0 w x 3\n")},
+		{"text zero denominator", []byte("ldtrace 1\nthreads 2\nloc R ra\n0 w R 1/0\n")},
+		{"text malformed time", []byte("ldtrace 1\nthreads 2\nloc R ra\n0 w R one\n")},
+		{"truncated text event", append(append([]byte{}, txt...), []byte("0 w\n")...)},
+		{"hostile threads×locations product", hostileHeader()},
+	}
+	for _, tc := range cases {
+		if _, err := ReadRaces(bytes.NewReader(tc.data)); err == nil {
+			t.Errorf("%s: decoder accepted malformed input", tc.name)
+		}
+	}
+}
+
+// hostileHeader hand-crafts a small binary header whose per-dimension
+// sizes are legal but whose threads × locations product would make the
+// monitor eagerly allocate hundreds of megabytes of atomic clock
+// vectors. The decoder must reject it before any monitor exists.
+func hostileHeader() []byte {
+	var buf bytes.Buffer
+	buf.WriteString("LDTR")
+	buf.WriteByte(1)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) { buf.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
+	const threads, locs = 1 << 10, 1 << 14 // product 2× over maxWireCells
+	put(threads)
+	put(locs)
+	for i := 0; i < locs; i++ {
+		name := fmt.Sprintf("l%d", i)
+		put(uint64(len(name)))
+		buf.WriteString(name)
+		buf.WriteByte(1) // atomic: the kind with the eager O(threads) vector
+	}
+	return buf.Bytes()
+}
+
+// TestWireWriterRejects: the encoder validates events against the header
+// so malformed traces cannot be produced in the first place.
+func TestWireWriterRejects(t *testing.T) {
+	hdr, _ := wireWorkload()
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, hdr, Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Event{
+		{Thread: 3, Loc: 0, Kind: WriteNA},                      // thread out of range
+		{Thread: 0, Loc: 9, Kind: WriteNA},                      // loc out of range
+		{Thread: 0, Loc: 0, Kind: WriteRA, Time: ts.FromInt(1)}, // RA access on NA loc
+		{Thread: 0, Loc: 2, Kind: WriteNA},                      // NA access on RA loc
+		{Thread: 0, Loc: 0, Kind: Kind(42)},                     // unknown kind
+	}
+	for _, e := range bad {
+		if err := tw.Write(e); err == nil {
+			t.Errorf("writer accepted invalid event %+v", e)
+		}
+	}
+	if _, err := NewTraceWriter(&buf, Header{Threads: 0}, Binary); err == nil {
+		t.Error("writer accepted zero-thread header")
+	}
+	if _, err := NewTraceWriter(&buf, Header{
+		Threads: 1, Decls: []LocDecl{{Name: "a b", Kind: prog.NonAtomic}},
+	}, Text); err == nil {
+		t.Error("writer accepted location name with whitespace")
+	}
+}
+
+// FuzzTraceReader: the decoder must never panic, and every event it does
+// yield must be safe for the monitor to consume. Seeds cover both
+// formats and a few corruption shapes.
+func FuzzTraceReader(f *testing.F) {
+	hdr, events := wireWorkload()
+	bin := encodeAllFuzz(f, hdr, events, Binary)
+	txt := encodeAllFuzz(f, hdr, events, Text)
+	f.Add(bin)
+	f.Add(txt)
+	f.Add(bin[:9])
+	f.Add([]byte("LDTR\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Add([]byte("ldtrace 1\nthreads 3\nloc R ra\n0 w R -5/3\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := NewTraceReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		h := tr.Header()
+		// Cap the monitored shape: the monitor's clock state is
+		// O(threads²) and the decoder's limits allow sizes that are fine
+		// for real traces but too slow to allocate per fuzz exec.
+		feed := h.Threads <= 64 && len(h.Decls) <= 1024
+		var m *Monitor
+		if feed {
+			m = New(h.Threads, h.Decls)
+			m.SetGCInterval(64)
+		}
+		for i := 0; i < 1<<16; i++ {
+			e, ok, err := tr.Next()
+			if err != nil || !ok {
+				break
+			}
+			if verr := validateEvent(h, e); verr != nil {
+				t.Fatalf("decoder yielded invalid event %+v: %v", e, verr)
+			}
+			if feed {
+				m.Step(e)
+			}
+		}
+		if feed {
+			_ = m.Reports()
+		}
+	})
+}
+
+// encodeAllFuzz is encodeAll for fuzz seed construction (f.Fatal on error).
+func encodeAllFuzz(f *testing.F, hdr Header, events []Event, format Format) []byte {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, hdr, format)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range events {
+		if err := tw.Write(e); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}

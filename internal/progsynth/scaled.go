@@ -56,15 +56,25 @@ func ScaledDefaults() ScaledConfig {
 	}
 }
 
+// EventsPerIteration is how many memory events one thread's loop body
+// emits: the OpsPerIter random ops plus the two-op synchronisation
+// heartbeat (present whenever the atomic pool is nonempty).
+func (c ScaledConfig) EventsPerIteration() int {
+	if c.Atomics > 0 {
+		return c.OpsPerIter + 2
+	}
+	return c.OpsPerIter
+}
+
 // IterationsFor returns the Iters value that guarantees a schedule of at
 // least the given event count before any thread halts: each thread emits
-// Iters × OpsPerIter memory events, and the ×2 slack absorbs scheduling
-// skew (an unfair policy may drain one thread long before another).
-// Every consumer that sizes a program for a target stream length must go
-// through this, so the loop shape and the sizing can only change
-// together.
+// Iters × EventsPerIteration memory events, and the ×2 slack absorbs
+// scheduling skew (an unfair policy may drain one thread long before
+// another). Every consumer that sizes a program for a target stream
+// length must go through this, so the loop shape and the sizing can only
+// change together.
 func (c ScaledConfig) IterationsFor(events int) int {
-	perIter := c.Threads * c.OpsPerIter
+	perIter := c.Threads * c.EventsPerIteration()
 	if perIter <= 0 {
 		return 1
 	}
@@ -75,10 +85,16 @@ func (c ScaledConfig) IterationsFor(events int) int {
 // seeds and configs yield equal programs. Each thread is
 //
 //	i := Iters
-//	loop: <OpsPerIter random loads/stores> ; i := i + (-1) ; if i goto loop
+//	loop: <OpsPerIter random loads/stores> ; <heartbeat> ;
+//	      i := i + (-1) ; if i goto loop
 //
 // with operations drawn over the shared location pools, so every pair of
-// threads contends on both data and synchronisation locations.
+// threads contends on both data and synchronisation locations. The
+// heartbeat (when Atomics > 0) is a write of atomic A[t mod Atomics]
+// followed by a read of A[t+1 mod Atomics]: a strongly connected ring
+// that guarantees every thread keeps synchronising with every other, the
+// precondition for frontiers to advance — and hence for windowed
+// analyses like the monitor's RA message GC to reclaim anything.
 func Scaled(seed int64, cfg ScaledConfig) *prog.Program {
 	if cfg.Threads == 0 {
 		cfg = ScaledDefaults()
@@ -126,6 +142,20 @@ func Scaled(seed int64, cfg ScaledConfig) *prog.Program {
 			} else {
 				tb.Load(reg(), loc)
 			}
+		}
+		// Each iteration ends with a synchronisation heartbeat: write one
+		// atomic of a ring, read the next (no randomness consumed, so the
+		// random op mix above is independent of it). Purely random draws
+		// from a wide sync pool leave most thread pairs never
+		// synchronising at all — their compiled-in sync locations are
+		// disjoint — which no real scaled program does, and which starves
+		// every frontier-based analysis: thread clocks stay diagonal, so
+		// the monitor's windowed RA collection can never prove a message
+		// dead. The ring makes the sync graph strongly connected, so
+		// frontiers advance and the live-message window stays bounded.
+		if len(at) > 0 {
+			tb.Store(at[ti%len(at)], prog.I(1))
+			tb.Load(reg(), at[(ti+1)%len(at)])
 		}
 		tb.Add(ctr, prog.R(ctr), prog.I(-1))
 		tb.JmpNZ(ctr, "loop")

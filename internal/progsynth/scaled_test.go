@@ -48,10 +48,11 @@ func TestScaledShape(t *testing.T) {
 		t.Fatalf("location pools %d/%d/%d, want %d/%d/%d",
 			na, at, ra, cfg.NonAtomic, cfg.Atomics, cfg.RAs)
 	}
-	// Each thread: Mov + OpsPerIter memory ops + Add + JmpNZ.
+	// Each thread: Mov + OpsPerIter memory ops + the two-op heartbeat
+	// + Add + JmpNZ.
 	for ti, th := range p.Threads {
-		if len(th.Code) != cfg.OpsPerIter+3 {
-			t.Fatalf("thread %d has %d instructions, want %d", ti, len(th.Code), cfg.OpsPerIter+3)
+		if len(th.Code) != cfg.EventsPerIteration()+3 {
+			t.Fatalf("thread %d has %d instructions, want %d", ti, len(th.Code), cfg.EventsPerIteration()+3)
 		}
 	}
 }

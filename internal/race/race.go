@@ -8,6 +8,7 @@ package race
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 
 	"localdrf/internal/core"
@@ -196,6 +197,11 @@ func sortedReports(set map[Report]bool) []Report {
 	SortReports(out)
 	return out
 }
+
+// ReportsEqual reports whether two canonical report slices (both in
+// SortReports order) are identical — the comparison every differential
+// test of the race machinery uses.
+func ReportsEqual(a, b []Report) bool { return slices.Equal(a, b) }
 
 // SortReports sorts reports into the canonical order (by location, thread
 // pair, then access kinds with reads first). Every producer of report

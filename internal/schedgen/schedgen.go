@@ -25,12 +25,45 @@ package schedgen
 
 import (
 	"fmt"
-	"math/rand"
+	"io"
 
 	"localdrf/internal/monitor"
 	"localdrf/internal/prog"
 	"localdrf/internal/ts"
 )
+
+// rng is a tiny xorshift64* generator. Schedule generation draws one or
+// two random numbers per event, and at 10⁷ events/sec the standard
+// library generator's rejection sampling is a measurable slice of the
+// fused generate-and-monitor pipeline. Streams remain deterministic per
+// seed and stable across platforms — all the Options contract promises.
+type rng struct{ s uint64 }
+
+func newRNG(seed int64) *rng {
+	// SplitMix64 scramble, so nearby seeds yield unrelated streams; the
+	// xorshift state must be nonzero.
+	z := uint64(seed) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: z}
+}
+
+func (g *rng) next() uint64 {
+	s := g.s
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	g.s = s
+	return s * 0x2545F4914F6CDD1D
+}
+
+// intn returns a uniform-ish int in [0,n); the modulo bias is immaterial
+// at the small n drawn here.
+func (g *rng) intn(n int) int { return int(g.next() % uint64(n)) }
 
 // Policy selects which runnable thread performs the next event.
 type Policy int
@@ -137,8 +170,53 @@ func (c *cell) at(i int) (int64, prog.Val) {
 
 // Generate executes p under the given options and appends the resulting
 // event stream to dst (pass nil to allocate). It returns the stream and
-// whether the program ran to completion before MaxEvents.
+// whether the program ran to completion before MaxEvents. For workloads
+// that should never materialise the schedule, use Stream (push) or
+// Encode (write the wire format) instead.
 func Generate(p *prog.Program, tb *monitor.Table, opt Options, dst []monitor.Event) ([]monitor.Event, bool, error) {
+	if opt.MaxEvents > 0 {
+		// The budget covers the total slice length, pre-existing entries
+		// included (buffer-reuse callers pass dst[:0]).
+		if len(dst) >= opt.MaxEvents {
+			return dst, false, nil
+		}
+		opt.MaxEvents -= len(dst)
+	}
+	completed, err := Stream(p, tb, opt, func(e monitor.Event) error {
+		dst = append(dst, e)
+		return nil
+	})
+	return dst, completed, err
+}
+
+// Encode generates a schedule and writes it to w in the wire format
+// (monitor.Binary or monitor.Text) without ever materialising the event
+// slice — generate-and-encode in O(locations + threads) live memory. It
+// returns the number of events written and whether the program ran to
+// completion before MaxEvents.
+func Encode(w io.Writer, p *prog.Program, tb *monitor.Table, opt Options, format monitor.Format) (int, bool, error) {
+	tw, err := monitor.NewTraceWriter(w, monitor.Header{Threads: tb.Threads(), Decls: tb.Decls()}, format)
+	if err != nil {
+		return 0, false, err
+	}
+	n := 0
+	completed, err := Stream(p, tb, opt, func(e monitor.Event) error {
+		n++
+		return tw.Write(e)
+	})
+	if err != nil {
+		return n, false, err
+	}
+	return n, completed, tw.Flush()
+}
+
+// Stream executes p under the given options, pushing each event to emit
+// as it is produced — the generate-and-feed core that Generate and
+// Encode wrap, and that cmd/racemon's -stream mode feeds straight into a
+// monitor without buffering the schedule. Generation stops early if emit
+// returns an error (which is returned as-is). The boolean result reports
+// whether the program ran to completion before MaxEvents.
+func Stream(p *prog.Program, tb *monitor.Table, opt Options, emit func(monitor.Event) error) (bool, error) {
 	depth := opt.HistoryDepth
 	if depth <= 0 {
 		depth = 4
@@ -150,7 +228,7 @@ func Generate(p *prog.Program, tb *monitor.Table, opt Options, dst []monitor.Eve
 	if burst <= 0 {
 		burst = 64
 	}
-	r := rand.New(rand.NewSource(opt.Seed))
+	r := newRNG(opt.Seed)
 
 	// Dense location state, indexed like the monitor's events.
 	decls := tb.Decls()
@@ -158,6 +236,32 @@ func Generate(p *prog.Program, tb *monitor.Table, opt Options, dst []monitor.Eve
 	atVals := make([]prog.Val, len(decls))
 	for i := range cells {
 		cells[i] = newCell(depth)
+	}
+
+	// locAt[t][pc] is the dense location index of the Load/Store at that
+	// program counter (-1 elsewhere), precomputed so the per-event hot
+	// path never hashes a location name.
+	locAt := make([][]int32, len(p.Threads))
+	for ti := range p.Threads {
+		code := p.Threads[ti].Code
+		locAt[ti] = make([]int32, len(code))
+		for pc, in := range code {
+			locAt[ti][pc] = -1
+			var name prog.Loc
+			switch op := in.(type) {
+			case prog.Load:
+				name = op.Src
+			case prog.Store:
+				name = op.Dst
+			default:
+				continue
+			}
+			loc, ok := tb.LocIndex(name)
+			if !ok {
+				return false, fmt.Errorf("schedgen: undeclared location %q", name)
+			}
+			locAt[ti][pc] = loc
+		}
 	}
 
 	// Mutable thread states.
@@ -187,36 +291,37 @@ func Generate(p *prog.Program, tb *monitor.Table, opt Options, dst []monitor.Eve
 			// Geometric preference for low indices: walk the runnable
 			// list, taking each with probability 1/2.
 			for _, t := range runnable {
-				if r.Intn(2) == 0 {
+				if r.intn(2) == 0 {
 					return t
 				}
 			}
 			return runnable[len(runnable)-1]
 		case Bursty:
-			if cur >= 0 && r.Intn(burst) != 0 {
+			if cur >= 0 && r.intn(burst) != 0 {
 				for _, t := range runnable {
 					if t == cur {
 						return t
 					}
 				}
 			}
-			cur = runnable[r.Intn(len(runnable))]
+			cur = runnable[r.intn(len(runnable))]
 			return cur
 		default:
-			return runnable[r.Intn(len(runnable))]
+			return runnable[r.intn(len(runnable))]
 		}
 	}
 
+	emitted := 0
 	for len(runnable) > 0 {
-		if opt.MaxEvents > 0 && len(dst) >= opt.MaxEvents {
-			return dst, false, nil
+		if opt.MaxEvents > 0 && emitted >= opt.MaxEvents {
+			return false, nil
 		}
 		t := pick()
 		st := &states[t]
 		code := p.Threads[t].Code
 		pend, err := prog.StepSilentInPlace(code, st, prog.MaxSilentStepsHint)
 		if err != nil {
-			return dst, false, fmt.Errorf("schedgen: thread %d: %w", t, err)
+			return false, fmt.Errorf("schedgen: thread %d: %w", t, err)
 		}
 		if pend.Kind == prog.OpHalted {
 			drop(t)
@@ -225,10 +330,8 @@ func Generate(p *prog.Program, tb *monitor.Table, opt Options, dst []monitor.Eve
 			}
 			continue
 		}
-		loc, ok := tb.LocIndex(pend.Loc)
-		if !ok {
-			return dst, false, fmt.Errorf("schedgen: undeclared location %q", pend.Loc)
-		}
+		// StepSilentInPlace leaves PC at the pending Load/Store.
+		loc := locAt[t][st.PC]
 		ev := monitor.Event{Thread: int32(t), Loc: loc}
 		kind := decls[loc].Kind
 		if pend.Kind == prog.OpRead {
@@ -240,8 +343,8 @@ func Generate(p *prog.Program, tb *monitor.Table, opt Options, dst []monitor.Eve
 			case prog.ReleaseAcquire, prog.NonAtomic:
 				c := &cells[loc]
 				tm, val := c.latest()
-				if opt.StaleReadPct > 0 && c.n > 1 && r.Intn(100) < opt.StaleReadPct {
-					tm, val = c.at(1 + r.Intn(c.n-1))
+				if opt.StaleReadPct > 0 && c.n > 1 && r.intn(100) < opt.StaleReadPct {
+					tm, val = c.at(1 + r.intn(c.n-1))
 				}
 				v = val
 				if kind == prog.ReleaseAcquire {
@@ -268,7 +371,10 @@ func Generate(p *prog.Program, tb *monitor.Table, opt Options, dst []monitor.Eve
 			}
 			st.PC++
 		}
-		dst = append(dst, ev)
+		emitted++
+		if err := emit(ev); err != nil {
+			return false, err
+		}
 	}
-	return dst, true, nil
+	return true, nil
 }

@@ -1,6 +1,7 @@
 package schedgen
 
 import (
+	"bytes"
 	"testing"
 
 	"localdrf/internal/monitor"
@@ -48,7 +49,7 @@ func TestDeterministic(t *testing.T) {
 }
 
 // TestRunsToCompletion: a terminating program generates exactly
-// Threads × Iters × OpsPerIter events and reports completion.
+// Threads × Iters × EventsPerIteration events and reports completion.
 func TestRunsToCompletion(t *testing.T) {
 	cfg := smallCfg()
 	p := progsynth.Scaled(2, cfg)
@@ -60,7 +61,7 @@ func TestRunsToCompletion(t *testing.T) {
 	if !done {
 		t.Fatal("terminating program did not complete")
 	}
-	want := cfg.Threads * cfg.Iters * cfg.OpsPerIter
+	want := cfg.Threads * cfg.Iters * cfg.EventsPerIteration()
 	if len(events) != want {
 		t.Fatalf("got %d events, want %d", len(events), want)
 	}
@@ -109,6 +110,72 @@ func TestMonitorMatchesOracleOnStreams(t *testing.T) {
 					t.Fatalf("seed %d %v: monitor %v, oracle %v", seed, pol, got, want)
 				}
 			}
+		}
+	}
+}
+
+// TestStreamMatchesGenerate: the push generator emits exactly the events
+// Generate materialises — same order, same truncation semantics.
+func TestStreamMatchesGenerate(t *testing.T) {
+	p := progsynth.Scaled(5, smallCfg())
+	tb := monitor.NewTable(p)
+	for _, max := range []int{0, 123} {
+		opt := Options{Policy: Bursty, Seed: 13, MaxEvents: max, StaleReadPct: 20}
+		want, wantDone, err := Generate(p, tb, opt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []monitor.Event
+		gotDone, err := Stream(p, tb, opt, func(e monitor.Event) error {
+			got = append(got, e)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotDone != wantDone || len(got) != len(want) {
+			t.Fatalf("max=%d: stream shape (%d, %v) vs generate (%d, %v)",
+				max, len(got), gotDone, len(want), wantDone)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("max=%d: streams diverge at event %d", max, i)
+			}
+		}
+	}
+}
+
+// TestEncodeRoundTrip: generate-and-encode (never materialising the
+// slice), then decode-and-monitor — the reports must equal monitoring
+// the materialised stream directly, in both wire formats.
+func TestEncodeRoundTrip(t *testing.T) {
+	p := progsynth.Scaled(8, smallCfg())
+	tb := monitor.NewTable(p)
+	opt := Options{Policy: Unfair, Seed: 21, MaxEvents: 4_000, StaleReadPct: 25}
+	events, _, err := Generate(p, tb, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := monitor.New(tb.Threads(), tb.Decls())
+	for _, e := range events {
+		m.Step(e)
+	}
+	want := m.Reports()
+	for _, format := range []monitor.Format{monitor.Binary, monitor.Text} {
+		var buf bytes.Buffer
+		n, _, err := Encode(&buf, p, tb, opt, format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(events) {
+			t.Fatalf("%v: encoded %d events, generated %d", format, n, len(events))
+		}
+		got, err := monitor.ReadRaces(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !race.ReportsEqual(got, want) {
+			t.Fatalf("%v: decoded reports %v, want %v", format, got, want)
 		}
 	}
 }

@@ -65,6 +65,14 @@ func gcd(a, b int64) int64 {
 // Num returns the normalised numerator.
 func (t Time) Num() int64 { return t.norm().num }
 
+// Fraction returns the normalised numerator and denominator in a single
+// call — the hot-path accessor for code that needs both (one norm instead
+// of the two that separate Num/Den calls perform).
+func (t Time) Fraction() (num, den int64) {
+	n := t.norm()
+	return n.num, n.den
+}
+
 // Den returns the normalised denominator (always positive).
 func (t Time) Den() int64 {
 	n := t.norm()

@@ -185,3 +185,35 @@ func TestBetweenChain(t *testing.T) {
 		hi = m
 	}
 }
+
+// Fraction must agree with Num/Den (one normalisation instead of two —
+// the RA-message map-key hot path in internal/monitor).
+func TestFraction(t *testing.T) {
+	for _, tc := range []Time{Zero, {}, FromInt(7), New(-6, 4), New(3, -9), New(10, 2)} {
+		num, den := tc.Fraction()
+		if num != tc.Num() || den != tc.Den() {
+			t.Fatalf("Fraction(%v) = %d/%d, want %d/%d", tc, num, den, tc.Num(), tc.Den())
+		}
+		if den <= 0 {
+			t.Fatalf("Fraction(%v): non-positive denominator %d", tc, den)
+		}
+	}
+}
+
+// BenchmarkFraction pins the point of the single-norm accessor against
+// the separate Num/Den pair it replaced.
+func BenchmarkFraction(b *testing.B) {
+	t := New(35, 14)
+	b.Run("fraction", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			num, den := t.Fraction()
+			_, _ = num, den
+		}
+	})
+	b.Run("num-den", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			num, den := t.Num(), t.Den()
+			_, _ = num, den
+		}
+	})
+}

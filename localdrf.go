@@ -1,6 +1,8 @@
 package localdrf
 
 import (
+	"io"
+
 	"localdrf/internal/axiomatic"
 	"localdrf/internal/core"
 	"localdrf/internal/explore"
@@ -185,6 +187,18 @@ func TraceRaces(tr Trace) []RaceReport { return race.Races(tr) }
 // in a single streaming pass that scales to millions of events.
 func MonitorTrace(p *Program, tr Trace) ([]RaceReport, error) {
 	return monitor.NewTable(p).Races(tr)
+}
+
+// MonitorTraceReader monitors a raw trace in the wire format of
+// internal/monitor (binary or text, self-describing, sniffed
+// automatically) from r, in one bounded-memory streaming pass: epochs
+// for nonatomic history, windowed GC for release-acquire messages.
+// The decoder validates the stream and returns an error on malformed
+// input. This is how executions recorded outside this process are
+// monitored; cmd/racemon -emit/-trace are the command-line ends of the
+// same pipe.
+func MonitorTraceReader(r io.Reader) ([]RaceReport, error) {
+	return monitor.ReadRaces(r)
 }
 
 // ---- Litmus catalogue ----

@@ -18,13 +18,17 @@
 // sweep) and, with -bench-json, writes the measurements as JSON so the
 // performance trajectory can be tracked across PRs (BENCH_*.json files).
 // It also runs the streaming-monitor benches and writes them to the
-// -monitor-json file (BENCH_monitor.json by default): schedule generation
-// and single-core monitoring throughput (events/sec) over a 10⁶-event
-// bursty schedule — the headline number of the online race monitor.
+// -monitor-json file (BENCH_monitor.json by default): schedule
+// generation, single-core monitoring throughput (events/sec) over a
+// 10⁶-event bursty schedule — the headline number of the online race
+// monitor — plus the parallel-pipeline rows (pipeline-{2,4,8}shard,
+// each run and recorded at a multicore GOMAXPROCS of shards+1) and the
+// wire-v2 frame-decoder throughput with the encoded stream size.
 // bench-monitor runs only the monitor benches.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -415,6 +419,12 @@ type benchResult struct {
 	// AllocsPerEvent is the heap allocation rate of the monitoring pass
 	// (monitor benches only; epochs keep the common case at ≈0).
 	AllocsPerEvent float64 `json:"allocs_per_event,omitempty"`
+	// GoMaxProcs records a per-row GOMAXPROCS override (the pipeline
+	// rows run multicore; unset rows ran at the document-level value).
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	// EncodedBytes is the wire-format size of the benched stream
+	// (wire benches only).
+	EncodedBytes int `json:"encoded_bytes,omitempty"`
 }
 
 // timeIt runs fn repeatedly for at least ~200ms (and at least 3 times)
@@ -575,6 +585,61 @@ func benchMonitor() error {
 	}); err != nil {
 		return err
 	}
+	// The parallel pipeline rows run multicore: GOMAXPROCS is raised to
+	// shards+1 (sync front-end + race back-ends) for the row and
+	// recorded in it, then restored, so the single-core rows above stay
+	// comparable across PRs. On machines with fewer physical cores the
+	// row records the setting it asked for; the wall clock tells the
+	// truth about what the hardware could deliver.
+	prevProcs := runtime.GOMAXPROCS(0)
+	for _, shards := range []int{2, 4, 8} {
+		procs := shards + 1
+		runtime.GOMAXPROCS(procs)
+		err := timeIt(fmt.Sprintf("monitor/pipeline-%dshard-bursty-1M", shards), &results, func() error {
+			got := monitor.PipelineRaces(tb.Threads(), tb.Decls(), stream, monitor.PipelineConfig{Shards: shards})
+			if len(got) != mon.RaceCount() {
+				return fmt.Errorf("pipeline reported %d races, sequential %d", len(got), mon.RaceCount())
+			}
+			return nil
+		})
+		runtime.GOMAXPROCS(prevProcs)
+		if err != nil {
+			return err
+		}
+		results[len(results)-1].GoMaxProcs = procs
+	}
+	// Wire v2: encode the stream once, then time the batch decoder.
+	var wireBuf bytes.Buffer
+	if _, _, err := schedgen.Encode(&wireBuf, p, tb, opt, monitor.BinaryV2); err != nil {
+		return err
+	}
+	encoded := wireBuf.Bytes()
+	if err := timeIt("monitor/wire-v2-decode-1M", &results, func() error {
+		tr, err := monitor.NewTraceReader(bytes.NewReader(encoded))
+		if err != nil {
+			return err
+		}
+		var batch []monitor.Event
+		n := 0
+		for {
+			var ok bool
+			batch, ok, err = tr.NextBatch(batch[:0])
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			n += len(batch)
+		}
+		if n != nevents {
+			return fmt.Errorf("decoded %d events, want %d", n, nevents)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	results[len(results)-1].EncodedBytes = len(encoded)
 	for i := range results {
 		results[i].EventsPerSec = float64(nevents) / (results[i].NsPerOp / 1e9)
 	}

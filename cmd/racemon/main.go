@@ -8,31 +8,44 @@
 //
 //	racemon [-events N] [-threads K] [-policy fair|unfair|bursty]
 //	        [-seed S] [-shards M] [-locs L] [-atomics A] [-ra R]
-//	        [-stale PCT] [-json] [-stream] [-trace FILE|-] [-emit FILE]
-//	        [-format binary|text] [-golden FILE] [-update-golden]
+//	        [-stale PCT] [-halts] [-json] [-pipeline] [-stream]
+//	        [-trace FILE|-] [-emit FILE] [-format binary|text]
+//	        [-wire 1|2] [-golden FILE] [-update-golden]
 //
 // Modes:
 //
 //	(default)  generate the schedule into memory, then monitor it —
-//	           optionally sharded-by-location (-shards M) across
-//	           parallel monitor instances (identical reports at any
-//	           shard count).
-//	-stream    generate and monitor in one pass, never materialising
-//	           the event slice: memory stays O(locations + threads²)
+//	           with -shards M > 1, through the two-stage parallel
+//	           pipeline (one sync front-end pass, M race back-ends;
+//	           identical reports at any shard count).
+//	-pipeline  generate and monitor in one fused pass through the
+//	           parallel pipeline, never materialising the event slice:
+//	           -shards M is the race back-end count. The multicore
+//	           ingest mode.
+//	-stream    generate and monitor in one fused pass on a single
+//	           sequential monitor: memory stays O(locations + threads²)
 //	           plus the windowed live RA-message set, regardless of
 //	           -events. Requires -shards 1.
-//	-trace F   ingest a raw trace (binary or text wire format, sniffed
-//	           automatically) from file F, or from stdin with "-", and
-//	           monitor it in one bounded-memory pass. Generation flags
-//	           are ignored.
+//	-trace F   ingest a raw trace (binary v1/v2 or text wire format,
+//	           sniffed automatically) from file F, or from stdin with
+//	           "-", and monitor it in one bounded-memory pass (v2
+//	           frames are decoded and fed a batch at a time).
+//	           Generation flags are ignored.
 //	-emit F    generate the schedule and write it to F in the wire
-//	           format (-format binary|text) without monitoring — the
-//	           producer side of -trace.
+//	           format (-format binary|text; -wire selects the binary
+//	           version, default 2 = delta-compressed frames) without
+//	           monitoring — the producer side of -trace.
+//
+// -halts appends a thread-retirement event when a generated thread runs
+// to completion (wire v2/text and the monitor understand it; it never
+// changes reports, only RA retention).
 //
 // Examples:
 //
+//	racemon -pipeline -shards 4 -events 5000000 -json
 //	racemon -stream -events 5000000 -json
 //	racemon -emit trace.bin -events 100000 && racemon -trace trace.bin
+//	racemon -emit trace.bin -wire 1 -events 100000   # v1 for old readers
 //	racemon -emit - -format text -events 50 -threads 2 | head
 //	racemon -trace - < trace.bin
 //
@@ -123,10 +136,13 @@ func main() {
 	stale := flag.Int("stale", 10, "percent of reads returning stale values")
 	asJSON := flag.Bool("json", false, "emit a JSON summary")
 	maxRaces := flag.Int("max-races", 20, "race reports listed in the output (0 = all)")
+	pipeline := flag.Bool("pipeline", false, "generate and monitor in one fused pass through the parallel pipeline (-shards = back-end count)")
 	stream := flag.Bool("stream", false, "generate and monitor in one pass (no materialised schedule)")
+	halts := flag.Bool("halts", false, "emit thread-retirement events when generated threads complete")
 	traceFile := flag.String("trace", "", "monitor a wire-format trace from FILE ('-' = stdin) instead of generating")
 	emitFile := flag.String("emit", "", "generate and write the wire-format trace to FILE ('-' = stdout) instead of monitoring")
 	formatS := flag.String("format", "binary", "wire format for -emit: binary|text")
+	wire := flag.Int("wire", 2, "binary wire version for -emit: 1 (per-event) or 2 (delta-compressed frames)")
 	golden := flag.String("golden", "", "compare the deterministic report set against this golden JSON file")
 	updateGolden := flag.Bool("update-golden", false, "rewrite the -golden file instead of comparing")
 	flag.Parse()
@@ -145,14 +161,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "racemon: -events, -threads, -locs and -shards must be ≥ 1 (-atomics/-ra ≥ 0)")
 		os.Exit(2)
 	}
+	if *wire != 1 && *wire != 2 {
+		fmt.Fprintln(os.Stderr, "racemon: -wire must be 1 or 2")
+		os.Exit(2)
+	}
+	if format == monitor.Binary && *wire == 2 {
+		format = monitor.BinaryV2
+	}
 	modeFlags := 0
-	for _, on := range []bool{*stream, *traceFile != "", *emitFile != ""} {
+	for _, on := range []bool{*pipeline, *stream, *traceFile != "", *emitFile != ""} {
 		if on {
 			modeFlags++
 		}
 	}
 	if modeFlags > 1 {
-		fmt.Fprintln(os.Stderr, "racemon: -stream, -trace and -emit are mutually exclusive")
+		fmt.Fprintln(os.Stderr, "racemon: -pipeline, -stream, -trace and -emit are mutually exclusive")
 		os.Exit(2)
 	}
 	if (*stream || *traceFile != "") && *shards != 1 {
@@ -170,7 +193,7 @@ func main() {
 
 	gp := genParams{
 		policy: pol, seed: *seed, events: *events, threads: *threads,
-		locs: *locs, atomics: *atomics, ra: *ra, stale: *stale,
+		locs: *locs, atomics: *atomics, ra: *ra, stale: *stale, halts: *halts,
 	}
 	var res result
 	var reports []race.Report
@@ -179,6 +202,8 @@ func main() {
 		res, reports = runTrace(*traceFile)
 	case *emitFile != "":
 		res = runEmit(*emitFile, format, gp)
+	case *pipeline:
+		res, reports = runPipeline(gp, *shards)
 	default:
 		res, reports = runGenerated(gp, *shards, *stream)
 	}
@@ -229,8 +254,10 @@ func main() {
 	}
 	fmt.Fprintf(out, "monitor   %8.1f ms  (%.1fM events/sec, %d shard(s), mode=%s)\n",
 		float64(res.MonitorNs)/1e6, res.EventsPerSec/1e6, res.Shards, res.Mode)
-	if res.Shards == 1 {
-		// Sharded runs keep their monitors internal; no retention stats.
+	if res.Shards == 1 || res.Mode == "pipeline" {
+		// The pipeline's sync front-end owns the RA window, so its stats
+		// are visible at any shard count; the batch-sharded wrapper keeps
+		// its pipeline internal.
 		fmt.Fprintf(out, "ra msgs   live=%d peak=%d collected=%d (windowed GC)\n",
 			res.RALive, res.RALivePeak, res.RACollected)
 	}
@@ -254,6 +281,7 @@ type genParams struct {
 	atomics int
 	ra      int
 	stale   int
+	halts   bool
 }
 
 // program builds the generator-side program and table shared by the
@@ -273,7 +301,40 @@ func (gp genParams) program() (*monitor.Table, string) {
 
 // options is the schedgen configuration of the parameters.
 func (gp genParams) options() schedgen.Options {
-	return schedgen.Options{Policy: gp.policy, Seed: gp.seed, MaxEvents: gp.events, StaleReadPct: gp.stale}
+	return schedgen.Options{
+		Policy: gp.policy, Seed: gp.seed, MaxEvents: gp.events,
+		StaleReadPct: gp.stale, EmitHalts: gp.halts,
+	}
+}
+
+// runPipeline is the fused parallel mode: schedgen batches feed the
+// two-stage pipeline directly — one sync front-end pass, shards race
+// back-ends, no materialised schedule.
+func runPipeline(gp genParams, shards int) (result, []race.Report) {
+	tb, name := gp.program()
+	res := result{
+		Program: name, Mode: "pipeline", Threads: tb.Threads(), Policy: gp.policy.String(),
+		Seed: gp.seed, Shards: shards,
+		Locations: locationsJSON{NonAtomic: gp.locs, Atomic: gp.atomics, RA: gp.ra},
+	}
+	pl := monitor.NewPipeline(tb.Threads(), tb.Decls(), monitor.PipelineConfig{Shards: shards})
+	start := time.Now()
+	completed, err := schedgen.StreamBatch(tb.Program(), tb, gp.options(), 0, func(evs []monitor.Event) error {
+		pl.StepBatch(evs)
+		return nil
+	})
+	if err != nil {
+		fatalf("pipeline: %v", err)
+	}
+	reports := pl.Finish()
+	res.MonitorNs = time.Since(start).Nanoseconds()
+	res.Completed = completed
+	res.Events = int(pl.Events())
+	st := pl.RAStats()
+	res.RALive, res.RALivePeak, res.RACollected = st.Live, st.Peak, st.Collected
+	res.EventsPerSec = float64(res.Events) / (float64(res.MonitorNs) / 1e9)
+	res.RaceCount = pl.RaceCount()
+	return res, reports
 }
 
 // runGenerated is the in-process generation path: the batch (and
@@ -355,7 +416,9 @@ func runTrace(path string) (result, []race.Report) {
 	}
 	hdr := tr.Header()
 	m := tr.NewMonitor()
-	if err := m.Feed(tr); err != nil {
+	// Batched ingestion: v2 traces decode a frame at a time; v1 and text
+	// are batched by the reader.
+	if err := m.FeedBatch(tr); err != nil {
 		fatalf("trace: %v", err)
 	}
 	res := result{

@@ -74,26 +74,48 @@
 // programs (progsynth.Scaled: many threads looping over many locations,
 // with a sync-heartbeat ring so frontiers keep advancing) under fair,
 // unfair or bursty scheduling policies — materialised (Generate),
-// pushed event-by-event (Stream), or encoded straight to the wire
-// format (Encode), reaching 10⁶+ events without ever buffering the
-// schedule. The monitor's verdicts are differentially tested against
-// the exhaustive oracle race.Races on every corpus program, on hundreds
-// of random programs, and on hundreds of generated schedules (at every
-// GC interval tested); a sharded-by-location mode partitions monitoring
-// across engine workers with identical reports at any shard count.
+// pushed event-by-event (Stream) or in reused batches (StreamBatch), or
+// encoded straight to the wire format (Encode), reaching 10⁶+ events
+// without ever buffering the schedule; finished threads can announce a
+// retirement event (KindHalt) so windowed analyses stop retaining state
+// on their behalf.
+//
+// Multicore ingest is a two-stage pipeline (monitor.Pipeline,
+// monitor.ShardedRaces), not replay-per-shard: a single synchronisation
+// front-end consumes the stream once — all clock joins, RA message
+// retention and windowed GC — and routes each nonatomic access, plus a
+// compact clock-delta side channel, to the race back-end owning its
+// location (loc mod shards). Records travel in batches over bounded
+// SPSC rings (engine.BatchQueue), so total work is O(events) +
+// O(events/shards × check cost) per back-end instead of O(shards ×
+// events), and the merged report set is byte-identical to the
+// sequential monitor at any shard count, batch size and GC interval.
+// The wire format has a delta-compressed framed v2 (varint
+// thread/location/timestamp deltas; ≥1.5× smaller than v1 on the
+// reference stream) whose decoder yields events a frame at a time into
+// the monitor's batch entry points; v1 traces still decode.
+//
+// The monitor's verdicts are differentially tested against the
+// exhaustive oracle race.Races on every corpus program, on hundreds of
+// random programs, and on hundreds of generated schedules — at every GC
+// interval (fixed and adaptive) and across the full pipeline
+// (shards × batch × GC) matrix.
 //
 // The command-line tools (cmd/litmus, cmd/drfcheck, cmd/memsim,
 // cmd/racemon, cmd/experiments) and the examples directory exercise all
 // of the above; EXPERIMENTS.md records paper-versus-measured results for
 // every table and figure. cmd/racemon generates a million-event schedule
-// and monitors it in one pass (-events, -threads, -policy
-// fair|unfair|bursty, -shards, -json), monitors while generating with
-// no materialised schedule (-stream), and writes/ingests raw traces
-// (-emit FILE, -trace FILE|-); its JSON reports the windowed GC's live,
-// peak and collected RA-message counts. cmd/experiments -run bench
-// emits engine-versus-baseline timings as JSON (BENCH_engine.json) and
-// streaming-monitor throughput (BENCH_monitor.json, events/sec, plus
-// peak live RA messages and allocs/event) so the performance trajectory
-// is tracked across PRs; CI fails if the racemon smoke run's report set
-// drifts from the committed golden.
+// and monitors it materialised or fused through the parallel pipeline
+// (-pipeline -shards N), on a single sequential monitor (-stream), and
+// writes/ingests raw traces (-emit FILE [-wire 1|2], -trace FILE|-);
+// its JSON reports the windowed GC's live, peak and collected
+// RA-message counts. cmd/experiments -run bench emits
+// engine-versus-baseline timings as JSON (BENCH_engine.json) and
+// streaming-monitor throughput (BENCH_monitor.json: events/sec for the
+// sequential, fused, sharded, pipeline-{2,4,8}shard and wire-v2-decode
+// rows, the pipeline rows at a recorded multicore GOMAXPROCS, plus peak
+// live RA messages and allocs/event) so the performance trajectory is
+// tracked across PRs; CI fails if any racemon smoke run's report set —
+// including the pipeline at 4 back-ends and both wire-version round
+// trips — drifts from the committed golden.
 package localdrf

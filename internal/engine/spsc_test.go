@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBatchQueueFIFO: items come out in insertion order across the ring
+// wrap-around boundary.
+func TestBatchQueueFIFO(t *testing.T) {
+	q := NewBatchQueue[int](3)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 3; i++ {
+			if !q.Put(round*10 + i) {
+				t.Fatal("Put failed on open queue")
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.Get()
+			if !ok || v != round*10+i {
+				t.Fatalf("round %d: got (%d,%v), want (%d,true)", round, v, ok, round*10+i)
+			}
+		}
+	}
+}
+
+// TestBatchQueueClose: Close lets the consumer drain what was queued and
+// then reports end of stream; producers are rejected.
+func TestBatchQueueClose(t *testing.T) {
+	q := NewBatchQueue[int](4)
+	q.Put(1)
+	q.Put(2)
+	q.Close()
+	q.Close() // idempotent
+	if q.Put(3) {
+		t.Fatal("Put succeeded on a closed queue")
+	}
+	for want := 1; want <= 2; want++ {
+		v, ok := q.Get()
+		if !ok || v != want {
+			t.Fatalf("drain: got (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+	if _, ok := q.Get(); ok {
+		t.Fatal("Get returned an item after the closed queue drained")
+	}
+}
+
+// TestBatchQueueBlockingHandoff: a slow consumer backpressures the
+// producer through the bounded ring; every item arrives exactly once and
+// in order. Run under -race this is also the memory-visibility test.
+func TestBatchQueueBlockingHandoff(t *testing.T) {
+	const n = 10_000
+	q := NewBatchQueue[int](2) // tiny capacity: forces Put to block often
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got []int
+	go func() {
+		defer wg.Done()
+		for {
+			v, ok := q.Get()
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if !q.Put(i) {
+			t.Fatal("Put failed mid-stream")
+		}
+	}
+	q.Close()
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("consumer saw %d items, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("item %d out of order: got %d", i, v)
+		}
+	}
+}
+
+// TestBatchQueueUnblocksOnClose: a consumer parked in Get wakes up when
+// the producer closes an empty queue.
+func TestBatchQueueUnblocksOnClose(t *testing.T) {
+	q := NewBatchQueue[int](1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := q.Get(); ok {
+			t.Error("Get returned an item from an empty closed queue")
+		}
+	}()
+	q.Close()
+	<-done
+}

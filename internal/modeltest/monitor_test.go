@@ -134,11 +134,36 @@ func TestMonitorMatchesRacesOnSchedules(t *testing.T) {
 			if !race.ReportsEqual(mgc.Reports(), want) {
 				t.Fatalf("seed %d %v: windowed monitor (GC interval 16) diverged", seed, pol)
 			}
+			// The adaptive interval is likewise report-preserving.
+			mad := tb.NewMonitor()
+			mad.SetAdaptiveGC(16, 4096)
+			for _, e := range events {
+				mad.Step(e)
+			}
+			if !race.ReportsEqual(mad.Reports(), want) {
+				t.Fatalf("seed %d %v: adaptive-GC monitor diverged", seed, pol)
+			}
+			// The parallel pipeline must be byte-identical to the
+			// sequential pass on EVERY stream, across the full
+			// (shard count × batch size × GC interval) matrix.
+			for _, shards := range []int{1, 2, 3, 4, 8} {
+				for _, batch := range []int{1, 64, 4096} {
+					for _, gc := range []uint64{16, 0} {
+						got := monitor.PipelineRaces(tb.Threads(), tb.Decls(), events, monitor.PipelineConfig{
+							Shards: shards, BatchSize: batch, GCInterval: gc,
+						})
+						if !race.ReportsEqual(got, want) {
+							t.Fatalf("seed %d %v shards=%d batch=%d gc=%d: pipeline diverged",
+								seed, pol, shards, batch, gc)
+						}
+					}
+				}
+			}
 			if seed >= 8 {
 				continue
 			}
-			// For a subset: the sharded mode at several shard counts, and
-			// the wire-format round trip (encode, decode, monitor).
+			// For a subset: the sharded entry point, halt-carrying
+			// streams, and the wire-format round trips (v1 and v2).
 			for _, shards := range []int{2, 3} {
 				sharded, err := monitor.ShardedRaces(tb.Threads(), tb.Decls(), events, shards, 0)
 				if err != nil {
@@ -148,20 +173,37 @@ func TestMonitorMatchesRacesOnSchedules(t *testing.T) {
 					t.Fatalf("seed %d %v shards=%d: sharded mode diverged", seed, pol, shards)
 				}
 			}
-			var buf bytes.Buffer
-			if _, _, err := schedgen.Encode(&buf, p, tb, schedgen.Options{
-				Policy: pol, Seed: seed * 17, MaxEvents: 260, StaleReadPct: 30,
-			}, monitor.Binary); err != nil {
-				t.Fatal(err)
-			}
-			decoded, err := monitor.ReadRaces(&buf)
+			// Thread-retirement events never change the report set.
+			haltEvents, _, err := schedgen.Generate(p, tb, schedgen.Options{
+				Policy: pol, Seed: seed * 17, MaxEvents: 260, StaleReadPct: 30, EmitHalts: true,
+			}, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !race.ReportsEqual(decoded, want) {
-				t.Fatalf("seed %d %v: wire round-trip diverged", seed, pol)
+			mh := tb.NewMonitor()
+			mh.SetGCInterval(16)
+			for _, e := range haltEvents {
+				mh.Step(e)
+			}
+			if !race.ReportsEqual(mh.Reports(), want) {
+				t.Fatalf("seed %d %v: halt-carrying stream diverged", seed, pol)
+			}
+			for _, format := range []monitor.Format{monitor.Binary, monitor.BinaryV2} {
+				var buf bytes.Buffer
+				if _, _, err := schedgen.Encode(&buf, p, tb, schedgen.Options{
+					Policy: pol, Seed: seed * 17, MaxEvents: 260, StaleReadPct: 30,
+				}, format); err != nil {
+					t.Fatal(err)
+				}
+				decoded, err := monitor.ReadRaces(&buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !race.ReportsEqual(decoded, want) {
+					t.Fatalf("seed %d %v: %v wire round-trip diverged", seed, pol, format)
+				}
 			}
 		}
 	}
-	t.Logf("monitor == race.Races on %d schedgen streams (default + windowed GC)", streams)
+	t.Logf("monitor == race.Races on %d schedgen streams (windowed/adaptive GC + pipeline matrix)", streams)
 }

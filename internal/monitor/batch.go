@@ -1,0 +1,82 @@
+package monitor
+
+// Batched ingestion: the per-event Source interface costs an interface
+// call per event, which at tens of millions of events per second is a
+// measurable slice of the fused generate-and-monitor path. A BatchSource
+// amortises that to one call per batch; the wire-format v2 decoder
+// (whose frames are natural batches), schedgen's batched streaming, and
+// the parallel pipeline all move events this way.
+
+// BatchSource is a pull-based stream of monitor events delivered in
+// batches. NextBatch appends the next batch to dst (pass a reusable
+// buffer, typically dst[:0] of the previous result) and returns the
+// extended slice; ok=false at the end of the stream, or an error (after
+// which the stream must not be read further).
+type BatchSource interface {
+	NextBatch(dst []Event) ([]Event, bool, error)
+}
+
+// StepBatch consumes a batch of events in order — equivalent to calling
+// Step on each, without the per-event call overhead of Feed.
+func (m *Monitor) StepBatch(events []Event) {
+	for i := range events {
+		m.Step(events[i])
+	}
+}
+
+// FeedBatch consumes src to the end of the stream, stepping the monitor
+// on every event of every batch. On a source error, monitoring stops and
+// the error is returned; the reports accumulated so far remain readable.
+func (m *Monitor) FeedBatch(src BatchSource) error {
+	return feedBatches(src, m.StepBatch)
+}
+
+// feedBatches drains a batched source into step, reusing one buffer —
+// the shared pump behind Monitor.FeedBatch and Pipeline.FeedBatch.
+func feedBatches(src BatchSource, step func([]Event)) error {
+	buf := make([]Event, 0, defaultPipelineBatch)
+	for {
+		batch, ok, err := src.NextBatch(buf[:0])
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		step(batch)
+		buf = batch
+	}
+}
+
+// feedEvents drains a per-event source into step — the shared pump
+// behind Monitor.Feed and Pipeline.Feed.
+func feedEvents(src Source, step func(Event)) error {
+	for {
+		e, ok, err := src.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		step(e)
+	}
+}
+
+// NextBatch yields up to cap(dst) (at least one batch's worth of)
+// remaining slice elements — SliceSource implements BatchSource too.
+func (s *SliceSource) NextBatch(dst []Event) ([]Event, bool, error) {
+	if s.next >= len(s.Events) {
+		return dst, false, nil
+	}
+	n := cap(dst) - len(dst)
+	if n < 1 {
+		n = defaultPipelineBatch
+	}
+	if rest := len(s.Events) - s.next; n > rest {
+		n = rest
+	}
+	dst = append(dst, s.Events[s.next:s.next+n]...)
+	s.next += n
+	return dst, true, nil
+}

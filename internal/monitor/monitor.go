@@ -36,6 +36,10 @@
 // u's *latest* earlier access of that kind (program order makes earlier
 // ones ordered whenever the latest is), so per-thread last-access records
 // identify the full deduplicated report set, not merely race existence.
+// That per-location check logic lives in the checker type, which is
+// shared verbatim between the sequential Monitor and the parallel
+// pipeline's race back-ends (pipeline.go) — the two paths cannot
+// diverge, because they run the same code.
 //
 // # Bounded memory: epochs and windowed RA GC
 //
@@ -56,22 +60,26 @@
 //
 // Windowed RA GC: release-acquire messages are retained only while some
 // thread could still gain an edge from them. The monitor periodically
-// (every GC interval; see SetGCInterval) recomputes the pointwise minimum
-// of all thread clocks and deletes every message whose writer event index
-// lies below that frontier: by the vector-clock characterisation of
-// happens-before, once min_u C_u[w] ≥ k every current and future clock
-// already dominates the clock published by thread w's k-th event, so the
-// reads-from join is a no-op and dropping the message cannot change any
-// report. Retention statistics (live, peak, collected) are exposed via
-// RAStats. Under the program semantics' freshness constraint threads read
-// monotonically newer messages, so the live set tracks the spread between
-// the fastest and slowest thread — a window — rather than the trace
-// length. The criterion is exact, not heuristic, which has a flip side:
-// a declared thread that goes silent (never synchronising again) holds
-// the frontier down forever, because it could still legitimately read
-// any message it has not passed — retention is then semantically
-// required, and bounding it would need an explicit thread-retirement
-// signal in the event stream.
+// (every GC interval; see SetGCInterval and SetAdaptiveGC) recomputes the
+// pointwise minimum of all thread clocks and deletes every message whose
+// writer event index lies below that frontier: by the vector-clock
+// characterisation of happens-before, once min_u C_u[w] ≥ k every current
+// and future clock already dominates the clock published by thread w's
+// k-th event, so the reads-from join is a no-op and dropping the message
+// cannot change any report. Retention statistics (live, peak, collected)
+// are exposed via RAStats, and live counts are tracked per location so
+// sweeps skip locations with nothing retained. Under the program
+// semantics' freshness constraint threads read monotonically newer
+// messages, so the live set tracks the spread between the fastest and
+// slowest thread — a window — rather than the trace length. The criterion
+// is exact, not heuristic, with one escape hatch for its flip side: a
+// declared thread that goes silent would hold the frontier down forever
+// (it could still legitimately read any message it has not passed), so
+// the event stream may carry an explicit thread-retirement event
+// (KindHalt) after which the thread's frontier entry is treated as +∞ —
+// a halted thread performs no further accesses, so no message needs to
+// be retained on its behalf and no future race can involve it as the
+// later access.
 //
 // Complexity: O(events × threads) time worst case, O(1) amortised per
 // event on single-thread and ordered-handoff locations. Space is
@@ -88,7 +96,8 @@ import (
 )
 
 // Kind classifies an event: the cross product of read/write and the
-// location flavour (nonatomic, SC atomic, release-acquire).
+// location flavour (nonatomic, SC atomic, release-acquire), plus the
+// thread-retirement marker.
 type Kind uint8
 
 const (
@@ -104,6 +113,15 @@ const (
 	ReadRA
 	// WriteRA is a release-acquire write.
 	WriteRA
+	// KindHalt retires a thread: it performs no further events. The
+	// monitor then treats the thread's frontier entry as +∞ when
+	// computing the windowed-GC minimum, so a finished thread stops
+	// pinning the live RA-message window (and dead epochs it has not
+	// explicitly passed can be overwritten — it will never be the later
+	// access of a race). Halt events are advisory: removing them from a
+	// stream never changes the report set, only retention. Event.Loc and
+	// Event.Time are ignored.
+	KindHalt
 )
 
 // IsWrite reports whether the kind is a write.
@@ -206,79 +224,48 @@ func reportBit(wi, wj bool) uint8 {
 // O(threads² + live messages), amortised to a fraction of an event.
 const defaultGCInterval = 4096
 
-// Monitor is the streaming race detector. Create one with New, feed it
-// events in trace order with Step (or Feed, from a Source), and collect
-// the deduplicated reports with Reports. A Monitor is not safe for
-// concurrent use; the sharded parallel mode (ShardedRaces) runs one
-// Monitor per shard.
-type Monitor struct {
-	decls    []LocDecl
+// checker is the nonatomic race-checking half of the monitor: the
+// per-location epoch/vector histories, the dedup bitmasks, and the scan
+// logic. It reads — never writes — the thread clocks and the cached
+// minimum frontier it is given. The sequential Monitor embeds one
+// checker over its own clocks; each pipeline back-end owns a checker
+// over its mirrored copy of the clocks (updated by the front-end's delta
+// side channel), so both execute literally the same checking code and
+// produce bit-identical report state.
+type checker struct {
 	nthreads int
-	clocks   [][]uint64 // clocks[t][u]: thread t's vector clock
-	na       []naState  // indexed by location; inert for non-NA locations
-	at       [][]uint64 // released clock L_A per atomic location
-	ra       []map[tsKey]raMsg
-	// minClock caches the pointwise minimum of all thread clocks as of
-	// the last GC sweep. Stale entries are only ever too small, so every
-	// use (RA GC, epoch overwrite) stays conservative and safe.
+	// clocks[t] is thread t's vector clock as of the current stream
+	// position (the Monitor's own clocks, or a back-end's mirror).
+	clocks [][]uint64
+	// minClock is the cached pointwise minimum of all live thread clocks
+	// as of the last GC sweep. Stale entries are only ever too small, so
+	// every use (epoch overwrite) stays conservative and safe.
 	minClock []uint64
-	gcEvery  uint64
-	nextGC   uint64
-	// RA retention statistics.
-	raLive      int
-	raPeak      int
-	raCollected uint64
-	// shard/shards restrict nonatomic race checking to locations with
-	// loc % shards == shard; synchronisation events are always processed
-	// (every shard needs the full clocks). 0/1 means "all locations".
-	shard, shards int32
-	races         int
-	events        uint64
+	na       []naState
+	races    int
 }
 
-// New returns a monitor for nthreads threads over the given locations.
-func New(nthreads int, decls []LocDecl) *Monitor {
-	m := &Monitor{
-		decls:    decls,
+func newChecker(nthreads int, nlocs int, clocks [][]uint64, minClock []uint64) checker {
+	ck := checker{
 		nthreads: nthreads,
-		clocks:   make([][]uint64, nthreads),
-		na:       make([]naState, len(decls)),
-		at:       make([][]uint64, len(decls)),
-		ra:       make([]map[tsKey]raMsg, len(decls)),
-		minClock: make([]uint64, nthreads),
-		gcEvery:  defaultGCInterval,
-		nextGC:   defaultGCInterval,
-		shards:   1,
+		clocks:   clocks,
+		minClock: minClock,
+		na:       make([]naState, nlocs),
 	}
-	for t := range m.clocks {
-		m.clocks[t] = make([]uint64, nthreads)
-	}
-	for l, d := range decls {
-		switch d.Kind {
-		case prog.Atomic:
-			m.at[l] = make([]uint64, nthreads)
-		case prog.ReleaseAcquire:
-			m.ra[l] = make(map[tsKey]raMsg)
-		}
+	for l := range ck.na {
 		// Every location starts in the empty epoch state; the per-thread
 		// vectors and dedup bitmasks are allocated only if the location's
 		// history ever escalates / races.
-		m.na[l] = naState{wT: noEpoch, rT: noEpoch, lastT: -1}
+		ck.na[l] = naState{wT: noEpoch, rT: noEpoch, lastT: -1}
 	}
-	return m
+	return ck
 }
 
-// Reset clears all monitoring state (clocks, per-location epochs and
-// vectors, RA messages and statistics, reports, and the shard filter) so
-// the monitor can be reused for another trace of the same program shape
-// without reallocating. A reused sharded monitor reverts to the
-// unsharded default.
-func (m *Monitor) Reset() {
-	for _, c := range m.clocks {
-		clear(c)
-	}
-	for l := range m.na {
-		ls := &m.na[l]
+// reset clears the per-location histories and the race count, reusing
+// escalated vectors and bitmasks.
+func (ck *checker) reset() {
+	for l := range ck.na {
+		ls := &ck.na[l]
 		ls.wT, ls.rT = noEpoch, noEpoch
 		ls.wC, ls.rC = 0, 0
 		ls.lastT = -1
@@ -293,6 +280,91 @@ func (m *Monitor) Reset() {
 			clear(ls.reported)
 		}
 	}
+	ck.races = 0
+}
+
+// Monitor is the streaming race detector. Create one with New, feed it
+// events in trace order with Step (or Feed/FeedBatch, from a Source),
+// and collect the deduplicated reports with Reports. A Monitor is not
+// safe for concurrent use; the parallel mode (Pipeline, ShardedRaces)
+// splits the work between a synchronisation front-end and per-location
+// race back-ends instead.
+type Monitor struct {
+	decls    []LocDecl
+	nthreads int
+	clocks   [][]uint64 // clocks[t][u]: thread t's vector clock
+	ck       checker    // nonatomic race checking over clocks/minClock
+	at       [][]uint64 // released clock L_A per atomic location
+	ra       []map[tsKey]raMsg
+	// minClock caches the pointwise minimum of all live thread clocks as
+	// of the last GC sweep (halted threads count as +∞). Stale entries
+	// are only ever too small, so every use (RA GC, epoch overwrite)
+	// stays conservative and safe.
+	minClock []uint64
+	// halted[t] is set by a KindHalt event: thread t performs no further
+	// events, so the GC frontier treats its clock as +∞.
+	halted  []bool
+	gcEvery uint64
+	nextGC  uint64
+	// adaptMin/adaptMax bound the live-pressure-driven GC interval
+	// adaptation (0 = fixed interval; see SetAdaptiveGC).
+	adaptMin, adaptMax uint64
+	// RA retention statistics (aggregate and per location).
+	raLive      int
+	raPeak      int
+	raCollected uint64
+	raLiveLoc   []int
+	events      uint64
+}
+
+// New returns a monitor for nthreads threads over the given locations.
+func New(nthreads int, decls []LocDecl) *Monitor {
+	m := newSync(nthreads, decls)
+	m.ck = newChecker(nthreads, len(decls), m.clocks, m.minClock)
+	return m
+}
+
+// newSync builds the synchronisation half of a monitor — clocks, atomic
+// released clocks, RA retention, GC bookkeeping — without the nonatomic
+// checker. The pipeline front-end runs on exactly this (its nonatomic
+// accesses are routed to the back-ends' checkers instead), so it does
+// not pay an O(locations) checker it would never touch.
+func newSync(nthreads int, decls []LocDecl) *Monitor {
+	m := &Monitor{
+		decls:     decls,
+		nthreads:  nthreads,
+		clocks:    make([][]uint64, nthreads),
+		at:        make([][]uint64, len(decls)),
+		ra:        make([]map[tsKey]raMsg, len(decls)),
+		minClock:  make([]uint64, nthreads),
+		halted:    make([]bool, nthreads),
+		raLiveLoc: make([]int, len(decls)),
+		gcEvery:   defaultGCInterval,
+		nextGC:    defaultGCInterval,
+	}
+	for t := range m.clocks {
+		m.clocks[t] = make([]uint64, nthreads)
+	}
+	for l, d := range decls {
+		switch d.Kind {
+		case prog.Atomic:
+			m.at[l] = make([]uint64, nthreads)
+		case prog.ReleaseAcquire:
+			m.ra[l] = make(map[tsKey]raMsg)
+		}
+	}
+	return m
+}
+
+// Reset clears all monitoring state (clocks, per-location epochs and
+// vectors, RA messages and statistics, halted threads, and reports) so
+// the monitor can be reused for another trace of the same program shape
+// without reallocating. The GC interval configuration is kept.
+func (m *Monitor) Reset() {
+	for _, c := range m.clocks {
+		clear(c)
+	}
+	m.ck.reset()
 	for _, la := range m.at {
 		if la != nil {
 			clear(la)
@@ -304,23 +376,63 @@ func (m *Monitor) Reset() {
 		}
 	}
 	clear(m.minClock)
+	clear(m.halted)
+	clear(m.raLiveLoc)
 	m.raLive, m.raPeak, m.raCollected = 0, 0, 0
 	m.nextGC = m.gcEvery
-	m.shard, m.shards = 0, 1
-	m.races = 0
 	m.events = 0
 }
 
 // SetGCInterval sets the frontier-refresh / RA-collection period in
-// events (0 restores the default). Smaller intervals bound the live RA
-// set more tightly at the cost of more frequent O(threads² + live)
-// sweeps; the report set is identical at any interval.
+// events (0 restores the default) and disables adaptive mode. Smaller
+// intervals bound the live RA set more tightly at the cost of more
+// frequent O(threads² + live) sweeps; the report set is identical at any
+// interval.
 func (m *Monitor) SetGCInterval(events uint64) {
 	if events == 0 {
 		events = defaultGCInterval
 	}
 	m.gcEvery = events
+	m.adaptMin, m.adaptMax = 0, 0
 	m.nextGC = m.events + events
+}
+
+// SetAdaptiveGC lets the GC interval float between min and max, driven
+// by live-message pressure: after a sweep that reclaimed something
+// while many messages had accumulated relative to the window, the
+// interval halves (sweeping sooner caps the peak); after a sweep that
+// reclaimed nothing — a quiet stream, or a frontier pinned by a silent
+// thread, where sweeping more often provably cannot help — it doubles.
+// Streams with collectable RA churn are swept aggressively while
+// unproductive sweeping backs off instead of spiralling into a
+// per-event O(threads² + live) scan. Because the collection criterion
+// is exact — a swept message's join is provably a no-op forever — the
+// report set is identical under ANY interval schedule, adaptive or
+// fixed (differentially tested); only retention telemetry varies. min
+// and max are clamped to ≥ 1; min > max is normalised by swapping.
+func (m *Monitor) SetAdaptiveGC(min, max uint64) {
+	if min == 0 {
+		min = 1
+	}
+	if max == 0 {
+		max = defaultGCInterval
+	}
+	if min > max {
+		min, max = max, min
+	}
+	m.adaptMin, m.adaptMax = min, max
+	m.gcEvery = clampU64(m.gcEvery, min, max)
+	m.nextGC = m.events + m.gcEvery
+}
+
+func clampU64(v, lo, hi uint64) uint64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
 
 // RAStats is the release-acquire retention telemetry of a monitor run.
@@ -338,17 +450,11 @@ func (m *Monitor) RAStats() RAStats {
 	return RAStats{Live: m.raLive, Peak: m.raPeak, Collected: m.raCollected}
 }
 
-// setShard restricts nonatomic race checking to locations l with
-// l % shards == shard (see ShardedRaces).
-func (m *Monitor) setShard(shard, shards int) {
-	m.shard, m.shards = int32(shard), int32(shards)
-}
-
 // Events returns the number of events consumed since the last Reset.
 func (m *Monitor) Events() uint64 { return m.events }
 
 // RaceCount returns the number of distinct races reported so far.
-func (m *Monitor) RaceCount() int { return m.races }
+func (m *Monitor) RaceCount() int { return m.ck.races }
 
 // Step consumes the next event of the trace. Events must be in bounds
 // (thread < nthreads, loc < len(decls), kind matching the declared
@@ -364,15 +470,9 @@ func (m *Monitor) Step(e Event) {
 	}
 	switch e.Kind {
 	case ReadNA:
-		if m.shards > 1 && e.Loc%m.shards != m.shard {
-			return
-		}
-		m.readNA(&m.na[e.Loc], e.Thread, c)
+		m.ck.readNA(&m.ck.na[e.Loc], e.Thread, c)
 	case WriteNA:
-		if m.shards > 1 && e.Loc%m.shards != m.shard {
-			return
-		}
-		m.writeNA(&m.na[e.Loc], e.Thread, c)
+		m.ck.writeNA(&m.ck.na[e.Loc], e.Thread, c)
 	case ReadAT:
 		join(c, m.at[e.Loc])
 	case WriteAT:
@@ -384,23 +484,33 @@ func (m *Monitor) Step(e Event) {
 			join(c, msg.vc)
 		}
 	case WriteRA:
-		vc := make([]uint64, len(c))
-		copy(vc, c)
-		mm := m.ra[e.Loc]
-		k := timeKey(e.Time)
-		if _, dup := mm[k]; !dup {
-			m.raLive++
-			if m.raLive > m.raPeak {
-				m.raPeak = m.raLive
-			}
-		}
-		mm[k] = raMsg{vc: vc, writer: e.Thread}
+		m.publishRA(e.Loc, e.Time, e.Thread, c)
+	case KindHalt:
+		m.halted[t] = true
 	}
+}
+
+// publishRA snapshots the writer's clock as a retained RA message — the
+// WriteRA effect, shared by the sequential Step and the pipeline
+// front-end.
+func (m *Monitor) publishRA(loc int32, tm ts.Time, writer int32, c []uint64) {
+	vc := make([]uint64, len(c))
+	copy(vc, c)
+	mm := m.ra[loc]
+	k := timeKey(tm)
+	if _, dup := mm[k]; !dup {
+		m.raLive++
+		m.raLiveLoc[loc]++
+		if m.raLive > m.raPeak {
+			m.raPeak = m.raLive
+		}
+	}
+	mm[k] = raMsg{vc: vc, writer: writer}
 }
 
 // readNA checks a nonatomic read by thread t against the write history
 // and records it as the thread's last read.
-func (m *Monitor) readNA(ls *naState, t int32, c []uint64) {
+func (ck *checker) readNA(ls *naState, t int32, c []uint64) {
 	if ls.lastT != t {
 		ls.lastT = t
 		ls.wClean, ls.rClean = false, false
@@ -410,11 +520,11 @@ func (m *Monitor) readNA(ls *naState, t int32, c []uint64) {
 		// No foreign write live: nothing to race with.
 	case escalated:
 		if !ls.wClean {
-			ls.wClean = m.scanWrites(ls, t, c, false)
+			ls.wClean = ck.scanWrites(ls, t, c, false)
 		}
 	default:
 		if ls.wC > c[ls.wT] {
-			m.report(ls, ls.wT, t, true, false)
+			ck.report(ls, ls.wT, t, true, false)
 		}
 	}
 	switch ls.rT {
@@ -423,12 +533,12 @@ func (m *Monitor) readNA(ls *naState, t int32, c []uint64) {
 	case escalated:
 		ls.reads[t] = c[t]
 	default:
-		if m.minClock[ls.rT] >= ls.rC {
+		if ck.minClock[ls.rT] >= ls.rC {
 			// Every thread's frontier has passed the old read epoch: it
 			// can never race again, so overwriting it loses no report.
 			ls.rT, ls.rC = t, c[t]
 		} else {
-			m.escalateReads(ls)
+			ck.escalateReads(ls)
 			ls.reads[t] = c[t]
 		}
 	}
@@ -436,7 +546,7 @@ func (m *Monitor) readNA(ls *naState, t int32, c []uint64) {
 
 // writeNA checks a nonatomic write by thread t against both histories and
 // records it as the thread's last write.
-func (m *Monitor) writeNA(ls *naState, t int32, c []uint64) {
+func (ck *checker) writeNA(ls *naState, t int32, c []uint64) {
 	if ls.lastT != t {
 		ls.lastT = t
 		ls.wClean, ls.rClean = false, false
@@ -445,22 +555,22 @@ func (m *Monitor) writeNA(ls *naState, t int32, c []uint64) {
 	case noEpoch, t:
 	case escalated:
 		if !ls.wClean {
-			ls.wClean = m.scanWrites(ls, t, c, true)
+			ls.wClean = ck.scanWrites(ls, t, c, true)
 		}
 	default:
 		if ls.wC > c[ls.wT] {
-			m.report(ls, ls.wT, t, true, true)
+			ck.report(ls, ls.wT, t, true, true)
 		}
 	}
 	switch ls.rT {
 	case noEpoch, t:
 	case escalated:
 		if !ls.rClean {
-			ls.rClean = m.scanReads(ls, t, c)
+			ls.rClean = ck.scanReads(ls, t, c)
 		}
 	default:
 		if ls.rC > c[ls.rT] {
-			m.report(ls, ls.rT, t, false, true)
+			ck.report(ls, ls.rT, t, false, true)
 		}
 	}
 	switch ls.wT {
@@ -469,10 +579,10 @@ func (m *Monitor) writeNA(ls *naState, t int32, c []uint64) {
 	case escalated:
 		ls.writes[t] = c[t]
 	default:
-		if m.minClock[ls.wT] >= ls.wC {
+		if ck.minClock[ls.wT] >= ls.wC {
 			ls.wT, ls.wC = t, c[t]
 		} else {
-			m.escalateWrites(ls)
+			ck.escalateWrites(ls)
 			ls.writes[t] = c[t]
 		}
 	}
@@ -480,9 +590,9 @@ func (m *Monitor) writeNA(ls *naState, t int32, c []uint64) {
 
 // escalateWrites materialises the per-thread write vector from the
 // current epoch. The slice is reused across Reset cycles.
-func (m *Monitor) escalateWrites(ls *naState) {
+func (ck *checker) escalateWrites(ls *naState) {
 	if ls.writes == nil {
-		ls.writes = make([]uint64, m.nthreads)
+		ls.writes = make([]uint64, ck.nthreads)
 	}
 	ls.writes[ls.wT] = ls.wC
 	ls.wT = escalated
@@ -491,9 +601,9 @@ func (m *Monitor) escalateWrites(ls *naState) {
 
 // escalateReads materialises the per-thread read vector from the current
 // epoch.
-func (m *Monitor) escalateReads(ls *naState) {
+func (ck *checker) escalateReads(ls *naState) {
 	if ls.reads == nil {
-		ls.reads = make([]uint64, m.nthreads)
+		ls.reads = make([]uint64, ck.nthreads)
 	}
 	ls.reads[ls.rT] = ls.rC
 	ls.rT = escalated
@@ -502,14 +612,14 @@ func (m *Monitor) escalateReads(ls *naState) {
 
 // report records one race (u's access earlier, t's later) in the
 // location's dedup bitmask, allocating the mask on first use.
-func (m *Monitor) report(ls *naState, u, t int32, wi, wj bool) {
+func (ck *checker) report(ls *naState, u, t int32, wi, wj bool) {
 	if ls.reported == nil {
-		ls.reported = make([]uint8, m.nthreads*m.nthreads)
+		ls.reported = make([]uint8, ck.nthreads*ck.nthreads)
 	}
 	bit := reportBit(wi, wj)
-	if p := &ls.reported[int(u)*m.nthreads+int(t)]; *p&bit == 0 {
+	if p := &ls.reported[int(u)*ck.nthreads+int(t)]; *p&bit == 0 {
 		*p |= bit
-		m.races++
+		ck.races++
 	}
 }
 
@@ -518,30 +628,72 @@ func (m *Monitor) report(ls *naState, u, t int32, wi, wj bool) {
 // min_u C_u[w] ≥ vc[w] for the message's writer w, every current and
 // future clock already dominates vc (vector clocks characterise
 // happens-before), so the reads-from join is a no-op forever and the
-// message is dead weight. It also schedules the next sweep.
+// message is dead weight. Halted threads are excluded from the minimum
+// (+∞): they perform no further reads, so nothing is retained for them.
+// It also schedules the next sweep, adapting the interval to live
+// pressure when SetAdaptiveGC is active.
 func (m *Monitor) gc() {
-	m.nextGC = m.events + m.gcEvery
 	if m.nthreads == 0 {
+		m.nextGC = m.events + m.gcEvery
 		return
 	}
 	min := m.minClock
-	copy(min, m.clocks[0])
-	for _, c := range m.clocks[1:] {
+	live := false
+	for t, c := range m.clocks {
+		if m.halted[t] {
+			continue
+		}
+		if !live {
+			copy(min, c)
+			live = true
+			continue
+		}
 		for u, v := range c {
 			if v < min[u] {
 				min[u] = v
 			}
 		}
 	}
-	for _, mm := range m.ra {
+	if !live {
+		// Every thread has halted: the frontier is +∞ everywhere and all
+		// retained messages are dead.
+		for u := range min {
+			min[u] = ^uint64(0)
+		}
+	}
+	preLive := uint64(m.raLive) // the pressure that built up this window
+	var collected uint64
+	for l, mm := range m.ra {
+		if m.raLiveLoc[l] == 0 {
+			continue
+		}
 		for k, msg := range mm {
 			if msg.vc[msg.writer] <= min[msg.writer] {
 				delete(mm, k)
 				m.raLive--
-				m.raCollected++
+				m.raLiveLoc[l]--
+				collected++
 			}
 		}
 	}
+	m.raCollected += collected
+	if m.adaptMax > 0 {
+		switch {
+		case collected == 0:
+			// Unproductive sweep: nothing was reclaimable — either the
+			// stream is quiet or the frontier is pinned. Sweeping more
+			// often cannot reclaim more, so back off.
+			m.gcEvery = clampU64(m.gcEvery*2, m.adaptMin, m.adaptMax)
+		case preLive > m.gcEvery/2:
+			// Reclaimable messages piled up across half a window:
+			// tighten to cap the peak.
+			m.gcEvery = clampU64(m.gcEvery/2, m.adaptMin, m.adaptMax)
+		case preLive*8 < m.gcEvery:
+			// The window is far wider than the live set needs.
+			m.gcEvery = clampU64(m.gcEvery*2, m.adaptMin, m.adaptMax)
+		}
+	}
+	m.nextGC = m.events + m.gcEvery
 }
 
 // scanWrites checks the current access of thread t (a read, or a write
@@ -549,14 +701,14 @@ func (m *Monitor) gc() {
 // each unordered pair. It returns whether the vector was clean (no
 // unordered entry) — the condition under which the scan may be skipped
 // for subsequent same-thread accesses.
-func (m *Monitor) scanWrites(ls *naState, t int32, c []uint64, isWrite bool) bool {
+func (ck *checker) scanWrites(ls *naState, t int32, c []uint64, isWrite bool) bool {
 	clean := true
 	for u, w := range ls.writes {
 		// u == t cannot trigger: the thread's own entry is always below
 		// its (just incremented) clock component.
 		if w > c[u] {
 			clean = false
-			m.report(ls, int32(u), t, true, isWrite)
+			ck.report(ls, int32(u), t, true, isWrite)
 		}
 	}
 	return clean
@@ -564,12 +716,12 @@ func (m *Monitor) scanWrites(ls *naState, t int32, c []uint64, isWrite bool) boo
 
 // scanReads checks a write by thread t against the last read of every
 // other thread (read/write races with the read first in the trace).
-func (m *Monitor) scanReads(ls *naState, t int32, c []uint64) bool {
+func (ck *checker) scanReads(ls *naState, t int32, c []uint64) bool {
 	clean := true
 	for u, r := range ls.reads {
 		if r > c[u] {
 			clean = false
-			m.report(ls, int32(u), t, false, true)
+			ck.report(ls, int32(u), t, false, true)
 		}
 	}
 	return clean
@@ -584,21 +736,37 @@ func join(c, vc []uint64) {
 	}
 }
 
+// joinTrack is join with change tracking: every index of c that the join
+// raised is appended to changed — the pipeline front-end's clock-delta
+// side channel.
+func joinTrack(c, vc []uint64, changed []int32) []int32 {
+	for u, v := range vc {
+		if v > c[u] {
+			c[u] = v
+			changed = append(changed, int32(u))
+		}
+	}
+	return changed
+}
+
 // Reports returns the distinct races observed, in the canonical order of
 // race.SortReports — directly comparable with race.Races on the same
 // trace.
 func (m *Monitor) Reports() []race.Report {
-	out := make([]race.Report, 0, m.races)
-	for l := range m.na {
-		out = m.appendReports(out, int32(l))
+	out := make([]race.Report, 0, m.ck.races)
+	for l := range m.ck.na {
+		out = m.ck.appendReports(out, int32(l), m.decls[l].Name)
 	}
 	race.SortReports(out)
 	return out
 }
 
-// appendReports decodes the dedup bitmasks of one location into reports.
-func (m *Monitor) appendReports(out []race.Report, loc int32) []race.Report {
-	ls := &m.na[loc]
+// appendReports decodes the dedup bitmasks of the checker's idx-th
+// location into reports under the given location name. (The checker's
+// index space need not be the declaration index space: pipeline
+// back-ends store only their owned locations densely.)
+func (ck *checker) appendReports(out []race.Report, idx int32, name prog.Loc) []race.Report {
+	ls := &ck.na[idx]
 	if ls.reported == nil {
 		return out
 	}
@@ -606,11 +774,11 @@ func (m *Monitor) appendReports(out []race.Report, loc int32) []race.Report {
 		if mask == 0 {
 			continue
 		}
-		u, t := i/m.nthreads, i%m.nthreads
+		u, t := i/ck.nthreads, i%ck.nthreads
 		for b := uint8(0); b < 4; b++ {
 			if mask&(1<<b) != 0 {
 				out = append(out, race.Report{
-					Loc:     m.decls[loc].Name,
+					Loc:     name,
 					ThreadI: u,
 					ThreadJ: t,
 					WriteI:  b&2 != 0,

@@ -445,26 +445,34 @@ func raWorkload(nthreads, nlocs, n int, seed uint64) ([]LocDecl, []Event) {
 	return decls, events
 }
 
-// TestResetClearsShard: Reset must drop a sharded monitor's location
-// filter — a reused shard-1 monitor that silently kept shard state would
-// miss races on every location outside its old shard.
-func TestResetClearsShard(t *testing.T) {
-	decls, events := syntheticWorkload(4, 12, 5_000, 7)
-	m := New(4, decls)
-	m.setShard(1, 3)
-	for _, e := range events {
-		m.Step(e)
-	}
-	m.Reset()
-	if m.shard != 0 || m.shards != 1 {
-		t.Fatalf("Reset kept shard filter %d/%d", m.shard, m.shards)
-	}
-	for _, e := range events {
-		m.Step(e)
-	}
-	want := run(t, 4, decls, events)
-	if !race.ReportsEqual(m.Reports(), want) {
-		t.Fatalf("reused sharded monitor still filtered: got %v, want %v", m.Reports(), want)
+// TestShardedHonoursConfig: the satellite regression — every path of
+// the sharded entry point, *including* the degenerate single-shard
+// case, must honour a configured GC interval exactly as a sequential
+// New+SetGCInterval+Step run does. Reports alone cannot detect the bug
+// (they are interval-invariant by design), so the test compares the RA
+// retention statistics, which differ per interval.
+func TestShardedHonoursConfig(t *testing.T) {
+	decls, events := raWorkload(5, 12, 40_000, 17)
+	for _, interval := range []uint64{16, 0 /* default */} {
+		ref := New(5, decls)
+		if interval > 0 {
+			ref.SetGCInterval(interval)
+		}
+		for _, e := range events {
+			ref.Step(e)
+		}
+		for _, shards := range []int{1, 2, 4} {
+			p := NewPipeline(5, decls, PipelineConfig{Shards: shards, GCInterval: interval})
+			p.StepBatch(events)
+			got := p.Finish()
+			if !race.ReportsEqual(got, ref.Reports()) {
+				t.Fatalf("interval=%d shards=%d: reports diverged", interval, shards)
+			}
+			if p.RAStats() != ref.RAStats() {
+				t.Fatalf("interval=%d shards=%d: RA stats %+v, want %+v (GC interval not honoured)",
+					interval, shards, p.RAStats(), ref.RAStats())
+			}
+		}
 	}
 }
 
@@ -479,7 +487,7 @@ func TestEpochEscalation(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		m.Step(Event{Thread: 0, Loc: 0, Kind: WriteNA})
 	}
-	if ls := &m.na[0]; ls.wT != 0 || ls.writes != nil {
+	if ls := &m.ck.na[0]; ls.wT != 0 || ls.writes != nil {
 		t.Fatalf("single-thread history escalated: wT=%d", ls.wT)
 	}
 	// Ordered handoff via the atomic: frontier passes T0's epoch, so T1's
@@ -488,7 +496,7 @@ func TestEpochEscalation(t *testing.T) {
 	m.Step(Event{Thread: 1, Loc: 1, Kind: WriteAT}) // joins T0's clock
 	m.Step(Event{Thread: 1, Loc: 1, Kind: WriteAT}) // next event: GC refreshes frontier
 	m.Step(Event{Thread: 1, Loc: 0, Kind: WriteNA})
-	if ls := &m.na[0]; ls.wT != 1 || ls.writes != nil {
+	if ls := &m.ck.na[0]; ls.wT != 1 || ls.writes != nil {
 		t.Fatalf("frontier-passed handoff escalated: wT=%d", ls.wT)
 	}
 	if m.RaceCount() != 0 {
@@ -498,7 +506,7 @@ func TestEpochEscalation(t *testing.T) {
 	m2 := New(2, decls)
 	m2.Step(Event{Thread: 0, Loc: 0, Kind: WriteNA})
 	m2.Step(Event{Thread: 1, Loc: 0, Kind: WriteNA})
-	if ls := &m2.na[0]; ls.wT != escalated || ls.writes == nil {
+	if ls := &m2.ck.na[0]; ls.wT != escalated || ls.writes == nil {
 		t.Fatalf("concurrent write did not escalate: wT=%d", ls.wT)
 	}
 	if m2.RaceCount() != 1 {

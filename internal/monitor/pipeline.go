@@ -1,0 +1,380 @@
+package monitor
+
+// The two-stage parallel pipeline: one synchronisation front-end, many
+// location-partitioned race back-ends.
+//
+// The race checks of defs. 9/10 are independent per nonatomic location,
+// but the happens-before clocks of def. 8 depend on *all*
+// synchronisation events. The previous parallel mode resolved that
+// tension by replaying the whole stream once per shard — O(shards ×
+// events) total work, so parallelism made monitoring slower below ~6
+// cores. The pipeline resolves it by splitting the two concerns:
+//
+//   - The front-end (the caller's goroutine, via Step/StepBatch/Feed)
+//     consumes the stream exactly once. It performs every clock
+//     operation: program-order increments, SC-atomic and RA reads-from
+//     joins, RA message publication, windowed RA GC, and halt
+//     bookkeeping. Nonatomic accesses need no clock work beyond the
+//     program-order increment — the front-end only *routes* them.
+//
+//   - Each back-end owns the nonatomic locations with loc % shards ==
+//     its index, and receives exactly two kinds of records, in stream
+//     order: its own shard's nonatomic accesses (thread, location, kind,
+//     and the access's own clock component), and the compact clock-delta
+//     side channel — whenever a join raises entries of some thread's
+//     clock, the changed (thread, index, value) triples are broadcast,
+//     and each GC sweep broadcasts the refreshed minimum frontier.
+//     Replaying the deltas keeps a back-end's mirror of the clocks
+//     exactly equal to the front-end's at every routed access, so the
+//     checker (the same code the sequential Monitor runs) makes
+//     bit-identical decisions.
+//
+// Records move in batches over bounded SPSC rings (engine.BatchQueue,
+// one per back-end, plus a reverse ring recycling spent buffers), so the
+// hot path costs an append — no per-event channel send, no event-slice
+// materialisation, natural backpressure, O(shards × batch × depth) fixed
+// buffer memory. Total work is O(events) front-end + O(events/shards ×
+// check cost + sync deltas) per back-end, instead of O(shards × events).
+//
+// Determinism: the merged report set is byte-identical to the sequential
+// monitor's at any shard count, batch size and GC interval. Each
+// location's accesses reach its owning back-end in stream order with
+// clock values equal to the sequential monitor's (joins only change the
+// joining thread's entries, which the delta channel replays in stream
+// position; an access's own component rides on its record), and the
+// dedup bitmasks partition by location, so the union of the back-end
+// report sets is exactly the sequential set.
+
+import (
+	"sync"
+
+	"localdrf/internal/engine"
+	"localdrf/internal/race"
+)
+
+// Default pipeline tuning. A batch of 4096 records (64 KiB) amortises
+// the ring hand-off to a fraction of a nanosecond per event; a depth of
+// 8 batches per back-end lets the front-end run ahead of a momentarily
+// stalled back-end without unbounded buffering.
+const (
+	defaultPipelineBatch = 4096
+	defaultPipelineDepth = 8
+)
+
+// PipelineConfig tunes a Pipeline. The zero value means: one back-end,
+// default batch size and queue depth, default GC interval.
+type PipelineConfig struct {
+	// Shards is the number of race back-ends (location l is owned by
+	// back-end l % Shards). Values < 1 mean 1.
+	Shards int
+	// BatchSize is the number of records per flushed batch.
+	BatchSize int
+	// QueueDepth is the number of batches buffered per back-end before
+	// the front-end blocks (backpressure).
+	QueueDepth int
+	// GCInterval is the front-end's RA GC interval in events (0 = the
+	// monitor default). The report set is identical at any interval.
+	GCInterval uint64
+}
+
+func (cfg PipelineConfig) withDefaults() PipelineConfig {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = defaultPipelineBatch
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = defaultPipelineDepth
+	}
+	return cfg
+}
+
+// Record op codes, packed into pipeRec.tk's low 2 bits. The NA access
+// ops deliberately equal the Kind values so routing is a mask, not a
+// translation.
+const (
+	opReadNA  = uint32(ReadNA)  // NA read: loc, thread, aux = own clock
+	opWriteNA = uint32(WriteNA) // NA write: likewise
+	opClock   = uint32(2)       // clock delta: clocks[thread][loc] = aux
+	opMin     = uint32(3)       // frontier: minClock[loc] = aux
+)
+
+// pipeRec is one routed record: 16 bytes, so a 4096-record batch is one
+// 64 KiB block scanned linearly by the back-end.
+type pipeRec struct {
+	aux uint64 // NA access: the thread's own clock component; else value
+	loc int32  // NA access: the owner's dense location index; clock/min: the clock index updated
+	tk  uint32 // thread<<2 | op
+}
+
+// lane is the front-end's buffered view of one back-end's input ring.
+type lane struct {
+	q    *engine.BatchQueue[[]pipeRec]
+	free *engine.BatchQueue[[]pipeRec]
+	cur  []pipeRec
+	size int
+}
+
+func (ln *lane) put(r pipeRec) {
+	ln.cur = append(ln.cur, r)
+	if len(ln.cur) >= ln.size {
+		ln.flush()
+	}
+}
+
+func (ln *lane) flush() {
+	if len(ln.cur) == 0 {
+		return
+	}
+	ln.q.Put(ln.cur)
+	b, ok := ln.free.Get()
+	if !ok {
+		// Free ring closed (cannot happen before Finish) — allocate.
+		b = make([]pipeRec, 0, ln.size)
+	}
+	ln.cur = b[:0]
+}
+
+// backend consumes one ring of record batches with its own checker over
+// a mirrored copy of the thread clocks. The checker's na array holds
+// only the back-end's owned locations, densely (checker index
+// loc / shards — the front-end routes record loc fields pre-translated),
+// so per-location state costs O(locations) across ALL back-ends, not
+// O(shards × locations).
+type backend struct {
+	ck   checker
+	in   *engine.BatchQueue[[]pipeRec]
+	free *engine.BatchQueue[[]pipeRec]
+}
+
+func (b *backend) run() {
+	ck := &b.ck
+	for {
+		batch, ok := b.in.Get()
+		if !ok {
+			return
+		}
+		for i := range batch {
+			r := &batch[i]
+			t := int32(r.tk >> 2)
+			switch r.tk & 3 {
+			case opReadNA:
+				c := ck.clocks[t]
+				c[t] = r.aux
+				ck.readNA(&ck.na[r.loc], t, c)
+			case opWriteNA:
+				c := ck.clocks[t]
+				c[t] = r.aux
+				ck.writeNA(&ck.na[r.loc], t, c)
+			case opClock:
+				ck.clocks[t][r.loc] = r.aux
+			default: // opMin
+				ck.minClock[r.loc] = r.aux
+			}
+		}
+		b.free.Put(batch)
+	}
+}
+
+// Pipeline is the push side of the two-stage parallel monitor: create
+// one with NewPipeline, feed it the stream in trace order (Step,
+// StepBatch, Feed, FeedBatch — from the single front-end goroutine),
+// then call Finish to drain the back-ends and merge the reports. After
+// Finish the pipeline must not be fed again.
+type Pipeline struct {
+	fe      *Monitor // front-end: clocks, atomics, RA messages, GC; built checker-free by newSync
+	shards  int
+	owner   []int32 // owner[loc]: back-end index (loc % shards, precomputed)
+	dense   []int32 // dense[loc]: index in the owner's checker (loc / shards)
+	lanes   []*lane
+	backs   []*backend
+	wg      sync.WaitGroup
+	changed []int32 // scratch for joinTrack
+	done    bool
+	reports []race.Report
+	races   int
+}
+
+// NewPipeline starts cfg.Shards race back-end goroutines for a stream of
+// nthreads threads over the given locations.
+func NewPipeline(nthreads int, decls []LocDecl, cfg PipelineConfig) *Pipeline {
+	cfg = cfg.withDefaults()
+	fe := newSync(nthreads, decls)
+	if cfg.GCInterval > 0 {
+		fe.SetGCInterval(cfg.GCInterval)
+	}
+	p := &Pipeline{
+		fe:      fe,
+		shards:  cfg.Shards,
+		owner:   make([]int32, len(decls)),
+		dense:   make([]int32, len(decls)),
+		lanes:   make([]*lane, cfg.Shards),
+		backs:   make([]*backend, cfg.Shards),
+		changed: make([]int32, 0, nthreads),
+	}
+	for l := range p.owner {
+		p.owner[l] = int32(l % cfg.Shards)
+		p.dense[l] = int32(l / cfg.Shards)
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		free := engine.NewBatchQueue[[]pipeRec](cfg.QueueDepth + 2)
+		for i := 0; i < cfg.QueueDepth+2; i++ {
+			free.Put(make([]pipeRec, 0, cfg.BatchSize))
+		}
+		ln := &lane{
+			q:    engine.NewBatchQueue[[]pipeRec](cfg.QueueDepth),
+			free: free,
+			size: cfg.BatchSize,
+		}
+		ln.cur, _ = free.Get()
+		p.lanes[s] = ln
+		clocks := make([][]uint64, nthreads)
+		for t := range clocks {
+			clocks[t] = make([]uint64, nthreads)
+		}
+		// Owned locations of shard s: s, s+shards, s+2·shards, …
+		owned := 0
+		if s < len(decls) {
+			owned = (len(decls) - s + cfg.Shards - 1) / cfg.Shards
+		}
+		b := &backend{
+			ck:   newChecker(nthreads, owned, clocks, make([]uint64, nthreads)),
+			in:   ln.q,
+			free: free,
+		}
+		p.backs[s] = b
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			b.run()
+		}()
+	}
+	return p
+}
+
+// Step consumes the next event of the trace: clock work on the
+// front-end, nonatomic accesses routed to their owning back-end.
+func (p *Pipeline) Step(e Event) {
+	m := p.fe
+	m.events++
+	t := int(e.Thread)
+	c := m.clocks[t]
+	c[t]++
+	if m.events >= m.nextGC {
+		m.gc()
+		p.broadcastMin()
+	}
+	switch e.Kind {
+	case ReadNA, WriteNA:
+		p.lanes[p.owner[e.Loc]].put(pipeRec{
+			aux: c[t],
+			loc: p.dense[e.Loc], // the back-end's own dense index
+			tk:  uint32(e.Thread)<<2 | uint32(e.Kind),
+		})
+	case ReadAT:
+		p.changed = joinTrack(c, m.at[e.Loc], p.changed[:0])
+		p.broadcastClock(e.Thread, c)
+	case WriteAT:
+		la := m.at[e.Loc]
+		p.changed = joinTrack(c, la, p.changed[:0])
+		copy(la, c)
+		p.broadcastClock(e.Thread, c)
+	case ReadRA:
+		if msg, ok := m.ra[e.Loc][timeKey(e.Time)]; ok {
+			p.changed = joinTrack(c, msg.vc, p.changed[:0])
+			p.broadcastClock(e.Thread, c)
+		}
+	case WriteRA:
+		m.publishRA(e.Loc, e.Time, e.Thread, c)
+	case KindHalt:
+		m.halted[t] = true
+	}
+}
+
+// StepBatch consumes a batch of events — the preferred feeding
+// granularity (no per-event call through an interface).
+func (p *Pipeline) StepBatch(events []Event) {
+	for i := range events {
+		p.Step(events[i])
+	}
+}
+
+// Feed consumes src to the end of the stream. On a source error the
+// error is returned and the pipeline remains finishable.
+func (p *Pipeline) Feed(src Source) error {
+	return feedEvents(src, p.Step)
+}
+
+// FeedBatch consumes a batched source to the end of the stream.
+func (p *Pipeline) FeedBatch(src BatchSource) error {
+	return feedBatches(src, p.StepBatch)
+}
+
+// broadcastClock sends the entries of thread t's clock raised by the
+// last join (p.changed) to every back-end, in stream position.
+func (p *Pipeline) broadcastClock(t int32, c []uint64) {
+	for _, u := range p.changed {
+		r := pipeRec{aux: c[u], loc: u, tk: uint32(t)<<2 | opClock}
+		for _, ln := range p.lanes {
+			ln.put(r)
+		}
+	}
+}
+
+// broadcastMin sends the refreshed minimum frontier to every back-end —
+// the epoch-overwrite criterion must flip at the same stream position
+// everywhere.
+func (p *Pipeline) broadcastMin() {
+	for u, v := range p.fe.minClock {
+		r := pipeRec{aux: v, loc: int32(u), tk: opMin}
+		for _, ln := range p.lanes {
+			ln.put(r)
+		}
+	}
+}
+
+// Finish flushes the remaining batches, waits for the back-ends to
+// drain, and returns the merged, canonically sorted report set.
+// Idempotent; the pipeline must not be fed afterwards.
+func (p *Pipeline) Finish() []race.Report {
+	if p.done {
+		return p.reports
+	}
+	p.done = true
+	for _, ln := range p.lanes {
+		ln.flush()
+		ln.q.Close()
+	}
+	p.wg.Wait()
+	var out []race.Report
+	for l := range p.fe.decls {
+		out = p.backs[p.owner[l]].ck.appendReports(out, p.dense[l], p.fe.decls[l].Name)
+	}
+	for _, b := range p.backs {
+		p.races += b.ck.races
+	}
+	race.SortReports(out)
+	p.reports = out
+	return out
+}
+
+// Events returns the number of events consumed so far.
+func (p *Pipeline) Events() uint64 { return p.fe.events }
+
+// RaceCount returns the number of distinct races found (valid after
+// Finish).
+func (p *Pipeline) RaceCount() int { return p.races }
+
+// RAStats returns the front-end's RA retention statistics — identical to
+// the sequential monitor's on the same stream and GC interval.
+func (p *Pipeline) RAStats() RAStats { return p.fe.RAStats() }
+
+// PipelineRaces monitors a materialised event stream through a pipeline
+// and returns the deduplicated reports — byte-identical to a sequential
+// New+Step pass at any configuration.
+func PipelineRaces(nthreads int, decls []LocDecl, events []Event, cfg PipelineConfig) []race.Report {
+	p := NewPipeline(nthreads, decls, cfg)
+	p.StepBatch(events)
+	return p.Finish()
+}

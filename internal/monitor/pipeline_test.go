@@ -1,0 +1,351 @@
+package monitor
+
+import (
+	"testing"
+
+	"localdrf/internal/prog"
+	"localdrf/internal/race"
+	"localdrf/internal/ts"
+)
+
+// TestPipelineMatrixMatchesSequential is the pipeline determinism bar on
+// synthetic streams: byte-identical reports to the sequential monitor at
+// every (shard count, batch size, GC interval) combination, on both an
+// atomic-sync and an RA-heavy workload. (The schedgen-stream and corpus
+// sweeps live in internal/modeltest.)
+func TestPipelineMatrixMatchesSequential(t *testing.T) {
+	workloads := []struct {
+		name   string
+		decls  []LocDecl
+		events []Event
+	}{
+		{"atomic", nil, nil},
+		{"ra", nil, nil},
+	}
+	workloads[0].decls, workloads[0].events = syntheticWorkload(6, 24, 30_000, 31)
+	workloads[1].decls, workloads[1].events = raWorkload(5, 12, 30_000, 17)
+
+	for _, w := range workloads {
+		for _, interval := range []uint64{16, 0} {
+			ref := New(6, w.decls)
+			if interval > 0 {
+				ref.SetGCInterval(interval)
+			}
+			ref.StepBatch(w.events)
+			want := ref.Reports()
+			if len(want) == 0 {
+				t.Fatalf("%s: workload produced no races; not a useful fixture", w.name)
+			}
+			for _, shards := range []int{1, 2, 3, 4, 8} {
+				for _, batch := range []int{1, 64, 4096} {
+					got := PipelineRaces(6, w.decls, w.events, PipelineConfig{
+						Shards: shards, BatchSize: batch, GCInterval: interval,
+					})
+					if !race.ReportsEqual(got, want) {
+						t.Fatalf("%s shards=%d batch=%d gc=%d: pipeline diverged\ngot  %v\nwant %v",
+							w.name, shards, batch, interval, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineBackpressure: a tiny queue depth forces the front-end to
+// block on full rings mid-stream; the result must not change.
+func TestPipelineBackpressure(t *testing.T) {
+	decls, events := syntheticWorkload(6, 24, 30_000, 31)
+	want := PipelineRaces(6, decls, events, PipelineConfig{Shards: 1})
+	got := PipelineRaces(6, decls, events, PipelineConfig{Shards: 4, BatchSize: 8, QueueDepth: 1})
+	if !race.ReportsEqual(got, want) {
+		t.Fatalf("backpressured pipeline diverged: got %v, want %v", got, want)
+	}
+}
+
+// TestPipelineRaceStress hammers the pipeline with many back-ends over a
+// mixed stream with heavy synchronisation traffic — the test exists to
+// run under `go test -race` (CI does), where the checker mirrors, the
+// delta side channel and the SPSC rings are all data-race-checked.
+func TestPipelineRaceStress(t *testing.T) {
+	decls, events := raWorkload(8, 24, 120_000, 41)
+	ref := New(8, decls)
+	ref.StepBatch(events)
+	want := ref.Reports()
+	for _, cfg := range []PipelineConfig{
+		{Shards: 8, BatchSize: 64, QueueDepth: 2},
+		{Shards: 4, BatchSize: 1024, GCInterval: 32},
+		{Shards: 3, BatchSize: 1},
+	} {
+		p := NewPipeline(8, decls, cfg)
+		// Feed in ragged batches so flushes land at odd positions.
+		for i := 0; i < len(events); {
+			n := 1 + (i*7)%997
+			if i+n > len(events) {
+				n = len(events) - i
+			}
+			p.StepBatch(events[i : i+n])
+			i += n
+		}
+		if got := p.Finish(); !race.ReportsEqual(got, want) {
+			t.Fatalf("%+v: pipeline diverged under stress", cfg)
+		}
+		if got := p.Finish(); !race.ReportsEqual(got, want) {
+			t.Fatalf("%+v: Finish is not idempotent", cfg)
+		}
+		if p.Events() != uint64(len(events)) {
+			t.Fatalf("%+v: Events() = %d, want %d", cfg, p.Events(), len(events))
+		}
+	}
+}
+
+// TestPipelineFeedSources: the pull-side entry points (Feed from a
+// Source, FeedBatch from a BatchSource) agree with the push side.
+func TestPipelineFeedSources(t *testing.T) {
+	decls, events := syntheticWorkload(4, 12, 10_000, 7)
+	want := PipelineRaces(4, decls, events, PipelineConfig{Shards: 2})
+	p := NewPipeline(4, decls, PipelineConfig{Shards: 2})
+	if err := p.Feed(&SliceSource{Events: events}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Finish(); !race.ReportsEqual(got, want) {
+		t.Fatalf("Feed diverged: got %v, want %v", got, want)
+	}
+	p2 := NewPipeline(4, decls, PipelineConfig{Shards: 2})
+	if err := p2.FeedBatch(&SliceSource{Events: events}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Finish(); !race.ReportsEqual(got, want) {
+		t.Fatalf("FeedBatch diverged: got %v, want %v", got, want)
+	}
+}
+
+// haltRAStream builds a retire-heavy RA stream: writer threads publish a
+// burst of RA messages, read each other once, and fall silent (halting
+// when halts is true), while one reader thread keeps running. Without
+// halts the silent writers pin the GC frontier forever; with halts their
+// frontier entries become +∞ and the window can close.
+func haltRAStream(halts bool) ([]LocDecl, []Event) {
+	decls := []LocDecl{
+		{Name: "R", Kind: prog.ReleaseAcquire},
+		{Name: "x", Kind: prog.NonAtomic},
+	}
+	const writers = 3
+	var events []Event
+	tm := int64(0)
+	for w := int32(0); w < writers; w++ {
+		for i := 0; i < 50; i++ {
+			tm++
+			events = append(events, Event{Thread: w, Loc: 0, Kind: WriteRA, Time: ts.FromInt(tm)})
+		}
+		// Each writer acquires the latest message so far, so the writers
+		// are pairwise synchronised up to their retirement point.
+		events = append(events, Event{Thread: w, Loc: 0, Kind: ReadRA, Time: ts.FromInt(tm)})
+		if halts {
+			events = append(events, Event{Thread: w, Kind: KindHalt})
+		}
+	}
+	// The long-lived reader keeps consuming the latest message and
+	// touching data; everything it could learn from the retired writers
+	// it has already learnt.
+	for i := 0; i < 2000; i++ {
+		events = append(events,
+			Event{Thread: writers, Loc: 0, Kind: ReadRA, Time: ts.FromInt(tm)},
+			Event{Thread: writers, Loc: 1, Kind: WriteNA})
+	}
+	return decls, events
+}
+
+// TestHaltUnpinsGC is the thread-retirement satellite's differential
+// bar: on a retire-heavy stream, reports are unchanged by halt events
+// while ra_collected strictly improves (and the live set drops to the
+// window the surviving reader actually needs).
+func TestHaltUnpinsGC(t *testing.T) {
+	declsPlain, plain := haltRAStream(false)
+	declsHalt, halted := haltRAStream(true)
+	mPlain := New(4, declsPlain)
+	mPlain.SetGCInterval(64)
+	mPlain.StepBatch(plain)
+	mHalt := New(4, declsHalt)
+	mHalt.SetGCInterval(64)
+	mHalt.StepBatch(halted)
+
+	if !race.ReportsEqual(mPlain.Reports(), mHalt.Reports()) {
+		t.Fatalf("halt events changed the report set:\nplain %v\nhalt  %v",
+			mPlain.Reports(), mHalt.Reports())
+	}
+	sp, sh := mPlain.RAStats(), mHalt.RAStats()
+	if sh.Collected <= sp.Collected {
+		t.Fatalf("halts did not improve collection: collected %d (halt) vs %d (plain)",
+			sh.Collected, sp.Collected)
+	}
+	if sh.Live >= sp.Live {
+		t.Fatalf("halts did not shrink the live set: live %d (halt) vs %d (plain)",
+			sh.Live, sp.Live)
+	}
+}
+
+// TestHaltAllThreads: once every thread has halted the frontier is +∞
+// everywhere and a sweep reclaims every retained message.
+func TestHaltAllThreads(t *testing.T) {
+	decls := []LocDecl{{Name: "R", Kind: prog.ReleaseAcquire}}
+	m := New(2, decls)
+	m.SetGCInterval(1 << 62) // no sweeps until we force one
+	for i := int64(1); i <= 10; i++ {
+		m.Step(Event{Thread: 0, Loc: 0, Kind: WriteRA, Time: ts.FromInt(i)})
+	}
+	m.Step(Event{Thread: 0, Kind: KindHalt})
+	m.Step(Event{Thread: 1, Kind: KindHalt})
+	m.SetGCInterval(1) // next event sweeps
+	m.Step(Event{Thread: 1, Kind: KindHalt})
+	if st := m.RAStats(); st.Live != 0 || st.Collected != 10 {
+		t.Fatalf("all-halted sweep left live=%d collected=%d, want 0/10", st.Live, st.Collected)
+	}
+}
+
+// TestHaltInPipeline: halt events flow through the pipeline front-end
+// with the same retention effect and unchanged reports.
+func TestHaltInPipeline(t *testing.T) {
+	decls, events := haltRAStream(true)
+	ref := New(4, decls)
+	ref.SetGCInterval(64)
+	ref.StepBatch(events)
+	p := NewPipeline(4, decls, PipelineConfig{Shards: 2, GCInterval: 64})
+	p.StepBatch(events)
+	if got := p.Finish(); !race.ReportsEqual(got, ref.Reports()) {
+		t.Fatalf("pipeline with halts diverged: got %v, want %v", got, ref.Reports())
+	}
+	if p.RAStats() != ref.RAStats() {
+		t.Fatalf("pipeline RA stats %+v, want %+v", p.RAStats(), ref.RAStats())
+	}
+}
+
+// TestAdaptiveGC: the live-pressure-driven interval keeps the report set
+// identical at aggressive and lazy settings (the no-op-join invariant is
+// schedule-independent), collects on RA-heavy streams, and stays inside
+// its [min,max] bounds.
+func TestAdaptiveGC(t *testing.T) {
+	decls, events := raWorkload(5, 12, 40_000, 17)
+	ref := New(5, decls)
+	ref.StepBatch(events)
+	want := ref.Reports()
+	if len(want) == 0 {
+		t.Fatal("workload produced no races; not a useful fixture")
+	}
+	for _, bounds := range [][2]uint64{
+		{16, 64},          // aggressive: sweeps every few dozen events
+		{4096, 1 << 20},   // lazy: may relax to a megaevent between sweeps
+		{1, 1 << 62},      // unbounded range: adaptation alone drives it
+		{1 << 20, 1 << 4}, // swapped bounds are normalised
+	} {
+		m := New(5, decls)
+		m.SetAdaptiveGC(bounds[0], bounds[1])
+		lo, hi := bounds[0], bounds[1]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		m.StepBatch(events)
+		if !race.ReportsEqual(m.Reports(), want) {
+			t.Fatalf("adaptive GC %v diverged", bounds)
+		}
+		if m.gcEvery < lo || m.gcEvery > hi {
+			t.Fatalf("adaptive GC %v: interval %d escaped [%d,%d]", bounds, m.gcEvery, lo, hi)
+		}
+		if st := m.RAStats(); st.Collected == 0 {
+			t.Fatalf("adaptive GC %v collected nothing", bounds)
+		}
+	}
+}
+
+// TestAdaptiveGCAdapts: productive pressure tightens the interval;
+// quiet streams and pinned frontiers (where sweeping cannot reclaim
+// anything) relax it instead of spiralling into per-event sweeps.
+func TestAdaptiveGCAdapts(t *testing.T) {
+	decls := []LocDecl{
+		{Name: "R", Kind: prog.ReleaseAcquire},
+		{Name: "x", Kind: prog.NonAtomic},
+	}
+	// Productive pressure: thread 0 publishes a message almost every
+	// event while thread 1 periodically acquires the latest, so each
+	// sweep reclaims the consumed prefix and still finds a window's
+	// worth of accumulated messages — the interval must tighten to the
+	// floor.
+	m := New(2, decls)
+	m.SetAdaptiveGC(16, 4096)
+	tm := int64(0)
+	for i := 0; i < 20_000; i++ {
+		if i%8 == 7 {
+			m.Step(Event{Thread: 1, Loc: 0, Kind: ReadRA, Time: ts.FromInt(tm)})
+			continue
+		}
+		tm++
+		m.Step(Event{Thread: 0, Loc: 0, Kind: WriteRA, Time: ts.FromInt(tm)})
+	}
+	if m.gcEvery != 16 {
+		t.Fatalf("productive pressure: interval %d, want the 16 floor", m.gcEvery)
+	}
+	if st := m.RAStats(); st.Collected == 0 {
+		t.Fatal("productive pressure collected nothing")
+	}
+	// Quiet: pure nonatomic traffic retains nothing, so the interval
+	// relaxes to the ceiling.
+	q := New(2, decls)
+	q.SetAdaptiveGC(16, 4096)
+	for i := 0; i < 20_000; i++ {
+		q.Step(Event{Thread: 0, Loc: 1, Kind: WriteNA})
+	}
+	if q.gcEvery != 4096 {
+		t.Fatalf("quiet stream: interval %d, want the 4096 ceiling", q.gcEvery)
+	}
+	// Pinned frontier: two threads publish and never synchronise, so no
+	// sweep can ever reclaim a message. The retention is semantically
+	// required — tightening would only buy O(threads² + live) scans per
+	// sweep — so the controller must back off to the ceiling, not chase
+	// the growing live set down to the floor.
+	pin := New(2, decls)
+	pin.SetAdaptiveGC(16, 4096)
+	tm = 0
+	for i := 0; i < 20_000; i++ {
+		tm++
+		pin.Step(Event{Thread: int32(i % 2), Loc: 0, Kind: WriteRA, Time: ts.FromInt(tm)})
+	}
+	if pin.gcEvery != 4096 {
+		t.Fatalf("pinned frontier: interval %d, want the 4096 ceiling", pin.gcEvery)
+	}
+	if st := pin.RAStats(); st.Collected != 0 {
+		t.Fatalf("pinned frontier unexpectedly collected %d", st.Collected)
+	}
+	// SetGCInterval returns to fixed mode.
+	q.SetGCInterval(128)
+	if q.adaptMax != 0 || q.gcEvery != 128 {
+		t.Fatal("SetGCInterval did not disable adaptive mode")
+	}
+}
+
+// TestHaltViaTableStream sanity-checks the Kind plumbing end to end: a
+// halt for an out-of-range thread is rejected by event validation.
+func TestHaltValidation(t *testing.T) {
+	hdr := Header{Threads: 2, Decls: []LocDecl{{Name: "x", Kind: prog.NonAtomic}}}
+	if err := validateEvent(hdr, Event{Thread: 1, Kind: KindHalt}); err != nil {
+		t.Fatalf("valid halt rejected: %v", err)
+	}
+	if err := validateEvent(hdr, Event{Thread: 2, Kind: KindHalt}); err == nil {
+		t.Fatal("halt with out-of-range thread accepted")
+	}
+	if err := validateEvent(hdr, Event{Thread: 0, Kind: Kind(7)}); err == nil {
+		t.Fatal("kind 7 accepted")
+	}
+}
+
+// BenchmarkPipeline4Bursty measures the pipeline at 4 back-ends on the
+// bursty reference workload (compare BenchmarkMonitorBursty for the
+// sequential bound; real speedups need GOMAXPROCS ≥ shards+1).
+func BenchmarkPipeline4Bursty(b *testing.B) {
+	decls, events := burstyWorkload(8, 64, 1_000_000, 97)
+	b.SetBytes(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewPipeline(8, decls, PipelineConfig{Shards: 4})
+		p.StepBatch(events)
+		p.Finish()
+	}
+}

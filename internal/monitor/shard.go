@@ -1,30 +1,38 @@
 package monitor
 
-// Sharded-by-location parallel monitoring, built on the exploration
-// engine's task runner. Race checking is independent per nonatomic
-// location, but the happens-before clocks depend on *all* synchronisation
-// events — so each shard runs a full monitor over the whole stream,
-// processing every atomic/RA event (cheap clock joins) while checking and
-// updating only the nonatomic locations of its own shard (the per-access
-// history checks, which dominate). Reports are merged as a set and
-// sorted, so the result is identical to a single unsharded pass at any
-// shard count and parallelism.
+// Sharded parallel monitoring — the slice-level entry point over the
+// two-stage pipeline of pipeline.go. Historical note: this mode used to
+// replay the whole stream once per shard so every shard could rebuild
+// the synchronisation clocks itself, which made total work O(shards ×
+// events); it is now a thin wrapper that runs the single-pass sync
+// front-end and location-partitioned race back-ends, so adding shards
+// adds back-end parallelism without re-reading the stream.
 
 import (
-	"localdrf/internal/engine"
 	"localdrf/internal/prog"
 	"localdrf/internal/race"
 )
 
 // ShardedRaces monitors one event stream with nonatomic locations
-// partitioned across shards workers (location l belongs to shard
-// l % shards). The shard count is clamped to the number of nonatomic
-// locations, and shards that end up owning none (possible even after
-// clamping, since the partition is by location index modulo) are skipped
-// rather than spawning full-stream replay workers that could never
-// report anything. shards ≤ 1 (after clamping) degenerates to a single
-// sequential pass; parallelism 0 means one worker per live shard.
+// partitioned across shards race back-ends (location l belongs to
+// back-end l % shards), fed by a single synchronisation front-end pass
+// over the stream. The shard count is clamped to the number of nonatomic
+// locations and, when parallelism > 0, to parallelism. The report set is
+// identical to a sequential pass at any shard count. Options that a
+// sequential New+SetGCInterval+Step run would honour are honoured here
+// too — see ShardedRacesConfig, of which this is the default-config
+// shorthand.
 func ShardedRaces(nthreads int, decls []LocDecl, events []Event, shards, parallelism int) ([]race.Report, error) {
+	return ShardedRacesConfig(nthreads, decls, events, shards, parallelism, PipelineConfig{})
+}
+
+// ShardedRacesConfig is ShardedRaces with explicit pipeline tuning
+// (batch size, queue depth, GC interval). cfg.Shards is overridden by
+// the shards argument. Every configured option is honoured at every
+// shard count — including the degenerate single-shard case, which runs
+// the same front-end/back-end split rather than a differently-configured
+// private monitor.
+func ShardedRacesConfig(nthreads int, decls []LocDecl, events []Event, shards, parallelism int, cfg PipelineConfig) ([]race.Report, error) {
 	naCount := 0
 	for _, d := range decls {
 		if d.Kind == prog.NonAtomic {
@@ -34,48 +42,12 @@ func ShardedRaces(nthreads int, decls []LocDecl, events []Event, shards, paralle
 	if shards > naCount {
 		shards = naCount
 	}
-	if shards <= 1 {
-		m := New(nthreads, decls)
-		for _, e := range events {
-			m.Step(e)
-		}
-		return m.Reports(), nil
+	if parallelism > 0 && shards > parallelism {
+		shards = parallelism
 	}
-	// Only shards that own at least one nonatomic location get a worker.
-	occupied := make([]bool, shards)
-	for l, d := range decls {
-		if d.Kind == prog.NonAtomic {
-			occupied[l%shards] = true
-		}
+	if shards < 1 {
+		shards = 1
 	}
-	live := make([]int, 0, shards)
-	for s, ok := range occupied {
-		if ok {
-			live = append(live, s)
-		}
-	}
-	if parallelism <= 0 || parallelism > len(live) {
-		parallelism = len(live)
-	}
-	monitors := make([]*Monitor, len(live))
-	err := engine.ForEach(parallelism, len(live), func(_, i int) error {
-		m := New(nthreads, decls)
-		m.setShard(live[i], shards)
-		for _, e := range events {
-			m.Step(e)
-		}
-		monitors[i] = m
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Shards partition the nonatomic locations, so the per-shard report
-	// sets are disjoint and concatenation is the set union.
-	var out []race.Report
-	for _, m := range monitors {
-		out = append(out, m.Reports()...)
-	}
-	race.SortReports(out)
-	return out, nil
+	cfg.Shards = shards
+	return PipelineRaces(nthreads, decls, events, cfg), nil
 }

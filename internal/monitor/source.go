@@ -19,16 +19,7 @@ type Source interface {
 // every event. On a source error, monitoring stops and the error is
 // returned; the reports accumulated so far remain readable.
 func (m *Monitor) Feed(src Source) error {
-	for {
-		e, ok, err := src.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return nil
-		}
-		m.Step(e)
-	}
+	return feedEvents(src, m.Step)
 }
 
 // SliceSource adapts an in-memory event slice to the Source interface.

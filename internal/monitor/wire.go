@@ -2,10 +2,11 @@ package monitor
 
 // The raw-trace wire format: a versioned, self-describing encoding of an
 // event stream, so executions that never ran inside this process (or
-// this binary) can be monitored. Two interchangeable encodings share one
-// logical format:
+// this binary) can be monitored. Three interchangeable encodings share
+// one logical format; the decoder sniffs which it was handed.
 //
-// Binary (magic "LDTR", then a version byte):
+// Binary v1 (magic "LDTR", then version byte 1) — one record per event,
+// no inter-event state, no thread-retirement events:
 //
 //	"LDTR" <version=1>
 //	uvarint threads
@@ -16,6 +17,39 @@ package monitor
 //	    uvarint thread
 //	    uvarint loc
 //	    RA kinds only: varint num, uvarint den   (the message timestamp)
+//
+// Binary v2 (magic "LDTR", then version byte 2) — the delta-compressed
+// batch format: the same header as v1, followed by self-delimiting
+// FRAMES instead of a flat event list. Each frame is
+//
+//	uvarint payloadLen            (bytes that follow, ≤ 1 MiB)
+//	payload:
+//	    uvarint count             (events in this frame, ≥ 1, ≤ 65536)
+//	    count × event
+//
+// and each event is one tag byte plus optional varint fields:
+//
+//	tag bits 0..2: kind (0..6; 6 = KindHalt, the thread retirement)
+//	tag bit  3:    thread flag — 0: same thread as the previous event;
+//	               1: zigzag varint (thread − prevThread) follows
+//	tag bits 4..7: location field (non-halt kinds only) —
+//	               0..14: loc = prevLoc[thread] + (field − 7);
+//	               15:    zigzag varint delta follows.
+//	               Halt events carry no location; the field must be 0.
+//	RA kinds append the timestamp as
+//	    zigzag varint (num − prevNum[loc]), uvarint den.
+//
+// prevThread starts at 0 and tracks the previous event's thread;
+// prevLoc[t] (per thread, start 0) tracks thread t's previous location —
+// threads iterate over their own working sets, so per-thread deltas are
+// small even when the interleaving jumps around; prevNum[l] (per
+// location, start 0) tracks the last timestamp numerator, which grows by
+// small increments under the program semantics. Encoder and decoder
+// carry this context ACROSS frames; frames delimit I/O and batch
+// decoding (TraceReader.NextBatch yields a frame at a time), not
+// context. On the schedgen reference stream v2 is ≥ 1.5× smaller than
+// v1 (most events fit in 2 bytes: tag + one loc-delta byte; v1 needs at
+// least 3).
 //
 // Text (first line "ldtrace 1"; '#' starts a comment, blank lines are
 // skipped):
@@ -28,16 +62,29 @@ package monitor
 //	0 w R 1
 //	1 r R 1
 //	1 r x
+//	0 halt
 //
-// Event lines are "<thread> r|w <locname> [<time>]"; the location's
-// declared kind selects the event flavour, and the timestamp ("num" or
-// "num/den") is required exactly for release-acquire events.
+// Event lines are "<thread> r|w <locname> [<time>]" or "<thread> halt";
+// the location's declared kind selects the event flavour, and the
+// timestamp ("num" or "num/den") is required exactly for release-acquire
+// events.
+//
+// Version negotiation: the decoder accepts v1 and v2 binary traces (and
+// text) transparently; the encoder writes whichever the caller asked
+// for. KindHalt exists only in v2 and text — the v1 grammar is frozen,
+// so writing a halt event to a v1 binary writer is an error and a kind
+// byte of 6 in a v1 trace is rejected. A halt is a promise that the
+// thread performs no further events — the monitor's +∞ frontier
+// treatment is only sound under it — so both encoder and decoder track
+// halted threads and reject any later event of a halted thread
+// (including a second halt).
 //
 // The decoder VALIDATES everything it hands to the monitor — thread and
-// location bounds, kind bytes, kind-versus-declaration consistency,
-// timestamp well-formedness — and returns errors for malformed input
-// instead of letting Monitor.Step index out of bounds. Timestamps of
-// non-RA events are not preserved (the monitor ignores them).
+// location bounds (including after delta reconstruction), kind bytes,
+// kind-versus-declaration consistency, timestamp well-formedness, frame
+// sizes — and returns errors for malformed input instead of letting
+// Monitor.Step index out of bounds. Timestamps of non-RA events are not
+// preserved (the monitor ignores them).
 
 import (
 	"bufio"
@@ -58,35 +105,53 @@ import (
 type Format int
 
 const (
-	// Binary is the compact varint encoding (magic "LDTR").
+	// Binary is the per-event varint encoding (magic "LDTR", version 1).
 	Binary Format = iota
 	// Text is the line-oriented human-readable encoding.
 	Text
+	// BinaryV2 is the delta-compressed framed encoding (magic "LDTR",
+	// version 2): smaller on the wire and decodable a frame (batch) at a
+	// time. The decoder accepts v1 and v2 interchangeably.
+	BinaryV2
 )
 
-// String names the format ("binary" or "text").
+// String names the format ("binary", "text" or "binary-v2").
 func (f Format) String() string {
-	if f == Text {
+	switch f {
+	case Text:
 		return "text"
+	case BinaryV2:
+		return "binary-v2"
 	}
 	return "binary"
 }
 
-// ParseFormat parses "binary" or "text".
+// ParseFormat parses "binary", "text", or "binary-v2" (alias "v2").
 func ParseFormat(s string) (Format, error) {
 	switch s {
 	case "binary":
 		return Binary, nil
 	case "text":
 		return Text, nil
+	case "binary-v2", "v2":
+		return BinaryV2, nil
 	}
-	return Binary, fmt.Errorf("monitor: unknown trace format %q (want binary|text)", s)
+	return Binary, fmt.Errorf("monitor: unknown trace format %q (want binary|text|binary-v2)", s)
 }
 
 const (
-	binaryMagic = "LDTR"
-	textMagic   = "ldtrace"
-	wireVersion = 1
+	binaryMagic  = "LDTR"
+	textMagic    = "ldtrace"
+	wireVersion  = 1
+	wireVersion2 = 2
+
+	// Frame limits of the v2 format: a frame payload is bounded so a
+	// hostile length prefix cannot demand an arbitrary allocation, and
+	// the event count is bounded so count × minimum-event-size must fit
+	// the payload.
+	maxFrameBytes      = 1 << 20
+	maxFrameEvents     = 1 << 16
+	defaultFrameEvents = 4096
 
 	// Format limits, enforced by both encoder and decoder. They exist so
 	// a malformed or hostile header cannot make the decoder (or the
@@ -148,10 +213,14 @@ func validateHeader(hdr Header) error {
 
 // validateEvent checks an event against a header: bounds, kind validity,
 // and kind-versus-declaration consistency (an RA event on a nonatomic
-// location would corrupt the monitor's per-kind state).
+// location would corrupt the monitor's per-kind state). Halt events only
+// need their thread in range — location and timestamp are ignored.
 func validateEvent(hdr Header, e Event) error {
 	if e.Thread < 0 || int(e.Thread) >= hdr.Threads {
 		return fmt.Errorf("monitor: trace event: thread %d out of range [0,%d)", e.Thread, hdr.Threads)
+	}
+	if e.Kind == KindHalt {
+		return nil
 	}
 	if e.Loc < 0 || int(e.Loc) >= len(hdr.Decls) {
 		return fmt.Errorf("monitor: trace event: location index %d out of range [0,%d)", e.Loc, len(hdr.Decls))
@@ -198,6 +267,36 @@ type TraceWriter struct {
 	hdr    Header
 	format Format
 	buf    [binary.MaxVarintLen64]byte
+	// v2 frame state (see the package comment for the layout).
+	frame      []byte
+	count      int
+	prevThread int32
+	prevLoc    []int32
+	prevNum    []int64
+	// halted[t]: thread t wrote a KindHalt — later events are rejected
+	// (the halt promise the monitor's GC relies on). Allocated on the
+	// first halt.
+	halted []bool
+}
+
+// checkHalt enforces the halt promise on a stream position: no event
+// after a thread's halt, no double halt. Shared by the encoder and the
+// decoders of every format that can carry halts.
+func checkHalt(halted *[]bool, threads int, e Event) error {
+	if e.Kind == KindHalt {
+		if *halted == nil {
+			*halted = make([]bool, threads)
+		}
+		if (*halted)[e.Thread] {
+			return fmt.Errorf("monitor: trace event: thread %d halted twice", e.Thread)
+		}
+		(*halted)[e.Thread] = true
+		return nil
+	}
+	if *halted != nil && (*halted)[e.Thread] {
+		return fmt.Errorf("monitor: trace event: thread %d acts after its halt", e.Thread)
+	}
+	return nil
 }
 
 // NewTraceWriter validates the header, writes it to w in the chosen
@@ -208,9 +307,15 @@ func NewTraceWriter(w io.Writer, hdr Header, format Format) (*TraceWriter, error
 	}
 	tw := &TraceWriter{w: bufio.NewWriter(w), hdr: hdr, format: format}
 	switch format {
-	case Binary:
+	case Binary, BinaryV2:
+		ver := byte(wireVersion)
+		if format == BinaryV2 {
+			ver = wireVersion2
+			tw.prevLoc = make([]int32, hdr.Threads)
+			tw.prevNum = make([]int64, len(hdr.Decls))
+		}
 		tw.w.WriteString(binaryMagic)
-		tw.w.WriteByte(wireVersion)
+		tw.w.WriteByte(ver)
 		tw.putUvarint(uint64(hdr.Threads))
 		tw.putUvarint(uint64(len(hdr.Decls)))
 		for _, d := range hdr.Decls {
@@ -244,9 +349,16 @@ func (tw *TraceWriter) putVarint(v int64) {
 }
 
 // Write encodes one event. Invalid events (out-of-range indices, kind
-// mismatching the declared location kind) are rejected.
+// mismatching the declared location kind) are rejected, as are halt
+// events in the frozen v1 binary grammar.
 func (tw *TraceWriter) Write(e Event) error {
 	if err := validateEvent(tw.hdr, e); err != nil {
+		return err
+	}
+	if tw.format == Binary && e.Kind == KindHalt {
+		return fmt.Errorf("monitor: trace event: halt events need the v2 binary or text format (v1 is frozen)")
+	}
+	if err := checkHalt(&tw.halted, tw.hdr.Threads, e); err != nil {
 		return err
 	}
 	switch tw.format {
@@ -259,7 +371,13 @@ func (tw *TraceWriter) Write(e Event) error {
 			tw.putVarint(num)
 			tw.putUvarint(uint64(den))
 		}
+	case BinaryV2:
+		tw.writeV2(e)
 	case Text:
+		if e.Kind == KindHalt {
+			fmt.Fprintf(tw.w, "%d halt\n", e.Thread)
+			break
+		}
 		op := "r"
 		if e.Kind.IsWrite() {
 			op = "w"
@@ -274,8 +392,73 @@ func (tw *TraceWriter) Write(e Event) error {
 	return nil
 }
 
-// Flush drains the encoder's buffer to the underlying writer.
-func (tw *TraceWriter) Flush() error { return tw.w.Flush() }
+// writeV2 appends one delta-encoded event to the current frame, flushing
+// the frame when it reaches its event budget.
+func (tw *TraceWriter) writeV2(e Event) {
+	tagPos := len(tw.frame)
+	tw.frame = append(tw.frame, 0) // tag, patched below
+	tag := byte(e.Kind)
+	if e.Thread != tw.prevThread {
+		tag |= 1 << 3
+		tw.frame = appendVarint(tw.frame, int64(e.Thread)-int64(tw.prevThread))
+		tw.prevThread = e.Thread
+	}
+	if e.Kind != KindHalt {
+		d := int64(e.Loc) - int64(tw.prevLoc[e.Thread])
+		if d >= -7 && d <= 7 {
+			tag |= byte(d+7) << 4
+		} else {
+			tag |= 15 << 4
+			tw.frame = appendVarint(tw.frame, d)
+		}
+		tw.prevLoc[e.Thread] = e.Loc
+		if e.Kind == ReadRA || e.Kind == WriteRA {
+			num, den := e.Time.Fraction()
+			tw.frame = appendVarint(tw.frame, num-tw.prevNum[e.Loc])
+			tw.frame = appendUvarint(tw.frame, uint64(den))
+			tw.prevNum[e.Loc] = num
+		}
+	}
+	tw.frame[tagPos] = tag
+	tw.count++
+	if tw.count >= defaultFrameEvents {
+		tw.flushFrame()
+	}
+}
+
+// flushFrame emits the buffered frame: payload length, event count,
+// event bytes. A no-op on an empty frame.
+func (tw *TraceWriter) flushFrame() {
+	if tw.count == 0 {
+		return
+	}
+	var cnt [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(cnt[:], uint64(tw.count))
+	tw.putUvarint(uint64(n + len(tw.frame)))
+	tw.w.Write(cnt[:n])
+	tw.w.Write(tw.frame)
+	tw.frame = tw.frame[:0]
+	tw.count = 0
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(b, tmp[:binary.PutUvarint(tmp[:], v)]...)
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(b, tmp[:binary.PutVarint(tmp[:], v)]...)
+}
+
+// Flush drains any buffered frame and the encoder's buffer to the
+// underlying writer.
+func (tw *TraceWriter) Flush() error {
+	if tw.format == BinaryV2 {
+		tw.flushFrame()
+	}
+	return tw.w.Flush()
+}
 
 // ---- Decoder ----
 
@@ -294,6 +477,18 @@ type TraceReader struct {
 	// end of the text header's loc section.
 	pending    string
 	hasPending bool
+	// halted[t]: thread t's halt has been decoded — later events of t
+	// are malformed (see checkHalt). Allocated on the first halt.
+	halted []bool
+	// v2 state: the delta context (carried across frames) and the
+	// decoded-but-not-yet-yielded events of the current frame.
+	v2         bool
+	prevThread int32
+	prevLoc    []int32
+	prevNum    []int64
+	frameBuf   []byte
+	batch      []Event
+	cur        int
 }
 
 // NewTraceReader sniffs the encoding of r, decodes and validates the
@@ -325,7 +520,50 @@ func (tr *TraceReader) Next() (Event, bool, error) {
 	if tr.text {
 		return tr.nextText()
 	}
+	if tr.v2 {
+		if tr.cur >= len(tr.batch) {
+			var ok bool
+			var err error
+			tr.batch, ok, err = tr.decodeFrame(tr.batch[:0])
+			tr.cur = 0
+			if err != nil || !ok {
+				return Event{}, false, err
+			}
+		}
+		e := tr.batch[tr.cur]
+		tr.cur++
+		return e, true, nil
+	}
 	return tr.nextBinary()
+}
+
+// NextBatch decodes and validates the next batch of events, appending to
+// dst — for the v2 format a whole frame at a time (the natural batch
+// boundary), for v1 and text a bounded run of single events. ok=false
+// with nothing appended means the end of the trace. TraceReader thereby
+// implements BatchSource, the preferred way to feed Monitor.FeedBatch or
+// a Pipeline.
+func (tr *TraceReader) NextBatch(dst []Event) ([]Event, bool, error) {
+	if tr.v2 {
+		if tr.cur < len(tr.batch) {
+			dst = append(dst, tr.batch[tr.cur:]...)
+			tr.cur = len(tr.batch)
+			return dst, true, nil
+		}
+		return tr.decodeFrame(dst)
+	}
+	n := 0
+	for ; n < defaultFrameEvents; n++ {
+		e, ok, err := tr.Next()
+		if err != nil {
+			return dst, false, err
+		}
+		if !ok {
+			break
+		}
+		dst = append(dst, e)
+	}
+	return dst, n > 0, nil
 }
 
 // readUvarintField reads a bounded uvarint, mapping EOF inside the field
@@ -352,9 +590,11 @@ func (tr *TraceReader) readBinaryHeader() error {
 	if err != nil {
 		return fmt.Errorf("monitor: trace header: %w", io.ErrUnexpectedEOF)
 	}
-	if ver != wireVersion {
-		return fmt.Errorf("monitor: trace header: unsupported version %d (have %d)", ver, wireVersion)
+	if ver != wireVersion && ver != wireVersion2 {
+		return fmt.Errorf("monitor: trace header: unsupported version %d (have %d and %d)",
+			ver, wireVersion, wireVersion2)
 	}
+	tr.v2 = ver == wireVersion2
 	threads, err := tr.readUvarintField("header thread count", maxWireThreads)
 	if err != nil {
 		return err
@@ -386,7 +626,132 @@ func (tr *TraceReader) readBinaryHeader() error {
 		return err
 	}
 	tr.hdr = hdr
+	if tr.v2 {
+		tr.prevLoc = make([]int32, hdr.Threads)
+		tr.prevNum = make([]int64, len(hdr.Decls))
+	}
 	return nil
+}
+
+// decodeFrame reads and decodes the next v2 frame, appending its
+// validated events to dst. ok=false at a clean end of trace (EOF exactly
+// at a frame boundary).
+func (tr *TraceReader) decodeFrame(dst []Event) ([]Event, bool, error) {
+	payloadLen, err := binary.ReadUvarint(tr.br)
+	if err != nil {
+		if err == io.EOF {
+			return dst, false, nil // clean end of trace
+		}
+		return dst, false, fmt.Errorf("monitor: trace frame length: %w", err)
+	}
+	if payloadLen == 0 || payloadLen > maxFrameBytes {
+		return dst, false, fmt.Errorf("monitor: trace frame: payload length %d out of range (1,%d]", payloadLen, maxFrameBytes)
+	}
+	if uint64(cap(tr.frameBuf)) < payloadLen {
+		tr.frameBuf = make([]byte, payloadLen)
+	}
+	p := tr.frameBuf[:payloadLen]
+	if _, err := io.ReadFull(tr.br, p); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return dst, false, fmt.Errorf("monitor: trace frame: %w", err)
+	}
+	count, n := binary.Uvarint(p)
+	if n <= 0 || count == 0 || count > maxFrameEvents {
+		return dst, false, fmt.Errorf("monitor: trace frame: bad event count")
+	}
+	pos := n
+	for i := uint64(0); i < count; i++ {
+		e, next, err := tr.decodeV2Event(p, pos)
+		if err != nil {
+			return dst, false, err
+		}
+		pos = next
+		dst = append(dst, e)
+	}
+	if pos != len(p) {
+		return dst, false, fmt.Errorf("monitor: trace frame: %d trailing bytes after %d events", len(p)-pos, count)
+	}
+	return dst, true, nil
+}
+
+// decodeV2Event decodes one delta-encoded event at p[pos:], updating the
+// cross-frame delta context, and returns the event and the next offset.
+func (tr *TraceReader) decodeV2Event(p []byte, pos int) (Event, int, error) {
+	if pos >= len(p) {
+		return Event{}, 0, fmt.Errorf("monitor: trace frame: truncated event (missing tag)")
+	}
+	tag := p[pos]
+	pos++
+	e := Event{Kind: Kind(tag & 7)}
+	if e.Kind > KindHalt {
+		return Event{}, 0, fmt.Errorf("monitor: trace event: unknown kind %d", e.Kind)
+	}
+	thread := int64(tr.prevThread)
+	if tag&(1<<3) != 0 {
+		d, n := binary.Varint(p[pos:])
+		if n <= 0 {
+			return Event{}, 0, fmt.Errorf("monitor: trace event: bad thread delta varint")
+		}
+		pos += n
+		thread += d
+	}
+	if thread < 0 || thread >= int64(tr.hdr.Threads) {
+		return Event{}, 0, fmt.Errorf("monitor: trace event: thread %d out of range [0,%d)", thread, tr.hdr.Threads)
+	}
+	e.Thread = int32(thread)
+	tr.prevThread = e.Thread
+	locField := tag >> 4
+	if e.Kind == KindHalt {
+		if locField != 0 {
+			return Event{}, 0, fmt.Errorf("monitor: trace event: halt with nonzero location field")
+		}
+		if err := checkHalt(&tr.halted, tr.hdr.Threads, e); err != nil {
+			return Event{}, 0, err
+		}
+		return e, pos, nil
+	}
+	d := int64(locField) - 7
+	if locField == 15 {
+		var n int
+		d, n = binary.Varint(p[pos:])
+		if n <= 0 {
+			return Event{}, 0, fmt.Errorf("monitor: trace event: bad location delta varint")
+		}
+		pos += n
+	}
+	loc := int64(tr.prevLoc[e.Thread]) + d
+	if loc < 0 || loc >= int64(len(tr.hdr.Decls)) {
+		return Event{}, 0, fmt.Errorf("monitor: trace event: location index %d out of range [0,%d)", loc, len(tr.hdr.Decls))
+	}
+	e.Loc = int32(loc)
+	tr.prevLoc[e.Thread] = e.Loc
+	if e.Kind == ReadRA || e.Kind == WriteRA {
+		dnum, n := binary.Varint(p[pos:])
+		if n <= 0 {
+			return Event{}, 0, fmt.Errorf("monitor: trace event: bad timestamp delta varint")
+		}
+		pos += n
+		den, n := binary.Uvarint(p[pos:])
+		if n <= 0 {
+			return Event{}, 0, fmt.Errorf("monitor: trace event: bad timestamp denominator varint")
+		}
+		pos += n
+		if den == 0 || den > uint64(math.MaxInt64) {
+			return Event{}, 0, fmt.Errorf("monitor: trace event timestamp: denominator %d out of range", den)
+		}
+		num := tr.prevNum[e.Loc] + dnum
+		tr.prevNum[e.Loc] = num
+		e.Time = ts.New(num, int64(den))
+	}
+	if err := validateEvent(tr.hdr, e); err != nil {
+		return Event{}, 0, err
+	}
+	if err := checkHalt(&tr.halted, tr.hdr.Threads, e); err != nil {
+		return Event{}, 0, err
+	}
+	return e, pos, nil
 }
 
 func (tr *TraceReader) nextBinary() (Event, bool, error) {
@@ -398,6 +763,11 @@ func (tr *TraceReader) nextBinary() (Event, bool, error) {
 		return Event{}, false, err
 	}
 	e := Event{Kind: Kind(kb)}
+	if e.Kind > WriteRA {
+		// The v1 grammar is frozen at kinds 0..5 — halt markers exist
+		// only in the v2 and text encodings.
+		return Event{}, false, fmt.Errorf("monitor: trace event: unknown kind %d", e.Kind)
+	}
 	thread, err := tr.readUvarintField("event thread", uint64(math.MaxInt32))
 	if err != nil {
 		return Event{}, false, err
@@ -545,12 +915,22 @@ func (tr *TraceReader) nextText() (Event, bool, error) {
 		}
 	}
 	f := strings.Fields(line)
-	if len(f) != 3 && len(f) != 4 {
-		return Event{}, false, tr.textErr("want \"THREAD r|w LOC [TIME]\", got %q", line)
+	if len(f) != 2 && len(f) != 3 && len(f) != 4 {
+		return Event{}, false, tr.textErr("want \"THREAD r|w LOC [TIME]\" or \"THREAD halt\", got %q", line)
 	}
 	thread, err := strconv.Atoi(f[0])
 	if err != nil || thread < 0 || thread >= tr.hdr.Threads {
 		return Event{}, false, tr.textErr("thread %q out of range [0,%d)", f[0], tr.hdr.Threads)
+	}
+	if len(f) == 2 {
+		if f[1] != "halt" {
+			return Event{}, false, tr.textErr("want \"THREAD r|w LOC [TIME]\" or \"THREAD halt\", got %q", line)
+		}
+		e := Event{Thread: int32(thread), Kind: KindHalt}
+		if err := checkHalt(&tr.halted, tr.hdr.Threads, e); err != nil {
+			return Event{}, false, tr.textErr("%v", err)
+		}
+		return e, true, nil
 	}
 	var write bool
 	switch f[1] {
@@ -594,6 +974,9 @@ func (tr *TraceReader) nextText() (Event, bool, error) {
 		if write {
 			e.Kind = WriteNA
 		}
+	}
+	if err := checkHalt(&tr.halted, tr.hdr.Threads, e); err != nil {
+		return Event{}, false, tr.textErr("%v", err)
 	}
 	return e, true, nil
 }

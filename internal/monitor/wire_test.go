@@ -234,47 +234,83 @@ func TestWireWriterRejects(t *testing.T) {
 }
 
 // FuzzTraceReader: the decoder must never panic, and every event it does
-// yield must be safe for the monitor to consume. Seeds cover both
-// formats and a few corruption shapes.
+// yield must be safe for the monitor to consume. Seeds cover all three
+// formats (v1, v2 framed, text) and a few corruption shapes, including a
+// v2→v1 version-byte downgrade; the fuzz body exercises both the
+// per-event and the batch decoding paths.
 func FuzzTraceReader(f *testing.F) {
 	hdr, events := wireWorkload()
-	bin := encodeAllFuzz(f, hdr, events, Binary)
+	events = append(events, Event{Thread: 0, Kind: KindHalt}) // v2/text only
+	bin := encodeAllFuzz(f, hdr, events[:len(events)-1], Binary)
 	txt := encodeAllFuzz(f, hdr, events, Text)
+	v2 := encodeAllFuzz(f, hdr, events, BinaryV2)
 	f.Add(bin)
 	f.Add(txt)
+	f.Add(v2)
 	f.Add(bin[:9])
+	f.Add(v2[:len(v2)-3]) // truncated mid-frame
+	f.Add(func() []byte { // v2 frames under a v1 version byte
+		b := append([]byte{}, v2...)
+		b[4] = 1
+		return b
+	}())
+	f.Add(func() []byte { // v1 events under a v2 version byte
+		b := append([]byte{}, bin...)
+		b[4] = 2
+		return b
+	}())
 	f.Add([]byte("LDTR\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
-	f.Add([]byte("ldtrace 1\nthreads 3\nloc R ra\n0 w R -5/3\n"))
+	f.Add([]byte("LDTR\x02\x02\x01\x01x\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Add([]byte("ldtrace 1\nthreads 3\nloc R ra\n0 w R -5/3\n0 halt\n"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		tr, err := NewTraceReader(bytes.NewReader(data))
-		if err != nil {
-			return
-		}
-		h := tr.Header()
-		// Cap the monitored shape: the monitor's clock state is
-		// O(threads²) and the decoder's limits allow sizes that are fine
-		// for real traces but too slow to allocate per fuzz exec.
-		feed := h.Threads <= 64 && len(h.Decls) <= 1024
-		var m *Monitor
-		if feed {
-			m = New(h.Threads, h.Decls)
-			m.SetGCInterval(64)
-		}
-		for i := 0; i < 1<<16; i++ {
-			e, ok, err := tr.Next()
-			if err != nil || !ok {
-				break
+		for _, batched := range []bool{false, true} {
+			tr, err := NewTraceReader(bytes.NewReader(data))
+			if err != nil {
+				return
 			}
-			if verr := validateEvent(h, e); verr != nil {
-				t.Fatalf("decoder yielded invalid event %+v: %v", e, verr)
+			h := tr.Header()
+			// Cap the monitored shape: the monitor's clock state is
+			// O(threads²) and the decoder's limits allow sizes that are fine
+			// for real traces but too slow to allocate per fuzz exec.
+			feed := h.Threads <= 64 && len(h.Decls) <= 1024
+			var m *Monitor
+			if feed {
+				m = New(h.Threads, h.Decls)
+				m.SetGCInterval(64)
+			}
+			var batch []Event
+			for i := 0; i < 1<<16; i++ {
+				if batched {
+					var ok bool
+					batch, ok, err = tr.NextBatch(batch[:0])
+					if err != nil || !ok {
+						break
+					}
+					for _, e := range batch {
+						if verr := validateEvent(h, e); verr != nil {
+							t.Fatalf("batch decoder yielded invalid event %+v: %v", e, verr)
+						}
+					}
+					if feed {
+						m.StepBatch(batch)
+					}
+					continue
+				}
+				e, ok, err := tr.Next()
+				if err != nil || !ok {
+					break
+				}
+				if verr := validateEvent(h, e); verr != nil {
+					t.Fatalf("decoder yielded invalid event %+v: %v", e, verr)
+				}
+				if feed {
+					m.Step(e)
+				}
 			}
 			if feed {
-				m.Step(e)
+				_ = m.Reports()
 			}
-		}
-		if feed {
-			_ = m.Reports()
 		}
 	})
 }

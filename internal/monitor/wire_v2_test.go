@@ -1,0 +1,340 @@
+package monitor
+
+import (
+	"bytes"
+	"testing"
+
+	"localdrf/internal/prog"
+	"localdrf/internal/race"
+	"localdrf/internal/ts"
+)
+
+// haltWorkload is wireWorkload plus thread retirements — the shapes only
+// v2 and text can carry.
+func haltWorkload() (Header, []Event) {
+	hdr, events := wireWorkload()
+	events = append(events,
+		Event{Thread: 0, Kind: KindHalt},
+		Event{Thread: 2, Loc: 0, Kind: WriteNA},
+		Event{Thread: 2, Kind: KindHalt},
+	)
+	return hdr, events
+}
+
+// TestWireV2RoundTrip: encode → decode through the delta-compressed v2
+// format reproduces the header and every event (including halts and RA
+// timestamps) exactly, via both Next and NextBatch.
+func TestWireV2RoundTrip(t *testing.T) {
+	hdr, events := haltWorkload()
+	data := encodeAll(t, hdr, events, BinaryV2)
+	for _, batched := range []bool{false, true} {
+		tr, err := NewTraceReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tr.Header()
+		if got.Threads != hdr.Threads || len(got.Decls) != len(hdr.Decls) {
+			t.Fatalf("header mismatch: %+v vs %+v", got, hdr)
+		}
+		var decoded []Event
+		if batched {
+			for {
+				var ok bool
+				decoded, ok, err = tr.NextBatch(decoded)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+			}
+		} else {
+			for {
+				e, ok, err := tr.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				decoded = append(decoded, e)
+			}
+		}
+		if len(decoded) != len(events) {
+			t.Fatalf("batched=%v: decoded %d events, want %d", batched, len(decoded), len(events))
+		}
+		for i, want := range events {
+			e := decoded[i]
+			if e.Thread != want.Thread || e.Kind != want.Kind {
+				t.Fatalf("batched=%v: event %d: got %+v, want %+v", batched, i, e, want)
+			}
+			if want.Kind != KindHalt && e.Loc != want.Loc {
+				t.Fatalf("batched=%v: event %d: loc %d, want %d", batched, i, e.Loc, want.Loc)
+			}
+			if (want.Kind == ReadRA || want.Kind == WriteRA) && !e.Time.Equal(want.Time) {
+				t.Fatalf("batched=%v: event %d: timestamp %v, want %v", batched, i, e.Time, want.Time)
+			}
+		}
+	}
+}
+
+// TestWireV2FrameBoundaries: streams longer than one frame round-trip
+// across the frame boundary (the delta context persists between frames).
+func TestWireV2FrameBoundaries(t *testing.T) {
+	decls, events := syntheticWorkload(4, 16, 3*defaultFrameEvents+17, 5)
+	hdr := Header{Threads: 4, Decls: decls}
+	data := encodeAll(t, hdr, events, BinaryV2)
+	tr, err := NewTraceReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Event
+	batches := 0
+	for {
+		before := len(decoded)
+		var ok bool
+		decoded, ok, err = tr.NextBatch(decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if len(decoded) == before {
+			t.Fatal("NextBatch returned ok with no events")
+		}
+		batches++
+	}
+	if batches != 4 {
+		t.Fatalf("got %d batches, want 4 (3 full frames + remainder)", batches)
+	}
+	if len(decoded) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(decoded), len(events))
+	}
+	for i := range events {
+		if decoded[i].Thread != events[i].Thread || decoded[i].Loc != events[i].Loc || decoded[i].Kind != events[i].Kind {
+			t.Fatalf("event %d: got %+v, want %+v", i, decoded[i], events[i])
+		}
+	}
+}
+
+// TestWireV2MonitorParity: monitoring the v2-decoded stream (per event
+// and per batch) reports exactly what the original slice reports.
+func TestWireV2MonitorParity(t *testing.T) {
+	hdr, events := haltWorkload()
+	direct := New(hdr.Threads, hdr.Decls)
+	direct.StepBatch(events)
+	want := direct.Reports()
+	if len(want) == 0 {
+		t.Fatal("workload produced no races; not a useful fixture")
+	}
+	data := encodeAll(t, hdr, events, BinaryV2)
+	got, err := ReadRaces(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !race.ReportsEqual(got, want) {
+		t.Fatalf("v2 decoded reports %v, want %v", got, want)
+	}
+	tr, err := NewTraceReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tr.NewMonitor()
+	if err := m.FeedBatch(tr); err != nil {
+		t.Fatal(err)
+	}
+	if !race.ReportsEqual(m.Reports(), want) {
+		t.Fatalf("v2 FeedBatch reports %v, want %v", m.Reports(), want)
+	}
+}
+
+// TestWireV2SemanticsMatchV1: a halt-free stream encodes to both
+// versions and decodes to identical event sequences — v2 is a pure
+// compression of v1's semantics.
+func TestWireV2SemanticsMatchV1(t *testing.T) {
+	hdr, events := wireWorkload()
+	decode := func(data []byte) []Event {
+		tr, err := NewTraceReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Event
+		for {
+			e, ok, err := tr.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				return out
+			}
+			out = append(out, e)
+		}
+	}
+	v1 := decode(encodeAll(t, hdr, events, Binary))
+	v2 := decode(encodeAll(t, hdr, events, BinaryV2))
+	if len(v1) != len(v2) {
+		t.Fatalf("v1 decoded %d events, v2 %d", len(v1), len(v2))
+	}
+	for i := range v1 {
+		if v1[i].Thread != v2[i].Thread || v1[i].Loc != v2[i].Loc || v1[i].Kind != v2[i].Kind || !v1[i].Time.Equal(v2[i].Time) {
+			t.Fatalf("event %d: v1 %+v, v2 %+v", i, v1[i], v2[i])
+		}
+	}
+}
+
+// TestWireV2Rejects: the v2 decoder errors (never panics) on every
+// malformed-frame class, and the frozen v1 grammar rejects what only v2
+// can carry.
+func TestWireV2Rejects(t *testing.T) {
+	hdr, events := haltWorkload()
+	v2 := encodeAll(t, hdr, events, BinaryV2)
+	hdrOnly := encodeAll(t, hdr, nil, BinaryV2)
+
+	// Header downgrade v2 → v1: same bytes with the version byte flipped
+	// claim to be a v1 trace; the frames are then parsed as v1 events and
+	// must produce an error, not a panic or bogus events.
+	downgrade := append([]byte{}, v2...)
+	downgrade[4] = 1
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"downgraded v2 frames parsed as v1", downgrade},
+		{"future version", func() []byte {
+			b := append([]byte{}, v2...)
+			b[4] = 3
+			return b
+		}()},
+		{"truncated frame payload", v2[:len(v2)-1]},
+		{"truncated frame length", append(append([]byte{}, hdrOnly...), 0xff)},
+		{"zero-length frame", append(append([]byte{}, hdrOnly...), 0x00)},
+		{"oversized frame length", append(append([]byte{}, hdrOnly...), 0xff, 0xff, 0xff, 0xff, 0x7f)},
+		{"zero event count", append(append([]byte{}, hdrOnly...), 0x01, 0x00)},
+		{"event count exceeding payload", append(append([]byte{}, hdrOnly...), 0x02, 0xff, 0x7f)},
+		{"trailing bytes after events", append(append([]byte{}, hdrOnly...),
+			// payload: count=1, one NA-write event (tag only), junk byte.
+			0x03, 0x01, byte(WriteNA)|7<<4, 0xAA)},
+		{"unterminated varint", append(append([]byte{}, hdrOnly...),
+			// count=1, tag with explicit loc delta, then 0x80s forever.
+			0x0c, 0x01, byte(WriteNA)|15<<4, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80)},
+		{"thread delta out of range", append(append([]byte{}, hdrOnly...),
+			// count=1, tag with thread delta −1 from prevThread 0.
+			0x04, 0x01, byte(WriteNA)|1<<3|7<<4, 0x01)},
+		{"loc delta out of range", append(append([]byte{}, hdrOnly...),
+			// count=1, tag loc field 0 → delta −7 from prevLoc 0.
+			0x03, 0x01, byte(WriteNA) | 0<<4)},
+		{"halt with nonzero loc field", append(append([]byte{}, hdrOnly...),
+			0x03, 0x01, byte(KindHalt)|7<<4)},
+		{"kind 7", append(append([]byte{}, hdrOnly...), 0x03, 0x01, 7|7<<4)},
+		{"event after halt", append(append([]byte{}, hdrOnly...),
+			// count=2: halt t0, then a WriteNA by t0 — breaks the halt
+			// promise the monitor's +∞ frontier treatment relies on.
+			0x03, 0x02, byte(KindHalt), byte(WriteNA)|7<<4)},
+		{"double halt", append(append([]byte{}, hdrOnly...),
+			0x03, 0x02, byte(KindHalt), byte(KindHalt))},
+		{"text event after halt", []byte("ldtrace 1\nthreads 2\nloc x na\n0 halt\n0 w x\n")},
+		{"text double halt", []byte("ldtrace 1\nthreads 2\nloc x na\n0 halt\n0 halt\n")},
+		{"zero timestamp denominator", append(append([]byte{}, hdrOnly...),
+			// count=1, ReadRA on loc 2 ("R"): loc delta +2, dnum 1, den 0.
+			0x05, 0x01, byte(ReadRA)|15<<4, 0x04, 0x02, 0x00)},
+	}
+	for _, tc := range cases {
+		if _, err := ReadRaces(bytes.NewReader(tc.data)); err == nil {
+			t.Errorf("%s: decoder accepted malformed input", tc.name)
+		}
+	}
+
+	// The frozen v1 side of negotiation: a halt event cannot be written
+	// to a v1 binary trace, and a kind byte of 6 in a v1 body is
+	// rejected.
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, hdr, Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(Event{Thread: 0, Kind: KindHalt}); err == nil {
+		t.Error("v1 writer accepted a halt event")
+	}
+	v1hdr := encodeAll(t, hdr, nil, Binary)
+	bogus := append(append([]byte{}, v1hdr...), byte(KindHalt), 0x00, 0x00)
+	if _, err := ReadRaces(bytes.NewReader(bogus)); err == nil {
+		t.Error("v1 decoder accepted kind byte 6")
+	}
+
+	// The encoder enforces the halt promise too, in every halt-capable
+	// format: no event after a thread's halt, no double halt.
+	for _, format := range []Format{BinaryV2, Text} {
+		var hbuf bytes.Buffer
+		htw, err := NewTraceWriter(&hbuf, hdr, format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := htw.Write(Event{Thread: 1, Kind: KindHalt}); err != nil {
+			t.Fatalf("%v: first halt rejected: %v", format, err)
+		}
+		if err := htw.Write(Event{Thread: 1, Loc: 0, Kind: WriteNA}); err == nil {
+			t.Errorf("%v writer accepted an event after the thread's halt", format)
+		}
+		if err := htw.Write(Event{Thread: 1, Kind: KindHalt}); err == nil {
+			t.Errorf("%v writer accepted a double halt", format)
+		}
+		if err := htw.Write(Event{Thread: 0, Loc: 0, Kind: WriteNA}); err != nil {
+			t.Errorf("%v writer rejected an unrelated thread after a halt: %v", format, err)
+		}
+	}
+}
+
+// TestWireV2TextHalt: the text format round-trips halt lines.
+func TestWireV2TextHalt(t *testing.T) {
+	hdr, events := haltWorkload()
+	data := encodeAll(t, hdr, events, Text)
+	tr, err := NewTraceReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	halts := 0
+	for {
+		e, ok, err := tr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if e.Kind == KindHalt {
+			halts++
+		}
+	}
+	if halts != 2 {
+		t.Fatalf("decoded %d halt events, want 2", halts)
+	}
+}
+
+// TestWireV2TimestampDeltas: timestamps with denominators and negative
+// deltas survive the per-location delta chain.
+func TestWireV2TimestampDeltas(t *testing.T) {
+	hdr := Header{Threads: 2, Decls: []LocDecl{{Name: "R", Kind: prog.ReleaseAcquire}}}
+	events := []Event{
+		{Thread: 0, Loc: 0, Kind: WriteRA, Time: ts.New(5, 3)},
+		{Thread: 1, Loc: 0, Kind: ReadRA, Time: ts.New(5, 3)},
+		{Thread: 0, Loc: 0, Kind: WriteRA, Time: ts.New(-2, 7)},
+		{Thread: 1, Loc: 0, Kind: ReadRA, Time: ts.New(-2, 7)},
+		{Thread: 0, Loc: 0, Kind: WriteRA, Time: ts.New(1000000, 1)},
+	}
+	data := encodeAll(t, hdr, events, BinaryV2)
+	tr, err := NewTraceReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range events {
+		e, ok, err := tr.Next()
+		if err != nil || !ok {
+			t.Fatalf("event %d: ok=%v err=%v", i, ok, err)
+		}
+		if !e.Time.Equal(want.Time) {
+			t.Fatalf("event %d: timestamp %v, want %v", i, e.Time, want.Time)
+		}
+	}
+}

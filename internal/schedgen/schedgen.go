@@ -128,6 +128,13 @@ type Options struct {
 	// BurstMean is the mean burst length for the Bursty policy (0 means
 	// 64).
 	BurstMean int
+	// EmitHalts appends a monitor.KindHalt event when a thread runs to
+	// completion, telling downstream windowed analyses (the monitor's RA
+	// GC) that the thread's frontier can be treated as +∞. Halt events
+	// count toward MaxEvents and the emitted total. Off by default so
+	// existing streams stay byte-identical; halts never change the
+	// monitor's report set, only retention.
+	EmitHalts bool
 }
 
 // cell is the bounded write history of one location: a ring of the most
@@ -210,12 +217,45 @@ func Encode(w io.Writer, p *prog.Program, tb *monitor.Table, opt Options, format
 	return n, completed, tw.Flush()
 }
 
+// StreamBatch is Stream with batched delivery: events accumulate in one
+// reused buffer of the given size (≤ 0 means 4096) and emit receives
+// each full batch plus the final partial one. This is the fused
+// generate-and-monitor feeding path for consumers with a batch entry
+// point (monitor.Monitor.StepBatch, monitor.Pipeline.StepBatch) — one
+// callback per batch instead of one per event. The buffer is only valid
+// for the duration of the callback.
+func StreamBatch(p *prog.Program, tb *monitor.Table, opt Options, batch int, emit func([]monitor.Event) error) (bool, error) {
+	if batch <= 0 {
+		batch = 4096
+	}
+	buf := make([]monitor.Event, 0, batch)
+	completed, err := Stream(p, tb, opt, func(e monitor.Event) error {
+		buf = append(buf, e)
+		if len(buf) == batch {
+			err := emit(buf)
+			buf = buf[:0]
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	if len(buf) > 0 {
+		if err := emit(buf); err != nil {
+			return false, err
+		}
+	}
+	return completed, nil
+}
+
 // Stream executes p under the given options, pushing each event to emit
-// as it is produced — the generate-and-feed core that Generate and
-// Encode wrap, and that cmd/racemon's -stream mode feeds straight into a
-// monitor without buffering the schedule. Generation stops early if emit
-// returns an error (which is returned as-is). The boolean result reports
-// whether the program ran to completion before MaxEvents.
+// as it is produced — the generate-and-feed core that Generate, Encode
+// and StreamBatch wrap, and that cmd/racemon's -stream mode feeds
+// straight into a monitor without buffering the schedule. Generation
+// stops early if emit returns an error (which is returned as-is). The
+// boolean result reports whether the program ran to completion before
+// MaxEvents.
 func Stream(p *prog.Program, tb *monitor.Table, opt Options, emit func(monitor.Event) error) (bool, error) {
 	depth := opt.HistoryDepth
 	if depth <= 0 {
@@ -327,6 +367,12 @@ func Stream(p *prog.Program, tb *monitor.Table, opt Options, emit func(monitor.E
 			drop(t)
 			if cur == t {
 				cur = -1
+			}
+			if opt.EmitHalts {
+				emitted++
+				if err := emit(monitor.Event{Thread: int32(t), Kind: monitor.KindHalt}); err != nil {
+					return false, err
+				}
 			}
 			continue
 		}

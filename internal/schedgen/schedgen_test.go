@@ -252,3 +252,135 @@ func BenchmarkGenerateBursty(b *testing.B) {
 		}
 	}
 }
+
+// TestEmitHalts: with EmitHalts a completed run carries exactly one halt
+// per thread (each after that thread's last access), the monitor's
+// report set is unchanged, and the non-halt prefix ordering is identical
+// to the halt-free stream.
+func TestEmitHalts(t *testing.T) {
+	cfg := smallCfg()
+	p := progsynth.Scaled(3, cfg)
+	tb := monitor.NewTable(p)
+	opt := Options{Policy: Unfair, Seed: 9, StaleReadPct: 20}
+	plain, doneP, err := Generate(p, tb, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.EmitHalts = true
+	halted, doneH, err := Generate(p, tb, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doneP || !doneH {
+		t.Fatal("terminating program did not complete")
+	}
+	if len(halted) != len(plain)+cfg.Threads {
+		t.Fatalf("halted stream has %d events, want %d + %d halts", len(halted), len(plain), cfg.Threads)
+	}
+	seen := make([]bool, cfg.Threads)
+	i := 0
+	for _, e := range halted {
+		if e.Kind == monitor.KindHalt {
+			if seen[e.Thread] {
+				t.Fatalf("thread %d halted twice", e.Thread)
+			}
+			seen[e.Thread] = true
+			continue
+		}
+		if seen[e.Thread] {
+			t.Fatalf("thread %d has events after its halt", e.Thread)
+		}
+		if e != plain[i] {
+			t.Fatalf("non-halt event %d differs: %v vs %v", i, e, plain[i])
+		}
+		i++
+	}
+	if i != len(plain) {
+		t.Fatalf("halted stream carries %d non-halt events, want %d", i, len(plain))
+	}
+	mp := tb.NewMonitor()
+	mp.StepBatch(plain)
+	mh := tb.NewMonitor()
+	mh.StepBatch(halted)
+	if !race.ReportsEqual(mp.Reports(), mh.Reports()) {
+		t.Fatal("halt events changed the monitor's report set")
+	}
+}
+
+// TestStreamBatchMatchesStream: batched delivery carries exactly the
+// per-event stream, at batch sizes that do and do not divide the length.
+func TestStreamBatchMatchesStream(t *testing.T) {
+	p := progsynth.Scaled(5, smallCfg())
+	tb := monitor.NewTable(p)
+	opt := Options{Policy: Bursty, Seed: 11, StaleReadPct: 10, EmitHalts: true}
+	var want []monitor.Event
+	doneW, err := Stream(p, tb, opt, func(e monitor.Event) error {
+		want = append(want, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 7, 4096} {
+		var got []monitor.Event
+		batches := 0
+		doneB, err := StreamBatch(p, tb, opt, batch, func(evs []monitor.Event) error {
+			got = append(got, evs...)
+			batches++
+			if len(evs) > batch {
+				t.Fatalf("batch of %d exceeds requested size %d", len(evs), batch)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doneB != doneW || len(got) != len(want) {
+			t.Fatalf("batch=%d: shape mismatch (%d events vs %d, done %v vs %v)",
+				batch, len(got), len(want), doneB, doneW)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("batch=%d: event %d differs", batch, i)
+			}
+		}
+		if wantBatches := (len(want) + batch - 1) / batch; batches != wantBatches {
+			t.Fatalf("batch=%d: %d callbacks, want %d", batch, batches, wantBatches)
+		}
+	}
+}
+
+// TestWireV2SmallerThanV1 is the wire-format acceptance bar: on the
+// schedgen smoke stream (the CI racemon workload), the delta-compressed
+// v2 encoding is at least 1.5× smaller than v1, and both decode to the
+// same report set.
+func TestWireV2SmallerThanV1(t *testing.T) {
+	cfg := progsynth.ScaledDefaults()
+	cfg.Iters = cfg.IterationsFor(250_000)
+	p := progsynth.Scaled(1, cfg)
+	tb := monitor.NewTable(p)
+	opt := Options{Policy: Bursty, Seed: 1, MaxEvents: 250_000, StaleReadPct: 10}
+	var v1, v2 bytes.Buffer
+	if _, _, err := Encode(&v1, p, tb, opt, monitor.Binary); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Encode(&v2, p, tb, opt, monitor.BinaryV2); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(v1.Len()) / float64(v2.Len())
+	t.Logf("v1=%d bytes, v2=%d bytes, ratio=%.3f", v1.Len(), v2.Len(), ratio)
+	if ratio < 1.5 {
+		t.Fatalf("v2 is only %.3f× smaller than v1, want ≥ 1.5×", ratio)
+	}
+	r1, err := monitor.ReadRaces(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := monitor.ReadRaces(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !race.ReportsEqual(r1, r2) {
+		t.Fatal("v1 and v2 decoded streams report different races")
+	}
+}

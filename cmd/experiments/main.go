@@ -425,6 +425,10 @@ type benchResult struct {
 	// EncodedBytes is the wire-format size of the benched stream
 	// (wire benches only).
 	EncodedBytes int `json:"encoded_bytes,omitempty"`
+	// SnapshotBytes is the encoded size of the monitor's checkpoint at
+	// the end of the benched stream — the direct measurement of the live
+	// state the windowed GC and epoch compression keep bounded.
+	SnapshotBytes int `json:"snapshot_bytes,omitempty"`
 }
 
 // timeIt runs fn repeatedly for at least ~200ms (and at least 3 times)
@@ -569,6 +573,24 @@ func benchMonitor() error {
 	results[online].RAPeakLive = st.Peak
 	results[online].RACollected = st.Collected
 	results[online].AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(nevents)
+	// The checkpoint of the fully-monitored stream IS the live state —
+	// record its size on the online row, and time the codec round trip.
+	var snapBuf bytes.Buffer
+	if err := mon.Snapshot(&snapBuf); err != nil {
+		return err
+	}
+	results[online].SnapshotBytes = snapBuf.Len()
+	if err := timeIt("monitor/snapshot-roundtrip-1M", &results, func() error {
+		snapBuf.Reset()
+		if err := mon.Snapshot(&snapBuf); err != nil {
+			return err
+		}
+		_, err := monitor.Restore(bytes.NewReader(snapBuf.Bytes()))
+		return err
+	}); err != nil {
+		return err
+	}
+	results[len(results)-1].SnapshotBytes = snapBuf.Len()
 	if err := timeIt("monitor/stream-bursty-1M", &results, func() error {
 		m := tb.NewMonitor()
 		_, err := schedgen.Stream(p, tb, opt, func(e monitor.Event) error {
@@ -641,6 +663,12 @@ func benchMonitor() error {
 	}
 	results[len(results)-1].EncodedBytes = len(encoded)
 	for i := range results {
+		// events/sec is meaningful only for rows that process the
+		// 1M-event stream; the snapshot codec row times state encode +
+		// decode, not event ingestion.
+		if results[i].Name == "monitor/snapshot-roundtrip-1M" {
+			continue
+		}
 		results[i].EventsPerSec = float64(nevents) / (results[i].NsPerOp / 1e9)
 	}
 	fmt.Printf("monitor throughput: %.1fM events/sec single-core (%d distinct races; RA live peak %d, %d collected, %.3f allocs/event)\n",

@@ -11,6 +11,7 @@
 //	        [-stale PCT] [-halts] [-json] [-pipeline] [-stream]
 //	        [-trace FILE|-] [-emit FILE] [-format binary|text]
 //	        [-wire 1|2] [-golden FILE] [-update-golden]
+//	        [-checkpoint FILE] [-checkpoint-at N] [-resume FILE]
 //
 // Modes:
 //
@@ -40,6 +41,21 @@
 // to completion (wire v2/text and the monitor understand it; it never
 // changes reports, only RA retention).
 //
+// Checkpoint/resume: -checkpoint FILE snapshots the monitor (or
+// pipeline front-end + back-ends) in the LDCK format of
+// internal/monitor — at the end of the run, or, with -checkpoint-at N,
+// after the N-th monitored event, stopping there. Works in the -stream,
+// -pipeline and -trace modes. -resume FILE (with -trace) restores the
+// snapshot and continues over the trace: a checkpoint taken by -trace
+// carries the reader's byte offset and v2 delta context, so the resumed
+// run seeks straight to where monitoring stopped; a checkpoint taken by
+// -stream/-pipeline carries no offset, so the resumed run skips the
+// already-monitored prefix by count (the trace must therefore be the
+// same event stream, e.g. the -emit of the same seed and parameters).
+// Resuming with -shards M > 1 routes every restored location's state to
+// the back-end owning it. The resumed report set is byte-identical to a
+// run that never stopped.
+//
 // Examples:
 //
 //	racemon -pipeline -shards 4 -events 5000000 -json
@@ -48,6 +64,8 @@
 //	racemon -emit trace.bin -wire 1 -events 100000   # v1 for old readers
 //	racemon -emit - -format text -events 50 -threads 2 | head
 //	racemon -trace - < trace.bin
+//	racemon -trace trace.bin -checkpoint ck.ldck -checkpoint-at 50000
+//	racemon -trace trace.bin -resume ck.ldck -shards 4 -json
 //
 // The monitor reports every distinct data race (def. 9/10 pairs,
 // deduplicated by location, thread pair and access kinds). -json emits a
@@ -60,11 +78,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"reflect"
+	"slices"
 	"time"
 
 	"localdrf/internal/monitor"
@@ -145,6 +165,9 @@ func main() {
 	wire := flag.Int("wire", 2, "binary wire version for -emit: 1 (per-event) or 2 (delta-compressed frames)")
 	golden := flag.String("golden", "", "compare the deterministic report set against this golden JSON file")
 	updateGolden := flag.Bool("update-golden", false, "rewrite the -golden file instead of comparing")
+	checkpointFile := flag.String("checkpoint", "", "write a monitor snapshot to FILE (at end of run, or at -checkpoint-at)")
+	checkpointAt := flag.Uint64("checkpoint-at", 0, "snapshot after this many monitored events and stop (0 = at end)")
+	resumeFile := flag.String("resume", "", "restore the monitor from this snapshot before ingesting (-trace only)")
 	flag.Parse()
 
 	pol, err := schedgen.ParsePolicy(*policy)
@@ -178,8 +201,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "racemon: -pipeline, -stream, -trace and -emit are mutually exclusive")
 		os.Exit(2)
 	}
-	if (*stream || *traceFile != "") && *shards != 1 {
-		fmt.Fprintln(os.Stderr, "racemon: -stream/-trace monitor in a single pass; -shards must be 1")
+	if *stream && *shards != 1 {
+		fmt.Fprintln(os.Stderr, "racemon: -stream monitors in a single pass; -shards must be 1")
+		os.Exit(2)
+	}
+	if *resumeFile != "" && *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "racemon: -resume continues over a recorded trace; it needs -trace FILE")
+		os.Exit(2)
+	}
+	if *checkpointAt > 0 && *checkpointFile == "" {
+		fmt.Fprintln(os.Stderr, "racemon: -checkpoint-at needs -checkpoint FILE")
+		os.Exit(2)
+	}
+	if *checkpointFile != "" && !*stream && !*pipeline && *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "racemon: -checkpoint needs a streaming mode (-stream, -pipeline or -trace)")
 		os.Exit(2)
 	}
 	if *updateGolden && *golden == "" {
@@ -195,17 +230,18 @@ func main() {
 		policy: pol, seed: *seed, events: *events, threads: *threads,
 		locs: *locs, atomics: *atomics, ra: *ra, stale: *stale, halts: *halts,
 	}
+	ck := ckParams{file: *checkpointFile, at: *checkpointAt}
 	var res result
 	var reports []race.Report
 	switch {
 	case *traceFile != "":
-		res, reports = runTrace(*traceFile)
+		res, reports = runTrace(*traceFile, *shards, *resumeFile, ck)
 	case *emitFile != "":
 		res = runEmit(*emitFile, format, gp)
 	case *pipeline:
-		res, reports = runPipeline(gp, *shards)
+		res, reports = runPipeline(gp, *shards, ck)
 	default:
-		res, reports = runGenerated(gp, *shards, *stream)
+		res, reports = runGenerated(gp, *shards, *stream, ck)
 	}
 
 	listed := reports
@@ -307,10 +343,35 @@ func (gp genParams) options() schedgen.Options {
 	}
 }
 
+// ckParams bundles the checkpoint flags: where to write the snapshot
+// and at which absolute monitored-event index to stop (0 = end of run).
+type ckParams struct {
+	file string
+	at   uint64
+}
+
+// errCheckpointStop aborts generation cleanly once -checkpoint-at is
+// reached.
+var errCheckpointStop = errors.New("checkpoint reached")
+
+// writeSnapshot writes one snapshot via the given encoder.
+func writeSnapshot(path string, snap func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("checkpoint: %v", err)
+	}
+	if err := snap(f); err != nil {
+		fatalf("checkpoint: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("checkpoint: %v", err)
+	}
+}
+
 // runPipeline is the fused parallel mode: schedgen batches feed the
 // two-stage pipeline directly — one sync front-end pass, shards race
 // back-ends, no materialised schedule.
-func runPipeline(gp genParams, shards int) (result, []race.Report) {
+func runPipeline(gp genParams, shards int, ck ckParams) (result, []race.Report) {
 	tb, name := gp.program()
 	res := result{
 		Program: name, Mode: "pipeline", Threads: tb.Threads(), Policy: gp.policy.String(),
@@ -320,11 +381,23 @@ func runPipeline(gp genParams, shards int) (result, []race.Report) {
 	pl := monitor.NewPipeline(tb.Threads(), tb.Decls(), monitor.PipelineConfig{Shards: shards})
 	start := time.Now()
 	completed, err := schedgen.StreamBatch(tb.Program(), tb, gp.options(), 0, func(evs []monitor.Event) error {
+		if ck.at > 0 {
+			if remaining := ck.at - pl.Events(); uint64(len(evs)) >= remaining {
+				pl.StepBatch(evs[:remaining])
+				return errCheckpointStop
+			}
+		}
 		pl.StepBatch(evs)
 		return nil
 	})
+	if err == errCheckpointStop {
+		err, completed = nil, false
+	}
 	if err != nil {
 		fatalf("pipeline: %v", err)
+	}
+	if ck.file != "" {
+		writeSnapshot(ck.file, pl.Snapshot)
 	}
 	reports := pl.Finish()
 	res.MonitorNs = time.Since(start).Nanoseconds()
@@ -339,7 +412,7 @@ func runPipeline(gp genParams, shards int) (result, []race.Report) {
 
 // runGenerated is the in-process generation path: the batch (and
 // optionally sharded) mode, or -stream's single fused pass.
-func runGenerated(gp genParams, shards int, stream bool) (result, []race.Report) {
+func runGenerated(gp genParams, shards int, stream bool, ck ckParams) (result, []race.Report) {
 	tb, name := gp.program()
 	opt := gp.options()
 	res := result{
@@ -353,10 +426,19 @@ func runGenerated(gp genParams, shards int, stream bool) (result, []race.Report)
 		start := time.Now()
 		completed, err := schedgen.Stream(tb.Program(), tb, opt, func(e monitor.Event) error {
 			m.Step(e)
+			if ck.at > 0 && m.Events() >= ck.at {
+				return errCheckpointStop
+			}
 			return nil
 		})
+		if err == errCheckpointStop {
+			err, completed = nil, false
+		}
 		if err != nil {
 			fatalf("stream: %v", err)
+		}
+		if ck.file != "" {
+			writeSnapshot(ck.file, m.Snapshot)
 		}
 		res.MonitorNs = time.Since(start).Nanoseconds()
 		res.Completed = completed
@@ -397,8 +479,38 @@ func runGenerated(gp genParams, shards int, stream bool) (result, []race.Report)
 	return res, reports
 }
 
-// runTrace ingests a wire-format trace from a file or stdin.
-func runTrace(path string) (result, []race.Report) {
+// traceSink abstracts the two ingestion targets of runTrace — a
+// sequential monitor or a cfg.Shards pipeline — behind the operations
+// the feeding loop needs. Everything but reports is promoted from the
+// embedded monitor/pipeline, which share the method set.
+type traceSink interface {
+	Step(monitor.Event)
+	StepBatch([]monitor.Event)
+	Events() uint64
+	RAStats() monitor.RAStats
+	Snapshot(io.Writer) error
+	SnapshotWithReader(io.Writer, monitor.ReaderCheckpoint) error
+	reports() []race.Report
+}
+
+type monitorSink struct{ *monitor.Monitor }
+
+func (s monitorSink) reports() []race.Report { return s.Reports() }
+
+type pipelineSink struct{ *monitor.Pipeline }
+
+func (s pipelineSink) reports() []race.Report { return s.Finish() }
+
+// headerEqual reports whether a snapshot was taken over the same
+// program shape as the trace being resumed.
+func headerEqual(a, b monitor.Header) bool {
+	return a.Threads == b.Threads && slices.Equal(a.Decls, b.Decls)
+}
+
+// runTrace ingests a wire-format trace from a file or stdin — through a
+// sequential monitor, or a parallel pipeline when shards > 1 —
+// optionally resuming from a snapshot and/or checkpointing mid-ingest.
+func runTrace(path string, shards int, resumePath string, ck ckParams) (result, []race.Report) {
 	var rd io.Reader = os.Stdin
 	name := "stdin"
 	if path != "-" {
@@ -415,17 +527,129 @@ func runTrace(path string) (result, []race.Report) {
 		fatalf("trace: %v", err)
 	}
 	hdr := tr.Header()
-	m := tr.NewMonitor()
-	// Batched ingestion: v2 traces decode a frame at a time; v1 and text
-	// are batched by the reader.
-	if err := m.FeedBatch(tr); err != nil {
-		fatalf("trace: %v", err)
+
+	// Resume: restore the snapshot and position the reader — by byte
+	// offset when the checkpoint was taken mid-ingest (it carries a
+	// reader continuation), by event count otherwise (a -stream/-pipeline
+	// checkpoint over the same generated stream).
+	var snap *monitor.Snapshot
+	if resumePath != "" {
+		f, err := os.Open(resumePath)
+		if err != nil {
+			fatalf("resume: %v", err)
+		}
+		snap, err = monitor.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			fatalf("resume: %v", err)
+		}
+		if !headerEqual(snap.Header(), hdr) {
+			fatalf("resume: snapshot was taken over a different program shape than %s", name)
+		}
+		if rck, ok := snap.Reader(); ok {
+			if err := tr.Resume(rck); err != nil {
+				fatalf("resume: %v", err)
+			}
+		}
 	}
+	var sink traceSink
+	if shards > 1 {
+		var pl *monitor.Pipeline
+		if snap != nil {
+			pl = snap.Pipeline(monitor.PipelineConfig{Shards: shards})
+		} else {
+			pl = monitor.NewPipeline(hdr.Threads, hdr.Decls, monitor.PipelineConfig{Shards: shards})
+		}
+		sink = pipelineSink{pl}
+	} else if snap != nil {
+		sink = monitorSink{snap.Monitor()}
+	} else {
+		sink = monitorSink{tr.NewMonitor()}
+	}
+	if snap != nil {
+		if _, ok := snap.Reader(); !ok {
+			// No byte offset recorded: skip the already-monitored prefix
+			// by count (works for every trace format).
+			for skip := sink.Events(); skip > 0; skip-- {
+				if _, ok, err := tr.Next(); err != nil || !ok {
+					fatalf("resume: trace ends inside the %d already-monitored events (err=%v)", sink.Events(), err)
+				}
+			}
+		}
+	}
+
+	// Completed records whether the run actually observed the end of
+	// the trace (as opposed to stopping at -checkpoint-at — the run
+	// cannot know whether more events follow without reading past the
+	// checkpoint position, which would move the resumable offset).
+	completed := true
+	if ck.at > 0 {
+		// Batch up to a frame's worth short of the stop position, then
+		// step per event so the stop (and the reader checkpoint with its
+		// mid-frame pending events) is exact. 1<<16 is the wire format's
+		// maximum frame event count, so no batch can overshoot the stop.
+		const maxBatch = 1 << 16
+		var buf []monitor.Event
+		for sink.Events()+maxBatch <= ck.at {
+			batch, ok, err := tr.NextBatch(buf[:0])
+			if err != nil {
+				fatalf("trace: %v", err)
+			}
+			if !ok {
+				break
+			}
+			sink.StepBatch(batch)
+			buf = batch
+		}
+		for {
+			if sink.Events() >= ck.at {
+				completed = false
+				break
+			}
+			e, ok, err := tr.Next()
+			if err != nil {
+				fatalf("trace: %v", err)
+			}
+			if !ok {
+				break
+			}
+			sink.Step(e)
+		}
+	} else {
+		// Batched ingestion: v2 traces decode a frame at a time; v1 and
+		// text are batched by the reader. (An end-of-trace -checkpoint
+		// needs no mid-stream precision, so it takes this path too.)
+		var buf []monitor.Event
+		for {
+			batch, ok, err := tr.NextBatch(buf[:0])
+			if err != nil {
+				fatalf("trace: %v", err)
+			}
+			if !ok {
+				break
+			}
+			sink.StepBatch(batch)
+			buf = batch
+		}
+	}
+	if ck.file != "" {
+		writeSnapshot(ck.file, func(w io.Writer) error {
+			rck, err := tr.Checkpoint()
+			if err != nil {
+				// Text traces carry no resumable offset; fall back to a
+				// plain snapshot (resume then skips by count).
+				return sink.Snapshot(w)
+			}
+			return sink.SnapshotWithReader(w, rck)
+		})
+	}
+
+	reports := sink.reports()
 	res := result{
 		Program: "trace:" + name, Mode: "trace", Threads: hdr.Threads,
-		Completed: true, Shards: 1,
+		Completed: completed, Shards: shards,
 		MonitorNs: time.Since(start).Nanoseconds(),
-		Events:    int(m.Events()),
+		Events:    int(sink.Events()),
 	}
 	for _, d := range hdr.Decls {
 		switch d.Kind {
@@ -437,8 +661,8 @@ func runTrace(path string) (result, []race.Report) {
 			res.Locations.NonAtomic++
 		}
 	}
-	fill(&res, m)
-	return res, m.Reports()
+	fillStats(&res, sink.RAStats(), len(reports))
+	return res, reports
 }
 
 // runEmit generates a schedule straight into the wire format.
@@ -472,12 +696,17 @@ func runEmit(path string, format monitor.Format, gp genParams) result {
 
 // fill copies per-monitor telemetry into the summary.
 func fill(res *result, m *monitor.Monitor) {
-	st := m.RAStats()
+	fillStats(res, m.RAStats(), m.RaceCount())
+}
+
+// fillStats copies retention telemetry and derived throughput into the
+// summary.
+func fillStats(res *result, st monitor.RAStats, races int) {
 	res.RALive, res.RALivePeak, res.RACollected = st.Live, st.Peak, st.Collected
 	if res.MonitorNs > 0 {
 		res.EventsPerSec = float64(res.Events) / (float64(res.MonitorNs) / 1e9)
 	}
-	res.RaceCount = m.RaceCount()
+	res.RaceCount = races
 }
 
 // checkGolden compares (or, with update, rewrites) the deterministic

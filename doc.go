@@ -95,6 +95,39 @@
 // reference stream) whose decoder yields events a frame at a time into
 // the monitor's batch entry points; v1 traces still decode.
 //
+// # Checkpoint & resume
+//
+// Monitoring can stop at any event index and continue later, in another
+// process or under another configuration. monitor.Monitor.Snapshot
+// serialises the complete live state — thread and release clocks,
+// epoch-or-vector per-location last-access state, dedup bitmasks, live
+// RA messages, the GC frontier/interval/adaptive bounds and the halt
+// set — in a versioned, self-describing framed binary format ("LDCK");
+// monitor.Restore rebuilds a monitor that finishes the stream with
+// reports and RAStats byte-identical to a run that never stopped. The
+// encoding is canonical, so resume composes (a snapshot of a restored
+// monitor equals the unsplit snapshot at the same index) and the
+// encoded size is a direct measurement of the paper's boundedness
+// claim: it stays flat over a million-event stream (~11 KB) while an
+// unbounded-GC control grows without limit. monitor.Pipeline snapshots
+// by quiesce-drain — a barrier through every back-end ring, after which
+// the front-end's sync state and the back-ends' per-location state are
+// reassembled in declaration order — producing bytes identical to the
+// sequential monitor's at the same position, so checkpoints resume
+// sequentially, sharded at any count (Snapshot.Pipeline routes each
+// restored location to its owning back-end), or under a different GC
+// regime, all report-preserving. Checkpoints taken mid-ingestion of a
+// wire-format trace carry the reader's byte offset and v2 delta context
+// (monitor.ReaderCheckpoint), so the resumed process seeks straight to
+// where monitoring stopped instead of re-decoding the prefix. The
+// snapshot decoder validates everything and errors (never panics) on
+// malformed input — fuzzed, like the trace decoder. The metamorphic
+// split-resume harness in internal/modeltest proves parity at every
+// grid split point of all 210 schedgen streams across the
+// {1,2,4,8}-shard × {GC-16, default, adaptive} matrix, including double
+// splits and cross-config resumes; cmd/racemon exposes the workflow as
+// -checkpoint FILE [-checkpoint-at N] and -resume FILE.
+//
 // The monitor's verdicts are differentially tested against the
 // exhaustive oracle race.Races on every corpus program, on hundreds of
 // random programs, and on hundreds of generated schedules — at every GC

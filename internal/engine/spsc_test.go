@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -78,6 +79,74 @@ func TestBatchQueueBlockingHandoff(t *testing.T) {
 	for i, v := range got {
 		if v != i {
 			t.Fatalf("item %d out of order: got %d", i, v)
+		}
+	}
+}
+
+// TestBatchQueueCloseDrainStress models the monitor pipeline's two-ring
+// structure — a work queue forward, a free ring recycling spent buffers
+// backward — and slams a mid-stream Close into it from a third
+// goroutine while the producer is recycling: the producer may be parked
+// in free.Get or q.Put at the instant of the Close and must unblock and
+// terminate, the consumer must observe a clean drain (every batch it
+// gets is one the producer actually sent), and under -race the whole
+// dance is memory-checked. Exercised across many timing offsets.
+func TestBatchQueueCloseDrainStress(t *testing.T) {
+	for round := 0; round < 200; round++ {
+		q := NewBatchQueue[[]int](2)
+		free := NewBatchQueue[[]int](4)
+		for i := 0; i < 4; i++ {
+			free.Put(make([]int, 0, 8))
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		// Producer: recycle-get, fill, put — the pipeline lane's loop.
+		go func() {
+			defer wg.Done()
+			seq := 0
+			for {
+				buf, ok := free.Get()
+				if !ok {
+					buf = make([]int, 0, 8) // free ring closed mid-recycle
+				}
+				buf = buf[:0]
+				for i := 0; i < 8; i++ {
+					buf = append(buf, seq)
+					seq++
+				}
+				if !q.Put(buf) {
+					return // work queue closed: terminate
+				}
+			}
+		}()
+		// Consumer: drain and recycle until the queue reports end.
+		go func() {
+			defer wg.Done()
+			next := 0
+			for {
+				batch, ok := q.Get()
+				if !ok {
+					return
+				}
+				for _, v := range batch {
+					if v != next {
+						t.Errorf("round %d: batch out of order: got %d, want %d", round, v, next)
+						return
+					}
+					next++
+				}
+				free.Put(batch)
+			}
+		}()
+		// Closer: cut both rings mid-stream at a sliding offset.
+		for i := 0; i < round%17; i++ {
+			runtime.Gosched()
+		}
+		q.Close()
+		free.Close()
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
 		}
 	}
 }

@@ -87,6 +87,13 @@
 // per-location vectors (O(threads)) and report bitmasks (O(threads²))
 // are allocated lazily on first escalation / first race, and live RA
 // messages are windowed as above instead of accumulating O(messages).
+//
+// Because the live state is bounded, it is also cheaply serialisable:
+// Snapshot/Restore (snapshot.go) checkpoint a monitor — or a quiesced
+// Pipeline — at any event index and resume it with byte-identical
+// reports and retention statistics, optionally carrying a TraceReader
+// continuation (byte offset + v2 delta context) so interrupted trace
+// ingestion seeks instead of re-decoding.
 package monitor
 
 import (

@@ -46,6 +46,9 @@ package monitor
 // report sets is exactly the sequential set.
 
 import (
+	"fmt"
+	"io"
+	"math/bits"
 	"sync"
 
 	"localdrf/internal/engine"
@@ -75,6 +78,11 @@ type PipelineConfig struct {
 	// GCInterval is the front-end's RA GC interval in events (0 = the
 	// monitor default). The report set is identical at any interval.
 	GCInterval uint64
+	// AdaptiveGCMin/AdaptiveGCMax enable the live-pressure-driven GC
+	// interval between the two bounds (see Monitor.SetAdaptiveGC) when
+	// AdaptiveGCMax > 0; they take precedence over GCInterval. As with
+	// every interval schedule, the report set is unchanged.
+	AdaptiveGCMin, AdaptiveGCMax uint64
 }
 
 func (cfg PipelineConfig) withDefaults() PipelineConfig {
@@ -146,6 +154,10 @@ type backend struct {
 	ck   checker
 	in   *engine.BatchQueue[[]pipeRec]
 	free *engine.BatchQueue[[]pipeRec]
+	// ack carries the quiesce barrier's acknowledgements: the front-end
+	// enqueues a nil batch after flushing, and the back-end answers once
+	// every earlier record has been applied (see Pipeline.quiesce).
+	ack chan struct{}
 }
 
 func (b *backend) run() {
@@ -154,6 +166,12 @@ func (b *backend) run() {
 		batch, ok := b.in.Get()
 		if !ok {
 			return
+		}
+		if batch == nil {
+			// Quiesce barrier: everything enqueued before it has been
+			// applied to this back-end's state.
+			b.ack <- struct{}{}
+			continue
 		}
 		for i := range batch {
 			r := &batch[i]
@@ -201,9 +219,27 @@ type Pipeline struct {
 func NewPipeline(nthreads int, decls []LocDecl, cfg PipelineConfig) *Pipeline {
 	cfg = cfg.withDefaults()
 	fe := newSync(nthreads, decls)
-	if cfg.GCInterval > 0 {
+	applyGC(fe, cfg)
+	return newPipelineFrom(fe, cfg)
+}
+
+// applyGC applies a pipeline config's GC settings to the front-end.
+func applyGC(fe *Monitor, cfg PipelineConfig) {
+	switch {
+	case cfg.AdaptiveGCMax > 0:
+		fe.SetAdaptiveGC(cfg.AdaptiveGCMin, cfg.AdaptiveGCMax)
+	case cfg.GCInterval > 0:
 		fe.SetGCInterval(cfg.GCInterval)
 	}
+}
+
+// newPipelineFrom builds the lanes and back-ends around an existing
+// front-end — either a fresh checker-free sync monitor (NewPipeline) or
+// a fully restored monitor (Snapshot.Pipeline), whose per-location race
+// state is moved out to the owning back-ends and whose clocks seed every
+// back-end mirror. cfg must already have defaults applied.
+func newPipelineFrom(fe *Monitor, cfg PipelineConfig) *Pipeline {
+	nthreads, decls := fe.nthreads, fe.decls
 	p := &Pipeline{
 		fe:      fe,
 		shards:  cfg.Shards,
@@ -229,21 +265,45 @@ func NewPipeline(nthreads int, decls []LocDecl, cfg PipelineConfig) *Pipeline {
 		}
 		ln.cur, _ = free.Get()
 		p.lanes[s] = ln
+		// Mirrors start equal to the front-end's clocks — all zeros for a
+		// fresh pipeline, the checkpointed clocks for a restored one (the
+		// same values a backlog of delta records would have replayed).
 		clocks := make([][]uint64, nthreads)
+		minClock := make([]uint64, nthreads)
 		for t := range clocks {
 			clocks[t] = make([]uint64, nthreads)
+			copy(clocks[t], fe.clocks[t])
 		}
+		copy(minClock, fe.minClock)
 		// Owned locations of shard s: s, s+shards, s+2·shards, …
 		owned := 0
 		if s < len(decls) {
 			owned = (len(decls) - s + cfg.Shards - 1) / cfg.Shards
 		}
 		b := &backend{
-			ck:   newChecker(nthreads, owned, clocks, make([]uint64, nthreads)),
+			ck:   newChecker(nthreads, owned, clocks, minClock),
 			in:   ln.q,
 			free: free,
+			ack:  make(chan struct{}, 1),
 		}
 		p.backs[s] = b
+	}
+	if fe.ck.na != nil {
+		// Restored front-end: move each location's race-checking state to
+		// the back-end owning it (its dense slot), crediting the races its
+		// dedup masks already record, and strip the front-end's checker —
+		// the sync half must not retain it.
+		for l := range fe.ck.na {
+			b := p.backs[p.owner[l]]
+			b.ck.na[p.dense[l]] = fe.ck.na[l]
+			for _, mask := range fe.ck.na[l].reported {
+				b.ck.races += bits.OnesCount8(mask)
+			}
+		}
+		fe.ck = checker{}
+	}
+	for _, b := range p.backs {
+		b := b
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
@@ -357,6 +417,67 @@ func (p *Pipeline) Finish() []race.Report {
 	race.SortReports(out)
 	p.reports = out
 	return out
+}
+
+// quiesce drains the pipeline without ending it: every record routed so
+// far is applied before this returns, and feeding may continue after.
+// The barrier is a nil batch through each lane's ring (the flush path
+// never emits one), acknowledged by the back-end once everything before
+// it has been applied.
+func (p *Pipeline) quiesce() {
+	for _, ln := range p.lanes {
+		ln.flush()
+		ln.q.Put(nil)
+	}
+	for _, b := range p.backs {
+		<-b.ack
+	}
+}
+
+// Snapshot serialises the pipeline's complete state to w after a
+// quiesce-drain: the front-end's synchronisation state plus every
+// back-end's per-location race state, reassembled in declaration order —
+// byte-identical to the snapshot a sequential Monitor would write at the
+// same stream position and GC configuration, so a pipeline checkpoint
+// can be resumed sequentially, at a different shard count, or not at
+// all. Must be called from the feeding goroutine (between Steps); the
+// pipeline remains feedable afterwards.
+func (p *Pipeline) Snapshot(w io.Writer) error {
+	return p.snapshotWith(w, nil)
+}
+
+// SnapshotWithReader is Snapshot plus a trace-reader continuation (see
+// Monitor.SnapshotWithReader).
+func (p *Pipeline) SnapshotWithReader(w io.Writer, ck ReaderCheckpoint) error {
+	return p.snapshotWith(w, &ck)
+}
+
+func (p *Pipeline) snapshotWith(w io.Writer, rck *ReaderCheckpoint) error {
+	if p.done {
+		return fmt.Errorf("monitor: pipeline snapshot: pipeline already finished")
+	}
+	p.quiesce()
+	return snapshotTo(w, p.fe, func(l int32) *naState {
+		return &p.backs[p.owner[l]].ck.na[p.dense[l]]
+	}, rck)
+}
+
+// Abort tears the pipeline down mid-stream without draining: the rings
+// are closed, in-flight batches are dropped, and every back-end
+// goroutine has exited when Abort returns. Reports are unavailable after
+// an abort (Finish returns nil). Safe to call from a goroutine other
+// than the feeder — a concurrently blocked Step unblocks and its events
+// are discarded — but must not race with Finish or Snapshot.
+func (p *Pipeline) Abort() {
+	if p.done {
+		return
+	}
+	p.done = true
+	for _, ln := range p.lanes {
+		ln.q.Close()
+		ln.free.Close()
+	}
+	p.wg.Wait()
 }
 
 // Events returns the number of events consumed so far.

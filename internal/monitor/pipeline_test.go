@@ -1,12 +1,38 @@
 package monitor
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"localdrf/internal/prog"
 	"localdrf/internal/race"
 	"localdrf/internal/ts"
 )
+
+// mustNotLeakGoroutines runs fn and fails if the goroutine count has not
+// returned to its starting level shortly after — the leak detector for
+// the pipeline teardown paths. (Retries absorb exiting goroutines that
+// have not been reaped yet.)
+func mustNotLeakGoroutines(t *testing.T, fn func()) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	fn()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
 
 // TestPipelineMatrixMatchesSequential is the pipeline determinism bar on
 // synthetic streams: byte-identical reports to the sequential monitor at
@@ -117,6 +143,45 @@ func TestPipelineFeedSources(t *testing.T) {
 	if got := p2.Finish(); !race.ReportsEqual(got, want) {
 		t.Fatalf("FeedBatch diverged: got %v, want %v", got, want)
 	}
+}
+
+// TestPipelineAbortNoLeak: aborting a pipeline mid-stream — including
+// while a feeder is concurrently blocked on a full ring — tears down
+// every back-end goroutine. Runs under -race in CI, so the teardown
+// paths (Close vs blocked Put, Close vs free-ring recycling) are
+// data-race-checked too.
+func TestPipelineAbortNoLeak(t *testing.T) {
+	decls, events := raWorkload(6, 18, 60_000, 13)
+	// Abort from the feeding goroutine at several positions.
+	mustNotLeakGoroutines(t, func() {
+		for _, k := range []int{0, 1, 30_000, 60_000} {
+			p := NewPipeline(6, decls, PipelineConfig{Shards: 4, BatchSize: 16, QueueDepth: 1})
+			p.StepBatch(events[:k])
+			p.Abort()
+			p.Abort() // idempotent
+			if got := p.Finish(); got != nil {
+				t.Fatalf("Finish after Abort returned reports: %v", got)
+			}
+		}
+	})
+	// Abort from another goroutine while the feeder is live (and likely
+	// blocked: tiny batches, depth-1 rings, no consumer keeping up once
+	// the abort lands). The feeder must unblock and run to completion.
+	mustNotLeakGoroutines(t, func() {
+		for i := 0; i < 20; i++ {
+			p := NewPipeline(6, decls, PipelineConfig{Shards: 3, BatchSize: 4, QueueDepth: 1})
+			fed := make(chan struct{})
+			go func() {
+				defer close(fed)
+				for j := range events {
+					p.Step(events[j])
+				}
+			}()
+			time.Sleep(time.Duration(i%5) * 100 * time.Microsecond)
+			p.Abort()
+			<-fed
+		}
+	})
 }
 
 // haltRAStream builds a retire-heavy RA stream: writer threads publish a

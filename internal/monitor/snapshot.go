@@ -1,0 +1,1105 @@
+package monitor
+
+// Checkpoint/resume: the snapshot codec that serialises the COMPLETE
+// live state of a monitor — thread and release clocks, epoch-or-vector
+// per-location last-access state, dedup bitmasks, live RA messages, GC
+// frontier/interval/adaptive bounds, halt set — so monitoring can stop
+// at any event index and resume later (possibly in another process, or
+// under a different shard/GC configuration) with reports and RAStats
+// byte-identical to a run that never stopped. The format doubles as a
+// direct measurement of the paper's boundedness claim: the encoded size
+// IS the live state, O(locations + threads² + live RA messages), so a
+// snapshot of a windowed monitor stays flat over a million-event stream
+// while an unbounded control grows without limit (tested).
+//
+// # Format
+//
+// A snapshot is the magic "LDCK", a version byte, and a sequence of
+// framed sections, each
+//
+//	tag byte, uvarint payloadLen, payload
+//
+// in this order (tags in parentheses):
+//
+//	header (1)  uvarint threads, uvarint nlocs,
+//	            nlocs × (uvarint len, name bytes, kind byte) — the wire
+//	            format's header fields, same limits (validateHeader)
+//	sync   (2)  uvarint events, gcEvery, nextGC, adaptMin, adaptMax,
+//	            raPeak, raCollected; halted bitset ⌈threads/8⌉ bytes
+//	clocks (3)  threads × threads uvarints (row t = thread t's clock),
+//	            then threads uvarints (cached minimum frontier)
+//	atomic (4)  per ATOMIC location in declaration order:
+//	            threads uvarints (the released clock L_A)
+//	ra     (5)  per RELEASE-ACQUIRE location in declaration order:
+//	            uvarint count, then count messages sorted by timestamp
+//	            (varint num, uvarint den, uvarint writer,
+//	            threads uvarints — the published clock)
+//	na     (6)  per NONATOMIC location in declaration order:
+//	            flags byte (bit0 wClean, bit1 rClean, bit2 reported),
+//	            varint wT, uvarint wC, varint rT, uvarint rC,
+//	            varint lastT; if wT/rT is the escalated sentinel the
+//	            per-thread vector follows (threads uvarints); if bit2,
+//	            the threads² dedup mask bytes follow
+//	reader (7)  OPTIONAL — a TraceReader continuation (see
+//	            ReaderCheckpoint): uvarint byte offset, v2 flag byte,
+//	            varint prevThread, v2 only: threads varints prevLoc +
+//	            nlocs varints prevNum; halted bitset; uvarint pending
+//	            count + pending events (kind byte, uvarint thread,
+//	            uvarint loc, RA kinds: varint num + uvarint den)
+//	end    (0)  empty payload, terminates the snapshot
+//
+// The atomic, ra and na sections are CHUNKED: the encoder flushes the
+// current section at an item boundary (a location's released clock, one
+// RA message, one location's NA state) once it exceeds ~1 MiB, emitting
+// several consecutive sections with the same tag; the decoder fetches
+// the next same-tag section whenever its cursor runs out with items
+// still owed. Chunk boundaries are a deterministic function of the
+// content, so the encoding stays canonical, and no single section can
+// approach the decoder's hard payload limit regardless of how many RA
+// messages an unbounded-GC monitor retains or how many locations have
+// raced — whatever Snapshot writes, ReadSnapshot accepts.
+//
+// The encoding is canonical: equal monitor states produce byte-identical
+// snapshots (RA messages are sorted, vectors are emitted only when
+// escalated, masks only when a race was recorded), so a snapshot taken
+// after a restore is byte-identical to one taken by an unsplit run at
+// the same event index — and a Pipeline snapshot is byte-identical to
+// the sequential Monitor's at the same position and GC configuration,
+// which is what makes cross-mode resume (checkpoint sequential, resume
+// sharded, or vice versa) sound.
+//
+// The decoder VALIDATES everything — section order and framing, header
+// limits, clock-vector lengths, epoch sentinels, thread/location bounds,
+// mask bits, reader-context lengths, pending events (including the halt
+// promise: a pending event of a halted thread is malformed) — and
+// returns errors on malformed input, never panics, and never builds a
+// monitor that a subsequent Step could crash.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"slices"
+
+	"localdrf/internal/prog"
+	"localdrf/internal/race"
+	"localdrf/internal/ts"
+)
+
+const (
+	snapMagic   = "LDCK"
+	snapVersion = 1
+
+	snapTagEnd    = 0
+	snapTagHeader = 1
+	snapTagSync   = 2
+	snapTagClocks = 3
+	snapTagAtomic = 4
+	snapTagRA     = 5
+	snapTagNA     = 6
+	snapTagReader = 7
+
+	// maxSnapSection bounds one section's payload so a hostile length
+	// prefix cannot demand an arbitrary allocation. snapChunk is where
+	// the encoder cuts the repeatable sections; since it only cuts at
+	// item boundaries, a section never exceeds snapChunk plus one item
+	// (at most a threads² dedup mask, ≤ 1 MiB at the thread limit) —
+	// far below the decoder's hard cap, so every encodable state is
+	// decodable.
+	maxSnapSection = 1 << 26
+	snapChunk      = 1 << 20
+)
+
+// Snapshot is a decoded checkpoint: the restored monitor plus the
+// optional trace-reader continuation that was saved with it. Exactly one
+// of Monitor or Pipeline may be called, once — both hand over the same
+// underlying restored state.
+type Snapshot struct {
+	hdr Header
+	m   *Monitor
+	rck *ReaderCheckpoint
+}
+
+// Header returns the thread count and location declarations the snapshot
+// was taken over.
+func (s *Snapshot) Header() Header { return s.hdr }
+
+// Reader returns the trace-reader continuation stored in the snapshot,
+// if any (ok=false when the checkpoint was not taken mid-ingestion).
+func (s *Snapshot) Reader() (ReaderCheckpoint, bool) {
+	if s.rck == nil {
+		return ReaderCheckpoint{}, false
+	}
+	return *s.rck, true
+}
+
+// take hands over the restored monitor exactly once.
+func (s *Snapshot) take() *Monitor {
+	if s.m == nil {
+		panic("monitor: snapshot already consumed (Monitor/Pipeline may be called once)")
+	}
+	m := s.m
+	s.m = nil
+	return m
+}
+
+// Monitor returns the restored sequential monitor, ready to consume the
+// remainder of the stream. Single use; see Pipeline for the sharded
+// continuation.
+func (s *Snapshot) Monitor() *Monitor { return s.take() }
+
+// Pipeline resumes the checkpoint as a parallel pipeline: the restored
+// synchronisation state becomes the front-end and every location's race
+// state is routed to the back-end owning it under cfg.Shards — the shard
+// count (and batch size, queue depth) need not match whatever produced
+// the snapshot. A zero GC configuration in cfg means "continue with the
+// snapshot's recorded GC state" (interval, adaptive bounds, and the
+// position of the next sweep — what same-config resume parity needs);
+// a nonzero GCInterval or AdaptiveGCMax overrides it, which is still
+// report-preserving. Single use, like Monitor.
+func (s *Snapshot) Pipeline(cfg PipelineConfig) *Pipeline {
+	m := s.take()
+	cfg = cfg.withDefaults()
+	applyGC(m, cfg)
+	return newPipelineFrom(m, cfg)
+}
+
+// Restore decodes a snapshot and returns the restored sequential
+// monitor — the inverse of Monitor.Snapshot. The monitor resumes with
+// the GC configuration the snapshot recorded; callers may override it
+// with SetGCInterval/SetAdaptiveGC (the report set is identical under
+// any interval schedule, only retention telemetry changes).
+func Restore(r io.Reader) (*Monitor, error) {
+	s, err := ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return s.Monitor(), nil
+}
+
+// Snapshot serialises the monitor's complete live state to w. The
+// monitor remains usable; a Restore of the written bytes continues the
+// stream with reports and RAStats byte-identical to this monitor's.
+func (m *Monitor) Snapshot(w io.Writer) error {
+	return snapshotTo(w, m, m.naAt, nil)
+}
+
+// SnapshotWithReader is Snapshot plus a trace-reader continuation, for
+// checkpoints taken mid-ingestion of a wire-format trace: the restored
+// side can seek the trace to ck.Offset (TraceReader.Resume) instead of
+// re-decoding the consumed prefix.
+func (m *Monitor) SnapshotWithReader(w io.Writer, ck ReaderCheckpoint) error {
+	return snapshotTo(w, m, m.naAt, &ck)
+}
+
+// naAt is the sequential monitor's location-state accessor (the pipeline
+// supplies its own, routing to the owning back-end).
+func (m *Monitor) naAt(l int32) *naState { return &m.ck.na[l] }
+
+// ---- Encoder ----
+
+// snapWriter frames sections: each is built into the scratch buffer and
+// emitted as tag + length + payload.
+type snapWriter struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+func (sw *snapWriter) uvarint(v uint64) { sw.buf = appendUvarint(sw.buf, v) }
+func (sw *snapWriter) varint(v int64)   { sw.buf = appendVarint(sw.buf, v) }
+func (sw *snapWriter) bytes(p []byte)   { sw.buf = append(sw.buf, p...) }
+func (sw *snapWriter) byte(b byte)      { sw.buf = append(sw.buf, b) }
+func (sw *snapWriter) clock(vc []uint64) {
+	for _, v := range vc {
+		sw.uvarint(v)
+	}
+}
+
+// bitset appends ⌈len(bs)/8⌉ bytes, bit i = bs[i] (nil encodes as all
+// zeros over n bits).
+func (sw *snapWriter) bitset(bs []bool, n int) {
+	for i := 0; i < n; i += 8 {
+		var b byte
+		for j := 0; j < 8 && i+j < n; j++ {
+			if bs != nil && bs[i+j] {
+				b |= 1 << j
+			}
+		}
+		sw.byte(b)
+	}
+}
+
+func (sw *snapWriter) section(tag byte) {
+	sw.w.WriteByte(tag)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(sw.buf)))
+	sw.w.Write(tmp[:n])
+	sw.w.Write(sw.buf)
+	sw.buf = sw.buf[:0]
+}
+
+// chunk flushes the buffer as one section of the (repeatable) tag once
+// it exceeds the chunk size — called at item boundaries only, so items
+// never straddle sections.
+func (sw *snapWriter) chunk(tag byte) {
+	if len(sw.buf) >= snapChunk {
+		sw.section(tag)
+	}
+}
+
+// snapshotTo writes one snapshot of the sync state in m and the
+// per-location race state reachable through naAt (the sequential
+// monitor's own array, or the pipeline's sharded back-ends).
+func snapshotTo(w io.Writer, m *Monitor, naAt func(int32) *naState, rck *ReaderCheckpoint) error {
+	hdr := Header{Threads: m.nthreads, Decls: m.decls}
+	if err := validateHeader(hdr); err != nil {
+		return fmt.Errorf("monitor: snapshot: %w", err)
+	}
+	if rck != nil {
+		if err := rck.validate(hdr); err != nil {
+			return fmt.Errorf("monitor: snapshot: %w", err)
+		}
+	}
+	sw := &snapWriter{w: bufio.NewWriter(w)}
+	sw.w.WriteString(snapMagic)
+	sw.w.WriteByte(snapVersion)
+
+	// header
+	sw.uvarint(uint64(hdr.Threads))
+	sw.uvarint(uint64(len(hdr.Decls)))
+	for _, d := range hdr.Decls {
+		sw.uvarint(uint64(len(d.Name)))
+		sw.bytes([]byte(d.Name))
+		sw.byte(byte(d.Kind))
+	}
+	sw.section(snapTagHeader)
+
+	// sync
+	sw.uvarint(m.events)
+	sw.uvarint(m.gcEvery)
+	sw.uvarint(m.nextGC)
+	sw.uvarint(m.adaptMin)
+	sw.uvarint(m.adaptMax)
+	sw.uvarint(uint64(m.raPeak))
+	sw.uvarint(m.raCollected)
+	sw.bitset(m.halted, m.nthreads)
+	sw.section(snapTagSync)
+
+	// clocks
+	for _, c := range m.clocks {
+		sw.clock(c)
+	}
+	sw.clock(m.minClock)
+	sw.section(snapTagClocks)
+
+	// atomic released clocks
+	for l, d := range m.decls {
+		if d.Kind == prog.Atomic {
+			sw.chunk(snapTagAtomic)
+			sw.clock(m.at[l])
+		}
+	}
+	sw.section(snapTagAtomic)
+
+	// live RA messages, sorted per location for canonical bytes
+	var keys []tsKey
+	for l, d := range m.decls {
+		if d.Kind != prog.ReleaseAcquire {
+			continue
+		}
+		mm := m.ra[l]
+		keys = keys[:0]
+		for k := range mm {
+			keys = append(keys, k)
+		}
+		slices.SortFunc(keys, func(a, b tsKey) int {
+			if a.num != b.num {
+				if a.num < b.num {
+					return -1
+				}
+				return 1
+			}
+			if a.den != b.den {
+				if a.den < b.den {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+		sw.chunk(snapTagRA)
+		sw.uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			sw.chunk(snapTagRA)
+			msg := mm[k]
+			sw.varint(k.num)
+			sw.uvarint(uint64(k.den))
+			sw.uvarint(uint64(msg.writer))
+			sw.clock(msg.vc)
+		}
+	}
+	sw.section(snapTagRA)
+
+	// nonatomic last-access state
+	for l, d := range m.decls {
+		if d.Kind != prog.NonAtomic {
+			continue
+		}
+		sw.chunk(snapTagNA)
+		ls := naAt(int32(l))
+		var flags byte
+		if ls.wClean {
+			flags |= 1
+		}
+		if ls.rClean {
+			flags |= 2
+		}
+		if ls.reported != nil {
+			flags |= 4
+		}
+		sw.byte(flags)
+		sw.varint(int64(ls.wT))
+		sw.uvarint(ls.wC)
+		sw.varint(int64(ls.rT))
+		sw.uvarint(ls.rC)
+		sw.varint(int64(ls.lastT))
+		if ls.wT == escalated {
+			sw.clock(ls.writes)
+		}
+		if ls.rT == escalated {
+			sw.clock(ls.reads)
+		}
+		if ls.reported != nil {
+			sw.bytes(ls.reported)
+		}
+	}
+	sw.section(snapTagNA)
+
+	if rck != nil {
+		sw.uvarint(uint64(rck.Offset))
+		v2 := byte(0)
+		if rck.V2 {
+			v2 = 1
+		}
+		sw.byte(v2)
+		sw.varint(int64(rck.PrevThread))
+		if rck.V2 {
+			for _, v := range rck.PrevLoc {
+				sw.varint(int64(v))
+			}
+			for _, v := range rck.PrevNum {
+				sw.varint(v)
+			}
+		}
+		sw.bitset(rck.Halted, hdr.Threads)
+		sw.uvarint(uint64(len(rck.Pending)))
+		for _, e := range rck.Pending {
+			sw.byte(byte(e.Kind))
+			sw.uvarint(uint64(e.Thread))
+			if e.Kind != KindHalt {
+				sw.uvarint(uint64(e.Loc))
+				if e.Kind == ReadRA || e.Kind == WriteRA {
+					num, den := e.Time.Fraction()
+					sw.varint(num)
+					sw.uvarint(uint64(den))
+				}
+			}
+		}
+		sw.section(snapTagReader)
+	}
+
+	sw.section(snapTagEnd)
+	return sw.w.Flush()
+}
+
+// validate checks a reader continuation against the snapshot header
+// before it is encoded (the decoder re-checks the same constraints, so
+// encoder and decoder accept exactly the same continuations).
+func (ck *ReaderCheckpoint) validate(hdr Header) error {
+	if ck.Offset < 0 {
+		return fmt.Errorf("reader checkpoint: negative offset %d", ck.Offset)
+	}
+	if ck.V2 {
+		if len(ck.PrevLoc) != hdr.Threads {
+			return fmt.Errorf("reader checkpoint: prevLoc length %d, want %d threads", len(ck.PrevLoc), hdr.Threads)
+		}
+		if len(ck.PrevNum) != len(hdr.Decls) {
+			return fmt.Errorf("reader checkpoint: prevNum length %d, want %d locations", len(ck.PrevNum), len(hdr.Decls))
+		}
+		for t, l := range ck.PrevLoc {
+			if l < 0 || (int(l) >= len(hdr.Decls) && l != 0) {
+				return fmt.Errorf("reader checkpoint: prevLoc[%d] = %d out of range", t, l)
+			}
+		}
+	} else if len(ck.Pending) > 0 {
+		return fmt.Errorf("reader checkpoint: pending events on a non-v2 trace")
+	}
+	if ck.PrevThread < 0 || int(ck.PrevThread) >= hdr.Threads {
+		return fmt.Errorf("reader checkpoint: prevThread %d out of range [0,%d)", ck.PrevThread, hdr.Threads)
+	}
+	if ck.Halted != nil && len(ck.Halted) != hdr.Threads {
+		return fmt.Errorf("reader checkpoint: halted length %d, want %d threads", len(ck.Halted), hdr.Threads)
+	}
+	// Halted is the DECODE-position halt set: the whole current frame has
+	// been decoded, so it already includes halts still sitting in Pending
+	// (which take effect at their position within Pending, not before
+	// it). Unwind those to recover the delivery-position set, requiring
+	// each pending halt to be reflected — the two views must be
+	// consistent.
+	var halted []bool
+	if ck.Halted != nil {
+		halted = slices.Clone(ck.Halted)
+	}
+	for _, e := range ck.Pending {
+		if e.Kind != KindHalt {
+			continue
+		}
+		if int(e.Thread) >= hdr.Threads || e.Thread < 0 {
+			return fmt.Errorf("reader checkpoint: pending halt of out-of-range thread %d", e.Thread)
+		}
+		if halted == nil || !halted[e.Thread] {
+			return fmt.Errorf("reader checkpoint: pending halt of thread %d not reflected in the halted set (or halted twice)", e.Thread)
+		}
+		halted[e.Thread] = false
+	}
+	// Replay delivery: the halt promise must hold event by event — no
+	// pending access of a thread halted before the checkpoint or by an
+	// earlier pending halt.
+	for _, e := range ck.Pending {
+		if err := validateEvent(hdr, e); err != nil {
+			return fmt.Errorf("reader checkpoint: pending: %w", err)
+		}
+		if e.Kind != KindHalt && halted != nil && halted[e.Thread] {
+			return fmt.Errorf("reader checkpoint: pending event of halted thread %d", e.Thread)
+		}
+		if e.Kind == KindHalt {
+			if halted == nil {
+				halted = make([]bool, hdr.Threads)
+			}
+			halted[e.Thread] = true
+		}
+	}
+	return nil
+}
+
+// ---- Decoder ----
+
+// snapCursor decodes one section payload with bounds checking; every
+// read error names the section.
+type snapCursor struct {
+	p    []byte
+	pos  int
+	what string
+}
+
+func (c *snapCursor) errf(format string, args ...any) error {
+	return fmt.Errorf("monitor: snapshot %s section: %s", c.what, fmt.Sprintf(format, args...))
+}
+
+func (c *snapCursor) uvarint(field string) (uint64, error) {
+	v, n := binary.Uvarint(c.p[c.pos:])
+	if n <= 0 {
+		return 0, c.errf("bad %s uvarint", field)
+	}
+	c.pos += n
+	return v, nil
+}
+
+func (c *snapCursor) varint(field string) (int64, error) {
+	v, n := binary.Varint(c.p[c.pos:])
+	if n <= 0 {
+		return 0, c.errf("bad %s varint", field)
+	}
+	c.pos += n
+	return v, nil
+}
+
+func (c *snapCursor) byte(field string) (byte, error) {
+	if c.pos >= len(c.p) {
+		return 0, c.errf("truncated %s", field)
+	}
+	b := c.p[c.pos]
+	c.pos++
+	return b, nil
+}
+
+func (c *snapCursor) take(n int, field string) ([]byte, error) {
+	if n < 0 || c.pos+n > len(c.p) {
+		return nil, c.errf("truncated %s", field)
+	}
+	b := c.p[c.pos : c.pos+n]
+	c.pos += n
+	return b, nil
+}
+
+// clock decodes exactly len(dst) uvarints into dst — any shortfall is a
+// clock-count mismatch error.
+func (c *snapCursor) clock(dst []uint64, field string) error {
+	for i := range dst {
+		v, err := c.uvarint(field)
+		if err != nil {
+			return err
+		}
+		dst[i] = v
+	}
+	return nil
+}
+
+func (c *snapCursor) bitset(n int, field string) ([]bool, error) {
+	raw, err := c.take((n+7)/8, field)
+	if err != nil {
+		return nil, err
+	}
+	bs := make([]bool, n)
+	any := false
+	for i := range bs {
+		if raw[i/8]&(1<<(i%8)) != 0 {
+			bs[i] = true
+			any = true
+		}
+	}
+	// Bits beyond n must be zero (canonical encoding).
+	for i := n; i < len(raw)*8; i++ {
+		if raw[i/8]&(1<<(i%8)) != 0 {
+			return nil, c.errf("%s bitset has bits beyond %d entries", field, n)
+		}
+	}
+	if !any {
+		return nil, nil
+	}
+	return bs, nil
+}
+
+func (c *snapCursor) done() error {
+	if c.pos != len(c.p) {
+		return c.errf("%d trailing bytes", len(c.p)-c.pos)
+	}
+	return nil
+}
+
+// snapDecoder walks the framed sections in order.
+type snapDecoder struct {
+	br *bufio.Reader
+}
+
+// next reads the next section frame and returns its tag and a cursor
+// over the payload.
+func (d *snapDecoder) next() (byte, *snapCursor, error) {
+	tag, err := d.br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("monitor: snapshot: section tag: %w", err)
+	}
+	n, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("monitor: snapshot: section length: %w", err)
+	}
+	if n > maxSnapSection {
+		return 0, nil, fmt.Errorf("monitor: snapshot: section payload %d exceeds the limit %d", n, maxSnapSection)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(d.br, p); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("monitor: snapshot: section payload: %w", err)
+	}
+	return tag, &snapCursor{p: p}, nil
+}
+
+// expect reads the next section and requires the given tag.
+func (d *snapDecoder) expect(tag byte, what string) (*snapCursor, error) {
+	got, c, err := d.next()
+	if err != nil {
+		return nil, err
+	}
+	if got != tag {
+		return nil, fmt.Errorf("monitor: snapshot: want %s section (tag %d), got tag %d", what, tag, got)
+	}
+	c.what = what
+	return c, nil
+}
+
+// more advances to the next chunk of a repeatable section when the
+// current cursor has been fully consumed with items still owed (see the
+// chunking note in the package comment).
+func (d *snapDecoder) more(c **snapCursor, tag byte, what string) error {
+	if (*c).pos < len((*c).p) {
+		return nil
+	}
+	nc, err := d.expect(tag, what)
+	if err != nil {
+		return err
+	}
+	*c = nc
+	return nil
+}
+
+// ReadSnapshot decodes and validates a snapshot written by
+// Monitor.Snapshot / Pipeline.Snapshot (and their *WithReader forms).
+// Malformed input produces an error, never a panic, and never a monitor
+// that a subsequent Step could crash.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	d := &snapDecoder{br: bufio.NewReader(r)}
+	var magic [len(snapMagic) + 1]byte
+	if _, err := io.ReadFull(d.br, magic[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("monitor: snapshot header: %w", err)
+	}
+	if string(magic[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("monitor: not a snapshot (bad magic %q)", magic[:len(snapMagic)])
+	}
+	if magic[len(snapMagic)] != snapVersion {
+		return nil, fmt.Errorf("monitor: snapshot: unsupported version %d (have %d)", magic[len(snapMagic)], snapVersion)
+	}
+
+	hdr, err := d.decodeHeader()
+	if err != nil {
+		return nil, err
+	}
+	m := New(hdr.Threads, hdr.Decls)
+	if err := d.decodeSync(m); err != nil {
+		return nil, err
+	}
+	if err := d.decodeClocks(m); err != nil {
+		return nil, err
+	}
+	if err := d.decodeAtomics(m); err != nil {
+		return nil, err
+	}
+	if err := d.decodeRA(m); err != nil {
+		return nil, err
+	}
+	if err := d.decodeNA(m); err != nil {
+		return nil, err
+	}
+	s := &Snapshot{hdr: hdr, m: m}
+	tag, c, err := d.next()
+	if err != nil {
+		return nil, err
+	}
+	if tag == snapTagReader {
+		c.what = "reader"
+		rck, err := decodeReader(c, hdr)
+		if err != nil {
+			return nil, err
+		}
+		s.rck = rck
+		tag, c, err = d.next()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if tag != snapTagEnd {
+		return nil, fmt.Errorf("monitor: snapshot: want end section (tag %d), got tag %d", snapTagEnd, tag)
+	}
+	c.what = "end"
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (d *snapDecoder) decodeHeader() (Header, error) {
+	c, err := d.expect(snapTagHeader, "header")
+	if err != nil {
+		return Header{}, err
+	}
+	threads, err := c.uvarint("thread count")
+	if err != nil {
+		return Header{}, err
+	}
+	if threads > maxWireThreads {
+		return Header{}, c.errf("thread count %d exceeds the limit %d", threads, maxWireThreads)
+	}
+	nlocs, err := c.uvarint("location count")
+	if err != nil {
+		return Header{}, err
+	}
+	if nlocs > maxWireLocs {
+		return Header{}, c.errf("location count %d exceeds the limit %d", nlocs, maxWireLocs)
+	}
+	hdr := Header{Threads: int(threads)}
+	for i := uint64(0); i < nlocs; i++ {
+		nameLen, err := c.uvarint("location name length")
+		if err != nil {
+			return Header{}, err
+		}
+		if nameLen > maxWireName {
+			return Header{}, c.errf("location name length %d exceeds the limit %d", nameLen, maxWireName)
+		}
+		name, err := c.take(int(nameLen), "location name")
+		if err != nil {
+			return Header{}, err
+		}
+		kind, err := c.byte("location kind")
+		if err != nil {
+			return Header{}, err
+		}
+		hdr.Decls = append(hdr.Decls, LocDecl{Name: prog.Loc(name), Kind: prog.LocKind(kind)})
+	}
+	if err := c.done(); err != nil {
+		return Header{}, err
+	}
+	if err := validateHeader(hdr); err != nil {
+		return Header{}, err
+	}
+	return hdr, nil
+}
+
+func (d *snapDecoder) decodeSync(m *Monitor) error {
+	c, err := d.expect(snapTagSync, "sync")
+	if err != nil {
+		return err
+	}
+	if m.events, err = c.uvarint("events"); err != nil {
+		return err
+	}
+	if m.gcEvery, err = c.uvarint("gcEvery"); err != nil {
+		return err
+	}
+	if m.gcEvery == 0 {
+		return c.errf("gcEvery must be ≥ 1")
+	}
+	if m.nextGC, err = c.uvarint("nextGC"); err != nil {
+		return err
+	}
+	if m.adaptMin, err = c.uvarint("adaptMin"); err != nil {
+		return err
+	}
+	if m.adaptMax, err = c.uvarint("adaptMax"); err != nil {
+		return err
+	}
+	if m.adaptMax > 0 && (m.adaptMin == 0 || m.adaptMin > m.adaptMax ||
+		m.gcEvery < m.adaptMin || m.gcEvery > m.adaptMax) {
+		return c.errf("adaptive bounds [%d,%d] do not contain interval %d", m.adaptMin, m.adaptMax, m.gcEvery)
+	}
+	if m.adaptMax == 0 && m.adaptMin != 0 {
+		return c.errf("adaptMin %d without adaptMax", m.adaptMin)
+	}
+	peak, err := c.uvarint("raPeak")
+	if err != nil {
+		return err
+	}
+	if peak > uint64(math.MaxInt) {
+		return c.errf("raPeak %d out of range", peak)
+	}
+	m.raPeak = int(peak)
+	if m.raCollected, err = c.uvarint("raCollected"); err != nil {
+		return err
+	}
+	halted, err := c.bitset(m.nthreads, "halted")
+	if err != nil {
+		return err
+	}
+	if halted != nil {
+		copy(m.halted, halted)
+	}
+	return c.done()
+}
+
+func (d *snapDecoder) decodeClocks(m *Monitor) error {
+	c, err := d.expect(snapTagClocks, "clocks")
+	if err != nil {
+		return err
+	}
+	for _, row := range m.clocks {
+		if err := c.clock(row, "thread clock"); err != nil {
+			return err
+		}
+	}
+	if err := c.clock(m.minClock, "minimum frontier"); err != nil {
+		return err
+	}
+	return c.done()
+}
+
+func (d *snapDecoder) decodeAtomics(m *Monitor) error {
+	c, err := d.expect(snapTagAtomic, "atomic")
+	if err != nil {
+		return err
+	}
+	for l, decl := range m.decls {
+		if decl.Kind != prog.Atomic {
+			continue
+		}
+		if err := d.more(&c, snapTagAtomic, "atomic"); err != nil {
+			return err
+		}
+		if err := c.clock(m.at[l], "released clock"); err != nil {
+			return err
+		}
+	}
+	return c.done()
+}
+
+func (d *snapDecoder) decodeRA(m *Monitor) error {
+	c, err := d.expect(snapTagRA, "ra")
+	if err != nil {
+		return err
+	}
+	for l, decl := range m.decls {
+		if decl.Kind != prog.ReleaseAcquire {
+			continue
+		}
+		if err := d.more(&c, snapTagRA, "ra"); err != nil {
+			return err
+		}
+		count, err := c.uvarint("message count")
+		if err != nil {
+			return err
+		}
+		// No allocation is driven by the count itself: the map below
+		// grows only with messages actually decoded, and a hostile count
+		// runs out of section bytes (an error) rather than memory.
+		mm := m.ra[l]
+		for i := uint64(0); i < count; i++ {
+			if err := d.more(&c, snapTagRA, "ra"); err != nil {
+				return err
+			}
+			num, err := c.varint("message numerator")
+			if err != nil {
+				return err
+			}
+			den, err := c.uvarint("message denominator")
+			if err != nil {
+				return err
+			}
+			if den == 0 || den > uint64(math.MaxInt64) {
+				return c.errf("message denominator %d out of range", den)
+			}
+			writer, err := c.uvarint("message writer")
+			if err != nil {
+				return err
+			}
+			if writer >= uint64(m.nthreads) {
+				return c.errf("message writer %d out of range [0,%d)", writer, m.nthreads)
+			}
+			vc := make([]uint64, m.nthreads)
+			if err := c.clock(vc, "message clock"); err != nil {
+				return err
+			}
+			k := tsKey{num: num, den: int64(den)}
+			if _, dup := mm[k]; dup {
+				return c.errf("duplicate message timestamp %d/%d", num, den)
+			}
+			mm[k] = raMsg{vc: vc, writer: int32(writer)}
+		}
+		m.raLiveLoc[l] = len(mm)
+		m.raLive += len(mm)
+	}
+	return c.done()
+}
+
+// epochThread validates an epoch thread field: the two sentinels or a
+// real thread index.
+func (c *snapCursor) epochThread(field string, nthreads int) (int32, error) {
+	v, err := c.varint(field)
+	if err != nil {
+		return 0, err
+	}
+	if v != int64(noEpoch) && v != int64(escalated) && (v < 0 || v >= int64(nthreads)) {
+		return 0, c.errf("%s %d out of range", field, v)
+	}
+	return int32(v), nil
+}
+
+func (d *snapDecoder) decodeNA(m *Monitor) error {
+	c, err := d.expect(snapTagNA, "na")
+	if err != nil {
+		return err
+	}
+	races := 0
+	for l, decl := range m.decls {
+		if decl.Kind != prog.NonAtomic {
+			continue
+		}
+		if err := d.more(&c, snapTagNA, "na"); err != nil {
+			return err
+		}
+		ls := &m.ck.na[l]
+		flags, err := c.byte("flags")
+		if err != nil {
+			return err
+		}
+		if flags&^byte(7) != 0 {
+			return c.errf("unknown flag bits %#x", flags)
+		}
+		ls.wClean = flags&1 != 0
+		ls.rClean = flags&2 != 0
+		if ls.wT, err = c.epochThread("write epoch thread", m.nthreads); err != nil {
+			return err
+		}
+		if ls.wC, err = c.uvarint("write epoch clock"); err != nil {
+			return err
+		}
+		if ls.rT, err = c.epochThread("read epoch thread", m.nthreads); err != nil {
+			return err
+		}
+		if ls.rC, err = c.uvarint("read epoch clock"); err != nil {
+			return err
+		}
+		lastT, err := c.varint("last thread")
+		if err != nil {
+			return err
+		}
+		if lastT < -1 || lastT >= int64(m.nthreads) {
+			return c.errf("last thread %d out of range", lastT)
+		}
+		ls.lastT = int32(lastT)
+		if ls.wT == escalated {
+			ls.writes = make([]uint64, m.nthreads)
+			if err := c.clock(ls.writes, "write vector"); err != nil {
+				return err
+			}
+		}
+		if ls.rT == escalated {
+			ls.reads = make([]uint64, m.nthreads)
+			if err := c.clock(ls.reads, "read vector"); err != nil {
+				return err
+			}
+		}
+		if flags&4 != 0 {
+			raw, err := c.take(m.nthreads*m.nthreads, "dedup masks")
+			if err != nil {
+				return err
+			}
+			ls.reported = make([]uint8, len(raw))
+			for i, b := range raw {
+				if b > 15 {
+					return c.errf("dedup mask byte %#x has unknown bits", b)
+				}
+				ls.reported[i] = b
+				races += bits.OnesCount8(b)
+			}
+		}
+	}
+	m.ck.races = races
+	return c.done()
+}
+
+func decodeReader(c *snapCursor, hdr Header) (*ReaderCheckpoint, error) {
+	off, err := c.uvarint("offset")
+	if err != nil {
+		return nil, err
+	}
+	if off > uint64(math.MaxInt64) {
+		return nil, c.errf("offset %d out of range", off)
+	}
+	v2b, err := c.byte("v2 flag")
+	if err != nil {
+		return nil, err
+	}
+	if v2b > 1 {
+		return nil, c.errf("v2 flag %d not 0 or 1", v2b)
+	}
+	rck := &ReaderCheckpoint{Offset: int64(off), V2: v2b == 1}
+	prevThread, err := c.varint("prevThread")
+	if err != nil {
+		return nil, err
+	}
+	if prevThread < 0 || prevThread >= int64(hdr.Threads) {
+		return nil, c.errf("prevThread %d out of range [0,%d)", prevThread, hdr.Threads)
+	}
+	rck.PrevThread = int32(prevThread)
+	if rck.V2 {
+		rck.PrevLoc = make([]int32, hdr.Threads)
+		for t := range rck.PrevLoc {
+			v, err := c.varint("prevLoc")
+			if err != nil {
+				return nil, err
+			}
+			if v < 0 || (v >= int64(len(hdr.Decls)) && v != 0) {
+				return nil, c.errf("prevLoc[%d] = %d out of range", t, v)
+			}
+			rck.PrevLoc[t] = int32(v)
+		}
+		rck.PrevNum = make([]int64, len(hdr.Decls))
+		for l := range rck.PrevNum {
+			if rck.PrevNum[l], err = c.varint("prevNum"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if rck.Halted, err = c.bitset(hdr.Threads, "halted"); err != nil {
+		return nil, err
+	}
+	count, err := c.uvarint("pending count")
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(len(c.p)-c.pos) || count > maxFrameEvents {
+		return nil, c.errf("pending count %d exceeds the payload", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		kb, err := c.byte("pending kind")
+		if err != nil {
+			return nil, err
+		}
+		e := Event{Kind: Kind(kb)}
+		thread, err := c.uvarint("pending thread")
+		if err != nil {
+			return nil, err
+		}
+		if thread > uint64(math.MaxInt32) {
+			return nil, c.errf("pending thread %d out of range", thread)
+		}
+		e.Thread = int32(thread)
+		if e.Kind != KindHalt {
+			loc, err := c.uvarint("pending location")
+			if err != nil {
+				return nil, err
+			}
+			if loc > uint64(math.MaxInt32) {
+				return nil, c.errf("pending location %d out of range", loc)
+			}
+			e.Loc = int32(loc)
+			if e.Kind == ReadRA || e.Kind == WriteRA {
+				num, err := c.varint("pending timestamp numerator")
+				if err != nil {
+					return nil, err
+				}
+				den, err := c.uvarint("pending timestamp denominator")
+				if err != nil {
+					return nil, err
+				}
+				if den == 0 || den > uint64(math.MaxInt64) {
+					return nil, c.errf("pending timestamp denominator %d out of range", den)
+				}
+				e.Time = ts.New(num, int64(den))
+			}
+		}
+		rck.Pending = append(rck.Pending, e)
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	// Shared validation with the encoder: bounds, kind-versus-declaration
+	// consistency, and the halt promise over the pending run.
+	if err := rck.validate(hdr); err != nil {
+		return nil, fmt.Errorf("monitor: snapshot reader section: %w", err)
+	}
+	return rck, nil
+}
+
+// ---- Convenience ----
+
+// SnapshotRaces is a debugging aid: the reports a restored monitor would
+// produce if the stream ended at the checkpoint.
+func SnapshotRaces(r io.Reader) ([]race.Report, error) {
+	m, err := Restore(r)
+	if err != nil {
+		return nil, err
+	}
+	return m.Reports(), nil
+}

@@ -92,6 +92,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 	"strconv"
 	"strings"
 	"unicode"
@@ -468,7 +469,12 @@ func (tw *TraceWriter) Flush() error {
 // input produces an error, never a panic, and never an event the monitor
 // cannot safely consume.
 type TraceReader struct {
-	br   *bufio.Reader
+	br *bufio.Reader
+	// cr counts the bytes the binary decoders consume (ReadByte/Read pass
+	// through to br) — the logical stream offset that Checkpoint records
+	// and Resume discards up to. The text decoder reads br directly and
+	// does not support checkpoints.
+	cr   countReader
 	hdr  Header
 	text bool
 	line int              // text mode: current line number, for errors
@@ -491,10 +497,32 @@ type TraceReader struct {
 	cur        int
 }
 
+// countReader passes reads through to the buffered reader, counting the
+// bytes consumed.
+type countReader struct {
+	br *bufio.Reader
+	n  int64
+}
+
+func (c *countReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // NewTraceReader sniffs the encoding of r, decodes and validates the
 // header, and returns a reader positioned at the first event.
 func NewTraceReader(r io.Reader) (*TraceReader, error) {
 	tr := &TraceReader{br: bufio.NewReader(r)}
+	tr.cr.br = tr.br
 	magic, err := tr.br.Peek(len(binaryMagic))
 	if err == nil && string(magic) == binaryMagic {
 		if err := tr.readBinaryHeader(); err != nil {
@@ -569,7 +597,7 @@ func (tr *TraceReader) NextBatch(dst []Event) ([]Event, bool, error) {
 // readUvarintField reads a bounded uvarint, mapping EOF inside the field
 // to ErrUnexpectedEOF.
 func (tr *TraceReader) readUvarintField(what string, max uint64) (uint64, error) {
-	v, err := binary.ReadUvarint(tr.br)
+	v, err := binary.ReadUvarint(&tr.cr)
 	if err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
@@ -583,13 +611,14 @@ func (tr *TraceReader) readUvarintField(what string, max uint64) (uint64, error)
 }
 
 func (tr *TraceReader) readBinaryHeader() error {
-	if _, err := tr.br.Discard(len(binaryMagic)); err != nil {
-		return err
+	var magicVer [len(binaryMagic) + 1]byte
+	if _, err := io.ReadFull(&tr.cr, magicVer[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("monitor: trace header: %w", err)
 	}
-	ver, err := tr.br.ReadByte()
-	if err != nil {
-		return fmt.Errorf("monitor: trace header: %w", io.ErrUnexpectedEOF)
-	}
+	ver := magicVer[len(binaryMagic)]
 	if ver != wireVersion && ver != wireVersion2 {
 		return fmt.Errorf("monitor: trace header: unsupported version %d (have %d and %d)",
 			ver, wireVersion, wireVersion2)
@@ -610,13 +639,13 @@ func (tr *TraceReader) readBinaryHeader() error {
 			return err
 		}
 		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(tr.br, name); err != nil {
+		if _, err := io.ReadFull(&tr.cr, name); err != nil {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
 			}
 			return fmt.Errorf("monitor: trace header: location name: %w", err)
 		}
-		kind, err := tr.br.ReadByte()
+		kind, err := tr.cr.ReadByte()
 		if err != nil {
 			return fmt.Errorf("monitor: trace header: location kind: %w", io.ErrUnexpectedEOF)
 		}
@@ -637,7 +666,7 @@ func (tr *TraceReader) readBinaryHeader() error {
 // validated events to dst. ok=false at a clean end of trace (EOF exactly
 // at a frame boundary).
 func (tr *TraceReader) decodeFrame(dst []Event) ([]Event, bool, error) {
-	payloadLen, err := binary.ReadUvarint(tr.br)
+	payloadLen, err := binary.ReadUvarint(&tr.cr)
 	if err != nil {
 		if err == io.EOF {
 			return dst, false, nil // clean end of trace
@@ -651,7 +680,7 @@ func (tr *TraceReader) decodeFrame(dst []Event) ([]Event, bool, error) {
 		tr.frameBuf = make([]byte, payloadLen)
 	}
 	p := tr.frameBuf[:payloadLen]
-	if _, err := io.ReadFull(tr.br, p); err != nil {
+	if _, err := io.ReadFull(&tr.cr, p); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
@@ -755,7 +784,7 @@ func (tr *TraceReader) decodeV2Event(p []byte, pos int) (Event, int, error) {
 }
 
 func (tr *TraceReader) nextBinary() (Event, bool, error) {
-	kb, err := tr.br.ReadByte()
+	kb, err := tr.cr.ReadByte()
 	if err == io.EOF {
 		return Event{}, false, nil // clean end of trace
 	}
@@ -778,7 +807,7 @@ func (tr *TraceReader) nextBinary() (Event, bool, error) {
 	}
 	e.Thread, e.Loc = int32(thread), int32(loc)
 	if e.Kind == ReadRA || e.Kind == WriteRA {
-		num, err := binary.ReadVarint(tr.br)
+		num, err := binary.ReadVarint(&tr.cr)
 		if err != nil {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
@@ -999,6 +1028,127 @@ func parseTime(s string) (ts.Time, error) {
 		}
 	}
 	return ts.New(num, den), nil
+}
+
+// ---- Checkpoint / resume ----
+
+// ReaderCheckpoint is a resumable position in a binary wire-format
+// trace: the byte offset of the next undecoded frame (v2) or event (v1),
+// the v2 delta context carried across frames, the decoder's halted-
+// thread set, and — for checkpoints taken mid-frame — the already-
+// decoded events of the current frame that were not yet delivered.
+// Obtain one with Checkpoint, persist it inside a snapshot
+// (Monitor.SnapshotWithReader), and hand it to Resume on a fresh reader
+// over the same trace.
+type ReaderCheckpoint struct {
+	// Offset is the number of logical trace bytes consumed: the header
+	// plus every fully decoded frame (v2) or event (v1).
+	Offset int64
+	// V2 records which binary version the trace uses; Resume refuses a
+	// checkpoint whose version does not match the reopened trace.
+	V2 bool
+	// PrevThread, PrevLoc, PrevNum are the v2 delta context as of Offset
+	// (PrevLoc/PrevNum are nil for v1).
+	PrevThread int32
+	PrevLoc    []int32
+	PrevNum    []int64
+	// Halted is the decoder's halted-thread set (nil when no thread has
+	// halted).
+	Halted []bool
+	// Pending holds the validated events of the current v2 frame that
+	// were decoded but not yet delivered when the checkpoint was taken;
+	// Resume yields them before decoding the frame at Offset.
+	Pending []Event
+}
+
+// Checkpoint captures the reader's current position — valid at any event
+// boundary, including mid-frame for v2 traces (the undelivered rest of
+// the frame rides along as Pending). Only binary traces support
+// checkpoints; the text format errors.
+func (tr *TraceReader) Checkpoint() (ReaderCheckpoint, error) {
+	if tr.text {
+		return ReaderCheckpoint{}, fmt.Errorf("monitor: trace checkpoint: text traces are not resumable (use a binary format)")
+	}
+	ck := ReaderCheckpoint{Offset: tr.cr.n, V2: tr.v2, PrevThread: tr.prevThread}
+	if tr.v2 {
+		ck.PrevLoc = slices.Clone(tr.prevLoc)
+		ck.PrevNum = slices.Clone(tr.prevNum)
+		if tr.cur < len(tr.batch) {
+			ck.Pending = slices.Clone(tr.batch[tr.cur:])
+		}
+	}
+	if tr.halted != nil {
+		ck.Halted = slices.Clone(tr.halted)
+	}
+	return ck, nil
+}
+
+// Resume fast-forwards a freshly created reader to a checkpoint taken
+// over the same trace: it discards the stream up to ck.Offset, installs
+// the delta context and halted set, and queues the checkpoint's pending
+// events. It must be called before any event has been read, and the
+// trace must be the same bytes the checkpoint was taken over — a
+// different trace yields decode errors (or garbage events on a
+// maliciously matched one; the offset is a position, not a fingerprint).
+func (tr *TraceReader) Resume(ck ReaderCheckpoint) error {
+	if tr.text {
+		return fmt.Errorf("monitor: trace resume: text traces are not resumable")
+	}
+	if tr.v2 != ck.V2 {
+		return fmt.Errorf("monitor: trace resume: checkpoint is for binary v%d, trace is v%d", wireVer(ck.V2), wireVer(tr.v2))
+	}
+	if len(tr.batch) > 0 || tr.halted != nil {
+		return fmt.Errorf("monitor: trace resume: reader has already decoded events")
+	}
+	if err := ck.validate(tr.hdr); err != nil {
+		return fmt.Errorf("monitor: trace resume: %w", err)
+	}
+	if ck.Offset < tr.cr.n {
+		return fmt.Errorf("monitor: trace resume: offset %d lies inside the %d-byte header", ck.Offset, tr.cr.n)
+	}
+	if err := tr.discard(ck.Offset - tr.cr.n); err != nil {
+		return fmt.Errorf("monitor: trace resume: %w", err)
+	}
+	tr.prevThread = ck.PrevThread
+	if tr.v2 {
+		copy(tr.prevLoc, ck.PrevLoc)
+		copy(tr.prevNum, ck.PrevNum)
+		if len(ck.Pending) > 0 {
+			tr.batch = append(tr.batch[:0], ck.Pending...)
+			tr.cur = 0
+		}
+	}
+	if ck.Halted != nil {
+		tr.halted = slices.Clone(ck.Halted)
+	}
+	return nil
+}
+
+func wireVer(v2 bool) int {
+	if v2 {
+		return wireVersion2
+	}
+	return wireVersion
+}
+
+// discard consumes exactly n bytes, erroring if the stream ends first.
+func (tr *TraceReader) discard(n int64) error {
+	for n > 0 {
+		step := n
+		if step > 1<<20 {
+			step = 1 << 20
+		}
+		d, err := tr.br.Discard(int(step))
+		tr.cr.n += int64(d)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("trace shorter than checkpoint offset: %w", err)
+		}
+		n -= int64(d)
+	}
+	return nil
 }
 
 // ---- Convenience entry points ----

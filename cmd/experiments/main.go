@@ -6,6 +6,7 @@
 //	experiments [-run all|examples|equivalence|drf|opt|x86|arm|fig5a|fig5b|fig5c|padding]
 //	experiments -run bench [-bench-json BENCH_engine.json] [-monitor-json BENCH_monitor.json]
 //	experiments -run bench-monitor [-monitor-json BENCH_monitor.json]
+//	experiments -run bench-compare [-monitor-json BENCH_monitor.json]
 //
 // The semantic experiments (examples, equivalence, x86, arm, opt, drf)
 // are exact model-checking results and must reproduce the paper's
@@ -22,9 +23,22 @@
 // generation, single-core monitoring throughput (events/sec) over a
 // 10⁶-event bursty schedule — the headline number of the online race
 // monitor — plus the parallel-pipeline rows (pipeline-{2,4,8}shard,
-// each run and recorded at a multicore GOMAXPROCS of shards+1) and the
-// wire-v2 frame-decoder throughput with the encoded stream size.
-// bench-monitor runs only the monitor benches.
+// each run and recorded at a multicore GOMAXPROCS of shards+1), the
+// wire-v2 frame-decoder throughput with the encoded stream size, the
+// parallel front-end rows (pipeline-{2,4}parser-{4,8}shard: N decode
+// workers feeding the sync sequencer and the sharded back-ends, from
+// encoded v2 bytes), the skewed-workload row (skewed-zipf-1M: a
+// Zipf-skewed stream through the rebalancing 4-shard pipeline) and the
+// compaction row (compaction-quiet-1M, recording the live
+// escalated-vector count with sweeps disabled versus with the GC's
+// epoch re-compaction running). Every multicore row records the
+// GOMAXPROCS it ran at. bench-monitor runs only the monitor benches.
+//
+// bench-compare reruns the monitor benches in memory and diffs their
+// events/sec against the committed -monitor-json baseline, exiting
+// nonzero if any tracked row regressed by more than 15% — the CI
+// performance gate. Rows present on only one side are reported but not
+// compared.
 package main
 
 import (
@@ -82,6 +96,13 @@ func main() {
 	if *run == "bench-monitor" {
 		if err := benchMonitor(); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment bench-monitor failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *run == "bench-compare" {
+		if err := benchCompare(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment bench-compare failed: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -429,6 +450,12 @@ type benchResult struct {
 	// the end of the benched stream — the direct measurement of the live
 	// state the windowed GC and epoch compression keep bounded.
 	SnapshotBytes int `json:"snapshot_bytes,omitempty"`
+	// EscalatedBefore/EscalatedAfter bracket the GC's epoch re-compaction
+	// (compaction bench only): live escalated-vector count at end of
+	// stream with sweeps disabled, versus with compaction demoting quiet
+	// vectors back to epochs at every sweep.
+	EscalatedBefore int `json:"escalated_before,omitempty"`
+	EscalatedAfter  int `json:"escalated_after,omitempty"`
 }
 
 // timeIt runs fn repeatedly for at least ~200ms (and at least 3 times)
@@ -533,6 +560,17 @@ func writeBenchJSON(path string, results []benchResult) error {
 // windowed GC's peak live RA-message count and the monitoring
 // allocations per event. Everything is written to -monitor-json.
 func benchMonitor() error {
+	results, err := benchMonitorResults()
+	if err != nil {
+		return err
+	}
+	return writeBenchJSON(*monitorJSON, results)
+}
+
+// benchMonitorResults runs the monitor benches and returns the rows —
+// shared by bench-monitor (which writes them to the JSON baseline) and
+// bench-compare (which diffs them against it without writing).
+func benchMonitorResults() ([]benchResult, error) {
 	const nevents = 1_000_000
 	cfg := progsynth.ScaledDefaults()
 	cfg.Iters = cfg.IterationsFor(nevents)
@@ -547,7 +585,7 @@ func benchMonitor() error {
 		stream, _, err = schedgen.Generate(p, tb, opt, stream[:0])
 		return err
 	}); err != nil {
-		return err
+		return nil, err
 	}
 	mon := tb.NewMonitor()
 	if err := timeIt("monitor/online-bursty-1M", &results, func() error {
@@ -557,7 +595,7 @@ func benchMonitor() error {
 		}
 		return nil
 	}); err != nil {
-		return err
+		return nil, err
 	}
 	online := len(results) - 1
 	// One dedicated pass for the allocation rate (the timed loops above
@@ -577,7 +615,7 @@ func benchMonitor() error {
 	// record its size on the online row, and time the codec round trip.
 	var snapBuf bytes.Buffer
 	if err := mon.Snapshot(&snapBuf); err != nil {
-		return err
+		return nil, err
 	}
 	results[online].SnapshotBytes = snapBuf.Len()
 	if err := timeIt("monitor/snapshot-roundtrip-1M", &results, func() error {
@@ -588,7 +626,7 @@ func benchMonitor() error {
 		_, err := monitor.Restore(bytes.NewReader(snapBuf.Bytes()))
 		return err
 	}); err != nil {
-		return err
+		return nil, err
 	}
 	results[len(results)-1].SnapshotBytes = snapBuf.Len()
 	if err := timeIt("monitor/stream-bursty-1M", &results, func() error {
@@ -599,13 +637,13 @@ func benchMonitor() error {
 		})
 		return err
 	}); err != nil {
-		return err
+		return nil, err
 	}
 	if err := timeIt("monitor/sharded4-bursty-1M", &results, func() error {
 		_, err := monitor.ShardedRaces(tb.Threads(), tb.Decls(), stream, 4, 0)
 		return err
 	}); err != nil {
-		return err
+		return nil, err
 	}
 	// The parallel pipeline rows run multicore: GOMAXPROCS is raised to
 	// shards+1 (sync front-end + race back-ends) for the row and
@@ -626,14 +664,14 @@ func benchMonitor() error {
 		})
 		runtime.GOMAXPROCS(prevProcs)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		results[len(results)-1].GoMaxProcs = procs
 	}
 	// Wire v2: encode the stream once, then time the batch decoder.
 	var wireBuf bytes.Buffer
 	if _, _, err := schedgen.Encode(&wireBuf, p, tb, opt, monitor.BinaryV2); err != nil {
-		return err
+		return nil, err
 	}
 	encoded := wireBuf.Bytes()
 	if err := timeIt("monitor/wire-v2-decode-1M", &results, func() error {
@@ -659,9 +697,92 @@ func benchMonitor() error {
 		}
 		return nil
 	}); err != nil {
-		return err
+		return nil, err
 	}
 	results[len(results)-1].EncodedBytes = len(encoded)
+	// Parallel front-end rows: the encoded v2 bytes decoded by N workers
+	// feeding the ordering sequencer, race checking split across the
+	// sharded back-ends — the fully parallel ingest path. GOMAXPROCS is
+	// raised to parsers + shards + 2 (frame producer and sync front-end)
+	// for the row and recorded in it; on machines with fewer physical
+	// cores the wall clock reports what the hardware could deliver.
+	for _, pc := range []struct{ parsers, shards int }{{2, 4}, {2, 8}, {4, 4}, {4, 8}} {
+		procs := pc.parsers + pc.shards + 2
+		runtime.GOMAXPROCS(procs)
+		err := timeIt(fmt.Sprintf("monitor/pipeline-%dparser-%dshard-1M", pc.parsers, pc.shards), &results, func() error {
+			got, _, err := monitor.ReadRacesParallel(bytes.NewReader(encoded), pc.parsers,
+				monitor.PipelineConfig{Shards: pc.shards})
+			if err != nil {
+				return err
+			}
+			if len(got) != mon.RaceCount() {
+				return fmt.Errorf("parallel front-end reported %d races, sequential %d", len(got), mon.RaceCount())
+			}
+			return nil
+		})
+		runtime.GOMAXPROCS(prevProcs)
+		if err != nil {
+			return nil, err
+		}
+		results[len(results)-1].GoMaxProcs = procs
+	}
+	// Skewed workload: a Zipf-skewed stream (hot nonatomic locations)
+	// through the rebalancing 4-shard pipeline — the row the
+	// skew-adaptive router exists for.
+	skewOpt := opt
+	skewOpt.LocSkew = 1.3
+	skewStream, _, err := schedgen.Generate(p, tb, skewOpt, nil)
+	if err != nil {
+		return nil, err
+	}
+	seqSkew := tb.NewMonitor()
+	seqSkew.StepBatch(skewStream)
+	runtime.GOMAXPROCS(5)
+	err = timeIt("monitor/skewed-zipf-1M", &results, func() error {
+		got := monitor.PipelineRaces(tb.Threads(), tb.Decls(), skewStream,
+			monitor.PipelineConfig{Shards: 4, Rebalance: true})
+		if len(got) != seqSkew.RaceCount() {
+			return fmt.Errorf("rebalancing pipeline reported %d races, sequential %d", len(got), seqSkew.RaceCount())
+		}
+		return nil
+	})
+	runtime.GOMAXPROCS(prevProcs)
+	if err != nil {
+		return nil, err
+	}
+	results[len(results)-1].GoMaxProcs = 5
+	// Compaction: a 16-thread unfair halting schedule sized so threads
+	// retire throughout the second half of the stream — escalated vectors
+	// go quiet as their writers halt and the surviving threads' sweeps
+	// demote them back to epochs. EscalatedBefore counts the live
+	// escalated vectors at end of stream with sweeps disabled
+	// (escalations only accumulate); the timed run uses the default GC —
+	// EscalatedAfter records what its compaction leaves.
+	quietCfg := progsynth.ScaledDefaults()
+	quietCfg.Threads = 16
+	quietCfg.Iters = quietCfg.IterationsFor(nevents / 2)
+	quietProg := progsynth.Scaled(1, quietCfg)
+	quietTb := monitor.NewTable(quietProg)
+	quietOpt := schedgen.Options{Policy: schedgen.Unfair, Seed: 1, MaxEvents: nevents,
+		StaleReadPct: 10, EmitHalts: true}
+	quietStream, _, err := schedgen.Generate(quietProg, quietTb, quietOpt, nil)
+	if err != nil {
+		return nil, err
+	}
+	noSweep := quietTb.NewMonitor()
+	noSweep.SetGCInterval(1 << 62)
+	noSweep.StepBatch(quietStream)
+	escalatedAfter := 0
+	if err := timeIt("monitor/compaction-quiet-1M", &results, func() error {
+		m := quietTb.NewMonitor()
+		m.StepBatch(quietStream)
+		escalatedAfter = m.EscalatedVectors()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	results[len(results)-1].EscalatedBefore = noSweep.EscalatedVectors()
+	results[len(results)-1].EscalatedAfter = escalatedAfter
 	for i := range results {
 		// events/sec is meaningful only for rows that process the
 		// 1M-event stream; the snapshot codec row times state encode +
@@ -674,7 +795,60 @@ func benchMonitor() error {
 	fmt.Printf("monitor throughput: %.1fM events/sec single-core (%d distinct races; RA live peak %d, %d collected, %.3f allocs/event)\n",
 		results[online].EventsPerSec/1e6, mon.RaceCount(), st.Peak, st.Collected,
 		results[online].AllocsPerEvent)
-	return writeBenchJSON(*monitorJSON, results)
+	return results, nil
+}
+
+// benchCompare reruns the monitor benches in memory and diffs their
+// events/sec against the committed -monitor-json baseline. Any tracked
+// row regressing by more than 15% fails the run — the CI performance
+// gate. It never writes the baseline file; regenerate it deliberately
+// with bench-monitor when a trajectory change is intended.
+func benchCompare() error {
+	path := *monitorJSON
+	if path == "" {
+		return fmt.Errorf("bench-compare needs -monitor-json pointing at the committed baseline")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench-compare: %w (is the baseline committed?)", err)
+	}
+	var doc struct {
+		Results []benchResult `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("bench-compare: baseline %s: %w", path, err)
+	}
+	base := map[string]benchResult{}
+	for _, r := range doc.Results {
+		base[r.Name] = r
+	}
+	fresh, err := benchMonitorResults()
+	if err != nil {
+		return err
+	}
+	const tolerance = 0.15
+	regressions := 0
+	fmt.Printf("\nbench-compare against %s (tolerance %.0f%%):\n", path, tolerance*100)
+	for _, r := range fresh {
+		b, ok := base[r.Name]
+		if !ok || b.EventsPerSec <= 0 || r.EventsPerSec <= 0 {
+			fmt.Printf("%-40s %41s\n", r.Name, "untracked (no baseline events/sec)")
+			continue
+		}
+		ratio := r.EventsPerSec / b.EventsPerSec
+		verdict := "ok"
+		if ratio < 1-tolerance {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-40s %8.1fM -> %8.1fM ev/s  %+6.1f%%  %s\n",
+			r.Name, b.EventsPerSec/1e6, r.EventsPerSec/1e6, 100*(ratio-1), verdict)
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d row(s) regressed more than %.0f%% versus %s", regressions, tolerance*100, path)
+	}
+	fmt.Printf("bench-compare: all tracked rows within %.0f%% of %s\n", tolerance*100, path)
+	return nil
 }
 
 // padding regenerates the §8.3 control experiment: nop padding alone

@@ -8,10 +8,11 @@
 //
 //	racemon [-events N] [-threads K] [-policy fair|unfair|bursty]
 //	        [-seed S] [-shards M] [-locs L] [-atomics A] [-ra R]
-//	        [-stale PCT] [-halts] [-json] [-pipeline] [-stream]
-//	        [-trace FILE|-] [-emit FILE] [-format binary|text]
-//	        [-wire 1|2] [-golden FILE] [-update-golden]
-//	        [-checkpoint FILE] [-checkpoint-at N] [-resume FILE]
+//	        [-stale PCT] [-skew S] [-halts] [-json] [-pipeline] [-stream]
+//	        [-rebalance] [-trace FILE|-] [-parsers N] [-emit FILE]
+//	        [-format binary|text] [-wire 1|2] [-golden FILE]
+//	        [-update-golden] [-checkpoint FILE] [-checkpoint-at N]
+//	        [-resume FILE]
 //
 // Modes:
 //
@@ -40,6 +41,16 @@
 // -halts appends a thread-retirement event when a generated thread runs
 // to completion (wire v2/text and the monitor understand it; it never
 // changes reports, only RA retention).
+//
+// -skew S redirects each generated nonatomic access to a location drawn
+// from a Zipf distribution with exponent S (0 = uniform, the default) —
+// hot-location workloads for the sharded pipeline. -rebalance enables
+// the pipeline's skew-adaptive router, which migrates hot locations
+// between race back-ends at GC barriers (reports stay identical; only
+// the load split changes). -parsers N decodes a -trace's v2 frames on N
+// parallel workers feeding the ordering sequencer; it falls back to the
+// sequential decoder for v1/text traces and for runs that checkpoint or
+// resume (the reader continuation is a sequential-decoder construct).
 //
 // Checkpoint/resume: -checkpoint FILE snapshots the monitor (or
 // pipeline front-end + back-ends) in the LDCK format of
@@ -103,6 +114,7 @@ type result struct {
 	Events       int     `json:"events"`
 	Completed    bool    `json:"completed"`
 	Shards       int     `json:"shards"`
+	Parsers      int     `json:"parsers,omitempty"`
 	GenNs        int64   `json:"gen_ns"`
 	MonitorNs    int64   `json:"monitor_ns"`
 	EventsPerSec float64 `json:"events_per_sec"`
@@ -154,6 +166,9 @@ func main() {
 	atomics := flag.Int("atomics", 8, "atomic location count")
 	ra := flag.Int("ra", 8, "release-acquire location count")
 	stale := flag.Int("stale", 10, "percent of reads returning stale values")
+	skew := flag.Float64("skew", 0, "Zipf exponent skewing generated nonatomic accesses toward hot locations (0 = uniform)")
+	rebalance := flag.Bool("rebalance", false, "migrate hot locations between pipeline back-ends at GC barriers (sharded modes)")
+	parsers := flag.Int("parsers", 1, "parallel trace-decode workers for -trace (v2 traces; ≥ 2 enables the parallel front-end)")
 	asJSON := flag.Bool("json", false, "emit a JSON summary")
 	maxRaces := flag.Int("max-races", 20, "race reports listed in the output (0 = all)")
 	pipeline := flag.Bool("pipeline", false, "generate and monitor in one fused pass through the parallel pipeline (-shards = back-end count)")
@@ -182,6 +197,14 @@ func main() {
 	}
 	if *threads < 1 || *events < 1 || *locs < 1 || *atomics < 0 || *ra < 0 || *shards < 1 {
 		fmt.Fprintln(os.Stderr, "racemon: -events, -threads, -locs and -shards must be ≥ 1 (-atomics/-ra ≥ 0)")
+		os.Exit(2)
+	}
+	if *parsers < 1 {
+		fmt.Fprintln(os.Stderr, "racemon: -parsers must be ≥ 1")
+		os.Exit(2)
+	}
+	if *skew < 0 {
+		fmt.Fprintln(os.Stderr, "racemon: -skew must be ≥ 0")
 		os.Exit(2)
 	}
 	if *wire != 1 && *wire != 2 {
@@ -229,19 +252,26 @@ func main() {
 	gp := genParams{
 		policy: pol, seed: *seed, events: *events, threads: *threads,
 		locs: *locs, atomics: *atomics, ra: *ra, stale: *stale, halts: *halts,
+		skew: *skew,
 	}
 	ck := ckParams{file: *checkpointFile, at: *checkpointAt}
 	var res result
 	var reports []race.Report
 	switch {
 	case *traceFile != "":
-		res, reports = runTrace(*traceFile, *shards, *resumeFile, ck)
+		if *parsers > 1 && *resumeFile == "" && ck.file == "" {
+			res, reports = runTraceParallel(*traceFile, *shards, *parsers, *rebalance)
+		} else {
+			// Checkpoint/resume rides the sequential reader's byte-offset
+			// continuation, which the parallel front-end cannot produce.
+			res, reports = runTrace(*traceFile, *shards, *resumeFile, ck, *rebalance)
+		}
 	case *emitFile != "":
 		res = runEmit(*emitFile, format, gp)
 	case *pipeline:
-		res, reports = runPipeline(gp, *shards, ck)
+		res, reports = runPipeline(gp, *shards, *rebalance, ck)
 	default:
-		res, reports = runGenerated(gp, *shards, *stream, ck)
+		res, reports = runGenerated(gp, *shards, *stream, *rebalance, ck)
 	}
 
 	listed := reports
@@ -318,6 +348,7 @@ type genParams struct {
 	ra      int
 	stale   int
 	halts   bool
+	skew    float64
 }
 
 // program builds the generator-side program and table shared by the
@@ -339,7 +370,7 @@ func (gp genParams) program() (*monitor.Table, string) {
 func (gp genParams) options() schedgen.Options {
 	return schedgen.Options{
 		Policy: gp.policy, Seed: gp.seed, MaxEvents: gp.events,
-		StaleReadPct: gp.stale, EmitHalts: gp.halts,
+		StaleReadPct: gp.stale, EmitHalts: gp.halts, LocSkew: gp.skew,
 	}
 }
 
@@ -371,14 +402,14 @@ func writeSnapshot(path string, snap func(io.Writer) error) {
 // runPipeline is the fused parallel mode: schedgen batches feed the
 // two-stage pipeline directly — one sync front-end pass, shards race
 // back-ends, no materialised schedule.
-func runPipeline(gp genParams, shards int, ck ckParams) (result, []race.Report) {
+func runPipeline(gp genParams, shards int, rebalance bool, ck ckParams) (result, []race.Report) {
 	tb, name := gp.program()
 	res := result{
 		Program: name, Mode: "pipeline", Threads: tb.Threads(), Policy: gp.policy.String(),
 		Seed: gp.seed, Shards: shards,
 		Locations: locationsJSON{NonAtomic: gp.locs, Atomic: gp.atomics, RA: gp.ra},
 	}
-	pl := monitor.NewPipeline(tb.Threads(), tb.Decls(), monitor.PipelineConfig{Shards: shards})
+	pl := monitor.NewPipeline(tb.Threads(), tb.Decls(), monitor.PipelineConfig{Shards: shards, Rebalance: rebalance})
 	start := time.Now()
 	completed, err := schedgen.StreamBatch(tb.Program(), tb, gp.options(), 0, func(evs []monitor.Event) error {
 		if ck.at > 0 {
@@ -412,7 +443,7 @@ func runPipeline(gp genParams, shards int, ck ckParams) (result, []race.Report) 
 
 // runGenerated is the in-process generation path: the batch (and
 // optionally sharded) mode, or -stream's single fused pass.
-func runGenerated(gp genParams, shards int, stream bool, ck ckParams) (result, []race.Report) {
+func runGenerated(gp genParams, shards int, stream, rebalance bool, ck ckParams) (result, []race.Report) {
 	tb, name := gp.program()
 	opt := gp.options()
 	res := result{
@@ -468,7 +499,8 @@ func runGenerated(gp genParams, shards int, stream bool, ck ckParams) (result, [
 		reports = m.Reports()
 		fill(&res, m)
 	} else {
-		reports, err = monitor.ShardedRaces(tb.Threads(), tb.Decls(), streamEv, shards, 0)
+		reports, err = monitor.ShardedRacesConfig(tb.Threads(), tb.Decls(), streamEv, shards, 0,
+			monitor.PipelineConfig{Rebalance: rebalance})
 		if err != nil {
 			fatalf("monitor: %v", err)
 		}
@@ -510,7 +542,7 @@ func headerEqual(a, b monitor.Header) bool {
 // runTrace ingests a wire-format trace from a file or stdin — through a
 // sequential monitor, or a parallel pipeline when shards > 1 —
 // optionally resuming from a snapshot and/or checkpointing mid-ingest.
-func runTrace(path string, shards int, resumePath string, ck ckParams) (result, []race.Report) {
+func runTrace(path string, shards int, resumePath string, ck ckParams, rebalance bool) (result, []race.Report) {
 	var rd io.Reader = os.Stdin
 	name := "stdin"
 	if path != "-" {
@@ -554,11 +586,12 @@ func runTrace(path string, shards int, resumePath string, ck ckParams) (result, 
 	}
 	var sink traceSink
 	if shards > 1 {
+		cfg := monitor.PipelineConfig{Shards: shards, Rebalance: rebalance}
 		var pl *monitor.Pipeline
 		if snap != nil {
-			pl = snap.Pipeline(monitor.PipelineConfig{Shards: shards})
+			pl = snap.Pipeline(cfg)
 		} else {
-			pl = monitor.NewPipeline(hdr.Threads, hdr.Decls, monitor.PipelineConfig{Shards: shards})
+			pl = monitor.NewPipeline(hdr.Threads, hdr.Decls, cfg)
 		}
 		sink = pipelineSink{pl}
 	} else if snap != nil {
@@ -651,7 +684,66 @@ func runTrace(path string, shards int, resumePath string, ck ckParams) (result, 
 		MonitorNs: time.Since(start).Nanoseconds(),
 		Events:    int(sink.Events()),
 	}
-	for _, d := range hdr.Decls {
+	fillLocations(&res, hdr.Decls)
+	fillStats(&res, sink.RAStats(), len(reports))
+	return res, reports
+}
+
+// runTraceParallel ingests a wire-format trace through the parallel
+// front-end: parsers decode workers feed the ordering sequencer, which
+// feeds a sequential monitor (shards == 1) or the sharded pipeline. v1
+// and text traces fall back to sequential decoding inside the reader.
+func runTraceParallel(path string, shards, parsers int, rebalance bool) (result, []race.Report) {
+	var rd io.Reader = os.Stdin
+	name := "stdin"
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		rd, name = f, path
+	}
+	start := time.Now()
+	pr, err := monitor.NewParallelTraceReader(rd, parsers)
+	if err != nil {
+		fatalf("trace: %v", err)
+	}
+	defer pr.Close()
+	hdr := pr.Header()
+	var reports []race.Report
+	var st monitor.RAStats
+	var events uint64
+	if shards > 1 {
+		pl := monitor.NewPipeline(hdr.Threads, hdr.Decls, monitor.PipelineConfig{Shards: shards, Rebalance: rebalance})
+		if err := pl.FeedBatch(pr); err != nil {
+			pl.Abort()
+			fatalf("trace: %v", err)
+		}
+		reports = pl.Finish()
+		st, events = pl.RAStats(), pl.Events()
+	} else {
+		m := pr.NewMonitor()
+		if err := m.FeedBatch(pr); err != nil {
+			fatalf("trace: %v", err)
+		}
+		reports = m.Reports()
+		st, events = m.RAStats(), m.Events()
+	}
+	res := result{
+		Program: "trace:" + name, Mode: "trace", Threads: hdr.Threads,
+		Completed: true, Shards: shards, Parsers: parsers,
+		MonitorNs: time.Since(start).Nanoseconds(),
+		Events:    int(events),
+	}
+	fillLocations(&res, hdr.Decls)
+	fillStats(&res, st, len(reports))
+	return res, reports
+}
+
+// fillLocations tallies a trace header's declarations into the summary.
+func fillLocations(res *result, decls []monitor.LocDecl) {
+	for _, d := range decls {
 		switch d.Kind {
 		case prog.Atomic:
 			res.Locations.Atomic++
@@ -661,8 +753,6 @@ func runTrace(path string, shards int, resumePath string, ck ckParams) (result, 
 			res.Locations.NonAtomic++
 		}
 	}
-	fillStats(&res, sink.RAStats(), len(reports))
-	return res, reports
 }
 
 // runEmit generates a schedule straight into the wire format.

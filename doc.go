@@ -80,20 +80,62 @@
 // retirement event (KindHalt) so windowed analyses stop retaining state
 // on their behalf.
 //
-// Multicore ingest is a two-stage pipeline (monitor.Pipeline,
-// monitor.ShardedRaces), not replay-per-shard: a single synchronisation
-// front-end consumes the stream once — all clock joins, RA message
-// retention and windowed GC — and routes each nonatomic access, plus a
-// compact clock-delta side channel, to the race back-end owning its
-// location (loc mod shards). Records travel in batches over bounded
+// # Parallel ingest pipeline
+//
+// Multicore ingest is a staged pipeline, not replay-per-shard:
+//
+//	wire bytes ─▶ parser 1 ─┐
+//	              parser 2 ─┤ (frame-parallel      sync        ┌─▶ race back-end 1
+//	              ...       ├─▶ decode, then ─▶ front-end ─────┼─▶ race back-end 2
+//	              parser N ─┘  FIFO sequencing) (sequencer)    └─▶ race back-end M
+//
+// On the left, the delta-compressed framed v2 wire format (varint
+// thread/location/timestamp deltas; ≥1.5× smaller than v1 on the
+// reference stream; v1 traces still decode) is decoded by N parser
+// workers (monitor.ParallelTraceReader): frames are self-delimiting, so
+// the structural work — tag and varint extraction, the bulk of decode
+// cost — runs fully in parallel, while the per-frame delta context
+// (previous thread, per-thread location, per-location timestamp, halt
+// set) is carried frame-to-frame through a small handoff record, and a
+// round-robin collector (engine.FanRing) restores global FIFO order.
+// Decode errors surface in stream order with the exact message the
+// sequential reader would produce.
+//
+// In the middle, a single synchronisation front-end consumes the
+// ordered stream once — all clock joins, RA message retention and
+// windowed GC — and routes each nonatomic access, plus a compact
+// clock-delta side channel, to the race back-end owning its location
+// (initially loc mod shards). Records travel in batches over bounded
 // SPSC rings (engine.BatchQueue), so total work is O(events) +
 // O(events/shards × check cost) per back-end instead of O(shards ×
 // events), and the merged report set is byte-identical to the
-// sequential monitor at any shard count, batch size and GC interval.
-// The wire format has a delta-compressed framed v2 (varint
-// thread/location/timestamp deltas; ≥1.5× smaller than v1 on the
-// reference stream) whose decoder yields events a frame at a time into
-// the monitor's batch entry points; v1 traces still decode.
+// sequential monitor at any parser count, shard count, batch size and
+// GC interval (monitor.Pipeline, monitor.ShardedRaces,
+// monitor.ReadRacesParallel).
+//
+// The static loc-mod-shards split degenerates under skewed traffic —
+// real streams are Zipf-like, and one back-end can receive nearly every
+// record. With PipelineConfig.Rebalance the front-end counts per-location
+// traffic and, at GC-sweep barriers, migrates hot locations from the
+// most- to the least-loaded back-end. The migration protocol is
+// correct by construction: the rings are quiesced (a nil-batch barrier
+// acknowledged by every back-end, so nothing is in flight), the
+// location's epoch-or-vector state moves wholesale between the two
+// checkers, and the router remaps before feeding resumes — the same
+// checking code then sees the same state at the same stream positions,
+// so reports, retention statistics and snapshots are unchanged at every
+// configuration. Traffic counters are halved each sweep so the router
+// tracks the recent window, and migrations are capped per sweep.
+//
+// The same GC-sweep barrier also drives escalation compaction: a
+// nonatomic location whose last-access record escalated to a per-thread
+// vector during a racy phase is demoted back to a FastTrack epoch once
+// the advancing minimum-frontier proves at most one thread's component
+// still matters — long-quiet locations stop paying vector cost, so live
+// state (and snapshot size) strictly shrinks as threads synchronise or
+// halt. Back-ends compact at identical stream positions (the sweep is
+// broadcast through the lanes), keeping parallel state byte-identical
+// to sequential.
 //
 // # Checkpoint & resume
 //
@@ -123,32 +165,42 @@
 // snapshot decoder validates everything and errors (never panics) on
 // malformed input — fuzzed, like the trace decoder. The metamorphic
 // split-resume harness in internal/modeltest proves parity at every
-// grid split point of all 210 schedgen streams across the
-// {1,2,4,8}-shard × {GC-16, default, adaptive} matrix, including double
-// splits and cross-config resumes; cmd/racemon exposes the workflow as
-// -checkpoint FILE [-checkpoint-at N] and -resume FILE.
+// grid split point of all 210 schedgen streams (every tenth seed
+// Zipf-skewed) across the {1,2,4,8}-shard × rebalance on/off × {GC-16,
+// default, adaptive} matrix, including double splits, cross-config
+// resumes, and snapshots taken at rebalance barriers — which are
+// byte-identical to the sequential monitor's despite live migrations.
 //
 // The monitor's verdicts are differentially tested against the
 // exhaustive oracle race.Races on every corpus program, on hundreds of
 // random programs, and on hundreds of generated schedules — at every GC
 // interval (fixed and adaptive) and across the full pipeline
-// (shards × batch × GC) matrix.
+// (shards × batch × GC × rebalance) matrix, with the parallel
+// wire-format reader round-tripping at {1,2,4} parsers; cmd/racemon
+// exposes the checkpoint workflow as -checkpoint FILE [-checkpoint-at
+// N] and -resume FILE.
 //
 // The command-line tools (cmd/litmus, cmd/drfcheck, cmd/memsim,
 // cmd/racemon, cmd/experiments) and the examples directory exercise all
 // of the above; EXPERIMENTS.md records paper-versus-measured results for
 // every table and figure. cmd/racemon generates a million-event schedule
-// and monitors it materialised or fused through the parallel pipeline
-// (-pipeline -shards N), on a single sequential monitor (-stream), and
-// writes/ingests raw traces (-emit FILE [-wire 1|2], -trace FILE|-);
-// its JSON reports the windowed GC's live, peak and collected
-// RA-message counts. cmd/experiments -run bench emits
-// engine-versus-baseline timings as JSON (BENCH_engine.json) and
-// streaming-monitor throughput (BENCH_monitor.json: events/sec for the
-// sequential, fused, sharded, pipeline-{2,4,8}shard and wire-v2-decode
-// rows, the pipeline rows at a recorded multicore GOMAXPROCS, plus peak
-// live RA messages and allocs/event) so the performance trajectory is
-// tracked across PRs; CI fails if any racemon smoke run's report set —
-// including the pipeline at 4 back-ends and both wire-version round
-// trips — drifts from the committed golden.
+// (optionally Zipf-skewed: -skew S) and monitors it materialised or
+// fused through the parallel pipeline (-pipeline -shards N
+// [-rebalance]), on a single sequential monitor (-stream), and
+// writes/ingests raw traces (-emit FILE [-wire 1|2], -trace FILE|-,
+// decoded by -parsers N workers); its JSON reports the windowed GC's
+// live, peak and collected RA-message counts. cmd/experiments -run
+// bench emits engine-versus-baseline timings as JSON (BENCH_engine.json)
+// and streaming-monitor throughput (BENCH_monitor.json: events/sec for
+// the sequential, fused, sharded, pipeline-{2,4,8}shard,
+// wire-v2-decode, pipeline-{2,4}parser-{4,8}shard, skewed-zipf and
+// compaction-quiet rows — the last recording escalated-vector counts
+// before and after demotion — each parallel row at a recorded
+// GOMAXPROCS, plus peak live RA messages and allocs/event) so the
+// performance trajectory is tracked across PRs. cmd/experiments -run
+// bench-compare reruns the monitor suite and fails (exit nonzero, and
+// CI with it) if any row regresses more than 15% in events/sec against
+// the committed BENCH_monitor.json; CI also fails if any racemon smoke
+// run's report set — including the pipeline at 4 back-ends and both
+// wire-version round trips — drifts from the committed golden.
 package localdrf

@@ -1,0 +1,67 @@
+package engine
+
+// FanRing is an order-preserving fan-out/fan-in over per-worker
+// BatchQueues: one dispatcher hands items to N workers round-robin, each
+// worker ring is SPSC FIFO, and one collector reads the rings in the
+// same round-robin order — so the k-th item collected is the k-th item
+// dispatched, with no sequence numbers and no reorder buffer. The
+// streaming monitor's parallel trace parser rides on a pair of these
+// (raw frames out to the parse workers, decoded frames back in to the
+// ordering sequencer).
+//
+// The ordering guarantee needs the access discipline it is named for:
+// item k lives in ring k%N from Dispatch to Collect, worker i must
+// consume its ring (Worker(i)) in FIFO order and produce exactly one
+// output per input in the paired FanRing, and only one goroutine may
+// call Dispatch (and one Collect). Collect returns ok=false as soon as
+// the ring the next item would occupy is closed and drained — for a
+// collector that means the stream ended cleanly one item earlier.
+type FanRing[T any] struct {
+	rings []*BatchQueue[T]
+	put   int // ring the next Dispatch goes to
+	get   int // ring the next Collect reads from
+}
+
+// NewFanRing returns a fan over `workers` rings of the given depth each.
+// workers and depth are clamped to ≥ 1.
+func NewFanRing[T any](workers, depth int) *FanRing[T] {
+	if workers < 1 {
+		workers = 1
+	}
+	f := &FanRing[T]{rings: make([]*BatchQueue[T], workers)}
+	for i := range f.rings {
+		f.rings[i] = NewBatchQueue[T](depth)
+	}
+	return f
+}
+
+// Workers returns the number of rings.
+func (f *FanRing[T]) Workers() int { return len(f.rings) }
+
+// Worker returns worker i's ring — the queue that worker Gets its items
+// from (or Puts its results to, for a result-direction fan).
+func (f *FanRing[T]) Worker(i int) *BatchQueue[T] { return f.rings[i] }
+
+// Dispatch hands v to the next ring in round-robin order, blocking on
+// backpressure. It returns false if that ring is closed.
+func (f *FanRing[T]) Dispatch(v T) bool {
+	ok := f.rings[f.put].Put(v)
+	f.put = (f.put + 1) % len(f.rings)
+	return ok
+}
+
+// Collect returns the next item in dispatch order, blocking until it is
+// available. ok=false means the ring the item would have come from is
+// closed and drained — the end of an in-order stream.
+func (f *FanRing[T]) Collect() (T, bool) {
+	v, ok := f.rings[f.get].Get()
+	f.get = (f.get + 1) % len(f.rings)
+	return v, ok
+}
+
+// Close closes every ring (idempotent).
+func (f *FanRing[T]) Close() {
+	for _, q := range f.rings {
+		q.Close()
+	}
+}

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFanRingPreservesOrder: items dispatched round-robin to concurrent
+// workers and collected round-robin come back in dispatch order, even
+// though the workers run at different speeds.
+func TestFanRingPreservesOrder(t *testing.T) {
+	const workers, items = 4, 1000
+	in := NewFanRing[int](workers, 2)
+	out := NewFanRing[int](workers, 2)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer out.Worker(w).Close()
+			for {
+				v, ok := in.Worker(w).Get()
+				if !ok {
+					return
+				}
+				// Skew the workers: make some do more work per item so
+				// completion order differs from dispatch order.
+				for i := 0; i < w*1000; i++ {
+					v += 0
+				}
+				if !out.Worker(w).Put(v * 2) {
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		for i := 0; i < items; i++ {
+			if !in.Dispatch(i) {
+				t.Error("Dispatch returned false on open ring")
+				break
+			}
+		}
+		in.Close()
+	}()
+	for i := 0; i < items; i++ {
+		v, ok := out.Collect()
+		if !ok {
+			t.Fatalf("Collect: stream ended at item %d, want %d items", i, items)
+		}
+		if v != i*2 {
+			t.Fatalf("Collect item %d: got %d, want %d (order violated)", i, v, i*2)
+		}
+	}
+	if _, ok := out.Collect(); ok {
+		t.Fatal("Collect returned ok after all items were consumed")
+	}
+	wg.Wait()
+}
+
+// TestFanRingCloseUnblocks: closing the input side lets blocked workers
+// exit, and the collector sees a clean end once every ring drains.
+func TestFanRingCloseUnblocks(t *testing.T) {
+	in := NewFanRing[int](3, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for w := 0; w < in.Workers(); w++ {
+			if _, ok := in.Worker(w).Get(); ok {
+				t.Error("Get returned ok on closed empty ring")
+			}
+		}
+	}()
+	in.Close()
+	<-done
+}

@@ -89,11 +89,15 @@ func TestMonitorMatchesRacesOnRandom(t *testing.T) {
 // TestMonitorMatchesRacesOnSchedules closes the loop on generated
 // schedules: 210 streams (70 seeds × 3 policies) of scaled programs,
 // with stale reads, compared against the oracle on the synthesised
-// transitions. Every stream is checked twice — once with the default
+// transitions. Every tenth seed generates under a Zipf location skew
+// (LocSkew 1.3), so ~20 of the streams concentrate their nonatomic
+// traffic on a few hot locations — the regime the rebalancing router
+// exists for. Every stream is checked twice — once with the default
 // monitor and once with an aggressive GC interval, so the windowed RA
 // collection and epoch handoffs are exercised on every stream and proved
-// report-preserving. (Short streams: the oracle's transitive closure is
-// cubic.)
+// report-preserving — and the pipeline matrix runs with the
+// skew-adaptive router both off and on. (Short streams: the oracle's
+// transitive closure is cubic.)
 func TestMonitorMatchesRacesOnSchedules(t *testing.T) {
 	if testing.Short() {
 		t.Skip("exhaustive cross-validation skipped in -short mode")
@@ -107,9 +111,13 @@ func TestMonitorMatchesRacesOnSchedules(t *testing.T) {
 	for seed := int64(0); seed < 70; seed++ {
 		p := progsynth.Scaled(seed, cfg)
 		tb := monitor.NewTable(p)
+		var skew float64
+		if seed%10 == 0 {
+			skew = 1.3
+		}
 		for _, pol := range []schedgen.Policy{schedgen.Fair, schedgen.Unfair, schedgen.Bursty} {
 			events, _, err := schedgen.Generate(p, tb, schedgen.Options{
-				Policy: pol, Seed: seed * 17, MaxEvents: 260, StaleReadPct: 30,
+				Policy: pol, Seed: seed * 17, MaxEvents: 260, StaleReadPct: 30, LocSkew: skew,
 			}, nil)
 			if err != nil {
 				t.Fatal(err)
@@ -149,12 +157,14 @@ func TestMonitorMatchesRacesOnSchedules(t *testing.T) {
 			for _, shards := range []int{1, 2, 3, 4, 8} {
 				for _, batch := range []int{1, 64, 4096} {
 					for _, gc := range []uint64{16, 0} {
-						got := monitor.PipelineRaces(tb.Threads(), tb.Decls(), events, monitor.PipelineConfig{
-							Shards: shards, BatchSize: batch, GCInterval: gc,
-						})
-						if !race.ReportsEqual(got, want) {
-							t.Fatalf("seed %d %v shards=%d batch=%d gc=%d: pipeline diverged",
-								seed, pol, shards, batch, gc)
+						for _, reb := range []bool{false, true} {
+							got := monitor.PipelineRaces(tb.Threads(), tb.Decls(), events, monitor.PipelineConfig{
+								Shards: shards, BatchSize: batch, GCInterval: gc, Rebalance: reb,
+							})
+							if !race.ReportsEqual(got, want) {
+								t.Fatalf("seed %d %v shards=%d batch=%d gc=%d rebalance=%v: pipeline diverged",
+									seed, pol, shards, batch, gc, reb)
+							}
 						}
 					}
 				}
@@ -175,7 +185,7 @@ func TestMonitorMatchesRacesOnSchedules(t *testing.T) {
 			}
 			// Thread-retirement events never change the report set.
 			haltEvents, _, err := schedgen.Generate(p, tb, schedgen.Options{
-				Policy: pol, Seed: seed * 17, MaxEvents: 260, StaleReadPct: 30, EmitHalts: true,
+				Policy: pol, Seed: seed * 17, MaxEvents: 260, StaleReadPct: 30, LocSkew: skew, EmitHalts: true,
 			}, nil)
 			if err != nil {
 				t.Fatal(err)
@@ -191,19 +201,36 @@ func TestMonitorMatchesRacesOnSchedules(t *testing.T) {
 			for _, format := range []monitor.Format{monitor.Binary, monitor.BinaryV2} {
 				var buf bytes.Buffer
 				if _, _, err := schedgen.Encode(&buf, p, tb, schedgen.Options{
-					Policy: pol, Seed: seed * 17, MaxEvents: 260, StaleReadPct: 30,
+					Policy: pol, Seed: seed * 17, MaxEvents: 260, StaleReadPct: 30, LocSkew: skew,
 				}, format); err != nil {
 					t.Fatal(err)
 				}
-				decoded, err := monitor.ReadRaces(&buf)
+				data := buf.Bytes()
+				decoded, err := monitor.ReadRaces(bytes.NewReader(data))
 				if err != nil {
 					t.Fatal(err)
 				}
 				if !race.ReportsEqual(decoded, want) {
 					t.Fatalf("seed %d %v: %v wire round-trip diverged", seed, pol, format)
 				}
+				if format != monitor.BinaryV2 {
+					continue
+				}
+				// The parallel front-end must round-trip the same trace
+				// through a rebalancing pipeline at every parser count
+				// (parsers=1 is the sequential-fallback regression).
+				for _, parsers := range []int{1, 2, 4} {
+					preports, _, err := monitor.ReadRacesParallel(bytes.NewReader(data), parsers,
+						monitor.PipelineConfig{Shards: 2, Rebalance: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !race.ReportsEqual(preports, want) {
+						t.Fatalf("seed %d %v parsers=%d: parallel wire round-trip diverged", seed, pol, parsers)
+					}
+				}
 			}
 		}
 	}
-	t.Logf("monitor == race.Races on %d schedgen streams (windowed/adaptive GC + pipeline matrix)", streams)
+	t.Logf("monitor == race.Races on %d schedgen streams (windowed/adaptive GC + pipeline matrix ± rebalance, ~1/10 Zipf-skewed)", streams)
 }

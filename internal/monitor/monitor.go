@@ -250,6 +250,10 @@ type checker struct {
 	minClock []uint64
 	na       []naState
 	races    int
+	// escalatedSides counts the per-thread vectors currently escalated
+	// (write and read sides counted separately) — compaction telemetry,
+	// and the fast-path skip for sweeps with nothing to demote.
+	escalatedSides int
 }
 
 func newChecker(nthreads int, nlocs int, clocks [][]uint64, minClock []uint64) checker {
@@ -288,6 +292,59 @@ func (ck *checker) reset() {
 		}
 	}
 	ck.races = 0
+	ck.escalatedSides = 0
+}
+
+// compactAll demotes escalated per-thread vectors back to epochs wherever
+// the cached minimum frontier proves at most one entry still live: a
+// vector entry w with min_t C_t[u] ≥ w is already ordered before every
+// thread's next access, so it can never be the earlier half of a future
+// race and dropping it is exact — the same argument that lets epochs be
+// overwritten in place. Demotion strictly shrinks the live state (and the
+// snapshot encoding, which serialises vectors only while escalated).
+// It runs at every GC sweep, in the sequential monitor and the pipeline
+// back-ends alike, so the two paths demote at identical stream positions
+// and snapshots stay byte-identical across configurations.
+func (ck *checker) compactAll() {
+	if ck.escalatedSides == 0 {
+		return
+	}
+	for l := range ck.na {
+		ls := &ck.na[l]
+		if ls.wT == escalated {
+			if t, c, ok := ck.demote(ls.writes); ok {
+				ls.wT, ls.wC = t, c
+				clear(ls.writes)
+				ls.wClean = false
+				ck.escalatedSides--
+			}
+		}
+		if ls.rT == escalated {
+			if t, c, ok := ck.demote(ls.reads); ok {
+				ls.rT, ls.rC = t, c
+				clear(ls.reads)
+				ls.rClean = false
+				ck.escalatedSides--
+			}
+		}
+	}
+}
+
+// demote scans one escalated vector for entries still above the minimum
+// frontier. With zero live entries the side collapses to the empty epoch
+// (noEpoch); with exactly one it collapses to that entry's epoch; with
+// two or more the vector must stay (ok=false).
+func (ck *checker) demote(v []uint64) (int32, uint64, bool) {
+	liveT, liveC := noEpoch, uint64(0)
+	for u, w := range v {
+		if w > ck.minClock[u] {
+			if liveT != noEpoch {
+				return 0, 0, false
+			}
+			liveT, liveC = int32(u), w
+		}
+	}
+	return liveT, liveC, true
 }
 
 // Monitor is the streaming race detector. Create one with New, feed it
@@ -460,6 +517,11 @@ func (m *Monitor) RAStats() RAStats {
 // Events returns the number of events consumed since the last Reset.
 func (m *Monitor) Events() uint64 { return m.events }
 
+// EscalatedVectors returns the number of per-thread access vectors
+// currently escalated (write and read sides counted separately) — the
+// live-state pressure the GC-time compaction pass works against.
+func (m *Monitor) EscalatedVectors() int { return m.ck.escalatedSides }
+
 // RaceCount returns the number of distinct races reported so far.
 func (m *Monitor) RaceCount() int { return m.ck.races }
 
@@ -604,6 +666,7 @@ func (ck *checker) escalateWrites(ls *naState) {
 	ls.writes[ls.wT] = ls.wC
 	ls.wT = escalated
 	ls.wClean = false
+	ck.escalatedSides++
 }
 
 // escalateReads materialises the per-thread read vector from the current
@@ -615,6 +678,7 @@ func (ck *checker) escalateReads(ls *naState) {
 	ls.reads[ls.rT] = ls.rC
 	ls.rT = escalated
 	ls.rClean = false
+	ck.escalatedSides++
 }
 
 // report records one race (u's access earlier, t's later) in the
@@ -668,6 +732,10 @@ func (m *Monitor) gc() {
 			min[u] = ^uint64(0)
 		}
 	}
+	// The refreshed frontier may prove escalated vectors collapsible —
+	// demote them while it is exact (the pipeline front-end owns no
+	// checker; its back-ends compact at the same barrier, in-band).
+	m.ck.compactAll()
 	preLive := uint64(m.raLive) // the pressure that built up this window
 	var collected uint64
 	for l, mm := range m.ra {

@@ -83,6 +83,17 @@ type PipelineConfig struct {
 	// AdaptiveGCMax > 0; they take precedence over GCInterval. As with
 	// every interval schedule, the report set is unchanged.
 	AdaptiveGCMin, AdaptiveGCMax uint64
+	// Rebalance enables the skew-adaptive router: the front-end counts
+	// nonatomic records per location and, at GC-sweep barriers where one
+	// back-end carries more than ~1.5× the mean traffic, quiesces the
+	// rings and migrates the hottest locations to the least-loaded
+	// back-end (the location's epoch/vector state moves wholesale while
+	// nothing is in flight). The static loc-mod-shards split degenerates
+	// under skewed traffic — one back-end can receive nearly every
+	// record; see TestRebalanceBoundsHotShard. Reports, retention
+	// statistics and snapshots are identical with or without rebalancing
+	// at every configuration.
+	Rebalance bool
 }
 
 func (cfg PipelineConfig) withDefaults() PipelineConfig {
@@ -98,7 +109,7 @@ func (cfg PipelineConfig) withDefaults() PipelineConfig {
 	return cfg
 }
 
-// Record op codes, packed into pipeRec.tk's low 2 bits. The NA access
+// Record op codes, packed into pipeRec.tk's low 3 bits. The NA access
 // ops deliberately equal the Kind values so routing is a mask, not a
 // translation.
 const (
@@ -106,6 +117,7 @@ const (
 	opWriteNA = uint32(WriteNA) // NA write: likewise
 	opClock   = uint32(2)       // clock delta: clocks[thread][loc] = aux
 	opMin     = uint32(3)       // frontier: minClock[loc] = aux
+	opCompact = uint32(4)       // GC barrier: demote collapsible vectors
 )
 
 // pipeRec is one routed record: 16 bytes, so a 4096-record batch is one
@@ -113,7 +125,7 @@ const (
 type pipeRec struct {
 	aux uint64 // NA access: the thread's own clock component; else value
 	loc int32  // NA access: the owner's dense location index; clock/min: the clock index updated
-	tk  uint32 // thread<<2 | op
+	tk  uint32 // thread<<3 | op
 }
 
 // lane is the front-end's buffered view of one back-end's input ring.
@@ -158,6 +170,11 @@ type backend struct {
 	// enqueues a nil batch after flushing, and the back-end answers once
 	// every earlier record has been applied (see Pipeline.quiesce).
 	ack chan struct{}
+	// naApplied counts the nonatomic access records this back-end has
+	// applied — the load the rebalancing router redistributes (clock and
+	// frontier broadcasts reach every back-end equally and are not
+	// counted). Read by the front-end only behind a quiesce or Finish.
+	naApplied uint64
 }
 
 func (b *backend) run() {
@@ -175,20 +192,27 @@ func (b *backend) run() {
 		}
 		for i := range batch {
 			r := &batch[i]
-			t := int32(r.tk >> 2)
-			switch r.tk & 3 {
+			t := int32(r.tk >> 3)
+			switch r.tk & 7 {
 			case opReadNA:
 				c := ck.clocks[t]
 				c[t] = r.aux
 				ck.readNA(&ck.na[r.loc], t, c)
+				b.naApplied++
 			case opWriteNA:
 				c := ck.clocks[t]
 				c[t] = r.aux
 				ck.writeNA(&ck.na[r.loc], t, c)
+				b.naApplied++
 			case opClock:
 				ck.clocks[t][r.loc] = r.aux
-			default: // opMin
+			case opMin:
 				ck.minClock[r.loc] = r.aux
+			default: // opCompact
+				// GC barrier marker, sent after the frontier refresh: demote
+				// collapsible vectors at the same stream position the
+				// sequential monitor does.
+				ck.compactAll()
 			}
 		}
 		b.free.Put(batch)
@@ -201,17 +225,26 @@ func (b *backend) run() {
 // then call Finish to drain the back-ends and merge the reports. After
 // Finish the pipeline must not be fed again.
 type Pipeline struct {
-	fe      *Monitor // front-end: clocks, atomics, RA messages, GC; built checker-free by newSync
-	shards  int
-	owner   []int32 // owner[loc]: back-end index (loc % shards, precomputed)
-	dense   []int32 // dense[loc]: index in the owner's checker (loc / shards)
-	lanes   []*lane
-	backs   []*backend
-	wg      sync.WaitGroup
-	changed []int32 // scratch for joinTrack
-	done    bool
-	reports []race.Report
-	races   int
+	fe     *Monitor // front-end: clocks, atomics, RA messages, GC; built checker-free by newSync
+	shards int
+	owner  []int32 // owner[loc]: back-end index (initially loc % shards; rebalancing remaps)
+	dense  []int32 // dense[loc]: index in the owner's checker (initially loc / shards)
+	// backLocs[s][d] is the declaration index stored at back-end s's dense
+	// slot d — the inverse of owner/dense, needed for the swap-remove when
+	// a location migrates away.
+	backLocs [][]int32
+	lanes    []*lane
+	backs    []*backend
+	wg       sync.WaitGroup
+	changed  []int32 // scratch for joinTrack
+	done     bool
+	reports  []race.Report
+	races    int
+	// Skew-adaptive routing state (nil/zero unless cfg.Rebalance).
+	rebalance  bool
+	traffic    []uint32 // NA records per location, halved each sweep (recency-biased)
+	loads      []uint64 // scratch: per-back-end traffic at a sweep
+	migrations uint64   // locations migrated so far (telemetry)
 }
 
 // NewPipeline starts cfg.Shards race back-end goroutines for a stream of
@@ -241,17 +274,25 @@ func applyGC(fe *Monitor, cfg PipelineConfig) {
 func newPipelineFrom(fe *Monitor, cfg PipelineConfig) *Pipeline {
 	nthreads, decls := fe.nthreads, fe.decls
 	p := &Pipeline{
-		fe:      fe,
-		shards:  cfg.Shards,
-		owner:   make([]int32, len(decls)),
-		dense:   make([]int32, len(decls)),
-		lanes:   make([]*lane, cfg.Shards),
-		backs:   make([]*backend, cfg.Shards),
-		changed: make([]int32, 0, nthreads),
+		fe:       fe,
+		shards:   cfg.Shards,
+		owner:    make([]int32, len(decls)),
+		dense:    make([]int32, len(decls)),
+		backLocs: make([][]int32, cfg.Shards),
+		lanes:    make([]*lane, cfg.Shards),
+		backs:    make([]*backend, cfg.Shards),
+		changed:  make([]int32, 0, nthreads),
 	}
 	for l := range p.owner {
-		p.owner[l] = int32(l % cfg.Shards)
+		s := l % cfg.Shards
+		p.owner[l] = int32(s)
 		p.dense[l] = int32(l / cfg.Shards)
+		p.backLocs[s] = append(p.backLocs[s], int32(l))
+	}
+	if cfg.Rebalance {
+		p.rebalance = true
+		p.traffic = make([]uint32, len(decls))
+		p.loads = make([]uint64, cfg.Shards)
 	}
 	for s := 0; s < cfg.Shards; s++ {
 		free := engine.NewBatchQueue[[]pipeRec](cfg.QueueDepth + 2)
@@ -295,9 +336,16 @@ func newPipelineFrom(fe *Monitor, cfg PipelineConfig) *Pipeline {
 		// the sync half must not retain it.
 		for l := range fe.ck.na {
 			b := p.backs[p.owner[l]]
-			b.ck.na[p.dense[l]] = fe.ck.na[l]
-			for _, mask := range fe.ck.na[l].reported {
+			st := fe.ck.na[l]
+			b.ck.na[p.dense[l]] = st
+			for _, mask := range st.reported {
 				b.ck.races += bits.OnesCount8(mask)
+			}
+			if st.wT == escalated {
+				b.ck.escalatedSides++
+			}
+			if st.rT == escalated {
+				b.ck.escalatedSides++
 			}
 		}
 		fe.ck = checker{}
@@ -324,13 +372,19 @@ func (p *Pipeline) Step(e Event) {
 	if m.events >= m.nextGC {
 		m.gc()
 		p.broadcastMin()
+		if p.rebalance {
+			p.maybeRebalance()
+		}
 	}
 	switch e.Kind {
 	case ReadNA, WriteNA:
+		if p.rebalance {
+			p.traffic[e.Loc]++
+		}
 		p.lanes[p.owner[e.Loc]].put(pipeRec{
 			aux: c[t],
 			loc: p.dense[e.Loc], // the back-end's own dense index
-			tk:  uint32(e.Thread)<<2 | uint32(e.Kind),
+			tk:  uint32(e.Thread)<<3 | uint32(e.Kind),
 		})
 	case ReadAT:
 		p.changed = joinTrack(c, m.at[e.Loc], p.changed[:0])
@@ -375,7 +429,7 @@ func (p *Pipeline) FeedBatch(src BatchSource) error {
 // last join (p.changed) to every back-end, in stream position.
 func (p *Pipeline) broadcastClock(t int32, c []uint64) {
 	for _, u := range p.changed {
-		r := pipeRec{aux: c[u], loc: u, tk: uint32(t)<<2 | opClock}
+		r := pipeRec{aux: c[u], loc: u, tk: uint32(t)<<3 | opClock}
 		for _, ln := range p.lanes {
 			ln.put(r)
 		}
@@ -384,13 +438,17 @@ func (p *Pipeline) broadcastClock(t int32, c []uint64) {
 
 // broadcastMin sends the refreshed minimum frontier to every back-end —
 // the epoch-overwrite criterion must flip at the same stream position
-// everywhere.
+// everywhere — followed by the GC-barrier marker that triggers the
+// back-ends' compaction sweep over the completed frontier.
 func (p *Pipeline) broadcastMin() {
 	for u, v := range p.fe.minClock {
 		r := pipeRec{aux: v, loc: int32(u), tk: opMin}
 		for _, ln := range p.lanes {
 			ln.put(r)
 		}
+	}
+	for _, ln := range p.lanes {
+		ln.put(pipeRec{tk: opCompact})
 	}
 }
 
@@ -432,6 +490,160 @@ func (p *Pipeline) quiesce() {
 	for _, b := range p.backs {
 		<-b.ack
 	}
+}
+
+// maxMigrationsPerSweep caps the rebalancer's work at one barrier so a
+// pathological traffic pattern cannot turn a GC sweep into an unbounded
+// repartitioning pass.
+const maxMigrationsPerSweep = 32
+
+// maybeRebalance runs at a GC-sweep barrier when rebalancing is enabled:
+// if the recency-weighted traffic of the most-loaded back-end exceeds
+// ~1.5× the mean, the rings are quiesced (so nothing is in flight) and
+// the hottest locations migrate greedily from the most- to the
+// least-loaded back-end until the imbalance closes or the per-sweep cap
+// is hit. A migration moves the location's naState wholesale between the
+// two checkers — the same checking code then sees the same state at the
+// same stream positions, so reports and snapshots are unchanged by
+// construction. Traffic counters are halved afterwards, biasing future
+// decisions toward recent behaviour (a phase change re-triggers).
+func (p *Pipeline) maybeRebalance() {
+	if p.shards < 2 {
+		return
+	}
+	loads := p.loads
+	clear(loads)
+	var total uint64
+	for l, n := range p.traffic {
+		loads[p.owner[l]] += uint64(n)
+		total += uint64(n)
+	}
+	avg := total / uint64(p.shards)
+	if hi, _ := loadExtremes(loads); total == 0 || loads[hi] <= avg+avg/2 {
+		p.decayTraffic()
+		return
+	}
+	p.quiesce()
+	for moves := 0; moves < maxMigrationsPerSweep; moves++ {
+		hi, lo := loadExtremes(loads)
+		gap := loads[hi] - loads[lo]
+		if loads[hi] <= avg+avg/2 || gap < 2 {
+			break
+		}
+		// The hottest location of the overloaded back-end whose move
+		// strictly narrows the gap (moving more than the gap would just
+		// swap which back-end is hot).
+		best, bestN := int32(-1), uint32(0)
+		for _, l := range p.backLocs[hi] {
+			if n := p.traffic[l]; n > bestN && uint64(n) < gap {
+				best, bestN = l, n
+			}
+		}
+		if best < 0 {
+			break
+		}
+		p.moveLoc(best, int32(hi), int32(lo))
+		loads[hi] -= uint64(bestN)
+		loads[lo] += uint64(bestN)
+	}
+	p.decayTraffic()
+}
+
+// loadExtremes returns the indices of the most- and least-loaded
+// back-ends.
+func loadExtremes(loads []uint64) (hi, lo int) {
+	for s, v := range loads {
+		if v > loads[hi] {
+			hi = s
+		}
+		if v < loads[lo] {
+			lo = s
+		}
+	}
+	return hi, lo
+}
+
+// decayTraffic halves every traffic counter — exponential decay, so the
+// router tracks the recent window rather than the whole stream.
+func (p *Pipeline) decayTraffic() {
+	for l := range p.traffic {
+		p.traffic[l] >>= 1
+	}
+}
+
+// moveLoc migrates declaration index l from back-end a to back-end b.
+// Must only be called while the rings are quiesced: the two checkers'
+// state is mutated from the feeding goroutine, ordered against the
+// back-end goroutines by the quiesce ack (before) and the next ring Put
+// (after). The vacated dense slot is filled by swap-remove, and the race
+// count and escalation telemetry ride along with the moved state.
+func (p *Pipeline) moveLoc(l, a, b int32) {
+	cka, ckb := &p.backs[a].ck, &p.backs[b].ck
+	d := p.dense[l]
+	st := cka.na[d]
+	last := int32(len(cka.na) - 1)
+	if d != last {
+		cka.na[d] = cka.na[last]
+		moved := p.backLocs[a][last]
+		p.backLocs[a][d] = moved
+		p.dense[moved] = d
+	}
+	cka.na = cka.na[:last]
+	p.backLocs[a] = p.backLocs[a][:last]
+	p.owner[l] = b
+	p.dense[l] = int32(len(ckb.na))
+	ckb.na = append(ckb.na, st)
+	p.backLocs[b] = append(p.backLocs[b], l)
+	if st.reported != nil {
+		n := 0
+		for _, mask := range st.reported {
+			n += bits.OnesCount8(mask)
+		}
+		cka.races -= n
+		ckb.races += n
+	}
+	if st.wT == escalated {
+		cka.escalatedSides--
+		ckb.escalatedSides++
+	}
+	if st.rT == escalated {
+		cka.escalatedSides--
+		ckb.escalatedSides++
+	}
+	p.migrations++
+}
+
+// BackendLoads returns the number of nonatomic access records each
+// back-end has applied so far — the balance the skew-adaptive router
+// maintains. It quiesces a live pipeline so in-flight batches are
+// counted.
+func (p *Pipeline) BackendLoads() []uint64 {
+	if !p.done {
+		p.quiesce()
+	}
+	out := make([]uint64, len(p.backs))
+	for s, b := range p.backs {
+		out[s] = b.naApplied
+	}
+	return out
+}
+
+// Migrations returns how many location migrations the rebalancer has
+// performed.
+func (p *Pipeline) Migrations() uint64 { return p.migrations }
+
+// EscalatedVectors returns the number of per-thread access vectors
+// currently escalated across all back-ends (see Monitor.EscalatedVectors).
+// It quiesces a live pipeline first.
+func (p *Pipeline) EscalatedVectors() int {
+	if !p.done {
+		p.quiesce()
+	}
+	n := 0
+	for _, b := range p.backs {
+		n += b.ck.escalatedSides
+	}
+	return n
 }
 
 // Snapshot serialises the pipeline's complete state to w after a

@@ -962,12 +962,14 @@ func (d *snapDecoder) decodeNA(m *Monitor) error {
 			if err := c.clock(ls.writes, "write vector"); err != nil {
 				return err
 			}
+			m.ck.escalatedSides++
 		}
 		if ls.rT == escalated {
 			ls.reads = make([]uint64, m.nthreads)
 			if err := c.clock(ls.reads, "read vector"); err != nil {
 				return err
 			}
+			m.ck.escalatedSides++
 		}
 		if flags&4 != 0 {
 			raw, err := c.take(m.nthreads*m.nthreads, "dedup masks")

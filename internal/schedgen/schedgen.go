@@ -26,6 +26,8 @@ package schedgen
 import (
 	"fmt"
 	"io"
+	"math"
+	"sort"
 
 	"localdrf/internal/monitor"
 	"localdrf/internal/prog"
@@ -135,6 +137,18 @@ type Options struct {
 	// existing streams stay byte-identical; halts never change the
 	// monitor's report set, only retention.
 	EmitHalts bool
+	// LocSkew, when > 0, redirects every nonatomic access to a location
+	// drawn per-event from a Zipf distribution with this exponent over
+	// the declared nonatomic locations (rank r has weight 1/(r+1)^s, rank
+	// 0 being the first nonatomic declaration — so low dense indices run
+	// hot). Skewed streams exercise the sharded pipeline's hot-location
+	// paths and its rebalancing router; under the package's plausible-
+	// schedule contract the redirection is harmless — reads still return
+	// entries of the (redirected) location's own history, and the race
+	// oracle and monitor agree on any stream. 0 (the default) leaves
+	// streams byte-identical to previous releases; enabling it costs one
+	// extra random draw per nonatomic event.
+	LocSkew float64
 }
 
 // cell is the bounded write history of one location: a ring of the most
@@ -304,6 +318,32 @@ func Stream(p *prog.Program, tb *monitor.Table, opt Options, emit func(monitor.E
 		}
 	}
 
+	// Zipf redirection table for LocSkew: the nonatomic locations in
+	// dense-index order (rank order) and the normalised CDF of their
+	// 1/(rank+1)^s weights. One binary search per nonatomic event.
+	var skewLocs []int32
+	var skewCDF []float64
+	if opt.LocSkew > 0 {
+		for i, d := range decls {
+			if d.Kind == prog.NonAtomic {
+				skewLocs = append(skewLocs, int32(i))
+			}
+		}
+		if len(skewLocs) > 1 {
+			skewCDF = make([]float64, len(skewLocs))
+			sum := 0.0
+			for i := range skewLocs {
+				sum += 1 / math.Pow(float64(i+1), opt.LocSkew)
+				skewCDF[i] = sum
+			}
+			for i := range skewCDF {
+				skewCDF[i] /= sum
+			}
+		} else {
+			skewLocs = nil // nothing to skew toward
+		}
+	}
+
 	// Mutable thread states.
 	states := make([]prog.ThreadState, len(p.Threads))
 	for i := range states {
@@ -378,6 +418,17 @@ func Stream(p *prog.Program, tb *monitor.Table, opt Options, emit func(monitor.E
 		}
 		// StepSilentInPlace leaves PC at the pending Load/Store.
 		loc := locAt[t][st.PC]
+		if skewLocs != nil && decls[loc].Kind == prog.NonAtomic {
+			// Redirect the access along the Zipf CDF. The top 53 bits of
+			// one xorshift draw give a uniform float in [0,1) — platform-
+			// stable, so skewed streams stay deterministic per seed.
+			u := float64(r.next()>>11) / (1 << 53)
+			i := sort.SearchFloat64s(skewCDF, u)
+			if i >= len(skewLocs) {
+				i = len(skewLocs) - 1
+			}
+			loc = skewLocs[i]
+		}
 		ev := monitor.Event{Thread: int32(t), Loc: loc}
 		kind := decls[loc].Kind
 		if pend.Kind == prog.OpRead {

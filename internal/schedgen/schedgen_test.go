@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"localdrf/internal/monitor"
+	"localdrf/internal/prog"
 	"localdrf/internal/progsynth"
 	"localdrf/internal/race"
 )
@@ -382,5 +383,91 @@ func TestWireV2SmallerThanV1(t *testing.T) {
 	}
 	if !race.ReportsEqual(r1, r2) {
 		t.Fatal("v1 and v2 decoded streams report different races")
+	}
+}
+
+// TestLocSkew: skewed streams are deterministic, leave the unskewed
+// stream byte-identical when disabled, concentrate nonatomic traffic on
+// the low-rank locations, and keep monitor/oracle agreement.
+func TestLocSkew(t *testing.T) {
+	cfg := smallCfg()
+	cfg.NonAtomic = 12
+	p := progsynth.Scaled(7, cfg)
+	tb := monitor.NewTable(p)
+	base := Options{Policy: Fair, Seed: 33, MaxEvents: 8000, StaleReadPct: 20}
+
+	plain, _, err := Generate(p, tb, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := base
+	zero.LocSkew = 0
+	again, _, err := Generate(p, tb, zero, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(plain) {
+		t.Fatalf("LocSkew=0 changed the stream length: %d vs %d", len(again), len(plain))
+	}
+	for i := range plain {
+		if again[i] != plain[i] {
+			t.Fatalf("LocSkew=0 changed the stream at event %d", i)
+		}
+	}
+
+	skew := base
+	skew.LocSkew = 1.4
+	a, _, err := Generate(p, tb, skew, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(p, tb, skew, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("skewed stream nondeterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("skewed streams diverge at event %d", i)
+		}
+	}
+
+	// Concentration: the hottest nonatomic location must carry well over
+	// the uniform share of nonatomic traffic.
+	decls := tb.Decls()
+	counts := map[int32]int{}
+	naTotal, naLocs := 0, 0
+	for _, d := range decls {
+		if d.Kind == prog.NonAtomic {
+			naLocs++
+		}
+	}
+	for _, e := range a {
+		if e.Kind == monitor.ReadNA || e.Kind == monitor.WriteNA {
+			if decls[e.Loc].Kind != prog.NonAtomic {
+				t.Fatalf("nonatomic event redirected to non-NA location %d", e.Loc)
+			}
+			counts[e.Loc]++
+			naTotal++
+		}
+	}
+	hot := 0
+	for _, n := range counts {
+		if n > hot {
+			hot = n
+		}
+	}
+	if hot*naLocs < 2*naTotal {
+		t.Fatalf("hottest location carries %d/%d NA events over %d locations — no skew visible",
+			hot, naTotal, naLocs)
+	}
+
+	m := tb.NewMonitor()
+	m.StepBatch(a[:400])
+	want := race.Races(monitor.Transitions(a[:400], decls))
+	if !race.ReportsEqual(m.Reports(), want) {
+		t.Fatalf("skewed stream: monitor %v, oracle %v", m.Reports(), want)
 	}
 }

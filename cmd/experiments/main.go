@@ -7,6 +7,7 @@
 //	experiments -run bench [-bench-json BENCH_engine.json] [-monitor-json BENCH_monitor.json]
 //	experiments -run bench-monitor [-monitor-json BENCH_monitor.json]
 //	experiments -run bench-compare [-monitor-json BENCH_monitor.json]
+//	experiments -run bench-plot [-plot-out bench_plot.svg] [BENCH.json ...]
 //
 // The semantic experiments (examples, equivalence, x86, arm, opt, drf)
 // are exact model-checking results and must reproduce the paper's
@@ -38,7 +39,16 @@
 // events/sec against the committed -monitor-json baseline, exiting
 // nonzero if any tracked row regressed by more than 15% — the CI
 // performance gate. Rows present on only one side are reported but not
-// compared.
+// compared. Both bench JSON writers record the host CPU model and Go
+// toolchain version; bench-compare warns (without failing) when the
+// baseline's provenance differs from the current host.
+//
+// bench-plot renders the events/sec trajectory across one or more bench
+// JSON snapshots (given as positional arguments, in plot order;
+// defaults to BENCH_monitor.json) as a dependency-free SVG of small
+// multiples — one panel per bench row. CI plots the committed baseline
+// against the fresh bench-monitor run and uploads the SVG as an
+// artifact.
 package main
 
 import (
@@ -49,6 +59,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"localdrf"
@@ -61,6 +72,7 @@ import (
 var (
 	benchJSON   = flag.String("bench-json", "", "write bench results as JSON to this file")
 	monitorJSON = flag.String("monitor-json", "BENCH_monitor.json", "write monitor bench results as JSON to this file (empty disables)")
+	plotOut     = flag.String("plot-out", "bench_plot.svg", "where bench-plot writes its SVG")
 )
 
 func main() {
@@ -103,6 +115,13 @@ func main() {
 	if *run == "bench-compare" {
 		if err := benchCompare(); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment bench-compare failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *run == "bench-plot" {
+		if err := benchPlot(flag.Args(), *plotOut); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment bench-plot failed: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -458,6 +477,38 @@ type benchResult struct {
 	EscalatedAfter  int `json:"escalated_after,omitempty"`
 }
 
+// benchDoc is the on-disk shape of a BENCH_*.json file: the rows plus
+// the provenance needed to judge whether two files are comparable
+// (bench numbers from different CPUs or toolchains are trajectories,
+// not regressions).
+type benchDoc struct {
+	Generated  string        `json:"generated"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	CPUModel   string        `json:"cpu_model,omitempty"`
+	GoVersion  string        `json:"go_version,omitempty"`
+	Results    []benchResult `json:"results"`
+}
+
+// cpuModel best-effort identifies the host CPU. Linux exposes it in
+// /proc/cpuinfo ("model name" on x86, sometimes "Processor"/"uarch"
+// elsewhere); when unreadable the architecture is better than nothing.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			key, val, ok := strings.Cut(line, ":")
+			if !ok {
+				continue
+			}
+			switch strings.TrimSpace(key) {
+			case "model name", "Processor", "uarch":
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return runtime.GOOS + "/" + runtime.GOARCH
+}
+
 // timeIt runs fn repeatedly for at least ~200ms (and at least 3 times)
 // and records the mean time per run.
 func timeIt(name string, results *[]benchResult, fn func() error) error {
@@ -532,13 +583,11 @@ func writeBenchJSON(path string, results []benchResult) error {
 	if path == "" {
 		return nil
 	}
-	doc := struct {
-		Generated  string        `json:"generated"`
-		GoMaxProcs int           `json:"gomaxprocs"`
-		Results    []benchResult `json:"results"`
-	}{
+	doc := benchDoc{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+		GoVersion:  runtime.Version(),
 		Results:    results,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
@@ -611,6 +660,39 @@ func benchMonitorResults() ([]benchResult, error) {
 	results[online].RAPeakLive = st.Peak
 	results[online].RACollected = st.Collected
 	results[online].AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(nevents)
+	// Telemetry overhead: the identical single-core pass with a scraper
+	// goroutine polling Obs().Snapshot() every millisecond — the /stats
+	// endpoint's access pattern. The acceptance bound for the obs layer
+	// is this row staying within 2% of online-bursty-1M; bench-compare
+	// tracks it against its own baseline like every other row.
+	if err := timeIt("monitor/obs-overhead-1M", &results, func() error {
+		mon.Reset()
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			reg := mon.Obs()
+			tick := time.NewTicker(time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					_ = reg.Snapshot()
+				}
+			}
+		}()
+		for _, e := range stream {
+			mon.Step(e)
+		}
+		close(stop)
+		<-done
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	obsRow := len(results) - 1
 	// The checkpoint of the fully-monitored stream IS the live state —
 	// record its size on the online row, and time the codec round trip.
 	var snapBuf bytes.Buffer
@@ -795,6 +877,8 @@ func benchMonitorResults() ([]benchResult, error) {
 	fmt.Printf("monitor throughput: %.1fM events/sec single-core (%d distinct races; RA live peak %d, %d collected, %.3f allocs/event)\n",
 		results[online].EventsPerSec/1e6, mon.RaceCount(), st.Peak, st.Collected,
 		results[online].AllocsPerEvent)
+	fmt.Printf("telemetry overhead: %+.1f%% vs online-bursty-1M with a 1ms Obs().Snapshot() scraper\n",
+		100*(results[obsRow].NsPerOp/results[online].NsPerOp-1))
 	return results, nil
 }
 
@@ -812,11 +896,19 @@ func benchCompare() error {
 	if err != nil {
 		return fmt.Errorf("bench-compare: %w (is the baseline committed?)", err)
 	}
-	var doc struct {
-		Results []benchResult `json:"results"`
-	}
+	var doc benchDoc
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return fmt.Errorf("bench-compare: baseline %s: %w", path, err)
+	}
+	// Provenance mismatches downgrade trust, not the exit code: numbers
+	// from a different CPU or toolchain move for reasons that are not
+	// regressions, so flag them loudly and let the human judge.
+	if host := cpuModel(); doc.CPUModel != "" && doc.CPUModel != host {
+		fmt.Printf("bench-compare: WARNING: baseline measured on %q, this host is %q — deltas may reflect hardware, not code\n",
+			doc.CPUModel, host)
+	}
+	if v := runtime.Version(); doc.GoVersion != "" && doc.GoVersion != v {
+		fmt.Printf("bench-compare: WARNING: baseline built with %s, this run with %s\n", doc.GoVersion, v)
 	}
 	base := map[string]benchResult{}
 	for _, r := range doc.Results {

@@ -1,0 +1,250 @@
+package main
+
+// bench-plot renders the throughput trajectory recorded in BENCH_*.json
+// snapshots as a hand-rolled SVG — no dependencies, committed nowhere,
+// uploaded by CI as an artifact next to the bench JSON it plots.
+//
+// Form: small multiples — one panel per bench row, the single
+// events/sec series drawn left to right over the input files in the
+// order given. One series per panel means no legend; the panel title
+// names it. The last point carries a direct value label; every marker
+// carries a <title> tooltip. Colors are the validated default chart
+// palette (series blue on the light surface, text in ink tokens, never
+// the series color).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The light-mode chart tokens (surface, ink, muted ink, gridline, and
+// the series-1 blue) from the validated reference palette.
+const (
+	plotSurface = "#fcfcfb"
+	plotInk     = "#0b0b0b"
+	plotInk2    = "#52514e"
+	plotMuted   = "#898781"
+	plotGrid    = "#e1e0d9"
+	plotBlue    = "#2a78d6"
+)
+
+// benchPlot reads the bench JSON snapshots at paths (default: the
+// committed BENCH_monitor.json alone) and writes the SVG to out.
+func benchPlot(paths []string, out string) error {
+	if len(paths) == 0 {
+		paths = []string{"BENCH_monitor.json"}
+	}
+	docs := make([]benchDoc, len(paths))
+	labels := make([]string, len(paths))
+	for i, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return fmt.Errorf("bench-plot: %w", err)
+		}
+		if err := json.Unmarshal(data, &docs[i]); err != nil {
+			return fmt.Errorf("bench-plot: %s: %w", p, err)
+		}
+		labels[i] = strings.TrimSuffix(filepath.Base(p), ".json")
+	}
+
+	// One panel per row name that reports a throughput, in first-seen
+	// order across the snapshots; a row absent from a snapshot simply has
+	// no point there.
+	type panel struct {
+		name   string
+		points []float64 // NaN = absent
+	}
+	var panels []panel
+	index := map[string]int{}
+	for di, doc := range docs {
+		for _, r := range doc.Results {
+			if r.EventsPerSec <= 0 {
+				continue
+			}
+			pi, ok := index[r.Name]
+			if !ok {
+				pi = len(panels)
+				index[r.Name] = pi
+				pts := make([]float64, len(docs))
+				for j := range pts {
+					pts[j] = math.NaN()
+				}
+				panels = append(panels, panel{name: r.Name, points: pts})
+			}
+			panels[pi].points[di] = r.EventsPerSec
+		}
+	}
+	if len(panels) == 0 {
+		return fmt.Errorf("bench-plot: no rows with events/sec in %v", paths)
+	}
+
+	// Layout: a 3-column grid of fixed-size panels under a title block.
+	const (
+		panelW, panelH = 320.0, 170.0
+		cols           = 3
+		marginX        = 24.0
+		marginTop      = 64.0
+		marginBot      = 28.0
+		gapX, gapY     = 16.0, 18.0
+	)
+	rows := (len(panels) + cols - 1) / cols
+	width := marginX*2 + panelW*cols + gapX*(cols-1)
+	height := marginTop + panelH*float64(rows) + gapY*float64(rows-1) + marginBot
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f" font-family="system-ui, sans-serif">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%.0f" height="%.0f" fill="%s"/>`+"\n", width, height, plotSurface)
+	fmt.Fprintf(&b, `<text x="%.0f" y="28" font-size="17" font-weight="600" fill="%s">Streaming-monitor throughput across bench snapshots</text>`+"\n",
+		marginX, plotInk)
+	last := docs[len(docs)-1]
+	sub := fmt.Sprintf("events/sec per row · snapshots: %s", strings.Join(labels, " → "))
+	if last.CPUModel != "" {
+		sub += " · " + last.CPUModel
+	}
+	fmt.Fprintf(&b, `<text x="%.0f" y="48" font-size="12" fill="%s">%s</text>`+"\n", marginX, plotInk2, xmlEscape(sub))
+
+	for i, p := range panels {
+		px := marginX + float64(i%cols)*(panelW+gapX)
+		py := marginTop + float64(i/cols)*(panelH+gapY)
+		drawPanel(&b, px, py, panelW, panelH, p.name, p.points, labels)
+	}
+	b.WriteString("</svg>\n")
+
+	if err := os.WriteFile(out, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d panels × %d snapshots)\n", out, len(panels), len(docs))
+	return nil
+}
+
+// drawPanel renders one small multiple: title, gridlines, y ticks, the
+// series polyline with markers, and a direct label on the last point.
+func drawPanel(b *strings.Builder, px, py, w, h float64, name string, pts []float64, labels []string) {
+	const (
+		padL, padR = 46.0, 14.0
+		padT, padB = 24.0, 20.0
+	)
+	plotW, plotH := w-padL-padR, h-padT-padB
+	x0, y0 := px+padL, py+padT
+
+	maxV := 0.0
+	for _, v := range pts {
+		if !math.IsNaN(v) && v > maxV {
+			maxV = v
+		}
+	}
+	top := niceCeil(maxV)
+
+	title := strings.TrimPrefix(name, "monitor/")
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="12" font-weight="600" fill="%s">%s</text>`+"\n",
+		px, py+14, plotInk, xmlEscape(title))
+
+	// Horizontal gridlines at 0 / ½ / max of the nice ceiling, baseline
+	// included — recessive, behind the data.
+	for _, f := range []float64{0, 0.5, 1} {
+		gy := y0 + plotH*(1-f)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+			x0, gy, x0+plotW, gy, plotGrid)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="9" fill="%s" text-anchor="end">%s</text>`+"\n",
+			x0-5, gy+3, plotMuted, humanRate(top*f))
+	}
+
+	xAt := func(i int) float64 {
+		if len(pts) == 1 {
+			return x0 + plotW/2
+		}
+		return x0 + plotW*float64(i)/float64(len(pts)-1)
+	}
+	yAt := func(v float64) float64 { return y0 + plotH*(1-v/top) }
+
+	// The series: a 2px line through the present points, then ≥8px
+	// markers with a 2px surface ring and native <title> tooltips.
+	var poly []string
+	for i, v := range pts {
+		if !math.IsNaN(v) {
+			poly = append(poly, fmt.Sprintf("%.1f,%.1f", xAt(i), yAt(v)))
+		}
+	}
+	if len(poly) > 1 {
+		fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>`+"\n",
+			strings.Join(poly, " "), plotBlue)
+	}
+	lastIdx := -1
+	for i, v := range pts {
+		if math.IsNaN(v) {
+			continue
+		}
+		lastIdx = i
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s" stroke="%s" stroke-width="2"><title>%s: %s ev/s</title></circle>`+"\n",
+			xAt(i), yAt(v), plotBlue, plotSurface, xmlEscape(labels[i]), humanRate(v))
+	}
+	if lastIdx >= 0 {
+		v := pts[lastIdx]
+		anchor, lx := "start", xAt(lastIdx)+7
+		if lx > x0+plotW-34 {
+			anchor, lx = "end", xAt(lastIdx)-7
+		}
+		ly := yAt(v) - 6
+		if ly < y0+8 {
+			ly = yAt(v) + 14
+		}
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="10" fill="%s" text-anchor="%s">%s</text>`+"\n",
+			lx, ly, plotInk, anchor, humanRate(v))
+	}
+
+	// X tick labels: first and last snapshot names, muted.
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="9" fill="%s">%s</text>`+"\n",
+		x0, py+h-6, plotMuted, xmlEscape(truncLabel(labels[0])))
+	if len(labels) > 1 {
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="9" fill="%s" text-anchor="end">%s</text>`+"\n",
+			x0+plotW, py+h-6, plotMuted, xmlEscape(truncLabel(labels[len(labels)-1])))
+	}
+}
+
+// niceCeil rounds up to a 1/2/5 × 10ᵏ ceiling so the y-axis tops out on
+// a readable number (and never 0, which would divide the panel away).
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// humanRate renders an events/sec value compactly (4.2M, 850k, 12).
+func humanRate(v float64) string {
+	switch {
+	case v >= 1e6:
+		return trimZero(fmt.Sprintf("%.1f", v/1e6)) + "M"
+	case v >= 1e3:
+		return trimZero(fmt.Sprintf("%.1f", v/1e3)) + "k"
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func trimZero(s string) string { return strings.TrimSuffix(s, ".0") }
+
+func truncLabel(s string) string {
+	if len(s) > 18 {
+		return s[:17] + "…"
+	}
+	return s
+}
+
+// xmlEscape covers the five XML special characters; row names and file
+// labels are plain but provenance strings can hold anything.
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}

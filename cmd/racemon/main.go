@@ -12,7 +12,8 @@
 //	        [-rebalance] [-trace FILE|-] [-parsers N] [-emit FILE]
 //	        [-format binary|text] [-wire 1|2] [-golden FILE]
 //	        [-update-golden] [-checkpoint FILE] [-checkpoint-at N]
-//	        [-resume FILE]
+//	        [-resume FILE] [-stats-addr ADDR] [-stats-interval DUR]
+//	        [-stats-linger DUR]
 //
 // Modes:
 //
@@ -67,6 +68,18 @@
 // the back-end owning it. The resumed report set is byte-identical to a
 // run that never stopped.
 //
+// Telemetry: -stats-addr ADDR serves the live obs-registry snapshot
+// over HTTP while the run ingests — GET /stats returns the merged
+// monitor.*/pipeline.*/parse.* metrics as JSON plus per-counter rates
+// since the previous scrape; /debug/vars is expvar; /debug/pprof/* are
+// the standard profile handlers. -stats-interval DUR prints a progress
+// line (events, throughput, races, RA window, ring occupancy) to stderr
+// every DUR. -stats-linger DUR keeps the endpoint alive after the run
+// so short CI runs can be scraped. With -json, the summary's "stats"
+// object carries the final exact snapshot. Scrapes read atomics the hot
+// path publishes at GC sweeps and batch boundaries — they never lock
+// the monitor.
+//
 // Examples:
 //
 //	racemon -pipeline -shards 4 -events 5000000 -json
@@ -99,6 +112,7 @@ import (
 	"time"
 
 	"localdrf/internal/monitor"
+	"localdrf/internal/obs"
 	"localdrf/internal/prog"
 	"localdrf/internal/progsynth"
 	"localdrf/internal/race"
@@ -127,6 +141,11 @@ type result struct {
 	RACollected uint64        `json:"ra_collected,omitempty"`
 	Races       []raceJSON    `json:"races,omitempty"`
 	Locations   locationsJSON `json:"locations"`
+	// Stats is the final telemetry snapshot of the run's obs registries
+	// (monitor.*, pipeline.*, parse.* — see internal/monitor's metric
+	// catalogue). Absent in modes with no accessible sink (emit, the
+	// batch-sharded wrapper).
+	Stats *obs.Snapshot `json:"stats,omitempty"`
 }
 
 type raceJSON struct {
@@ -183,6 +202,9 @@ func main() {
 	checkpointFile := flag.String("checkpoint", "", "write a monitor snapshot to FILE (at end of run, or at -checkpoint-at)")
 	checkpointAt := flag.Uint64("checkpoint-at", 0, "snapshot after this many monitored events and stop (0 = at end)")
 	resumeFile := flag.String("resume", "", "restore the monitor from this snapshot before ingesting (-trace only)")
+	statsAddr := flag.String("stats-addr", "", "serve live telemetry over HTTP on this address (GET /stats, /debug/vars, /debug/pprof)")
+	statsInterval := flag.Duration("stats-interval", 0, "print a telemetry progress line to stderr at this interval (0 = off)")
+	statsLinger := flag.Duration("stats-linger", 0, "keep the -stats-addr endpoint alive this long after the run finishes")
 	flag.Parse()
 
 	pol, err := schedgen.ParsePolicy(*policy)
@@ -248,6 +270,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "racemon: -emit does not monitor, so there is no report set for -golden")
 		os.Exit(2)
 	}
+	if *statsLinger > 0 && *statsAddr == "" {
+		fmt.Fprintln(os.Stderr, "racemon: -stats-linger keeps the HTTP endpoint alive; it needs -stats-addr")
+		os.Exit(2)
+	}
+
+	if *statsAddr != "" {
+		startStats(*statsAddr)
+		if *statsLinger > 0 {
+			defer func() {
+				fmt.Fprintf(os.Stderr, "racemon: stats endpoint lingering %s\n", *statsLinger)
+				time.Sleep(*statsLinger)
+			}()
+		}
+	}
+	var stopProgress chan struct{}
+	if *statsInterval > 0 {
+		stopProgress = make(chan struct{})
+		go progressLoop(*statsInterval, stopProgress)
+	}
 
 	gp := genParams{
 		policy: pol, seed: *seed, events: *events, threads: *threads,
@@ -272,6 +313,9 @@ func main() {
 		res, reports = runPipeline(gp, *shards, *rebalance, ck)
 	default:
 		res, reports = runGenerated(gp, *shards, *stream, *rebalance, ck)
+	}
+	if stopProgress != nil {
+		close(stopProgress)
 	}
 
 	listed := reports
@@ -410,6 +454,7 @@ func runPipeline(gp genParams, shards int, rebalance bool, ck ckParams) (result,
 		Locations: locationsJSON{NonAtomic: gp.locs, Atomic: gp.atomics, RA: gp.ra},
 	}
 	pl := monitor.NewPipeline(tb.Threads(), tb.Decls(), monitor.PipelineConfig{Shards: shards, Rebalance: rebalance})
+	tel.attach(pl.Obs())
 	start := time.Now()
 	completed, err := schedgen.StreamBatch(tb.Program(), tb, gp.options(), 0, func(evs []monitor.Event) error {
 		if ck.at > 0 {
@@ -438,6 +483,8 @@ func runPipeline(gp genParams, shards int, rebalance bool, ck ckParams) (result,
 	res.RALive, res.RALivePeak, res.RACollected = st.Live, st.Peak, st.Collected
 	res.EventsPerSec = float64(res.Events) / (float64(res.MonitorNs) / 1e9)
 	res.RaceCount = pl.RaceCount()
+	stats := pl.Stats()
+	res.Stats = &stats
 	return res, reports
 }
 
@@ -454,6 +501,7 @@ func runGenerated(gp genParams, shards int, stream, rebalance bool, ck ckParams)
 	if stream {
 		res.Mode = "stream"
 		m := monitor.New(tb.Threads(), tb.Decls())
+		tel.attach(m.Obs())
 		start := time.Now()
 		completed, err := schedgen.Stream(tb.Program(), tb, opt, func(e monitor.Event) error {
 			m.Step(e)
@@ -475,6 +523,8 @@ func runGenerated(gp genParams, shards int, stream, rebalance bool, ck ckParams)
 		res.Completed = completed
 		res.Events = int(m.Events())
 		fill(&res, m)
+		stats := m.Stats()
+		res.Stats = &stats
 		return res, m.Reports()
 	}
 
@@ -493,11 +543,14 @@ func runGenerated(gp genParams, shards int, stream, rebalance bool, ck ckParams)
 	if shards == 1 {
 		// Run the monitor directly so the RA retention stats are visible.
 		m := monitor.New(tb.Threads(), tb.Decls())
+		tel.attach(m.Obs())
 		for _, e := range streamEv {
 			m.Step(e)
 		}
 		reports = m.Reports()
 		fill(&res, m)
+		stats := m.Stats()
+		res.Stats = &stats
 	} else {
 		reports, err = monitor.ShardedRacesConfig(tb.Threads(), tb.Decls(), streamEv, shards, 0,
 			monitor.PipelineConfig{Rebalance: rebalance})
@@ -522,6 +575,8 @@ type traceSink interface {
 	RAStats() monitor.RAStats
 	Snapshot(io.Writer) error
 	SnapshotWithReader(io.Writer, monitor.ReaderCheckpoint) error
+	Obs() *obs.Registry
+	Stats() obs.Snapshot
 	reports() []race.Report
 }
 
@@ -599,6 +654,7 @@ func runTrace(path string, shards int, resumePath string, ck ckParams, rebalance
 	} else {
 		sink = monitorSink{tr.NewMonitor()}
 	}
+	tel.attach(sink.Obs())
 	if snap != nil {
 		if _, ok := snap.Reader(); !ok {
 			// No byte offset recorded: skip the already-monitored prefix
@@ -686,6 +742,8 @@ func runTrace(path string, shards int, resumePath string, ck ckParams, rebalance
 	}
 	fillLocations(&res, hdr.Decls)
 	fillStats(&res, sink.RAStats(), len(reports))
+	stats := sink.Stats()
+	res.Stats = &stats
 	return res, reports
 }
 
@@ -705,30 +763,40 @@ func runTraceParallel(path string, shards, parsers int, rebalance bool) (result,
 		rd, name = f, path
 	}
 	start := time.Now()
-	pr, err := monitor.NewParallelTraceReader(rd, parsers)
+	// The decode workers publish parse.* into their own registry (they
+	// start before the sink exists); /stats and the summary merge it with
+	// the sink's monitor.*/pipeline.* cells.
+	preg := obs.NewRegistry()
+	pr, err := monitor.NewParallelTraceReaderObs(rd, parsers, preg)
 	if err != nil {
 		fatalf("trace: %v", err)
 	}
 	defer pr.Close()
+	tel.attach(preg)
 	hdr := pr.Header()
 	var reports []race.Report
 	var st monitor.RAStats
 	var events uint64
+	var stats obs.Snapshot
 	if shards > 1 {
 		pl := monitor.NewPipeline(hdr.Threads, hdr.Decls, monitor.PipelineConfig{Shards: shards, Rebalance: rebalance})
+		tel.attach(pl.Obs())
 		if err := pl.FeedBatch(pr); err != nil {
 			pl.Abort()
 			fatalf("trace: %v", err)
 		}
 		reports = pl.Finish()
 		st, events = pl.RAStats(), pl.Events()
+		stats = obs.Merge(pl.Stats(), preg.Snapshot())
 	} else {
 		m := pr.NewMonitor()
+		tel.attach(m.Obs())
 		if err := m.FeedBatch(pr); err != nil {
 			fatalf("trace: %v", err)
 		}
 		reports = m.Reports()
 		st, events = m.RAStats(), m.Events()
+		stats = obs.Merge(m.Stats(), preg.Snapshot())
 	}
 	res := result{
 		Program: "trace:" + name, Mode: "trace", Threads: hdr.Threads,
@@ -738,6 +806,7 @@ func runTraceParallel(path string, shards, parsers int, rebalance bool) (result,
 	}
 	fillLocations(&res, hdr.Decls)
 	fillStats(&res, st, len(reports))
+	res.Stats = &stats
 	return res, reports
 }
 

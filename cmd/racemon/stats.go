@@ -1,0 +1,170 @@
+package main
+
+// Live run telemetry: the -stats-addr HTTP endpoint, the -stats-interval
+// progress line, and the "stats" object of the -json summary all read
+// the same obs registries the monitor/pipeline publish into. Reads are
+// atomic snapshots with bounded staleness (one GC window/batch), so
+// scraping never perturbs the hot path.
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+	"time"
+
+	"localdrf/internal/obs"
+)
+
+// telemetry aggregates the run's metric registries — the sink's
+// (monitor or pipeline front-end) and, for parallel trace ingest, the
+// decoder's — for the three consumers above. Registries are attached as
+// the mode runner constructs its sinks; the HTTP server may already be
+// serving by then, so the list is mutex-guarded.
+type telemetry struct {
+	start time.Time
+
+	mu     sync.Mutex
+	regs   []*obs.Registry
+	prev   obs.Snapshot // last /stats scrape, for rate computation
+	prevAt time.Time
+}
+
+var tel = &telemetry{start: time.Now()}
+
+func (t *telemetry) attach(reg *obs.Registry) {
+	t.mu.Lock()
+	t.regs = append(t.regs, reg)
+	t.mu.Unlock()
+}
+
+// snapshot merges one atomic snapshot of every attached registry.
+// Metric names are disjoint by prefix (monitor.*, pipeline.*, parse.*).
+func (t *telemetry) snapshot() obs.Snapshot {
+	t.mu.Lock()
+	regs := make([]*obs.Registry, len(t.regs))
+	copy(regs, t.regs)
+	t.mu.Unlock()
+	snaps := make([]obs.Snapshot, len(regs))
+	for i, r := range regs {
+		snaps[i] = r.Snapshot()
+	}
+	return obs.Merge(snaps...)
+}
+
+// statsDoc is the GET /stats response: the merged metric snapshot plus
+// counter rates over the interval since the previous scrape (since
+// process start on the first).
+type statsDoc struct {
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Metrics       obs.Snapshot       `json:"metrics"`
+	Rates         map[string]float64 `json:"rates,omitempty"`
+}
+
+func (t *telemetry) stats() statsDoc {
+	s := t.snapshot()
+	now := time.Now()
+	t.mu.Lock()
+	prev, prevAt := t.prev, t.prevAt
+	t.prev, t.prevAt = s, now
+	t.mu.Unlock()
+	if prevAt.IsZero() {
+		prevAt = t.start
+	}
+	doc := statsDoc{UptimeSeconds: now.Sub(t.start).Seconds(), Metrics: s}
+	if secs := now.Sub(prevAt).Seconds(); secs > 0 {
+		d := s.Delta(prev)
+		for n, v := range d.Counters {
+			if v > 0 {
+				if doc.Rates == nil {
+					doc.Rates = make(map[string]float64)
+				}
+				doc.Rates[n+"_per_sec"] = float64(v) / secs
+			}
+		}
+	}
+	return doc
+}
+
+// startStats binds addr and serves /stats (JSON snapshot + rates),
+// /debug/vars (expvar, including the merged snapshot under "racemon"),
+// and the net/http/pprof profile handlers. The server lives for the
+// process; -stats-linger keeps the process alive after short runs so CI
+// can scrape it.
+func startStats(addr string) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatalf("stats: %v", err)
+	}
+	expvar.Publish("racemon", expvar.Func(func() any { return tel.snapshot() }))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tel.stats()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "racemon: stats server: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "racemon: serving stats on http://%s/stats\n", ln.Addr())
+}
+
+// progressLoop prints a one-line telemetry digest to stderr every
+// interval until stop closes.
+func progressLoop(interval time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	prev := tel.snapshot()
+	prevAt := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		s := tel.snapshot()
+		now := time.Now()
+		var rate float64
+		if secs := now.Sub(prevAt).Seconds(); secs > 0 {
+			rate = float64(s.Delta(prev).Counter("monitor.events")) / secs
+		}
+		line := fmt.Sprintf("racemon: t=%.1fs events=%d (%.2fM/s) races=%d ra_live=%d gc_sweeps=%d",
+			now.Sub(tel.start).Seconds(), s.Counter("monitor.events"), rate/1e6,
+			liveRaces(s), s.Gauge("monitor.ra.live"), s.Counter("monitor.gc.sweeps"))
+		if occ := s.Vectors["pipeline.ring_occupancy"]; len(occ) > 0 {
+			line += fmt.Sprintf(" rings=%v", occ)
+		}
+		fmt.Fprintln(os.Stderr, line)
+		prev, prevAt = s, now
+	}
+}
+
+// liveRaces reads the race count visible mid-run: the pipeline's
+// back-ends publish per-shard tallies every batch, while monitor.races
+// is only aggregated at Stats() barriers, so take the larger.
+func liveRaces(s obs.Snapshot) uint64 {
+	n := s.Counter("monitor.races")
+	var v uint64
+	for _, x := range s.Vectors["pipeline.backend_races"] {
+		v += x
+	}
+	if v > n {
+		n = v
+	}
+	return n
+}

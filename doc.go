@@ -171,6 +171,40 @@
 // resumes, and snapshots taken at rebalance barriers — which are
 // byte-identical to the sequential monitor's despite live migrations.
 //
+// # Observability
+//
+// The streaming subsystem is instrumented end to end through
+// internal/obs, a dependency-free metrics kernel (counters, gauges,
+// fixed-size vectors, power-of-two histograms in a named registry).
+// The discipline is hot-path-safe by construction: the monitor's event
+// loop touches only plain single-writer fields (the one addition on
+// the per-event path is a per-kind tally increment) and publishes them
+// into padded atomic cells at its natural barriers — GC sweeps, batch
+// flushes, and quiesce acknowledgements — so concurrent scrapers read
+// consistent values with bounded staleness (at most one GC window or
+// batch) and zero contention on the ingest path. Two read paths exist:
+// Monitor.Stats/Pipeline.Stats publish-then-snapshot for exact values
+// (the pipeline form quiesces, so per-back-end loads are precise), and
+// Obs().Snapshot() reads the atomics from any goroutine at any time.
+// The catalogue covers the monitor (events by kind, races, GC sweep
+// productivity, RA retention, escalations/demotions, snapshot codec
+// sizes and latencies), the pipeline (routed/delta/min records, the
+// batch-size histogram, quiesce latency, ring occupancy and stall/idle
+// counts, per-back-end record/escalation/race vectors, migrations,
+// load imbalance) and the parallel decoder (per-worker frames/bytes,
+// sequencer wait) — see internal/monitor's obs.go for the full list.
+// Instrumentation is proven free: the modeltest matrix includes a
+// pipeline hammered by concurrent snapshot reads whose reports,
+// RAStats and checkpoint bytes must equal the sequential monitor's,
+// and the bench suite tracks an obs-overhead row (the online pass with
+// a 1ms scraper) against the uninstrumented-equivalent baseline.
+// cmd/racemon surfaces all of it: -stats-addr serves GET /stats (JSON
+// snapshot plus per-counter rates), expvar at /debug/vars and pprof at
+// /debug/pprof while the run ingests; -stats-interval prints a
+// progress line; -stats-linger holds the endpoint open after short
+// runs; and the -json summary embeds the final exact snapshot under
+// "stats".
+//
 // The monitor's verdicts are differentially tested against the
 // exhaustive oracle race.Races on every corpus program, on hundreds of
 // random programs, and on hundreds of generated schedules — at every GC
@@ -193,14 +227,20 @@
 // bench emits engine-versus-baseline timings as JSON (BENCH_engine.json)
 // and streaming-monitor throughput (BENCH_monitor.json: events/sec for
 // the sequential, fused, sharded, pipeline-{2,4,8}shard,
-// wire-v2-decode, pipeline-{2,4}parser-{4,8}shard, skewed-zipf and
-// compaction-quiet rows — the last recording escalated-vector counts
-// before and after demotion — each parallel row at a recorded
-// GOMAXPROCS, plus peak live RA messages and allocs/event) so the
-// performance trajectory is tracked across PRs. cmd/experiments -run
-// bench-compare reruns the monitor suite and fails (exit nonzero, and
-// CI with it) if any row regresses more than 15% in events/sec against
-// the committed BENCH_monitor.json; CI also fails if any racemon smoke
-// run's report set — including the pipeline at 4 back-ends and both
-// wire-version round trips — drifts from the committed golden.
+// wire-v2-decode, pipeline-{2,4}parser-{4,8}shard, skewed-zipf,
+// compaction-quiet and obs-overhead rows — compaction-quiet recording
+// escalated-vector counts before and after demotion — each parallel
+// row at a recorded GOMAXPROCS, plus peak live RA messages and
+// allocs/event; the document records the host CPU model and Go
+// version) so the performance trajectory is tracked across PRs.
+// cmd/experiments -run bench-compare reruns the monitor suite and
+// fails (exit nonzero, and CI with it) if any row regresses more than
+// 15% in events/sec against the committed BENCH_monitor.json, warning
+// first when the baseline's recorded CPU or toolchain differs from the
+// host; -run bench-plot renders the events/sec trajectory across bench
+// JSON snapshots as a dependency-free small-multiples SVG (a CI
+// artifact). CI also fails if any racemon smoke run's report set —
+// including the pipeline at 4 back-ends and both wire-version round
+// trips — drifts from the committed golden, and curls a live racemon
+// -stats-addr endpoint to assert the telemetry keys it ships.
 package localdrf

@@ -34,6 +34,23 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"localdrf/internal/obs"
+)
+
+// Obs is the engine's process-wide search telemetry: how many distinct
+// canonical states searches have interned, how many frontier tasks were
+// stolen versus popped locally, and how many searches ran. Workers count
+// in plain locals and publish once at exit, so the telemetry costs
+// nothing per state. Snapshot it before and after a search (or use
+// obs.Snapshot.Delta) to attribute counts to one run.
+var Obs = obs.NewRegistry()
+
+var (
+	obsSearches   = Obs.Counter("engine.searches")
+	obsStates     = Obs.Counter("engine.states_interned")
+	obsExpansions = Obs.Counter("engine.expansions")
+	obsSteals     = Obs.Counter("engine.steals")
 )
 
 // DefaultMaxStates bounds exploration; litmus-scale programs stay far
@@ -176,6 +193,13 @@ func Run[S any](cfg Config[S], roots ...S) (int, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var steals, expansions uint64
+			defer func() {
+				// One atomic publish per worker per search — the whole
+				// telemetry cost of the frontier loop.
+				obsSteals.Add(steals)
+				obsExpansions.Add(expansions)
+			}()
 			self := queues[w]
 			var buf []byte
 			emit := func(s S) {
@@ -206,7 +230,9 @@ func Run[S any](cfg Config[S], roots ...S) (int, error) {
 				}
 				s, ok := self.pop()
 				for off := 1; !ok && off < par; off++ {
-					s, ok = queues[(w+off)%par].steal()
+					if s, ok = queues[(w+off)%par].steal(); ok {
+						steals++
+					}
 				}
 				if !ok {
 					if pending.Load() == 0 {
@@ -222,6 +248,7 @@ func Run[S any](cfg Config[S], roots ...S) (int, error) {
 					continue
 				}
 				idle = 0
+				expansions++
 				if err := cfg.Expand(w, s, emit); err != nil {
 					fail(err)
 				}
@@ -230,6 +257,8 @@ func Run[S any](cfg Config[S], roots ...S) (int, error) {
 		}(w)
 	}
 	wg.Wait()
+	obsSearches.Add(1)
+	obsStates.Add(uint64(in.Size()))
 	return in.Size(), firstErr
 }
 
@@ -277,4 +306,3 @@ func ForEach(parallelism, n int, fn func(worker, i int) error) error {
 	wg.Wait()
 	return firstErr
 }
-

@@ -192,4 +192,3 @@ func TestForEachPropagatesError(t *testing.T) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 }
-

@@ -37,6 +37,12 @@ type BatchQueue[T any] struct {
 	head     int // index of the oldest item
 	n        int // live items
 	closed   bool
+	// stalls / idles count the Puts that found the ring full and the
+	// Gets that found it empty — the pipeline's backpressure and underrun
+	// telemetry. Counted only on the blocking path (which already takes
+	// the mutex and waits), so the uncontended fast path pays nothing.
+	stalls uint64
+	idles  uint64
 }
 
 // NewBatchQueue returns a queue holding at most capacity items
@@ -55,8 +61,11 @@ func NewBatchQueue[T any](capacity int) *BatchQueue[T] {
 // drops v) if the queue is closed.
 func (q *BatchQueue[T]) Put(v T) bool {
 	q.mu.Lock()
-	for q.n == len(q.buf) && !q.closed {
-		q.notFull.Wait()
+	if q.n == len(q.buf) && !q.closed {
+		q.stalls++
+		for q.n == len(q.buf) && !q.closed {
+			q.notFull.Wait()
+		}
 	}
 	if q.closed {
 		q.mu.Unlock()
@@ -74,8 +83,11 @@ func (q *BatchQueue[T]) Put(v T) bool {
 // drained, then returns ok=false.
 func (q *BatchQueue[T]) Get() (T, bool) {
 	q.mu.Lock()
-	for q.n == 0 && !q.closed {
-		q.notEmpty.Wait()
+	if q.n == 0 && !q.closed {
+		q.idles++
+		for q.n == 0 && !q.closed {
+			q.notEmpty.Wait()
+		}
 	}
 	var zero T
 	if q.n == 0 {
@@ -89,6 +101,25 @@ func (q *BatchQueue[T]) Get() (T, bool) {
 	q.mu.Unlock()
 	q.notFull.Signal()
 	return v, true
+}
+
+// Len returns the number of items currently queued. Safe from any
+// goroutine; the value is a point-in-time sample (occupancy telemetry).
+func (q *BatchQueue[T]) Len() int {
+	q.mu.Lock()
+	n := q.n
+	q.mu.Unlock()
+	return n
+}
+
+// Stats returns how often a Put found the ring full (producer stalled)
+// and a Get found it empty (consumer idled) since creation. Safe from
+// any goroutine.
+func (q *BatchQueue[T]) Stats() (stalls, idles uint64) {
+	q.mu.Lock()
+	stalls, idles = q.stalls, q.idles
+	q.mu.Unlock()
+	return stalls, idles
 }
 
 // Close marks the end of the stream: subsequent Puts fail, and Gets

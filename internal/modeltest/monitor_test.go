@@ -10,6 +10,7 @@ package modeltest
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 
 	"localdrf/internal/explore"
@@ -183,6 +184,57 @@ func TestMonitorMatchesRacesOnSchedules(t *testing.T) {
 					t.Fatalf("seed %d %v shards=%d: sharded mode diverged", seed, pol, shards)
 				}
 			}
+			// Telemetry must be free: a pipeline serving concurrent
+			// Obs().Snapshot() reads mid-stream, with exact Stats()
+			// calls interleaved by the feeder, produces byte-identical
+			// reports, RAStats, and checkpoint bytes to the plain
+			// sequential monitor at the same GC interval.
+			{
+				pm := monitor.NewPipeline(tb.Threads(), tb.Decls(), monitor.PipelineConfig{
+					Shards: 2, BatchSize: 64, GCInterval: 16, Rebalance: true,
+				})
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					reg := pm.Obs()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+							_ = reg.Snapshot()
+						}
+					}
+				}()
+				half := len(events) / 2
+				pm.StepBatch(events[:half])
+				_ = pm.Stats()
+				pm.StepBatch(events[half:])
+				var pb bytes.Buffer
+				if err := pm.Snapshot(&pb); err != nil {
+					t.Fatal(err)
+				}
+				close(stop)
+				wg.Wait()
+				if got := pm.Finish(); !race.ReportsEqual(got, want) {
+					t.Fatalf("seed %d %v: metrics-read pipeline diverged", seed, pol)
+				}
+				if pm.RAStats() != mgc.RAStats() {
+					t.Fatalf("seed %d %v: metrics-read pipeline RAStats %+v, want %+v",
+						seed, pol, pm.RAStats(), mgc.RAStats())
+				}
+				var sb bytes.Buffer
+				if err := mgc.Snapshot(&sb); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(pb.Bytes(), sb.Bytes()) {
+					t.Fatalf("seed %d %v: metrics-read pipeline snapshot differs from sequential (%d vs %d bytes)",
+						seed, pol, pb.Len(), sb.Len())
+				}
+			}
+
 			// Thread-retirement events never change the report set.
 			haltEvents, _, err := schedgen.Generate(p, tb, schedgen.Options{
 				Policy: pol, Seed: seed * 17, MaxEvents: 260, StaleReadPct: 30, LocSkew: skew, EmitHalts: true,

@@ -97,6 +97,7 @@
 package monitor
 
 import (
+	"localdrf/internal/obs"
 	"localdrf/internal/prog"
 	"localdrf/internal/race"
 	"localdrf/internal/ts"
@@ -254,6 +255,10 @@ type checker struct {
 	// (write and read sides counted separately) — compaction telemetry,
 	// and the fast-path skip for sweeps with nothing to demote.
 	escalatedSides int
+	// escalations / demotions count the lifetime transitions behind
+	// escalatedSides (plain fields; published via obs.go).
+	escalations uint64
+	demotions   uint64
 }
 
 func newChecker(nthreads int, nlocs int, clocks [][]uint64, minClock []uint64) checker {
@@ -293,6 +298,7 @@ func (ck *checker) reset() {
 	}
 	ck.races = 0
 	ck.escalatedSides = 0
+	ck.escalations, ck.demotions = 0, 0
 }
 
 // compactAll demotes escalated per-thread vectors back to epochs wherever
@@ -317,6 +323,7 @@ func (ck *checker) compactAll() {
 				clear(ls.writes)
 				ls.wClean = false
 				ck.escalatedSides--
+				ck.demotions++
 			}
 		}
 		if ls.rT == escalated {
@@ -325,6 +332,7 @@ func (ck *checker) compactAll() {
 				clear(ls.reads)
 				ls.rClean = false
 				ck.escalatedSides--
+				ck.demotions++
 			}
 		}
 	}
@@ -379,6 +387,14 @@ type Monitor struct {
 	raCollected uint64
 	raLiveLoc   []int
 	events      uint64
+	// Observability (obs.go): plain single-writer tallies, published
+	// into reg's atomic cells at GC sweeps / Reset / Stats so the hot
+	// path never performs an atomic operation.
+	reg          *obs.Registry
+	mo           monCells
+	kinds        [len(kindNames)]uint64
+	gcSweeps     uint64
+	gcProductive uint64
 }
 
 // New returns a monitor for nthreads threads over the given locations.
@@ -405,7 +421,9 @@ func newSync(nthreads int, decls []LocDecl) *Monitor {
 		raLiveLoc: make([]int, len(decls)),
 		gcEvery:   defaultGCInterval,
 		nextGC:    defaultGCInterval,
+		reg:       obs.NewRegistry(),
 	}
+	m.mo = newMonCells(m.reg)
 	for t := range m.clocks {
 		m.clocks[t] = make([]uint64, nthreads)
 	}
@@ -445,6 +463,9 @@ func (m *Monitor) Reset() {
 	m.raLive, m.raPeak, m.raCollected = 0, 0, 0
 	m.nextGC = m.gcEvery
 	m.events = 0
+	clear(m.kinds[:])
+	m.gcSweeps, m.gcProductive = 0, 0
+	m.publishObs()
 }
 
 // SetGCInterval sets the frontier-refresh / RA-collection period in
@@ -531,6 +552,7 @@ func (m *Monitor) RaceCount() int { return m.ck.races }
 // Table guarantees it for converted machine traces.
 func (m *Monitor) Step(e Event) {
 	m.events++
+	m.kinds[e.Kind]++
 	t := int(e.Thread)
 	c := m.clocks[t]
 	c[t]++
@@ -667,6 +689,7 @@ func (ck *checker) escalateWrites(ls *naState) {
 	ls.wT = escalated
 	ls.wClean = false
 	ck.escalatedSides++
+	ck.escalations++
 }
 
 // escalateReads materialises the per-thread read vector from the current
@@ -679,6 +702,7 @@ func (ck *checker) escalateReads(ls *naState) {
 	ls.rT = escalated
 	ls.rClean = false
 	ck.escalatedSides++
+	ck.escalations++
 }
 
 // report records one race (u's access earlier, t's later) in the
@@ -704,6 +728,7 @@ func (ck *checker) report(ls *naState, u, t int32, wi, wj bool) {
 // It also schedules the next sweep, adapting the interval to live
 // pressure when SetAdaptiveGC is active.
 func (m *Monitor) gc() {
+	m.gcSweeps++
 	if m.nthreads == 0 {
 		m.nextGC = m.events + m.gcEvery
 		return
@@ -752,6 +777,9 @@ func (m *Monitor) gc() {
 		}
 	}
 	m.raCollected += collected
+	if collected > 0 {
+		m.gcProductive++
+	}
 	if m.adaptMax > 0 {
 		switch {
 		case collected == 0:
@@ -769,6 +797,9 @@ func (m *Monitor) gc() {
 		}
 	}
 	m.nextGC = m.events + m.gcEvery
+	// The sweep is the hot path's publication point: a handful of atomic
+	// stores per window keeps the live endpoint at most one window stale.
+	m.publishObs()
 }
 
 // scanWrites checks the current access of thread t (a read, or a write

@@ -1,0 +1,264 @@
+package monitor
+
+// Telemetry for the streaming monitor and the parallel pipeline, built
+// on internal/obs. The design constraint is the hot path: the sequential
+// monitor spends ~25ns per event, so even one atomic RMW per event
+// (~5ns) would be a double-digit regression. The instrumentation
+// therefore splits in two:
+//
+//   - Hot paths tally into PLAIN single-writer fields (Monitor.kinds,
+//     Pipeline.routed, checker.escalations, …) — an ordinary increment,
+//     well under a nanosecond, invisible in the benchmarks.
+//
+//   - At natural barriers — GC sweeps (every ≤ gcEvery events), batch
+//     flushes, quiesce acks — the owner publishes the tallies into the
+//     registry's padded atomic cells (publishObs). Concurrent readers
+//     (racemon's /stats handler) touch ONLY the atomic cells via
+//     Registry.Snapshot, so a live endpoint is race-free and costs the
+//     hot path nothing; the price is bounded staleness of one GC window
+//     or batch.
+//
+// Two read paths follow from that split:
+//
+//   - Monitor.Stats / Pipeline.Stats publish pending tallies first and
+//     return exact values, but must be called from the feeding
+//     goroutine (the pipeline form quiesces, like BackendLoads).
+//   - Monitor.Obs / Pipeline.Obs expose the registry itself; Snapshot
+//     on it is safe from ANY goroutine at any time and reflects the
+//     last publication.
+//
+// Metric names (stable; racemon's /stats and -json "stats" serve them):
+//
+//	monitor.events                   counter  events consumed
+//	monitor.events.<kind>            counter  per-kind breakdown (read_na, write_na,
+//	                                          read_at, write_at, read_ra, write_ra, halt)
+//	monitor.races                    counter  distinct races reported
+//	monitor.gc.sweeps                counter  frontier refreshes
+//	monitor.gc.sweeps_productive     counter  sweeps that reclaimed ≥ 1 RA message
+//	monitor.gc.sweeps_unproductive   counter  sweeps that reclaimed none
+//	monitor.gc.interval              gauge    current interval (adapts under SetAdaptiveGC)
+//	monitor.ra.live / .peak          gauge    retained RA messages now / high-water
+//	monitor.ra.collected             counter  RA messages reclaimed
+//	monitor.escalations              counter  epoch→vector transitions
+//	monitor.demotions                counter  vector→epoch compactions
+//	monitor.escalated_vectors        gauge    sides currently escalated
+//	monitor.snapshot.encode_bytes/_ns  hist   checkpoint sizes and latency
+//	monitor.snapshot.decode_bytes/_ns  hist   restore sizes and latency
+//
+//	pipeline.routed_records          counter  NA records routed to back-ends
+//	pipeline.delta_records           counter  clock-delta records broadcast
+//	pipeline.min_records             counter  frontier + barrier records broadcast
+//	pipeline.batch_records           hist     flushed batch sizes (count = batches)
+//	pipeline.quiesces                counter  quiesce barriers
+//	pipeline.quiesce_ns              hist     quiesce latency
+//	pipeline.migrations              counter  rebalancer location moves
+//	pipeline.load_imbalance_permille gauge    1000·max/mean back-end traffic at last sweep
+//	pipeline.ring_occupancy          vec      batches queued per back-end ring (sampled)
+//	pipeline.ring_stalls/.ring_idles counter  producer-full / consumer-empty blocks
+//	pipeline.backend_records         vec      NA records applied per back-end
+//	pipeline.backend_escalated       vec      escalated sides per back-end
+//	pipeline.backend_races           vec      races found per back-end
+//
+//	parse.frames / parse.bytes       vec      frames / payload bytes per parse worker
+//	parse.sequencer_wait_ns          counter  time NextBatch blocked on out-of-order frames
+//
+// The registry also backs racemon's /debug/vars and the periodic
+// progress line; see cmd/racemon.
+
+import (
+	"localdrf/internal/obs"
+)
+
+// kindNames indexes Kind for the per-kind event counters.
+var kindNames = [...]string{
+	ReadNA:   "read_na",
+	WriteNA:  "write_na",
+	ReadAT:   "read_at",
+	WriteAT:  "write_at",
+	ReadRA:   "read_ra",
+	WriteRA:  "write_ra",
+	KindHalt: "halt",
+}
+
+// monCells is a monitor's pre-resolved registry cells — looked up once
+// at construction so publishObs is a straight run of atomic stores.
+type monCells struct {
+	events       *obs.Counter
+	kinds        [len(kindNames)]*obs.Counter
+	races        *obs.Counter
+	gcSweeps     *obs.Counter
+	gcProd       *obs.Counter
+	gcUnprod     *obs.Counter
+	gcInterval   *obs.Gauge
+	raLive       *obs.Gauge
+	raPeak       *obs.Gauge
+	raCollected  *obs.Counter
+	escalations  *obs.Counter
+	demotions    *obs.Counter
+	escalated    *obs.Gauge
+	snapEncBytes *obs.Hist
+	snapEncNs    *obs.Hist
+	snapDecBytes *obs.Hist
+	snapDecNs    *obs.Hist
+}
+
+func newMonCells(reg *obs.Registry) monCells {
+	mc := monCells{
+		events:       reg.Counter("monitor.events"),
+		races:        reg.Counter("monitor.races"),
+		gcSweeps:     reg.Counter("monitor.gc.sweeps"),
+		gcProd:       reg.Counter("monitor.gc.sweeps_productive"),
+		gcUnprod:     reg.Counter("monitor.gc.sweeps_unproductive"),
+		gcInterval:   reg.Gauge("monitor.gc.interval"),
+		raLive:       reg.Gauge("monitor.ra.live"),
+		raPeak:       reg.Gauge("monitor.ra.peak"),
+		raCollected:  reg.Counter("monitor.ra.collected"),
+		escalations:  reg.Counter("monitor.escalations"),
+		demotions:    reg.Counter("monitor.demotions"),
+		escalated:    reg.Gauge("monitor.escalated_vectors"),
+		snapEncBytes: reg.Hist("monitor.snapshot.encode_bytes"),
+		snapEncNs:    reg.Hist("monitor.snapshot.encode_ns"),
+		snapDecBytes: reg.Hist("monitor.snapshot.decode_bytes"),
+		snapDecNs:    reg.Hist("monitor.snapshot.decode_ns"),
+	}
+	for k, name := range kindNames {
+		mc.kinds[k] = reg.Counter("monitor.events." + name)
+	}
+	return mc
+}
+
+// publishObs copies the monitor's plain tallies into the registry's
+// atomic cells. Called at GC sweeps, Reset, and Stats — always from the
+// goroutine that owns the monitor.
+func (m *Monitor) publishObs() {
+	mo := &m.mo
+	mo.events.Store(m.events)
+	for k := range kindNames {
+		mo.kinds[k].Store(m.kinds[k])
+	}
+	mo.gcSweeps.Store(m.gcSweeps)
+	mo.gcProd.Store(m.gcProductive)
+	mo.gcUnprod.Store(m.gcSweeps - m.gcProductive)
+	mo.gcInterval.Set(int64(m.gcEvery))
+	mo.raLive.Set(int64(m.raLive))
+	mo.raPeak.Set(int64(m.raPeak))
+	mo.raCollected.Store(m.raCollected)
+	if m.ck.na != nil {
+		// A pipeline front-end owns no checker; the pipeline aggregates
+		// its back-ends into these cells instead (Pipeline.publishObs).
+		mo.races.Store(uint64(m.ck.races))
+		mo.escalations.Store(m.ck.escalations)
+		mo.demotions.Store(m.ck.demotions)
+		mo.escalated.Set(int64(m.ck.escalatedSides))
+	}
+}
+
+// Obs returns the monitor's metric registry. Registry.Snapshot on it is
+// safe from any goroutine while the monitor runs; values lag the stream
+// by at most one GC window (see Stats for exact values).
+func (m *Monitor) Obs() *obs.Registry { return m.reg }
+
+// Stats publishes all pending tallies and returns an exact metrics
+// snapshot. Unlike Obs().Snapshot(), it must be called from the feeding
+// goroutine (between Steps). RAStats remains the stable, typed subset.
+func (m *Monitor) Stats() obs.Snapshot {
+	m.publishObs()
+	return m.reg.Snapshot()
+}
+
+// pipeCells is the pipeline's own cell bundle, registered in the
+// front-end's registry so one snapshot covers both layers.
+type pipeCells struct {
+	routed     *obs.Counter
+	delta      *obs.Counter
+	minRecs    *obs.Counter
+	batchHist  *obs.Hist
+	quiesces   *obs.Counter
+	quiesceNs  *obs.Hist
+	migrations *obs.Counter
+	imbalance  *obs.Gauge
+	ringOcc    *obs.Vec
+	ringStalls *obs.Counter
+	ringIdles  *obs.Counter
+	backRecs   *obs.Vec
+	backEsc    *obs.Vec
+	backRaces  *obs.Vec
+}
+
+func newPipeCells(reg *obs.Registry, shards int) pipeCells {
+	return pipeCells{
+		routed:     reg.Counter("pipeline.routed_records"),
+		delta:      reg.Counter("pipeline.delta_records"),
+		minRecs:    reg.Counter("pipeline.min_records"),
+		batchHist:  reg.Hist("pipeline.batch_records"),
+		quiesces:   reg.Counter("pipeline.quiesces"),
+		quiesceNs:  reg.Hist("pipeline.quiesce_ns"),
+		migrations: reg.Counter("pipeline.migrations"),
+		imbalance:  reg.Gauge("pipeline.load_imbalance_permille"),
+		ringOcc:    reg.Vec("pipeline.ring_occupancy", shards),
+		ringStalls: reg.Counter("pipeline.ring_stalls"),
+		ringIdles:  reg.Counter("pipeline.ring_idles"),
+		backRecs:   reg.Vec("pipeline.backend_records", shards),
+		backEsc:    reg.Vec("pipeline.backend_escalated", shards),
+		backRaces:  reg.Vec("pipeline.backend_races", shards),
+	}
+}
+
+// publishObs publishes the front-end-owned pipeline tallies and samples
+// the ring telemetry. Called at GC sweeps and from Stats — always from
+// the feeding goroutine (the back-ends publish their own vec entries at
+// batch boundaries; see backend.publish).
+func (p *Pipeline) publishObs() {
+	po := &p.po
+	po.routed.Store(p.routed)
+	po.delta.Store(p.deltaRecs)
+	po.minRecs.Store(p.minRecsSent)
+	var stalls, idles uint64
+	for s, ln := range p.lanes {
+		po.ringOcc.Store(s, uint64(ln.q.Len()))
+		st, id := ln.q.Stats()
+		stalls += st
+		idles += id
+	}
+	po.ringStalls.Store(stalls)
+	po.ringIdles.Store(idles)
+}
+
+// Obs returns the pipeline's metric registry (shared with the
+// front-end, so monitor.* and pipeline.* metrics appear together).
+// Registry.Snapshot on it is safe from any goroutine while the pipeline
+// runs; values lag by at most one GC window or in-flight batch.
+func (p *Pipeline) Obs() *obs.Registry { return p.fe.reg }
+
+// Stats quiesces a live pipeline, publishes every layer's pending
+// tallies — including exact cross-back-end aggregates into the
+// monitor.* cells — and returns the metrics snapshot. Must be called
+// from the feeding goroutine (between Steps); after Finish it may be
+// called from anywhere.
+func (p *Pipeline) Stats() obs.Snapshot {
+	if !p.done {
+		p.quiesce()
+	}
+	// Behind the quiesce ack (or Finish's wg.Wait) the back-end checkers
+	// are safe to read directly: aggregate them into the monitor.* cells
+	// the sequential monitor fills itself, so a pipeline snapshot is a
+	// superset of the sequential one.
+	var races, esc int
+	var escN, demN uint64
+	for s, b := range p.backs {
+		races += b.ck.races
+		esc += b.ck.escalatedSides
+		escN += b.ck.escalations
+		demN += b.ck.demotions
+		p.po.backRaces.Store(s, uint64(b.ck.races))
+		p.po.backEsc.Store(s, uint64(b.ck.escalatedSides))
+	}
+	mo := &p.fe.mo
+	mo.races.Store(uint64(races))
+	mo.escalated.Set(int64(esc))
+	mo.escalations.Store(escN)
+	mo.demotions.Store(demN)
+	p.fe.publishObs()
+	p.publishObs()
+	return p.fe.reg.Snapshot()
+}

@@ -51,8 +51,10 @@ import (
 	"io"
 	"math"
 	"sync"
+	"time"
 
 	"localdrf/internal/engine"
+	"localdrf/internal/obs"
 	"localdrf/internal/race"
 	"localdrf/internal/ts"
 )
@@ -128,6 +130,14 @@ type ParallelTraceReader struct {
 	closed      bool
 	done        bool
 	err         error
+	// Optional telemetry (NewParallelTraceReaderObs): per-worker frame
+	// and payload-byte vectors, plus the time the sequencer spent
+	// blocked waiting for the next in-order frame. Workers publish one
+	// atomic add per frame — amortised over up to 64k events — so the
+	// decode hot path is untouched. All nil when not attached.
+	obsFrames *obs.Vec
+	obsBytes  *obs.Vec
+	obsWaitNs *obs.Counter
 }
 
 // NewParallelTraceReader sniffs and validates the trace header of r and
@@ -135,6 +145,15 @@ type ParallelTraceReader struct {
 // parsers < 2 — are handled by a sequential TraceReader behind the same
 // interface.
 func NewParallelTraceReader(r io.Reader, parsers int) (*ParallelTraceReader, error) {
+	return NewParallelTraceReaderObs(r, parsers, nil)
+}
+
+// NewParallelTraceReaderObs is NewParallelTraceReader with decode
+// telemetry registered in reg (parse.frames, parse.bytes,
+// parse.sequencer_wait_ns — typically the registry of the monitor or
+// pipeline consuming the events, so one snapshot covers the whole
+// ingest path). A nil reg, or the sequential fallback, records nothing.
+func NewParallelTraceReaderObs(r io.Reader, parsers int, reg *obs.Registry) (*ParallelTraceReader, error) {
 	tr, err := NewTraceReader(r)
 	if err != nil {
 		return nil, err
@@ -153,6 +172,11 @@ func NewParallelTraceReader(r io.Reader, parsers int) (*ParallelTraceReader, err
 		payloadFree: engine.NewBatchQueue[[]byte](nbuf),
 		eventsFree:  engine.NewBatchQueue[[]Event](nbuf),
 		ctxCh:       make([]chan *parseCtx, parsers),
+	}
+	if reg != nil {
+		pr.obsFrames = reg.Vec("parse.frames", parsers)
+		pr.obsBytes = reg.Vec("parse.bytes", parsers)
+		pr.obsWaitNs = reg.Counter("parse.sequencer_wait_ns")
 	}
 	for i := 0; i < nbuf; i++ {
 		pr.payloadFree.Put(nil)
@@ -194,7 +218,14 @@ func (pr *ParallelTraceReader) NextBatch(dst []Event) ([]Event, bool, error) {
 	if pr.done {
 		return dst, false, nil
 	}
+	var start time.Time
+	if pr.obsWaitNs != nil {
+		start = time.Now()
+	}
 	res, ok := pr.out.Collect()
+	if pr.obsWaitNs != nil {
+		pr.obsWaitNs.Add(uint64(time.Since(start)))
+	}
 	if !ok {
 		pr.done = true
 		pr.Close()
@@ -279,6 +310,10 @@ func (pr *ParallelTraceReader) work(id int) {
 		job, ok := myIn.Get()
 		if !ok {
 			return
+		}
+		if pr.obsFrames != nil && job.payload != nil {
+			pr.obsFrames.Add(id, 1)
+			pr.obsBytes.Add(id, uint64(len(job.payload)))
 		}
 		var structErr error
 		if job.err == nil {

@@ -103,8 +103,8 @@ func TestParallelParseErrorParity(t *testing.T) {
 	hdr := Header{Threads: 4, Decls: decls}
 	data := encodeAll(t, hdr, events, BinaryV2)
 	corrupt := [][]byte{
-		data[:len(data)-3],          // truncated mid-frame
-		data[:len(data)/2],          // truncated around a frame boundary
+		data[:len(data)-3],           // truncated mid-frame
+		data[:len(data)/2],           // truncated around a frame boundary
 		append(bytes.Clone(data), 0), // trailing garbage frame header
 	}
 	for ci, cdata := range corrupt {

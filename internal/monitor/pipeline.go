@@ -50,8 +50,10 @@ import (
 	"io"
 	"math/bits"
 	"sync"
+	"time"
 
 	"localdrf/internal/engine"
+	"localdrf/internal/obs"
 	"localdrf/internal/race"
 )
 
@@ -134,6 +136,7 @@ type lane struct {
 	free *engine.BatchQueue[[]pipeRec]
 	cur  []pipeRec
 	size int
+	hist *obs.Hist // flushed batch sizes (its count is the batch count)
 }
 
 func (ln *lane) put(r pipeRec) {
@@ -147,6 +150,7 @@ func (ln *lane) flush() {
 	if len(ln.cur) == 0 {
 		return
 	}
+	ln.hist.Observe(uint64(len(ln.cur)))
 	ln.q.Put(ln.cur)
 	b, ok := ln.free.Get()
 	if !ok {
@@ -170,15 +174,24 @@ type backend struct {
 	// enqueues a nil batch after flushing, and the back-end answers once
 	// every earlier record has been applied (see Pipeline.quiesce).
 	ack chan struct{}
-	// naApplied counts the nonatomic access records this back-end has
-	// applied — the load the rebalancing router redistributes (clock and
-	// frontier broadcasts reach every back-end equally and are not
-	// counted). Read by the front-end only behind a quiesce or Finish.
-	naApplied uint64
+	// id/po: this back-end's slots in the pipeline's metric vectors. The
+	// applied-record count lives ONLY in the published cell (no shadow
+	// field): the run loop tallies a plain local and publishes it at
+	// batch boundaries — and, crucially, at the quiesce barrier before
+	// the ack, so BackendLoads reads exact values behind a quiesce.
+	id int
+	po *pipeCells
 }
 
 func (b *backend) run() {
 	ck := &b.ck
+	var applied uint64
+	publish := func() {
+		b.po.backRecs.Store(b.id, applied)
+		b.po.backEsc.Store(b.id, uint64(ck.escalatedSides))
+		b.po.backRaces.Store(b.id, uint64(ck.races))
+	}
+	defer publish()
 	for {
 		batch, ok := b.in.Get()
 		if !ok {
@@ -187,6 +200,7 @@ func (b *backend) run() {
 		if batch == nil {
 			// Quiesce barrier: everything enqueued before it has been
 			// applied to this back-end's state.
+			publish()
 			b.ack <- struct{}{}
 			continue
 		}
@@ -198,12 +212,12 @@ func (b *backend) run() {
 				c := ck.clocks[t]
 				c[t] = r.aux
 				ck.readNA(&ck.na[r.loc], t, c)
-				b.naApplied++
+				applied++
 			case opWriteNA:
 				c := ck.clocks[t]
 				c[t] = r.aux
 				ck.writeNA(&ck.na[r.loc], t, c)
-				b.naApplied++
+				applied++
 			case opClock:
 				ck.clocks[t][r.loc] = r.aux
 			case opMin:
@@ -215,6 +229,7 @@ func (b *backend) run() {
 				ck.compactAll()
 			}
 		}
+		publish()
 		b.free.Put(batch)
 	}
 }
@@ -241,10 +256,16 @@ type Pipeline struct {
 	reports  []race.Report
 	races    int
 	// Skew-adaptive routing state (nil/zero unless cfg.Rebalance).
-	rebalance  bool
-	traffic    []uint32 // NA records per location, halved each sweep (recency-biased)
-	loads      []uint64 // scratch: per-back-end traffic at a sweep
-	migrations uint64   // locations migrated so far (telemetry)
+	rebalance bool
+	traffic   []uint32 // NA records per location, halved each sweep (recency-biased)
+	loads     []uint64 // scratch: per-back-end traffic at a sweep
+	// Observability (obs.go): front-end-owned plain tallies, published
+	// into po's cells at GC sweeps / Stats. Migration counts live only
+	// in po.migrations (written by the feeder during quiesces).
+	po          pipeCells
+	routed      uint64 // NA records routed
+	deltaRecs   uint64 // opClock records enqueued across all lanes
+	minRecsSent uint64 // opMin + opCompact records enqueued
 }
 
 // NewPipeline starts cfg.Shards race back-end goroutines for a stream of
@@ -283,6 +304,7 @@ func newPipelineFrom(fe *Monitor, cfg PipelineConfig) *Pipeline {
 		backs:    make([]*backend, cfg.Shards),
 		changed:  make([]int32, 0, nthreads),
 	}
+	p.po = newPipeCells(fe.reg, cfg.Shards)
 	for l := range p.owner {
 		s := l % cfg.Shards
 		p.owner[l] = int32(s)
@@ -303,6 +325,7 @@ func newPipelineFrom(fe *Monitor, cfg PipelineConfig) *Pipeline {
 			q:    engine.NewBatchQueue[[]pipeRec](cfg.QueueDepth),
 			free: free,
 			size: cfg.BatchSize,
+			hist: p.po.batchHist,
 		}
 		ln.cur, _ = free.Get()
 		p.lanes[s] = ln
@@ -326,6 +349,8 @@ func newPipelineFrom(fe *Monitor, cfg PipelineConfig) *Pipeline {
 			in:   ln.q,
 			free: free,
 			ack:  make(chan struct{}, 1),
+			id:   s,
+			po:   &p.po,
 		}
 		p.backs[s] = b
 	}
@@ -366,6 +391,7 @@ func newPipelineFrom(fe *Monitor, cfg PipelineConfig) *Pipeline {
 func (p *Pipeline) Step(e Event) {
 	m := p.fe
 	m.events++
+	m.kinds[e.Kind]++
 	t := int(e.Thread)
 	c := m.clocks[t]
 	c[t]++
@@ -375,9 +401,13 @@ func (p *Pipeline) Step(e Event) {
 		if p.rebalance {
 			p.maybeRebalance()
 		}
+		// m.gc published the front-end cells; sample the pipeline's own
+		// (ring occupancy, stall counts, record totals) at the same cadence.
+		p.publishObs()
 	}
 	switch e.Kind {
 	case ReadNA, WriteNA:
+		p.routed++
 		if p.rebalance {
 			p.traffic[e.Loc]++
 		}
@@ -434,6 +464,7 @@ func (p *Pipeline) broadcastClock(t int32, c []uint64) {
 			ln.put(r)
 		}
 	}
+	p.deltaRecs += uint64(len(p.changed)) * uint64(len(p.lanes))
 }
 
 // broadcastMin sends the refreshed minimum frontier to every back-end —
@@ -450,6 +481,7 @@ func (p *Pipeline) broadcastMin() {
 	for _, ln := range p.lanes {
 		ln.put(pipeRec{tk: opCompact})
 	}
+	p.minRecsSent += uint64(len(p.fe.minClock)+1) * uint64(len(p.lanes))
 }
 
 // Finish flushes the remaining batches, waits for the back-ends to
@@ -483,6 +515,7 @@ func (p *Pipeline) Finish() []race.Report {
 // never emits one), acknowledged by the back-end once everything before
 // it has been applied.
 func (p *Pipeline) quiesce() {
+	start := time.Now()
 	for _, ln := range p.lanes {
 		ln.flush()
 		ln.q.Put(nil)
@@ -490,6 +523,8 @@ func (p *Pipeline) quiesce() {
 	for _, b := range p.backs {
 		<-b.ack
 	}
+	p.po.quiesces.Add(1)
+	p.po.quiesceNs.Observe(uint64(time.Since(start)))
 }
 
 // maxMigrationsPerSweep caps the rebalancer's work at one barrier so a
@@ -519,7 +554,11 @@ func (p *Pipeline) maybeRebalance() {
 		total += uint64(n)
 	}
 	avg := total / uint64(p.shards)
-	if hi, _ := loadExtremes(loads); total == 0 || loads[hi] <= avg+avg/2 {
+	hi, _ := loadExtremes(loads)
+	if avg > 0 {
+		p.po.imbalance.Set(int64(loads[hi] * 1000 / avg))
+	}
+	if total == 0 || loads[hi] <= avg+avg/2 {
 		p.decayTraffic()
 		return
 	}
@@ -610,27 +649,24 @@ func (p *Pipeline) moveLoc(l, a, b int32) {
 		cka.escalatedSides--
 		ckb.escalatedSides++
 	}
-	p.migrations++
+	p.po.migrations.Add(1)
 }
 
 // BackendLoads returns the number of nonatomic access records each
 // back-end has applied so far — the balance the skew-adaptive router
 // maintains. It quiesces a live pipeline so in-flight batches are
-// counted.
+// counted; the values are read from the pipeline.backend_records metric
+// vector, which each back-end publishes exactly at the barrier.
 func (p *Pipeline) BackendLoads() []uint64 {
 	if !p.done {
 		p.quiesce()
 	}
-	out := make([]uint64, len(p.backs))
-	for s, b := range p.backs {
-		out[s] = b.naApplied
-	}
-	return out
+	return p.po.backRecs.Values(nil)
 }
 
 // Migrations returns how many location migrations the rebalancer has
-// performed.
-func (p *Pipeline) Migrations() uint64 { return p.migrations }
+// performed (the pipeline.migrations metric).
+func (p *Pipeline) Migrations() uint64 { return p.po.migrations.Load() }
 
 // EscalatedVectors returns the number of per-thread access vectors
 // currently escalated across all back-ends (see Monitor.EscalatedVectors).

@@ -83,6 +83,7 @@ import (
 	"math"
 	"math/bits"
 	"slices"
+	"time"
 
 	"localdrf/internal/prog"
 	"localdrf/internal/race"
@@ -263,7 +264,9 @@ func snapshotTo(w io.Writer, m *Monitor, naAt func(int32) *naState, rck *ReaderC
 			return fmt.Errorf("monitor: snapshot: %w", err)
 		}
 	}
-	sw := &snapWriter{w: bufio.NewWriter(w)}
+	start := time.Now()
+	cw := &countingWriter{w: w}
+	sw := &snapWriter{w: bufio.NewWriter(cw)}
 	sw.w.WriteString(snapMagic)
 	sw.w.WriteByte(snapVersion)
 
@@ -412,7 +415,38 @@ func snapshotTo(w io.Writer, m *Monitor, naAt func(int32) *naState, rck *ReaderC
 	}
 
 	sw.section(snapTagEnd)
-	return sw.w.Flush()
+	if err := sw.w.Flush(); err != nil {
+		return err
+	}
+	// Checkpoint telemetry: the encoded size IS the live state, so the
+	// size histogram doubles as a boundedness measurement over time.
+	m.mo.snapEncBytes.Observe(cw.n)
+	m.mo.snapEncNs.Observe(uint64(time.Since(start)))
+	return nil
+}
+
+// countingWriter / countingReader meter the snapshot codec's byte
+// traffic for the monitor.snapshot.* histograms.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += uint64(n)
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n uint64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += uint64(n)
+	return n, err
 }
 
 // validate checks a reader continuation against the snapshot header
@@ -648,7 +682,9 @@ func (d *snapDecoder) more(c **snapCursor, tag byte, what string) error {
 // Malformed input produces an error, never a panic, and never a monitor
 // that a subsequent Step could crash.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
-	d := &snapDecoder{br: bufio.NewReader(r)}
+	start := time.Now()
+	cr := &countingReader{r: r}
+	d := &snapDecoder{br: bufio.NewReader(cr)}
 	var magic [len(snapMagic) + 1]byte
 	if _, err := io.ReadFull(d.br, magic[:]); err != nil {
 		if err == io.EOF {
@@ -707,6 +743,11 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	if err := c.done(); err != nil {
 		return nil, err
 	}
+	// Record the restore cost in the restored monitor's own registry
+	// (the byte count may include bufio readahead past the end section
+	// when the stream continues — telemetry, not framing).
+	m.mo.snapDecBytes.Observe(cr.n)
+	m.mo.snapDecNs.Observe(uint64(time.Since(start)))
 	return s, nil
 }
 

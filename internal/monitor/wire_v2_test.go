@@ -224,7 +224,7 @@ func TestWireV2Rejects(t *testing.T) {
 			0x04, 0x01, byte(WriteNA)|1<<3|7<<4, 0x01)},
 		{"loc delta out of range", append(append([]byte{}, hdrOnly...),
 			// count=1, tag loc field 0 → delta −7 from prevLoc 0.
-			0x03, 0x01, byte(WriteNA) | 0<<4)},
+			0x03, 0x01, byte(WriteNA)|0<<4)},
 		{"halt with nonzero loc field", append(append([]byte{}, hdrOnly...),
 			0x03, 0x01, byte(KindHalt)|7<<4)},
 		{"kind 7", append(append([]byte{}, hdrOnly...), 0x03, 0x01, 7|7<<4)},

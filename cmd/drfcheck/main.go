@@ -5,11 +5,15 @@
 //	drfcheck -test MP                 # analyse a catalogued litmus test
 //	drfcheck -file prog.litmus        # analyse a litmus file
 //	drfcheck -test Example1 -L a,b    # additionally check local DRF for L
+//	drfcheck -test S -static          # additionally run the static analysis
 //
 // The report covers: distinct data races (in SC traces and in all
 // traces), whether the program is data-race-free in the global-DRF sense,
 // and — when -L is given — whether the initial state is L-stable and the
-// local DRF theorem's conclusion holds from it.
+// local DRF theorem's conclusion holds from it. With -static the sound
+// static may-race analysis runs too, printing each nonatomic location's
+// verdict and certificate reason — no trace enumeration involved, so it
+// works at any program size.
 package main
 
 import (
@@ -25,6 +29,7 @@ func main() {
 	test := flag.String("test", "", "catalogued litmus test name")
 	file := flag.String("file", "", "litmus file")
 	locs := flag.String("L", "", "comma-separated location set for local DRF")
+	static := flag.Bool("static", false, "run the sound static may-race analysis")
 	flag.Parse()
 
 	var p *localdrf.Program
@@ -92,6 +97,21 @@ func main() {
 		}
 	}
 
+	if *static {
+		rep := localdrf.AnalyzeStatic(p)
+		fmt.Printf("static analysis: %s\n", rep)
+		if len(rep.MayRace) > 0 {
+			fmt.Printf("    may race (sound over-approximation): %s\n", joinLocs(rep.MayRace))
+		}
+		for _, l := range rep.Certified {
+			fmt.Printf("    %s: race-free in every execution (%s)\n", l, rep.Reasons[l])
+		}
+		if len(rep.Certified) > 0 {
+			fmt.Println("    certified locations admit LDRF reasoning: accesses there are happens-before ordered,")
+			fmt.Println("    so the monitor may skip them (racemon -static-prefilter) and poRW reorderings are licensed")
+		}
+	}
+
 	if *locs != "" {
 		var L []localdrf.Loc
 		for _, s := range strings.Split(*locs, ",") {
@@ -111,6 +131,14 @@ func main() {
 			fmt.Println("local DRF theorem verified from the initial state (thm 13)")
 		}
 	}
+}
+
+func joinLocs(locs []localdrf.Loc) string {
+	ss := make([]string, len(locs))
+	for i, l := range locs {
+		ss[i] = string(l)
+	}
+	return strings.Join(ss, ", ")
 }
 
 func fail(err error) {

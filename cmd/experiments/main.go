@@ -66,7 +66,9 @@ import (
 	"localdrf/internal/engine"
 	"localdrf/internal/monitor"
 	"localdrf/internal/progsynth"
+	"localdrf/internal/race"
 	"localdrf/internal/schedgen"
+	"localdrf/internal/staticrace"
 )
 
 var (
@@ -475,6 +477,9 @@ type benchResult struct {
 	// vectors back to epochs at every sweep.
 	EscalatedBefore int `json:"escalated_before,omitempty"`
 	EscalatedAfter  int `json:"escalated_after,omitempty"`
+	// CertifiedLocs is how many locations the static certificate let the
+	// monitor's prefilter skip (static-prefilter row only).
+	CertifiedLocs int `json:"certified_locs,omitempty"`
 }
 
 // benchDoc is the on-disk shape of a BENCH_*.json file: the rows plus
@@ -865,6 +870,47 @@ func benchMonitorResults() ([]benchResult, error) {
 	}
 	results[len(results)-1].EscalatedBefore = noSweep.EscalatedVectors()
 	results[len(results)-1].EscalatedAfter = escalatedAfter
+	// Static prefilter: a private-heavy workload (per-thread private
+	// pools taking 60% of the nonatomic data traffic) monitored with and
+	// without the static certificate's skip mask. The certificate proves
+	// the private locations race-free, so the filtered run skips their
+	// checker work entirely; the report sets and RA retention must be
+	// identical — the delta between the two rows is pure checker savings.
+	privCfg := progsynth.ScaledDefaults()
+	privCfg.PrivateLocs = 6
+	privCfg.PrivatePct = 60
+	privCfg.Iters = privCfg.IterationsFor(nevents)
+	privProg := progsynth.Scaled(1, privCfg)
+	privTb := monitor.NewTable(privProg)
+	privStream, _, err := schedgen.Generate(privProg, privTb, opt, nil)
+	if err != nil {
+		return nil, err
+	}
+	privMask := monitor.StaticFilter(privTb.Decls(), staticrace.Analyze(privProg).RaceFree)
+	if privMask == nil {
+		return nil, fmt.Errorf("static analysis certified nothing on the private-heavy workload")
+	}
+	noFilter := privTb.NewMonitor()
+	if err := timeIt("monitor/static-nofilter-1M", &results, func() error {
+		noFilter.Reset()
+		noFilter.StepBatch(privStream)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	withFilter := privTb.NewMonitor()
+	withFilter.SetStaticFilter(privMask)
+	if err := timeIt("monitor/static-prefilter-1M", &results, func() error {
+		withFilter.Reset()
+		withFilter.StepBatch(privStream)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if !race.ReportsEqual(withFilter.Reports(), noFilter.Reports()) || withFilter.RAStats() != noFilter.RAStats() {
+		return nil, fmt.Errorf("static prefilter changed the reports or RA stats")
+	}
+	results[len(results)-1].CertifiedLocs = monitor.FilteredLocs(privMask)
 	for i := range results {
 		// events/sec is meaningful only for rows that process the
 		// 1M-event stream; the snapshot codec row times state encode +

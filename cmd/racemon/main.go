@@ -117,6 +117,7 @@ import (
 	"localdrf/internal/progsynth"
 	"localdrf/internal/race"
 	"localdrf/internal/schedgen"
+	"localdrf/internal/staticrace"
 )
 
 type result struct {
@@ -136,11 +137,16 @@ type result struct {
 	// The RA retention stats are omitted when no single monitor produced
 	// them (sharded runs keep their monitors internal) or when they are
 	// genuinely zero.
-	RALive      int           `json:"ra_live,omitempty"`
-	RALivePeak  int           `json:"ra_live_peak,omitempty"`
-	RACollected uint64        `json:"ra_collected,omitempty"`
-	Races       []raceJSON    `json:"races,omitempty"`
-	Locations   locationsJSON `json:"locations"`
+	RALive      int    `json:"ra_live,omitempty"`
+	RALivePeak  int    `json:"ra_live_peak,omitempty"`
+	RACollected uint64 `json:"ra_collected,omitempty"`
+	// Static analysis results, present with -static-prefilter: how many
+	// nonatomic locations the sound static pass certified race-free
+	// (their checker work is skipped) vs left in the may-race set.
+	StaticCertified int           `json:"static_certified,omitempty"`
+	StaticMayRace   int           `json:"static_may_race,omitempty"`
+	Races           []raceJSON    `json:"races,omitempty"`
+	Locations       locationsJSON `json:"locations"`
 	// Stats is the final telemetry snapshot of the run's obs registries
 	// (monitor.*, pipeline.*, parse.* — see internal/monitor's metric
 	// catalogue). Absent in modes with no accessible sink (emit, the
@@ -187,6 +193,9 @@ func main() {
 	stale := flag.Int("stale", 10, "percent of reads returning stale values")
 	skew := flag.Float64("skew", 0, "Zipf exponent skewing generated nonatomic accesses toward hot locations (0 = uniform)")
 	rebalance := flag.Bool("rebalance", false, "migrate hot locations between pipeline back-ends at GC barriers (sharded modes)")
+	staticPrefilter := flag.Bool("static-prefilter", false, "run the sound static may-race analysis over the generated program and skip checker work for certified locations (report set unchanged)")
+	privateLocs := flag.Int("private-locs", 0, "thread-private nonatomic locations per thread (certifiable by -static-prefilter)")
+	privatePct := flag.Int("private-pct", 0, "percent of nonatomic data traffic redirected to the accessing thread's private pool")
 	parsers := flag.Int("parsers", 1, "parallel trace-decode workers for -trace (v2 traces; ≥ 2 enables the parallel front-end)")
 	asJSON := flag.Bool("json", false, "emit a JSON summary")
 	maxRaces := flag.Int("max-races", 20, "race reports listed in the output (0 = all)")
@@ -274,6 +283,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "racemon: -stats-linger keeps the HTTP endpoint alive; it needs -stats-addr")
 		os.Exit(2)
 	}
+	if *privateLocs < 0 || *privatePct < 0 || *privatePct > 100 {
+		fmt.Fprintln(os.Stderr, "racemon: -private-locs must be ≥ 0 and -private-pct in 0..100")
+		os.Exit(2)
+	}
+	if *staticPrefilter && (*traceFile != "" || *emitFile != "") {
+		fmt.Fprintln(os.Stderr, "racemon: -static-prefilter analyses the generated program; it cannot be used with -trace or -emit")
+		os.Exit(2)
+	}
 
 	if *statsAddr != "" {
 		startStats(*statsAddr)
@@ -293,7 +310,8 @@ func main() {
 	gp := genParams{
 		policy: pol, seed: *seed, events: *events, threads: *threads,
 		locs: *locs, atomics: *atomics, ra: *ra, stale: *stale, halts: *halts,
-		skew: *skew,
+		skew: *skew, privateLocs: *privateLocs, privatePct: *privatePct,
+		prefilter: *staticPrefilter,
 	}
 	ck := ckParams{file: *checkpointFile, at: *checkpointAt}
 	var res result
@@ -371,6 +389,10 @@ func main() {
 		fmt.Fprintf(out, "ra msgs   live=%d peak=%d collected=%d (windowed GC)\n",
 			res.RALive, res.RALivePeak, res.RACollected)
 	}
+	if *staticPrefilter {
+		fmt.Fprintf(out, "static    %d certified (checker work skipped), %d may-race\n",
+			res.StaticCertified, res.StaticMayRace)
+	}
 	fmt.Fprintf(out, "races     %d distinct\n", res.RaceCount)
 	for _, r := range listed {
 		fmt.Fprintf(out, "    %s\n", r)
@@ -383,16 +405,19 @@ func main() {
 // genParams bundles the generated-schedule knobs, so the mode runners
 // cannot silently transpose adjacent int arguments.
 type genParams struct {
-	policy  schedgen.Policy
-	seed    int64
-	events  int
-	threads int
-	locs    int
-	atomics int
-	ra      int
-	stale   int
-	halts   bool
-	skew    float64
+	policy      schedgen.Policy
+	seed        int64
+	events      int
+	threads     int
+	locs        int
+	atomics     int
+	ra          int
+	stale       int
+	halts       bool
+	skew        float64
+	privateLocs int
+	privatePct  int
+	prefilter   bool
 }
 
 // program builds the generator-side program and table shared by the
@@ -403,11 +428,26 @@ func (gp genParams) program() (*monitor.Table, string) {
 	cfg.NonAtomic = gp.locs
 	cfg.Atomics = gp.atomics
 	cfg.RAs = gp.ra
+	cfg.PrivateLocs = gp.privateLocs
+	cfg.PrivatePct = gp.privatePct
 	// Size the loop counts so the program cannot halt before the schedule
 	// reaches the requested length.
 	cfg.Iters = cfg.IterationsFor(gp.events)
 	p := progsynth.Scaled(gp.seed, cfg)
 	return monitor.NewTable(p), p.Name
+}
+
+// staticMask runs the static analysis when -static-prefilter is on,
+// records the verdict counts in res, and returns the monitor skip mask
+// (nil when disabled or when nothing certified).
+func (gp genParams) staticMask(tb *monitor.Table, res *result) []bool {
+	if !gp.prefilter {
+		return nil
+	}
+	rep := staticrace.Analyze(tb.Program())
+	res.StaticCertified = len(rep.Certified)
+	res.StaticMayRace = len(rep.MayRace)
+	return monitor.StaticFilter(tb.Decls(), rep.RaceFree)
 }
 
 // options is the schedgen configuration of the parameters.
@@ -453,7 +493,9 @@ func runPipeline(gp genParams, shards int, rebalance bool, ck ckParams) (result,
 		Seed: gp.seed, Shards: shards,
 		Locations: locationsJSON{NonAtomic: gp.locs, Atomic: gp.atomics, RA: gp.ra},
 	}
-	pl := monitor.NewPipeline(tb.Threads(), tb.Decls(), monitor.PipelineConfig{Shards: shards, Rebalance: rebalance})
+	pl := monitor.NewPipeline(tb.Threads(), tb.Decls(), monitor.PipelineConfig{
+		Shards: shards, Rebalance: rebalance, StaticFilter: gp.staticMask(tb, &res),
+	})
 	tel.attach(pl.Obs())
 	start := time.Now()
 	completed, err := schedgen.StreamBatch(tb.Program(), tb, gp.options(), 0, func(evs []monitor.Event) error {
@@ -497,10 +539,12 @@ func runGenerated(gp genParams, shards int, stream, rebalance bool, ck ckParams)
 		Program: name, Threads: tb.Threads(), Policy: gp.policy.String(), Seed: gp.seed,
 		Shards: shards, Locations: locationsJSON{NonAtomic: gp.locs, Atomic: gp.atomics, RA: gp.ra},
 	}
+	mask := gp.staticMask(tb, &res)
 
 	if stream {
 		res.Mode = "stream"
 		m := monitor.New(tb.Threads(), tb.Decls())
+		m.SetStaticFilter(mask)
 		tel.attach(m.Obs())
 		start := time.Now()
 		completed, err := schedgen.Stream(tb.Program(), tb, opt, func(e monitor.Event) error {
@@ -543,6 +587,7 @@ func runGenerated(gp genParams, shards int, stream, rebalance bool, ck ckParams)
 	if shards == 1 {
 		// Run the monitor directly so the RA retention stats are visible.
 		m := monitor.New(tb.Threads(), tb.Decls())
+		m.SetStaticFilter(mask)
 		tel.attach(m.Obs())
 		for _, e := range streamEv {
 			m.Step(e)
@@ -553,7 +598,7 @@ func runGenerated(gp genParams, shards int, stream, rebalance bool, ck ckParams)
 		res.Stats = &stats
 	} else {
 		reports, err = monitor.ShardedRacesConfig(tb.Threads(), tb.Decls(), streamEv, shards, 0,
-			monitor.PipelineConfig{Rebalance: rebalance})
+			monitor.PipelineConfig{Rebalance: rebalance, StaticFilter: mask})
 		if err != nil {
 			fatalf("monitor: %v", err)
 		}

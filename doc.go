@@ -171,6 +171,43 @@
 // resumes, and snapshots taken at rebalance barriers — which are
 // byte-identical to the sequential monitor's despite live migrations.
 //
+// # Static analysis
+//
+// internal/staticrace is a sound static may-race analysis: with no
+// trace enumeration at all, AnalyzeStatic partitions a program's
+// nonatomic locations into a may-race set and a certified race-free
+// set, each certificate naming its reason. The abstraction is a
+// flow-sensitive abstract interpretation over bounded value sets
+// (explicit ⊤ beyond 8 values) with register provenance, run to a
+// whole-program fixpoint over the per-location abstract values;
+// branch refinement turns an observed guard value into a fact about
+// the flag location, and the certificate rules are: location unused,
+// single-thread, read-only, guard-ordered (every qualifying flag
+// write is same-thread with and dominates the data access, so the
+// cross-thread reader's guard orders the pair happens-before), and
+// pairwise-ordered. Abstract reachability prunes out-of-thin-air
+// stores, so LB+ctrl certifies — precision the obvious syntactic
+// analysis misses. Soundness is not argued, it is measured: the
+// differential harness in internal/modeltest runs the full corpus
+// (litmus catalogue plus hundreds of synthesised programs) through
+// the exhaustive dynamic oracle and asserts static ⊇ dynamic on
+// every one, and FuzzStaticSoundness keeps hunting for a miss in CI.
+// The certificates license two consumers. First, the monitor's static
+// pre-filter: Monitor.SetStaticFilter / PipelineConfig.StaticFilter
+// (MonitorStaticFilter builds the mask, racemon -static-prefilter and
+// the bench's static-prefilter-1M row exercise it) skip all
+// race-checker work for certified locations — by soundness the
+// reports, RAStats and snapshot bytes are proven identical with the
+// filter on, sequentially and at every shard count; only the time
+// changes. Second, certificate-strengthened compiler reorderings:
+// CanReorderCert / DeriveOptimisationCert relax exactly the poRW
+// constraint — the one §7.1 rule that exists to protect racy read
+// values — when the certificate proves both locations race-free,
+// validated semantically by outcome-set inclusion. This is the local
+// DRF theorem used as a compiler licence: race-freedom on L, proven
+// statically, buys SC reasoning on L. cmd/drfcheck -static prints the
+// per-location verdicts next to the dynamic ones.
+//
 // # Observability
 //
 // The streaming subsystem is instrumented end to end through

@@ -366,8 +366,13 @@ type Monitor struct {
 	nthreads int
 	clocks   [][]uint64 // clocks[t][u]: thread t's vector clock
 	ck       checker    // nonatomic race checking over clocks/minClock
-	at       [][]uint64 // released clock L_A per atomic location
-	ra       []map[tsKey]raMsg
+	// staticSkip, when non-nil, marks nonatomic locations a sound static
+	// certificate proved race-free; their events bypass the checker (see
+	// staticfilter.go). Configuration like gcEvery: kept across Reset,
+	// never serialised into snapshots.
+	staticSkip []bool
+	at         [][]uint64 // released clock L_A per atomic location
+	ra         []map[tsKey]raMsg
 	// minClock caches the pointwise minimum of all live thread clocks as
 	// of the last GC sweep (halted threads count as +∞). Stale entries
 	// are only ever too small, so every use (RA GC, epoch overwrite)
@@ -561,9 +566,13 @@ func (m *Monitor) Step(e Event) {
 	}
 	switch e.Kind {
 	case ReadNA:
-		m.ck.readNA(&m.ck.na[e.Loc], e.Thread, c)
+		if m.staticSkip == nil || !m.staticSkip[e.Loc] {
+			m.ck.readNA(&m.ck.na[e.Loc], e.Thread, c)
+		}
 	case WriteNA:
-		m.ck.writeNA(&m.ck.na[e.Loc], e.Thread, c)
+		if m.staticSkip == nil || !m.staticSkip[e.Loc] {
+			m.ck.writeNA(&m.ck.na[e.Loc], e.Thread, c)
+		}
 	case ReadAT:
 		join(c, m.at[e.Loc])
 	case WriteAT:

@@ -96,6 +96,13 @@ type PipelineConfig struct {
 	// statistics and snapshots are identical with or without rebalancing
 	// at every configuration.
 	Rebalance bool
+	// StaticFilter, when non-nil, marks nonatomic locations a sound
+	// static certificate (internal/staticrace) proved race-free; their
+	// accesses are not routed to the back-ends at all (see
+	// staticfilter.go for the soundness contract). Length must equal the
+	// declaration count. Reports, RAStats and snapshots are identical
+	// with or without a sound filter.
+	StaticFilter []bool
 }
 
 func (cfg PipelineConfig) withDefaults() PipelineConfig {
@@ -255,6 +262,8 @@ type Pipeline struct {
 	done     bool
 	reports  []race.Report
 	races    int
+	// staticSkip mirrors cfg.StaticFilter (see PipelineConfig).
+	staticSkip []bool
 	// Skew-adaptive routing state (nil/zero unless cfg.Rebalance).
 	rebalance bool
 	traffic   []uint32 // NA records per location, halved each sweep (recency-biased)
@@ -303,6 +312,12 @@ func newPipelineFrom(fe *Monitor, cfg PipelineConfig) *Pipeline {
 		lanes:    make([]*lane, cfg.Shards),
 		backs:    make([]*backend, cfg.Shards),
 		changed:  make([]int32, 0, nthreads),
+	}
+	if cfg.StaticFilter != nil {
+		if len(cfg.StaticFilter) != len(decls) {
+			panic("monitor: pipeline static filter mask length != declaration count")
+		}
+		p.staticSkip = cfg.StaticFilter
 	}
 	p.po = newPipeCells(fe.reg, cfg.Shards)
 	for l := range p.owner {
@@ -407,6 +422,9 @@ func (p *Pipeline) Step(e Event) {
 	}
 	switch e.Kind {
 	case ReadNA, WriteNA:
+		if p.staticSkip != nil && p.staticSkip[e.Loc] {
+			return
+		}
 		p.routed++
 		if p.rebalance {
 			p.traffic[e.Loc]++

@@ -1,0 +1,96 @@
+package opt
+
+// Certificate-strengthened reordering: the LDRF theorem as a compiler
+// licence.
+//
+// The §7.1 constraints are what a compiler may assume about an
+// *arbitrary* context. The paper's local DRF theorem strengthens that:
+// on a set of locations that is race-free, every execution behaves
+// sequentially-consistently with interference-free nonatomic accesses —
+// so, restricted to certified locations, transformations valid under SC
+// become valid under the full model. Concretely, poRW (a read must not
+// move after a later write) exists to preserve the value a *racy* read
+// can observe: delaying the read past the write opens a window for a
+// concurrent conflicting write to change what it returns. When both
+// locations are certified race-free, no such concurrent write exists —
+// every remote conflicting access is happens-before ordered with the
+// access, and swapping two adjacent *nonatomic* instructions creates no
+// synchronisation edge that could reorder it — so the read returns the
+// same value at either position and the swap is behaviour-preserving.
+//
+// The other constraints are NOT discharged by a certificate: poat− and
+// po−at order against synchronisation operations (whose frontier
+// effects are visible regardless of races), pocon is same-location
+// dataflow, and register dataflow is ordinary dependence. CanSwapCert
+// therefore relaxes exactly the ReasonPoRW refusal, nothing else.
+//
+// A Certificate typically comes from the static analysis
+// (staticrace.Analyze; *staticrace.Report implements the interface), a
+// closed-world whole-program proof. That matches the licence's shape:
+// race-freedom of the locations in *this* program, not in an arbitrary
+// context.
+
+import (
+	"fmt"
+
+	"localdrf/internal/prog"
+)
+
+// Certificate answers whether a location is proven race-free in every
+// execution of the program under transformation. *staticrace.Report
+// satisfies it.
+type Certificate interface {
+	RaceFree(prog.Loc) bool
+}
+
+// CanSwapCert is CanSwap with a local-DRF side condition: a swap refused
+// only by poRW is permitted when the certificate proves both accessed
+// locations race-free. All other refusals stand.
+func CanSwapCert(a, b prog.Instr, isAtomic func(prog.Loc) bool, cert Certificate) (bool, string) {
+	ok, reason := CanSwap(a, b, isAtomic)
+	if ok || reason != ReasonPoRW || cert == nil {
+		return ok, reason
+	}
+	aa, ab := accessOf(a), accessOf(b)
+	if aa.loc == ab.loc {
+		// CanSwap tests poRW before pocon, so a same-location read/write
+		// pair surfaces as poRW — but pocon is dataflow, which no
+		// certificate discharges.
+		return false, reasonPocon
+	}
+	if cert.RaceFree(aa.loc) && cert.RaceFree(ab.loc) {
+		return true, ""
+	}
+	return false, reason
+}
+
+// DeriveCert is Derive with swap steps validated by CanSwapCert: the
+// derivation may use read-past-write swaps on certified locations, and
+// is otherwise identical (peepholes gain nothing from a certificate —
+// they are same-location rewrites, already justified operationally).
+func DeriveCert(f Fragment, steps []Step, isAtomic func(prog.Loc) bool, cert Certificate) (Fragment, error) {
+	cur := f.Clone()
+	for n, s := range steps {
+		switch s.Kind {
+		case "swap":
+			if s.I < 0 || s.I+1 >= len(cur) {
+				return nil, fmt.Errorf("opt: step %d: swap index %d out of range", n, s.I)
+			}
+			ok, reason := CanSwapCert(cur[s.I], cur[s.I+1], isAtomic, cert)
+			if !ok {
+				return nil, fmt.Errorf("opt: step %d: cannot swap [%s] and [%s]: %s",
+					n, cur[s.I], cur[s.I+1], reason)
+			}
+			cur[s.I], cur[s.I+1] = cur[s.I+1], cur[s.I]
+		case "peephole":
+			next, err := ApplyPeephole(cur, s.P, s.I, isAtomic)
+			if err != nil {
+				return nil, fmt.Errorf("opt: step %d: %w", n, err)
+			}
+			cur = next
+		default:
+			return nil, fmt.Errorf("opt: step %d: unknown kind %q", n, s.Kind)
+		}
+	}
+	return cur, nil
+}

@@ -1,0 +1,105 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"localdrf/internal/prog"
+	"localdrf/internal/staticrace"
+)
+
+// certProg is the guarded-handoff shape: P1's read of x and write of y
+// are adjacent, x is certified by the flag protocol and y is
+// thread-private, so the read-past-write swap is licensed by the
+// certificate but refused by the context-free rules.
+func certProg() *prog.Program {
+	return prog.NewProgram("cert-swap").
+		Vars("x", "y").
+		Atomics("F").
+		Thread("P0").StoreI("x", 1).StoreI("F", 1).Done().
+		Thread("P1").
+		Load("g", "F").
+		JmpZ("g", "skip").
+		Load("r", "x").
+		StoreI("y", 7).
+		Label("skip").
+		Done().
+		MustBuild()
+}
+
+// TestCanSwapCertRelaxesPoRW: on the certified program the poRW refusal
+// — and only it — is discharged.
+func TestCanSwapCertRelaxesPoRW(t *testing.T) {
+	p := certProg()
+	rep := staticrace.Analyze(p)
+	if !rep.RaceFree("x") || !rep.RaceFree("y") {
+		t.Fatalf("precondition: x and y must certify (report: %s)", rep)
+	}
+	rd := prog.Load{Dst: "r", Src: "x"}
+	wr := prog.Store{Dst: "y", Src: prog.I(7)}
+	isAtomic := p.IsSync
+
+	if ok, reason := CanSwap(rd, wr, isAtomic); ok || reason != ReasonPoRW {
+		t.Fatalf("CanSwap = %v, %q; want poRW refusal", ok, reason)
+	}
+	if ok, reason := CanSwapCert(rd, wr, isAtomic, rep); !ok {
+		t.Fatalf("CanSwapCert refused a certified swap: %s", reason)
+	}
+	// A nil certificate proves nothing.
+	if ok, _ := CanSwapCert(rd, wr, isAtomic, nil); ok {
+		t.Fatal("CanSwapCert permitted the swap with no certificate")
+	}
+	// Non-poRW refusals stand even under a certificate.
+	if ok, reason := CanSwapCert(prog.Store{Dst: "F", Src: prog.I(1)}, wr, isAtomic, rep); ok || !strings.Contains(reason, "poat") {
+		t.Fatalf("CanSwapCert = %v, %q; want poat− refusal to stand", ok, reason)
+	}
+	if ok, reason := CanSwapCert(rd, prog.Store{Dst: "x", Src: prog.I(2)}, isAtomic, rep); ok || !strings.Contains(reason, "pocon") {
+		t.Fatalf("CanSwapCert = %v, %q; want pocon refusal to stand", ok, reason)
+	}
+}
+
+// TestDeriveCertSemanticallyValid: the certificate-licensed derivation
+// succeeds where Derive fails, and the transformed program introduces no
+// new outcome — the LDRF licence checked against the operational ground
+// truth.
+func TestDeriveCertSemanticallyValid(t *testing.T) {
+	p := certProg()
+	rep := staticrace.Analyze(p)
+	frag := Fragment(p.Threads[1].Code)
+	steps := []Step{SwapStep(2)} // Load r,x <-> Store y,7
+
+	if _, err := Derive(frag, steps, p.IsSync); err == nil {
+		t.Fatal("Derive permitted the poRW swap without a certificate")
+	}
+	out, err := DeriveCert(frag, steps, p.IsSync, rep)
+	if err != nil {
+		t.Fatalf("DeriveCert: %v", err)
+	}
+	q := ReplaceThread(p, 1, out)
+	ok, extra, err := SemanticallyValid(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("certified swap introduced new outcomes: %v", extra)
+	}
+}
+
+// TestCanSwapCertRefusesRacy: on the unguarded variant the certificate
+// proves nothing about x, so poRW stands.
+func TestCanSwapCertRefusesRacy(t *testing.T) {
+	p := prog.NewProgram("racy-swap").
+		Vars("x", "y").
+		Thread("P0").StoreI("x", 1).Done().
+		Thread("P1").Load("r", "x").StoreI("y", 7).Done().
+		MustBuild()
+	rep := staticrace.Analyze(p)
+	if rep.RaceFree("x") {
+		t.Fatal("precondition: x must not certify in the racy program")
+	}
+	rd := prog.Load{Dst: "r", Src: "x"}
+	wr := prog.Store{Dst: "y", Src: prog.I(7)}
+	if ok, reason := CanSwapCert(rd, wr, p.IsSync, rep); ok || reason != ReasonPoRW {
+		t.Fatalf("CanSwapCert = %v, %q; want poRW refusal on the racy program", ok, reason)
+	}
+}

@@ -108,6 +108,16 @@ func regWritten(in prog.Instr) (prog.Reg, bool) {
 	return "", false
 }
 
+// ReasonPoRW is the CanSwap refusal reason for the poRW constraint —
+// the only §7.1 constraint a race-freedom certificate can discharge
+// (see CanSwapCert in cert.go), so its identity is part of the API.
+const ReasonPoRW = "poRW: read before write"
+
+// reasonPocon is the pocon refusal; CanSwapCert re-checks it after
+// discharging poRW (CanSwap tests poRW first, so a same-location
+// read/write pair reports poRW, not pocon).
+const reasonPocon = "pocon: conflicting operations"
+
 // CanSwap reports whether adjacent instructions a; b may be reordered to
 // b; a under the memory model (§7.1) and ordinary dataflow. The returned
 // reason names the violated constraint when the swap is forbidden.
@@ -146,11 +156,11 @@ func CanSwap(a, b prog.Instr, isAtomic func(prog.Loc) bool) (bool, string) {
 	}
 	// poRW: prior reads must not be moved after subsequent writes.
 	if !aa.isWrite && ab.isWrite {
-		return false, "poRW: read before write"
+		return false, ReasonPoRW
 	}
 	// pocon: conflicting operations must not be reordered.
 	if aa.loc == ab.loc && (aa.isWrite || ab.isWrite) {
-		return false, "pocon: conflicting operations"
+		return false, reasonPocon
 	}
 	return true, ""
 }

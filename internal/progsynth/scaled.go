@@ -37,6 +37,18 @@ type ScaledConfig struct {
 	SyncPct int
 	// MaxConst bounds stored immediates (1..MaxConst).
 	MaxConst int
+	// PrivateLocs adds, per thread, that many thread-private nonatomic
+	// locations (p<t>n<k>), and PrivatePct redirects that percentage of
+	// the nonatomic data operations to the accessing thread's own
+	// private pool. Private locations are exactly what a static
+	// race-freedom analysis (internal/staticrace) can certify — every
+	// access site is in one thread — so workloads with a private share
+	// give the monitor's static pre-filter real traffic to skip. Both
+	// zero (the default) leaves generation byte-identical to a config
+	// without the fields, so existing seeds, goldens and benches are
+	// unaffected.
+	PrivateLocs int
+	PrivatePct  int
 }
 
 // ScaledDefaults is a workload shape that produces dense mixed traffic:
@@ -114,6 +126,15 @@ func Scaled(seed int64, cfg ScaledConfig) *prog.Program {
 	b.Vars(na...)
 	b.Atomics(at...)
 	b.RAs(ra...)
+	// Thread-private pools (empty unless PrivateLocs > 0).
+	priv := make([][]prog.Loc, cfg.Threads)
+	for ti := 0; ti < cfg.Threads; ti++ {
+		for k := 0; k < cfg.PrivateLocs; k++ {
+			l := prog.Loc(fmt.Sprintf("p%dn%d", ti, k))
+			priv[ti] = append(priv[ti], l)
+			b.Vars(l)
+		}
+	}
 	sync := append(append([]prog.Loc{}, at...), ra...)
 
 	for ti := 0; ti < cfg.Threads; ti++ {
@@ -132,6 +153,12 @@ func Scaled(seed int64, cfg ScaledConfig) *prog.Program {
 			pool := na
 			if len(sync) > 0 && r.Intn(100) < cfg.SyncPct {
 				pool = sync
+			} else if len(priv[ti]) > 0 && cfg.PrivatePct > 0 && r.Intn(100) < cfg.PrivatePct {
+				// Redirect a share of the data traffic to this thread's
+				// private pool. The draw happens only when private pools
+				// exist, so disabled configs consume the same random
+				// sequence as before the fields existed.
+				pool = priv[ti]
 			}
 			if len(pool) == 0 {
 				pool = na

@@ -1,0 +1,474 @@
+package staticrace
+
+// The abstract interpretation underlying the may-race analysis: a
+// flow-sensitive forward analysis per thread over a whole-program
+// abstract store fixpoint.
+//
+// Abstract domains:
+//
+//   - vset: a small explicit value set, capped at maxVals elements, with
+//     an explicit ⊤ ("any value"). Register contents and per-location
+//     abstract stores are vsets.
+//
+//   - locVals: for every location ℓ, an over-approximation of every
+//     value any trace can hold at ℓ — the union of V0 with the abstract
+//     operand sets of every (abstractly reachable) store to ℓ, iterated
+//     to fixpoint. Because the operational model lets a load return any
+//     value some trace wrote (weak or not), a load's result set is
+//     exactly locVals of its source: the abstraction is sound for every
+//     interleaving and every weak behaviour at once, which is what lets
+//     the downstream certification quantify over all traces.
+//
+//   - provenance: a register that still holds the unmodified result of a
+//     load of a synchronising (atomic or RA) location carries that
+//     location as provenance. Mov preserves it; any arithmetic destroys
+//     it. Provenance is what lets a branch refine a *fact* about the
+//     load rather than merely about the register.
+//
+//   - facts: must-information of the form "on every path reaching this
+//     point, some program-order-earlier load of synchronising location A
+//     returned a value in V". Facts are created by branch refinement:
+//     after `if r` (r with provenance A) the taken edge knows the load
+//     returned a nonzero value of r's set. They are the hinge of the
+//     happens-before argument in certOrder (staticrace.go).
+//
+// Joins at control-flow merges: register sets union pointwise (missing
+// registers are {0}: registers start zeroed), provenance intersects
+// (kept only when both paths agree), facts intersect on keys and union
+// on value sets ("some earlier load returned a value in V₁∪V₂" holds on
+// either path). All three are conservative in the certification-safe
+// direction — joining can only lose precision, never soundness.
+//
+// Branch edges are followed only when abstractly feasible (the
+// condition's set contains a nonzero value / zero respectively), so the
+// per-pc states also yield an over-approximate reachability: a pc with
+// no abstract state is never executed in any trace.
+//
+// Termination: all domains are finite (vsets are capped, registers and
+// locations are drawn from the program text) and every join moves up a
+// finite lattice, so both the per-thread worklists and the outer
+// locVals fixpoint terminate.
+
+import (
+	"sort"
+
+	"localdrf/internal/prog"
+)
+
+// maxVals caps explicit value sets; larger sets widen to ⊤.
+const maxVals = 8
+
+// vset is an abstract value set: ⊤ or an explicit sorted set.
+type vset struct {
+	top  bool
+	vals []prog.Val // sorted, no duplicates, len ≤ maxVals
+}
+
+var topSet = vset{top: true}
+
+func single(v prog.Val) vset { return vset{vals: []prog.Val{v}} }
+
+func (s vset) contains(v prog.Val) bool {
+	if s.top {
+		return true
+	}
+	for _, x := range s.vals {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// empty reports whether the set denotes no value at all (an infeasible
+// state component).
+func (s vset) empty() bool { return !s.top && len(s.vals) == 0 }
+
+func (s vset) equal(o vset) bool {
+	if s.top || o.top {
+		return s.top == o.top
+	}
+	if len(s.vals) != len(o.vals) {
+		return false
+	}
+	for i, v := range s.vals {
+		if o.vals[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// union returns s ∪ o, widening to ⊤ past the cap.
+func (s vset) union(o vset) vset {
+	if s.top || o.top {
+		return topSet
+	}
+	merged := make([]prog.Val, 0, len(s.vals)+len(o.vals))
+	merged = append(merged, s.vals...)
+	for _, v := range o.vals {
+		if !s.contains(v) {
+			merged = append(merged, v)
+		}
+	}
+	if len(merged) > maxVals {
+		return topSet
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	return vset{vals: merged}
+}
+
+// intersects reports whether s ∩ o is nonempty. ⊤ intersects anything
+// nonempty (the value domain is unbounded).
+func (s vset) intersects(o vset) bool {
+	if s.empty() || o.empty() {
+		return false
+	}
+	if s.top || o.top {
+		return true
+	}
+	for _, v := range s.vals {
+		if o.contains(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// withoutZero returns s \ {0} — the branch-taken refinement of JmpNZ.
+func (s vset) withoutZero() vset {
+	if s.top {
+		return topSet
+	}
+	out := make([]prog.Val, 0, len(s.vals))
+	for _, v := range s.vals {
+		if v != 0 {
+			out = append(out, v)
+		}
+	}
+	return vset{vals: out}
+}
+
+// arith lifts a binary operator pointwise over two sets.
+func arith(a, b vset, f func(x, y prog.Val) prog.Val) vset {
+	if a.top || b.top {
+		return topSet
+	}
+	out := vset{}
+	for _, x := range a.vals {
+		for _, y := range b.vals {
+			out = out.union(single(f(x, y)))
+			if out.top {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// cmpEq abstracts A == B over sets: {1} when both are the same
+// singleton, {0} when the sets are disjoint, {0,1} otherwise.
+func cmpEq(a, b vset) vset {
+	if !a.top && !b.top && len(a.vals) == 1 && len(b.vals) == 1 && a.vals[0] == b.vals[0] {
+		return single(1)
+	}
+	if !a.intersects(b) {
+		return single(0)
+	}
+	return vset{vals: []prog.Val{0, 1}}
+}
+
+// absState is the flow-sensitive per-pc state of one thread. States are
+// treated as immutable: transfer functions clone before updating.
+type absState struct {
+	regs  map[prog.Reg]vset     // missing key = {0} (registers start zeroed)
+	prov  map[prog.Reg]prog.Loc // sync-location provenance of a pure loaded value
+	facts map[prog.Loc]vset     // "some earlier load of ℓ returned a value in V"
+}
+
+func newAbsState() *absState {
+	return &absState{
+		regs:  map[prog.Reg]vset{},
+		prov:  map[prog.Reg]prog.Loc{},
+		facts: map[prog.Loc]vset{},
+	}
+}
+
+func (s *absState) clone() *absState {
+	ns := &absState{
+		regs:  make(map[prog.Reg]vset, len(s.regs)),
+		prov:  make(map[prog.Reg]prog.Loc, len(s.prov)),
+		facts: make(map[prog.Loc]vset, len(s.facts)),
+	}
+	for k, v := range s.regs {
+		ns.regs[k] = v
+	}
+	for k, v := range s.prov {
+		ns.prov[k] = v
+	}
+	for k, v := range s.facts {
+		ns.facts[k] = v
+	}
+	return ns
+}
+
+// reg returns the abstract value of a register ({0} when never written).
+func (s *absState) reg(r prog.Reg) vset {
+	if v, ok := s.regs[r]; ok {
+		return v
+	}
+	return single(0)
+}
+
+// operand evaluates an operand in this state.
+func (s *absState) operand(o prog.Operand) vset {
+	if o.IsReg {
+		return s.reg(o.Reg)
+	}
+	return single(o.Imm)
+}
+
+// factUsable reports whether a fact's value set can carry the
+// certification argument: it must exclude the initial value 0 (a read
+// returning 0 may have read no write at all) and be finite.
+func factUsable(v vset) bool { return !v.top && !v.contains(0) }
+
+// addFact records "an earlier load of l returned a value in v", keeping
+// the more useful of the new and any existing fact (each is individually
+// sound, so choosing either — by usability, then by size — is sound).
+func (s *absState) addFact(l prog.Loc, v vset) {
+	old, ok := s.facts[l]
+	if !ok {
+		s.facts[l] = v
+		return
+	}
+	if factUsable(v) != factUsable(old) {
+		if factUsable(v) {
+			s.facts[l] = v
+		}
+		return
+	}
+	if !v.top && (old.top || len(v.vals) < len(old.vals)) {
+		s.facts[l] = v
+	}
+}
+
+// join returns the least upper bound of two states (b may be nil,
+// meaning "unreached": join is then a clone of a).
+func joinStates(a, b *absState) *absState {
+	if b == nil {
+		return a.clone()
+	}
+	out := newAbsState()
+	seen := map[prog.Reg]bool{}
+	for r, va := range a.regs {
+		out.regs[r] = va.union(b.reg(r))
+		seen[r] = true
+	}
+	for r, vb := range b.regs {
+		if !seen[r] {
+			out.regs[r] = vb.union(a.reg(r))
+		}
+	}
+	for r, la := range a.prov {
+		if lb, ok := b.prov[r]; ok && la == lb {
+			out.prov[r] = la
+		}
+	}
+	for l, va := range a.facts {
+		if vb, ok := b.facts[l]; ok {
+			out.facts[l] = va.union(vb)
+		}
+	}
+	return out
+}
+
+func vsetMapEqual[K comparable](a, b map[K]vset) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || !va.equal(vb) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *absState) equal(o *absState) bool {
+	if !vsetMapEqual(s.regs, o.regs) || !vsetMapEqual(s.facts, o.facts) {
+		return false
+	}
+	if len(s.prov) != len(o.prov) {
+		return false
+	}
+	for r, l := range s.prov {
+		if o.prov[r] != l {
+			return false
+		}
+	}
+	return true
+}
+
+// edge is one abstractly feasible control-flow step.
+type edge struct {
+	to    int
+	state *absState
+}
+
+// threadAbs is the completed analysis of one thread: the in-state of
+// every pc (nil = abstractly unreachable), over code of length n with
+// node n the halt state.
+type threadAbs struct {
+	code []prog.Instr
+	in   []*absState // len(code)+1
+}
+
+// transfer computes the feasible out-edges of node n under in-state s.
+func transfer(p *prog.Program, lv map[prog.Loc]vset, code []prog.Instr, n int, s *absState) []edge {
+	switch i := code[n].(type) {
+	case prog.Load:
+		ns := s.clone()
+		ns.regs[i.Dst] = lv[i.Src]
+		if p.IsSync(i.Src) {
+			ns.prov[i.Dst] = i.Src
+		} else {
+			delete(ns.prov, i.Dst)
+		}
+		return []edge{{n + 1, ns}}
+	case prog.Store:
+		return []edge{{n + 1, s}}
+	case prog.Mov:
+		ns := s.clone()
+		ns.regs[i.Dst] = s.operand(i.Src)
+		if i.Src.IsReg {
+			if l, ok := s.prov[i.Src.Reg]; ok {
+				ns.prov[i.Dst] = l
+			} else {
+				delete(ns.prov, i.Dst)
+			}
+		} else {
+			delete(ns.prov, i.Dst)
+		}
+		return []edge{{n + 1, ns}}
+	case prog.Add:
+		ns := s.clone()
+		ns.regs[i.Dst] = arith(s.operand(i.A), s.operand(i.B), func(x, y prog.Val) prog.Val { return x + y })
+		delete(ns.prov, i.Dst)
+		return []edge{{n + 1, ns}}
+	case prog.Mul:
+		ns := s.clone()
+		ns.regs[i.Dst] = arith(s.operand(i.A), s.operand(i.B), func(x, y prog.Val) prog.Val { return x * y })
+		delete(ns.prov, i.Dst)
+		return []edge{{n + 1, ns}}
+	case prog.CmpEq:
+		ns := s.clone()
+		ns.regs[i.Dst] = cmpEq(s.operand(i.A), s.operand(i.B))
+		delete(ns.prov, i.Dst)
+		return []edge{{n + 1, ns}}
+	case prog.Jmp:
+		return []edge{{i.Target, s}}
+	case prog.JmpNZ:
+		return branchEdges(s, i.Cond, i.Target, n+1)
+	case prog.JmpZ:
+		return branchEdges(s, i.Cond, n+1, i.Target)
+	default: // Nop
+		return []edge{{n + 1, s}}
+	}
+}
+
+// branchEdges builds the nonzero-edge (to nz) and zero-edge (to z) of a
+// conditional branch on cond, refining the register — and, when the
+// register has provenance, recording the refined fact about the load
+// that produced it.
+func branchEdges(s *absState, cond prog.Reg, nz, z int) []edge {
+	cv := s.reg(cond)
+	var out []edge
+	if nzSet := cv.withoutZero(); !nzSet.empty() {
+		ns := s.clone()
+		ns.regs[cond] = nzSet
+		if l, ok := s.prov[cond]; ok {
+			ns.addFact(l, nzSet)
+		}
+		out = append(out, edge{nz, ns})
+	}
+	if cv.contains(0) {
+		ns := s.clone()
+		ns.regs[cond] = single(0)
+		// The zero fact (ℓ ∋ 0) can never certify — skip recording it.
+		out = append(out, edge{z, ns})
+	}
+	return out
+}
+
+// analyzeThread runs the worklist to fixpoint for one thread under the
+// current whole-program store approximation.
+func analyzeThread(p *prog.Program, lv map[prog.Loc]vset, code []prog.Instr) *threadAbs {
+	ta := &threadAbs{code: code, in: make([]*absState, len(code)+1)}
+	ta.in[0] = newAbsState()
+	work := []int{0}
+	inWork := make([]bool, len(code)+1)
+	inWork[0] = true
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[n] = false
+		if n >= len(code) {
+			continue // halt node: no successors
+		}
+		for _, e := range transfer(p, lv, code, n, ta.in[n]) {
+			merged := joinStates(e.state, ta.in[e.to])
+			if ta.in[e.to] != nil && merged.equal(ta.in[e.to]) {
+				continue
+			}
+			ta.in[e.to] = merged
+			if !inWork[e.to] {
+				work = append(work, e.to)
+				inWork[e.to] = true
+			}
+		}
+	}
+	return ta
+}
+
+// analyzeProgram iterates the per-thread analyses with the global
+// abstract store to fixpoint and returns the final per-thread results
+// plus locVals.
+func analyzeProgram(p *prog.Program) ([]*threadAbs, map[prog.Loc]vset) {
+	lv := make(map[prog.Loc]vset, len(p.Locs))
+	for l := range p.Locs {
+		lv[l] = single(prog.V0)
+	}
+	var threads []*threadAbs
+	for {
+		threads = threads[:0]
+		next := make(map[prog.Loc]vset, len(lv))
+		for l, v := range lv {
+			next[l] = v
+		}
+		for _, t := range p.Threads {
+			ta := analyzeThread(p, lv, t.Code)
+			threads = append(threads, ta)
+			for pc, in := range ta.in {
+				if in == nil || pc >= len(t.Code) {
+					continue
+				}
+				if st, ok := t.Code[pc].(prog.Store); ok {
+					next[st.Dst] = next[st.Dst].union(in.operand(st.Src))
+				}
+			}
+		}
+		same := true
+		for l, v := range next {
+			if !v.equal(lv[l]) {
+				same = false
+				break
+			}
+		}
+		lv = next
+		if same {
+			return threads, lv
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package staticrace
+
+import (
+	"testing"
+
+	"localdrf/internal/explore"
+	"localdrf/internal/prog"
+	"localdrf/internal/progsynth"
+	"localdrf/internal/race"
+)
+
+// fuzzTraceCap bounds the dynamic oracle per fuzz execution. Capping
+// only shrinks the dynamic race set, which is the safe direction: the
+// property stays "static ⊇ observed dynamic".
+const fuzzTraceCap = 400
+
+// FuzzStaticSoundness fuzzes the headline soundness obligation: on a
+// randomly generated program, every race the exhaustive dynamic oracle
+// finds must be covered by an uncertified static pair. The seeds pin the
+// litmus-corpus envelope (2–3 threads, mixed atomic/nonatomic pools,
+// control dependencies, register stores) that TestSoundOnLitmusSuite
+// checks exhaustively; the fuzzer then walks the generator space around
+// it.
+func FuzzStaticSoundness(f *testing.F) {
+	f.Add(int64(0), uint8(3), uint8(3), uint8(2), true, true)
+	f.Add(int64(1), uint8(2), uint8(4), uint8(1), true, false)
+	f.Add(int64(42), uint8(3), uint8(2), uint8(3), false, true)
+	f.Add(int64(7), uint8(3), uint8(4), uint8(2), true, true)
+	f.Add(int64(99), uint8(2), uint8(3), uint8(2), false, false)
+	f.Fuzz(func(t *testing.T, seed int64, nThreads, nOps, maxConst uint8, branches, regStores bool) {
+		cfg := progsynth.Config{
+			MaxThreads:     2 + int(nThreads)%2, // 2..3: the exhaustive oracle must stay fast
+			MaxOps:         1 + int(nOps)%4,
+			AtomicLocs:     []prog.Loc{"A"},
+			NonAtomicLocs:  []prog.Loc{"x", "y"},
+			MaxConst:       1 + int(maxConst)%3,
+			AllowBranches:  branches,
+			AllowRegStores: regStores,
+		}
+		p := progsynth.Random(seed, cfg)
+		rep := Analyze(p)
+		mayRace := map[prog.Loc]bool{}
+		for _, l := range rep.MayRace {
+			mayRace[l] = true
+		}
+		count := 0
+		err := explore.Traces(p, explore.Options{}, 0, func(tr explore.Trace) bool {
+			count++
+			for _, d := range race.Races(tr) {
+				if !mayRace[d.Loc] {
+					t.Fatalf("%s: SOUNDNESS MISS: dynamic race %v on certified location\nprogram:\n%s\nreport: %s",
+						p.Name, d, p, rep)
+				}
+				covered := false
+				for _, pr := range rep.Pairs {
+					if !pr.Certified && pr.A.Loc == d.Loc && pairMatches(pr, d) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Fatalf("%s: SOUNDNESS MISS: dynamic race %v has no uncertified static pair\nprogram:\n%s\nreport: %s",
+						p.Name, d, p, rep)
+				}
+			}
+			return count < fuzzTraceCap
+		})
+		if err != nil {
+			t.Fatalf("%s: explore: %v", p.Name, err)
+		}
+	})
+}

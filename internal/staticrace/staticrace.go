@@ -1,0 +1,434 @@
+// Package staticrace is a sound static may-race analysis over
+// prog.Program: it over-approximates, across *all* interleavings and
+// weak behaviours at once, the set of nonatomic locations that can
+// participate in a data race (defs. 9/10 of the paper), and emits a
+// local-DRF certificate for the rest.
+//
+// Soundness is the contract: if the analysis certifies a location, no
+// trace of the program contains a race on it. The reverse direction is
+// deliberately approximate — a may-race verdict is permission to worry,
+// not proof of a race. The modeltest harness proves the contract
+// empirically by diffing against the exhaustive dynamic oracle
+// (race.FindRaces over every interleaving) on the full litmus +
+// progsynth corpus, and the fuzz target extends the diff to arbitrary
+// generated programs.
+//
+// # How certification works
+//
+// The analysis (absint.go) computes, per thread and program point, an
+// abstract state with register value sets, load provenance, and
+// must-facts of the form "every path here performed an earlier load of
+// synchronising location A that returned a value in V". Sites are the
+// (thread, pc) instruction instances that survive abstract
+// reachability. A location is certified by discharging every
+// cross-thread conflicting pair of its sites; a pair (a, b) is
+// discharged by certOrder, the static image of the paper's def. 8
+// happens-before:
+//
+//	There is a fact (A, V) at b with 0 ∉ V, V finite, such that every
+//	reachable store to A whose abstract value set meets V (i) is in
+//	a's thread, (ii) is dominated by a, and (iii) cannot reach a.
+//
+// Then in any trace: every instance of b is preceded (po) by a load R
+// of A returning some v ∈ V; v ≠ 0, so R read a write instance W of a
+// qualifying store site; dominance and unreachability order every
+// instance of a po-before every instance of W; and W synchronises with
+// R — an SC-atomic write happens-before every later same-location
+// access, and an RA read joins exactly the message it read. Chaining
+// a →po W →sync R →po b orders every (a, b) instance pair, so the pair
+// never races. The same argument with a and b swapped discharges the
+// other direction; cheaper rules certify locations whose reachable
+// sites are single-threaded or read-only.
+//
+// The certificate licenses two consumers: the streaming monitor skips
+// race-checking state for certified locations (monitor.StaticFilter —
+// reports provably unchanged), and internal/opt accepts the certificate
+// as the side condition relaxing the poRW reordering constraint
+// (opt.CanSwapCert).
+package staticrace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"localdrf/internal/prog"
+)
+
+// Site is one nonatomic access instruction that the analysis considers
+// reachable in some trace.
+type Site struct {
+	Thread int
+	PC     int
+	Loc    prog.Loc
+	Write  bool
+}
+
+func (s Site) String() string {
+	op := "read"
+	if s.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("T%d@%d %s %s", s.Thread, s.PC, op, s.Loc)
+}
+
+// Pair is one cross-thread conflicting site pair of a nonatomic
+// location, with the analysis' verdict for it.
+type Pair struct {
+	A, B      Site // A.Thread < B.Thread
+	Certified bool
+	// Reason says how the pair was discharged ("ordered via A" /
+	// "guard unreachable") or why not ("unordered").
+	Reason string
+}
+
+// Report is the result of Analyze: the partition of the program's
+// nonatomic locations into may-race and certified race-free, the
+// per-pair evidence, and the RaceFree certificate consumed by
+// monitor.StaticFilter and opt.CanSwapCert.
+type Report struct {
+	// MayRace lists the nonatomic locations that could race in some
+	// interleaving (sorted). Sound over-approximation: every location
+	// the dynamic oracle ever reports is in this set.
+	MayRace []prog.Loc
+	// Certified lists the nonatomic locations proven race-free
+	// (sorted); Reasons[l] names the rule that certified l.
+	Certified []prog.Loc
+	Reasons   map[prog.Loc]string
+	// Pairs holds every cross-thread conflicting site pair examined,
+	// with its verdict — the granularity at which soundness is tested.
+	Pairs []Pair
+
+	raceFree map[prog.Loc]bool
+	sync     map[prog.Loc]bool
+}
+
+// RaceFree reports whether the certificate proves l free of data
+// races in every trace. Synchronising locations are trivially race-free
+// (def. 9 concerns nonatomic locations only); unknown locations are not
+// certified.
+func (r *Report) RaceFree(l prog.Loc) bool { return r.raceFree[l] || r.sync[l] }
+
+// String renders the per-location verdicts compactly:
+// "x=certified(single-thread) y=may-race".
+func (r *Report) String() string {
+	verdict := map[prog.Loc]string{}
+	for _, l := range r.MayRace {
+		verdict[l] = "may-race"
+	}
+	for _, l := range r.Certified {
+		verdict[l] = "certified(" + r.Reasons[l] + ")"
+	}
+	locs := make([]prog.Loc, 0, len(verdict))
+	for l := range verdict {
+		locs = append(locs, l)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	parts := make([]string, 0, len(locs))
+	for _, l := range locs {
+		parts = append(parts, string(l)+"="+verdict[l])
+	}
+	if len(parts) == 0 {
+		return "(no nonatomic locations)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// writeSite is one reachable store to a synchronising location, with
+// the abstract set of values it can store.
+type writeSite struct {
+	thread int
+	pc     int
+	vals   vset
+}
+
+// analysis bundles the abstract results with the syntactic CFG facts
+// (dominance, reachability) certification quantifies over.
+type analysis struct {
+	p       *prog.Program
+	threads []*threadAbs
+	// dom[t][b] is the set of nodes dominating node b in thread t's
+	// syntactic CFG (every execution reaching b passed through them).
+	dom [][]map[int]bool
+	// reach[t][a][b]: thread t's CFG has a path from a to b (a ≠ b
+	// counts only real paths; reach[a][a] true only via a cycle).
+	reach [][][]bool
+	// syncWrites[A] lists every reachable store site to sync location A.
+	syncWrites map[prog.Loc][]writeSite
+}
+
+// Analyze runs the static may-race analysis on p.
+func Analyze(p *prog.Program) *Report {
+	threads, _ := analyzeProgram(p)
+	a := &analysis{p: p, threads: threads, syncWrites: map[prog.Loc][]writeSite{}}
+	for ti, t := range p.Threads {
+		succs := cfgSuccs(t.Code)
+		a.dom = append(a.dom, dominators(succs))
+		a.reach = append(a.reach, reachability(succs))
+		for pc, in := range threads[ti].in {
+			if in == nil || pc >= len(t.Code) {
+				continue
+			}
+			if st, ok := t.Code[pc].(prog.Store); ok && p.IsSync(st.Dst) {
+				a.syncWrites[st.Dst] = append(a.syncWrites[st.Dst],
+					writeSite{thread: ti, pc: pc, vals: in.operand(st.Src)})
+			}
+		}
+	}
+
+	// Reachable nonatomic sites, grouped by location.
+	sites := map[prog.Loc][]Site{}
+	for ti, t := range p.Threads {
+		for pc, in := range t.Code {
+			if threads[ti].in[pc] == nil {
+				continue
+			}
+			switch i := in.(type) {
+			case prog.Load:
+				if !p.IsSync(i.Src) {
+					sites[i.Src] = append(sites[i.Src], Site{Thread: ti, PC: pc, Loc: i.Src})
+				}
+			case prog.Store:
+				if !p.IsSync(i.Dst) {
+					sites[i.Dst] = append(sites[i.Dst], Site{Thread: ti, PC: pc, Loc: i.Dst, Write: true})
+				}
+			}
+		}
+	}
+
+	rep := &Report{
+		Reasons:  map[prog.Loc]string{},
+		raceFree: map[prog.Loc]bool{},
+		sync:     map[prog.Loc]bool{},
+	}
+	for l, k := range p.Locs {
+		if k != prog.NonAtomic {
+			rep.sync[l] = true
+		}
+	}
+	for _, l := range p.NonAtomicLocs() {
+		if p.IsSync(l) {
+			continue // NonAtomicLocs includes RA locations; races are NA-only
+		}
+		reason, pairs := a.certifyLoc(sites[l])
+		rep.Pairs = append(rep.Pairs, pairs...)
+		if reason != "" {
+			rep.Certified = append(rep.Certified, l)
+			rep.Reasons[l] = reason
+			rep.raceFree[l] = true
+		} else {
+			rep.MayRace = append(rep.MayRace, l)
+		}
+	}
+	return rep
+}
+
+// certifyLoc certifies one nonatomic location from its reachable sites.
+// It returns the certification reason ("" = may-race) and the examined
+// cross-thread conflicting pairs.
+func (a *analysis) certifyLoc(sites []Site) (string, []Pair) {
+	if len(sites) == 0 {
+		return "unused", nil
+	}
+	oneThread, anyWrite := true, false
+	for _, s := range sites {
+		if s.Thread != sites[0].Thread {
+			oneThread = false
+		}
+		if s.Write {
+			anyWrite = true
+		}
+	}
+	if oneThread {
+		return "single-thread", nil
+	}
+	if !anyWrite {
+		return "read-only", nil
+	}
+	var pairs []Pair
+	allCertified := true
+	for i := 0; i < len(sites); i++ {
+		for j := i + 1; j < len(sites); j++ {
+			x, y := sites[i], sites[j]
+			if x.Thread == y.Thread || (!x.Write && !y.Write) {
+				continue // program order / non-conflicting
+			}
+			if y.Thread < x.Thread {
+				x, y = y, x
+			}
+			pr := Pair{A: x, B: y}
+			if ok, why := a.certOrder(x, y); ok {
+				pr.Certified, pr.Reason = true, why
+			} else if ok, why := a.certOrder(y, x); ok {
+				pr.Certified, pr.Reason = true, why
+			} else {
+				pr.Reason = "unordered"
+				allCertified = false
+			}
+			pairs = append(pairs, pr)
+		}
+	}
+	if allCertified {
+		return "pairwise-ordered", pairs
+	}
+	return "", pairs
+}
+
+// certOrder tries to prove that every instance of site a happens-before
+// every instance of site b (a, b in different threads) via a
+// synchronising location, using the facts available at b. See the
+// package comment for the full argument.
+func (a *analysis) certOrder(sa, sb Site) (bool, string) {
+	in := a.threads[sb.Thread].in[sb.PC]
+	if in == nil {
+		return true, "guard unreachable"
+	}
+	for A, V := range in.facts {
+		if !a.p.IsSync(A) || !factUsable(V) {
+			continue
+		}
+		ok := true
+		qualifying := 0
+		for _, w := range a.syncWrites[A] {
+			if !w.vals.intersects(V) {
+				continue
+			}
+			qualifying++
+			if w.thread != sa.Thread ||
+				!a.dom[sa.Thread][w.pc][sa.PC] ||
+				a.reach[sa.Thread][w.pc][sa.PC] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if qualifying == 0 {
+			// No store can produce a value in V and 0 ∉ V: no trace ever
+			// satisfies the guard, so b never executes.
+			return true, fmt.Sprintf("guard on %s unsatisfiable", A)
+		}
+		return true, fmt.Sprintf("ordered via %s", A)
+	}
+	return false, ""
+}
+
+// cfgSuccs builds the syntactic successor lists of a thread's code over
+// nodes 0..len(code), node len(code) being the halt state.
+func cfgSuccs(code []prog.Instr) [][]int {
+	succs := make([][]int, len(code)+1)
+	for pc, in := range code {
+		switch i := in.(type) {
+		case prog.Jmp:
+			succs[pc] = []int{i.Target}
+		case prog.JmpNZ:
+			succs[pc] = branchSuccs(i.Target, pc+1)
+		case prog.JmpZ:
+			succs[pc] = branchSuccs(i.Target, pc+1)
+		default:
+			succs[pc] = []int{pc + 1}
+		}
+	}
+	return succs
+}
+
+func branchSuccs(target, fall int) []int {
+	if target == fall {
+		return []int{fall}
+	}
+	return []int{target, fall}
+}
+
+// dominators computes, per node, the set of nodes that lie on every
+// path from the entry (node 0) — the standard iterative dataflow over
+// the syntactic CFG. Nodes unreachable from the entry keep a nil set
+// (certification never consults them). Syntactic dominance is sound
+// here: every execution follows a syntactic path, so if a dominates b
+// syntactically then a has executed before any execution of b.
+func dominators(succs [][]int) []map[int]bool {
+	n := len(succs)
+	preds := make([][]int, n)
+	order := []int{} // reverse-postorder-ish: BFS from entry
+	seen := make([]bool, n)
+	queue := []int{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range succs[u] {
+			preds[v] = append(preds[v], u)
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	dom := make([]map[int]bool, n)
+	dom[0] = map[int]bool{0: true}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == 0 {
+				continue
+			}
+			var merged map[int]bool
+			for _, p := range preds[b] {
+				if dom[p] == nil {
+					continue
+				}
+				if merged == nil {
+					merged = map[int]bool{}
+					for d := range dom[p] {
+						merged[d] = true
+					}
+					continue
+				}
+				for d := range merged {
+					if !dom[p][d] {
+						delete(merged, d)
+					}
+				}
+			}
+			if merged == nil {
+				continue
+			}
+			merged[b] = true
+			if dom[b] == nil || len(merged) != len(dom[b]) || !subset(merged, dom[b]) {
+				dom[b] = merged
+				changed = true
+			}
+		}
+	}
+	return dom
+}
+
+func subset(a, b map[int]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// reachability computes r[a][b] = the CFG has a nonempty path a → b.
+func reachability(succs [][]int) [][]bool {
+	n := len(succs)
+	r := make([][]bool, n)
+	for a := 0; a < n; a++ {
+		r[a] = make([]bool, n)
+		queue := append([]int{}, succs[a]...)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			if r[a][u] {
+				continue
+			}
+			r[a][u] = true
+			queue = append(queue, succs[u]...)
+		}
+	}
+	return r
+}

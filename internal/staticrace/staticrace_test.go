@@ -1,0 +1,313 @@
+package staticrace
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"localdrf/internal/explore"
+	"localdrf/internal/litmus"
+	"localdrf/internal/prog"
+	"localdrf/internal/race"
+)
+
+var update = flag.Bool("update", false, "rewrite the litmus golden report")
+
+// maxTraces caps the exhaustive oracle per program, matching the
+// modeltest harnesses.
+const maxTraces = 4000
+
+func verdictOf(rep *Report, l prog.Loc) string {
+	for _, m := range rep.MayRace {
+		if m == l {
+			return "may-race"
+		}
+	}
+	for _, c := range rep.Certified {
+		if c == l {
+			return "certified"
+		}
+	}
+	return "unknown"
+}
+
+// TestGuardedHandoffCertified: the S shape — a data write published
+// through an atomic flag, the consumer's conflicting write guarded by
+// reading the flag — is exactly what certOrder exists for.
+func TestGuardedHandoffCertified(t *testing.T) {
+	s, ok := litmus.Get("S")
+	if !ok {
+		t.Fatal("litmus test S missing")
+	}
+	rep := Analyze(s.Prog)
+	if v := verdictOf(rep, "x"); v != "certified" {
+		t.Fatalf("S: x = %s, want certified (report: %s)", v, rep)
+	}
+	if !rep.RaceFree("x") {
+		t.Fatal("S: RaceFree(x) = false for a certified location")
+	}
+	if !rep.RaceFree("F") {
+		t.Fatal("S: RaceFree(F) = false for an atomic location")
+	}
+}
+
+// TestUnguardedMayRace: the unguarded MP read and the fully nonatomic
+// MP+na must stay in the may-race set.
+func TestUnguardedMayRace(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		locs []prog.Loc
+	}{
+		{"MP", []prog.Loc{"x"}},
+		{"MP+na", []prog.Loc{"f", "x"}},
+		{"SB", []prog.Loc{"x", "y"}},
+	} {
+		lt, ok := litmus.Get(tc.name)
+		if !ok {
+			t.Fatalf("litmus test %s missing", tc.name)
+		}
+		rep := Analyze(lt.Prog)
+		for _, l := range tc.locs {
+			if v := verdictOf(rep, l); v != "may-race" {
+				t.Errorf("%s: %s = %s, want may-race", tc.name, l, v)
+			}
+			if rep.RaceFree(l) {
+				t.Errorf("%s: RaceFree(%s) = true for a may-race location", tc.name, l)
+			}
+		}
+	}
+}
+
+// TestCheapRules: single-thread and read-only locations certify without
+// any happens-before reasoning; unknown locations are never certified.
+func TestCheapRules(t *testing.T) {
+	p := prog.NewProgram("cheap").
+		Vars("priv", "ro", "hot").
+		Thread("P0").StoreI("priv", 1).Load("a", "priv").Load("b", "ro").StoreI("hot", 1).Done().
+		Thread("P1").Load("c", "ro").Load("d", "hot").Done().
+		MustBuild()
+	rep := Analyze(p)
+	for l, want := range map[prog.Loc]string{"priv": "single-thread", "ro": "read-only"} {
+		if v := verdictOf(rep, l); v != "certified" {
+			t.Errorf("%s = %s, want certified", l, v)
+		} else if rep.Reasons[l] != want {
+			t.Errorf("%s reason = %q, want %q", l, rep.Reasons[l], want)
+		}
+	}
+	if v := verdictOf(rep, "hot"); v != "may-race" {
+		t.Errorf("hot = %s, want may-race", v)
+	}
+	if rep.RaceFree("nonexistent") {
+		t.Error("RaceFree of an undeclared location must be false")
+	}
+}
+
+// TestSpinLoopCertified: the guard works through a spin loop — the
+// dominance/reachability side conditions must hold up under cycles.
+func TestSpinLoopCertified(t *testing.T) {
+	p := prog.NewProgram("spin").
+		Vars("d").
+		Atomics("F").
+		Thread("P0").StoreI("d", 42).StoreI("F", 1).Done().
+		Thread("P1").
+		Label("loop").
+		Load("r", "F").
+		JmpZ("r", "loop").
+		Load("v", "d").
+		Done().
+		MustBuild()
+	rep := Analyze(p)
+	if v := verdictOf(rep, "d"); v != "certified" {
+		t.Fatalf("spin: d = %s, want certified (report: %s)", v, rep)
+	}
+}
+
+// TestGuardedHandoffRACertified: the S shape with a release-acquire
+// flag. The RA happens-before edge is narrower than the SC one (a write
+// synchronises only with the reads that read from it), so the certified
+// verdict is cross-checked against the dynamic oracle here rather than
+// trusted to the SC argument.
+func TestGuardedHandoffRACertified(t *testing.T) {
+	p := prog.NewProgram("S+ra").
+		Vars("d").
+		RAs("F").
+		Thread("P0").StoreI("d", 42).StoreI("F", 1).Done().
+		Thread("P1").
+		Load("r", "F").
+		JmpZ("r", "skip").
+		StoreI("d", 7).
+		Label("skip").
+		Done().
+		MustBuild()
+	rep := Analyze(p)
+	if v := verdictOf(rep, "d"); v != "certified" {
+		t.Fatalf("S+ra: d = %s, want certified (report: %s)", v, rep)
+	}
+	if dyn := dynRaces(t, p, maxTraces); len(dyn) != 0 {
+		t.Fatalf("S+ra: certified program has dynamic races: %v", dyn)
+	}
+}
+
+// TestWriteAfterGuardNotCertified: a producer that can re-write the data
+// *after* raising the flag breaks the ordering argument — the analysis
+// must notice that the data write does not dominate, or is reachable
+// from, the flag write.
+func TestWriteAfterGuardNotCertified(t *testing.T) {
+	p := prog.NewProgram("after").
+		Vars("d").
+		Atomics("F").
+		Thread("P0").StoreI("F", 1).StoreI("d", 42).Done(). // flag first: racy
+		Thread("P1").
+		Load("r", "F").
+		JmpZ("r", "skip").
+		Load("v", "d").
+		Label("skip").
+		Done().
+		MustBuild()
+	rep := Analyze(p)
+	if v := verdictOf(rep, "d"); v != "may-race" {
+		t.Fatalf("after: d = %s, want may-race (report: %s)", v, rep)
+	}
+}
+
+// TestForeignFlagWriterNotCertified: if another thread can also write
+// the flag value the guard tests for, seeing the flag proves nothing
+// about the data writer's progress.
+func TestForeignFlagWriterNotCertified(t *testing.T) {
+	p := prog.NewProgram("foreign").
+		Vars("d").
+		Atomics("F").
+		Thread("P0").StoreI("d", 42).StoreI("F", 1).Done().
+		Thread("P1").StoreI("F", 1).Done(). // second flag writer
+		Thread("P2").
+		Load("r", "F").
+		JmpZ("r", "skip").
+		Load("v", "d").
+		Label("skip").
+		Done().
+		MustBuild()
+	rep := Analyze(p)
+	if v := verdictOf(rep, "d"); v != "may-race" {
+		t.Fatalf("foreign: d = %s, want may-race (report: %s)", v, rep)
+	}
+}
+
+// dynRaces is the exhaustive dynamic oracle with a graceful trace cap:
+// the deduplicated union of race.Races over up to cap traces of p.
+// (race.FindRaces errors past its budget; capping only shrinks the
+// dynamic set, which is the safe direction for a soundness check.)
+func dynRaces(t *testing.T, p *prog.Program, cap int) []race.Report {
+	t.Helper()
+	set := map[race.Report]bool{}
+	count := 0
+	err := explore.Traces(p, explore.Options{}, 0, func(tr explore.Trace) bool {
+		count++
+		for _, r := range race.Races(tr) {
+			set[r] = true
+		}
+		return count < cap
+	})
+	if err != nil {
+		t.Fatalf("%s: explore: %v", p.Name, err)
+	}
+	out := make([]race.Report, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	race.SortReports(out)
+	return out
+}
+
+// checkSoundness asserts that every dynamically found race is covered
+// by the static report, at location level and at pair level. Returns
+// the number of dynamically racy locations (for precision metrics).
+func checkSoundness(t *testing.T, name string, p *prog.Program, rep *Report) int {
+	t.Helper()
+	dyn := dynRaces(t, p, maxTraces)
+	mayRace := map[prog.Loc]bool{}
+	for _, l := range rep.MayRace {
+		mayRace[l] = true
+	}
+	dynLocs := map[prog.Loc]bool{}
+	for _, d := range dyn {
+		dynLocs[d.Loc] = true
+		if !mayRace[d.Loc] {
+			t.Errorf("%s: SOUNDNESS MISS: dynamic race %v on statically certified location", name, d)
+			continue
+		}
+		// Pair-level coverage: some uncertified pair must match the
+		// report's location, thread set and access kinds.
+		covered := false
+		for _, pr := range rep.Pairs {
+			if pr.Certified || pr.A.Loc != d.Loc {
+				continue
+			}
+			if pairMatches(pr, d) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("%s: SOUNDNESS MISS: dynamic race %v has no uncertified static pair", name, d)
+		}
+	}
+	return len(dynLocs)
+}
+
+// pairMatches reports whether the unordered static pair covers the
+// dynamic report (whose I/J order is trace order, not thread order).
+func pairMatches(pr Pair, d race.Report) bool {
+	if pr.A.Thread == d.ThreadI && pr.B.Thread == d.ThreadJ &&
+		pr.A.Write == d.WriteI && pr.B.Write == d.WriteJ {
+		return true
+	}
+	return pr.A.Thread == d.ThreadJ && pr.B.Thread == d.ThreadI &&
+		pr.A.Write == d.WriteJ && pr.B.Write == d.WriteI
+}
+
+// TestSoundOnLitmusSuite is the package-local half of the soundness
+// obligation (the modeltest harness runs the full corpus, including
+// progsynth): on every litmus program, static may-race ⊇ dynamic races.
+func TestSoundOnLitmusSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive oracle in -short mode")
+	}
+	staticLocs, dynLocs := 0, 0
+	for _, lt := range litmus.Suite() {
+		rep := Analyze(lt.Prog)
+		dynLocs += checkSoundness(t, lt.Name, lt.Prog, rep)
+		staticLocs += len(rep.MayRace)
+	}
+	if staticLocs < dynLocs {
+		t.Fatalf("static may-race locations (%d) < dynamic racy locations (%d)", staticLocs, dynLocs)
+	}
+	t.Logf("litmus precision: %d dynamically racy / %d static may-race locations", dynLocs, staticLocs)
+}
+
+// TestLitmusGolden pins the exact per-program verdicts on the litmus
+// corpus so precision regressions (a location flipping to may-race) are
+// visible in review, not just soundness violations.
+func TestLitmusGolden(t *testing.T) {
+	var b strings.Builder
+	for _, lt := range litmus.Suite() {
+		fmt.Fprintf(&b, "%s: %s\n", lt.Name, Analyze(lt.Prog))
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "litmus.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("litmus static report drifted from golden (run with -update to accept):\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

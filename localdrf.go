@@ -10,6 +10,7 @@ import (
 	"localdrf/internal/monitor"
 	"localdrf/internal/prog"
 	"localdrf/internal/race"
+	"localdrf/internal/staticrace"
 )
 
 // ---- Programs ----
@@ -199,6 +200,34 @@ func MonitorTrace(p *Program, tr Trace) ([]RaceReport, error) {
 // same pipe.
 func MonitorTraceReader(r io.Reader) ([]RaceReport, error) {
 	return monitor.ReadRaces(r)
+}
+
+// ---- Static may-race analysis ----
+
+// StaticReport partitions a program's nonatomic locations into a sound
+// may-race set and a statically certified race-free set, with a
+// per-location certificate reason and the cross-thread pairs examined.
+// Its RaceFree method makes it a certificate for the monitor's static
+// pre-filter (MonitorStaticFilter) and for certificate-strengthened
+// reorderings (CanReorderCert, DeriveOptimisationCert).
+type StaticReport = staticrace.Report
+
+// AnalyzeStatic runs the sound static may-race analysis: a flow-
+// sensitive abstract interpretation whose may-race set over-approximates
+// the union of race.Races over ALL interleavings (proven differentially
+// against the exhaustive oracle on the full corpus). Certified locations
+// carry an LDRF certificate: every execution keeps their accesses
+// happens-before ordered.
+func AnalyzeStatic(p *Program) *StaticReport { return staticrace.Analyze(p) }
+
+// MonitorStaticFilter builds the per-location skip mask that lets a
+// Monitor (SetStaticFilter) or Pipeline (PipelineConfig.StaticFilter)
+// bypass race-checker work for statically certified locations — reports
+// and retention statistics are byte-identical, the certified locations'
+// checks are simply free. Returns nil when the certificate proves
+// nothing.
+func MonitorStaticFilter(p *Program, rep *StaticReport) []bool {
+	return monitor.StaticFilter(monitor.NewTable(p).Decls(), rep.RaceFree)
 }
 
 // ---- Litmus catalogue ----

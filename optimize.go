@@ -55,6 +55,27 @@ func DeriveOptimisation(f Fragment, steps []OptStep, p *Program) (Fragment, erro
 	return opt.Derive(f, steps, p.IsAtomic)
 }
 
+// RaceFreedomCertificate answers whether a location is proven race-free
+// in every execution of the program under transformation; a
+// *StaticReport from AnalyzeStatic satisfies it.
+type RaceFreedomCertificate = opt.Certificate
+
+// CanReorderCert is CanReorder with the local-DRF licence: a swap
+// forbidden only by poRW (a read moving after a later write) is
+// permitted when the certificate proves both locations race-free — on
+// race-free locations the program behaves sequentially consistently
+// and interference-free, so the read returns the same value at either
+// position. All other constraints stand.
+func CanReorderCert(a, b prog.Instr, p *Program, cert RaceFreedomCertificate) (ok bool, reason string) {
+	return opt.CanSwapCert(a, b, p.IsAtomic, cert)
+}
+
+// DeriveOptimisationCert is DeriveOptimisation with swap steps validated
+// under the certificate (CanReorderCert).
+func DeriveOptimisationCert(f Fragment, steps []OptStep, p *Program, cert RaceFreedomCertificate) (Fragment, error) {
+	return opt.DeriveCert(f, steps, p.IsAtomic, cert)
+}
+
 // CSE derives common-subexpression elimination (merging redundant loads)
 // from swaps plus the RL peephole, applied to a fixpoint.
 func CSE(f Fragment, p *Program) (Fragment, []OptStep, error) {

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The check: a variable or struct field that is ever passed by address
+// to a sync/atomic operation must ONLY be accessed through sync/atomic.
+// A plain load or store of the same object races with the atomic
+// accesses — the Go memory model gives plain accesses no ordering
+// against atomic ones, and the race detector only catches the mix on
+// schedules that exercise it. This is exactly the bug class the
+// happens-before monitor in this repo exists to catch dynamically; the
+// analyzer catches it at vet time.
+//
+// Scope (deliberately syntactic, like the stock vet checks):
+//
+//   - an object becomes "atomic" when &obj is the first argument of a
+//     call to any function in package sync/atomic;
+//   - every later plain read or write of that object is reported;
+//   - taking the object's address (outside an atomic call) is NOT
+//     reported — passing &obj around is how the atomic call sites are
+//     usually built, and following the pointer is a whole-program
+//     aliasing question vet checks stay away from.
+
+// diag is one finding, positioned at the plain access.
+type diag struct {
+	pos token.Pos
+	msg string
+}
+
+// check analyses one type-checked package. info must have Uses
+// populated; files are the package's syntax trees.
+func check(fset *token.FileSet, files []*ast.File, info *types.Info) []diag {
+	// Pass 1: objects whose address reaches a sync/atomic call.
+	atomicUse := map[types.Object]token.Pos{} // object -> first atomic site
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			if obj := addressedObject(info, un.X); obj != nil {
+				if _, seen := atomicUse[obj]; !seen {
+					atomicUse[obj] = un.X.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicUse) == 0 {
+		return nil
+	}
+
+	// Pass 2: plain accesses of those objects. Subtrees under a unary &
+	// are skipped wholesale — that covers the atomic call arguments
+	// themselves and ordinary address-taking (see scope note above).
+	var diags []diag
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					return false
+				}
+			case *ast.Ident:
+				obj := info.Uses[n]
+				site, hot := atomicUse[obj]
+				if !hot {
+					return true
+				}
+				diags = append(diags, diag{
+					pos: n.Pos(),
+					msg: fmt.Sprintf("non-atomic access of %s, which is accessed atomically at %s",
+						obj.Name(), fset.Position(site)),
+				})
+			}
+			return true
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].pos < diags[j].pos })
+	return diags
+}
+
+// addressedObject resolves the operand of &expr to the variable or
+// struct-field object it names, or nil for shapes the check does not
+// track (index expressions, pointer dereferences, …).
+func addressedObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		// Both c.field and pkg.Var resolve through Uses of the Sel.
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// The tests typecheck source against a stubbed sync/atomic (bodyless
+// declarations are enough for go/types), so no export data or build
+// cache is involved and the analysis runs hermetically.
+
+const atomicStub = `package atomic
+
+func AddInt64(addr *int64, delta int64) (new int64)
+func LoadInt64(addr *int64) (val int64)
+func StoreInt64(addr *int64, val int64)
+func CompareAndSwapInt64(addr *int64, old, new int64) (swapped bool)
+func AddUint32(addr *uint32, delta uint32) (new uint32)
+func LoadUint32(addr *uint32) (val uint32)
+func StoreUint32(addr *uint32, val uint32)
+`
+
+type stubImporter struct {
+	fset  *token.FileSet
+	cache map[string]*types.Package
+}
+
+func (si *stubImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := si.cache[path]; ok {
+		return pkg, nil
+	}
+	if path != "sync/atomic" {
+		return nil, fmt.Errorf("stub importer: unexpected import %q", path)
+	}
+	f, err := parser.ParseFile(si.fset, "atomic.go", atomicStub, 0)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := (&types.Config{}).Check(path, si.fset, []*ast.File{f}, nil)
+	if err != nil {
+		return nil, err
+	}
+	si.cache[path] = pkg
+	return pkg, nil
+}
+
+// runCheck typechecks src as a single-file package and returns the
+// findings rendered as "line:col: message".
+func runCheck(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{Importer: &stubImporter{fset: fset, cache: map[string]*types.Package{}}}
+	info := &types.Info{Uses: map[*ast.Ident]types.Object{}}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range check(fset, []*ast.File{f}, info) {
+		pos := fset.Position(d.pos)
+		got = append(got, fmt.Sprintf("%d:%d: %s", pos.Line, pos.Column, d.msg))
+	}
+	return got
+}
+
+func TestMixedAccessFlagged(t *testing.T) {
+	src := `package p
+
+import "sync/atomic"
+
+type counter struct {
+	n int64
+	m int64
+}
+
+var hits int64
+var plain int64
+
+func f(c *counter) int64 {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&hits, 1)
+	c.n = 0         // mixed: plain write of c.n
+	x := hits       // mixed: plain read of hits
+	c.m = 2         // fine: m is never atomic
+	plain++         // fine: plain is never atomic
+	return x + c.n  // mixed: plain read of c.n
+}
+`
+	got := runCheck(t, src)
+	want := []struct {
+		prefix string
+		name   string
+	}{
+		{"16:4:", "n"},    // c.n = 0
+		{"17:7:", "hits"}, // x := hits
+		{"20:15:", "n"},   // return … + c.n
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i, w := range want {
+		if !strings.HasPrefix(got[i], w.prefix) || !strings.Contains(got[i], "access of "+w.name+",") {
+			t.Errorf("finding %d = %q, want position %s on %s", i, got[i], w.prefix, w.name)
+		}
+	}
+}
+
+func TestAtomicOnlyAndAddressTakingClean(t *testing.T) {
+	src := `package p
+
+import "sync/atomic"
+
+var n int64
+
+func addr() *int64 { return &n } // address-taking alone is not flagged
+
+func g() int64 {
+	atomic.StoreInt64(&n, 1)
+	atomic.AddInt64(&n, 2)
+	if atomic.CompareAndSwapInt64(&n, 3, 4) {
+		return atomic.LoadInt64(&n)
+	}
+	return 0
+}
+`
+	if got := runCheck(t, src); len(got) != 0 {
+		t.Fatalf("want no findings, got:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+func TestNoAtomicUseNoFindings(t *testing.T) {
+	src := `package p
+
+var n int64
+
+func h() int64 {
+	n = 7
+	return n
+}
+`
+	if got := runCheck(t, src); got != nil {
+		t.Fatalf("want nil findings without sync/atomic, got:\n%s", strings.Join(got, "\n"))
+	}
+}

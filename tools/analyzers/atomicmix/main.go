@@ -1,0 +1,195 @@
+// Command atomicmix is a vet analyzer for mixed atomic/plain access:
+// any variable or struct field that is passed to sync/atomic must be
+// accessed through sync/atomic everywhere. Build it and hand it to the
+// toolchain as a vettool:
+//
+//	go build -o /tmp/atomicmix ./tools/analyzers/atomicmix
+//	go vet -vettool=/tmp/atomicmix ./...
+//
+// It speaks the cmd/go vet-tool protocol directly (the -V=full /
+// -flags handshake plus a *.cfg unit file per package) using only the
+// standard library, so it builds in this module with no dependencies —
+// golang.org/x/tools/go/analysis/unitchecker is the usual way to write
+// one of these, and this is a self-contained equivalent for the one
+// analyzer. The analysis itself is in check.go.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	for _, a := range os.Args[1:] {
+		switch a {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			// No tool-specific flags.
+			fmt.Println("[]")
+			return
+		}
+	}
+	args := os.Args[1:]
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, "usage: atomicmix unit.cfg (invoked by go vet -vettool=atomicmix)\n")
+		os.Exit(1)
+	}
+	if err := run(args[0]); err != nil {
+		fmt.Fprintf(os.Stderr, "atomicmix: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// printVersion answers the cmd/go version handshake; the build ID keys
+// vet's result cache, so it must change when the tool changes — the
+// hash of the executable does.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog := filepath.Base(exe)
+	prog = strings.TrimSuffix(prog, ".exe")
+	fmt.Printf("%s version devel comments-go-here buildID=%x\n", prog, h.Sum(nil))
+}
+
+// config mirrors the JSON unit file cmd/go writes for each package
+// (the shape unitchecker.Config documents).
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func run(cfgPath string) error {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+	// cmd/go requires the facts file to exist after every run, even a
+	// facts-only one; this analyzer exports none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0666); err != nil {
+			return err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil
+			}
+			return err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// Imports resolve through the export-data files cmd/go names in the
+	// unit config, with vendor/ rewrites applied via ImportMap.
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := mapImporter{
+		m:   cfg.ImportMap,
+		imp: importer.ForCompiler(fset, compiler, lookup),
+	}
+	var tcErrs []error
+	tconf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { tcErrs = append(tcErrs, err) },
+		Sizes:    types.SizesFor(compiler, "amd64"),
+	}
+	if cfg.GoVersion != "" {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{Uses: map[*ast.Ident]types.Object{}}
+	if _, err := tconf.Check(cfg.ImportPath, fset, files, info); err != nil && len(tcErrs) == 0 {
+		tcErrs = append(tcErrs, err)
+	}
+	if len(tcErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil
+		}
+		for _, e := range tcErrs {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		os.Exit(1)
+	}
+
+	diags := check(fset, files, info)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.pos), d.msg)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	return nil
+}
+
+// mapImporter applies the unit config's source→canonical import-path
+// rewrites before delegating to the gc export-data importer.
+type mapImporter struct {
+	m   map[string]string
+	imp types.Importer
+}
+
+func (mi mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := mi.m[path]; ok {
+		path = mapped
+	}
+	return mi.imp.Import(path)
+}

@@ -1,0 +1,212 @@
+package main
+
+// bench-service: the racemond soak harness. Each row boots an
+// in-process service.Server on a loopback listener, streams N
+// concurrent sessions through resume-capable service.Clients, and
+// records the aggregate monitored-event throughput, the p99 per-session
+// ingest latency (handshake to done line, full trace) and the process
+// peak RSS. The soak row runs at least 100 concurrent sessions — the
+// multi-tenancy claim of the service PR, measured rather than asserted.
+//
+// The rows land in BENCH_service.json (same benchDoc envelope as the
+// other BENCH files). They are deliberately NOT part of the
+// bench-compare gate: service rows measure wall-clock behaviour of a
+// concurrent server under contention, which is far noisier than the
+// single-core monitor rows the 15% gate is calibrated for.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"localdrf/internal/monitor"
+	"localdrf/internal/progsynth"
+	"localdrf/internal/schedgen"
+	"localdrf/internal/service"
+)
+
+var serviceJSON = flag.String("service-json", "BENCH_service.json", "write service bench results as JSON to this file (empty disables)")
+
+// serviceRow describes one soak configuration.
+type serviceRow struct {
+	name     string
+	sessions int
+	events   int // per session
+	shards   int // per-session pipeline shards
+}
+
+// serviceRows is the bench matrix: a small tenancy at full per-session
+// size, a medium tenancy, a sharded-pipeline variant, and the ≥100-way
+// soak (smaller traces so the row stays in benchmark time, not CI time).
+var serviceRows = []serviceRow{
+	{"service/sessions-8-100k", 8, 100_000, 1},
+	{"service/sessions-32-50k", 32, 50_000, 1},
+	{"service/sessions-8-100k-4shard", 8, 100_000, 4},
+	{"service/soak-128-20k", 128, 20_000, 1},
+}
+
+// benchService runs the soak matrix and writes BENCH_service.json.
+func benchService() error {
+	var results []benchResult
+	for _, row := range serviceRows {
+		r, err := runServiceRow(row)
+		if err != nil {
+			return fmt.Errorf("%s: %w", row.name, err)
+		}
+		results = append(results, r)
+		fmt.Printf("%-34s %4d sessions  %8.2fM ev/s aggregate  p99 %7.1f ms  peak RSS %d MiB\n",
+			r.Name, r.Sessions, r.EventsPerSec/1e6, r.P99LatencyMs, r.PeakRSSBytes>>20)
+	}
+	return writeBenchJSON(*serviceJSON, results)
+}
+
+// serviceTrace encodes one deterministic wire-v2 session trace (the
+// same generator stack racemond's drive mode uses).
+func serviceTrace(seed int64, events int) ([]byte, error) {
+	cfg := progsynth.ScaledDefaults()
+	cfg.Iters = cfg.IterationsFor(events)
+	p := progsynth.Scaled(seed, cfg)
+	tb := monitor.NewTable(p)
+	opts := schedgen.Options{Policy: schedgen.Bursty, Seed: seed, MaxEvents: events, StaleReadPct: 10}
+	var buf bytes.Buffer
+	if _, _, err := schedgen.Encode(&buf, tb.Program(), tb, opts, monitor.BinaryV2); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// runServiceRow boots a fresh server, drives row.sessions concurrent
+// clients through it, and measures the row.
+func runServiceRow(row serviceRow) (benchResult, error) {
+	// A handful of distinct traces shared round-robin: enough workload
+	// diversity to keep shards and report sets honest, without trace
+	// generation dominating a 128-session row.
+	nTraces := row.sessions
+	if nTraces > 8 {
+		nTraces = 8
+	}
+	traces := make([][]byte, nTraces)
+	var genErr error
+	var genWG sync.WaitGroup
+	for i := range traces {
+		genWG.Add(1)
+		go func(i int) {
+			defer genWG.Done()
+			t, err := serviceTrace(1000+int64(i), row.events)
+			if err != nil && genErr == nil {
+				genErr = err
+			}
+			traces[i] = t
+		}(i)
+	}
+	genWG.Wait()
+	if genErr != nil {
+		return benchResult{}, genErr
+	}
+
+	ckDir, err := os.MkdirTemp("", "bench-service-*")
+	if err != nil {
+		return benchResult{}, err
+	}
+	defer os.RemoveAll(ckDir)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return benchResult{}, err
+	}
+	srv := service.New(service.Config{
+		CheckpointDir:   ckDir,
+		CheckpointEvery: uint64(row.events / 4),
+		MaxSessions:     row.sessions,
+		Shards:          row.shards,
+	})
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	latencies := make([]time.Duration, row.sessions)
+	errs := make([]error, row.sessions)
+	var totalEvents uint64
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < row.sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			trace := traces[i%len(traces)]
+			c := &service.Client{
+				Addr:    addr,
+				Session: fmt.Sprintf("bench-%d", i),
+				Source:  func() (io.Reader, error) { return bytes.NewReader(trace), nil },
+				// No faults are injected, but a loaded loopback can still
+				// shed or stall; a few retries keep the row about
+				// throughput, not flakiness.
+				Attempts: 5, Backoff: 20 * time.Millisecond,
+			}
+			t0 := time.Now()
+			res, err := c.Run()
+			latencies[i] = time.Since(t0)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			totalEvents += res.Events
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return benchResult{}, fmt.Errorf("session bench-%d: %w", i, err)
+		}
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	idx := (len(latencies) * 99) / 100
+	if idx >= len(latencies) {
+		idx = len(latencies) - 1
+	}
+	p99 := latencies[idx]
+	return benchResult{
+		Name:         row.name,
+		Iterations:   1,
+		NsPerOp:      float64(elapsed.Nanoseconds()),
+		TotalNs:      elapsed.Nanoseconds(),
+		EventsPerSec: float64(totalEvents) / elapsed.Seconds(),
+		Sessions:     row.sessions,
+		P99LatencyMs: float64(p99.Nanoseconds()) / 1e6,
+		PeakRSSBytes: peakRSSBytes(),
+	}, nil
+}
+
+// peakRSSBytes reads the process high-water RSS from /proc/self/status
+// (VmHWM, in kB). Returns 0 where the proc file is unavailable — the
+// field is provenance, not a gated number.
+func peakRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) >= 2 {
+			if kb, err := strconv.ParseInt(f[1], 10, 64); err == nil {
+				return kb << 10
+			}
+		}
+	}
+	return 0
+}

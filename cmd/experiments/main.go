@@ -6,6 +6,7 @@
 //	experiments [-run all|examples|equivalence|drf|opt|x86|arm|fig5a|fig5b|fig5c|padding]
 //	experiments -run bench [-bench-json BENCH_engine.json] [-monitor-json BENCH_monitor.json]
 //	experiments -run bench-monitor [-monitor-json BENCH_monitor.json]
+//	experiments -run bench-service [-service-json BENCH_service.json]
 //	experiments -run bench-compare [-monitor-json BENCH_monitor.json]
 //	experiments -run bench-plot [-plot-out bench_plot.svg] [BENCH.json ...]
 //
@@ -34,6 +35,14 @@
 // escalated-vector count with sweeps disabled versus with the GC's
 // epoch re-compaction running). Every multicore row records the
 // GOMAXPROCS it ran at. bench-monitor runs only the monitor benches.
+//
+// bench-service runs the racemond soak matrix: an in-process service
+// server on loopback driven by 8..128 concurrent resume-capable
+// clients, recording per row the session count, aggregate monitored
+// events/sec, p99 per-session ingest latency and process peak RSS, all
+// written to -service-json (BENCH_service.json). Service rows are not
+// part of the bench-compare gate — concurrent wall-clock numbers are
+// noisier than the single-core monitor rows the gate is calibrated for.
 //
 // bench-compare reruns the monitor benches in memory and diffs their
 // events/sec against the committed -monitor-json baseline, exiting
@@ -110,6 +119,13 @@ func main() {
 	if *run == "bench-monitor" {
 		if err := benchMonitor(); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment bench-monitor failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *run == "bench-service" {
+		if err := benchService(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment bench-service failed: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -480,6 +496,15 @@ type benchResult struct {
 	// CertifiedLocs is how many locations the static certificate let the
 	// monitor's prefilter skip (static-prefilter row only).
 	CertifiedLocs int `json:"certified_locs,omitempty"`
+	// Sessions is how many concurrent trace sessions the row streamed
+	// through the racemond server (bench-service rows only).
+	Sessions int `json:"sessions,omitempty"`
+	// P99LatencyMs is the 99th-percentile per-session ingest latency —
+	// handshake to done line for the whole trace (bench-service rows).
+	P99LatencyMs float64 `json:"p99_latency_ms,omitempty"`
+	// PeakRSSBytes is the process high-water RSS (VmHWM) after the row
+	// ran (bench-service rows; 0 where /proc is unavailable).
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
 }
 
 // benchDoc is the on-disk shape of a BENCH_*.json file: the rows plus

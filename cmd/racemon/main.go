@@ -318,11 +318,13 @@ func main() {
 	var reports []race.Report
 	switch {
 	case *traceFile != "":
-		if *parsers > 1 && *resumeFile == "" && ck.file == "" {
+		par, warn := parallelParseDecision(*parsers, *resumeFile, ck.file)
+		if warn != "" {
+			fmt.Fprintln(os.Stderr, "racemon: "+warn)
+		}
+		if par {
 			res, reports = runTraceParallel(*traceFile, *shards, *parsers, *rebalance)
 		} else {
-			// Checkpoint/resume rides the sequential reader's byte-offset
-			// continuation, which the parallel front-end cannot produce.
 			res, reports = runTrace(*traceFile, *shards, *resumeFile, ck, *rebalance)
 		}
 	case *emitFile != "":
@@ -790,6 +792,30 @@ func runTrace(path string, shards int, resumePath string, ck ckParams, rebalance
 	stats := sink.Stats()
 	res.Stats = &stats
 	return res, reports
+}
+
+// parallelParseDecision decides whether -trace ingest may use the
+// parallel front-end, and returns a warning to print when -parsers > 1
+// has to be dropped: checkpoint/resume rides the sequential reader's
+// byte-offset continuation, which the parallel front-end cannot
+// produce, so combining them silently falling back would hide a real
+// performance cliff from the user.
+func parallelParseDecision(parsers int, resumeFile, checkpointFile string) (parallel bool, warning string) {
+	if parsers <= 1 {
+		return false, ""
+	}
+	var conflict string
+	switch {
+	case resumeFile != "" && checkpointFile != "":
+		conflict = "-resume and -checkpoint"
+	case resumeFile != "":
+		conflict = "-resume"
+	case checkpointFile != "":
+		conflict = "-checkpoint"
+	default:
+		return true, ""
+	}
+	return false, fmt.Sprintf("-parsers %d ignored: %s needs the sequential reader's byte-offset continuation, which the parallel front-end cannot produce; decoding sequentially", parsers, conflict)
 }
 
 // runTraceParallel ingests a wire-format trace through the parallel

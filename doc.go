@@ -242,6 +242,38 @@
 // runs; and the -json summary embeds the final exact snapshot under
 // "stats".
 //
+// # Service
+//
+// internal/service and cmd/racemond lift the monitor into a
+// long-running, fault-tolerant, multi-tenant service: a TCP server
+// where each connection carries one named trace session (its own
+// sequential Monitor or sharded Pipeline), framed in CRC-32C chunks so
+// a flipped byte or a torn stream is detected before any byte reaches
+// the trace decoder. Durability is a per-session ring of LDCK snapshot
+// files (atomic tmp+fsync+rename, newest-first recovery skipping
+// corrupt generations), written every N monitored events and never on
+// an abnormal end — a failed session's position is untrustworthy by
+// definition, so corruption, disconnection, ingest timeout and server
+// SIGKILL all collapse into the same safe move: revert to the newest
+// checkpoint. Resume is deliberately stateless on the client
+// (service.Client): every attempt replays the trace from byte 0 and
+// the server discards up to the recovered offset, so the session id is
+// the only resume key. Overload is explicit — a session cap and
+// checkpoint backpressure shed admissions with "busy retry-after",
+// per-read deadlines bound slow-loris clients, idle bookkeeping is
+// evicted — and per-session telemetry rides the same obs registry
+// under GET /stats. internal/faultinject supplies the deterministic
+// fault surface (byte-offset connection cuts and corruption, torn and
+// budget-limited checkpoint writes, write throttling); the package's
+// chaos harness drives every fault schedule across shard counts and
+// checkpoint intervals and requires the final reports and RAStats to
+// be byte-identical to an uninterrupted run, including across
+// kill-and-restart of the server process — which CI also drills with
+// real processes via racemond -drive's golden-checked 8-session load,
+// and cmd/experiments -run bench-service soaks with up to 128
+// concurrent sessions (BENCH_service.json: aggregate events/sec, p99
+// ingest latency, peak RSS).
+//
 // The monitor's verdicts are differentially tested against the
 // exhaustive oracle race.Races on every corpus program, on hundreds of
 // random programs, and on hundreds of generated schedules — at every GC

@@ -1,0 +1,315 @@
+// Package faultinject provides deterministic fault-injection wrappers
+// for the I/O boundaries of the race-monitoring service: the filesystem
+// the checkpoint ring writes through, and the network connections trace
+// bytes arrive on. The service takes these interfaces instead of
+// calling os/net directly, so the chaos harness can schedule torn
+// writes, disk-full, byte corruption, mid-frame disconnects and
+// slow-loris stalls at exact, reproducible points — robustness becomes
+// a testable property instead of an asserted one.
+//
+// Faults are configured by plans (FSPlan, ConnPlan) whose zero values
+// are fully transparent. Every fault fires at a deterministic position
+// (a byte offset, an operation ordinal), never at random, so a failing
+// chaos schedule replays exactly.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// ---- Filesystem ----
+
+// File is the writable handle the checkpoint ring needs: sequential
+// writes, a durability barrier, close.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the slice of the filesystem the service's checkpoint ring uses.
+// OS() is the real implementation; NewFS wraps any FS with an FSPlan.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	Create(path string) (File, error)
+	Rename(oldpath, newpath string) error
+	Open(path string) (io.ReadCloser, error)
+	ReadDir(path string) ([]os.DirEntry, error)
+	Remove(path string) error
+	RemoveAll(path string) error
+	// SyncDir fsyncs a directory, making a preceding Rename durable.
+	SyncDir(path string) error
+}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) Create(path string) (File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Open(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadDir(path string) ([]os.DirEntry, error) { return os.ReadDir(path) }
+func (osFS) Remove(path string) error                   { return os.Remove(path) }
+func (osFS) RemoveAll(path string) error                { return os.RemoveAll(path) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ErrDiskFull is the error every Write and Sync returns once an
+// FSPlan's WriteBudget is exhausted.
+var ErrDiskFull = errors.New("faultinject: disk full")
+
+// FSPlan schedules filesystem faults. The zero value injects nothing.
+type FSPlan struct {
+	// WriteBudget caps the total bytes written through the FS across
+	// all files; once exceeded, every further Write and Sync fails with
+	// ErrDiskFull (the classic ENOSPC shape: the write that crosses the
+	// boundary partially succeeds, then everything fails). 0 = unlimited.
+	WriteBudget int64
+	// TornNth makes the Nth Create'd file (1-based) tear: each Write
+	// stores only the first half of its bytes and then fails. Because
+	// the checkpoint ring writes to a temp name and renames only after
+	// a successful Sync, a torn temp file must never become a ring
+	// entry — recovery exercises the older generations instead.
+	TornNth int
+	// FailSyncNth makes the Nth Sync call (1-based, across all files)
+	// fail. A checkpoint whose content was written but not made durable
+	// must be treated as failed.
+	FailSyncNth int
+}
+
+// FaultFS wraps an FS with an FSPlan. Safe for concurrent use.
+type FaultFS struct {
+	inner FS
+	plan  FSPlan
+
+	mu      sync.Mutex
+	written int64
+	creates int
+	syncs   int
+}
+
+// NewFS wraps inner with the plan's fault schedule.
+func NewFS(inner FS, plan FSPlan) *FaultFS {
+	return &FaultFS{inner: inner, plan: plan}
+}
+
+// Written returns the total bytes written through the wrapper so far.
+func (f *FaultFS) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error { return f.inner.MkdirAll(path, perm) }
+func (f *FaultFS) Rename(oldpath, newpath string) error         { return f.inner.Rename(oldpath, newpath) }
+func (f *FaultFS) Open(path string) (io.ReadCloser, error)      { return f.inner.Open(path) }
+func (f *FaultFS) ReadDir(path string) ([]os.DirEntry, error)   { return f.inner.ReadDir(path) }
+func (f *FaultFS) Remove(path string) error                     { return f.inner.Remove(path) }
+func (f *FaultFS) RemoveAll(path string) error                  { return f.inner.RemoveAll(path) }
+func (f *FaultFS) SyncDir(path string) error                    { return f.inner.SyncDir(path) }
+
+func (f *FaultFS) Create(path string) (File, error) {
+	inner, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.creates++
+	torn := f.plan.TornNth > 0 && f.creates == f.plan.TornNth
+	f.mu.Unlock()
+	return &faultFile{fs: f, inner: inner, torn: torn}, nil
+}
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+	torn  bool
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	fs := ff.fs
+	if ff.torn {
+		n, _ := ff.inner.Write(p[:len(p)/2])
+		return n, fmt.Errorf("faultinject: torn write (%d of %d bytes)", n, len(p))
+	}
+	if fs.plan.WriteBudget > 0 {
+		fs.mu.Lock()
+		remaining := fs.plan.WriteBudget - fs.written
+		if remaining <= 0 {
+			fs.mu.Unlock()
+			return 0, ErrDiskFull
+		}
+		take := int64(len(p))
+		if take > remaining {
+			take = remaining
+		}
+		fs.written += take
+		fs.mu.Unlock()
+		n, err := ff.inner.Write(p[:take])
+		if err != nil {
+			return n, err
+		}
+		if int(take) < len(p) {
+			return n, ErrDiskFull
+		}
+		return n, nil
+	}
+	fs.mu.Lock()
+	fs.written += int64(len(p))
+	fs.mu.Unlock()
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	fs := ff.fs
+	fs.mu.Lock()
+	fs.syncs++
+	failSync := fs.plan.FailSyncNth > 0 && fs.syncs == fs.plan.FailSyncNth
+	full := fs.plan.WriteBudget > 0 && fs.written >= fs.plan.WriteBudget
+	fs.mu.Unlock()
+	if failSync {
+		return fmt.Errorf("faultinject: sync failed")
+	}
+	if full {
+		return ErrDiskFull
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.inner.Close() }
+
+// ---- Connections ----
+
+// ConnPlan schedules faults on one connection's writes (the client side
+// of the chaos harness, between the protocol framing and the socket).
+// The zero value is transparent. Offsets count bytes written through
+// the wrapped connection, so a fault lands at an exact position in the
+// framed stream — including mid-frame.
+type ConnPlan struct {
+	// CutAfter closes the connection abruptly once this many bytes have
+	// been written: the prefix is delivered, the write that crosses the
+	// boundary fails, and the peer sees a mid-stream disconnect.
+	// 0 = never.
+	CutAfter int64
+	// CorruptAt XOR-flips the byte at this write offset (bit pattern
+	// 0xFF) before sending — wire corruption in flight. Offset 0 is
+	// position zero is never corrupted; schedule > 0. Pair with a later
+	// CutAfter to model a peer that corrupts and then dies; alone it
+	// models a flaky link whose stream continues. 0 = never.
+	CorruptAt int64
+	// WriteDelay sleeps before every Write — a slow-loris client
+	// trickling bytes against the server's ingest timeout. 0 = none.
+	WriteDelay time.Duration
+}
+
+// Conn wraps a net.Conn with a ConnPlan. Only the write path is
+// faulted; reads pass through.
+type Conn struct {
+	net.Conn
+	plan    ConnPlan
+	written int64
+}
+
+// WrapConn wraps c with the plan's fault schedule.
+func WrapConn(c net.Conn, plan ConnPlan) *Conn {
+	return &Conn{Conn: c, plan: plan}
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.plan.WriteDelay > 0 {
+		time.Sleep(c.plan.WriteDelay)
+	}
+	if c.plan.CutAfter > 0 && c.written >= c.plan.CutAfter {
+		c.Conn.Close()
+		return 0, fmt.Errorf("faultinject: connection cut after %d bytes", c.written)
+	}
+	// Deliver at most up to the cut point.
+	limit := int64(len(p))
+	cut := false
+	if c.plan.CutAfter > 0 && c.written+limit > c.plan.CutAfter {
+		limit = c.plan.CutAfter - c.written
+		cut = true
+	}
+	buf := p[:limit]
+	if at := c.plan.CorruptAt; at > 0 && at >= c.written && at < c.written+limit {
+		// Copy before flipping: the caller's buffer must stay intact
+		// (the client retries with the same bytes).
+		tmp := make([]byte, len(buf))
+		copy(tmp, buf)
+		tmp[at-c.written] ^= 0xFF
+		buf = tmp
+	}
+	n, err := c.Conn.Write(buf)
+	c.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	if cut {
+		c.Conn.Close()
+		return n, fmt.Errorf("faultinject: connection cut after %d bytes", c.written)
+	}
+	return n, nil
+}
+
+// ---- Readers ----
+
+// Reader wraps an io.Reader with read-side faults, for unit tests that
+// feed a decoder directly (no socket): the stream is cut short at
+// CutAfter bytes and/or the byte at CorruptAt is XOR-flipped.
+type Reader struct {
+	R         io.Reader
+	CutAfter  int64 // 0 = never; bytes delivered before a synthetic error
+	CorruptAt int64 // 0 = never; offset of the flipped byte
+	read      int64
+}
+
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.CutAfter > 0 {
+		if r.read >= r.CutAfter {
+			return 0, fmt.Errorf("faultinject: stream cut after %d bytes", r.read)
+		}
+		if left := r.CutAfter - r.read; int64(len(p)) > left {
+			p = p[:left]
+		}
+	}
+	n, err := r.R.Read(p)
+	if at := r.CorruptAt; at > 0 && at >= r.read && at < r.read+int64(n) {
+		p[at-r.read] ^= 0xFF
+	}
+	r.read += int64(n)
+	return n, err
+}

@@ -50,6 +50,7 @@ import (
 	"io"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"localdrf/internal/engine"
@@ -262,6 +263,16 @@ type Pipeline struct {
 	done     bool
 	reports  []race.Report
 	races    int
+	// Teardown state (see the contract on Abort). aborted is the single
+	// CAS that elects the tearing-down goroutine; tornDown is closed once
+	// every back-end has exited, so late Abort calls can wait instead of
+	// double-closing. ackWait[s] records, per quiesce, whether lane s
+	// accepted the nil barrier batch — an abort can close the rings
+	// between the Put and the ack, and the barrier must then not wait for
+	// acknowledgements that will never come.
+	aborted  atomic.Bool
+	tornDown chan struct{}
+	ackWait  []bool
 	// staticSkip mirrors cfg.StaticFilter (see PipelineConfig).
 	staticSkip []bool
 	// Skew-adaptive routing state (nil/zero unless cfg.Rebalance).
@@ -312,6 +323,8 @@ func newPipelineFrom(fe *Monitor, cfg PipelineConfig) *Pipeline {
 		lanes:    make([]*lane, cfg.Shards),
 		backs:    make([]*backend, cfg.Shards),
 		changed:  make([]int32, 0, nthreads),
+		tornDown: make(chan struct{}),
+		ackWait:  make([]bool, cfg.Shards),
 	}
 	if cfg.StaticFilter != nil {
 		if len(cfg.StaticFilter) != len(decls) {
@@ -510,6 +523,12 @@ func (p *Pipeline) Finish() []race.Report {
 		return p.reports
 	}
 	p.done = true
+	if p.aborted.Load() {
+		// Aborted pipelines have dropped in-flight batches; there is no
+		// coherent report set to merge (see Abort).
+		<-p.tornDown
+		return nil
+	}
 	for _, ln := range p.lanes {
 		ln.flush()
 		ln.q.Close()
@@ -531,15 +550,21 @@ func (p *Pipeline) Finish() []race.Report {
 // far is applied before this returns, and feeding may continue after.
 // The barrier is a nil batch through each lane's ring (the flush path
 // never emits one), acknowledged by the back-end once everything before
-// it has been applied.
+// it has been applied. A concurrent Abort closes the rings; a Put that
+// observed the close returns false and the back-end will never see that
+// barrier, so the barrier only waits on acks whose Put succeeded (a
+// successful Put is always drained and acknowledged — Get keeps
+// delivering queued items after Close).
 func (p *Pipeline) quiesce() {
 	start := time.Now()
-	for _, ln := range p.lanes {
+	for s, ln := range p.lanes {
 		ln.flush()
-		ln.q.Put(nil)
+		p.ackWait[s] = ln.q.Put(nil)
 	}
-	for _, b := range p.backs {
-		<-b.ack
+	for s, b := range p.backs {
+		if p.ackWait[s] {
+			<-b.ack
+		}
 	}
 	p.po.quiesces.Add(1)
 	p.po.quiesceNs.Observe(uint64(time.Since(start)))
@@ -719,6 +744,9 @@ func (p *Pipeline) SnapshotWithReader(w io.Writer, ck ReaderCheckpoint) error {
 }
 
 func (p *Pipeline) snapshotWith(w io.Writer, rck *ReaderCheckpoint) error {
+	if p.aborted.Load() {
+		return fmt.Errorf("monitor: pipeline snapshot: pipeline aborted")
+	}
 	if p.done {
 		return fmt.Errorf("monitor: pipeline snapshot: pipeline already finished")
 	}
@@ -730,20 +758,46 @@ func (p *Pipeline) snapshotWith(w io.Writer, rck *ReaderCheckpoint) error {
 
 // Abort tears the pipeline down mid-stream without draining: the rings
 // are closed, in-flight batches are dropped, and every back-end
-// goroutine has exited when Abort returns. Reports are unavailable after
-// an abort (Finish returns nil). Safe to call from a goroutine other
-// than the feeder — a concurrently blocked Step unblocks and its events
-// are discarded — but must not race with Finish or Snapshot.
+// goroutine has exited when Abort returns.
+//
+// Teardown contract:
+//
+//   - Abort is idempotent and safe to call from any goroutine, any
+//     number of times, concurrently with itself: one caller wins a CAS
+//     and tears the rings down; every other caller blocks until the
+//     back-ends have exited, so all Abort calls return with the same
+//     postcondition (no pipeline goroutines remain).
+//   - Abort is safe while the feeder is blocked in Step/StepBatch on a
+//     full ring (the blocked Put unblocks and its records are
+//     discarded), and while the feeder is inside a quiesce barrier
+//     (Snapshot, BackendLoads, a GC sweep): the barrier only waits for
+//     acknowledgements whose nil batch was accepted before the rings
+//     closed, so it cannot wait forever.
+//   - Abort is safe after Snapshot and after Finish have returned
+//     (after Finish it is a no-op: the rings are already closed —
+//     Close is idempotent — and the WaitGroup is settled).
+//   - After an abort: Finish returns nil (in-flight batches were
+//     dropped, so no coherent report set exists), Snapshot returns an
+//     error, and further Steps are silently discarded. Events() remains
+//     readable from the feeder.
+//   - The one prohibited overlap: Abort must not race with a
+//     *concurrently executing* Finish or Snapshot — those drain state
+//     that Abort is tearing down, and the snapshot bytes/report set
+//     would be torn. Call sites that can race an abort against a
+//     drain (e.g. a server tearing down a session) must order the two
+//     themselves; calling Abort once either has returned is always
+//     safe.
 func (p *Pipeline) Abort() {
-	if p.done {
+	if !p.aborted.CompareAndSwap(false, true) {
+		<-p.tornDown
 		return
 	}
-	p.done = true
 	for _, ln := range p.lanes {
 		ln.q.Close()
 		ln.free.Close()
 	}
 	p.wg.Wait()
+	close(p.tornDown)
 }
 
 // Events returns the number of events consumed so far.

@@ -1,8 +1,11 @@
 package monitor
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -507,4 +510,95 @@ func BenchmarkPipeline4Bursty(b *testing.B) {
 		p.StepBatch(events)
 		p.Finish()
 	}
+}
+
+// TestPipelineAbortContract pins the teardown contract documented on
+// Abort: idempotent from any goroutine (including concurrently with
+// itself), safe after Snapshot and after Finish, safe while a feeder is
+// blocked on a full ring, and afterwards Finish returns nil while
+// Snapshot fails. Regression test for the quiesce-vs-Abort deadlock
+// (the barrier must only wait for acks whose nil batch was accepted
+// before the rings closed).
+func TestPipelineAbortContract(t *testing.T) {
+	decls, events := raWorkload(6, 18, 40_000, 29)
+
+	t.Run("after-snapshot", func(t *testing.T) {
+		mustNotLeakGoroutines(t, func() {
+			p := NewPipeline(6, decls, PipelineConfig{Shards: 4, BatchSize: 16})
+			p.StepBatch(events[:20_000])
+			var snap bytes.Buffer
+			if err := p.Snapshot(&snap); err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			p.Abort()
+			if got := p.Finish(); got != nil {
+				t.Fatalf("Finish after Abort returned reports: %v", got)
+			}
+			if err := p.Snapshot(&snap); err == nil || !strings.Contains(err.Error(), "abort") {
+				t.Fatalf("Snapshot after Abort: err = %v, want abort error", err)
+			}
+			// The snapshot taken before the abort must still restore.
+			s, err := ReadSnapshot(bytes.NewReader(snap.Bytes()))
+			if err != nil {
+				t.Fatalf("pre-abort snapshot unreadable: %v", err)
+			}
+			if got := s.Monitor().Events(); got != 20_000 {
+				t.Fatalf("pre-abort snapshot events = %d, want 20000", got)
+			}
+		})
+	})
+
+	t.Run("concurrent-double-abort", func(t *testing.T) {
+		mustNotLeakGoroutines(t, func() {
+			for i := 0; i < 50; i++ {
+				p := NewPipeline(6, decls, PipelineConfig{Shards: 3, BatchSize: 4, QueueDepth: 1})
+				var feeders sync.WaitGroup
+				feeders.Add(1)
+				go func() {
+					defer feeders.Done()
+					p.StepBatch(events) // likely blocks on a full ring mid-way
+				}()
+				var wg sync.WaitGroup
+				for a := 0; a < 3; a++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						p.Abort()
+					}()
+				}
+				wg.Wait() // every Abort call returned ⇒ back-ends gone
+				feeders.Wait()
+				if got := p.Finish(); got != nil {
+					t.Fatalf("Finish after concurrent aborts returned reports: %v", got)
+				}
+			}
+		})
+	})
+
+	t.Run("after-finish", func(t *testing.T) {
+		mustNotLeakGoroutines(t, func() {
+			p := NewPipeline(6, decls, PipelineConfig{Shards: 4})
+			p.StepBatch(events)
+			want := p.Finish()
+			p.Abort() // must be a harmless no-op on a finished pipeline
+			if got := p.Finish(); !race.ReportsEqual(got, want) {
+				t.Fatalf("Finish changed after post-Finish Abort: got %v, want %v", got, want)
+			}
+		})
+	})
+
+	t.Run("quiesce-accessor-after-abort", func(t *testing.T) {
+		mustNotLeakGoroutines(t, func() {
+			p := NewPipeline(6, decls, PipelineConfig{Shards: 4, BatchSize: 16})
+			p.StepBatch(events[:10_000])
+			p.Abort()
+			// BackendLoads quiesces; after an abort the barrier must not
+			// wait on back-ends that will never acknowledge.
+			_ = p.BackendLoads()
+			_ = p.EscalatedVectors()
+			if p.Events() != 10_000 {
+				t.Fatalf("Events after abort = %d, want 10000", p.Events())
+			}
+		})
+	})
 }

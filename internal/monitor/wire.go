@@ -495,7 +495,36 @@ type TraceReader struct {
 	frameBuf   []byte
 	batch      []Event
 	cur        int
+	// lim tightens the format caps for untrusted peers (see ReaderLimits).
+	lim ReaderLimits
 }
+
+// ReaderLimits tightens the decoder's allocation caps below the format
+// limits, for readers fed by untrusted network peers. The format caps
+// alone admit headers that are individually valid but collectively
+// enormous: 65536 locations × 4 KiB names is ~270 MB of name bytes a
+// hostile header can demand before validateHeader ever runs. A server
+// decoding traces from the network sets limits matched to its tenancy
+// budget; the zero value applies only the format caps (the historical
+// behaviour, right for trusted local files).
+type ReaderLimits struct {
+	// MaxHeaderBytes caps the total header-declared size: the sum over
+	// location declarations of name length + headerDeclOverhead bytes of
+	// fixed per-declaration cost. Exceeding it is a validation error
+	// raised before the oversized allocation happens. 0 = format caps
+	// only.
+	MaxHeaderBytes int
+	// MaxFrameEvents caps the declared event count of one v2 frame
+	// (the format cap is 65536). A frame declaring more events than
+	// this is rejected before decoding. 0 = format cap only.
+	MaxFrameEvents int
+}
+
+// headerDeclOverhead is the fixed per-declaration cost MaxHeaderBytes
+// charges on top of the name bytes (LocDecl bookkeeping, dedup map
+// entry), so a header of many empty-ish names still exhausts the budget
+// proportionally to the monitor state it would allocate.
+const headerDeclOverhead = 16
 
 // countReader passes reads through to the buffered reader, counting the
 // bytes consumed.
@@ -521,7 +550,16 @@ func (c *countReader) Read(p []byte) (int, error) {
 // NewTraceReader sniffs the encoding of r, decodes and validates the
 // header, and returns a reader positioned at the first event.
 func NewTraceReader(r io.Reader) (*TraceReader, error) {
-	tr := &TraceReader{br: bufio.NewReader(r)}
+	return NewTraceReaderLimits(r, ReaderLimits{})
+}
+
+// NewTraceReaderLimits is NewTraceReader with tightened allocation caps
+// for untrusted input (see ReaderLimits).
+func NewTraceReaderLimits(r io.Reader, lim ReaderLimits) (*TraceReader, error) {
+	if lim.MaxHeaderBytes < 0 || lim.MaxFrameEvents < 0 {
+		return nil, fmt.Errorf("monitor: trace reader: negative ReaderLimits")
+	}
+	tr := &TraceReader{br: bufio.NewReader(r), lim: lim}
 	tr.cr.br = tr.br
 	magic, err := tr.br.Peek(len(binaryMagic))
 	if err == nil && string(magic) == binaryMagic {
@@ -529,6 +567,12 @@ func NewTraceReader(r io.Reader) (*TraceReader, error) {
 			return nil, err
 		}
 		return tr, nil
+	}
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF && len(magic) == 0 {
+		// The source failed before yielding a byte (e.g. a verification
+		// layer below rejected its first frame). Propagate the real error
+		// instead of letting the text parser misread it as a bad header.
+		return nil, fmt.Errorf("monitor: trace reader: %w", err)
 	}
 	tr.text = true
 	if err := tr.readTextHeader(); err != nil {
@@ -633,10 +677,20 @@ func (tr *TraceReader) readBinaryHeader() error {
 		return err
 	}
 	hdr := Header{Threads: int(threads)}
+	budget := tr.lim.MaxHeaderBytes
 	for i := uint64(0); i < nlocs; i++ {
 		nameLen, err := tr.readUvarintField("location name length", maxWireName)
 		if err != nil {
 			return err
+		}
+		if budget > 0 {
+			// Charge the declaration against the caller's budget BEFORE
+			// allocating the name, so a hostile header errors instead of
+			// ballooning the decoder.
+			if budget -= int(nameLen) + headerDeclOverhead; budget <= 0 {
+				return fmt.Errorf("monitor: trace header: declared sizes exceed the reader's %d-byte header budget after %d locations",
+					tr.lim.MaxHeaderBytes, i)
+			}
 		}
 		name := make([]byte, nameLen)
 		if _, err := io.ReadFull(&tr.cr, name); err != nil {
@@ -689,6 +743,9 @@ func (tr *TraceReader) decodeFrame(dst []Event) ([]Event, bool, error) {
 	count, n := binary.Uvarint(p)
 	if n <= 0 || count == 0 || count > maxFrameEvents {
 		return dst, false, fmt.Errorf("monitor: trace frame: bad event count")
+	}
+	if lim := tr.lim.MaxFrameEvents; lim > 0 && count > uint64(lim) {
+		return dst, false, fmt.Errorf("monitor: trace frame: %d events exceeds the reader's per-frame limit %d", count, lim)
 	}
 	pos := n
 	for i := uint64(0); i < count; i++ {
@@ -890,6 +947,7 @@ func (tr *TraceReader) readTextHeader() error {
 	}
 	hdr := Header{Threads: threads}
 	tr.loc = map[string]int32{}
+	budget := tr.lim.MaxHeaderBytes
 	for {
 		line, ok, err = tr.readLine()
 		if err != nil {
@@ -920,6 +978,12 @@ func (tr *TraceReader) readTextHeader() error {
 		}
 		if len(hdr.Decls) >= maxWireLocs {
 			return tr.textErr("more than %d locations", maxWireLocs)
+		}
+		if budget > 0 {
+			if budget -= len(f[1]) + headerDeclOverhead; budget <= 0 {
+				return tr.textErr("declared sizes exceed the reader's %d-byte header budget after %d locations",
+					tr.lim.MaxHeaderBytes, len(hdr.Decls))
+			}
 		}
 		tr.loc[f[1]] = int32(len(hdr.Decls))
 		hdr.Decls = append(hdr.Decls, LocDecl{Name: prog.Loc(f[1]), Kind: kind})

@@ -263,7 +263,19 @@ func FuzzTraceReader(f *testing.F) {
 	f.Add([]byte("LDTR\x02\x02\x01\x01x\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
 	f.Add([]byte("ldtrace 1\nthreads 3\nloc R ra\n0 w R -5/3\n0 halt\n"))
 	f.Add([]byte{})
+	f.Add(hostileHeader()) // must trip the budget path under limits below
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// A limits-constrained reader must never panic either — and tight
+		// limits mean it rejects hostile shapes early, so draining it is
+		// cheap regardless of what the header declares.
+		if tr, err := NewTraceReaderLimits(bytes.NewReader(data),
+			ReaderLimits{MaxHeaderBytes: 1 << 12, MaxFrameEvents: 256}); err == nil {
+			for i := 0; i < 1<<16; i++ {
+				if _, ok, err := tr.Next(); err != nil || !ok {
+					break
+				}
+			}
+		}
 		for _, batched := range []bool{false, true} {
 			tr, err := NewTraceReader(bytes.NewReader(data))
 			if err != nil {
@@ -331,4 +343,88 @@ func encodeAllFuzz(f *testing.F, hdr Header, events []Event, format Format) []by
 		f.Fatal(err)
 	}
 	return buf.Bytes()
+}
+
+// TestTraceReaderLimits: ReaderLimits turns "individually legal,
+// collectively enormous" header declarations and oversized v2 frame
+// counts into validation errors raised before the allocation they
+// describe — the ingest hardening a server decoding untrusted network
+// traces relies on. Generous limits must change nothing.
+func TestTraceReaderLimits(t *testing.T) {
+	hdr, events := wireWorkload()
+	v2 := encodeAll(t, hdr, events, BinaryV2)
+
+	t.Run("negative", func(t *testing.T) {
+		if _, err := NewTraceReaderLimits(bytes.NewReader(v2), ReaderLimits{MaxHeaderBytes: -1}); err == nil {
+			t.Error("negative MaxHeaderBytes accepted")
+		}
+		if _, err := NewTraceReaderLimits(bytes.NewReader(v2), ReaderLimits{MaxFrameEvents: -1}); err == nil {
+			t.Error("negative MaxFrameEvents accepted")
+		}
+	})
+
+	t.Run("hostile-binary-header", func(t *testing.T) {
+		// hostileHeader declares 2^14 locations; a 4 KiB budget must
+		// reject it within the first ~256 declarations, long before the
+		// format's own threads×locations check would fire.
+		_, err := NewTraceReaderLimits(bytes.NewReader(hostileHeader()), ReaderLimits{MaxHeaderBytes: 4096})
+		if err == nil || !strings.Contains(err.Error(), "header budget") {
+			t.Fatalf("hostile header: err = %v, want header-budget error", err)
+		}
+	})
+
+	t.Run("hostile-text-header", func(t *testing.T) {
+		var b strings.Builder
+		b.WriteString("ldtrace 1\nthreads 2\n")
+		for i := 0; i < 64; i++ {
+			fmt.Fprintf(&b, "loc %s%d na\n", strings.Repeat("n", 100), i)
+		}
+		_, err := NewTraceReaderLimits(strings.NewReader(b.String()), ReaderLimits{MaxHeaderBytes: 1024})
+		if err == nil || !strings.Contains(err.Error(), "header budget") {
+			t.Fatalf("hostile text header: err = %v, want header-budget error", err)
+		}
+	})
+
+	t.Run("frame-event-cap", func(t *testing.T) {
+		// Build a v2 trace whose single frame carries well over 16 events.
+		var long []Event
+		for i := 0; i < 200; i++ {
+			long = append(long, Event{Thread: int32(i % hdr.Threads), Loc: 0, Kind: WriteNA})
+		}
+		data := encodeAll(t, hdr, long, BinaryV2)
+		tr, err := NewTraceReaderLimits(bytes.NewReader(data), ReaderLimits{MaxFrameEvents: 16})
+		if err != nil {
+			t.Fatalf("header: %v", err)
+		}
+		_, _, err = tr.NextBatch(nil)
+		if err == nil || !strings.Contains(err.Error(), "per-frame limit") {
+			t.Fatalf("oversized frame: err = %v, want per-frame-limit error", err)
+		}
+	})
+
+	t.Run("generous-limits-identical", func(t *testing.T) {
+		lim := ReaderLimits{MaxHeaderBytes: 1 << 20, MaxFrameEvents: maxFrameEvents}
+		for _, format := range []Format{Binary, BinaryV2, Text} {
+			data := encodeAll(t, hdr, events, format)
+			ref, err := NewTraceReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("%v: reference reader: %v", format, err)
+			}
+			ltd, err := NewTraceReaderLimits(bytes.NewReader(data), lim)
+			if err != nil {
+				t.Fatalf("%v: limited reader: %v", format, err)
+			}
+			for {
+				we, wok, werr := ref.Next()
+				ge, gok, gerr := ltd.Next()
+				if wok != gok || (werr == nil) != (gerr == nil) || we != ge {
+					t.Fatalf("%v: limited reader diverged: (%+v,%v,%v) vs (%+v,%v,%v)",
+						format, ge, gok, gerr, we, wok, werr)
+				}
+				if !wok || werr != nil {
+					break
+				}
+			}
+		}
+	})
 }

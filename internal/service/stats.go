@@ -1,0 +1,141 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+
+	"localdrf/internal/obs"
+)
+
+// The service's observability rides the existing obs/stats surface —
+// one registry per session sink (the same monitor.*/pipeline.* cells
+// racemon serves) plus the server's service.* registry, mounted under
+// a single /stats endpoint. No second metrics path.
+
+// sessionStats is one session's row in the /stats listing.
+type sessionStats struct {
+	Session  string `json:"session"`
+	Attached bool   `json:"attached"`
+	Events   uint64 `json:"events"`
+	Resumed  int    `json:"resumed,omitempty"`
+	IdleNs   int64  `json:"idle_ns,omitempty"`
+}
+
+// statsDoc is the aggregate /stats payload.
+type statsDoc struct {
+	UptimeNs int64          `json:"uptime_ns"`
+	Sessions []sessionStats `json:"sessions"`
+	// Service is the service.* registry snapshot; Monitors merges the
+	// monitor.*/pipeline.* registries of every attached session (the
+	// aggregate ingest view — counters sum across sessions).
+	Service  obs.Snapshot `json:"service"`
+	Monitors obs.Snapshot `json:"monitors"`
+	// Rates are per-second counter rates since the previous scrape
+	// (service.* and merged monitor cells together).
+	Rates map[string]float64 `json:"rates,omitempty"`
+}
+
+// sessionDoc is the per-session /stats?session=ID payload.
+type sessionDoc struct {
+	sessionStats
+	// Metrics is the session sink's registry snapshot — only while the
+	// session is attached (a detached session's state lives in its
+	// checkpoint ring, not in memory).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// statsSnapshot collects the aggregate view under the server lock.
+func (s *Server) statsSnapshot() statsDoc {
+	s.mu.Lock()
+	regs := make([]*obs.Registry, 0, len(s.sessions))
+	doc := statsDoc{UptimeNs: time.Since(s.start).Nanoseconds(), Sessions: []sessionStats{}}
+	now := time.Now()
+	for _, sess := range s.sessions {
+		row := sessionStats{Session: sess.id, Attached: sess.attached, Events: sess.events, Resumed: sess.resumed}
+		if !sess.attached {
+			row.IdleNs = now.Sub(sess.lastSeen).Nanoseconds()
+		}
+		doc.Sessions = append(doc.Sessions, row)
+		if sess.reg != nil {
+			regs = append(regs, sess.reg)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(doc.Sessions, func(i, j int) bool { return doc.Sessions[i].Session < doc.Sessions[j].Session })
+	doc.Service = s.reg.Snapshot()
+	snaps := make([]obs.Snapshot, 0, len(regs))
+	for _, reg := range regs {
+		snaps = append(snaps, reg.Snapshot())
+	}
+	doc.Monitors = obs.Merge(snaps...)
+	return doc
+}
+
+// rates computes per-second counter rates against the previous scrape.
+func (s *Server) rates(cur obs.Snapshot) map[string]float64 {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	now := time.Now()
+	var out map[string]float64
+	if !s.statsAt.IsZero() {
+		if dt := now.Sub(s.statsAt).Seconds(); dt > 0 {
+			delta := cur.Delta(s.statsPrev)
+			out = make(map[string]float64, len(delta.Counters))
+			for name, v := range delta.Counters {
+				out[name] = float64(v) / dt
+			}
+		}
+	}
+	s.statsPrev, s.statsAt = cur, now
+	return out
+}
+
+// StatsHandler serves the service's telemetry:
+//
+//	GET /stats              aggregate: session table, service.* cells,
+//	                        merged per-session monitor cells, rates
+//	GET /stats?session=ID   one session's row + its live registry
+//
+// Mount it (plus expvar/pprof if desired) on whatever mux the binary
+// serves — cmd/racemond does.
+func (s *Server) StatsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id := r.URL.Query().Get("session"); id != "" {
+			s.mu.Lock()
+			sess := s.sessions[id]
+			var doc *sessionDoc
+			if sess != nil {
+				doc = &sessionDoc{sessionStats: sessionStats{
+					Session: sess.id, Attached: sess.attached, Events: sess.events, Resumed: sess.resumed,
+				}}
+				if !sess.attached {
+					doc.IdleNs = time.Since(sess.lastSeen).Nanoseconds()
+				}
+				reg := sess.reg
+				s.mu.Unlock()
+				if reg != nil {
+					snap := reg.Snapshot()
+					doc.Metrics = &snap
+				}
+			} else {
+				s.mu.Unlock()
+			}
+			if doc == nil {
+				http.Error(w, `{"error":"unknown session"}`, http.StatusNotFound)
+				return
+			}
+			enc.Encode(doc)
+			return
+		}
+		doc := s.statsSnapshot()
+		doc.Rates = s.rates(obs.Merge(doc.Service, doc.Monitors))
+		enc.Encode(doc)
+	})
+	return mux
+}

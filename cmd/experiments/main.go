@@ -474,6 +474,11 @@ type benchResult struct {
 	RAPeakLive int `json:"ra_peak_live,omitempty"`
 	// RACollected is how many dead RA messages the windowed GC reclaimed.
 	RACollected uint64 `json:"ra_collected,omitempty"`
+	// WindowPeakLive is the high-water mark of live short-race window
+	// candidates — the measured bounded-memory claim of the distance-k
+	// predicate (short-k rows only; bounded by k + GC interval
+	// regardless of stream length).
+	WindowPeakLive int `json:"window_peak_live,omitempty"`
 	// AllocsPerEvent is the heap allocation rate of the monitoring pass
 	// (monitor benches only; epochs keep the common case at ≈0).
 	AllocsPerEvent float64 `json:"allocs_per_event,omitempty"`
@@ -936,6 +941,43 @@ func benchMonitorResults() ([]benchResult, error) {
 		return nil, fmt.Errorf("static prefilter changed the reports or RA stats")
 	}
 	results[len(results)-1].CertifiedLocs = monitor.FilteredLocs(privMask)
+	// Predictive predicates over the same bursty 1M-event stream: the
+	// sync-preserving row prices the write-side join suppression plus
+	// the SP-clock bookkeeping; the distance-64 short-race row
+	// additionally records the candidate window's peak live entry
+	// count — the measured bounded-memory claim (peak ≤ k + GC
+	// interval, independent of stream length). Both rows must report
+	// at least the hb set; the short window here decides a subset of
+	// syncp, so its count is sanity-checked against syncp's.
+	syncpMon := tb.NewMonitor()
+	syncpMon.SetPredicate(monitor.PredSyncP, 0)
+	if err := timeIt("monitor/syncp-1M", &results, func() error {
+		syncpMon.Reset()
+		syncpMon.StepBatch(stream)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if syncpMon.RaceCount() < mon.RaceCount() {
+		return nil, fmt.Errorf("syncp reported %d races, fewer than hb's %d", syncpMon.RaceCount(), mon.RaceCount())
+	}
+	shortMon := tb.NewMonitor()
+	shortMon.SetPredicate(monitor.PredShort, 64)
+	if err := timeIt("monitor/short-k64-1M", &results, func() error {
+		shortMon.Reset()
+		shortMon.StepBatch(stream)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	ws := shortMon.WindowStats()
+	if ws.Peak == 0 || ws.Peak > 64+4096 {
+		return nil, fmt.Errorf("short:64 window peak %d outside (0, k+gc interval]", ws.Peak)
+	}
+	if shortMon.RaceCount() > syncpMon.RaceCount() {
+		return nil, fmt.Errorf("short:64 reported %d races, more than syncp's %d", shortMon.RaceCount(), syncpMon.RaceCount())
+	}
+	results[len(results)-1].WindowPeakLive = ws.Peak
 	for i := range results {
 		// events/sec is meaningful only for rows that process the
 		// 1M-event stream; the snapshot codec row times state encode +

@@ -9,11 +9,11 @@
 //	racemon [-events N] [-threads K] [-policy fair|unfair|bursty]
 //	        [-seed S] [-shards M] [-locs L] [-atomics A] [-ra R]
 //	        [-stale PCT] [-skew S] [-halts] [-json] [-pipeline] [-stream]
-//	        [-rebalance] [-trace FILE|-] [-parsers N] [-emit FILE]
-//	        [-format binary|text] [-wire 1|2] [-golden FILE]
-//	        [-update-golden] [-checkpoint FILE] [-checkpoint-at N]
-//	        [-resume FILE] [-stats-addr ADDR] [-stats-interval DUR]
-//	        [-stats-linger DUR]
+//	        [-rebalance] [-predicate hb|syncp|short:k] [-trace FILE|-]
+//	        [-parsers N] [-emit FILE] [-format binary|text] [-wire 1|2]
+//	        [-golden FILE] [-update-golden] [-checkpoint FILE]
+//	        [-checkpoint-at N] [-resume FILE] [-stats-addr ADDR]
+//	        [-stats-interval DUR] [-stats-linger DUR]
 //
 // Modes:
 //
@@ -43,6 +43,22 @@
 // to completion (wire v2/text and the monitor understand it; it never
 // changes reports, only RA retention).
 //
+// -predicate selects the race predicate the monitor decides (see
+// internal/monitor's predictive-detection overview): "hb" (the
+// default) reports happens-before races over the observed trace;
+// "syncp" reports sync-preserving predictable races — a superset of
+// the hb set, witnessing races a feasible reordering of the observed
+// trace could expose; "short:k" (k ≥ 1) restricts syncp to access
+// pairs at most k events apart, bounding the candidate state to O(k)
+// per location regardless of trace length. Every monitoring mode
+// accepts it (-stream, -pipeline, -trace, sharded batch); reports
+// stay identical at any shard count. -emit does not monitor, so
+// combining it with a non-default -predicate is an error. A
+// checkpoint records its monitor's predicate, which is authoritative
+// on -resume (a conflicting -predicate is ignored with a warning).
+// With -json the summary carries the predicate and, for short:k, the
+// window's live/peak candidate counts.
+//
 // -skew S redirects each generated nonatomic access to a location drawn
 // from a Zipf distribution with exponent S (0 = uniform, the default) —
 // hot-location workloads for the sharded pipeline. -rebalance enables
@@ -66,7 +82,12 @@
 // same event stream, e.g. the -emit of the same seed and parameters).
 // Resuming with -shards M > 1 routes every restored location's state to
 // the back-end owning it. The resumed report set is byte-identical to a
-// run that never stopped.
+// run that never stopped. A snapshot records whether its run had a
+// static prefilter active, but not the mask itself (it is derived from
+// the generated program, which a trace does not carry) — so resuming a
+// prefiltered run warns that monitoring continues unfiltered, and
+// -static-prefilter alongside -resume warns that it is ignored rather
+// than silently dropping the flag.
 //
 // Telemetry: -stats-addr ADDR serves the live obs-registry snapshot
 // over HTTP while the run ingests — GET /stats returns the merged
@@ -113,6 +134,7 @@ import (
 
 	"localdrf/internal/monitor"
 	"localdrf/internal/obs"
+	"localdrf/internal/predict"
 	"localdrf/internal/prog"
 	"localdrf/internal/progsynth"
 	"localdrf/internal/race"
@@ -140,6 +162,18 @@ type result struct {
 	RALive      int    `json:"ra_live,omitempty"`
 	RALivePeak  int    `json:"ra_live_peak,omitempty"`
 	RACollected uint64 `json:"ra_collected,omitempty"`
+	// Predictive-detection results. Predicate is the decided race
+	// predicate ("syncp", "short:k"); omitted for the default hb so
+	// existing consumers and goldens see unchanged JSON. The window
+	// fields are the short:k candidate-window telemetry (peak is the
+	// bounded-memory claim, measured); present only when a single
+	// front-end owns the window (the batch-sharded wrapper keeps its
+	// pipeline internal).
+	Predicate    string `json:"predicate,omitempty"`
+	WindowK      int    `json:"window_k,omitempty"`
+	WindowLive   int    `json:"window_live,omitempty"`
+	WindowPeak   int    `json:"window_peak,omitempty"`
+	WindowPruned uint64 `json:"window_pruned,omitempty"`
 	// Static analysis results, present with -static-prefilter: how many
 	// nonatomic locations the sound static pass certified race-free
 	// (their checker work is skipped) vs left in the may-race set.
@@ -193,6 +227,7 @@ func main() {
 	stale := flag.Int("stale", 10, "percent of reads returning stale values")
 	skew := flag.Float64("skew", 0, "Zipf exponent skewing generated nonatomic accesses toward hot locations (0 = uniform)")
 	rebalance := flag.Bool("rebalance", false, "migrate hot locations between pipeline back-ends at GC barriers (sharded modes)")
+	predicateS := flag.String("predicate", "hb", "race predicate: hb (observed-trace happens-before), syncp (sync-preserving predictable races) or short:k (syncp within k events)")
 	staticPrefilter := flag.Bool("static-prefilter", false, "run the sound static may-race analysis over the generated program and skip checker work for certified locations (report set unchanged)")
 	privateLocs := flag.Int("private-locs", 0, "thread-private nonatomic locations per thread (certifiable by -static-prefilter)")
 	privatePct := flag.Int("private-pct", 0, "percent of nonatomic data traffic redirected to the accessing thread's private pool")
@@ -224,6 +259,11 @@ func main() {
 	format, err := monitor.ParseFormat(*formatS)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	spec, err := predict.Parse(*predicateS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "racemon: "+err.Error())
 		os.Exit(2)
 	}
 	if *threads < 1 || *events < 1 || *locs < 1 || *atomics < 0 || *ra < 0 || *shards < 1 {
@@ -287,9 +327,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "racemon: -private-locs must be ≥ 0 and -private-pct in 0..100")
 		os.Exit(2)
 	}
-	if *staticPrefilter && (*traceFile != "" || *emitFile != "") {
-		fmt.Fprintln(os.Stderr, "racemon: -static-prefilter analyses the generated program; it cannot be used with -trace or -emit")
+	if *emitFile != "" && spec.Pred != monitor.PredHB {
+		fmt.Fprintln(os.Stderr, "racemon: -emit does not monitor, so -predicate has no effect; drop it or monitor the trace instead")
 		os.Exit(2)
+	}
+	fatalMsg, warn := staticFilterDecision(*staticPrefilter, *traceFile, *emitFile, *resumeFile)
+	if fatalMsg != "" {
+		fmt.Fprintln(os.Stderr, "racemon: "+fatalMsg)
+		os.Exit(2)
+	}
+	if warn != "" {
+		fmt.Fprintln(os.Stderr, "racemon: "+warn)
 	}
 
 	if *statsAddr != "" {
@@ -323,16 +371,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "racemon: "+warn)
 		}
 		if par {
-			res, reports = runTraceParallel(*traceFile, *shards, *parsers, *rebalance)
+			res, reports = runTraceParallel(*traceFile, *shards, *parsers, *rebalance, spec)
 		} else {
-			res, reports = runTrace(*traceFile, *shards, *resumeFile, ck, *rebalance)
+			res, reports = runTrace(*traceFile, *shards, *resumeFile, ck, *rebalance, spec)
 		}
 	case *emitFile != "":
 		res = runEmit(*emitFile, format, gp)
 	case *pipeline:
-		res, reports = runPipeline(gp, *shards, *rebalance, ck)
+		res, reports = runPipeline(gp, *shards, *rebalance, ck, spec)
 	default:
-		res, reports = runGenerated(gp, *shards, *stream, *rebalance, ck)
+		res, reports = runGenerated(gp, *shards, *stream, *rebalance, ck, spec)
 	}
 	if stopProgress != nil {
 		close(stopProgress)
@@ -391,7 +439,14 @@ func main() {
 		fmt.Fprintf(out, "ra msgs   live=%d peak=%d collected=%d (windowed GC)\n",
 			res.RALive, res.RALivePeak, res.RACollected)
 	}
-	if *staticPrefilter {
+	if res.Predicate != "" {
+		fmt.Fprintf(out, "predict   predicate=%s", res.Predicate)
+		if res.WindowK > 0 {
+			fmt.Fprintf(out, "  window live=%d peak=%d pruned=%d", res.WindowLive, res.WindowPeak, res.WindowPruned)
+		}
+		fmt.Fprintln(out)
+	}
+	if res.StaticCertified+res.StaticMayRace > 0 {
 		fmt.Fprintf(out, "static    %d certified (checker work skipped), %d may-race\n",
 			res.StaticCertified, res.StaticMayRace)
 	}
@@ -488,7 +543,7 @@ func writeSnapshot(path string, snap func(io.Writer) error) {
 // runPipeline is the fused parallel mode: schedgen batches feed the
 // two-stage pipeline directly — one sync front-end pass, shards race
 // back-ends, no materialised schedule.
-func runPipeline(gp genParams, shards int, rebalance bool, ck ckParams) (result, []race.Report) {
+func runPipeline(gp genParams, shards int, rebalance bool, ck ckParams, spec predict.Spec) (result, []race.Report) {
 	tb, name := gp.program()
 	res := result{
 		Program: name, Mode: "pipeline", Threads: tb.Threads(), Policy: gp.policy.String(),
@@ -497,6 +552,7 @@ func runPipeline(gp genParams, shards int, rebalance bool, ck ckParams) (result,
 	}
 	pl := monitor.NewPipeline(tb.Threads(), tb.Decls(), monitor.PipelineConfig{
 		Shards: shards, Rebalance: rebalance, StaticFilter: gp.staticMask(tb, &res),
+		Predicate: spec.Pred, WindowK: spec.K,
 	})
 	tel.attach(pl.Obs())
 	start := time.Now()
@@ -527,6 +583,7 @@ func runPipeline(gp genParams, shards int, rebalance bool, ck ckParams) (result,
 	res.RALive, res.RALivePeak, res.RACollected = st.Live, st.Peak, st.Collected
 	res.EventsPerSec = float64(res.Events) / (float64(res.MonitorNs) / 1e9)
 	res.RaceCount = pl.RaceCount()
+	fillPredict(&res, pl.Predicate(), pl.WindowK(), pl.WindowStats())
 	stats := pl.Stats()
 	res.Stats = &stats
 	return res, reports
@@ -534,7 +591,7 @@ func runPipeline(gp genParams, shards int, rebalance bool, ck ckParams) (result,
 
 // runGenerated is the in-process generation path: the batch (and
 // optionally sharded) mode, or -stream's single fused pass.
-func runGenerated(gp genParams, shards int, stream, rebalance bool, ck ckParams) (result, []race.Report) {
+func runGenerated(gp genParams, shards int, stream, rebalance bool, ck ckParams, spec predict.Spec) (result, []race.Report) {
 	tb, name := gp.program()
 	opt := gp.options()
 	res := result{
@@ -546,6 +603,7 @@ func runGenerated(gp genParams, shards int, stream, rebalance bool, ck ckParams)
 	if stream {
 		res.Mode = "stream"
 		m := monitor.New(tb.Threads(), tb.Decls())
+		spec.Apply(m)
 		m.SetStaticFilter(mask)
 		tel.attach(m.Obs())
 		start := time.Now()
@@ -569,6 +627,7 @@ func runGenerated(gp genParams, shards int, stream, rebalance bool, ck ckParams)
 		res.Completed = completed
 		res.Events = int(m.Events())
 		fill(&res, m)
+		fillPredict(&res, m.Predicate(), m.WindowK(), m.WindowStats())
 		stats := m.Stats()
 		res.Stats = &stats
 		return res, m.Reports()
@@ -589,6 +648,7 @@ func runGenerated(gp genParams, shards int, stream, rebalance bool, ck ckParams)
 	if shards == 1 {
 		// Run the monitor directly so the RA retention stats are visible.
 		m := monitor.New(tb.Threads(), tb.Decls())
+		spec.Apply(m)
 		m.SetStaticFilter(mask)
 		tel.attach(m.Obs())
 		for _, e := range streamEv {
@@ -596,14 +656,19 @@ func runGenerated(gp genParams, shards int, stream, rebalance bool, ck ckParams)
 		}
 		reports = m.Reports()
 		fill(&res, m)
+		fillPredict(&res, m.Predicate(), m.WindowK(), m.WindowStats())
 		stats := m.Stats()
 		res.Stats = &stats
 	} else {
 		reports, err = monitor.ShardedRacesConfig(tb.Threads(), tb.Decls(), streamEv, shards, 0,
-			monitor.PipelineConfig{Rebalance: rebalance, StaticFilter: mask})
+			monitor.PipelineConfig{Rebalance: rebalance, StaticFilter: mask,
+				Predicate: spec.Pred, WindowK: spec.K})
 		if err != nil {
 			fatalf("monitor: %v", err)
 		}
+		// The wrapper keeps its pipeline internal, so only the predicate
+		// itself (not the window telemetry) is reportable.
+		fillPredict(&res, spec.Pred, spec.K, monitor.WindowStats{})
 	}
 	res.MonitorNs = time.Since(monStart).Nanoseconds()
 	res.EventsPerSec = float64(res.Events) / (float64(res.MonitorNs) / 1e9)
@@ -620,6 +685,9 @@ type traceSink interface {
 	StepBatch([]monitor.Event)
 	Events() uint64
 	RAStats() monitor.RAStats
+	Predicate() monitor.Predicate
+	WindowK() int
+	WindowStats() monitor.WindowStats
 	Snapshot(io.Writer) error
 	SnapshotWithReader(io.Writer, monitor.ReaderCheckpoint) error
 	Obs() *obs.Registry
@@ -644,7 +712,7 @@ func headerEqual(a, b monitor.Header) bool {
 // runTrace ingests a wire-format trace from a file or stdin — through a
 // sequential monitor, or a parallel pipeline when shards > 1 —
 // optionally resuming from a snapshot and/or checkpointing mid-ingest.
-func runTrace(path string, shards int, resumePath string, ck ckParams, rebalance bool) (result, []race.Report) {
+func runTrace(path string, shards int, resumePath string, ck ckParams, rebalance bool, spec predict.Spec) (result, []race.Report) {
 	var rd io.Reader = os.Stdin
 	name := "stdin"
 	if path != "-" {
@@ -685,21 +753,35 @@ func runTrace(path string, shards int, resumePath string, ck ckParams, rebalance
 				fatalf("resume: %v", err)
 			}
 		}
+		if snap.StaticFiltered() {
+			fmt.Fprintln(os.Stderr, "racemon: resume: the snapshotted run had a static prefilter active; the mask is not recorded, so monitoring continues unfiltered from here")
+		}
 	}
 	var sink traceSink
 	if shards > 1 {
-		cfg := monitor.PipelineConfig{Shards: shards, Rebalance: rebalance}
+		cfg := monitor.PipelineConfig{Shards: shards, Rebalance: rebalance,
+			Predicate: spec.Pred, WindowK: spec.K}
 		var pl *monitor.Pipeline
 		if snap != nil {
+			// The snapshot's predicate is authoritative; cfg's is ignored.
 			pl = snap.Pipeline(cfg)
+			if warn := predicateOverrideWarning(spec, pl.Predicate(), pl.WindowK()); warn != "" {
+				fmt.Fprintln(os.Stderr, "racemon: "+warn)
+			}
 		} else {
 			pl = monitor.NewPipeline(hdr.Threads, hdr.Decls, cfg)
 		}
 		sink = pipelineSink{pl}
 	} else if snap != nil {
-		sink = monitorSink{snap.Monitor()}
+		m := snap.Monitor()
+		if warn := predicateOverrideWarning(spec, m.Predicate(), m.WindowK()); warn != "" {
+			fmt.Fprintln(os.Stderr, "racemon: "+warn)
+		}
+		sink = monitorSink{m}
 	} else {
-		sink = monitorSink{tr.NewMonitor()}
+		m := tr.NewMonitor()
+		spec.Apply(m)
+		sink = monitorSink{m}
 	}
 	tel.attach(sink.Obs())
 	if snap != nil {
@@ -789,9 +871,23 @@ func runTrace(path string, shards int, resumePath string, ck ckParams, rebalance
 	}
 	fillLocations(&res, hdr.Decls)
 	fillStats(&res, sink.RAStats(), len(reports))
+	fillPredict(&res, sink.Predicate(), sink.WindowK(), sink.WindowStats())
 	stats := sink.Stats()
 	res.Stats = &stats
 	return res, reports
+}
+
+// predicateOverrideWarning: a checkpoint records its monitor's
+// predicate, and on -resume that record is authoritative (the restored
+// clocks and window only mean anything under it). When the command
+// line asks for a different, non-default predicate, the user gets told
+// the flag lost rather than discovering it from the report set.
+func predicateOverrideWarning(requested predict.Spec, pred monitor.Predicate, k int) string {
+	restored := predict.Spec{Pred: pred, K: k}
+	if requested.Pred == monitor.PredHB || requested == restored {
+		return ""
+	}
+	return fmt.Sprintf("-predicate %s ignored: the snapshot was taken under %s, which is authoritative on -resume", requested, restored)
 }
 
 // parallelParseDecision decides whether -trace ingest may use the
@@ -818,11 +914,37 @@ func parallelParseDecision(parsers int, resumeFile, checkpointFile string) (para
 	return false, fmt.Sprintf("-parsers %d ignored: %s needs the sequential reader's byte-offset continuation, which the parallel front-end cannot produce; decoding sequentially", parsers, conflict)
 }
 
+// staticFilterDecision decides what to do with -static-prefilter
+// outside the generated modes. The flag analyses the generated
+// program, so with -emit or a plain -trace it is a configuration
+// error. With -trace -resume, though, the natural reading is "resume
+// my prefiltered run" — the mask cannot be reconstructed from a trace
+// (it is derived from the program, which the wire format does not
+// carry), but exiting would make resumption of prefiltered runs
+// impossible, and silently dropping the flag would hide that the
+// resumed half monitors unfiltered. So that combination proceeds with
+// a warning, mirroring the -parsers fallback.
+func staticFilterDecision(prefilter bool, traceFile, emitFile, resumeFile string) (fatal, warning string) {
+	if !prefilter {
+		return "", ""
+	}
+	switch {
+	case emitFile != "":
+		return "-static-prefilter analyses the generated program; it cannot be used with -emit", ""
+	case traceFile != "" && resumeFile == "":
+		return "-static-prefilter analyses the generated program; it cannot be used with -trace", ""
+	case traceFile != "":
+		return "", "-static-prefilter ignored: the filter mask is derived from the generated program and is not recorded in snapshots or traces, so the resumed run monitors unfiltered (reports may include locations the original run skipped)"
+	default:
+		return "", ""
+	}
+}
+
 // runTraceParallel ingests a wire-format trace through the parallel
 // front-end: parsers decode workers feed the ordering sequencer, which
 // feeds a sequential monitor (shards == 1) or the sharded pipeline. v1
 // and text traces fall back to sequential decoding inside the reader.
-func runTraceParallel(path string, shards, parsers int, rebalance bool) (result, []race.Report) {
+func runTraceParallel(path string, shards, parsers int, rebalance bool, spec predict.Spec) (result, []race.Report) {
 	var rd io.Reader = os.Stdin
 	name := "stdin"
 	if path != "-" {
@@ -847,26 +969,29 @@ func runTraceParallel(path string, shards, parsers int, rebalance bool) (result,
 	hdr := pr.Header()
 	var reports []race.Report
 	var st monitor.RAStats
+	var ws monitor.WindowStats
 	var events uint64
 	var stats obs.Snapshot
 	if shards > 1 {
-		pl := monitor.NewPipeline(hdr.Threads, hdr.Decls, monitor.PipelineConfig{Shards: shards, Rebalance: rebalance})
+		pl := monitor.NewPipeline(hdr.Threads, hdr.Decls, monitor.PipelineConfig{
+			Shards: shards, Rebalance: rebalance, Predicate: spec.Pred, WindowK: spec.K})
 		tel.attach(pl.Obs())
 		if err := pl.FeedBatch(pr); err != nil {
 			pl.Abort()
 			fatalf("trace: %v", err)
 		}
 		reports = pl.Finish()
-		st, events = pl.RAStats(), pl.Events()
+		st, events, ws = pl.RAStats(), pl.Events(), pl.WindowStats()
 		stats = obs.Merge(pl.Stats(), preg.Snapshot())
 	} else {
 		m := pr.NewMonitor()
+		spec.Apply(m)
 		tel.attach(m.Obs())
 		if err := m.FeedBatch(pr); err != nil {
 			fatalf("trace: %v", err)
 		}
 		reports = m.Reports()
-		st, events = m.RAStats(), m.Events()
+		st, events, ws = m.RAStats(), m.Events(), m.WindowStats()
 		stats = obs.Merge(m.Stats(), preg.Snapshot())
 	}
 	res := result{
@@ -877,6 +1002,7 @@ func runTraceParallel(path string, shards, parsers int, rebalance bool) (result,
 	}
 	fillLocations(&res, hdr.Decls)
 	fillStats(&res, st, len(reports))
+	fillPredict(&res, spec.Pred, spec.K, ws)
 	res.Stats = &stats
 	return res, reports
 }
@@ -937,6 +1063,20 @@ func fillStats(res *result, st monitor.RAStats, races int) {
 		res.EventsPerSec = float64(res.Events) / (float64(res.MonitorNs) / 1e9)
 	}
 	res.RaceCount = races
+}
+
+// fillPredict records the decided predicate and, under short:k, the
+// candidate-window telemetry. PredHB leaves every field zero so the
+// JSON summary of default runs is unchanged.
+func fillPredict(res *result, pred monitor.Predicate, k int, ws monitor.WindowStats) {
+	if pred == monitor.PredHB {
+		return
+	}
+	res.Predicate = predict.Spec{Pred: pred, K: k}.String()
+	if pred == monitor.PredShort {
+		res.WindowK = k
+		res.WindowLive, res.WindowPeak, res.WindowPruned = ws.Live, ws.Peak, ws.Pruned
+	}
 }
 
 // checkGolden compares (or, with update, rewrites) the deterministic

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -37,6 +38,41 @@ func TestParallelParseDecision(t *testing.T) {
 		}
 		if tc.warnHas != "" && !strings.Contains(warn, tc.warnHas) {
 			t.Errorf("%s: warning %q does not mention %s", tc.name, warn, tc.warnHas)
+		}
+	}
+}
+
+// TestStaticFilterDecision pins the -static-prefilter interactions:
+// hard errors for -emit and plain -trace (the flag analyses the
+// generated program), a warning — never silence — for -trace -resume
+// (resuming a prefiltered run is legitimate, but the mask cannot be
+// reconstructed from a trace).
+func TestStaticFilterDecision(t *testing.T) {
+	cases := []struct {
+		name                 string
+		prefilter            bool
+		trace, emit, resume  string
+		fatalHas, warningHas string
+	}{
+		{name: "off", trace: "t.ldtr", resume: "s.ldck"},
+		{name: "generated", prefilter: true},
+		{name: "emit-fatal", prefilter: true, emit: "t.ldtr", fatalHas: "-emit"},
+		{name: "trace-fatal", prefilter: true, trace: "t.ldtr", fatalHas: "-trace"},
+		{name: "resume-warns", prefilter: true, trace: "t.ldtr", resume: "s.ldck", warningHas: "unfiltered"},
+	}
+	for _, tc := range cases {
+		fatal, warn := staticFilterDecision(tc.prefilter, tc.trace, tc.emit, tc.resume)
+		if tc.fatalHas == "" && fatal != "" {
+			t.Errorf("%s: unexpected fatal %q", tc.name, fatal)
+		}
+		if tc.fatalHas != "" && !strings.Contains(fatal, tc.fatalHas) {
+			t.Errorf("%s: fatal %q does not mention %s", tc.name, fatal, tc.fatalHas)
+		}
+		if tc.warningHas == "" && warn != "" {
+			t.Errorf("%s: unexpected warning %q", tc.name, warn)
+		}
+		if tc.warningHas != "" && !strings.Contains(warn, tc.warningHas) {
+			t.Errorf("%s: warning %q does not mention %s", tc.name, warn, tc.warningHas)
 		}
 	}
 }
@@ -88,5 +124,84 @@ func TestParsersCheckpointWarningCLI(t *testing.T) {
 	}
 	if strings.Contains(stderr.String(), "ignored") {
 		t.Fatalf("spurious warning without -checkpoint:\n%s", stderr.String())
+	}
+}
+
+// TestStaticPrefilterResumeCLI runs the real binary through the
+// satellite scenario: resuming a checkpointed -trace run with
+// -static-prefilter must warn on stderr and proceed (exit 0), while a
+// plain -trace with the flag stays a hard configuration error.
+func TestStaticPrefilterResumeCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildRacemon(t)
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.ldtr")
+	if out, err := exec.Command(bin, "-events", "2000", "-emit", trace).CombinedOutput(); err != nil {
+		t.Fatalf("emit: %v\n%s", err, out)
+	}
+	ck := filepath.Join(dir, "snap.ldck")
+	if out, err := exec.Command(bin, "-trace", trace, "-checkpoint", ck, "-checkpoint-at", "1000").CombinedOutput(); err != nil {
+		t.Fatalf("checkpoint: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-trace", trace, "-resume", ck, "-static-prefilter")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("resume with -static-prefilter must warn, not fail: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-static-prefilter ignored") {
+		t.Fatalf("no warning on stderr:\n%s", stderr.String())
+	}
+
+	cmd = exec.Command(bin, "-trace", trace, "-static-prefilter")
+	stderr.Reset()
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 2 {
+		t.Fatalf("plain -trace with -static-prefilter: err=%v, want exit 2\n%s", err, stderr.String())
+	}
+}
+
+// TestPredicateResumeCLI: a checkpoint taken under -predicate short:16
+// must resume under short:16 with no flags repeated, and a conflicting
+// -predicate must lose with a warning (the restored window state only
+// means anything under the checkpointed predicate).
+func TestPredicateResumeCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildRacemon(t)
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.ldtr")
+	if out, err := exec.Command(bin, "-events", "4000", "-emit", trace).CombinedOutput(); err != nil {
+		t.Fatalf("emit: %v\n%s", err, out)
+	}
+	ck := filepath.Join(dir, "snap.ldck")
+	if out, err := exec.Command(bin, "-trace", trace, "-predicate", "short:16",
+		"-checkpoint", ck, "-checkpoint-at", "2000").CombinedOutput(); err != nil {
+		t.Fatalf("checkpoint: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin, "-trace", trace, "-resume", ck, "-json").Output()
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !strings.Contains(string(out), `"predicate": "short:16"`) {
+		t.Fatalf("resumed run did not keep the checkpointed predicate:\n%s", out)
+	}
+
+	cmd := exec.Command(bin, "-trace", trace, "-resume", ck, "-predicate", "syncp")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("conflicting -predicate on resume must warn, not fail: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-predicate syncp ignored") ||
+		!strings.Contains(stderr.String(), "short:16") {
+		t.Fatalf("no override warning on stderr:\n%s", stderr.String())
 	}
 }

@@ -94,6 +94,38 @@
 // reports and retention statistics, optionally carrying a TraceReader
 // continuation (byte offset + v2 delta context) so interrupted trace
 // ingestion seeks instead of re-decoding.
+//
+// # Predictive detection
+//
+// The happens-before predicate above is sound but tied to the observed
+// interleaving: a race the schedule happened to order through an
+// incidental sync edge goes unreported. SetPredicate switches the
+// monitor (and, via PipelineConfig, the pipeline) to predictive
+// predicates that also report races exposed by feasible reorderings of
+// the observed trace:
+//
+//   - PredSyncP decides sync-preserving races: the ordering relation
+//     keeps only program order and the reads-from joins, dropping the
+//     write-side release join, so any pair orderable only through an
+//     incidental release chain is reported. Every report corresponds
+//     to a sync-preserving correct reordering of the trace, and the
+//     set is a superset of the PredHB set on every trace.
+//   - PredShort (distance k) restricts PredSyncP to access pairs at
+//     most k events apart in the observed trace, replacing per-thread
+//     last-access records with a per-location candidate window of at
+//     most k live entries — bounded memory regardless of how many
+//     threads touch a location, at the price of missing long-range
+//     pairs. Its reports are a subset of PredSyncP's; window telemetry
+//     (live, peak, pruned) is exposed via WindowStats and published to
+//     the obs registry as predict.* gauges at GC barriers.
+//
+// The predicates run through the same checker seam, shard-parallel
+// pipeline, and snapshot codec as PredHB — reports are identical at
+// any shard count, and a checkpoint records its predicate (snapshot v2
+// carries the window state), which is authoritative on restore. See
+// predict.go for the construction and internal/predict for the
+// reference decider and the flag syntax ("hb", "syncp", "short:k")
+// racemon exposes.
 package monitor
 
 import (
@@ -368,11 +400,20 @@ type Monitor struct {
 	ck       checker    // nonatomic race checking over clocks/minClock
 	// staticSkip, when non-nil, marks nonatomic locations a sound static
 	// certificate proved race-free; their events bypass the checker (see
-	// staticfilter.go). Configuration like gcEvery: kept across Reset,
-	// never serialised into snapshots.
+	// staticfilter.go). Configuration like gcEvery: kept across Reset.
+	// The mask itself is never serialised into snapshots, but a snapshot
+	// records THAT a filter was active, so a resume without one can warn
+	// (see the predict section in snapshot.go).
 	staticSkip []bool
-	at         [][]uint64 // released clock L_A per atomic location
-	ra         []map[tsKey]raMsg
+	// pred is the race predicate decided (predict.go); windowK and win
+	// carry the PredShort distance bound and candidate window. Unlike
+	// other configuration, the predicate is serialised into snapshots
+	// and the checkpointed value is authoritative on resume.
+	pred    Predicate
+	windowK uint64
+	win     *window
+	at      [][]uint64 // released clock L_A per atomic location
+	ra      []map[tsKey]raMsg
 	// minClock caches the pointwise minimum of all live thread clocks as
 	// of the last GC sweep (halted threads count as +∞). Stale entries
 	// are only ever too small, so every use (RA GC, epoch overwrite)
@@ -462,6 +503,9 @@ func (m *Monitor) Reset() {
 			m.ra[l] = make(map[tsKey]raMsg)
 		}
 	}
+	if m.win != nil {
+		m.win.reset()
+	}
 	clear(m.minClock)
 	clear(m.halted)
 	clear(m.raLiveLoc)
@@ -549,7 +593,13 @@ func (m *Monitor) Events() uint64 { return m.events }
 func (m *Monitor) EscalatedVectors() int { return m.ck.escalatedSides }
 
 // RaceCount returns the number of distinct races reported so far.
-func (m *Monitor) RaceCount() int { return m.ck.races }
+func (m *Monitor) RaceCount() int {
+	n := m.ck.races
+	if m.win != nil {
+		n += m.win.races
+	}
+	return n
+}
 
 // Step consumes the next event of the trace. Events must be in bounds
 // (thread < nthreads, loc < len(decls), kind matching the declared
@@ -567,17 +617,31 @@ func (m *Monitor) Step(e Event) {
 	switch e.Kind {
 	case ReadNA:
 		if m.staticSkip == nil || !m.staticSkip[e.Loc] {
-			m.ck.readNA(&m.ck.na[e.Loc], e.Thread, c)
+			if m.win != nil {
+				m.win.access(e.Loc, e.Thread, false, c, m.events)
+			} else {
+				m.ck.readNA(&m.ck.na[e.Loc], e.Thread, c)
+			}
 		}
 	case WriteNA:
 		if m.staticSkip == nil || !m.staticSkip[e.Loc] {
-			m.ck.writeNA(&m.ck.na[e.Loc], e.Thread, c)
+			if m.win != nil {
+				m.win.access(e.Loc, e.Thread, true, c, m.events)
+			} else {
+				m.ck.writeNA(&m.ck.na[e.Loc], e.Thread, c)
+			}
 		}
 	case ReadAT:
 		join(c, m.at[e.Loc])
 	case WriteAT:
 		la := m.at[e.Loc]
-		join(c, la)
+		if m.pred == PredHB {
+			// Under the predictive predicates the write still PUBLISHES
+			// its clock (the reads-from edge to later readers) but does
+			// not join the previous released clock: write→write coherence
+			// is exactly what a sync-preserving reordering may flip.
+			join(c, la)
+		}
 		copy(la, c)
 	case ReadRA:
 		if msg, ok := m.ra[e.Loc][timeKey(e.Time)]; ok {
@@ -770,6 +834,11 @@ func (m *Monitor) gc() {
 	// demote them while it is exact (the pipeline front-end owns no
 	// checker; its back-ends compact at the same barrier, in-band).
 	m.ck.compactAll()
+	if m.win != nil {
+		// Prune the short-race windows at the same barrier, so quiet
+		// locations drop expired candidates at deterministic positions.
+		m.win.pruneAll(m.events)
+	}
 	preLive := uint64(m.raLive) // the pressure that built up this window
 	var collected uint64
 	for l, mm := range m.ra {
@@ -868,9 +937,14 @@ func joinTrack(c, vc []uint64, changed []int32) []int32 {
 // race.SortReports — directly comparable with race.Races on the same
 // trace.
 func (m *Monitor) Reports() []race.Report {
-	out := make([]race.Report, 0, m.ck.races)
+	out := make([]race.Report, 0, m.RaceCount())
 	for l := range m.ck.na {
 		out = m.ck.appendReports(out, int32(l), m.decls[l].Name)
+	}
+	if m.win != nil {
+		// Under PredShort nonatomic accesses go to the window, not the
+		// checker, so the two report sources never overlap.
+		out = m.win.appendReports(out, m.decls)
 	}
 	race.SortReports(out)
 	return out

@@ -45,6 +45,14 @@ package monitor
 //	monitor.snapshot.encode_bytes/_ns  hist   checkpoint sizes and latency
 //	monitor.snapshot.decode_bytes/_ns  hist   restore sizes and latency
 //
+//	predict.predicate                gauge    active predicate (0 hb, 1 syncp, 2 short;
+//	                                          registered only when non-default)
+//	predict.window_k                 gauge    PredShort distance bound
+//	predict.window_live              gauge    short-race window entries held
+//	predict.window_peak              gauge    high-water mark of window entries
+//	predict.window_races             counter  races the window checker reported
+//	predict.pruned                   counter  expired window entries dropped
+//
 //	pipeline.routed_records          counter  NA records routed to back-ends
 //	pipeline.delta_records           counter  clock-delta records broadcast
 //	pipeline.min_records             counter  frontier + barrier records broadcast
@@ -100,6 +108,36 @@ type monCells struct {
 	snapEncNs    *obs.Hist
 	snapDecBytes *obs.Hist
 	snapDecNs    *obs.Hist
+	// pc holds the predict.* cells, registered lazily by SetPredicate so
+	// default-predicate monitors expose no dead predict metrics.
+	pc *predCells
+}
+
+// predCells is the predictive-checker cell bundle (see predict.go).
+type predCells struct {
+	predicate *obs.Gauge
+	windowK   *obs.Gauge
+	winLive   *obs.Gauge
+	winPeak   *obs.Gauge
+	winRaces  *obs.Counter
+	winPruned *obs.Counter
+}
+
+// ensurePredCells registers the predict.* cells on first use (the hot
+// path publishes through them only when a predictive predicate is
+// active).
+func (m *Monitor) ensurePredCells() {
+	if m.mo.pc != nil {
+		return
+	}
+	m.mo.pc = &predCells{
+		predicate: m.reg.Gauge("predict.predicate"),
+		windowK:   m.reg.Gauge("predict.window_k"),
+		winLive:   m.reg.Gauge("predict.window_live"),
+		winPeak:   m.reg.Gauge("predict.window_peak"),
+		winRaces:  m.reg.Counter("predict.window_races"),
+		winPruned: m.reg.Counter("predict.pruned"),
+	}
 }
 
 func newMonCells(reg *obs.Registry) monCells {
@@ -146,10 +184,24 @@ func (m *Monitor) publishObs() {
 	if m.ck.na != nil {
 		// A pipeline front-end owns no checker; the pipeline aggregates
 		// its back-ends into these cells instead (Pipeline.publishObs).
-		mo.races.Store(uint64(m.ck.races))
+		races := uint64(m.ck.races)
+		if m.win != nil {
+			races += uint64(m.win.races)
+		}
+		mo.races.Store(races)
 		mo.escalations.Store(m.ck.escalations)
 		mo.demotions.Store(m.ck.demotions)
 		mo.escalated.Set(int64(m.ck.escalatedSides))
+	}
+	if mo.pc != nil {
+		mo.pc.predicate.Set(int64(m.pred))
+		mo.pc.windowK.Set(int64(m.windowK))
+		if m.win != nil {
+			mo.pc.winLive.Set(int64(m.win.live))
+			mo.pc.winPeak.Set(int64(m.win.peak))
+			mo.pc.winRaces.Store(uint64(m.win.races))
+			mo.pc.winPruned.Store(m.win.pruned)
+		}
 	}
 }
 
@@ -252,6 +304,9 @@ func (p *Pipeline) Stats() obs.Snapshot {
 		demN += b.ck.demotions
 		p.po.backRaces.Store(s, uint64(b.ck.races))
 		p.po.backEsc.Store(s, uint64(b.ck.escalatedSides))
+	}
+	if p.fe.win != nil {
+		races += p.fe.win.races
 	}
 	mo := &p.fe.mo
 	mo.races.Store(uint64(races))

@@ -104,6 +104,17 @@ type PipelineConfig struct {
 	// declaration count. Reports, RAStats and snapshots are identical
 	// with or without a sound filter.
 	StaticFilter []bool
+	// Predicate selects the race definition (see Monitor.SetPredicate
+	// and predict.go): PredHB (default), PredSyncP, or PredShort with
+	// WindowK. Under PredShort nonatomic accesses are checked against
+	// the front-end's bounded candidate window instead of being routed
+	// to the back-ends (the distance bound needs the global event index,
+	// which only the front-end has). Ignored by Snapshot.Pipeline — the
+	// checkpointed predicate is authoritative on resume.
+	Predicate Predicate
+	// WindowK is the event-distance bound of PredShort (ignored for the
+	// other predicates).
+	WindowK int
 }
 
 func (cfg PipelineConfig) withDefaults() PipelineConfig {
@@ -294,6 +305,9 @@ func NewPipeline(nthreads int, decls []LocDecl, cfg PipelineConfig) *Pipeline {
 	cfg = cfg.withDefaults()
 	fe := newSync(nthreads, decls)
 	applyGC(fe, cfg)
+	if cfg.Predicate != PredHB {
+		fe.SetPredicate(cfg.Predicate, cfg.WindowK)
+	}
 	return newPipelineFrom(fe, cfg)
 }
 
@@ -438,6 +452,12 @@ func (p *Pipeline) Step(e Event) {
 		if p.staticSkip != nil && p.staticSkip[e.Loc] {
 			return
 		}
+		if m.win != nil {
+			// PredShort: the access is checked in the front-end's bounded
+			// window at its global stream index — nothing is routed.
+			m.win.access(e.Loc, e.Thread, e.Kind == WriteNA, c, m.events)
+			return
+		}
 		p.routed++
 		if p.rebalance {
 			p.traffic[e.Loc]++
@@ -452,9 +472,16 @@ func (p *Pipeline) Step(e Event) {
 		p.broadcastClock(e.Thread, c)
 	case WriteAT:
 		la := m.at[e.Loc]
-		p.changed = joinTrack(c, la, p.changed[:0])
-		copy(la, c)
-		p.broadcastClock(e.Thread, c)
+		if m.pred == PredHB {
+			p.changed = joinTrack(c, la, p.changed[:0])
+			copy(la, c)
+			p.broadcastClock(e.Thread, c)
+		} else {
+			// Predictive predicates: publish without joining the previous
+			// released clock (see Monitor.Step). No entry of c was raised,
+			// so there is no delta to broadcast.
+			copy(la, c)
+		}
 	case ReadRA:
 		if msg, ok := m.ra[e.Loc][timeKey(e.Time)]; ok {
 			p.changed = joinTrack(c, msg.vc, p.changed[:0])
@@ -540,6 +567,10 @@ func (p *Pipeline) Finish() []race.Report {
 	}
 	for _, b := range p.backs {
 		p.races += b.ck.races
+	}
+	if p.fe.win != nil {
+		out = p.fe.win.appendReports(out, p.fe.decls)
+		p.races += p.fe.win.races
 	}
 	race.SortReports(out)
 	p.reports = out
@@ -753,7 +784,7 @@ func (p *Pipeline) snapshotWith(w io.Writer, rck *ReaderCheckpoint) error {
 	p.quiesce()
 	return snapshotTo(w, p.fe, func(l int32) *naState {
 		return &p.backs[p.owner[l]].ck.na[p.dense[l]]
-	}, rck)
+	}, rck, p.staticSkip != nil)
 }
 
 // Abort tears the pipeline down mid-stream without draining: the rings
@@ -810,6 +841,19 @@ func (p *Pipeline) RaceCount() int { return p.races }
 // RAStats returns the front-end's RA retention statistics — identical to
 // the sequential monitor's on the same stream and GC interval.
 func (p *Pipeline) RAStats() RAStats { return p.fe.RAStats() }
+
+// Predicate returns the race predicate the pipeline decides.
+func (p *Pipeline) Predicate() Predicate { return p.fe.pred }
+
+// WindowK returns the short-race distance bound (0 unless the
+// pipeline decides PredShort).
+func (p *Pipeline) WindowK() int { return p.fe.WindowK() }
+
+// WindowStats returns the short-race window telemetry (zero unless the
+// pipeline runs PredShort) — identical to the sequential monitor's on
+// the same stream, because the window lives in the front-end and its
+// prune schedule is a function of the stream alone.
+func (p *Pipeline) WindowStats() WindowStats { return p.fe.WindowStats() }
 
 // PipelineRaces monitors a materialised event stream through a pipeline
 // and returns the deduplicated reports — byte-identical to a sequential

@@ -40,6 +40,16 @@ package monitor
 //	            varint lastT; if wT/rT is the escalated sentinel the
 //	            per-thread vector follows (threads uvarints); if bit2,
 //	            the threads² dedup mask bytes follow
+//	predict(8)  OPTIONAL (v2+), present iff the predicate is not the
+//	            default or a static pre-filter was active: predicate
+//	            byte, uvarint window k, flags byte (bit0 = a static
+//	            pre-filter was active — the mask itself is config and
+//	            not serialised, but a resume without one can then warn);
+//	            under PredShort, per NONATOMIC location in declaration
+//	            order: uvarint entry count, entries (uvarint gidx —
+//	            nondecreasing, uvarint epoch, uvarint thread, write
+//	            byte), mask byte (1 = threads² window dedup masks
+//	            follow); then uvarint window peak, uvarint pruned
 //	reader (7)  OPTIONAL — a TraceReader continuation (see
 //	            ReaderCheckpoint): uvarint byte offset, v2 flag byte,
 //	            varint prevThread, v2 only: threads varints prevLoc +
@@ -91,17 +101,24 @@ import (
 )
 
 const (
-	snapMagic   = "LDCK"
-	snapVersion = 1
+	snapMagic = "LDCK"
+	// snapVersion is the version written; every version down to
+	// snapVersionMin still decodes. Version 2 added the optional predict
+	// section (predicate, short-race window state, static-filter flag);
+	// a version-1 snapshot is exactly a version-2 one with the section
+	// absent, so old checkpoints restore as default-predicate monitors.
+	snapVersion    = 2
+	snapVersionMin = 1
 
-	snapTagEnd    = 0
-	snapTagHeader = 1
-	snapTagSync   = 2
-	snapTagClocks = 3
-	snapTagAtomic = 4
-	snapTagRA     = 5
-	snapTagNA     = 6
-	snapTagReader = 7
+	snapTagEnd     = 0
+	snapTagHeader  = 1
+	snapTagSync    = 2
+	snapTagClocks  = 3
+	snapTagAtomic  = 4
+	snapTagRA      = 5
+	snapTagNA      = 6
+	snapTagReader  = 7
+	snapTagPredict = 8
 
 	// maxSnapSection bounds one section's payload so a hostile length
 	// prefix cannot demand an arbitrary allocation. snapChunk is where
@@ -119,14 +136,23 @@ const (
 // of Monitor or Pipeline may be called, once — both hand over the same
 // underlying restored state.
 type Snapshot struct {
-	hdr Header
-	m   *Monitor
-	rck *ReaderCheckpoint
+	hdr      Header
+	m        *Monitor
+	rck      *ReaderCheckpoint
+	filtered bool
 }
 
 // Header returns the thread count and location declarations the snapshot
 // was taken over.
 func (s *Snapshot) Header() Header { return s.hdr }
+
+// StaticFiltered reports whether the checkpointed run had a static
+// pre-filter installed. The mask itself is configuration and is not
+// serialised, so a resume that does not reinstall one runs unfiltered —
+// callers (racemon) use this flag to warn about the mismatch instead of
+// silently dropping the filter. Version-1 snapshots predate the flag
+// and report false.
+func (s *Snapshot) StaticFiltered() bool { return s.filtered }
 
 // Reader returns the trace-reader continuation stored in the snapshot,
 // if any (ok=false when the checkpoint was not taken mid-ingestion).
@@ -185,7 +211,7 @@ func Restore(r io.Reader) (*Monitor, error) {
 // monitor remains usable; a Restore of the written bytes continues the
 // stream with reports and RAStats byte-identical to this monitor's.
 func (m *Monitor) Snapshot(w io.Writer) error {
-	return snapshotTo(w, m, m.naAt, nil)
+	return snapshotTo(w, m, m.naAt, nil, m.staticSkip != nil)
 }
 
 // SnapshotWithReader is Snapshot plus a trace-reader continuation, for
@@ -193,7 +219,7 @@ func (m *Monitor) Snapshot(w io.Writer) error {
 // side can seek the trace to ck.Offset (TraceReader.Resume) instead of
 // re-decoding the consumed prefix.
 func (m *Monitor) SnapshotWithReader(w io.Writer, ck ReaderCheckpoint) error {
-	return snapshotTo(w, m, m.naAt, &ck)
+	return snapshotTo(w, m, m.naAt, &ck, m.staticSkip != nil)
 }
 
 // naAt is the sequential monitor's location-state accessor (the pipeline
@@ -253,8 +279,12 @@ func (sw *snapWriter) chunk(tag byte) {
 
 // snapshotTo writes one snapshot of the sync state in m and the
 // per-location race state reachable through naAt (the sequential
-// monitor's own array, or the pipeline's sharded back-ends).
-func snapshotTo(w io.Writer, m *Monitor, naAt func(int32) *naState, rck *ReaderCheckpoint) error {
+// monitor's own array, or the pipeline's sharded back-ends). filtered
+// records whether a static pre-filter was active — passed explicitly
+// because the pipeline keeps its mask on the Pipeline, not the
+// front-end, and a filtered sequential monitor and a filtered pipeline
+// must snapshot byte-identically.
+func snapshotTo(w io.Writer, m *Monitor, naAt func(int32) *naState, rck *ReaderCheckpoint, filtered bool) error {
 	hdr := Header{Threads: m.nthreads, Decls: m.decls}
 	if err := validateHeader(hdr); err != nil {
 		return fmt.Errorf("monitor: snapshot: %w", err)
@@ -380,6 +410,50 @@ func snapshotTo(w io.Writer, m *Monitor, naAt func(int32) *naState, rck *ReaderC
 		}
 	}
 	sw.section(snapTagNA)
+
+	// predict: emitted only when there is something non-default to
+	// record, so default-predicate unfiltered snapshots stay bytewise
+	// minimal (and a version-1 decoder's view of the state is complete).
+	if m.pred != PredHB || filtered {
+		sw.byte(byte(m.pred))
+		sw.uvarint(m.windowK)
+		var pf byte
+		if filtered {
+			pf = 1
+		}
+		sw.byte(pf)
+		if m.win != nil {
+			for l, d := range m.decls {
+				if d.Kind != prog.NonAtomic {
+					continue
+				}
+				sw.chunk(snapTagPredict)
+				wl := &m.win.locs[l]
+				live := wl.entries[wl.head:]
+				sw.uvarint(uint64(len(live)))
+				for _, e := range live {
+					sw.chunk(snapTagPredict)
+					sw.uvarint(e.gidx)
+					sw.uvarint(e.epoch)
+					sw.uvarint(uint64(e.t))
+					wb := byte(0)
+					if e.write {
+						wb = 1
+					}
+					sw.byte(wb)
+				}
+				if wl.reported != nil {
+					sw.byte(1)
+					sw.bytes(wl.reported)
+				} else {
+					sw.byte(0)
+				}
+			}
+			sw.uvarint(uint64(m.win.peak))
+			sw.uvarint(m.win.pruned)
+		}
+		sw.section(snapTagPredict)
+	}
 
 	if rck != nil {
 		sw.uvarint(uint64(rck.Offset))
@@ -695,8 +769,9 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	if string(magic[:len(snapMagic)]) != snapMagic {
 		return nil, fmt.Errorf("monitor: not a snapshot (bad magic %q)", magic[:len(snapMagic)])
 	}
-	if magic[len(snapMagic)] != snapVersion {
-		return nil, fmt.Errorf("monitor: snapshot: unsupported version %d (have %d)", magic[len(snapMagic)], snapVersion)
+	ver := magic[len(snapMagic)]
+	if ver < snapVersionMin || ver > snapVersion {
+		return nil, fmt.Errorf("monitor: snapshot: unsupported version %d (accept %d–%d)", ver, snapVersionMin, snapVersion)
 	}
 
 	hdr, err := d.decodeHeader()
@@ -723,6 +798,18 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	tag, c, err := d.next()
 	if err != nil {
 		return nil, err
+	}
+	if tag == snapTagPredict && ver >= 2 {
+		c.what = "predict"
+		filtered, err := d.decodePredict(c, m)
+		if err != nil {
+			return nil, err
+		}
+		s.filtered = filtered
+		tag, c, err = d.next()
+		if err != nil {
+			return nil, err
+		}
 	}
 	if tag == snapTagReader {
 		c.what = "reader"
@@ -1029,6 +1116,139 @@ func (d *snapDecoder) decodeNA(m *Monitor) error {
 	}
 	m.ck.races = races
 	return c.done()
+}
+
+// decodePredict restores the predicate configuration and (under
+// PredShort) the per-location candidate windows. Returns whether the
+// checkpointed run had a static pre-filter active. The section is only
+// written when something is non-default, so a default payload is
+// rejected as non-canonical.
+func (d *snapDecoder) decodePredict(c *snapCursor, m *Monitor) (bool, error) {
+	predB, err := c.byte("predicate")
+	if err != nil {
+		return false, err
+	}
+	if predB > byte(PredShort) {
+		return false, c.errf("unknown predicate %d", predB)
+	}
+	pred := Predicate(predB)
+	k, err := c.uvarint("window k")
+	if err != nil {
+		return false, err
+	}
+	if (pred == PredShort) != (k > 0) {
+		return false, c.errf("window k %d inconsistent with predicate %s", k, pred)
+	}
+	pf, err := c.byte("filter flag")
+	if err != nil {
+		return false, err
+	}
+	if pf > 1 {
+		return false, c.errf("filter flag %d not 0 or 1", pf)
+	}
+	if pred == PredHB && pf == 0 {
+		return false, c.errf("section present with default predicate and no filter")
+	}
+	m.pred = pred
+	m.windowK = k
+	if pred != PredHB {
+		m.ensurePredCells()
+	}
+	if pred != PredShort {
+		return pf == 1, c.done()
+	}
+	w := newWindow(m.nthreads, len(m.decls), k)
+	m.win = w
+	races := 0
+	for l, decl := range m.decls {
+		if decl.Kind != prog.NonAtomic {
+			continue
+		}
+		if err := d.more(&c, snapTagPredict, "predict"); err != nil {
+			return false, err
+		}
+		count, err := c.uvarint("window entry count")
+		if err != nil {
+			return false, err
+		}
+		wl := &w.locs[l]
+		var prevGidx uint64
+		for i := uint64(0); i < count; i++ {
+			if err := d.more(&c, snapTagPredict, "predict"); err != nil {
+				return false, err
+			}
+			gidx, err := c.uvarint("entry index")
+			if err != nil {
+				return false, err
+			}
+			if gidx < prevGidx {
+				return false, c.errf("entry index %d out of FIFO order (previous %d)", gidx, prevGidx)
+			}
+			if gidx > m.events {
+				return false, c.errf("entry index %d beyond event count %d", gidx, m.events)
+			}
+			prevGidx = gidx
+			epoch, err := c.uvarint("entry epoch")
+			if err != nil {
+				return false, err
+			}
+			thread, err := c.uvarint("entry thread")
+			if err != nil {
+				return false, err
+			}
+			if thread >= uint64(m.nthreads) {
+				return false, c.errf("entry thread %d out of range [0,%d)", thread, m.nthreads)
+			}
+			wb, err := c.byte("entry write flag")
+			if err != nil {
+				return false, err
+			}
+			if wb > 1 {
+				return false, c.errf("entry write flag %d not 0 or 1", wb)
+			}
+			wl.entries = append(wl.entries, winEntry{
+				gidx: gidx, epoch: epoch, t: int32(thread), write: wb == 1,
+			})
+		}
+		w.live += len(wl.entries)
+		mb, err := c.byte("mask flag")
+		if err != nil {
+			return false, err
+		}
+		if mb > 1 {
+			return false, c.errf("mask flag %d not 0 or 1", mb)
+		}
+		if mb == 1 {
+			raw, err := c.take(m.nthreads*m.nthreads, "window dedup masks")
+			if err != nil {
+				return false, err
+			}
+			wl.reported = make([]uint8, len(raw))
+			for i, b := range raw {
+				if b > 15 {
+					return false, c.errf("window dedup mask byte %#x has unknown bits", b)
+				}
+				wl.reported[i] = b
+				races += bits.OnesCount8(b)
+			}
+		}
+	}
+	w.races = races
+	peak, err := c.uvarint("window peak")
+	if err != nil {
+		return false, err
+	}
+	if peak > uint64(math.MaxInt) {
+		return false, c.errf("window peak %d out of range", peak)
+	}
+	if int(peak) < w.live {
+		return false, c.errf("window peak %d below live count %d", peak, w.live)
+	}
+	w.peak = int(peak)
+	if w.pruned, err = c.uvarint("window pruned"); err != nil {
+		return false, err
+	}
+	return pf == 1, c.done()
 }
 
 func decodeReader(c *snapCursor, hdr Header) (*ReaderCheckpoint, error) {

@@ -11,8 +11,12 @@ package monitor
 // soundness — both proven in the modeltest differential matrix.
 //
 // The filter is configuration, like the GC interval: it survives Reset,
-// is not serialised into snapshots, and a restored monitor or pipeline
-// applies it again via SetStaticFilter / PipelineConfig.StaticFilter.
+// and the mask itself is not serialised into snapshots — a restored
+// monitor or pipeline applies it again via SetStaticFilter /
+// PipelineConfig.StaticFilter. Since snapshot v2 the header does record
+// *whether* a filter was active (Snapshot.StaticFiltered), so a resumer
+// that cannot rebuild the mask can at least warn instead of silently
+// monitoring a filtered prefix unfiltered.
 // Filtered locations keep empty checker state, so a filtered sequential
 // monitor and a filtered pipeline still snapshot byte-identically at
 // the same stream position.

@@ -1,0 +1,185 @@
+// Package predict holds the specification side of the predictive race
+// predicates: the racemon flag grammar (Parse/Spec) and slow reference
+// deciders for every predicate the streaming monitor implements
+// (internal/monitor, predict.go there).
+//
+// The reference deciders are deliberately dumb and structurally
+// independent of the monitor: full vector clocks for every thread, no
+// epoch compression, no release-acquire garbage collection (every
+// published message is retained for the whole trace), full per-location
+// access histories, and an all-pairs scan of every access against every
+// earlier access (bounded to distance k under PredShort). They share no
+// state-machine code with the monitor beyond the Event/Report types, so
+// a differential run (modeltest, and FuzzPredict here) cross-checks two
+// genuinely different implementations of the same definition:
+//
+//   - PredHB: join-at-every-sync-edge vector clocks — the paper's
+//     defs. 9/10 over the observed trace.
+//   - PredSyncP: the sync-preserving construction — only program order
+//     and reads-from edges join. An SC-atomic write publishes its clock
+//     without first joining the location's previous released clock
+//     (write→write coherence is the order a sync-preserving reordering
+//     may flip); atomic reads and RA reads join exactly the clock of the
+//     write they read from.
+//   - PredShort: PredSyncP restricted to access pairs at most k events
+//     apart in the observed trace (distance measured in global stream
+//     positions over all events, synchronisation included).
+//
+// Races deduplicates exactly as the monitor and race.Races do — by
+// location, ordered thread pair (earlier access first) and access-kind
+// pair — and sorts with race.SortReports, so its output is directly
+// comparable with Monitor.Reports.
+package predict
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"localdrf/internal/monitor"
+	"localdrf/internal/prog"
+	"localdrf/internal/race"
+)
+
+// Spec is a parsed predicate selection: the predicate and, for
+// monitor.PredShort, the event-distance bound K.
+type Spec struct {
+	Pred monitor.Predicate
+	K    int
+}
+
+// Parse parses the racemon -predicate grammar: "hb", "syncp" or
+// "short:k" with k ≥ 1.
+func Parse(s string) (Spec, error) {
+	switch {
+	case s == "hb":
+		return Spec{Pred: monitor.PredHB}, nil
+	case s == "syncp":
+		return Spec{Pred: monitor.PredSyncP}, nil
+	case strings.HasPrefix(s, "short:"):
+		k, err := strconv.Atoi(s[len("short:"):])
+		if err != nil || k < 1 {
+			return Spec{}, fmt.Errorf("predict: bad window in %q (want short:k with k ≥ 1)", s)
+		}
+		return Spec{Pred: monitor.PredShort, K: k}, nil
+	case s == "short":
+		return Spec{}, fmt.Errorf("predict: %q needs a window (short:k)", s)
+	default:
+		return Spec{}, fmt.Errorf("predict: unknown predicate %q (want hb, syncp or short:k)", s)
+	}
+}
+
+// String returns the flag spelling Parse accepts.
+func (s Spec) String() string {
+	if s.Pred == monitor.PredShort {
+		return "short:" + strconv.Itoa(s.K)
+	}
+	return s.Pred.String()
+}
+
+// Apply configures a fresh monitor (or pipeline front-end) for the
+// predicate. It is a no-op for the default PredHB.
+func (s Spec) Apply(m *monitor.Monitor) {
+	if s.Pred != monitor.PredHB {
+		m.SetPredicate(s.Pred, s.K)
+	}
+}
+
+// refAccess is one recorded nonatomic access in the reference decider's
+// full history: its global stream position, the accessor's own clock
+// component at the access, and the access identity.
+type refAccess struct {
+	gidx  uint64
+	epoch uint64
+	t     int32
+	write bool
+}
+
+// tsKey canonicalises an RA timestamp for map lookup (normalised
+// rational, mirroring the wire contract that equal timestamps identify
+// the reads-from edge).
+type tsKey struct{ num, den int64 }
+
+// Races decides the predicate over one observed trace by brute force:
+// full vector clocks, full histories, all-pairs checks, no compression
+// and no garbage collection. Events must satisfy the same validity
+// contract Monitor.Step requires (the wire decoder and Table establish
+// it). Memory is O(events) — this is the oracle, not the detector.
+func Races(spec Spec, nthreads int, decls []monitor.LocDecl, events []monitor.Event) []race.Report {
+	clocks := make([][]uint64, nthreads)
+	for t := range clocks {
+		clocks[t] = make([]uint64, nthreads)
+	}
+	at := make([][]uint64, len(decls))
+	ra := make([]map[tsKey][]uint64, len(decls))
+	hist := make([][]refAccess, len(decls))
+	for l, d := range decls {
+		switch d.Kind {
+		case prog.Atomic:
+			at[l] = make([]uint64, nthreads)
+		case prog.ReleaseAcquire:
+			ra[l] = make(map[tsKey][]uint64)
+		}
+	}
+	seen := make(map[race.Report]bool)
+	var gidx uint64
+	for _, e := range events {
+		gidx++
+		t := int(e.Thread)
+		c := clocks[t]
+		c[t]++
+		switch e.Kind {
+		case monitor.ReadNA, monitor.WriteNA:
+			write := e.Kind == monitor.WriteNA
+			for _, a := range hist[e.Loc] {
+				if spec.Pred == monitor.PredShort && gidx-a.gidx > uint64(spec.K) {
+					continue
+				}
+				if a.t != e.Thread && (a.write || write) && a.epoch > c[a.t] {
+					seen[race.Report{
+						Loc:     decls[e.Loc].Name,
+						ThreadI: int(a.t),
+						ThreadJ: t,
+						WriteI:  a.write,
+						WriteJ:  write,
+					}] = true
+				}
+			}
+			hist[e.Loc] = append(hist[e.Loc], refAccess{gidx: gidx, epoch: c[t], t: e.Thread, write: write})
+		case monitor.ReadAT:
+			join(c, at[e.Loc])
+		case monitor.WriteAT:
+			if spec.Pred == monitor.PredHB {
+				join(c, at[e.Loc])
+			}
+			copy(at[e.Loc], c)
+		case monitor.ReadRA:
+			num, den := e.Time.Fraction()
+			if vc, ok := ra[e.Loc][tsKey{num, den}]; ok {
+				join(c, vc)
+			}
+		case monitor.WriteRA:
+			vc := make([]uint64, nthreads)
+			copy(vc, c)
+			num, den := e.Time.Fraction()
+			ra[e.Loc][tsKey{num, den}] = vc
+		case monitor.KindHalt:
+			// Halts are advisory retention hints; the reference retains
+			// everything anyway.
+		}
+	}
+	out := make([]race.Report, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	race.SortReports(out)
+	return out
+}
+
+func join(c, vc []uint64) {
+	for u, v := range vc {
+		if v > c[u] {
+			c[u] = v
+		}
+	}
+}

@@ -67,6 +67,19 @@ func (g *rng) next() uint64 {
 // at the small n drawn here.
 func (g *rng) intn(n int) int { return int(g.next() % uint64(n)) }
 
+// skewIndex maps a uniform draw u ∈ [0,1] to a rank along a normalised
+// CDF. The result must be clamped: the last CDF entry is 1.0 only up to
+// rounding (the normalising division can leave it at 0.99999…), so a
+// draw above it — u very close to, or exactly, 1 — lands past the end
+// of the search and would otherwise index out of range.
+func skewIndex(cdf []float64, u float64) int {
+	i := sort.SearchFloat64s(cdf, u)
+	if i >= len(cdf) {
+		i = len(cdf) - 1
+	}
+	return i
+}
+
 // Policy selects which runnable thread performs the next event.
 type Policy int
 
@@ -423,11 +436,7 @@ func Stream(p *prog.Program, tb *monitor.Table, opt Options, emit func(monitor.E
 			// one xorshift draw give a uniform float in [0,1) — platform-
 			// stable, so skewed streams stay deterministic per seed.
 			u := float64(r.next()>>11) / (1 << 53)
-			i := sort.SearchFloat64s(skewCDF, u)
-			if i >= len(skewLocs) {
-				i = len(skewLocs) - 1
-			}
-			loc = skewLocs[i]
+			loc = skewLocs[skewIndex(skewCDF, u)]
 		}
 		ev := monitor.Event{Thread: int32(t), Loc: loc}
 		kind := decls[loc].Kind

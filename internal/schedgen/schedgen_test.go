@@ -2,6 +2,7 @@ package schedgen
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	"localdrf/internal/monitor"
@@ -469,5 +470,58 @@ func TestLocSkew(t *testing.T) {
 	want := race.Races(monitor.Transitions(a[:400], decls))
 	if !race.ReportsEqual(m.Reports(), want) {
 		t.Fatalf("skewed stream: monitor %v, oracle %v", m.Reports(), want)
+	}
+}
+
+// TestSkewIndexBoundary is the property test for the Zipf CDF lookup:
+// across a sweep of skew exponents and table sizes, skewIndex must stay
+// in range and order-correct for adversarial draws — exactly 1.0,
+// 1.0 minus one ulp, every CDF entry and its neighbourhoods — and the
+// hazard the clamp guards (a normalised CDF whose last entry rounds
+// below 1.0, pushing the binary search past the end) must actually
+// occur somewhere in the sweep.
+func TestSkewIndexBoundary(t *testing.T) {
+	for _, s := range []float64{0.2, 0.7, 1.0, 1.3, 1.5, 2.0, 3.7} {
+		for _, n := range []int{2, 3, 5, 7, 12, 64, 257} {
+			cdf := make([]float64, n)
+			sum := 0.0
+			for i := range cdf {
+				sum += 1 / math.Pow(float64(i+1), s)
+				cdf[i] = sum
+			}
+			for i := range cdf {
+				cdf[i] /= sum
+			}
+			draws := []float64{0, math.Nextafter(1, 0), 1.0}
+			for _, c := range cdf {
+				draws = append(draws, c, math.Nextafter(c, 0), math.Nextafter(c, 2))
+			}
+			for _, u := range draws {
+				i := skewIndex(cdf, u)
+				if i < 0 || i >= n {
+					t.Fatalf("s=%v n=%d u=%v: index %d out of range", s, n, u, i)
+				}
+				// Order-correctness: the chosen rank's CDF covers u, and
+				// no earlier rank does (except at the clamped top).
+				if cdf[i] < u && i != n-1 {
+					t.Fatalf("s=%v n=%d u=%v: rank %d has cdf %v < u", s, n, u, i, cdf[i])
+				}
+				if i > 0 && cdf[i-1] >= u {
+					t.Fatalf("s=%v n=%d u=%v: earlier rank %d already covers u", s, n, u, i-1)
+				}
+			}
+		}
+	}
+	// The generator's own normalisation ends on an exact x/x division,
+	// so ITS tail is exactly 1.0 — but the helper must also survive a
+	// CDF whose tail rounded below 1.0 (any normalisation that does not
+	// end on a self-division can produce one): a draw at or above such
+	// a tail lands past the binary search and must clamp to the last
+	// rank instead of indexing out of range.
+	tail := []float64{0.5, 0.9, math.Nextafter(1, 0)}
+	for _, u := range []float64{math.Nextafter(1, 0), 1.0} {
+		if i := skewIndex(tail, u); i != len(tail)-1 {
+			t.Fatalf("rounded-tail CDF, u=%v: rank %d, want %d", u, i, len(tail)-1)
+		}
 	}
 }

@@ -90,10 +90,20 @@ func (e errFatal) Unwrap() error { return e.err }
 func (c *Client) Run() (*SessionResult, error) {
 	cc := c.withDefaults()
 	backoff := cc.Backoff
+	// hint is a server retry-after that raises the NEXT delay only; the
+	// exponential series keeps doubling on its own track. (Folding the
+	// hint into backoff itself would ratchet the series: one generous
+	// hint would become the base every later delay doubles from.)
+	var hint time.Duration
 	var lastErr error
 	for attempt := 0; attempt < cc.Attempts; attempt++ {
 		if attempt > 0 {
-			cc.Sleep(backoff)
+			delay := backoff
+			if hint > delay {
+				delay = hint
+			}
+			hint = 0
+			cc.Sleep(delay)
 			if backoff *= 2; backoff > cc.MaxBackoff {
 				backoff = cc.MaxBackoff
 			}
@@ -106,9 +116,7 @@ func (c *Client) Run() (*SessionResult, error) {
 		if errors.As(err, &fatal) {
 			return nil, fatal.err
 		}
-		if retryAfter > backoff {
-			backoff = retryAfter
-		}
+		hint = retryAfter
 		lastErr = err
 	}
 	return nil, fmt.Errorf("service: session %s failed after %d attempts: %w", cc.Session, cc.Attempts, lastErr)
